@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the corresponding rows/series next to the paper's numbers.  Two
+scales are supported:
+
+* ``quick`` (default): reduced epoch counts, minutes of total runtime —
+  enough to reproduce every *shape* the paper reports;
+* ``full``: the paper's epoch counts (500 arrivals, capacity-to-failure
+  sweeps).  Select with ``REPRO_BENCH_SCALE=full``.
+"""
+
+from __future__ import annotations
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def scaled(quick: int, full: int) -> int:
+    return full if SCALE == "full" else quick
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print(f"(scale: {SCALE}; set REPRO_BENCH_SCALE=full for paper-scale runs)")
+    print("=" * 78)
+
+
+def fmt_row(*cells, widths=None) -> str:
+    widths = widths or [16] * len(cells)
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

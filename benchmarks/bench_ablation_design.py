@@ -1,0 +1,160 @@
+"""Ablations of P4runpro design choices called out in DESIGN.md.
+
+1. Register-lifetime elision (§4.2): program depth (= stage consumption)
+   with and without the liveness optimization for supportive-register
+   backups, across the 15-program library.
+2. Recirculation budget R: which library programs remain deployable at
+   R = 0 / 1 / 2, and the logic-RPB headroom R buys.
+3. Address-translation mechanism: VLIW/stage cost of the mask-based
+   scheme vs the shift- and TCAM-based alternatives the paper rejects
+   (§4.1.2), as a static resource estimate.
+"""
+
+from _common import banner, fmt_row, once
+
+from repro.compiler.allocation import build_problem
+from repro.compiler.compiler import compile_source, parse_and_check
+from repro.compiler.ir import assign_depths, build_ir
+from repro.compiler.solver import AllocationSolver
+from repro.compiler.objectives import f1
+from repro.compiler.target import TargetSpec, UnlimitedResources
+from repro.compiler.translate import align_memory_depths, expand_pseudo, insert_offsets
+from repro.lang.errors import AllocationError
+from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
+
+
+def depth_with(source: str, use_liveness: bool) -> tuple[int, int]:
+    """(depth, backups) after a full translation with/without liveness."""
+    unit = parse_and_check(source)
+    ir = build_ir(unit.programs[0])
+    stats = expand_pseudo(ir, use_liveness=use_liveness)
+    insert_offsets(ir)
+    align_memory_depths(ir)
+    assign_depths(ir)
+    return ir.max_depth(), stats.backups_needed
+
+
+def test_ablation_liveness(benchmark):
+    def run():
+        rows = {}
+        for name in ALL_PROGRAM_NAMES:
+            source = PROGRAMS[name].source
+            with_liveness = depth_with(source, True)
+            without = depth_with(source, False)
+            rows[name] = (with_liveness, without)
+        return rows
+
+    rows = once(benchmark, run)
+    banner("Ablation: register-lifetime elision of supportive-register backups")
+    widths = [10, 14, 14, 14, 14]
+    print(
+        fmt_row(
+            "program", "depth (live)", "depth (no)", "backups (live)", "backups (no)",
+            widths=widths,
+        )
+    )
+    total_saved = 0
+    for name, ((d1, b1), (d2, b2)) in rows.items():
+        total_saved += d2 - d1
+        print(fmt_row(name, d1, d2, b1, b2, widths=widths))
+    print(f"\ntotal stages saved across the library: {total_saved}")
+    # The optimization never hurts and saves stages where pseudo
+    # primitives appear (calc's SUB, hll's ANDI, nc/bf's MOVE...).
+    for name, ((d1, b1), (d2, b2)) in rows.items():
+        assert d1 <= d2
+        assert b1 <= b2
+    assert total_saved > 0
+    assert rows["calc"][1][0] > rows["calc"][0][0]  # calc benefits
+
+
+def test_ablation_recirculation_budget(benchmark):
+    def run():
+        outcome = {}
+        for r in (0, 1, 2):
+            spec = TargetSpec(max_recirculations=r)
+            solver = AllocationSolver(spec, UnlimitedResources(spec))
+            deployable = []
+            for name in ALL_PROGRAM_NAMES:
+                compiled = compile_source(PROGRAMS[name].source)  # translate only
+                try:
+                    solver.solve(compiled.problem, f1())
+                    deployable.append(name)
+                except AllocationError:
+                    pass
+            outcome[r] = deployable
+        return outcome
+
+    outcome = once(benchmark, run)
+    banner("Ablation: recirculation budget R vs deployable programs")
+    for r, names in outcome.items():
+        print(f"R={r}: {len(names)}/15 deployable; missing: "
+              f"{sorted(set(ALL_PROGRAM_NAMES) - set(names)) or '-'}")
+    # R=0 cannot host the two long programs; R=1 hosts all 15 (paper §6.3).
+    assert set(ALL_PROGRAM_NAMES) - set(outcome[0]) == {"hh", "nc"}
+    assert set(outcome[1]) == set(ALL_PROGRAM_NAMES)
+    assert set(outcome[2]) == set(ALL_PROGRAM_NAMES)
+
+
+def test_ablation_chain_vs_recirculation(benchmark):
+    """§4.1.3's deployment alternative: a 2-hop chain hosts the long
+    programs without recirculation, offers more logic RPBs, and avoids the
+    Fig. 11 throughput loss — at the price of rejecting programs that
+    revisit a virtual memory (each hop has its own arrays)."""
+    from repro.compiler.target import ChainSpec
+    from repro.controlplane import Controller
+
+    def run():
+        single_spec = TargetSpec()
+        chain_spec = ChainSpec(num_switches=2)
+        ctl_chain, _ = Controller.with_chain(2)
+        deployable = []
+        for name in ALL_PROGRAM_NAMES:
+            try:
+                handle = ctl_chain.deploy(PROGRAMS[name].source)
+                deployable.append((name, max(handle.stats.logic_rpbs)))
+            except AllocationError:
+                pass
+        return single_spec, chain_spec, deployable
+
+    single_spec, chain_spec, deployable = once(benchmark, run)
+    banner("Ablation: 2-hop switch chain vs single-switch recirculation")
+    widths = [26, 16, 16]
+    print(fmt_row("metric", "single (R=1)", "chain (2 hops)", widths=widths))
+    print(fmt_row("logic RPBs", single_spec.num_logic_rpbs, chain_spec.num_logic_rpbs, widths=widths))
+    print(fmt_row("ingress RPBs / pass", single_spec.num_ingress_rpbs, chain_spec.num_ingress_rpbs, widths=widths))
+    print(fmt_row("recirculation loss", "1-10% (Fig 11)", "none", widths=widths))
+    spill = [name for name, max_rpb in deployable if max_rpb > chain_spec.rpbs_per_switch]
+    print(f"deployable on the chain: {len(deployable)}/15; spanning both hops: {spill}")
+    assert chain_spec.num_logic_rpbs > single_spec.num_logic_rpbs
+    assert len(deployable) == 15
+    assert set(spill) == {"hh", "nc"}  # the two recirculating programs
+
+
+def test_ablation_address_translation(benchmark):
+    """Static cost of the three address-translation mechanisms (§4.1.2):
+    mask-based (ours) merges into existing actions; shift-based needs a
+    VLIW op per hash width per RPB; TCAM-based needs a translation table
+    per RPB."""
+
+    def run():
+        spec = TargetSpec()
+        rpbs = spec.num_rpbs
+        return {
+            # mask merged with hash action + offset sharing the SALU-flag
+            # action: no extra stages, 1 extra VLIW slot per RPB
+            "mask (P4runpro)": {"vliw": rpbs * 1, "tcam_blocks": 0, "stages": 0},
+            # shift per possible power-of-two size (16 widths) per RPB
+            "shift (FlyMon)": {"vliw": rpbs * 16, "tcam_blocks": 0, "stages": 0},
+            # TCAM translation table per RPB: 512 entries x 44b + action
+            "tcam (FlyMon)": {"vliw": rpbs * 2, "tcam_blocks": rpbs * 1, "stages": 0},
+        }
+
+    costs = once(benchmark, run)
+    banner("Ablation: address-translation mechanism cost (static estimate)")
+    widths = [18, 10, 14, 8]
+    print(fmt_row("mechanism", "VLIW", "TCAM blocks", "stages", widths=widths))
+    for name, cost in costs.items():
+        print(fmt_row(name, cost["vliw"], cost["tcam_blocks"], cost["stages"], widths=widths))
+    mask = costs["mask (P4runpro)"]
+    assert mask["vliw"] < costs["shift (FlyMon)"]["vliw"]
+    assert mask["tcam_blocks"] < costs["tcam (FlyMon)"]["tcam_blocks"]

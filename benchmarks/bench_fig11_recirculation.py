@@ -1,0 +1,100 @@
+"""Fig. 11: impact of recirculation on throughput and latency.
+
+Sweeps packet sizes 128-1500 B and recirculation iteration counts 0-6:
+maximum lossless throughput (recirculation-port model) and normalized RTT
+(added per-pass latency over a ~21 ms generator-stack baseline), plus a
+functional check that recirculating programs really make extra passes on
+the simulator.
+"""
+
+from _common import banner, fmt_row, once
+
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.rmt.packet import make_udp
+from repro.rmt.parser import default_parse_machine
+from repro.rmt.pipeline import Switch, SwitchConfig
+
+PACKET_SIZES = (128, 256, 512, 1024, 1500)
+ITERATIONS = tuple(range(7))
+BASE_RTT_MS = 21.0  # zero-queue RTT through the generator stack (§6.3)
+
+
+def sweep():
+    switch = Switch(default_parse_machine(), SwitchConfig())
+    throughput = {
+        size: [switch.max_lossless_throughput_gbps(size, k) for k in ITERATIONS]
+        for size in PACKET_SIZES
+    }
+    rtt = {
+        size: [
+            (BASE_RTT_MS + switch.added_latency_ms(k, size)) / BASE_RTT_MS
+            for k in ITERATIONS
+        ]
+        for size in PACKET_SIZES
+    }
+    return throughput, rtt
+
+
+def test_fig11_throughput_and_latency(benchmark):
+    throughput, rtt = once(benchmark, sweep)
+    banner("Fig. 11: recirculation impact")
+    widths = [10] + [9] * len(ITERATIONS)
+    print("max lossless throughput (Gbps) by recirculation iterations:")
+    print(fmt_row("size", *[f"R={k}" for k in ITERATIONS], widths=widths))
+    for size in PACKET_SIZES:
+        print(
+            fmt_row(
+                f"{size} B",
+                *[f"{v:.1f}" for v in throughput[size]],
+                widths=widths,
+            )
+        )
+    print("\nnormalized zero-queue RTT:")
+    print(fmt_row("size", *[f"R={k}" for k in ITERATIONS], widths=widths))
+    for size in PACKET_SIZES:
+        print(fmt_row(f"{size} B", *[f"{v:.3f}" for v in rtt[size]], widths=widths))
+
+    # Shape assertions (§6.3):
+    # R=1 loss between ~1% (1500 B) and ~10% (128 B).
+    loss_small = 1 - throughput[128][1] / 100.0
+    loss_large = 1 - throughput[1500][1] / 100.0
+    assert 0.05 < loss_small < 0.15
+    assert 0.005 < loss_large < 0.02
+    # Added latency at R=6 stays in the 0.5-1.5 ms band (2.2-7.2% growth).
+    for size in PACKET_SIZES:
+        growth = rtt[size][6] - 1.0
+        assert 0.02 < growth < 0.075
+    # Throughput monotonically decreases with iterations.
+    for size in PACKET_SIZES:
+        series = throughput[size]
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+
+def test_fig11_functional_recirculation(benchmark):
+    """hh and nc really recirculate once on the simulator; the other 13
+    programs complete in a single pass (paper: 13 of 15)."""
+
+    def run():
+        passes = {}
+        for name in ("hh", "nc", "cache", "lb", "cms"):
+            ctl, dataplane = Controller.with_simulator()
+            ctl.deploy(PROGRAMS[name].source)
+            if name in ("hh", "cms"):
+                pkt = make_udp(0x0A000001, 0x0B000001, 4000, 80)
+            elif name == "lb":
+                pkt = make_udp(0x0B000001, 0x0A000001, 4000, 80)
+            else:
+                from repro.rmt.packet import make_cache
+
+                pkt = make_cache(1, 2, op=1, key=0x9999)
+            passes[name] = dataplane.process(pkt).recirculations
+        return passes
+
+    passes = once(benchmark, run)
+    print("\nrecirculation passes per program:", passes)
+    assert passes["hh"] == 1
+    assert passes["nc"] == 1
+    assert passes["cache"] == 0
+    assert passes["lb"] == 0
+    assert passes["cms"] == 0

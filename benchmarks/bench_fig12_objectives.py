@@ -1,0 +1,84 @@
+"""Fig. 12 / Appendix C: alternative allocation objective functions.
+
+Deploys the all-mixed workload until failure under the four schemes —
+f1 = 0.7x_L - 0.3x_1 (default), f2 = x_L, f3 = x_L/x_1, and hierarchical
+(min x_L then max x_1) — and reports program capacity, resource
+utilization, and allocation delay for each.  Paper shapes: f3 wins
+capacity/utilization but pays an order of magnitude in delay (nonlinear),
+f2 and hierarchical pack ingress RPBs and stop earliest, f1 balances.
+"""
+
+from _common import banner, fmt_row, once, scaled
+
+from repro.analysis.experiments import compare_objectives
+from repro.compiler.objectives import f1, f2, f3, hierarchical
+
+
+def test_fig12_objectives(benchmark):
+    # Quick scale drives the data plane to genuine saturation fast by
+    # requesting entry-hungry programs (64 elastic case blocks); full scale
+    # uses the paper's 2 elastic blocks and runs to failure.
+    max_epochs = scaled(1200, 4000)
+    elastic = scaled(64, 2)
+    objectives = {
+        "f1=0.7xL-0.3x1": f1(),
+        "f2=xL": f2(),
+        "f3=xL/x1": f3(),
+        "hierarchical": hierarchical(),
+    }
+    rows = once(
+        benchmark,
+        lambda: compare_objectives(
+            objectives,
+            workload="all-mixed",
+            seed=1,
+            max_epochs=max_epochs,
+            elastic_blocks=elastic,
+        ),
+    )
+    banner(f"Fig. 12: objective functions, all-mixed workload (cap {max_epochs})")
+    widths = [16, 10, 10, 12, 14, 14]
+    print(
+        fmt_row(
+            "objective",
+            "capacity",
+            "memory %",
+            "entries %",
+            "mean alloc ms",
+            "p99 alloc ms",
+            widths=widths,
+        )
+    )
+    by_name = {}
+    for row in rows:
+        by_name[row.objective] = row
+        print(
+            fmt_row(
+                row.objective,
+                row.capacity,
+                f"{row.memory_utilization:.0%}",
+                f"{row.entry_utilization:.0%}",
+                f"{row.mean_allocation_ms:.2f}",
+                f"{row.p99_allocation_ms:.2f}",
+                widths=widths,
+            )
+        )
+    # Shape assertions from §6.2.4 / Appendix C: f3 achieves the largest
+    # program capacity and resource utilization; f2 and hierarchical are
+    # the weakest; f1 tracks the front-runners.
+    assert by_name["f3=xL/x1"].capacity >= by_name["f2=xL"].capacity
+    assert by_name["f3=xL/x1"].capacity >= by_name["hierarchical"].capacity
+    assert by_name["f1=0.7xL-0.3x1"].capacity >= by_name["f2=xL"].capacity
+    assert (
+        by_name["f3=xL/x1"].entry_utilization
+        >= by_name["f2=xL"].entry_utilization
+    )
+    print(
+        "\npaper: f3 best capacity/utilization but 1-10 s delays (Z3 on a "
+        "nonlinear objective); f2/hierarchical worst capacity (ingress-only"
+        " packing); f1 balances.\n"
+        "NOTE (documented in EXPERIMENTS.md): our endpoint-bounded branch-"
+        "and-bound solves the ratio objective efficiently, so f3's delay "
+        "penalty from the paper does not reproduce — the capacity and "
+        "utilization ordering does."
+    )

@@ -1,0 +1,202 @@
+"""Fig. 13: the four case studies on replayed traffic.
+
+(a) RX rate under runtime deploy/delete churn — flat for P4runpro, with a
+    visible blackout for the conventional workflow contrast curve;
+(b) in-network cache: function starts immediately at deploy time, 60%
+    hit traffic reflected;
+(c) stateless load balancer: load-imbalance rate drops to ~0 at deploy;
+(d) heavy-hitter detector: F1 score rises to 1.0 as heavy flows cross
+    the threshold.
+"""
+
+import statistics
+
+from _common import banner, fmt_row, once, scaled
+
+from repro.analysis.metrics import precision_recall
+from repro.baselines.conventional import ConventionalWorkflow
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS, source_with_memory
+from repro.rmt.packet import make_tcp, make_udp
+from repro.rmt.pipeline import Verdict
+from repro.traffic import (
+    CacheTrace,
+    CacheTraceConfig,
+    CampusTrace,
+    ReplayEngine,
+    ReplayEvent,
+    TraceConfig,
+    load_imbalance,
+    make_population,
+)
+
+DEPLOY_AT_S = 5.0
+
+
+def test_fig13a_impact_on_traffic(benchmark):
+    duration = scaled(10.0, 30.0)
+    samples = scaled(15, 40)
+
+    def run():
+        ctl, dataplane = Controller.with_simulator()
+        trace = CampusTrace(
+            make_population(seed=3),
+            TraceConfig(duration_s=duration, samples_per_window=samples),
+        )
+        deployed = []
+        events = []
+        names = [n for n in PROGRAMS if n != "nc"] * 4
+
+        def act(name):
+            def action():
+                if deployed and len(deployed) % 3 == 2:
+                    ctl.revoke(deployed.pop(0))
+                else:
+                    deployed.append(ctl.deploy(PROGRAMS[name].source))
+
+            return action
+
+        t = DEPLOY_AT_S
+        for name in names:
+            if t >= duration:
+                break
+            events.append(ReplayEvent(at_s=t, action=act(name)))
+            t += 0.5
+        stats = ReplayEngine(dataplane).run(trace.windows(), events)
+
+        # Contrast: a conventional reprovision at the same time.
+        ctl2, dataplane2 = Controller.with_simulator()
+        workflow = ConventionalWorkflow()
+        workflow.deploy("cache", p4_loc=77, at_s=DEPLOY_AT_S)
+        trace2 = CampusTrace(
+            make_population(seed=3),
+            TraceConfig(duration_s=duration, samples_per_window=5),
+        )
+        contrast = ReplayEngine(
+            dataplane2, blackout=lambda t: not workflow.traffic_available(t)
+        ).run(trace2.windows())
+        return stats, contrast
+
+    stats, contrast = once(benchmark, run)
+    banner("Fig. 13(a): RX rate during runtime program deploy/delete churn")
+    print("time(s)  P4runpro RX/offered   conventional RX/offered")
+    step = max(len(stats) // 20, 1)
+    for ours, theirs in list(zip(stats, contrast))[::step]:
+        print(
+            f"{ours.start_s:6.2f}   {ours.rx_mbps:7.1f}/{ours.offered_mbps:7.1f}"
+            f"      {theirs.rx_mbps:7.1f}/{theirs.offered_mbps:7.1f}"
+        )
+    # P4runpro never loses a byte; the conventional switch blacks out.
+    for s in stats:
+        assert s.rx_mbps == s.offered_mbps or abs(s.rx_mbps - s.offered_mbps) < 1e-6
+    blacked = [s for s in contrast if s.rx_mbps == 0 and s.start_s >= DEPLOY_AT_S]
+    assert blacked, "conventional reprovision must stop traffic"
+
+
+def test_fig13b_in_network_cache(benchmark):
+    duration = scaled(10.0, 30.0)
+
+    def run():
+        ctl, dataplane = Controller.with_simulator()
+        trace = CacheTrace(
+            CacheTraceConfig(duration_s=duration, samples_per_window=scaled(25, 40))
+        )
+
+        def deploy():
+            handle = ctl.deploy(PROGRAMS["cache"].source)
+            ctl.write_memory(handle, "mem1", 128, 0xCAFE)
+
+        stats = ReplayEngine(dataplane).run(
+            trace.windows(), [ReplayEvent(at_s=DEPLOY_AT_S, action=deploy)]
+        )
+        return stats
+
+    stats = once(benchmark, run)
+    banner("Fig. 13(b): in-network cache (hit rate 0.6, 100 Mbps reads)")
+    before = [s for s in stats if s.start_s < DEPLOY_AT_S]
+    after = [s for s in stats if s.start_s > DEPLOY_AT_S + 0.25]
+    rx_before = statistics.mean(s.rx_mbps for s in before)
+    rx_after = statistics.mean(s.rx_mbps for s in after)
+    reflected_after = statistics.mean(s.reflected_mbps for s in after)
+    print(f"RX before deploy: {rx_before:.1f} Mbps (all forwarded to server)")
+    print(f"RX after deploy:  {rx_after:.1f} Mbps  reflected: {reflected_after:.1f} Mbps")
+    print("paper: hit rate 0.6 -> 60 Mbps reflected to clients, 40 Mbps RX")
+    assert rx_before == statistics.mean(s.offered_mbps for s in before)
+    assert reflected_after / (rx_after + reflected_after) == statistics.mean(
+        [0.6]
+    ) or abs(reflected_after / (rx_after + reflected_after) - 0.6) < 0.08
+
+
+def test_fig13c_load_balancer(benchmark):
+    duration = scaled(10.0, 30.0)
+
+    def run():
+        ctl, dataplane = Controller.with_simulator()
+
+        def deploy():
+            handle = ctl.deploy(PROGRAMS["lb"].source)
+            for addr in range(256):
+                ctl.write_memory(handle, "port_pool", addr, addr % 2)
+                ctl.write_memory(handle, "dip_pool", addr, 0x0A00B000 + addr % 2)
+
+        population = make_population(num_flows=4096, heavy_flows=0, seed=5)
+        trace = CampusTrace(
+            population,
+            TraceConfig(duration_s=duration, samples_per_window=scaled(40, 80)),
+        )
+        return ReplayEngine(dataplane).run(
+            trace.windows(), [ReplayEvent(at_s=DEPLOY_AT_S, action=deploy)]
+        )
+
+    stats = once(benchmark, run)
+    banner("Fig. 13(c): stateless load balancer imbalance rate")
+    after = [s for s in stats if s.start_s > DEPLOY_AT_S + 0.25]
+    imbalance = statistics.mean(load_imbalance(s, 0, 1) for s in after)
+    print(f"mean |rx0-rx1|/total after deploy: {imbalance:.3f} (paper: ~0)")
+    assert imbalance < 0.2
+
+
+def test_fig13d_heavy_hitter(benchmark):
+    threshold = scaled(64, 1024)
+    packets = scaled(20_000, 400_000)
+
+    def run():
+        ctl, dataplane = Controller.with_simulator()
+        source = (
+            source_with_memory("hh", scaled(1024, 1024))
+            .replace("LOADI(har, 1024)", f"LOADI(har, {threshold})")
+            .replace(
+                "case(<har, 1024, 0xffffffff>)",
+                f"case(<har, {threshold}, 0xffffffff>)",
+            )
+        )
+        ctl.deploy(source)
+        population = make_population(
+            num_flows=4096, heavy_flows=100, heavy_share=0.75, seed=6
+        )
+        detected = set()
+        sent: dict[tuple, int] = {}
+        f1_series = []
+        check_every = packets // 20
+        for index, flow in enumerate(population.sample(packets)):
+            sent[flow.five_tuple] = sent.get(flow.five_tuple, 0) + 1
+            maker = make_udp if flow.proto == 17 else make_tcp
+            pkt = maker(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port)
+            result = dataplane.process(pkt)
+            if result.verdict is Verdict.TO_CPU:
+                detected.add(pkt.five_tuple())
+            if (index + 1) % check_every == 0:
+                crossed = {t for t, n in sent.items() if n >= threshold}
+                _p, _r, f1 = precision_recall(detected, crossed)
+                f1_series.append((index + 1, f1, len(crossed)))
+        return f1_series
+
+    f1_series = once(benchmark, run)
+    banner(f"Fig. 13(d): heavy-hitter F1 score over time (threshold {threshold})")
+    print(fmt_row("packets", "F1", "ground truth", widths=[10, 8, 12]))
+    for count, f1, truth in f1_series:
+        print(fmt_row(count, f"{f1:.3f}", truth, widths=[10, 8, 12]))
+    # F1 rapidly reaches ~1 once heavy flows cross the threshold.
+    final_f1 = f1_series[-1][1]
+    assert final_f1 > 0.95
+    assert f1_series[-1][2] >= 50  # a meaningful heavy set crossed

@@ -1,0 +1,66 @@
+"""Fig. 18 / Fig. 19 (Appendix C): per-RPB memory and table-entry
+utilization heatmaps during continuous all-mixed deployment.
+
+Prints text heatmaps (one row per RPB, one column per epoch segment) and
+checks the appendix's observations: the default objective fills ingress
+RPB entries ahead of egress ones (the reason forwarding-bound allocations
+eventually fail), and memory allocation is non-uniform (first-fit).
+"""
+
+import statistics
+
+from _common import banner, once, scaled
+
+from repro.analysis.experiments import continuous_deployment
+
+SHADES = " .:-=+*#%@"
+
+
+def render(per_segment: list[list[float]], title: str) -> None:
+    print(f"\n{title} (rows: RPB 1-22, cols: epoch segments, shade = utilization)")
+    num_rpbs = len(per_segment[0])
+    for rpb in range(num_rpbs):
+        row = "".join(
+            SHADES[min(int(seg[rpb] * (len(SHADES) - 1) + 0.5), len(SHADES) - 1)]
+            for seg in per_segment
+        )
+        marker = "ingress" if rpb < 10 else "egress"
+        print(f"  rpb{rpb + 1:<3d} |{row}| {marker}")
+
+
+def segment(results, field: str, segments: int = 12) -> list[list[float]]:
+    snaps = [getattr(r, field) for r in results if getattr(r, field)]
+    size = max(len(snaps) // segments, 1)
+    out = []
+    for i in range(0, len(snaps), size):
+        chunk = snaps[i : i + size]
+        out.append([statistics.mean(s[j] for s in chunk) for j in range(22)])
+    return out
+
+
+def test_fig18_19_heatmaps(benchmark):
+    epochs = scaled(250, 2500)
+    results = once(
+        benchmark,
+        lambda: continuous_deployment(
+            "all-mixed", epochs, snapshot_rpbs=True, stop_on_failure=True, seed=1
+        ),
+    )
+    banner(f"Fig. 18/19: per-RPB utilization heatmaps ({len(results)} epochs)")
+    memory_segments = segment(results, "per_rpb_memory")
+    entry_segments = segment(results, "per_rpb_entries")
+    render(memory_segments, "Fig. 18: memory utilization per RPB")
+    render(entry_segments, "Fig. 19: table-entry utilization per RPB")
+
+    final_entries = results[-1].per_rpb_entries
+    final_memory = results[-1].per_rpb_memory
+    ingress_entries = statistics.mean(final_entries[:10])
+    egress_entries = statistics.mean(final_entries[10:])
+    print(
+        f"\nfinal entry utilization: ingress {ingress_entries:.1%} "
+        f"vs egress {egress_entries:.1%}"
+    )
+    # Appendix C: under f1 the ingress RPBs' entries fill ahead of egress.
+    assert ingress_entries > egress_entries
+    # First-fit memory allocation is non-uniform across RPBs.
+    assert statistics.pstdev(final_memory) > 0.01

@@ -1,0 +1,85 @@
+"""Fig. 9: program capacity (how many programs run concurrently).
+
+Sweeps the cache / lb / hh / nc / all-mixed workloads over the paper's
+parameter grid: requested memory 1,024 / 2,048 / 4,096 B (256 / 512 /
+1,024 buckets) and 2 / 16 / 256 elastic case blocks.  Quick scale caps the
+per-configuration search; full scale deploys to failure like the paper
+(capacities ~0.6K for nc up to ~2.8K for lb).
+"""
+
+from _common import banner, fmt_row, once, scaled
+
+from repro.analysis.experiments import program_capacity
+
+WORKLOADS = ("cache", "lb", "hh", "nc", "all-mixed")
+
+
+def run(max_epochs):
+    rows = []
+    # Memory sweep at 2 elastic blocks.
+    for buckets in (256, 512, 1024):
+        for workload in WORKLOADS:
+            rows.append(
+                program_capacity(
+                    workload,
+                    memory_buckets=buckets,
+                    elastic_blocks=2,
+                    max_epochs=max_epochs,
+                    seed=1,
+                )
+            )
+    # Elastic sweep at 1,024 B.
+    for elastic in (16, 256):
+        for workload in WORKLOADS:
+            rows.append(
+                program_capacity(
+                    workload,
+                    memory_buckets=256,
+                    elastic_blocks=elastic,
+                    max_epochs=max_epochs,
+                    seed=1,
+                )
+            )
+    return rows
+
+
+def test_fig9_capacity(benchmark):
+    max_epochs = scaled(150, 4000)
+    rows = once(benchmark, lambda: run(max_epochs))
+    banner(f"Fig. 9: program capacity (per-config cap {max_epochs})")
+    widths = [10, 12, 10, 10, 10, 10]
+    print(
+        fmt_row(
+            "workload", "memory (B)", "elastic", "capacity", "mem %", "entries %", widths=widths
+        )
+    )
+    table = {}
+    for row in rows:
+        table[(row.workload, row.memory_buckets, row.elastic_blocks)] = row
+        print(
+            fmt_row(
+                row.workload,
+                row.memory_buckets * 4,
+                row.elastic_blocks,
+                row.capacity if row.capacity < max_epochs else f">={max_epochs}",
+                f"{row.memory_utilization:.0%}",
+                f"{row.entry_utilization:.0%}",
+                widths=widths,
+            )
+        )
+    # Shape assertions from §6.2.3:
+    # 1. The capacity ordering: simple lb >= complex nc.
+    assert table[("lb", 256, 2)].capacity >= table[("nc", 256, 2)].capacity
+    # 2. Doubling the memory does not halve the capacity.
+    base = table[("hh", 256, 2)].capacity
+    doubled = table[("hh", 512, 2)].capacity
+    if base < max_epochs and doubled < max_epochs:
+        assert doubled > base / 2
+    # 3. Elastic blocks hit capacity harder than memory (entry scarcity).
+    cache_elastic = table[("cache", 256, 256)].capacity
+    cache_memory = table[("cache", 1024, 2)].capacity
+    assert cache_elastic <= cache_memory
+    print(
+        "\npaper: ~2.8K (lb), ~0.6K (nc), 77-1351 (all-mixed); elastic "
+        "blocks dominate because TCAM entries are scarcer than SRAM"
+    )

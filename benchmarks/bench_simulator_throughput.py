@@ -1,0 +1,70 @@
+"""Supplementary micro-benchmark: simulator packet throughput.
+
+Not a paper artifact — a substrate quality metric.  Measures how many
+packets per second the simulated data plane processes with 1 and with 15
+resident programs, and the per-deploy cost of the full control-plane
+path.  Useful to size the case-study experiments and catch performance
+regressions in the table/PHV hot paths.
+"""
+
+import time
+
+from _common import banner, fmt_row, once
+
+from repro.controlplane import Controller
+from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
+from repro.rmt.packet import make_cache, make_udp
+
+
+def pps(dataplane, packets, repeats=3):
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for packet in packets:
+            dataplane.process(packet.clone())
+        elapsed = time.perf_counter() - start
+        best = max(best, len(packets) / elapsed)
+    return best
+
+
+def test_packet_throughput(benchmark):
+    def run():
+        results = {}
+        packets = [make_udp(i + 1, 2, 1000 + i, 80) for i in range(500)]
+        cache_packets = [make_cache(1, 2, op=1, key=i) for i in range(500)]
+
+        ctl, dataplane = Controller.with_simulator()
+        results["idle (no programs)"] = pps(dataplane, packets)
+
+        ctl.deploy(PROGRAMS["cache"].source)
+        results["1 program (cache traffic)"] = pps(dataplane, cache_packets)
+
+        for name in ALL_PROGRAM_NAMES:
+            if name != "cache":
+                ctl.deploy(PROGRAMS[name].source)
+        results["15 programs (cache traffic)"] = pps(dataplane, cache_packets)
+        results["15 programs (plain UDP)"] = pps(dataplane, packets)
+        return results
+
+    results = once(benchmark, run)
+    banner("Simulator throughput (packets/second, single core)")
+    for label, rate in results.items():
+        print(fmt_row(label, f"{rate:,.0f} pps", widths=[30, 16]))
+    # Program-count scaling must stay sane thanks to the program-ID index.
+    assert results["15 programs (cache traffic)"] > results["1 program (cache traffic)"] * 0.3
+    assert results["idle (no programs)"] > 2000
+
+
+def test_deploy_rate(benchmark):
+    def run():
+        ctl = Controller()
+        start = time.perf_counter()
+        count = 60
+        for i in range(count):
+            handle = ctl.deploy(PROGRAMS[("lb", "cms", "l3route")[i % 3]].source)
+        return count / (time.perf_counter() - start)
+
+    rate = once(benchmark, run)
+    banner("Control-plane deploy rate (compile + allocate + install)")
+    print(f"{rate:.1f} deployments/second")
+    assert rate > 5

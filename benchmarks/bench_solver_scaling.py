@@ -1,0 +1,98 @@
+"""Supplementary micro-benchmark: allocation-solver scaling.
+
+Backs up the §6.2.1 claim that P4runpro's allocation complexity "is not
+sensitive to the number of allocated resources but increases with the
+depth of the input AST": sweeps program depth and resource pressure
+independently and reports solve times and node counts.
+"""
+
+import statistics
+import time
+
+from _common import banner, fmt_row, once
+
+from repro.compiler.allocation import AllocationProblem
+from repro.compiler.objectives import f1
+from repro.compiler.solver import AllocationSolver
+from repro.compiler.target import TargetSpec, UnlimitedResources
+
+
+def make_problem(depths: int, forwarding_tail: bool = True) -> AllocationProblem:
+    forwarding = {depths} if forwarding_tail and depths > 1 else set()
+    return AllocationProblem(
+        program=f"synthetic{depths}",
+        num_depths=depths,
+        te_req={d: 2 for d in range(1, depths + 1)},
+        forwarding_depths=forwarding,
+        memory_sizes={"m": 256},
+        memory_depths={"m": [max(depths // 2, 1)]},
+        sequential_pairs=[],
+    )
+
+
+class PressuredView:
+    """Fixed fraction of every RPB's entries already consumed."""
+
+    def __init__(self, spec: TargetSpec, used_fraction: float):
+        self._free = int(spec.rpb_table_size * (1 - used_fraction))
+        self._mem = spec.rpb_memory_size
+
+    def free_entries(self, phys):
+        return self._free
+
+    def can_allocate_memory(self, phys, sizes):
+        return sum(sizes) <= self._mem
+
+
+def solve_ms(problem, view, spec, repeats=30):
+    solver = AllocationSolver(spec, view)
+    times = []
+    nodes = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = solver.solve(problem, f1())
+        times.append((time.perf_counter() - t0) * 1e3)
+        nodes = result.nodes_explored
+    return statistics.mean(times), nodes
+
+
+def test_depth_scaling(benchmark):
+    spec = TargetSpec()
+    view = UnlimitedResources(spec)
+
+    def run():
+        return {
+            depths: solve_ms(make_problem(depths), view, spec)
+            for depths in (2, 4, 8, 12, 16, 20, 24)
+        }
+
+    rows = once(benchmark, run)
+    banner("Solver scaling: allocation time vs program depth (free chip)")
+    print(fmt_row("depth L", "mean ms", "nodes", widths=[10, 12, 10]))
+    for depths, (ms, nodes) in rows.items():
+        print(fmt_row(depths, f"{ms:.3f}", nodes, widths=[10, 12, 10]))
+    # Cost grows with depth...
+    assert rows[24][1] > rows[2][1]
+    # ...but stays interactive even at the domain's edge.
+    assert rows[24][0] < 100.0
+
+
+def test_pressure_insensitivity(benchmark):
+    """Occupancy changes feasibility, not asymptotics: solve time under
+    0% / 50% / 90% entry pressure stays the same order of magnitude."""
+    spec = TargetSpec()
+    problem = make_problem(10)
+
+    def run():
+        return {
+            fraction: solve_ms(problem, PressuredView(spec, fraction), spec)
+            for fraction in (0.0, 0.5, 0.9)
+        }
+
+    rows = once(benchmark, run)
+    banner("Solver scaling: allocation time vs pre-existing entry pressure")
+    print(fmt_row("pressure", "mean ms", "nodes", widths=[10, 12, 10]))
+    for fraction, (ms, nodes) in rows.items():
+        print(fmt_row(f"{fraction:.0%}", f"{ms:.3f}", nodes, widths=[10, 12, 10]))
+    times = [ms for ms, _nodes in rows.values()]
+    assert max(times) < max(min(times), 0.2) * 20

@@ -1,0 +1,52 @@
+"""Table 2: pipeline latency (cycles), worst-case power, traffic limit load.
+
+P4runpro's row is computed from the built simulator data plane; ActiveRMT
+and FlyMon run the same latency/power models over their published
+configurations (see repro.baselines.profiles).
+"""
+
+from _common import banner, fmt_row, once
+
+from repro.baselines.profiles import all_profiles
+
+PAPER = {
+    "P4runpro": ((306, 316, 622), (19.32, 21.42, 40.74), 0.98),
+    "ActiveRMT": ((312, 308, 620), (23.36, 20.34, 43.70), 0.91),
+    "FlyMon": ((54, 282, 336), (0.0, 34.05, 34.05), 1.00),
+}
+
+
+def test_table2(benchmark):
+    profiles = once(benchmark, all_profiles)
+    banner("Table 2: latency / worst-case power / traffic limit load")
+    widths = [11, 22, 22, 10, 24]
+    print(
+        fmt_row(
+            "system", "latency in/eg/total", "power in/eg/total", "load", "paper (lat, W, load)",
+            widths=widths,
+        )
+    )
+    by_name = {}
+    for profile in profiles:
+        by_name[profile.name] = profile
+        paper_lat, paper_pw, paper_load = PAPER[profile.name]
+        print(
+            fmt_row(
+                profile.name,
+                "/".join(str(c) for c in profile.latency_cycles),
+                "/".join(f"{w:.2f}" for w in profile.power_watts),
+                f"{profile.traffic_limit_load:.1%}",
+                f"{paper_lat[2]}cy {paper_pw[2]:.1f}W {paper_load:.0%}",
+                widths=widths,
+            )
+        )
+    # Shape assertions (who wins / orderings from the paper).
+    assert by_name["P4runpro"].latency_cycles[2] == 622
+    assert by_name["P4runpro"].power_watts[2] < by_name["ActiveRMT"].power_watts[2]
+    assert by_name["FlyMon"].traffic_limit_load == 1.0
+    assert (
+        by_name["FlyMon"].traffic_limit_load
+        > by_name["P4runpro"].traffic_limit_load
+        > by_name["ActiveRMT"].traffic_limit_load
+    )
+    assert by_name["FlyMon"].latency_cycles[2] < by_name["P4runpro"].latency_cycles[2]

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""SwitchML-style in-network aggregation via the MULTICAST extension.
+
+The paper (§7) observes that "implementing the simple aggregation logic
+in SwitchML requires only modifying P4runpro to support multicast" — this
+reproduction implements that extension.  Four ML workers stream gradient
+chunks to the switch; the switch sums each chunk in-network, absorbs the
+first three arrivals, and multicasts the aggregate back to all workers on
+the fourth — cutting the all-reduce traffic at the host NICs by 4x.
+
+Run:  python examples/in_network_aggregation.py
+"""
+
+import random
+
+from repro.controlplane import Controller
+from repro.rmt.packet import make_cache
+from repro.rmt.parser import default_parse_machine
+from repro.rmt.pipeline import Verdict
+
+NUM_WORKERS = 4
+WORKER_PORTS = [10, 11, 12, 13]
+CHUNKS = 16
+AGG_PORT = 9999
+
+AGGREGATION_PROGRAM = f"""
+@ agg_val 256
+@ agg_cnt 256
+program mlagg(
+    <hdr.udp.dst_port, {AGG_PORT}, 0xffff>) {{
+    EXTRACT(hdr.nc.key2, har);  //chunk index
+    HASH_MEM(agg_val);          //aggregation slot
+    EXTRACT(hdr.nc.val, sar);   //worker's partial gradient
+    MEMADD(agg_val);            //sum in-network
+    MODIFY(hdr.nc.val, sar);    //carry the running sum
+    LOADI(sar, 1);
+    MEMADD(agg_cnt);            //count arrivals for this chunk
+    BRANCH:
+    case(<sar, {NUM_WORKERS}, 0xffffffff>) {{
+        MULTICAST(1);           //round complete: broadcast the aggregate
+    }}
+    DROP;                       //absorb intermediate arrivals
+}}
+"""
+
+
+def main() -> None:
+    controller, dataplane = Controller.with_simulator(
+        parse_machine=default_parse_machine(nc_port=AGG_PORT)
+    )
+    controller.configure_multicast_group(1, WORKER_PORTS)
+    handle = controller.deploy(AGGREGATION_PROGRAM)
+    print(f"deployed aggregation program in {handle.stats.total_ms:.2f} ms "
+          f"({handle.stats.entries} entries)")
+
+    rng = random.Random(1)
+    gradients = [
+        [rng.randrange(1, 100) for _ in range(CHUNKS)] for _ in range(NUM_WORKERS)
+    ]
+    expected = [sum(worker[c] for worker in gradients) for c in range(CHUNKS)]
+
+    absorbed = 0
+    broadcast = []
+    # Workers interleave chunk transmissions, as they would over a fabric.
+    sends = [
+        (worker, chunk)
+        for chunk in range(CHUNKS)
+        for worker in range(NUM_WORKERS)
+    ]
+    rng.shuffle(sends)
+    # ... but per chunk the arrival order is preserved by the shuffle above
+    # only within workers; aggregation is order-independent anyway.
+    for worker, chunk in sends:
+        pkt = make_cache(
+            0x0A000000 + worker,
+            0x0A00FF01,
+            op=3,
+            key=chunk,
+            value=gradients[worker][chunk],
+            dst_port=AGG_PORT,
+        )
+        result = dataplane.process(pkt)
+        if result.verdict is Verdict.DROP:
+            absorbed += 1
+        elif result.verdict is Verdict.MULTICAST:
+            broadcast.append((chunk, result.packet.get_field("hdr.nc.val")))
+
+    print(f"\n{len(sends)} gradient packets sent; {absorbed} absorbed in-switch, "
+          f"{len(broadcast)} aggregates multicast to {WORKER_PORTS}")
+    ok = all(value == expected[chunk] for chunk, value in broadcast)
+    for chunk, value in sorted(broadcast)[:5]:
+        print(f"  chunk {chunk:2d}: aggregate {value:4d} (expected {expected[chunk]})")
+    print("  ...")
+    assert ok and len(broadcast) == CHUNKS
+    print(f"\nall {CHUNKS} aggregates exact; host-side receive traffic cut "
+          f"{NUM_WORKERS}x (workers receive 1 aggregate instead of "
+          f"{NUM_WORKERS} partials per chunk).")
+
+
+if __name__ == "__main__":
+    main()

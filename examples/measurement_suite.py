@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""An on-demand network measurement suite (the FlyMon-style use case,
+but runtime-composed from general P4runpro primitives).
+
+Deploys a heavy-hitter detector, a Count-Min Sketch, and a SuMax sketch,
+each monitoring its own subnet (P4runpro executes one program per packet
+— §7's parallel-execution limitation — so unrelated monitors watch
+disjoint traffic slices).  Replays heavy-tailed traffic, then reads the
+sketches back through the control plane's address translation and
+compares them with ground truth.
+
+Run:  python examples/measurement_suite.py
+"""
+
+from collections import Counter
+
+from repro.controlplane import Controller
+from repro.programs import source_with_memory
+from repro.rmt.hashing import HashUnit
+from repro.rmt.packet import make_tcp, make_udp
+from repro.rmt.pipeline import Verdict
+from repro.traffic import make_population
+
+THRESHOLD = 64
+PACKETS_PER_SUBNET = 6_000
+
+HH_SUBNET = 0x0A000000  # 10.0/16 -> heavy-hitter detector
+CMS_SUBNET = 0x0A010000  # 10.1/16 -> Count-Min Sketch
+SUMAX_SUBNET = 0x0A020000  # 10.2/16 -> SuMax
+
+
+def subnet_filter(source: str, subnet: int) -> str:
+    """Point a catch-all program at one /16 of source addresses."""
+    return source.replace(
+        "<hdr.ipv4.ttl, 0, 0x0>", f"<hdr.ipv4.src, {subnet:#x}, 0xffff0000>"
+    )
+
+
+def replay(dataplane, subnet: int, seed: int):
+    population = make_population(
+        num_flows=1024, heavy_flows=20, heavy_share=0.7, subnet=subnet, seed=seed
+    )
+    truth: Counter = Counter()
+    max_len: dict[tuple, int] = {}
+    reported = set()
+    for flow in population.sample(PACKETS_PER_SUBNET):
+        truth[flow.five_tuple] += 1
+        maker = make_udp if flow.proto == 17 else make_tcp
+        size = 80 + (hash(flow.five_tuple) % 600)
+        pkt = maker(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port, size=size)
+        max_len[flow.five_tuple] = max(
+            max_len.get(flow.five_tuple, 0), pkt.get_field("hdr.ipv4.len")
+        )
+        result = dataplane.process(pkt)
+        if result.verdict is Verdict.TO_CPU:
+            reported.add(pkt.five_tuple())
+    return truth, max_len, reported
+
+
+def main() -> None:
+    controller, dataplane = Controller.with_simulator()
+
+    # The operator edits program text at deploy time: thresholds, memory
+    # sizes, and traffic filters are all just source until deployment.
+    hh_source = (
+        source_with_memory("hh", 1024)
+        .replace("LOADI(har, 1024)", f"LOADI(har, {THRESHOLD})")
+        .replace("case(<har, 1024, 0xffffffff>)", f"case(<har, {THRESHOLD}, 0xffffffff>)")
+    )
+    controller.deploy(hh_source)
+    cms = controller.deploy(subnet_filter(source_with_memory("cms", 1024), CMS_SUBNET))
+    sumax = controller.deploy(
+        subnet_filter(source_with_memory("sumax", 1024), SUMAX_SUBNET)
+    )
+    print(f"deployed: hh on 10.0/16 (threshold {THRESHOLD}), cms on 10.1/16, "
+          f"sumax on 10.2/16 — {len(controller.running_programs())} programs running")
+
+    # Heavy-hitter subnet.
+    truth_hh, _, reported = replay(dataplane, HH_SUBNET, seed=9)
+    crossed = {t for t, n in truth_hh.items() if n >= THRESHOLD}
+    print(f"\nheavy hitters: {len(reported)} reported / {len(crossed)} crossed threshold")
+    print(f"  missed: {len(crossed - reported)}   spurious: {len(reported - crossed)}")
+
+    # CMS subnet: compare estimates against ground truth.
+    truth_cms, _, _ = replay(dataplane, CMS_SUBNET, seed=10)
+    mask = 1023
+    row1, row2 = HashUnit("crc_16_buypass"), HashUnit("crc_16_mcrf4xx")
+    print("\nCount-Min Sketch estimates (top-5 flows in 10.1/16):")
+    print("  flow                                     true    cms-est")
+    for five_tuple, count in truth_cms.most_common(5):
+        est = min(
+            controller.read_memory(cms, "cms_row1", row1.hash_five_tuple(five_tuple) & mask),
+            controller.read_memory(cms, "cms_row2", row2.hash_five_tuple(five_tuple) & mask),
+        )
+        src, dst, proto, sport, dport = five_tuple
+        label = f"{src:>10x}->{dst:<10x} {proto}/{sport}->{dport}"
+        print(f"  {label:40s} {count:6d} {est:9d}")
+        assert est >= count, "CMS must never underestimate"
+
+    # SuMax subnet: stored maxima match the largest packet per flow.
+    truth_sm, max_len, _ = replay(dataplane, SUMAX_SUBNET, seed=11)
+    print("\nSuMax stored maxima (top-3 flows in 10.2/16):")
+    exact = 0
+    for five_tuple, _count in truth_sm.most_common(3):
+        stored = controller.read_memory(
+            sumax, "sumax_row1", row1.hash_five_tuple(five_tuple) & mask
+        )
+        flag = "==" if stored == max_len[five_tuple] else ">="
+        exact += stored == max_len[five_tuple]
+        print(f"  true max {max_len[five_tuple]:5d}  stored {stored:5d}  ({flag}: "
+              "collisions only ever raise the stored value)")
+        assert stored >= max_len[five_tuple]
+
+    print("\nall three measurement programs ran concurrently on one fixed "
+          "data plane — no recompilation, no traffic disturbance.")
+
+
+if __name__ == "__main__":
+    main()

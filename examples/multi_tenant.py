@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Multi-tenant switch: isolated per-tenant programs on one data plane.
+
+Three tenants each rent a slice of the switch: tenant A runs an
+in-network cache, tenant B a rate limiter (written from scratch below),
+tenant C a calculator service.  Each gets its own program ID, table
+entries, and virtual memory — the cloud-native scenario of §2.1.  Tenant
+B churns (leaves and re-joins) without the others noticing, and tenant
+B's successor observes zeroed memory.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache, make_calc, make_udp
+from repro.rmt.pipeline import Verdict
+
+#: Tenant B's program, written from scratch: a per-flow rate limiter on
+#: UDP port 9000 that drops flows beyond 50 packets.
+RATE_LIMITER = """
+@ rl_counts 256
+program ratelimit(
+    <hdr.udp.dst_port, 9000, 0xffff>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(rl_counts);
+    MEMADD(rl_counts);          //per-flow packet count
+    LOADI(har, 50);             //budget
+    MIN(har, sar);
+    BRANCH:
+    case(<har, 50, 0xffffffff>) {
+        DROP;                   //over budget
+    }
+    FORWARD(4);
+}
+"""
+
+
+def main() -> None:
+    controller, dataplane = Controller.with_simulator()
+
+    tenant_a = controller.deploy(PROGRAMS["cache"].source)
+    tenant_b = controller.deploy(RATE_LIMITER)
+    tenant_c = controller.deploy(PROGRAMS["calc"].source)
+    print("tenants deployed:")
+    for handle in (tenant_a, tenant_b, tenant_c):
+        print(f"  #{handle.program_id} {handle.name:10s} "
+              f"RPBs {handle.stats.logic_rpbs} ({handle.stats.entries} entries)")
+    util = controller.utilization()
+    print(f"switch utilization: memory {util['memory']:.1%}, entries {util['entries']:.1%}")
+
+    # Tenant A's cache works.
+    dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=99))
+    read = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+    print(f"\ntenant A cache read -> {read.verdict.value}, "
+          f"value={read.packet.get_field('hdr.nc.val')}")
+
+    # Tenant B's rate limiter admits 50 packets per flow, then drops.
+    flow = lambda: make_udp(0x0B000001, 0x0B000002, 5555, 9000)
+    verdicts = [dataplane.process(flow()).verdict for _ in range(60)]
+    admitted = sum(1 for v in verdicts if v is Verdict.FORWARD)
+    dropped = sum(1 for v in verdicts if v is Verdict.DROP)
+    print(f"tenant B rate limiter: {admitted} admitted, {dropped} dropped (budget 50)")
+
+    # Tenant C's calculator answers.
+    calc = dataplane.process(make_calc(1, 2, op=1, a=40, b=2))
+    print(f"tenant C calc 40+2 -> {calc.packet.get_field('hdr.calc.result')}")
+
+    # Tenant B churns: revoked (memory locked, zeroed, freed) and replaced
+    # — tenants A and C never notice.
+    print(f"\ntenant B leaves ({controller.revoke(tenant_b):.2f} ms)...")
+    read = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+    assert read.packet.get_field("hdr.nc.val") == 99, "tenant A disturbed!"
+    tenant_b2 = controller.deploy(RATE_LIMITER)
+    fresh = [dataplane.process(flow()).verdict for _ in range(10)]
+    assert all(v is Verdict.FORWARD for v in fresh), "stale tenant state leaked!"
+    print(f"tenant B' joins as #{tenant_b2.program_id}: fresh counters, "
+          "tenant A's cache still warm — full isolation.")
+
+
+if __name__ == "__main__":
+    main()

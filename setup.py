@@ -1,0 +1,7 @@
+"""Legacy shim: lets `pip install -e .` fall back to setuptools' develop
+mode in offline environments that lack the `wheel` package (modern
+PEP 660 editable installs need it to build the editable wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""P4runpro reproduction: runtime programmability for RMT switches.
+
+Top-level facade re-exporting the most-used entry points:
+
+    from repro import Controller, PROGRAMS
+    controller, dataplane = Controller.with_simulator()
+    controller.deploy(PROGRAMS["cache"].source)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .compiler import (
+    ChainSpec,
+    CompileOptions,
+    TargetSpec,
+    compile_source,
+    emit_p4,
+    f1,
+    f2,
+    f3,
+    hierarchical,
+)
+from .controlplane import Controller, DeployedProgram
+from .programs import ALL_PROGRAM_NAMES, PROGRAMS, source_with_memory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROGRAM_NAMES",
+    "ChainSpec",
+    "CompileOptions",
+    "Controller",
+    "DeployedProgram",
+    "PROGRAMS",
+    "TargetSpec",
+    "compile_source",
+    "emit_p4",
+    "f1",
+    "f2",
+    "f3",
+    "hierarchical",
+    "source_with_memory",
+]

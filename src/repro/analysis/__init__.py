@@ -1,0 +1,41 @@
+"""Analysis helpers shared by tests and benchmarks."""
+
+from .experiments import (
+    CapacityResult,
+    EpochResult,
+    ObjectiveComparison,
+    compare_objectives,
+    continuous_deployment,
+    pick_program,
+    program_capacity,
+)
+from .metrics import f1_score, moving_average, precision_recall
+from .sketches import (
+    bf_contains,
+    bf_false_positive_rate,
+    cms_error_bound,
+    cms_estimate,
+    hll_estimate,
+    hll_standard_error,
+    sumax_query,
+)
+
+__all__ = [
+    "CapacityResult",
+    "EpochResult",
+    "ObjectiveComparison",
+    "compare_objectives",
+    "continuous_deployment",
+    "bf_contains",
+    "bf_false_positive_rate",
+    "cms_error_bound",
+    "cms_estimate",
+    "f1_score",
+    "hll_estimate",
+    "hll_standard_error",
+    "moving_average",
+    "pick_program",
+    "precision_recall",
+    "program_capacity",
+    "sumax_query",
+]

@@ -1,0 +1,218 @@
+"""Shared experiment runners for the paper's evaluation (§6.2, Appendix C).
+
+Benchmarks stay thin wrappers around these functions, and the integration
+tests exercise the same code paths at reduced scale.
+
+Workload conventions follow §6.2: ``cache``, ``lb``, ``hh`` are the named
+workloads; ``mixed`` picks one of those three at random per epoch;
+``all-mixed`` picks any of the 15 library programs.  Unless stated
+otherwise programs request 1,024 B of memory (256 32-bit buckets) and 2
+elastic case blocks, matching the paper's defaults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..compiler.compiler import CompileOptions
+from ..compiler.objectives import Objective, f1
+from ..controlplane.controller import Controller
+from ..lang.errors import AllocationError, P4runproError
+from ..controlplane.freelist import OutOfMemoryError
+from ..programs import library
+
+DEFAULT_MEMORY_BUCKETS = 256  # 1,024 B
+DEFAULT_ELASTIC_BLOCKS = 2
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one deployment epoch."""
+
+    epoch: int
+    program: str
+    success: bool
+    allocation_ms: float
+    update_ms: float
+    memory_utilization: float
+    entry_utilization: float
+    per_rpb_memory: list[float] = field(default_factory=list)
+    per_rpb_entries: list[float] = field(default_factory=list)
+
+
+def pick_program(workload: str, rng: random.Random) -> str:
+    """Resolve a workload name to a concrete program for this epoch."""
+    if workload == "mixed":
+        return rng.choice(library.WORKLOAD_PROGRAMS)
+    if workload == "all-mixed":
+        return rng.choice(library.ALL_PROGRAM_NAMES)
+    if workload in library.PROGRAMS:
+        return workload
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def deploy_options(
+    info: library.ProgramInfo,
+    *,
+    elastic_blocks: int | None,
+    objective: Objective | None,
+) -> CompileOptions:
+    options = CompileOptions(objective=objective)
+    if elastic_blocks is not None and info.elastic_branch is not None:
+        options.elastic_branch = info.elastic_branch
+        options.elastic_cases = elastic_blocks
+    return options
+
+
+def continuous_deployment(
+    workload: str,
+    epochs: int,
+    *,
+    memory_buckets: int = DEFAULT_MEMORY_BUCKETS,
+    elastic_blocks: int | None = DEFAULT_ELASTIC_BLOCKS,
+    objective: Objective | None = None,
+    stop_on_failure: bool = False,
+    seed: int = 1,
+    controller: Controller | None = None,
+    snapshot_rpbs: bool = False,
+) -> list[EpochResult]:
+    """Deploy ``epochs`` programs sequentially on one controller.
+
+    This is the engine behind Fig. 7(a) (allocation delay), Fig. 8
+    (utilization until failure, pass ``stop_on_failure=True``), Fig. 9
+    (capacity), Fig. 12 (objective comparison), and Fig. 18/19 (pass
+    ``snapshot_rpbs=True``).  Failed allocations record ``success=False``
+    with ``allocation_ms=0`` — the paper's convention ("when allocation
+    fails, the allocation time is set to 0").
+    """
+    rng = random.Random(seed)
+    ctl = controller or Controller()
+    objective = objective or f1()
+    results: list[EpochResult] = []
+    for epoch in range(epochs):
+        name = pick_program(workload, rng)
+        info = library.get(name)
+        source = library.source_with_memory(name, memory_buckets)
+        options = deploy_options(
+            info, elastic_blocks=elastic_blocks, objective=objective
+        )
+        try:
+            deployed = ctl.deploy(source, options=options)
+            result = EpochResult(
+                epoch=epoch,
+                program=name,
+                success=True,
+                allocation_ms=deployed.stats.allocation_ms,
+                update_ms=deployed.stats.update_ms,
+                memory_utilization=ctl.manager.memory_utilization(),
+                entry_utilization=ctl.manager.entry_utilization(),
+            )
+        except (AllocationError, OutOfMemoryError, P4runproError):
+            result = EpochResult(
+                epoch=epoch,
+                program=name,
+                success=False,
+                allocation_ms=0.0,
+                update_ms=0.0,
+                memory_utilization=ctl.manager.memory_utilization(),
+                entry_utilization=ctl.manager.entry_utilization(),
+            )
+        if snapshot_rpbs:
+            snap = ctl.manager.utilization_snapshot()
+            result.per_rpb_memory = snap["memory"]
+            result.per_rpb_entries = snap["entries"]
+        results.append(result)
+        if stop_on_failure and not result.success:
+            break
+    return results
+
+
+@dataclass
+class CapacityResult:
+    workload: str
+    memory_buckets: int
+    elastic_blocks: int
+    capacity: int
+    memory_utilization: float
+    entry_utilization: float
+
+
+def program_capacity(
+    workload: str,
+    *,
+    memory_buckets: int = DEFAULT_MEMORY_BUCKETS,
+    elastic_blocks: int = DEFAULT_ELASTIC_BLOCKS,
+    objective: Objective | None = None,
+    seed: int = 1,
+    max_epochs: int = 4000,
+) -> CapacityResult:
+    """Deploy until the first failure; capacity = successful deployments
+    (Fig. 9)."""
+    results = continuous_deployment(
+        workload,
+        max_epochs,
+        memory_buckets=memory_buckets,
+        elastic_blocks=elastic_blocks,
+        objective=objective,
+        stop_on_failure=True,
+        seed=seed,
+    )
+    successes = [r for r in results if r.success]
+    last = results[-1]
+    return CapacityResult(
+        workload=workload,
+        memory_buckets=memory_buckets,
+        elastic_blocks=elastic_blocks,
+        capacity=len(successes),
+        memory_utilization=last.memory_utilization,
+        entry_utilization=last.entry_utilization,
+    )
+
+
+@dataclass
+class ObjectiveComparison:
+    objective: str
+    capacity: int
+    memory_utilization: float
+    entry_utilization: float
+    mean_allocation_ms: float
+    p99_allocation_ms: float
+
+
+def compare_objectives(
+    objectives: dict[str, Objective],
+    *,
+    workload: str = "all-mixed",
+    seed: int = 1,
+    max_epochs: int = 4000,
+    elastic_blocks: int = DEFAULT_ELASTIC_BLOCKS,
+) -> list[ObjectiveComparison]:
+    """Deploy the all-mixed workload until failure under each objective
+    (Fig. 12 / Appendix C)."""
+    rows = []
+    for name, objective in objectives.items():
+        results = continuous_deployment(
+            workload,
+            max_epochs,
+            objective=objective,
+            elastic_blocks=elastic_blocks,
+            stop_on_failure=True,
+            seed=seed,
+        )
+        delays = sorted(r.allocation_ms for r in results if r.success)
+        successes = len(delays)
+        last = results[-1]
+        mean = sum(delays) / successes if successes else 0.0
+        p99 = delays[min(successes - 1, int(successes * 0.99))] if successes else 0.0
+        rows.append(
+            ObjectiveComparison(
+                objective=name,
+                capacity=successes,
+                memory_utilization=last.memory_utilization,
+                entry_utilization=last.entry_utilization,
+                mean_allocation_ms=mean,
+                p99_allocation_ms=p99,
+            )
+        )
+    return rows

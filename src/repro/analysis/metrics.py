@@ -1,0 +1,40 @@
+"""Analysis helpers: scores and smoothing used by the evaluation."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def moving_average(values: Sequence[float], window: int = 31) -> list[float]:
+    """Centered moving average with edge shrinking (paper Fig. 7(a) uses
+    a window of 31 over the allocation-delay series)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    half = window // 2
+    out = []
+    n = len(values)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n, i + half + 1)
+        out.append(sum(values[lo:hi]) / (hi - lo))
+    return out
+
+
+def f1_score(true_positives: int, false_positives: int, false_negatives: int) -> float:
+    """F1 = 2TP / (2TP + FP + FN); 0 when undefined."""
+    denom = 2 * true_positives + false_positives + false_negatives
+    if denom == 0:
+        return 0.0
+    return 2 * true_positives / denom
+
+
+def precision_recall(
+    detected: set, ground_truth: set
+) -> tuple[float, float, float]:
+    """(precision, recall, f1) of a detection set vs ground truth."""
+    tp = len(detected & ground_truth)
+    fp = len(detected - ground_truth)
+    fn = len(ground_truth - detected)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    return precision, recall, f1_score(tp, fp, fn)

@@ -1,0 +1,128 @@
+"""Control-plane decoders for the in-switch measurement programs.
+
+The data plane maintains raw sketch state (CMS counters, Bloom bits, SuMax
+maxima, HLL rank registers); turning that state into answers — frequency
+estimates, membership, cardinality — is the control plane's job, fed by
+``Controller.snapshot_memory``.  These decoders implement the standard
+estimators from the papers the programs cite (Cormode-Muthukrishnan CMS,
+Flajolet et al. HyperLogLog).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..rmt.hashing import HashUnit
+
+#: The CRC variants the entry generator assigns to a program's hash ops in
+#: depth order (mirrors dataplane.constants.HASH_ALGORITHM_CYCLE).
+ROW_ALGORITHMS = ("crc_16_buypass", "crc_16_mcrf4xx", "crc_aug_ccitt", "crc_16_dds_110")
+
+
+def _row_units(rows: int) -> list[HashUnit]:
+    return [HashUnit(ROW_ALGORITHMS[i % len(ROW_ALGORITHMS)]) for i in range(rows)]
+
+
+# ---------------------------------------------------------------------------
+# Count-Min Sketch
+# ---------------------------------------------------------------------------
+def cms_estimate(
+    rows: list[list[int]], five_tuple: tuple[int, int, int, int, int]
+) -> int:
+    """Point query: min over each row's hashed counter.
+
+    ``rows`` are the memory snapshots of the program's CMS rows, in
+    declaration order (matching the hash-unit assignment).
+    """
+    if not rows:
+        raise ValueError("need at least one CMS row")
+    units = _row_units(len(rows))
+    estimate = None
+    for row, unit in zip(rows, units):
+        index = unit.hash_five_tuple(five_tuple) & (len(row) - 1)
+        value = row[index]
+        estimate = value if estimate is None else min(estimate, value)
+    return int(estimate or 0)
+
+
+def cms_error_bound(rows: list[list[int]], confidence: float = 0.95) -> float:
+    """The classic CMS additive-error bound: eps * N with
+    eps = e / width, holding with probability 1 - (1/e)^depth."""
+    if not rows:
+        raise ValueError("need at least one CMS row")
+    width = len(rows[0])
+    total = sum(rows[0])
+    return math.e / width * total
+
+
+# ---------------------------------------------------------------------------
+# Bloom filter
+# ---------------------------------------------------------------------------
+def bf_contains(
+    rows: list[list[int]], five_tuple: tuple[int, int, int, int, int]
+) -> bool:
+    """Membership: every row's hashed bit must be set."""
+    if not rows:
+        raise ValueError("need at least one Bloom row")
+    units = _row_units(len(rows))
+    for row, unit in zip(rows, units):
+        index = unit.hash_five_tuple(five_tuple) & (len(row) - 1)
+        if not row[index]:
+            return False
+    return True
+
+
+def bf_false_positive_rate(rows: list[list[int]]) -> float:
+    """Estimated FPR from the observed fill fractions: prod(fill_i)."""
+    rate = 1.0
+    for row in rows:
+        rate *= sum(1 for bit in row if bit) / len(row)
+    return rate
+
+
+# ---------------------------------------------------------------------------
+# SuMax
+# ---------------------------------------------------------------------------
+def sumax_query(
+    rows: list[list[int]], five_tuple: tuple[int, int, int, int, int]
+) -> int:
+    """Per-flow maximum estimate: min over rows (collisions only inflate)."""
+    if not rows:
+        raise ValueError("need at least one SuMax row")
+    units = _row_units(len(rows))
+    return min(
+        row[unit.hash_five_tuple(five_tuple) & (len(row) - 1)]
+        for row, unit in zip(rows, units)
+    )
+
+
+# ---------------------------------------------------------------------------
+# HyperLogLog
+# ---------------------------------------------------------------------------
+def hll_alpha(m: int) -> float:
+    """Bias-correction constant (Flajolet et al. 2007)."""
+    if m <= 16:
+        return 0.673
+    if m <= 32:
+        return 0.697
+    if m <= 64:
+        return 0.709
+    return 0.7213 / (1 + 1.079 / m)
+
+
+def hll_estimate(registers: list[int]) -> float:
+    """Cardinality estimate from rank registers, with the standard
+    small-range (linear counting) correction."""
+    m = len(registers)
+    if m == 0 or m & (m - 1):
+        raise ValueError("register count must be a power of two")
+    raw = hll_alpha(m) * m * m / sum(2.0 ** -rank for rank in registers)
+    zeros = registers.count(0)
+    if raw <= 2.5 * m and zeros:
+        return m * math.log(m / zeros)
+    return raw
+
+
+def hll_standard_error(m: int) -> float:
+    """Relative standard error ~ 1.04 / sqrt(m)."""
+    return 1.04 / math.sqrt(m)

@@ -1,0 +1,59 @@
+"""Baseline systems the paper compares against: ActiveRMT, FlyMon, and
+the conventional compile-time P4 workflow."""
+
+from .activermt import (
+    ACTIVE_HEADER_BYTES,
+    ActiveAllocationError,
+    ActiveProgram,
+    ActiveRMTAllocator,
+    ActiveRMTTiming,
+    AllocationOutcome,
+    WORKLOADS,
+    goodput_fraction,
+)
+from .conventional import ConventionalWorkflow, ReprovisionEvent
+from .netvrm import FixedApplicationSetError, NetVRM, VRMApplication
+from .flymon import (
+    FlyMonController,
+    FlyMonTiming,
+    MeasurementTask,
+    TASKS,
+    TaskDeployment,
+    UNSUPPORTED,
+    UnsupportedTaskError,
+)
+from .profiles import (
+    SystemProfile,
+    activermt_profile,
+    all_profiles,
+    flymon_profile,
+    p4runpro_profile,
+)
+
+__all__ = [
+    "ACTIVE_HEADER_BYTES",
+    "ActiveAllocationError",
+    "ActiveProgram",
+    "ActiveRMTAllocator",
+    "ActiveRMTTiming",
+    "AllocationOutcome",
+    "ConventionalWorkflow",
+    "FixedApplicationSetError",
+    "FlyMonController",
+    "FlyMonTiming",
+    "MeasurementTask",
+    "NetVRM",
+    "ReprovisionEvent",
+    "SystemProfile",
+    "TASKS",
+    "TaskDeployment",
+    "UNSUPPORTED",
+    "VRMApplication",
+    "UnsupportedTaskError",
+    "WORKLOADS",
+    "activermt_profile",
+    "all_profiles",
+    "flymon_profile",
+    "goodput_fraction",
+    "p4runpro_profile",
+]

@@ -1,0 +1,269 @@
+"""ActiveRMT baseline (Das & Snoeren, SIGCOMM 2023), reimplemented.
+
+ActiveRMT runs *active programs* — capsule-based instruction sequences
+attached to every packet — and its allocator manages only memory: table
+matching is simulated by memory loads and comparisons.  The properties the
+paper's comparison leans on, all reproduced here:
+
+* **Fair worst-fit memory allocation with elastic remapping**: a new
+  program may shrink the memory of existing *elastic* programs down to
+  their minimum share; the allocator re-evaluates every resident program
+  when it does, so allocation time grows with the number of allocated
+  programs (Fig. 7(a): beyond 1 s after hundreds of arrivals).
+* **Fixed allocation granularity**: memory is carved in fixed-size blocks;
+  finer granularity means more candidate placements to score, so
+  allocation gets *slower* as granularity shrinks (Fig. 7(b)) — unlike
+  P4runpro, whose solver cost is insensitive to the requested size.
+* **Per-packet overhead**: every packet carries an active header (capsule),
+  inflating wire size and costing end hosts header attach/strip work —
+  the throughput overhead of §6.3 and Table 2.
+
+The allocator below follows the published "least constraint" scheme:
+enumerate candidate stage subsets for the program's memory objects, score
+each by how much it constrains future allocations (a pass over all
+resident programs), and pick the least constraining one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+#: ActiveRMT's pipeline shape: 20 stages usable for active instructions.
+NUM_STAGES = 20
+STAGE_MEMORY = 65536  # 32-bit buckets per stage
+
+#: Per-packet active header (capsule) bytes attached by the end host.
+ACTIVE_HEADER_BYTES = 24
+
+
+class ActiveAllocationError(RuntimeError):
+    """No feasible memory allocation for the active program."""
+
+
+@dataclass(frozen=True)
+class ActiveProgram:
+    """An active program's resource demand."""
+
+    name: str
+    instructions: int
+    #: per-object memory demand, in buckets
+    memory_objects: tuple[int, ...]
+    #: elastic programs tolerate shrinking to min_share buckets per object
+    elastic: bool = False
+    min_share: int = 64
+
+
+#: Active-program models of the paper's workload programs (cache is the
+#: elastic one — ActiveRMT "treats the program cache as an elastic
+#: program, allowing its memory to be subtracted for new programs", §6.2.2).
+WORKLOADS: dict[str, ActiveProgram] = {
+    "cache": ActiveProgram("cache", instructions=30, memory_objects=(256,), elastic=True),
+    "lb": ActiveProgram("lb", instructions=22, memory_objects=(256, 256)),
+    "hh": ActiveProgram("hh", instructions=38, memory_objects=(256, 256, 256, 256)),
+}
+
+
+@dataclass
+class Residency:
+    """One allocated program instance."""
+
+    program: ActiveProgram
+    #: (stage, base, size) per memory object
+    placements: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class AllocationOutcome:
+    program: str
+    success: bool
+    delay_s: float
+    stages: tuple[int, ...] = ()
+    remapped_programs: int = 0
+
+
+class ActiveRMTAllocator:
+    """Fair worst-fit allocator with elastic remapping."""
+
+    def __init__(self, *, granularity: int = 256, memory_size: int = STAGE_MEMORY):
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+        self.blocks_per_stage = memory_size // granularity
+        self.memory_size = memory_size
+        self.free_blocks = [self.blocks_per_stage] * NUM_STAGES
+        #: per-stage block occupancy bitmaps: placement scans these for a
+        #: contiguous first-fit run, so finer granularity (more blocks)
+        #: genuinely costs more search — the Fig. 7(b) effect
+        self._bitmap: list[list[bool]] = [
+            [False] * self.blocks_per_stage for _ in range(NUM_STAGES)
+        ]
+        self.resident: list[Residency] = []
+        #: stage -> [(residency, size)] index so subset scoring only walks
+        #: the residents actually sharing a candidate stage
+        self._stage_residents: list[list[tuple[Residency, int]]] = [
+            [] for _ in range(NUM_STAGES)
+        ]
+
+    # -- public API ----------------------------------------------------------
+    def allocate(self, program: ActiveProgram) -> AllocationOutcome:
+        """Place a program; measured wall time is the allocation delay."""
+        start = time.perf_counter()
+        blocks_needed = [self._blocks(size) for size in program.memory_objects]
+        placement = self._least_constraint_placement(blocks_needed)
+        remapped = 0
+        if placement is None:
+            remapped = self._remap_elastic(sum(blocks_needed))
+            placement = self._least_constraint_placement(blocks_needed)
+        elapsed = time.perf_counter() - start
+        if placement is None:
+            return AllocationOutcome(program.name, False, elapsed)
+        subset, offsets = placement
+        residency = Residency(program)
+        for stage, blocks, offset in zip(subset, blocks_needed, offsets):
+            self.free_blocks[stage] -= blocks
+            for block in range(offset, offset + blocks):
+                self._bitmap[stage][block] = True
+            base = offset * self.granularity
+            residency.placements.append((stage, base, blocks * self.granularity))
+            self._stage_residents[stage].append((residency, blocks * self.granularity))
+        self.resident.append(residency)
+        return AllocationOutcome(
+            program.name, True, elapsed, tuple(subset), remapped
+        )
+
+    def memory_utilization(self) -> float:
+        used = sum(self.blocks_per_stage - free for free in self.free_blocks)
+        return used / (self.blocks_per_stage * NUM_STAGES)
+
+    def program_count(self) -> int:
+        return len(self.resident)
+
+    # -- scheme internals -------------------------------------------------------
+    def _blocks(self, size: int) -> int:
+        return -(-size // self.granularity)
+
+    def _first_fit(self, stage: int, need: int) -> int | None:
+        """Scan the stage's block bitmap for a contiguous free run.
+
+        This per-block scan is where fixed-granularity allocation pays:
+        finer granularity means more blocks to walk, and a fuller stage
+        means longer occupied prefixes — both measured by Fig. 7.
+        """
+        bitmap = self._bitmap[stage]
+        run = 0
+        for index, used in enumerate(bitmap):
+            run = 0 if used else run + 1
+            if run == need:
+                return index - need + 1
+        return None
+
+    def _least_constraint_placement(
+        self, blocks_needed: list[int]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+        """Enumerate ordered stage subsets; pick the least-constraining one.
+
+        Memory objects must land on distinct stages in instruction order
+        (ActiveRMT's program order maps to increasing stages).  The score
+        of a candidate is how tightly it squeezes both the remaining free
+        pool and the resident programs' headroom — evaluating it walks all
+        residents, which is what makes allocation slow down as programs
+        accumulate.
+        """
+        num_objects = len(blocks_needed)
+        if num_objects == 0:
+            return (), ()
+        best: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        best_score = float("inf")
+        stages = range(NUM_STAGES)
+        for subset in itertools.combinations(stages, num_objects):
+            feasible = all(
+                self.free_blocks[stage] >= need
+                for stage, need in zip(subset, blocks_needed)
+            )
+            if not feasible:
+                continue
+            offsets = []
+            for stage, need in zip(subset, blocks_needed):
+                offset = self._first_fit(stage, need)
+                if offset is None:
+                    break  # fragmented: counted blocks are not contiguous
+                offsets.append(offset)
+            if len(offsets) != num_objects:
+                continue
+            score = 0.0
+            for stage, need in zip(subset, blocks_needed):
+                remaining = self.free_blocks[stage] - need
+                # Worst-fit flavour: prefer leaving large runs (low score
+                # for stages with plenty of room left).
+                score += 1.0 / (1.0 + remaining)
+                # Constraint on residents: every resident with memory on
+                # this stage loses elastic headroom.  This walk is what
+                # makes ActiveRMT's allocation slow down as programs pile
+                # up (Fig. 7(a)).
+                for residency, r_size in self._stage_residents[stage]:
+                    headroom = r_size - residency.program.min_share
+                    score += 0.001 / (1.0 + headroom)
+            if score < best_score:
+                best_score = score
+                best = (subset, tuple(offsets))
+        return best
+
+    def _remap_elastic(self, blocks_wanted: int) -> int:
+        """Shrink elastic residents toward their fair share to free blocks.
+
+        Returns how many resident programs were remapped.  This is the
+        expensive path: it rewrites placements (and, on hardware, migrates
+        memory), touching every elastic program.
+        """
+        remapped = 0
+        freed = 0
+        for residency in self.resident:
+            if not residency.program.elastic:
+                continue
+            new_placements = []
+            for stage, base, size in residency.placements:
+                min_size = residency.program.min_share
+                shrinkable = (size - min_size) // self.granularity
+                if shrinkable > 0 and freed < blocks_wanted:
+                    take = min(shrinkable, blocks_wanted - freed)
+                    self.free_blocks[stage] += take
+                    # Release the trailing blocks of this placement.
+                    end_block = (base + size) // self.granularity
+                    for block in range(end_block - take, end_block):
+                        self._bitmap[stage][block] = False
+                    size -= take * self.granularity
+                    freed += take
+                    remapped += 1
+                new_placements.append((stage, base, size))
+            residency.placements = new_placements
+            if freed >= blocks_wanted:
+                break
+        return remapped
+
+
+# -- timing / overhead models ---------------------------------------------------
+@dataclass(frozen=True)
+class ActiveRMTTiming:
+    """Update-delay model: instruction-table entries plus memory-remap
+    migration dominate; calibrated to Table 1's ~200 ms updates."""
+
+    entry_ms: float = 0.62
+    instruction_entries_factor: int = 9  # entries per active instruction
+    remap_ms_per_program: float = 14.0
+    base_ms: float = 8.0
+
+    def update_delay_ms(self, program: ActiveProgram, remapped_programs: int = 0) -> float:
+        entries = program.instructions * self.instruction_entries_factor
+        return (
+            self.base_ms
+            + entries * self.entry_ms
+            + remapped_programs * self.remap_ms_per_program
+        )
+
+
+def goodput_fraction(packet_size: int) -> float:
+    """Fraction of wire bandwidth left for payload once every packet
+    carries the active header (the end-host/throughput overhead, §6.3)."""
+    return packet_size / (packet_size + ACTIVE_HEADER_BYTES)

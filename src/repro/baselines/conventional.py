@@ -1,0 +1,80 @@
+"""The conventional P4 workflow baseline (paper §2.1, §6.2.1, §6.4).
+
+Changing anything under the conventional workflow means: edit the
+monolithic P4 program, recompile it with P4C (minutes), reprovision the
+switch with the new binary (seconds), and re-enable ports — during which
+*all* traffic stops and *every* co-resident program restarts with cleared
+state.  The case studies (Fig. 13) compare P4runpro's in-place deployment
+against exactly this blackout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..controlplane.timing import ConventionalP4Timing
+
+
+@dataclass
+class ReprovisionEvent:
+    """One conventional redeploy and its traffic impact."""
+
+    started_at_s: float
+    compile_s: float
+    blackout_s: float
+
+    @property
+    def function_active_at_s(self) -> float:
+        """When the new program starts doing useful work."""
+        return self.started_at_s + self.blackout_s
+
+
+@dataclass
+class ConventionalWorkflow:
+    """A switch running one monolithic compile-time P4 image."""
+
+    timing: ConventionalP4Timing = field(default_factory=ConventionalP4Timing)
+    programs: list[str] = field(default_factory=list)
+    events: list[ReprovisionEvent] = field(default_factory=list)
+
+    def deploy(
+        self, program: str, p4_loc: int, at_s: float, *, precompiled: bool = True
+    ) -> ReprovisionEvent:
+        """Add a program: recompile (unless an image was prepared ahead of
+        time) and reprovision.  Every already-running program restarts."""
+        compile_s = 0.0 if precompiled else (
+            self.timing.compile_s_base + self.timing.compile_s_per_loc * p4_loc
+        )
+        event = ReprovisionEvent(
+            started_at_s=at_s + compile_s,
+            compile_s=compile_s,
+            blackout_s=self.timing.traffic_blackout_s,
+        )
+        self.programs.append(program)
+        self.events.append(event)
+        return event
+
+    def remove(self, program: str, at_s: float) -> ReprovisionEvent:
+        """Removing a program is also a full reprovision."""
+        self.programs.remove(program)
+        event = ReprovisionEvent(
+            started_at_s=at_s,
+            compile_s=0.0,
+            blackout_s=self.timing.traffic_blackout_s,
+        )
+        self.events.append(event)
+        return event
+
+    def traffic_available(self, t_s: float) -> bool:
+        """Whether the switch forwards traffic at simulated time ``t_s``."""
+        for event in self.events:
+            if event.started_at_s <= t_s < event.started_at_s + event.blackout_s:
+                return False
+        return True
+
+    def function_active(self, t_s: float) -> bool:
+        """Whether the most recently deployed program is operating."""
+        if not self.events:
+            return False
+        last = self.events[-1]
+        return t_s >= last.function_active_at_s

@@ -1,0 +1,102 @@
+"""NetVRM baseline (Zhu et al., NSDI 2022), utility-driven memory model.
+
+NetVRM virtualizes register memory for a *fixed* set of applications
+defined at compile time: each application owns a virtual register space
+whose physical backing grows and shrinks across reallocation epochs to
+maximize aggregate utility (diminishing-returns curves over memory).  The
+paper's positioning (§2.2): "NetVRM only supports dynamic memory of fixed
+applications which are predefined at compile-time" — it cannot admit new
+programs at runtime, the capability P4runpro adds.
+
+The model here captures what the comparison needs:
+
+* utility curves (concave, normalized) per application;
+* epoch-based water-filling reallocation maximizing total utility;
+* the fixed-application limitation, surfaced as a typed error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class FixedApplicationSetError(RuntimeError):
+    """NetVRM cannot admit applications after provisioning."""
+
+
+@dataclass(frozen=True)
+class VRMApplication:
+    """One compile-time application with a diminishing-returns utility.
+
+    ``utility(m) = weight * log2(1 + m / scale)`` — the log-shaped curves
+    NetVRM's evaluation uses for sketches (more memory, fewer collisions,
+    diminishing benefit).
+    """
+
+    name: str
+    weight: float = 1.0
+    scale: float = 1024.0
+    min_memory: int = 256
+
+    def utility(self, memory: int) -> float:
+        return self.weight * math.log2(1 + memory / self.scale)
+
+    def marginal_utility(self, memory: int, step: int) -> float:
+        return self.utility(memory + step) - self.utility(memory)
+
+
+@dataclass
+class NetVRM:
+    """The register-memory manager over a fixed application set."""
+
+    total_memory: int
+    applications: list[VRMApplication]
+    step: int = 256
+    provisioned: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        floor = sum(app.min_memory for app in self.applications)
+        if floor > self.total_memory:
+            raise ValueError("minimum shares exceed total memory")
+        self.allocation: dict[str, int] = {
+            app.name: app.min_memory for app in self.applications
+        }
+        self.provisioned = True
+
+    # -- the fixed-set limitation -----------------------------------------------
+    def admit(self, application: VRMApplication) -> None:
+        """Adding an application after provisioning is exactly what NetVRM
+        cannot do (and what motivates P4runpro)."""
+        raise FixedApplicationSetError(
+            "NetVRM's application set is fixed at compile time; deploying "
+            f"{application.name!r} requires reprovisioning the switch"
+        )
+
+    # -- epoch reallocation -------------------------------------------------------
+    def reallocate(self) -> dict[str, int]:
+        """Greedy water-filling: hand out memory in ``step`` chunks to the
+        application with the highest marginal utility until exhausted."""
+        allocation = {app.name: app.min_memory for app in self.applications}
+        remaining = self.total_memory - sum(allocation.values())
+        by_name = {app.name: app for app in self.applications}
+        while remaining >= self.step:
+            best = max(
+                self.applications,
+                key=lambda app: app.marginal_utility(allocation[app.name], self.step),
+            )
+            if by_name[best.name].marginal_utility(allocation[best.name], self.step) <= 0:
+                break
+            allocation[best.name] += self.step
+            remaining -= self.step
+        self.allocation = allocation
+        return dict(allocation)
+
+    def total_utility(self) -> float:
+        by_name = {app.name: app for app in self.applications}
+        return sum(
+            by_name[name].utility(memory) for name, memory in self.allocation.items()
+        )
+
+    def utilization(self) -> float:
+        return sum(self.allocation.values()) / self.total_memory

@@ -1,0 +1,111 @@
+"""Static resource/latency/power profiles for Fig. 10 and Table 2.
+
+P4runpro's numbers are computed from the actually-built simulated data
+plane (:func:`p4runpro_profile`).  ActiveRMT and FlyMon are not rebuilt on
+the simulator; their profiles are static usage vectors assembled from the
+shapes their papers describe (ActiveRMT: 20 memory-instruction stages with
+maxed VLIW and per-stage SALUs; FlyMon: 9 egress CMU groups, almost no
+ingress logic) and run through the *same* latency/power models — so the
+comparison differences come from the configurations, not from different
+formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rmt import resources
+from ..rmt.resources import ResourceUsage
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One system's Fig. 10 / Table 2 row set."""
+
+    name: str
+    utilization: dict[str, float]  # percent per resource
+    latency_cycles: tuple[int, int, int]  # ingress / egress / total
+    power_watts: tuple[float, float, float]
+    traffic_limit_load: float
+
+
+def _profile(name: str, ingress: ResourceUsage, egress: ResourceUsage) -> SystemProfile:
+    total = ingress + egress
+    total.phv_bits = ingress.phv_bits  # PHV is shared, not per-gress
+    util = resources.utilization_report(total)
+    latency = resources.latency_cycles(ingress.active_stages, egress.active_stages)
+    power_in = resources.power_watts(ingress)
+    power_eg = resources.power_watts(egress)
+    power = (power_in, power_eg, power_in + power_eg)
+    return SystemProfile(
+        name, util, latency, power, resources.traffic_limit_load(power[2])
+    )
+
+
+def p4runpro_profile() -> SystemProfile:
+    """Computed from the built simulator data plane."""
+    from ..dataplane.runpro import P4runproDataPlane
+
+    dataplane = P4runproDataPlane()
+    switch = dataplane.switch
+    ingress = resources.account_gress(switch, "ingress")
+    egress = resources.account_gress(switch, "egress")
+    ingress.phv_bits = switch.layout.used_bits()
+    return _profile("P4runpro", ingress, egress)
+
+
+def activermt_profile() -> SystemProfile:
+    """ActiveRMT: 20 active-instruction stages (10 per gress), each with a
+    wide instruction table, a SALU register array, hash units for address
+    computation, and fully used VLIW; plus capsule parse/strip stages."""
+    ingress = ResourceUsage(
+        sram_blocks=10 * 16 + 8,
+        tcam_blocks=10 * 20 + 10,  # instruction tables are wide and deep
+        vliw_slots=10 * 32 + 12,
+        salus=10,  # one per instruction stage (20 total vs P4runpro's 22)
+        hash_units=10 * 2,
+        ltids=10 * 2 + 2,
+        phv_bits=1350,  # capsule header + program state rides the PHV
+        active_stages=12,
+    )
+    egress = ResourceUsage(
+        sram_blocks=10 * 16 + 4,
+        tcam_blocks=10 * 16 + 2,
+        vliw_slots=10 * 32 + 6,
+        salus=10,
+        hash_units=10 * 2,
+        ltids=10 * 2,
+        phv_bits=0,
+        active_stages=12,
+    )
+    return _profile("ActiveRMT", ingress, egress)
+
+
+def flymon_profile() -> SystemProfile:
+    """FlyMon: measurement-only — 9 egress CMU groups (2 SALUs each),
+    nothing in ingress beyond basic forwarding."""
+    ingress = ResourceUsage(
+        sram_blocks=2,
+        tcam_blocks=1,
+        vliw_slots=4,
+        salus=0,
+        hash_units=0,
+        ltids=2,
+        phv_bits=700,
+        active_stages=1,
+    )
+    egress = ResourceUsage(
+        sram_blocks=9 * 4 * 16,  # CMU register arrays dominate
+        tcam_blocks=9 * 6,
+        vliw_slots=9 * 30,
+        salus=9 * 4,
+        hash_units=9 * 4,
+        ltids=9 * 3,
+        phv_bits=0,
+        active_stages=11,
+    )
+    return _profile("FlyMon", ingress, egress)
+
+
+def all_profiles() -> list[SystemProfile]:
+    return [p4runpro_profile(), activermt_profile(), flymon_profile()]

@@ -1,0 +1,283 @@
+"""The P4runpro runtime CLI (paper §5: "we implement a runtime CLI to
+interact with the P4runpro data plane").
+
+Commands operate on one controller session (simulated switch by default):
+
+    deploy <file> [--program NAME] [--objective f1|f2|f3|hierarchical]
+                  [--elastic N [--branch K]]
+    revoke <program-id>
+    list
+    show <program-id>                      # pretty-printed source + layout
+    trace <pcap-file> [index]             # per-op execution trace (Fig. 3)
+    mem read <program-id> <mid> <vaddr>
+    mem write <program-id> <mid> <vaddr> <value>
+    addcase <program-id> --cond reg,value,mask [--cond ...]
+            [--template K] [--loadi V ...]
+    util                                   # resource utilization
+    profile                                # Table-2 style static report
+
+Run interactively (``python -m repro.cli``) or scripted
+(``python -m repro.cli -c "deploy prog.rp" -c list``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import sys
+from pathlib import Path
+
+from .compiler.compiler import CompileOptions
+from .compiler.objectives import make_objective
+from .controlplane.controller import Controller, DeployedProgram
+from .lang.errors import P4runproError
+from .lang.printer import format_program
+
+
+class CLIError(Exception):
+    """User-facing command error."""
+
+
+class RuntimeCLI:
+    """A stateful command interpreter over one controller session."""
+
+    def __init__(self, controller: Controller | None = None, dataplane=None, *, out=None):
+        if controller is None:
+            controller, dataplane = Controller.with_simulator()
+        self.controller = controller
+        self.dataplane = dataplane
+        self.out = out or sys.stdout
+        self._handles: dict[int, DeployedProgram] = {}
+        self._cases: dict[int, list] = {}
+
+    # -- plumbing ----------------------------------------------------------------
+    def _print(self, *parts) -> None:
+        print(*parts, file=self.out)
+
+    def execute(self, line: str) -> bool:
+        """Run one command line; returns False when the session should end."""
+        try:
+            tokens = shlex.split(line, comments=True)
+        except ValueError as exc:
+            self._print(f"error: {exc}")
+            return True
+        if not tokens:
+            return True
+        command, *args = tokens
+        handler = getattr(self, f"cmd_{command.replace('-', '_')}", None)
+        if handler is None:
+            self._print(f"error: unknown command {command!r} (try 'help')")
+            return True
+        try:
+            return handler(args) is not False
+        except (CLIError, P4runproError, FileNotFoundError, KeyError, ValueError) as exc:
+            self._print(f"error: {exc}")
+            return True
+
+    def repl(self, stream=None) -> None:
+        stream = stream or sys.stdin
+        for line in stream:
+            if not self.execute(line):
+                break
+
+    # -- commands -------------------------------------------------------------------
+    def cmd_help(self, args) -> None:
+        self._print(__doc__)
+
+    def cmd_quit(self, args) -> bool:
+        return False
+
+    cmd_exit = cmd_quit
+
+    def cmd_deploy(self, args) -> None:
+        parser = argparse.ArgumentParser(prog="deploy", add_help=False)
+        parser.add_argument("file")
+        parser.add_argument("--program")
+        parser.add_argument("--objective", default="f1")
+        parser.add_argument("--elastic", type=int)
+        parser.add_argument("--branch", type=int, default=0)
+        ns = parser.parse_args(args)
+        source = Path(ns.file).read_text()
+        from .lang.diagnostics import check_source
+
+        diagnostics = check_source(source)
+        if diagnostics:
+            for diagnostic in diagnostics:
+                self._print(diagnostic)
+            return
+        options = CompileOptions(
+            objective=make_objective(ns.objective),
+            elastic_cases=ns.elastic,
+            elastic_branch=ns.branch,
+        )
+        handle = self.controller.deploy(
+            source, program_name=ns.program, options=options
+        )
+        self._handles[handle.program_id] = handle
+        stats = handle.stats
+        self._print(
+            f"deployed '{handle.name}' as #{handle.program_id}: "
+            f"alloc {stats.allocation_ms:.2f} ms, update {stats.update_ms:.2f} ms, "
+            f"{stats.entries} entries, RPBs {stats.logic_rpbs}"
+        )
+        for warning in stats.overlap_warnings:
+            self._print(f"warning: {warning}")
+
+    def cmd_revoke(self, args) -> None:
+        program_id = self._program_id(args)
+        delay = self.controller.revoke(program_id)
+        self._handles.pop(program_id, None)
+        self._cases.pop(program_id, None)
+        self._print(f"revoked #{program_id} in {delay:.2f} ms")
+
+    def cmd_list(self, args) -> None:
+        records = self.controller.running_programs()
+        if not records:
+            self._print("no programs running")
+            return
+        for record in records:
+            entries = len(record.batch)
+            memories = ", ".join(
+                f"{mid}@rpb{alloc.phys_rpb}+{alloc.base}"
+                for mid, alloc in sorted(record.memory.items())
+            )
+            self._print(
+                f"#{record.program_id:<4d} {record.name:12s} {record.state.value:10s} "
+                f"{entries:4d} entries  {memories or '-'}"
+            )
+
+    def cmd_show(self, args) -> None:
+        record = self.controller.manager.get(self._program_id(args))
+        self._print(format_program(record.compiled.program))
+        allocation = record.compiled.allocation
+        self._print(f"// logic RPBs: {allocation.x}")
+        self._print(f"// objective {allocation.objective_name} = "
+                    f"{allocation.objective_value:.3f}, "
+                    f"recirculations: {allocation.max_iteration}")
+
+    def cmd_mem(self, args) -> None:
+        if len(args) < 4:
+            raise CLIError("usage: mem read|write <id> <mid> <vaddr> [value]")
+        op, pid, mid, vaddr = args[0], int(args[1]), args[2], int(args[3], 0)
+        if op == "read":
+            value = self.controller.read_memory(pid, mid, vaddr)
+            self._print(f"{mid}[{vaddr}] = {value} ({value:#x})")
+        elif op == "write":
+            if len(args) < 5:
+                raise CLIError("mem write needs a value")
+            self.controller.write_memory(pid, mid, vaddr, int(args[4], 0))
+            self._print("ok")
+        else:
+            raise CLIError(f"unknown mem op {op!r}")
+
+    def cmd_addcase(self, args) -> None:
+        parser = argparse.ArgumentParser(prog="addcase", add_help=False)
+        parser.add_argument("program_id", type=int)
+        parser.add_argument("--cond", action="append", required=True)
+        parser.add_argument("--branch", type=int, default=0)
+        parser.add_argument("--template", type=int, default=0)
+        parser.add_argument("--loadi", action="append", type=lambda v: int(v, 0))
+        ns = parser.parse_args(args)
+        conditions = []
+        for cond in ns.cond:
+            register, value, mask = cond.split(",")
+            conditions.append((register, int(value, 0), int(mask, 0)))
+        case = self.controller.add_case(
+            ns.program_id,
+            conditions,
+            branch_index=ns.branch,
+            template_case=ns.template,
+            loadi_values=ns.loadi,
+        )
+        self._cases.setdefault(ns.program_id, []).append(case)
+        self._print(f"added case (branch id {case.branch_id}) to #{ns.program_id}")
+
+    def cmd_trace(self, args) -> None:
+        if not args:
+            raise CLIError("usage: trace <pcap-file> [packet-index]")
+        if self.dataplane is None or not hasattr(self.dataplane, "process"):
+            raise CLIError("no data plane attached to this session")
+        from .dataplane.tracing import capture_trace
+        from .rmt.wire import load_pcap
+
+        packets = load_pcap(args[0])
+        index = int(args[1]) if len(args) > 1 else 0
+        if not 0 <= index < len(packets):
+            raise CLIError(f"capture has {len(packets)} packets")
+        with capture_trace() as trace:
+            result = self.dataplane.process(packets[index])
+        self._print(trace.render() or "(no program owned this packet)")
+        ports = f" ports={list(result.egress_ports)}" if result.egress_ports else ""
+        self._print(
+            f"verdict: {result.verdict.value} "
+            f"(port {result.egress_port}{ports}, "
+            f"{result.recirculations} recirculation(s))"
+        )
+
+    def cmd_util(self, args) -> None:
+        util = self.controller.utilization()
+        self._print(
+            f"memory {util['memory']:.1%}   entries {util['entries']:.1%}"
+        )
+        snap = self.controller.manager.utilization_snapshot()
+        spec = self.controller.spec
+        for i, (mem, te) in enumerate(zip(snap["memory"], snap["entries"]), start=1):
+            # Physical RPB i is also logic RPB i (iteration/hop 0), so the
+            # spec's ingress test labels both single-switch and chain
+            # layouts correctly.
+            gress = "ingress" if spec.is_ingress(i) else "egress"
+            self._print(f"  rpb{i:<3d} ({gress:7s}) mem {mem:6.1%}  entries {te:6.1%}")
+
+    def cmd_profile(self, args) -> None:
+        from .baselines.profiles import p4runpro_profile
+
+        profile = p4runpro_profile()
+        self._print(f"latency (cycles): {profile.latency_cycles}")
+        self._print(
+            "power (W): "
+            + "/".join(f"{w:.2f}" for w in profile.power_watts)
+            + f"  traffic limit load {profile.traffic_limit_load:.1%}"
+        )
+        for key, value in profile.utilization.items():
+            self._print(f"  {key:12s} {value:5.1f}%")
+
+    # -- helpers ---------------------------------------------------------------------
+    def _program_id(self, args) -> int:
+        if not args:
+            raise CLIError("missing program id")
+        return int(args[0])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="P4runpro runtime CLI")
+    parser.add_argument(
+        "-c",
+        "--command",
+        action="append",
+        default=[],
+        help="run a command and continue (repeatable); no REPL if given",
+    )
+    parser.add_argument(
+        "--chain",
+        type=int,
+        metavar="HOPS",
+        help="drive a switch chain of HOPS recirculation-free switches "
+        "instead of a single switch",
+    )
+    ns = parser.parse_args(argv)
+    if ns.chain:
+        controller, dataplane = Controller.with_chain(ns.chain)
+        cli = RuntimeCLI(controller, dataplane)
+    else:
+        cli = RuntimeCLI()
+    if ns.command:
+        for command in ns.command:
+            cli.execute(command)
+        return 0
+    print("P4runpro runtime CLI — 'help' for commands, 'quit' to exit")
+    cli.repl()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

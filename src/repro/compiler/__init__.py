@@ -1,0 +1,89 @@
+"""P4runpro compiler: translation, allocation, and entry generation."""
+
+from .allocation import AllocationProblem, build_problem, op_entry_cost
+from .compiler import (
+    CompileOptions,
+    CompiledProgram,
+    compile_program,
+    compile_source,
+    parse_and_check,
+)
+from .entries import EntryBatch, EntryConfig, EntryGenerator, KeySpec, required_bitmap
+from .ir import CaseInfo, Op, Path, ProgramIR, assign_depths, build_ir
+from .liveness import compute_live_out, reads_writes
+from .objectives import (
+    OBJECTIVES,
+    Hierarchical,
+    Objective,
+    RatioEndpoints,
+    WeightedEndpoints,
+    f1,
+    f2,
+    f3,
+    hierarchical,
+    make_objective,
+)
+from .p4gen import check_structure, emit_p4, p4_loc
+from .solver import AllocationResult, AllocationSolver
+from .target import ChainSpec, ResourceView, TargetSpec, UnlimitedResources
+from .translate import (
+    ExpansionStats,
+    TranslationResult,
+    align_memory_depths,
+    expand_elastic,
+    expand_pseudo,
+    insert_offsets,
+    sequential_memory_pairs,
+    translate,
+)
+
+__all__ = [
+    "AllocationProblem",
+    "AllocationResult",
+    "AllocationSolver",
+    "CaseInfo",
+    "ChainSpec",
+    "CompileOptions",
+    "CompiledProgram",
+    "EntryBatch",
+    "EntryConfig",
+    "EntryGenerator",
+    "ExpansionStats",
+    "Hierarchical",
+    "KeySpec",
+    "OBJECTIVES",
+    "Objective",
+    "Op",
+    "Path",
+    "ProgramIR",
+    "RatioEndpoints",
+    "ResourceView",
+    "TargetSpec",
+    "TranslationResult",
+    "UnlimitedResources",
+    "WeightedEndpoints",
+    "align_memory_depths",
+    "assign_depths",
+    "build_ir",
+    "build_problem",
+    "check_structure",
+    "emit_p4",
+    "compile_program",
+    "compile_source",
+    "compute_live_out",
+    "expand_elastic",
+    "expand_pseudo",
+    "f1",
+    "f2",
+    "f3",
+    "hierarchical",
+    "insert_offsets",
+    "make_objective",
+    "op_entry_cost",
+    "p4_loc",
+    "parse_and_check",
+    "reads_writes",
+    "required_bitmap",
+    "sequential_memory_pairs",
+    "translate",
+]

@@ -1,0 +1,94 @@
+"""Building the resource-allocation problem from translated IR (paper §4.3).
+
+The allocator's view of a program is per-depth aggregate demand:
+
+* ``te_req[d]`` — table entries needed by the ops at depth ``d`` (a BRANCH
+  needs one entry per case block, every other op one entry, a NOP none);
+* which depths contain forwarding primitives (must land on ingress RPBs);
+* which virtual memories are touched at which depths, and their sizes;
+* sequential same-memory depth pairs (cross-iteration constraint (5)).
+
+The paper forces "the same primitives at the same AST depth executed in the
+same RPB to reduce complexity" — our depth levels already are that
+aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import SourceUnit
+from ..lang.errors import AllocationError
+from ..lang.primitives import FORWARDING_PRIMITIVES, MEMORY_PRIMITIVES
+from .ir import ProgramIR
+from .translate import TranslationResult
+
+
+@dataclass
+class AllocationProblem:
+    """Per-depth demand vectors; depths are 1-based."""
+
+    program: str
+    num_depths: int
+    te_req: dict[int, int]
+    forwarding_depths: set[int]
+    #: mid -> size in buckets
+    memory_sizes: dict[str, int]
+    #: mid -> sorted depths at which its buckets are accessed
+    memory_depths: dict[str, list[int]]
+    #: (earlier depth, later depth) pairs needing the same physical RPB
+    sequential_pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    def entries_total(self) -> int:
+        return sum(self.te_req.values())
+
+
+def op_entry_cost(op) -> int:
+    """Table entries one op consumes in its RPB."""
+    if op.name == "NOP":
+        return 0
+    if op.is_branch:
+        return len(op.cases or [])
+    return 1
+
+
+def build_problem(
+    unit: SourceUnit, translation: TranslationResult
+) -> AllocationProblem:
+    """Aggregate a translated program into an allocation problem."""
+    ir: ProgramIR = translation.ir
+    num_depths = ir.max_depth()
+    if num_depths == 0:
+        raise AllocationError(f"program {ir.name!r} has no operations")
+
+    te_req: dict[int, int] = {d: 0 for d in range(1, num_depths + 1)}
+    forwarding_depths: set[int] = set()
+    memory_depths: dict[str, set[int]] = {}
+    for op in ir.walk_ops():
+        te_req[op.depth] += op_entry_cost(op)
+        if op.name in FORWARDING_PRIMITIVES:
+            forwarding_depths.add(op.depth)
+        if op.name in MEMORY_PRIMITIVES:
+            mid = op.memory_id()
+            assert mid is not None
+            memory_depths.setdefault(mid, set()).add(op.depth)
+
+    memory_sizes: dict[str, int] = {}
+    for mid in memory_depths:
+        decl = unit.memory(mid)
+        if decl is None:
+            raise AllocationError(f"memory {mid!r} is not declared")
+        memory_sizes[mid] = decl.size
+
+    pairs = sorted(
+        {(first.depth, second.depth) for first, second in translation.sequential_pairs}
+    )
+    return AllocationProblem(
+        program=ir.name,
+        num_depths=num_depths,
+        te_req=te_req,
+        forwarding_depths=forwarding_depths,
+        memory_sizes=memory_sizes,
+        memory_depths={mid: sorted(depths) for mid, depths in memory_depths.items()},
+        sequential_pairs=pairs,
+    )

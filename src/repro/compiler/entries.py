@@ -1,0 +1,320 @@
+"""Table-entry generation for allocated programs (paper §4.3, Fig. 5(c)).
+
+Given a translated IR and an allocation vector, emit the table entries that
+realize the program on the P4runpro data plane:
+
+* one initialization-block entry per program, matching the parsing bitmap
+  plus the program's filter tuples and setting the program ID;
+* per-op entries in each RPB's table, keyed on (program ID, branch ID,
+  recirculation ID) — ternary with redundant register keys, as all
+  P4runpro tables are;
+* per-case entries for BRANCH ops, additionally keyed on the registers and
+  setting the new branch ID;
+* recirculation-block entries when the allocation spans iterations.
+
+Entries are grouped into an ordered :class:`EntryBatch` whose sequence
+encodes the consistent-update order of Fig. 6: all program components
+first, the initialization entry last (and the reverse for deletion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import Filter, MemoryDecl
+from ..rmt import fields as field_registry
+from ..rmt.parser import DEFAULT_BITMAP_BITS
+from ..dataplane import constants as dp
+from .ir import Op, ProgramIR
+from .solver import AllocationResult
+from .target import TargetSpec
+
+
+@dataclass(frozen=True)
+class KeySpec:
+    field: str
+    value: int
+    mask: int
+
+
+@dataclass(frozen=True)
+class EntryConfig:
+    """One table entry to install (target-independent description)."""
+
+    table: str
+    keys: tuple[KeySpec, ...]
+    action: str
+    action_data: tuple[tuple[str, object], ...]
+    priority: int = 0
+
+    def data(self) -> dict:
+        return dict(self.action_data)
+
+
+@dataclass
+class EntryBatch:
+    """All entries of one program, in consistent-update install order."""
+
+    program: str
+    program_id: int
+    body_entries: list[EntryConfig] = field(default_factory=list)
+    recirc_entries: list[EntryConfig] = field(default_factory=list)
+    init_entries: list[EntryConfig] = field(default_factory=list)
+
+    def install_order(self) -> list[EntryConfig]:
+        """Components first, init last (Fig. 6 add order)."""
+        return [*self.body_entries, *self.recirc_entries, *self.init_entries]
+
+    def delete_order(self) -> list[EntryConfig]:
+        """Init first — disables the program atomically — then the rest."""
+        return [*self.init_entries, *self.recirc_entries, *self.body_entries]
+
+    def __len__(self) -> int:
+        return len(self.body_entries) + len(self.recirc_entries) + len(self.init_entries)
+
+
+def _data(**kwargs) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+def _flag_keys(program_id: int, branch_id: int, recirc_id: int) -> list[KeySpec]:
+    return [
+        KeySpec("ud.program_id", program_id, dp.PROGRAM_ID_MASK),
+        KeySpec("ud.branch_id", branch_id, dp.BRANCH_ID_MASK),
+        KeySpec("ud.recirc_count", recirc_id, dp.RECIRC_ID_MASK),
+    ]
+
+
+def required_bitmap(filters: list[Filter]) -> int:
+    """Parsing-bitmap bits implied by the headers the filters reference."""
+    bitmap = 1 << DEFAULT_BITMAP_BITS["eth"]  # every packet parses Ethernet
+    for flt in filters:
+        spec = field_registry.lookup(flt.field)
+        header = spec.header
+        if header is None:
+            continue  # metadata filter: no parsing requirement
+        bit = DEFAULT_BITMAP_BITS.get(header)
+        if bit is not None:
+            bitmap |= 1 << bit
+        # Parsing prerequisites: L4 implies IPv4.
+        if header in ("tcp", "udp", "nc", "calc"):
+            bitmap |= 1 << DEFAULT_BITMAP_BITS["ipv4"]
+        if header in ("nc", "calc"):
+            bitmap |= 1 << DEFAULT_BITMAP_BITS["udp"]
+    return bitmap
+
+
+class EntryGenerator:
+    """Emits the entry batch for one allocated program."""
+
+    def __init__(self, spec: TargetSpec):
+        self.spec = spec
+
+    def generate(
+        self,
+        ir: ProgramIR,
+        filters: list[Filter],
+        allocation: AllocationResult,
+        program_id: int,
+        memory_bases: dict,  # mid -> (phys, base) or (phys, [(voff, pbase, fsize)])
+        memory_decls: dict[str, MemoryDecl],
+    ) -> EntryBatch:
+        # Normalize: a bare base address means one contiguous fragment.
+        layouts: dict[str, list[tuple[int, int, int]]] = {}
+        for mid, (phys, base_or_layout) in memory_bases.items():
+            if isinstance(base_or_layout, int):
+                size = memory_decls[mid].size if mid in memory_decls else 0
+                layouts[mid] = [(0, base_or_layout, size)]
+            else:
+                layouts[mid] = list(base_or_layout)
+        batch = EntryBatch(ir.name, program_id)
+        x = allocation.x
+        # One hash unit per *depth*: parallel branches at the same depth
+        # share the stage's unit (and therefore its CRC), while hash ops at
+        # different depths cycle through the chip's CRC variants — the
+        # four-CRC layout of the paper's heavy-hitter study (§6.4).
+        hash_depths = sorted(
+            {
+                op.depth
+                for op in ir.walk_ops()
+                if op.name in ("HASH", "HASH_5_TUPLE", "HASH_MEM", "HASH_5_TUPLE_MEM")
+            }
+        )
+        algorithm_for_depth = {
+            depth: dp.HASH_ALGORITHM_CYCLE[i % len(dp.HASH_ALGORITHM_CYCLE)]
+            for i, depth in enumerate(hash_depths)
+        }
+        for op in sorted(ir.walk_ops(), key=lambda o: (o.depth, o.branch_id)):
+            logic = x[op.depth - 1]
+            phys = self.spec.physical_rpb(logic)
+            recirc_id = self.spec.iteration(logic)
+            table = dp.rpb_table(phys)
+            if op.name == "NOP":
+                continue
+            if op.is_branch:
+                self._emit_branch(batch, table, op, program_id, recirc_id)
+                continue
+            if op.name in ("HASH", "HASH_5_TUPLE", "HASH_MEM", "HASH_5_TUPLE_MEM"):
+                algorithm = algorithm_for_depth[op.depth]
+                self._emit_hash(
+                    batch, table, op, program_id, recirc_id, algorithm, memory_decls
+                )
+                continue
+            if op.name == "OFFSET":
+                self._emit_offset(batch, table, op, program_id, recirc_id, layouts)
+                continue
+            keys = _flag_keys(program_id, op.branch_id, recirc_id)
+            action, data = self._action_for(op, memory_decls)
+            batch.body_entries.append(
+                EntryConfig(table, tuple(keys), action, data)
+            )
+        self._emit_recirc(batch, allocation, program_id)
+        self._emit_init(batch, filters, program_id)
+        return batch
+
+    # -- op-specific emission -------------------------------------------------
+    def _emit_branch(
+        self, batch: EntryBatch, table: str, op: Op, program_id: int, recirc_id: int
+    ) -> None:
+        for index, case in enumerate(op.cases or []):
+            keys = _flag_keys(program_id, op.branch_id, recirc_id)
+            for cond in case.conditions:
+                keys.append(
+                    KeySpec(dp.REGISTER_FIELDS[cond.register], cond.value, cond.mask)
+                )
+            batch.body_entries.append(
+                EntryConfig(
+                    table,
+                    tuple(keys),
+                    dp.ACTION_SET_BRANCH,
+                    _data(branch_id=case.target_branch),
+                    priority=index,
+                )
+            )
+
+    def _emit_hash(
+        self,
+        batch: EntryBatch,
+        table: str,
+        op: Op,
+        program_id: int,
+        recirc_id: int,
+        algorithm: str,
+        memory_decls: dict[str, MemoryDecl],
+    ) -> None:
+        keys = _flag_keys(program_id, op.branch_id, recirc_id)
+        data: dict[str, object] = {"algorithm": algorithm}
+        if op.name in ("HASH_MEM", "HASH_5_TUPLE_MEM"):
+            mid = op.memory_id()
+            assert mid is not None
+            # The mask step, merged with the hash action (§4.1.2): clip the
+            # hash output to the virtual memory size.
+            data["mask"] = memory_decls[mid].size - 1
+        batch.body_entries.append(
+            EntryConfig(table, tuple(keys), op.name, _data(**data))
+        )
+
+    def _emit_offset(
+        self,
+        batch: EntryBatch,
+        table: str,
+        op: Op,
+        program_id: int,
+        recirc_id: int,
+        layouts: dict[str, list[tuple[int, int, int]]],
+    ) -> None:
+        """One OFFSET entry per memory fragment.
+
+        Contiguous blocks get the classic single entry.  Direct-mapped
+        blocks (paper §7) add a ternary prefix key on ``mar`` selecting the
+        fragment, with a per-fragment base of ``(pbase - voff) mod 2^32``
+        so ``phys = mar + base`` lands inside that fragment.
+        """
+        mid = op.memory_id()
+        assert mid is not None
+        layout = layouts[mid]
+        for index, (voff, pbase, fsize) in enumerate(layout):
+            keys = _flag_keys(program_id, op.branch_id, recirc_id)
+            if len(layout) > 1:
+                prefix_mask = (~(fsize - 1)) & dp.REGISTER_MASK
+                keys.append(KeySpec("ud.mar", voff, prefix_mask))
+            base = (pbase - voff) & dp.REGISTER_MASK
+            batch.body_entries.append(
+                EntryConfig(
+                    table,
+                    tuple(keys),
+                    "OFFSET",
+                    _data(base=base, mid=mid),
+                    priority=index,
+                )
+            )
+
+    def _action_for(
+        self,
+        op: Op,
+        memory_decls: dict[str, MemoryDecl],
+    ) -> tuple[str, tuple[tuple[str, object], ...]]:
+        name = op.name
+        if name in ("EXTRACT", "MODIFY"):
+            field_arg, reg_arg = op.args
+            return name, _data(field=str(field_arg.value), reg=str(reg_arg.value))
+        if name in (
+            "MEMADD",
+            "MEMSUB",
+            "MEMAND",
+            "MEMOR",
+            "MEMREAD",
+            "MEMWRITE",
+            "MEMMAX",
+        ):
+            mid = op.memory_id()
+            assert mid is not None
+            return name, _data(mid=mid)
+        if name == "LOADI":
+            reg_arg, imm_arg = op.args
+            return name, _data(reg=str(reg_arg.value), value=int(imm_arg.value))
+        if name in ("ADD", "AND", "OR", "MAX", "MIN", "XOR"):
+            reg0, reg1 = op.args
+            return name, _data(reg0=str(reg0.value), reg1=str(reg1.value))
+        if name == "FORWARD":
+            return name, _data(port=int(op.args[0].value))
+        if name == "MULTICAST":
+            return name, _data(group=int(op.args[0].value))
+        if name in ("DROP", "RETURN", "REPORT"):
+            return name, _data()
+        if name in ("BACKUP", "RESTORE"):
+            return name, _data(reg=str(op.args[0].value))
+        raise ValueError(f"cannot generate an entry for op {name!r}")
+
+    # -- block entries -----------------------------------------------------------
+    def _emit_recirc(
+        self, batch: EntryBatch, allocation: AllocationResult, program_id: int
+    ) -> None:
+        if not self.spec.uses_recirculation:
+            return  # chain hops are physical; no recirculation entries
+        for iteration in range(allocation.max_iteration):
+            batch.recirc_entries.append(
+                EntryConfig(
+                    dp.RECIRC_TABLE,
+                    (
+                        KeySpec("ud.program_id", program_id, dp.PROGRAM_ID_MASK),
+                        KeySpec("ud.recirc_count", iteration, dp.RECIRC_ID_MASK),
+                    ),
+                    dp.ACTION_RECIRCULATE,
+                    _data(),
+                )
+            )
+
+    def _emit_init(self, batch: EntryBatch, filters: list[Filter], program_id: int) -> None:
+        bitmap = required_bitmap(filters)
+        keys = [KeySpec("ud.parse_bitmap", bitmap, bitmap)]
+        for flt in filters:
+            keys.append(KeySpec(flt.field, flt.value, flt.mask))
+        batch.init_entries.append(
+            EntryConfig(
+                dp.INIT_TABLE,
+                tuple(keys),
+                dp.ACTION_SET_PROGRAM,
+                _data(program_id=program_id),
+            )
+        )

@@ -1,0 +1,165 @@
+"""Compiler intermediate representation: branch-path trees of operations.
+
+A parsed program becomes a tree of :class:`Path` objects — one per branch
+context — whose operations carry *depths*: the execution-dependency index of
+Fig. 5 ("the depth of the AST node refers to the primitive execution
+dependency").  Primitives from different branches may share a depth; the
+allocator later maps each depth to one logic RPB.
+
+Branch IDs reproduce the data plane's program-local branch flag (§4.1.2):
+the root path is branch 0, and each case block of each BRANCH gets a fresh
+branch ID that its body's operations carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.ast import (
+    Arg,
+    ArgKind,
+    Branch,
+    Condition,
+    Primitive,
+    ProgramDecl,
+    Stmt,
+)
+from ..lang.primitives import Category, get as get_spec
+
+
+@dataclass
+class CaseInfo:
+    """One case of a BRANCH op: conditions plus the child path it opens."""
+
+    conditions: list[Condition]
+    target_branch: int
+    path: "Path"
+
+
+@dataclass
+class Op:
+    """One primitive instance placed in a branch context."""
+
+    name: str
+    args: tuple[Arg, ...] = ()
+    branch_id: int = 0
+    depth: int = 0
+    cases: list[CaseInfo] | None = None  # BRANCH only
+    line: int = 0
+
+    @property
+    def is_branch(self) -> bool:
+        return self.cases is not None
+
+    @property
+    def category(self) -> Category:
+        return get_spec(self.name).category
+
+    def memory_id(self) -> str | None:
+        """The memory identifier this op references, if any."""
+        for arg in self.args:
+            if arg.kind is ArgKind.MEMORY:
+                return str(arg.value)
+        return None
+
+    def __str__(self) -> str:
+        if self.is_branch:
+            return f"BRANCH[{len(self.cases or [])} cases]@{self.depth}"
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({args})@{self.depth}b{self.branch_id}"
+
+
+@dataclass
+class Path:
+    """A linear sequence of ops executed under one branch ID."""
+
+    branch_id: int
+    ops: list[Op] = field(default_factory=list)
+
+
+@dataclass
+class ProgramIR:
+    """The whole program as a path tree plus bookkeeping."""
+
+    name: str
+    root: Path
+    num_branches: int  # total branch IDs assigned (root included)
+
+    def walk_paths(self):
+        """Yield every path, parents before children."""
+        stack = [self.root]
+        while stack:
+            path = stack.pop()
+            yield path
+            for op in path.ops:
+                if op.cases:
+                    stack.extend(case.path for case in op.cases)
+
+    def walk_ops(self):
+        """Yield every op across all paths."""
+        for path in self.walk_paths():
+            yield from path.ops
+
+    def max_depth(self) -> int:
+        return max((op.depth for op in self.walk_ops()), default=0)
+
+    def levels(self) -> dict[int, list[Op]]:
+        """Ops grouped by depth, 1-based contiguous."""
+        by_depth: dict[int, list[Op]] = {}
+        for op in self.walk_ops():
+            by_depth.setdefault(op.depth, []).append(op)
+        return dict(sorted(by_depth.items()))
+
+
+def build_ir(program: ProgramDecl) -> ProgramIR:
+    """Lower a checked AST into the path-tree IR (no depths yet)."""
+    counter = _BranchCounter()
+    root = _build_path(program.body, branch_id=0, counter=counter)
+    return ProgramIR(program.name, root, counter.next_id)
+
+
+class _BranchCounter:
+    def __init__(self) -> None:
+        self.next_id = 1
+
+    def fresh(self) -> int:
+        bid = self.next_id
+        self.next_id += 1
+        return bid
+
+
+def _build_path(body: list[Stmt], branch_id: int, counter: _BranchCounter) -> Path:
+    path = Path(branch_id)
+    for stmt in body:
+        if isinstance(stmt, Branch):
+            cases = []
+            for case in stmt.cases:
+                child_id = counter.fresh()
+                child = _build_path(case.body, child_id, counter)
+                cases.append(CaseInfo(case.conditions, child_id, child))
+            path.ops.append(Op("BRANCH", (), branch_id, cases=cases, line=stmt.line))
+        else:
+            assert isinstance(stmt, Primitive)
+            path.ops.append(Op(stmt.name, stmt.args, branch_id, line=stmt.line))
+    return path
+
+
+def assign_depths(ir: ProgramIR) -> None:
+    """Assign consecutive depths along each path.
+
+    A path's first op executes one step after the BRANCH that opened it;
+    ops following a BRANCH in the *same* path also continue one step after
+    it (they are the no-case-matched continuation, e.g. the cache-miss
+    FORWARD of Fig. 2).
+    """
+
+    def walk(path: Path, start_depth: int) -> None:
+        depth = start_depth
+        for op in path.ops:
+            op.depth = depth
+            if op.cases:
+                for case in op.cases:
+                    walk(case.path, depth + 1)
+            depth += 1
+
+    walk(ir.root, 1)

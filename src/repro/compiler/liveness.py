@@ -1,0 +1,100 @@
+"""Register lifetime analysis (paper §4.2).
+
+Pseudo-primitive expansion sometimes needs a *supportive register* — a
+register not named in the pseudo primitive's arguments.  Its original value
+must be preserved with a backup/restore pair unless the register is no
+longer "live" at that point.  This module computes, for every op in the IR,
+the set of registers live *after* it (live-out), by a backward dataflow
+pass over the branch-path tree.
+
+The control-flow join at a BRANCH is the union of all case paths' live-in
+sets plus the live-in of the no-case-matched continuation.
+"""
+
+from __future__ import annotations
+
+from ..lang.ast import ArgKind, REGISTERS
+from .ir import Op, Path, ProgramIR
+
+ALL_REGISTERS = frozenset(REGISTERS)
+
+
+def reads_writes(op: Op) -> tuple[frozenset[str], frozenset[str]]:
+    """(registers read, registers written) by one op."""
+    name = op.name
+    regs = tuple(str(a.value) for a in op.args if a.kind is ArgKind.REGISTER)
+    if name == "EXTRACT":
+        return frozenset(), frozenset({regs[0]})
+    if name == "MODIFY":
+        return frozenset({regs[0]}), frozenset()
+    if name == "HASH_5_TUPLE":
+        return frozenset(), frozenset({"har"})
+    if name == "HASH":
+        return frozenset({"har"}), frozenset({"har"})
+    if name == "HASH_5_TUPLE_MEM":
+        return frozenset(), frozenset({"mar"})
+    if name == "HASH_MEM":
+        return frozenset({"har"}), frozenset({"mar"})
+    if name == "BRANCH":
+        read = {cond.register for case in op.cases or [] for cond in case.conditions}
+        return frozenset(read), frozenset()
+    if name == "MEMREAD":
+        return frozenset({"mar"}), frozenset({"sar"})
+    if name == "MEMWRITE":
+        return frozenset({"mar", "sar"}), frozenset()
+    if name in ("MEMADD", "MEMSUB", "MEMAND", "MEMOR", "MEMMAX"):
+        return frozenset({"mar", "sar"}), frozenset({"sar"})
+    if name == "LOADI":
+        return frozenset(), frozenset({regs[0]})
+    if name in ("ADD", "AND", "OR", "MAX", "MIN", "XOR"):
+        return frozenset({regs[0], regs[1]}), frozenset({regs[0]})
+    if name in ("FORWARD", "DROP", "RETURN", "REPORT", "MULTICAST", "NOP"):
+        return frozenset(), frozenset()
+    if name == "OFFSET":
+        return frozenset({"mar"}), frozenset()
+    if name == "BACKUP":
+        return frozenset({regs[0]}), frozenset()
+    if name == "RESTORE":
+        return frozenset(), frozenset({regs[0]})
+    # Pseudo primitives (analysed pre-expansion): conservative exact sets.
+    if name == "MOVE":
+        return frozenset({regs[1]}), frozenset({regs[0]})
+    if name == "NOT":
+        return frozenset({regs[0]}), frozenset({regs[0]})
+    if name in ("SUB", "EQUAL", "SGT", "SLT"):
+        return frozenset({regs[0], regs[1]}), frozenset({regs[0]})
+    if name in ("ADDI", "ANDI", "XORI", "SUBI"):
+        return frozenset({regs[0]}), frozenset({regs[0]})
+    raise ValueError(f"no read/write model for primitive {name!r}")
+
+
+def compute_live_out(ir: ProgramIR) -> dict[int, frozenset[str]]:
+    """Map ``id(op)`` -> set of registers live immediately after the op."""
+    live_out: dict[int, frozenset[str]] = {}
+
+    def walk(path: Path) -> frozenset[str]:
+        """Process a path backwards; returns the path's live-in set.
+
+        Once a path's last op has executed, no further ops run for packets
+        in that branch context (later RPBs hold no entries for its branch
+        ID), so every path's live-out starts empty.
+        """
+        live: frozenset[str] = frozenset()
+        for op in reversed(path.ops):
+            if op.cases is not None:
+                # `live` currently holds the live-in of the continuation
+                # (no case matched); join with every case body.
+                joined = live
+                for case in op.cases:
+                    joined |= walk(case.path)
+                live_out[id(op)] = joined
+                reads, writes = reads_writes(op)
+                live = reads | (joined - writes)
+            else:
+                live_out[id(op)] = live
+                reads, writes = reads_writes(op)
+                live = reads | (live - writes)
+        return live
+
+    walk(ir.root)
+    return live_out

@@ -1,0 +1,93 @@
+"""Allocation objective functions (paper §6.2.4 and Appendix C).
+
+Four schemes are reproduced:
+
+* ``f1 = alpha*x_L - beta*x_1`` (default, alpha=0.7 / beta=0.3) — linear,
+  balances avoiding recirculation against pushing work toward egress RPBs;
+* ``f2 = x_L`` — linear, only avoids recirculation;
+* ``f3 = x_L / x_1`` — nonlinear; best capacity/utilization in the paper
+  but much slower to optimize;
+* hierarchical — minimize ``x_L`` first, then maximize ``x_1`` with the
+  optimal ``x_L`` fixed (two solver passes).
+
+Every objective in the paper depends only on the endpoints (x_1, x_L); the
+solver exploits this for *linear* objectives by enumerating endpoint pairs
+best-first (an optimization an SMT solver performs internally for linear
+terms), while nonlinear objectives fall back to generic branch-and-bound —
+which is why f3's allocation delay is an order of magnitude worse (§6.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A (possibly weighted) endpoint objective to *minimize*."""
+
+    name: str
+    linear: bool
+
+    def value(self, x1: int, xl: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class WeightedEndpoints(Objective):
+    """``alpha * x_L - beta * x_1`` (covers f1 and, with beta=0, f2)."""
+
+    alpha: float = 0.7
+    beta: float = 0.3
+
+    def value(self, x1: int, xl: int) -> float:
+        return self.alpha * xl - self.beta * x1
+
+
+@dataclass(frozen=True)
+class RatioEndpoints(Objective):
+    """``x_L / x_1`` (f3): nonlinear."""
+
+    def value(self, x1: int, xl: int) -> float:
+        return xl / x1
+
+
+@dataclass(frozen=True)
+class Hierarchical(Objective):
+    """Two-phase: min x_L, then max x_1 given the optimal x_L."""
+
+    def value(self, x1: int, xl: int) -> float:
+        # Lexicographic encoding: x_L dominates, then smaller -x_1.
+        return xl * 1_000.0 - x1
+
+
+def f1(alpha: float = 0.7, beta: float = 0.3) -> WeightedEndpoints:
+    return WeightedEndpoints(name="f1", linear=True, alpha=alpha, beta=beta)
+
+
+def f2() -> WeightedEndpoints:
+    return WeightedEndpoints(name="f2", linear=True, alpha=1.0, beta=0.0)
+
+
+def f3() -> RatioEndpoints:
+    return RatioEndpoints(name="f3", linear=False)
+
+
+def hierarchical() -> Hierarchical:
+    return Hierarchical(name="hierarchical", linear=True)
+
+
+OBJECTIVES = {
+    "f1": f1,
+    "f2": f2,
+    "f3": f3,
+    "hierarchical": hierarchical,
+}
+
+
+def make_objective(name: str, **kwargs) -> Objective:
+    try:
+        factory = OBJECTIVES[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown objective {name!r}") from exc
+    return factory(**kwargs)

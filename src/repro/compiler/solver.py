@@ -1,0 +1,511 @@
+"""Finite-domain branch-and-bound allocator (the paper's SMT model, §4.3).
+
+The paper hands its allocation model to Z3; no SMT solver is available in
+this environment, so this module implements an exact optimizer specialized
+to the model's structure:
+
+* variables ``x_1 < x_2 < ... < x_L`` over logic RPBs ``1..M*(R+1)``;
+* per-depth table-entry demand, cumulative per *physical* RPB;
+* contiguous memory demand per physical RPB (checked via the resource
+  view's free lists);
+* forwarding depths restricted to ingress physical RPBs (constraint (4));
+* sequential same-memory depths pinned to one physical RPB across
+  recirculation iterations (constraint (5)).
+
+Every paper objective depends only on the endpoints ``(x_1, x_L)``.  For
+*linear* objectives the solver enumerates endpoint pairs in best-first
+order and searches only for a feasible interior completion — the first
+feasible pair is optimal.  Nonlinear objectives (f3) cannot be enumerated
+that way and run generic branch-and-bound over the full space with a bound
+from the partial assignment, which is genuinely much slower — reproducing
+the f3 allocation delays of §6.2.4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..lang.errors import AllocationError
+from .allocation import AllocationProblem
+from .objectives import Hierarchical, Objective, f2
+from .target import ResourceView, TargetSpec
+
+
+@dataclass
+class AllocationResult:
+    """A feasible (and optimal, unless ``capped``) allocation."""
+
+    x: list[int]  # x[d-1] = logic RPB of depth d
+    objective_value: float
+    objective_name: str
+    nodes_explored: int
+    solve_time_s: float
+    capped: bool = False
+    #: mid -> 1-based physical RPB hosting its buckets
+    memory_placement: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_iteration(self) -> int:
+        return self._max_iteration
+
+    def finalize(self, spec: TargetSpec) -> None:
+        self.memory_placement = dict(self.memory_placement)
+        self._max_iteration = max(spec.iteration(v) for v in self.x)
+
+
+class _SearchState:
+    """Mutable DFS bookkeeping: cumulative per-physical-RPB demand."""
+
+    def __init__(self, spec: TargetSpec, view: ResourceView, problem: AllocationProblem):
+        self.spec = spec
+        self.view = view
+        self.problem = problem
+        self.acc_te: dict[int, int] = {}
+        self.mem_at: dict[int, dict[str, int]] = {}  # phys -> {mid: size}
+        self.mid_phys: dict[str, int] = {}
+        # mids accessed per depth, precomputed
+        self.mids_at_depth: dict[int, list[str]] = {}
+        for mid, depths in problem.memory_depths.items():
+            for d in depths:
+                self.mids_at_depth.setdefault(d, []).append(mid)
+        # sequential pairs indexed by the later depth
+        self.pairs_by_later: dict[int, list[int]] = {}
+        for i, j in problem.sequential_pairs:
+            self.pairs_by_later.setdefault(j, []).append(i)
+        # ...and by the earlier depth, for forward-checking
+        self.pairs_by_earlier: dict[int, list[int]] = {}
+        for i, j in problem.sequential_pairs:
+            self.pairs_by_earlier.setdefault(i, []).append(j)
+
+    def pair_forward_ok(self, depth: int, value: int, length: int, xl: int | None) -> bool:
+        """Forward check: assigning ``x_depth = value``, can every later
+        same-memory partner still land on the same physical RPB?
+
+        A partner at depth ``j`` must take ``value + M*k`` (k >= 1) within
+        its own window — and exactly ``xl`` when ``j`` is the last depth of
+        an endpoint-pinned search.  Without this check, infeasible endpoint
+        pairs explore the interior combinatorially.
+        """
+        spec = self.spec
+        period = spec.num_rpbs
+        domain = spec.num_logic_rpbs
+        for j in self.pairs_by_earlier.get(depth, ()):
+            upper = domain - (length - j)
+            if xl is not None:
+                upper = min(upper, xl if j == length else xl - (length - j))
+            lower = value + (j - depth)
+            ok = False
+            candidate = value + period
+            while candidate <= upper:
+                if candidate >= lower and (
+                    xl is None or j != length or candidate == xl
+                ):
+                    ok = True
+                    break
+                candidate += period
+            if not ok:
+                return False
+        return True
+
+    def try_assign(self, depth: int, value: int, x: list[int]) -> list | None:
+        """Check feasibility of ``x_depth = value``; returns an undo token
+        (to pass to :meth:`undo`) or ``None`` if infeasible."""
+        spec = self.spec
+        phys = spec.physical_rpb(value)
+        if depth in self.problem.forwarding_depths and not spec.is_ingress(value):
+            return None
+        for earlier in self.pairs_by_later.get(depth, ()):
+            if spec.physical_rpb(x[earlier - 1]) != phys:
+                return None
+        te = self.problem.te_req.get(depth, 0)
+        new_te = self.acc_te.get(phys, 0) + te
+        if te and new_te > self.view.free_entries(phys):
+            return None
+        undo: list = [("te", phys, te)]
+        placed_mids: list[str] = []
+        for mid in self.mids_at_depth.get(depth, ()):
+            if mid in self.mid_phys:
+                if self.mid_phys[mid] != phys:
+                    self._rollback(undo, placed_mids)
+                    return None
+                continue
+            sizes = dict(self.mem_at.get(phys, {}))
+            sizes[mid] = self.problem.memory_sizes[mid]
+            if not self.view.can_allocate_memory(phys, list(sizes.values())):
+                self._rollback(undo, placed_mids)
+                return None
+            self.mem_at.setdefault(phys, {})[mid] = self.problem.memory_sizes[mid]
+            self.mid_phys[mid] = phys
+            placed_mids.append(mid)
+        self.acc_te[phys] = new_te
+        undo.append(("mids", phys, placed_mids))
+        return undo
+
+    def _rollback(self, undo: list, placed_mids: list[str]) -> None:
+        for mid in placed_mids:
+            phys = self.mid_phys.pop(mid)
+            del self.mem_at[phys][mid]
+
+    def undo(self, undo_token: list) -> None:
+        for item in undo_token:
+            if item[0] == "te":
+                _, phys, te = item
+                self.acc_te[phys] -= te
+            else:
+                _, phys, mids = item
+                for mid in mids:
+                    del self.mem_at[phys][mid]
+                    del self.mid_phys[mid]
+
+
+class SearchBudgetExceeded(Exception):
+    """Internal: the node cap was hit."""
+
+
+class AllocationSolver:
+    """Solves allocation problems against a resource view."""
+
+    def __init__(
+        self,
+        spec: TargetSpec | None = None,
+        view: ResourceView | None = None,
+        *,
+        max_nodes: int = 500_000,
+    ):
+        from .target import UnlimitedResources
+
+        self.spec = spec or TargetSpec()
+        self.view = view if view is not None else UnlimitedResources(self.spec)
+        self.max_nodes = max_nodes
+        self._nodes = 0
+
+    # -- public API -----------------------------------------------------------
+    def solve(self, problem: AllocationProblem, objective: Objective) -> AllocationResult:
+        start = time.perf_counter()
+        self._nodes = 0
+        domain = self.spec.num_logic_rpbs
+        if problem.num_depths > domain:
+            raise AllocationError(
+                f"program {problem.program!r} needs {problem.num_depths} logic RPBs, "
+                f"target offers {domain} (raise R or shorten the program)"
+            )
+        if problem.sequential_pairs and not self.spec.memory_revisit_supported:
+            raise AllocationError(
+                f"program {problem.program!r} accesses the same virtual "
+                "memory at multiple execution steps; a switch chain cannot "
+                "host it (each hop has its own register arrays) — deploy on "
+                "a recirculating single switch instead"
+            )
+        capped = False
+        try:
+            if isinstance(objective, Hierarchical):
+                result = self._solve_hierarchical(problem)
+            elif objective.linear:
+                result = self._solve_linear(problem, objective)
+            else:
+                result = self._solve_nonlinear(problem, objective)
+        except SearchBudgetExceeded:
+            result = None
+            capped = True
+        elapsed = time.perf_counter() - start
+        if result is None:
+            raise AllocationError(
+                f"no feasible allocation for program {problem.program!r}"
+                + (" (search budget exceeded)" if capped else "")
+            )
+        x, value, placement = result
+        alloc = AllocationResult(
+            x=x,
+            objective_value=value,
+            objective_name=objective.name,
+            nodes_explored=self._nodes,
+            solve_time_s=elapsed,
+            capped=capped,
+            memory_placement=placement,
+        )
+        alloc.finalize(self.spec)
+        return alloc
+
+    # -- linear objectives: best-first endpoint enumeration ------------------
+    def _endpoint_pairs(self, problem: AllocationProblem):
+        domain = self.spec.num_logic_rpbs
+        length = problem.num_depths
+        pairs = []
+        if length == 1:
+            pairs = [(v, v) for v in range(1, domain + 1)]
+        else:
+            for x1 in range(1, domain - length + 2):
+                for xl in range(x1 + length - 1, domain + 1):
+                    pairs.append((x1, xl))
+        return pairs
+
+    def _solve_linear(self, problem: AllocationProblem, objective: Objective):
+        pairs = self._endpoint_pairs(problem)
+        pairs.sort(key=lambda p: (objective.value(p[0], p[1]), p[1], -p[0]))
+        feasible = self._static_feasible_values(problem)
+        if any(not feasible[d] for d in range(1, problem.num_depths + 1)):
+            return None  # some depth has no feasible RPB at all
+        for x1, xl in pairs:
+            solution = self._complete(problem, x1, xl, feasible)
+            if solution is not None:
+                return solution[0], objective.value(x1, xl), solution[1]
+        return None
+
+    def _solve_hierarchical(self, problem: AllocationProblem):
+        # Phase 1: minimize x_L.
+        first = self._solve_linear(problem, f2())
+        if first is None:
+            return None
+        xl_opt = first[0][-1]
+        # Phase 2: maximize x_1 with x_L fixed at the phase-1 optimum.
+        length = problem.num_depths
+        best = None
+        feasible = self._static_feasible_values(problem)
+        for x1 in range(xl_opt - length + 1, 0, -1):
+            solution = self._complete(problem, x1, xl_opt, feasible)
+            if solution is not None:
+                best = (solution[0], float(xl_opt * 1_000 - x1), solution[1])
+                break
+        return best
+
+    def _max_positions(self, problem: AllocationProblem) -> list[int]:
+        """Static per-depth upper bound on x, from the domain tail and the
+        forwarding-on-ingress constraint, propagated backwards so that a
+        capped later depth caps every earlier one too."""
+        domain = self.spec.num_logic_rpbs
+        length = problem.num_depths
+        max_x = [domain - (length - d) for d in range(1, length + 1)]
+        largest_ingress = max(
+            v for v in range(1, domain + 1) if self.spec.is_ingress(v)
+        )
+        for d in problem.forwarding_depths:
+            max_x[d - 1] = min(max_x[d - 1], largest_ingress)
+        for d in range(length - 1, 0, -1):
+            max_x[d - 1] = min(max_x[d - 1], max_x[d] - 1)
+        return max_x
+
+    # -- nonlinear objectives: generic branch and bound -----------------------
+    def _solve_nonlinear(self, problem: AllocationProblem, objective: Objective):
+        domain = self.spec.num_logic_rpbs
+        length = problem.num_depths
+        state = _SearchState(self.spec, self.view, problem)
+        max_x = self._max_positions(problem)
+        best: list | None = None
+        best_value = float("inf")
+        x = [0] * length
+
+        def dfs(depth: int) -> None:
+            nonlocal best, best_value
+            if depth > length:
+                value = objective.value(x[0], x[-1])
+                if value < best_value - 1e-12:
+                    best_value = value
+                    best = list(x)
+                return
+            lo = x[depth - 2] + 1 if depth > 1 else 1
+            hi = min(domain - (length - depth), max_x[depth - 1])
+            # Depth 1 iterates descending: for ratio-style objectives a
+            # large x_1 gives a strong incumbent immediately, so the bound
+            # prunes most of the space (the search stays exact).
+            candidates = range(hi, lo - 1, -1) if depth == 1 else range(lo, hi + 1)
+            for value in candidates:
+                self._count_node()
+                # Bound: x_L >= value + remaining depths; x_1 is fixed once
+                # depth 1 is assigned.
+                x1_bound = x[0] if depth > 1 else value
+                xl_bound = value + (length - depth)
+                if objective.value(x1_bound, xl_bound) >= best_value - 1e-12:
+                    # The bound is monotone along each iteration direction,
+                    # so no later candidate at this depth can do better.
+                    break
+                token = state.try_assign(depth, value, x)
+                if token is None:
+                    continue
+                if not state.pair_forward_ok(depth, value, length, None):
+                    state.undo(token)
+                    continue
+                x[depth - 1] = value
+                dfs(depth + 1)
+                state.undo(token)
+                x[depth - 1] = 0
+
+        dfs(1)
+        if best is None:
+            return None
+        # Re-derive the memory placement for the winning vector.
+        placement = self._placement_for(problem, best)
+        return best, best_value, placement
+
+    # -- interior completion ---------------------------------------------------
+    def _static_feasible_values(self, problem: AllocationProblem) -> list[list[int]]:
+        """Per-depth sorted lists of logic RPBs passing the static
+        (non-cumulative) constraints: forwarding-on-ingress, per-depth
+        entry demand vs current free entries, and single-memory fit.
+        Computed once per solve; the per-pair window prechecks then reduce
+        to sorted-list window tests instead of re-evaluating resources for
+        every pair (the hot path near saturation)."""
+        domain = self.spec.num_logic_rpbs
+        length = problem.num_depths
+        mids_at_depth: dict[int, list[str]] = {}
+        for mid, depths in problem.memory_depths.items():
+            for d in depths:
+                mids_at_depth.setdefault(d, []).append(mid)
+        feasible: list[list[int]] = [[] for _ in range(length + 1)]
+        for depth in range(1, length + 1):
+            te = problem.te_req.get(depth, 0)
+            forwarding = depth in problem.forwarding_depths
+            mids = mids_at_depth.get(depth, [])
+            sizes = [problem.memory_sizes[mid] for mid in mids]
+            for value in range(depth, domain - (length - depth) + 1):
+                if forwarding and not self.spec.is_ingress(value):
+                    continue
+                phys = self.spec.physical_rpb(value)
+                if te and te > self.view.free_entries(phys):
+                    continue
+                if sizes and not self.view.can_allocate_memory(phys, sizes):
+                    continue
+                feasible[depth].append(value)
+        return feasible
+
+    def _window_feasible(
+        self,
+        problem: AllocationProblem,
+        x1: int,
+        xl: int,
+        feasible: list[list[int]] | None = None,
+    ) -> bool:
+        """Cheap per-pair precheck: every depth's value window must contain
+        at least one statically feasible logic RPB."""
+        import bisect
+
+        length = problem.num_depths
+        if feasible is None:
+            feasible = self._static_feasible_values(problem)
+        for depth in range(1, length + 1):
+            lo = x1 + depth - 1
+            hi = xl - (length - depth)
+            values = feasible[depth]
+            index = bisect.bisect_left(values, lo)
+            if index >= len(values) or values[index] > hi:
+                return False
+        return True
+
+    def _pair_windows_feasible(self, problem: AllocationProblem, x1: int, xl: int) -> bool:
+        """Endpoint pre-check for sequential same-memory pairs: for each
+        (i, j), some ``x_i`` in depth i's window must admit an ``x_j`` at
+        ``x_i + M*k`` inside depth j's window (== ``xl`` when j is last)."""
+        period = self.spec.num_rpbs
+        length = problem.num_depths
+        max_k = self.spec.num_logic_rpbs // period
+        # Chain bound: every depth touching one memory maps to the same
+        # physical RPB, and distinct depths mean distinct logic RPBs —
+        # i.e. distinct iterations — so m distinct access depths span at
+        # least (m-1) full periods.  Pairwise checks miss this joint bound.
+        for mid, depths in problem.memory_depths.items():
+            chain = sorted(set(depths))
+            if len(chain) < 2:
+                continue
+            first, last = chain[0], chain[-1]
+            span = period * (len(chain) - 1)
+            upper = xl if last == length else xl - (length - last)
+            if x1 + first - 1 + span > upper:
+                return False
+        for i, j in problem.sequential_pairs:
+            i_lo, i_hi = x1 + i - 1, xl - (length - i)
+            j_lo = x1 + j - 1
+            j_hi = xl if j == length else xl - (length - j)
+            ok = False
+            for k in range(1, max_k + 1):
+                lo = max(i_lo + k * period, j_lo)
+                hi = min(i_hi + k * period, j_hi)
+                if j == length:
+                    if lo <= xl <= hi:
+                        ok = True
+                        break
+                elif lo <= hi:
+                    ok = True
+                    break
+            if not ok:
+                return False
+        return True
+
+    #: Interior-search budget per endpoint pair.  Pairs that pass the cheap
+    #: prechecks can still be infeasible on *cumulative* per-RPB entry
+    #: pressure, which only the DFS discovers; without a per-pair cap such
+    #: pairs explore the interior combinatorially near saturation.  A
+    #: capped pair is treated as infeasible and the enumeration moves to
+    #: the next-best pair, so the solver stays complete-in-practice while
+    #: each allocation stays sub-second.
+    MAX_NODES_PER_PAIR = 2_000
+
+    def _complete(
+        self,
+        problem: AllocationProblem,
+        x1: int,
+        xl: int,
+        feasible: list[list[int]] | None = None,
+    ):
+        """Search for a feasible x with fixed endpoints; returns (x, placement)."""
+        if not self._window_feasible(problem, x1, xl, feasible):
+            return None
+        if problem.sequential_pairs and not self._pair_windows_feasible(
+            problem, x1, xl
+        ):
+            return None
+        length = problem.num_depths
+        state = _SearchState(self.spec, self.view, problem)
+        max_x = self._max_positions(problem)
+        if any(x1 + d - 1 > max_x[d - 1] for d in range(1, length + 1)):
+            return None
+        x = [0] * length
+        pair_budget = [self.MAX_NODES_PER_PAIR]
+
+        class _PairBudgetExceeded(Exception):
+            pass
+
+        def dfs(depth: int) -> bool:
+            if depth > length:
+                return True
+            if depth == 1:
+                candidates: range | tuple = (x1,) if x1 <= max_x[0] else ()
+            elif depth == length:
+                candidates = (xl,) if xl > x[depth - 2] else ()
+            else:
+                hi = min(xl - (length - depth), max_x[depth - 1])
+                candidates = range(x[depth - 2] + 1, hi + 1)
+            for value in candidates:
+                self._count_node()
+                pair_budget[0] -= 1
+                if pair_budget[0] <= 0:
+                    raise _PairBudgetExceeded
+                token = state.try_assign(depth, value, x)
+                if token is None:
+                    continue
+                if not state.pair_forward_ok(depth, value, length, xl):
+                    state.undo(token)
+                    continue
+                x[depth - 1] = value
+                if dfs(depth + 1):
+                    return True
+                state.undo(token)
+                x[depth - 1] = 0
+            return False
+
+        try:
+            if dfs(1):
+                return list(x), dict(state.mid_phys)
+        except _PairBudgetExceeded:
+            return None
+        return None
+
+    def _placement_for(self, problem: AllocationProblem, x: list[int]) -> dict[str, int]:
+        placement: dict[str, int] = {}
+        for mid, depths in problem.memory_depths.items():
+            placement[mid] = self.spec.physical_rpb(x[depths[0] - 1])
+        return placement
+
+    def _count_node(self) -> None:
+        self._nodes += 1
+        if self._nodes > self.max_nodes:
+            raise SearchBudgetExceeded

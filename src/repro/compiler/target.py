@@ -1,0 +1,151 @@
+"""Compilation target description and the resource view the allocator uses.
+
+The allocator never touches the simulator directly: it sees the target's
+static shape (:class:`TargetSpec`) and a :class:`ResourceView` protocol
+giving current free table entries and memory per physical RPB.  The control
+plane's resource manager implements the protocol; tests can substitute
+simple fakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Static shape of the P4runpro data plane (paper §5 defaults)."""
+
+    num_ingress_rpbs: int = 10  # N
+    num_egress_rpbs: int = 12
+    max_recirculations: int = 1  # R
+    rpb_table_size: int = 2048
+    rpb_memory_size: int = 65536  # 32-bit buckets per RPB
+    hash_output_width: int = 16
+    register_width: int = 32
+
+    @property
+    def num_rpbs(self) -> int:
+        """M: total physical RPBs."""
+        return self.num_ingress_rpbs + self.num_egress_rpbs
+
+    @property
+    def num_logic_rpbs(self) -> int:
+        """M * (R + 1): the allocator's variable domain size."""
+        return self.num_rpbs * (self.max_recirculations + 1)
+
+    def physical_rpb(self, logic_rpb: int) -> int:
+        """Map a 1-based logic RPB number to its 1-based physical RPB."""
+        if not 1 <= logic_rpb <= self.num_logic_rpbs:
+            raise ValueError(f"logic RPB {logic_rpb} out of range")
+        return (logic_rpb - 1) % self.num_rpbs + 1
+
+    def iteration(self, logic_rpb: int) -> int:
+        """Recirculation iteration (0-based) a logic RPB belongs to."""
+        if not 1 <= logic_rpb <= self.num_logic_rpbs:
+            raise ValueError(f"logic RPB {logic_rpb} out of range")
+        return (logic_rpb - 1) // self.num_rpbs
+
+    def is_ingress(self, logic_rpb: int) -> bool:
+        """True if the logic RPB maps to an ingress physical RPB."""
+        return self.physical_rpb(logic_rpb) <= self.num_ingress_rpbs
+
+    @property
+    def uses_recirculation(self) -> bool:
+        """Later iterations are recirculation passes (needing recirculation
+        -block entries), as opposed to hops of a physical switch chain."""
+        return True
+
+    @property
+    def memory_revisit_supported(self) -> bool:
+        """Whether the same virtual memory can be accessed again at a later
+        iteration (true for recirculation — same chip, same array; false
+        for a switch chain — each hop has its own arrays)."""
+        return True
+
+
+@dataclass(frozen=True)
+class ChainSpec(TargetSpec):
+    """A chain of P4runpro switches on one path (paper §4.1.3 / §5).
+
+    Each hop drops the recirculation block, freeing one more ingress RPB
+    (11 ingress + 12 egress per switch by default).  Logic RPBs number the
+    chain end to end; ``iteration`` is the hop index.  Constraint (4)
+    relaxes — forwarding primitives may run in *any* hop's ingress — which
+    the base implementation already expresses via :meth:`is_ingress`.
+    Constraint (5) tightens: a later hop's register arrays are different
+    silicon, so programs that revisit a virtual memory are rejected.
+    """
+
+    num_switches: int = 2
+    num_ingress_rpbs: int = 11
+    num_egress_rpbs: int = 12
+    max_recirculations: int = 0  # unused; hops come from num_switches
+
+    @property
+    def rpbs_per_switch(self) -> int:
+        return self.num_ingress_rpbs + self.num_egress_rpbs
+
+    @property
+    def num_rpbs(self) -> int:
+        """Global physical RPB count across the whole chain."""
+        return self.rpbs_per_switch * self.num_switches
+
+    @property
+    def num_logic_rpbs(self) -> int:
+        return self.num_rpbs
+
+    def physical_rpb(self, logic_rpb: int) -> int:
+        if not 1 <= logic_rpb <= self.num_logic_rpbs:
+            raise ValueError(f"logic RPB {logic_rpb} out of range")
+        return logic_rpb  # every logic RPB is its own hardware in a chain
+
+    def iteration(self, logic_rpb: int) -> int:
+        """Hop index (0-based) along the chain."""
+        if not 1 <= logic_rpb <= self.num_logic_rpbs:
+            raise ValueError(f"logic RPB {logic_rpb} out of range")
+        return (logic_rpb - 1) // self.rpbs_per_switch
+
+    def is_ingress(self, logic_rpb: int) -> bool:
+        within = (logic_rpb - 1) % self.rpbs_per_switch + 1
+        return within <= self.num_ingress_rpbs
+
+    def local_rpb(self, phys_rpb: int) -> tuple[int, int]:
+        """(hop index, per-switch RPB number) of a global physical RPB."""
+        return (phys_rpb - 1) // self.rpbs_per_switch, (
+            phys_rpb - 1
+        ) % self.rpbs_per_switch + 1
+
+    @property
+    def uses_recirculation(self) -> bool:
+        return False
+
+    @property
+    def memory_revisit_supported(self) -> bool:
+        return False
+
+
+class ResourceView(Protocol):
+    """Current free resources per physical RPB (1-based indices)."""
+
+    def free_entries(self, phys_rpb: int) -> int:
+        """Free table entries in the RPB's match-action table."""
+        ...
+
+    def can_allocate_memory(self, phys_rpb: int, sizes: list[int]) -> bool:
+        """Whether contiguous blocks of the given sizes all fit in the RPB."""
+        ...
+
+
+class UnlimitedResources:
+    """A resource view with everything free — for unit tests and dry runs."""
+
+    def __init__(self, spec: TargetSpec | None = None):
+        self._spec = spec or TargetSpec()
+
+    def free_entries(self, phys_rpb: int) -> int:
+        return self._spec.rpb_table_size
+
+    def can_allocate_memory(self, phys_rpb: int, sizes: list[int]) -> bool:
+        return sum(sizes) <= self._spec.rpb_memory_size

@@ -1,0 +1,408 @@
+"""Primitive translation: pseudo-primitive expansion, address-translation
+offset insertion, and cross-branch memory alignment (paper §4.2/§4.3).
+
+The phases run on the path-tree IR in this order:
+
+1. **Elastic expansion** (optional, AST-level, in :func:`expand_elastic`):
+   replicate the pattern case of a designated BRANCH to the requested
+   number of case blocks, as an operator would when adding lookup keys.
+2. **Pseudo expansion**: rewrite each pseudo primitive into real primitives
+   (Fig. 14), choosing a supportive register and wrapping the expansion in
+   BACKUP/RESTORE only when the register is live (register-lifetime
+   optimization, §4.2).
+3. **Offset insertion**: place the internal OFFSET op (virtual→physical
+   address add + SALU-flag set) immediately before every memory primitive.
+4. **Depth assignment + alignment**: number ops by execution dependency and
+   insert NOPs so that memory primitives on the same virtual memory in
+   *parallel* branches land at the same depth (the hardware cannot access
+   one register array from two stages).
+
+Erratum note: Fig. 14's SUB sequence computes ``A + ~B + m`` which is
+``A - B - 2`` (mod 2^32); the correct two's-complement sequence needs a
+final ``+1``, so our expansion is LOADI(C,m); XOR(B,C); ADD(A,B); XOR(B,C);
+LOADI(C,1); ADD(A,C).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..lang.ast import (
+    Arg,
+    ArgKind,
+    Branch,
+    ProgramDecl,
+    REGISTERS,
+    imm,
+    mem,
+    reg,
+)
+from ..lang.errors import SemanticError
+from ..lang.primitives import MEMORY_PRIMITIVES, PSEUDO_PRIMITIVES
+from .ir import Op, Path, ProgramIR, assign_depths, build_ir
+from .liveness import compute_live_out
+
+REGISTER_MAX = 0xFFFFFFFF
+
+#: Safety cap for the alignment fixpoint loop.
+_MAX_ALIGN_ROUNDS = 100
+
+
+class AlignmentError(SemanticError):
+    """Memory alignment did not converge (pathological program)."""
+
+
+# ---------------------------------------------------------------------------
+# Elastic case expansion
+# ---------------------------------------------------------------------------
+def expand_elastic(program: ProgramDecl, branch_index: int, total_cases: int) -> ProgramDecl:
+    """Return a copy of ``program`` whose ``branch_index``-th BRANCH
+    (pre-order) is grown to ``total_cases`` case blocks.
+
+    New cases replicate the pattern of the existing cases round-robin, with
+    the ``sar`` condition value varied so entries stay distinct — modelling
+    an operator adding lookup keys (more cache keys, more routes, ...).
+    """
+    program = copy.deepcopy(program)
+    branches: list[Branch] = []
+
+    def collect(body) -> None:
+        for stmt in body:
+            if isinstance(stmt, Branch):
+                branches.append(stmt)
+                for case in stmt.cases:
+                    collect(case.body)
+
+    collect(program.body)
+    if branch_index >= len(branches):
+        raise SemanticError(
+            f"program {program.name!r} has no BRANCH #{branch_index} to make elastic"
+        )
+    branch = branches[branch_index]
+    patterns = branch.cases
+    serial = 0
+    while len(branch.cases) < total_cases:
+        pattern = patterns[len(branch.cases) % len(patterns)]
+        serial += 1
+        clone = copy.deepcopy(pattern)
+        varied = False
+        for cond in clone.conditions:
+            if cond.register == "sar":
+                cond.value = (cond.value + serial) & REGISTER_MAX
+                varied = True
+                break
+        if not varied and clone.conditions:
+            cond = clone.conditions[0]
+            cond.value = (cond.value + serial) & REGISTER_MAX
+        branch.cases.append(clone)
+    if len(branch.cases) > total_cases:
+        branch.cases = branch.cases[:total_cases]
+        if not branch.cases:
+            raise SemanticError("elastic expansion cannot remove all case blocks")
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-primitive expansion
+# ---------------------------------------------------------------------------
+@dataclass
+class ExpansionStats:
+    """How much the pseudo expansion grew the program."""
+
+    pseudo_ops: int = 0
+    emitted_ops: int = 0
+    backups_needed: int = 0
+    backups_elided: int = 0
+
+
+def _supportive_register(args: tuple[Arg, ...]) -> str:
+    used = {str(a.value) for a in args if a.kind is ArgKind.REGISTER}
+    for candidate in REGISTERS:
+        if candidate not in used:
+            return candidate
+    raise SemanticError("no supportive register available")
+
+
+def _expand_one(op: Op, support: str) -> tuple[list[tuple[str, tuple[Arg, ...]]], bool]:
+    """Expand one pseudo op; returns (primitive list, uses_support)."""
+    name = op.name
+    regs = [str(a.value) for a in op.args if a.kind is ArgKind.REGISTER]
+    imms = [int(a.value) for a in op.args if a.kind is ArgKind.IMMEDIATE]
+    c = reg(support)
+    if name == "MOVE":
+        a, b = op.args
+        return [("LOADI", (a, imm(0))), ("ADD", (a, b))], False
+    if name == "EQUAL":
+        return [("XOR", op.args)], False
+    if name == "SGT":
+        return [("MIN", op.args), ("XOR", op.args)], False
+    if name == "SLT":
+        return [("MAX", op.args), ("XOR", op.args)], False
+    if name == "ADDI":
+        a = reg(regs[0])
+        return [("LOADI", (c, imm(imms[0]))), ("ADD", (a, c))], True
+    if name == "ANDI":
+        a = reg(regs[0])
+        return [("LOADI", (c, imm(imms[0]))), ("AND", (a, c))], True
+    if name == "XORI":
+        a = reg(regs[0])
+        return [("LOADI", (c, imm(imms[0]))), ("XOR", (a, c))], True
+    if name == "SUBI":
+        a = reg(regs[0])
+        complement = (REGISTER_MAX - imms[0] + 1) & REGISTER_MAX
+        return [("LOADI", (c, imm(complement))), ("ADD", (a, c))], True
+    if name == "NOT":
+        a = reg(regs[0])
+        return [("LOADI", (c, imm(REGISTER_MAX))), ("XOR", (a, c))], True
+    if name == "SUB":
+        a, b = reg(regs[0]), reg(regs[1])
+        return [
+            ("LOADI", (c, imm(REGISTER_MAX))),
+            ("XOR", (b, c)),
+            ("ADD", (a, b)),
+            ("XOR", (b, c)),
+            ("LOADI", (c, imm(1))),
+            ("ADD", (a, c)),
+        ], True
+    raise ValueError(f"not a pseudo primitive: {name}")
+
+
+def expand_pseudo(ir: ProgramIR, *, use_liveness: bool = True) -> ExpansionStats:
+    """Expand all pseudo primitives in place, with lifetime-aware backups.
+
+    ``use_liveness=False`` disables the register-lifetime optimization
+    (§4.2): every supportive register is then backed up and restored,
+    which is what the ablation benchmark measures.
+    """
+    stats = ExpansionStats()
+    live_out = compute_live_out(ir)
+    for path in ir.walk_paths():
+        new_ops: list[Op] = []
+        for op in path.ops:
+            if op.name not in PSEUDO_PRIMITIVES:
+                new_ops.append(op)
+                continue
+            stats.pseudo_ops += 1
+            support = _supportive_register(op.args)
+            seq, uses_support = _expand_one(op, support)
+            needs_backup = uses_support and (
+                not use_liveness or support in live_out[id(op)]
+            )
+            if uses_support and not needs_backup:
+                stats.backups_elided += 1
+            if needs_backup:
+                stats.backups_needed += 1
+                new_ops.append(Op("BACKUP", (reg(support),), path.branch_id, line=op.line))
+            for prim_name, prim_args in seq:
+                new_ops.append(Op(prim_name, prim_args, path.branch_id, line=op.line))
+                stats.emitted_ops += 1
+            if needs_backup:
+                new_ops.append(Op("RESTORE", (reg(support),), path.branch_id, line=op.line))
+        path.ops = new_ops
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Offset insertion
+# ---------------------------------------------------------------------------
+def insert_offsets(ir: ProgramIR) -> int:
+    """Insert the OFFSET internal op before every memory primitive.
+
+    Returns the number of OFFSET ops inserted.  The offset step performs
+    the virtual→physical address addition into a scratch PHV field and sets
+    the SALU flag, one RPB ahead of the SALU access (§4.1.2).
+    """
+    inserted = 0
+    for path in ir.walk_paths():
+        new_ops: list[Op] = []
+        for op in path.ops:
+            if op.name in MEMORY_PRIMITIVES:
+                mid = op.memory_id()
+                assert mid is not None
+                new_ops.append(Op("OFFSET", (mem(mid),), path.branch_id, line=op.line))
+                inserted += 1
+            new_ops.append(op)
+        path.ops = new_ops
+    return inserted
+
+
+# ---------------------------------------------------------------------------
+# Depth alignment
+# ---------------------------------------------------------------------------
+def _dominance_index(ir: ProgramIR) -> dict[int, set[int]]:
+    """Map ``id(op)`` -> set of ``id`` of ops that *dominate* it.
+
+    Op A dominates op B when every packet reaching B has executed A first:
+    A precedes B in the same path, or A precedes (in an ancestor path) the
+    BRANCH chain that opens B's path.  Ops in sibling cases — or in a
+    case vs. the no-match continuation — are parallel (mutually exclusive).
+    """
+    dominators: dict[int, set[int]] = {}
+
+    def walk(path: Path, prefix: list[int]) -> None:
+        chain = list(prefix)
+        for op in path.ops:
+            dominators[id(op)] = set(chain)
+            if op.cases:
+                for case in op.cases:
+                    walk(case.path, chain + [id(op)])
+            chain.append(id(op))
+
+    walk(ir.root, [])
+    return dominators
+
+
+def sequential_memory_pairs(ir: ProgramIR) -> list[tuple[Op, Op]]:
+    """Pairs of same-memory ops where the first dominates the second.
+
+    These become the allocator's constraint (5): the later access must hit
+    the same physical RPB in a later recirculation iteration.
+    """
+    dominators = _dominance_index(ir)
+    mem_ops = [op for op in ir.walk_ops() if op.name in MEMORY_PRIMITIVES]
+    pairs = []
+    for i, first in enumerate(mem_ops):
+        for second in mem_ops[i + 1 :]:
+            if first.memory_id() != second.memory_id():
+                continue
+            if id(first) in dominators[id(second)]:
+                pairs.append((first, second))
+            elif id(second) in dominators[id(first)]:
+                pairs.append((second, first))
+    return pairs
+
+
+def align_memory_depths(ir: ProgramIR) -> int:
+    """Align parallel same-memory ops to a common depth by inserting NOPs.
+
+    Returns the number of NOPs inserted.  Runs to a fixpoint: inserting a
+    NOP shifts later ops in that path, which can disturb other groups.
+    """
+    total_nops = 0
+    for _ in range(_MAX_ALIGN_ROUNDS):
+        assign_depths(ir)
+        dominators = _dominance_index(ir)
+        # Group parallel memory ops by memory id.
+        groups: dict[str, list[Op]] = {}
+        for op in ir.walk_ops():
+            if op.name in MEMORY_PRIMITIVES:
+                groups.setdefault(op.memory_id() or "", []).append(op)
+        adjusted = False
+        for ops in groups.values():
+            for component in _parallel_components(ops, dominators):
+                target = max(op.depth for op in component)
+                for op in component:
+                    if op.depth < target:
+                        total_nops += _delay_op(ir, op, target - op.depth)
+                        adjusted = True
+                if adjusted:
+                    break
+            if adjusted:
+                break  # depths are stale; restart the round
+        if not adjusted:
+            return total_nops
+    raise AlignmentError("memory depth alignment did not converge")
+
+
+def _parallel_components(ops: list[Op], dominators: dict[int, set[int]]) -> list[list[Op]]:
+    """Connected components of the mutual-parallelism graph over same-memory
+    ops, skipping components that contain a dominance relation (those can
+    never share a depth — the allocator's same-physical-RPB constraint
+    still covers them, via recirculation iterations)."""
+
+    def related(a: Op, b: Op) -> bool:
+        return id(a) in dominators[id(b)] or id(b) in dominators[id(a)]
+
+    parent = list(range(len(ops)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i, a in enumerate(ops):
+        for j in range(i + 1, len(ops)):
+            if not related(a, ops[j]):
+                parent[find(i)] = find(j)
+    components: dict[int, list[Op]] = {}
+    for i, op in enumerate(ops):
+        components.setdefault(find(i), []).append(op)
+    result = []
+    for members in components.values():
+        if len(members) < 2:
+            continue
+        has_dominance = any(
+            related(a, b)
+            for i, a in enumerate(members)
+            for b in members[i + 1 :]
+        )
+        if not has_dominance:
+            result.append(members)
+    return result
+
+
+def _delay_op(ir: ProgramIR, op: Op, slots: int) -> int:
+    """Insert ``slots`` NOPs before ``op``'s OFFSET in its path."""
+    for path in ir.walk_paths():
+        if op in path.ops:
+            index = path.ops.index(op)
+            # The OFFSET op immediately precedes the memory op; pad before it.
+            if index > 0 and path.ops[index - 1].name == "OFFSET":
+                index -= 1
+            nops = [Op("NOP", (), path.branch_id, line=op.line) for _ in range(slots)]
+            path.ops[index:index] = nops
+            return slots
+    raise ValueError("op not found in any path")
+
+
+# ---------------------------------------------------------------------------
+# Full translation entry point
+# ---------------------------------------------------------------------------
+@dataclass
+class TranslationResult:
+    ir: ProgramIR
+    stats: ExpansionStats
+    offsets_inserted: int
+    nops_inserted: int
+    sequential_pairs: list[tuple[Op, Op]]
+    #: False when cross-ordered memory accesses made NOP alignment
+    #: impossible and the unaligned fallback was used
+    aligned: bool = True
+
+
+def translate(
+    program: ProgramDecl,
+    *,
+    elastic_branch: int | None = None,
+    elastic_cases: int | None = None,
+) -> TranslationResult:
+    """Run the full translation pipeline on a checked program AST.
+
+    NOP alignment is an optimization (it lets parallel same-memory
+    accesses share one RPB instead of costing recirculation iterations).
+    When two branches access a set of memories in *opposite orders* the
+    alignment fixpoint cannot converge — aligning one memory un-aligns
+    the other forever — so translation falls back to the unaligned IR and
+    leaves placement to the allocator's same-physical-RPB constraints.
+    """
+    if elastic_cases is not None:
+        program = expand_elastic(program, elastic_branch or 0, elastic_cases)
+
+    def build(aligned: bool) -> tuple[ProgramIR, ExpansionStats, int, int]:
+        ir = build_ir(program)
+        stats = expand_pseudo(ir)
+        offsets = insert_offsets(ir)
+        nops = align_memory_depths(ir) if aligned else 0
+        assign_depths(ir)
+        return ir, stats, offsets, nops
+
+    aligned = True
+    try:
+        ir, stats, offsets, nops = build(aligned=True)
+    except AlignmentError:
+        ir, stats, offsets, nops = build(aligned=False)
+        aligned = False
+    pairs = sequential_memory_pairs(ir)
+    return TranslationResult(ir, stats, offsets, nops, pairs, aligned)

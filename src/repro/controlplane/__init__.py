@@ -1,0 +1,47 @@
+"""P4runpro control plane: resource manager, update engine, controller."""
+
+from .controller import Controller, DeployedProgram, DeployStats
+from .freelist import FreeList, FreeListCorruptionError, OutOfMemoryError
+from .incremental import CaseHandle, IncrementalUpdateError, IncrementalUpdater
+from .manager import (
+    INIT_TABLE_CAPACITY,
+    RECIRC_TABLE_CAPACITY,
+    MemoryAllocation,
+    ProgramNotFoundError,
+    ProgramRecord,
+    ProgramState,
+    ResourceManager,
+)
+from .timing import ConventionalP4Timing, SimClock, UpdateTimingModel
+from .update import (
+    DataPlaneBinding,
+    NullBinding,
+    UpdateEngine,
+    UpdateReport,
+)
+
+__all__ = [
+    "ConventionalP4Timing",
+    "Controller",
+    "CaseHandle",
+    "DataPlaneBinding",
+    "DeployStats",
+    "DeployedProgram",
+    "FreeList",
+    "FreeListCorruptionError",
+    "INIT_TABLE_CAPACITY",
+    "IncrementalUpdateError",
+    "IncrementalUpdater",
+    "MemoryAllocation",
+    "NullBinding",
+    "OutOfMemoryError",
+    "ProgramNotFoundError",
+    "ProgramRecord",
+    "ProgramState",
+    "RECIRC_TABLE_CAPACITY",
+    "ResourceManager",
+    "SimClock",
+    "UpdateEngine",
+    "UpdateReport",
+    "UpdateTimingModel",
+]

@@ -1,0 +1,339 @@
+"""The P4runpro control-plane controller: the operator-facing API.
+
+This is the facade the paper's runtime CLI wraps (§5): deploy a P4runpro
+source, revoke a running program, read/write a program's virtual memory
+through address translation, and monitor resource usage.  It wires
+together the compiler, the resource manager, and the consistent-update
+engine.
+
+Typical use::
+
+    from repro.controlplane import Controller
+    ctl = Controller.with_simulator()           # builds a simulated switch
+    handle = ctl.deploy(CACHE_SOURCE)
+    ctl.write_memory(handle, "mem1", 512, 0xabcd)
+    ...
+    ctl.revoke(handle)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclasses_field
+
+from ..compiler.compiler import (
+    CompileOptions,
+    CompiledProgram,
+    compile_program,
+    parse_and_check,
+)
+from ..compiler.target import TargetSpec
+from ..lang.errors import P4runproError
+from .manager import ProgramRecord, ResourceManager
+from .timing import SimClock, UpdateTimingModel
+from .update import DataPlaneBinding, NullBinding, UpdateEngine
+
+
+@dataclass
+class DeployStats:
+    """Timing breakdown of one deployment (paper §6.2.1)."""
+
+    program: str
+    program_id: int
+    parse_ms: float
+    allocation_ms: float
+    update_ms: float
+    entries: int
+    logic_rpbs: list[int]
+    #: running programs whose filters overlap this one's (first-match
+    #: ownership applies; see repro.controlplane.overlap)
+    overlap_warnings: list = dataclasses_field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.parse_ms + self.allocation_ms + self.update_ms
+
+
+@dataclass
+class DeployedProgram:
+    """Operator handle to a running program."""
+
+    program_id: int
+    name: str
+    stats: DeployStats
+
+
+class Controller:
+    """P4runpro control plane: compiler + resource manager + updater."""
+
+    def __init__(
+        self,
+        binding: DataPlaneBinding | None = None,
+        *,
+        spec: TargetSpec | None = None,
+        clock: SimClock | None = None,
+        timing: UpdateTimingModel | None = None,
+    ):
+        self.spec = spec or TargetSpec()
+        self.manager = ResourceManager(self.spec)
+        self.clock = clock or SimClock()
+        self.updater = UpdateEngine(binding or NullBinding(), self.clock, timing)
+        from .incremental import IncrementalUpdater
+
+        self.incremental = IncrementalUpdater(self.manager, self.updater)
+
+    @classmethod
+    def with_simulator(
+        cls,
+        *,
+        spec: TargetSpec | None = None,
+        clock: SimClock | None = None,
+        timing: UpdateTimingModel | None = None,
+        parse_machine=None,
+    ) -> tuple["Controller", "object"]:
+        """Build a controller bound to a freshly provisioned simulator.
+
+        Returns ``(controller, dataplane)`` — the data plane exposes the
+        simulated switch for traffic injection.  ``parse_machine``
+        customizes the compile-time parser (paper §5: "the parser and the
+        initialization block can be customized").
+        """
+        from ..dataplane.runpro import P4runproDataPlane
+
+        dataplane = P4runproDataPlane(spec or TargetSpec(), parse_machine)
+        controller = cls(dataplane, spec=spec, clock=clock, timing=timing)
+        return controller, dataplane
+
+    @classmethod
+    def with_chain(
+        cls,
+        num_switches: int = 2,
+        *,
+        clock: SimClock | None = None,
+        timing: UpdateTimingModel | None = None,
+    ) -> tuple["Controller", "object"]:
+        """Build a controller driving a chain of recirculation-free
+        P4runpro switches (paper §4.1.3's alternative to recirculation)."""
+        from ..compiler.target import ChainSpec
+        from ..dataplane.chain import SwitchChain
+
+        spec = ChainSpec(num_switches=num_switches)
+        chain = SwitchChain(spec)
+        controller = cls(chain, spec=spec, clock=clock, timing=timing)
+        return controller, chain
+
+    # -- deployment -----------------------------------------------------------
+    def compile(
+        self, source: str, *, program_name: str | None = None, options: CompileOptions | None = None
+    ) -> CompiledProgram:
+        """Compile against current resource state without deploying."""
+        import time
+
+        t0 = time.perf_counter()
+        unit = parse_and_check(source)
+        parse_time = time.perf_counter() - t0
+        program = self._select(unit, program_name)
+        compiled = compile_program(
+            unit, program, spec=self.spec, view=self.manager, options=options
+        )
+        compiled.parse_time_s = parse_time
+        return compiled
+
+    def deploy(
+        self,
+        source: str | CompiledProgram,
+        *,
+        program_name: str | None = None,
+        options: CompileOptions | None = None,
+    ) -> DeployedProgram:
+        """Compile (if needed), allocate, and consistently install a program.
+
+        Raises :class:`~repro.lang.errors.AllocationError` when the data
+        plane cannot host the program; nothing is modified in that case.
+        """
+        if isinstance(source, CompiledProgram):
+            compiled = source
+        else:
+            compiled = self.compile(source, program_name=program_name, options=options)
+        from .overlap import detect_overlaps
+
+        warnings = detect_overlaps(
+            self.manager.programs(), compiled.name, compiled.program.filters
+        )
+        record = self.manager.admit(compiled)
+        try:
+            report = self.updater.install(record)
+        except Exception:
+            # The update engine already rolled back every installed entry;
+            # release the admission's reservations and memory too.
+            self.manager.abort_admission(record)
+            raise
+        self.manager.mark_running(record)
+        stats = DeployStats(
+            program=compiled.name,
+            program_id=record.program_id,
+            parse_ms=compiled.parse_time_s * 1e3,
+            allocation_ms=(compiled.translate_time_s + compiled.allocate_time_s) * 1e3,
+            update_ms=report.update_delay_ms,
+            entries=report.entries,
+            logic_rpbs=list(compiled.allocation.x),
+            overlap_warnings=warnings,
+        )
+        return DeployedProgram(record.program_id, compiled.name, stats)
+
+    def revoke(self, handle: DeployedProgram | int) -> float:
+        """Consistently remove a program; returns the update delay in ms."""
+        program_id = handle.program_id if isinstance(handle, DeployedProgram) else handle
+        record = self.manager.begin_removal(program_id)
+        # Dynamically added cases are deleted with the program: remove
+        # their entries first (their case entries key off the program ID
+        # that is about to be disabled anyway), then the static batch.
+        for case in self.incremental.live_cases(program_id):
+            if case.case_entry is not None:
+                self.updater.binding.delete_entry(*case.case_entry)
+            for table, table_handle in case.body_entries:
+                self.updater.binding.delete_entry(table, table_handle)
+        self.incremental.drop_program(program_id)
+        report = self.updater.remove(record)
+        self.manager.finish_removal(record)
+        return report.update_delay_ms
+
+    # -- incremental updates (paper §7 future work) ---------------------------
+    def add_case(
+        self,
+        handle: DeployedProgram | int,
+        conditions: list[tuple[str, int, int]],
+        *,
+        branch_index: int = 0,
+        template_case: int = 0,
+        loadi_values: list[int] | None = None,
+    ):
+        """Grow a running program's BRANCH with a new case block (e.g. a
+        new cache key) without redeploying it.  Returns a case handle for
+        later :meth:`remove_case`."""
+        program_id = handle.program_id if isinstance(handle, DeployedProgram) else handle
+        record = self.manager.get(program_id)
+        return self.incremental.add_case(
+            record,
+            conditions,
+            branch_index=branch_index,
+            template_case=template_case,
+            loadi_values=loadi_values,
+        )
+
+    def remove_case(self, handle: DeployedProgram | int, case_handle) -> None:
+        """Remove a dynamically added case block from a running program."""
+        program_id = handle.program_id if isinstance(handle, DeployedProgram) else handle
+        record = self.manager.get(program_id)
+        self.incremental.remove_case(record, case_handle)
+
+    # -- memory access (raw APIs with address translation) ---------------------
+    def read_memory(self, handle: DeployedProgram | int, mid: str, vaddr: int) -> int:
+        record, alloc = self._memory(handle, mid)
+        binding = self.updater.binding
+        if not hasattr(binding, "read_bucket"):
+            raise P4runproError("binding does not support memory reads")
+        self.clock.advance_ms(self.updater.timing.register_access_ms)
+        self._check_vaddr(alloc, vaddr)
+        return binding.read_bucket(alloc.phys_rpb, alloc.translate(vaddr))
+
+    def write_memory(
+        self, handle: DeployedProgram | int, mid: str, vaddr: int, value: int
+    ) -> None:
+        record, alloc = self._memory(handle, mid)
+        binding = self.updater.binding
+        if not hasattr(binding, "write_bucket"):
+            raise P4runproError("binding does not support memory writes")
+        self.clock.advance_ms(self.updater.timing.register_access_ms)
+        self._check_vaddr(alloc, vaddr)
+        binding.write_bucket(alloc.phys_rpb, alloc.translate(vaddr), value)
+
+    def configure_multicast_group(self, group: int, ports: list[int]) -> None:
+        """Program a traffic-manager multicast group (MULTICAST extension)."""
+        binding = self.updater.binding
+        if not hasattr(binding, "configure_multicast_group"):
+            raise P4runproError("binding does not support multicast groups")
+        binding.configure_multicast_group(group, ports)
+
+    # -- monitoring ------------------------------------------------------------
+    def program_stats(self, handle: DeployedProgram | int) -> dict[str, int]:
+        """Per-program runtime statistics via the entries' direct counters.
+
+        Returns ``matched_packets`` (hits on the init/filter entry — each
+        owned packet matches it exactly once), ``total_entry_hits`` (sum
+        over every installed entry, i.e. atomic operations executed), and
+        ``entries`` (installed entry count).
+        """
+        program_id = handle.program_id if isinstance(handle, DeployedProgram) else handle
+        record = self.manager.get(program_id)
+        binding = self.updater.binding
+        if not hasattr(binding, "read_entry_counter"):
+            raise P4runproError("binding does not expose entry counters")
+        from ..dataplane import constants as dp_constants
+
+        matched = 0
+        total = 0
+        for table, entry_handle in record.installed_handles:
+            hits = binding.read_entry_counter(table, entry_handle)
+            total += hits
+            if table == dp_constants.INIT_TABLE:
+                matched += hits
+        return {
+            "matched_packets": matched,
+            "total_entry_hits": total,
+            "entries": len(record.installed_handles),
+        }
+
+    def snapshot_memory(
+        self, handle: DeployedProgram | int, mid: str
+    ) -> list[int]:
+        """Dump a program's whole virtual memory block (monitoring API)."""
+        program_id = handle.program_id if isinstance(handle, DeployedProgram) else handle
+        record = self.manager.get(program_id)
+        alloc = record.memory.get(mid)
+        if alloc is None:
+            raise P4runproError(f"program {record.name!r} has no memory {mid!r}")
+        binding = self.updater.binding
+        if not hasattr(binding, "read_bucket"):
+            raise P4runproError("binding does not support memory reads")
+        return [
+            binding.read_bucket(alloc.phys_rpb, alloc.translate(offset))
+            for offset in range(alloc.size)
+        ]
+
+    def running_programs(self) -> list[ProgramRecord]:
+        return self.manager.programs()
+
+    def utilization(self) -> dict[str, float]:
+        return {
+            "memory": self.manager.memory_utilization(),
+            "entries": self.manager.entry_utilization(),
+        }
+
+    # -- internals ----------------------------------------------------------------
+    def _select(self, unit, program_name: str | None):
+        if program_name is None:
+            if len(unit.programs) != 1:
+                raise P4runproError(
+                    "source declares multiple programs; pass program_name"
+                )
+            return unit.programs[0]
+        for program in unit.programs:
+            if program.name == program_name:
+                return program
+        raise P4runproError(f"source has no program named {program_name!r}")
+
+    def _memory(self, handle: DeployedProgram | int, mid: str):
+        program_id = handle.program_id if isinstance(handle, DeployedProgram) else handle
+        record = self.manager.get(program_id)
+        alloc = record.memory.get(mid)
+        if alloc is None:
+            raise P4runproError(f"program {record.name!r} has no memory {mid!r}")
+        return record, alloc
+
+    @staticmethod
+    def _check_vaddr(alloc, vaddr: int) -> int:
+        if not 0 <= vaddr < alloc.size:
+            raise P4runproError(
+                f"virtual address {vaddr} out of range for {alloc.mid} (size {alloc.size})"
+            )
+        return vaddr

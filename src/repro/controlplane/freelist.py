@@ -1,0 +1,243 @@
+"""Doubly-linked free lists for per-RPB memory partitions (paper §4.3).
+
+The resource manager "uses bidirectional linked lists to maintain free
+memory partitions, supporting only continuous memory allocation".  This is
+that structure: first-fit allocation of contiguous runs, coalescing on
+free, plus the lock/reset protocol used while a terminated program's
+memory is being zeroed (Fig. 6 step 4: locked memory is unavailable for
+reallocation until the reset completes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class OutOfMemoryError(RuntimeError):
+    """No contiguous free run large enough for the request."""
+
+
+class FreeListCorruptionError(RuntimeError):
+    """Freeing a range that is not currently allocated."""
+
+
+def _plan_against(runs: list[int], size: int, max_fragments: int) -> list[int] | None:
+    """Greedy fragment plan against (and deducting from) ``runs``:
+    repeatedly place the largest power-of-two chunk of the remaining demand
+    into the largest free run that fits it.  The resulting fragment sizes
+    are non-increasing, so cumulative virtual offsets stay aligned to each
+    fragment's size (the prefix-match requirement of direct mapping)."""
+    runs.sort(reverse=True)
+    remaining = size
+    plan: list[int] = []
+    while remaining and len(plan) < max_fragments:
+        if not runs or runs[0] <= 0:
+            return None
+        largest = runs[0]
+        chunk = 1 << (remaining.bit_length() - 1)  # pow2 floor of remaining
+        chunk = min(chunk, 1 << (largest.bit_length() - 1))
+        if chunk == 0:
+            return None
+        plan.append(chunk)
+        remaining -= chunk
+        runs[0] -= chunk
+        runs.sort(reverse=True)
+        while runs and runs[-1] == 0:
+            runs.pop()
+    return plan if remaining == 0 else None
+
+
+@dataclass
+class _Node:
+    start: int
+    size: int
+    prev: "_Node | None" = None
+    next: "_Node | None" = None
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class FreeList:
+    """First-fit contiguous allocator over ``[0, capacity)``."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._head: _Node | None = _Node(0, capacity)
+        self._allocated: dict[int, int] = {}  # base -> size
+        self._locked: dict[int, int] = {}  # base -> size (held during reset)
+        #: cached (start, size) runs — the allocator's feasibility prechecks
+        #: call free_runs() millions of times between mutations
+        self._runs_cache: list[tuple[int, int]] | None = None
+
+    # -- queries ---------------------------------------------------------------
+    def free_total(self) -> int:
+        total = 0
+        node = self._head
+        while node is not None:
+            total += node.size
+            node = node.next
+        return total
+
+    def allocated_total(self) -> int:
+        return sum(self._allocated.values()) + sum(self._locked.values())
+
+    def utilization(self) -> float:
+        return self.allocated_total() / self.capacity
+
+    def largest_free_run(self) -> int:
+        largest = 0
+        node = self._head
+        while node is not None:
+            largest = max(largest, node.size)
+            node = node.next
+        return largest
+
+    def free_runs(self) -> list[tuple[int, int]]:
+        """(start, size) of every free partition, in address order."""
+        if self._runs_cache is None:
+            runs = []
+            node = self._head
+            while node is not None:
+                runs.append((node.start, node.size))
+                node = node.next
+            self._runs_cache = runs
+        return list(self._runs_cache)
+
+    def can_allocate(self, sizes: list[int]) -> bool:
+        """Whether a first-fit pass could place all ``sizes`` at once."""
+        runs = [size for _, size in self.free_runs()]
+        # Largest-first improves the simulation's accuracy for multi-block
+        # requests without changing single-block answers.
+        for want in sorted(sizes, reverse=True):
+            for i, have in enumerate(runs):
+                if have >= want:
+                    runs[i] = have - want
+                    break
+            else:
+                return False
+        return True
+
+    # -- allocation --------------------------------------------------------------
+    def allocate(self, size: int) -> int:
+        """First-fit allocate; returns the base address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        node = self._head
+        while node is not None:
+            if node.size >= size:
+                base = node.start
+                node.start += size
+                node.size -= size
+                if node.size == 0:
+                    self._unlink(node)
+                self._allocated[base] = size
+                self._runs_cache = None
+                return base
+            node = node.next
+        raise OutOfMemoryError(f"no contiguous run of {size} buckets available")
+
+    def free(self, base: int) -> None:
+        """Return an allocated block to the free list, coalescing."""
+        size = self._allocated.pop(base, None)
+        if size is None:
+            raise FreeListCorruptionError(f"base {base} is not allocated")
+        self._insert_free(base, size)
+
+    # -- fragmented allocation (SwitchVM-style direct mapping, paper §7) ----
+    def can_allocate_fragments(self, size: int, max_fragments: int = 8) -> bool:
+        """Whether ``size`` buckets can be served by at most
+        ``max_fragments`` power-of-two fragments carved from free runs."""
+        return self._plan_fragments(size, max_fragments) is not None
+
+    def can_allocate_all_fragmented(
+        self, sizes: list[int], max_fragments: int = 8
+    ) -> bool:
+        """Joint feasibility: can every request be fragment-served at once?
+
+        Simulates sequential planning, largest request first, deducting
+        each plan from a copy of the free runs.
+        """
+        runs = [s for _b, s in self.free_runs()]
+        for size in sorted(sizes, reverse=True):
+            plan = _plan_against(runs, size, max_fragments)
+            if plan is None:
+                return False
+        return True
+
+    def allocate_fragments(self, size: int, max_fragments: int = 8) -> list[tuple[int, int]]:
+        """Allocate ``size`` buckets as power-of-two fragments.
+
+        Returns ``[(base, fragment_size), ...]`` in virtual-address order
+        (the caller maps virtual offset 0 to the first fragment).  Falls
+        back to a single contiguous block when one fits.
+        """
+        plan = self._plan_fragments(size, max_fragments)
+        if plan is None:
+            raise OutOfMemoryError(
+                f"cannot serve {size} buckets with {max_fragments} fragments"
+            )
+        fragments = []
+        for fragment_size in plan:
+            base = self.allocate(fragment_size)
+            fragments.append((base, fragment_size))
+        return fragments
+
+    def _plan_fragments(self, size: int, max_fragments: int) -> list[int] | None:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        runs = [s for _b, s in self.free_runs()]
+        return _plan_against(runs, size, max_fragments)
+
+    # -- lock / reset protocol ------------------------------------------------
+    def lock(self, base: int) -> None:
+        """Move an allocated block to the locked state (pending reset)."""
+        size = self._allocated.pop(base, None)
+        if size is None:
+            raise FreeListCorruptionError(f"base {base} is not allocated")
+        self._locked[base] = size
+
+    def unlock_and_free(self, base: int) -> None:
+        """Release a locked block after its reset completed."""
+        size = self._locked.pop(base, None)
+        if size is None:
+            raise FreeListCorruptionError(f"base {base} is not locked")
+        self._insert_free(base, size)
+
+    def locked_ranges(self) -> list[tuple[int, int]]:
+        return sorted(self._locked.items())
+
+    # -- internals -----------------------------------------------------------
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+
+    def _insert_free(self, base: int, size: int) -> None:
+        self._runs_cache = None
+        # Find the first free node starting after `base`.
+        node = self._head
+        prev: _Node | None = None
+        while node is not None and node.start < base:
+            prev = node
+            node = node.next
+        new = _Node(base, size, prev=prev, next=node)
+        if prev is not None:
+            prev.next = new
+        else:
+            self._head = new
+        if node is not None:
+            node.prev = new
+        # Coalesce with neighbours.
+        if new.next is not None and new.end == new.next.start:
+            new.size += new.next.size
+            self._unlink(new.next)
+        if new.prev is not None and new.prev.end == new.start:
+            new.prev.size += new.size
+            self._unlink(new)

@@ -1,0 +1,259 @@
+"""Incremental updates of running programs (paper §7, "Incremental
+Update" — future work implemented here).
+
+The motivating example: adding a key-value pair to a running cache means
+embedding additional case blocks in its BRANCH.  Rather than revoking and
+redeploying the whole program (the paper's workaround), this module grows
+and shrinks a *running* program's case blocks in place:
+
+* :meth:`IncrementalUpdater.add_case` clones a template case of a chosen
+  BRANCH under a fresh branch ID, with new match conditions and
+  per-LOADI immediate overrides (e.g. the new key's memory address), and
+  installs the entries consistently — body first, the BRANCH case entry
+  last, so no packet ever sees a half-added case;
+* :meth:`IncrementalUpdater.remove_case` deletes the BRANCH case entry
+  first (atomically disabling the case) and then the body entries.
+
+Resource accounting goes through the same manager reservations as full
+deployments, so capacity-and-failure behaviour stays consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.entries import EntryConfig, KeySpec, _data, _flag_keys
+from ..compiler.ir import CaseInfo, Op
+from ..dataplane import constants as dp
+from ..lang.errors import P4runproError
+from .manager import ProgramRecord, ResourceManager
+from .update import UpdateEngine
+
+
+class IncrementalUpdateError(P4runproError):
+    """The requested case edit cannot be applied."""
+
+
+@dataclass
+class CaseHandle:
+    """A dynamically added case block of a running program."""
+
+    program_id: int
+    branch_id: int
+    #: the BRANCH case entry (installed last, deleted first)
+    case_entry: tuple[str, int] | None = None
+    #: body entries in install order
+    body_entries: list[tuple[str, int]] = field(default_factory=list)
+    tables_reserved: dict[str, int] = field(default_factory=dict)
+
+
+def _branches_preorder(record: ProgramRecord) -> list[Op]:
+    return [op for op in record.compiled.ir.walk_ops() if op.is_branch]
+
+
+def _template_case(record: ProgramRecord, branch: Op, index: int) -> CaseInfo:
+    cases = branch.cases or []
+    if not 0 <= index < len(cases):
+        raise IncrementalUpdateError(
+            f"program {record.name!r}: BRANCH has no case #{index}"
+        )
+    template = cases[index]
+    for op in template.path.ops:
+        if op.is_branch:
+            raise IncrementalUpdateError(
+                "cannot clone a case containing a nested BRANCH incrementally"
+            )
+    return template
+
+
+class IncrementalUpdater:
+    """Applies case-block edits to running programs."""
+
+    def __init__(self, manager: ResourceManager, updater: UpdateEngine):
+        self.manager = manager
+        self.updater = updater
+        #: program_id -> next free branch ID for dynamic cases
+        self._next_branch: dict[int, int] = {}
+        #: live dynamic cases per program
+        self._cases: dict[int, list[CaseHandle]] = {}
+
+    # -- add ---------------------------------------------------------------------
+    def add_case(
+        self,
+        record: ProgramRecord,
+        conditions: list[tuple[str, int, int]],
+        *,
+        branch_index: int = 0,
+        template_case: int = 0,
+        loadi_values: list[int] | None = None,
+    ) -> CaseHandle:
+        """Add a case block cloned from ``template_case`` of the
+        ``branch_index``-th BRANCH (pre-order), matching ``conditions``
+        (register, value, mask) and overriding the template body's LOADI
+        immediates with ``loadi_values`` in order."""
+        branches = _branches_preorder(record)
+        if branch_index >= len(branches):
+            raise IncrementalUpdateError(
+                f"program {record.name!r} has no BRANCH #{branch_index}"
+            )
+        branch = branches[branch_index]
+        template = _template_case(record, branch, template_case)
+        if not conditions:
+            raise IncrementalUpdateError("a case needs at least one condition")
+
+        branch_id = self._fresh_branch_id(record)
+        spec = self.manager.spec
+        allocation = record.compiled.allocation
+        entries: list[EntryConfig] = []
+        loadi_values = list(loadi_values or [])
+        loadi_cursor = 0
+        bases = {
+            mid: (alloc.phys_rpb, alloc.virtual_layout())
+            for mid, alloc in record.memory.items()
+        }
+        for op in template.path.ops:
+            if op.name == "NOP":
+                continue
+            logic = allocation.x[op.depth - 1]
+            table = dp.rpb_table(spec.physical_rpb(logic))
+            recirc_id = spec.iteration(logic)
+            action, data = self._action_for(
+                op, bases, record, loadi_values, loadi_cursor
+            )
+            if op.name == "LOADI" and loadi_cursor < len(loadi_values):
+                loadi_cursor += 1
+            entries.append(
+                EntryConfig(
+                    table,
+                    tuple(_flag_keys(record.program_id, branch_id, recirc_id)),
+                    action,
+                    data,
+                )
+            )
+        # The BRANCH case entry itself: keyed on the registers, installed
+        # last so the new case activates atomically.
+        branch_logic = allocation.x[branch.depth - 1]
+        branch_table = dp.rpb_table(spec.physical_rpb(branch_logic))
+        branch_recirc = spec.iteration(branch_logic)
+        keys = _flag_keys(record.program_id, branch.branch_id, branch_recirc)
+        for register, value, mask in conditions:
+            if register not in dp.REGISTER_FIELDS:
+                raise IncrementalUpdateError(f"unknown register {register!r}")
+            keys.append(KeySpec(dp.REGISTER_FIELDS[register], value, mask))
+        case_entry = EntryConfig(
+            branch_table,
+            tuple(keys),
+            dp.ACTION_SET_BRANCH,
+            _data(branch_id=branch_id),
+            priority=len(branch.cases or []) + len(self._cases.get(record.program_id, [])),
+        )
+
+        handle = CaseHandle(record.program_id, branch_id)
+        self._reserve(handle, entries + [case_entry])
+        try:
+            for entry in entries:
+                table_handle = self.updater.binding.insert_entry(entry)
+                handle.body_entries.append((entry.table, table_handle))
+            table_handle = self.updater.binding.insert_entry(case_entry)
+            handle.case_entry = (case_entry.table, table_handle)
+        except Exception:
+            self._rollback(handle)
+            raise
+        self.updater.clock.advance_ms(
+            self.updater.timing.install_delay_ms(len(entries) + 1)
+        )
+        self._cases.setdefault(record.program_id, []).append(handle)
+        return handle
+
+    # -- remove -------------------------------------------------------------------
+    def remove_case(self, record: ProgramRecord, handle: CaseHandle) -> None:
+        """Remove a dynamically added case: its BRANCH entry first."""
+        live = self._cases.get(record.program_id, [])
+        if handle not in live:
+            raise IncrementalUpdateError("case handle is not live")
+        if handle.case_entry is not None:
+            self.updater.binding.delete_entry(*handle.case_entry)
+        for table, table_handle in handle.body_entries:
+            self.updater.binding.delete_entry(table, table_handle)
+        self.updater.clock.advance_ms(
+            self.updater.timing.delete_delay_ms(len(handle.body_entries) + 1)
+        )
+        self._release(handle)
+        live.remove(handle)
+
+    def live_cases(self, program_id: int) -> list[CaseHandle]:
+        return list(self._cases.get(program_id, []))
+
+    def drop_program(self, program_id: int) -> None:
+        """Forget dynamic-case bookkeeping when a program is revoked.
+
+        Their entries are already covered by the program's removal (the
+        manager releases reservations per installed handle), so only the
+        reservations this module made must be returned.
+        """
+        for handle in self._cases.pop(program_id, []):
+            self._release(handle)
+
+    # -- internals ------------------------------------------------------------------
+    def _fresh_branch_id(self, record: ProgramRecord) -> int:
+        start = self._next_branch.get(
+            record.program_id, record.compiled.ir.num_branches
+        )
+        self._next_branch[record.program_id] = start + 1
+        return start
+
+    def _action_for(self, op, bases, record, loadi_values, loadi_cursor):
+        if op.name == "LOADI":
+            reg_arg, imm_arg = op.args
+            value = (
+                loadi_values[loadi_cursor]
+                if loadi_cursor < len(loadi_values)
+                else int(imm_arg.value)
+            )
+            return "LOADI", _data(reg=str(reg_arg.value), value=value)
+        if op.name == "OFFSET":
+            mid = op.memory_id()
+            if mid is None or mid not in bases:
+                raise IncrementalUpdateError(f"template references unknown memory {mid!r}")
+            _phys, layout = bases[mid]
+            if len(layout) > 1:
+                raise IncrementalUpdateError(
+                    f"memory {mid!r} is direct-mapped across {len(layout)} "
+                    "fragments; incremental case cloning supports contiguous "
+                    "blocks only"
+                )
+            _voff, pbase, _fsize = layout[0]
+            return "OFFSET", _data(base=pbase, mid=mid)
+        # Everything else reuses the static entry generator's encoding.
+        from ..compiler.entries import EntryGenerator
+
+        generator = EntryGenerator(self.manager.spec)
+        return generator._action_for(op, record.compiled.memory_decls())
+
+    def _reserve(self, handle: CaseHandle, entries: list[EntryConfig]) -> None:
+        per_table: dict[str, int] = {}
+        for entry in entries:
+            per_table[entry.table] = per_table.get(entry.table, 0) + 1
+        for table, count in per_table.items():
+            free = (
+                self.manager._entry_capacity[table]
+                - self.manager._entries_reserved[table]
+            )
+            if count > free:
+                raise IncrementalUpdateError(
+                    f"table {table} cannot hold {count} more entries"
+                )
+        for table, count in per_table.items():
+            self.manager._entries_reserved[table] += count
+        handle.tables_reserved = per_table
+
+    def _release(self, handle: CaseHandle) -> None:
+        for table, count in handle.tables_reserved.items():
+            self.manager._entries_reserved[table] -= count
+        handle.tables_reserved = {}
+
+    def _rollback(self, handle: CaseHandle) -> None:
+        for table, table_handle in handle.body_entries:
+            self.updater.binding.delete_entry(table, table_handle)
+        handle.body_entries.clear()
+        self._release(handle)

@@ -1,0 +1,234 @@
+"""The P4runpro resource manager (paper §3.1, §4.3).
+
+Maintains dynamic resource usage: per-RPB memory free lists, per-table
+entry reservations, and the registry of running programs.  It is the
+compiler's :class:`~repro.compiler.target.ResourceView` — allocation
+feasibility is always judged against the manager's current state — and the
+authority the controller consults when deploying, revoking, or monitoring
+programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..compiler.compiler import CompiledProgram
+from ..compiler.entries import EntryBatch
+from ..compiler.target import TargetSpec
+from ..dataplane import constants as dp
+from .freelist import FreeList, OutOfMemoryError
+
+
+class ProgramState(Enum):
+    INSTALLING = "installing"
+    RUNNING = "running"
+    REMOVING = "removing"
+    REMOVED = "removed"
+
+
+@dataclass
+class MemoryAllocation:
+    mid: str
+    phys_rpb: int
+    base: int
+    size: int
+    #: physical fragments serving the block, in virtual-address order:
+    #: [(physical base, fragment size)]; one entry == contiguous
+    fragments: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.fragments:
+            self.fragments = [(self.base, self.size)]
+
+    def virtual_layout(self) -> list[tuple[int, int, int]]:
+        """[(virtual offset, physical base, fragment size)]."""
+        layout = []
+        offset = 0
+        for phys_base, fragment_size in self.fragments:
+            layout.append((offset, phys_base, fragment_size))
+            offset += fragment_size
+        return layout
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual address -> physical bucket address."""
+        for offset, phys_base, fragment_size in self.virtual_layout():
+            if offset <= vaddr < offset + fragment_size:
+                return phys_base + (vaddr - offset)
+        raise ValueError(f"virtual address {vaddr} outside {self.mid}")
+
+
+@dataclass
+class ProgramRecord:
+    """A deployed program's lifecycle record."""
+
+    name: str
+    program_id: int
+    compiled: CompiledProgram
+    batch: EntryBatch
+    memory: dict[str, MemoryAllocation]
+    state: ProgramState = ProgramState.INSTALLING
+    #: (table, handle) pairs of installed entries, in install order
+    installed_handles: list[tuple[str, int]] = field(default_factory=list)
+
+
+class ProgramNotFoundError(KeyError):
+    """Unknown program ID/handle."""
+
+
+#: Capacities of the fixed (non-RPB) tables.
+INIT_TABLE_CAPACITY = 8192
+RECIRC_TABLE_CAPACITY = 4096
+
+
+class ResourceManager:
+    """Tracks free resources and running programs."""
+
+    def __init__(self, spec: TargetSpec | None = None):
+        self.spec = spec or TargetSpec()
+        self._freelists: dict[int, FreeList] = {
+            phys: FreeList(self.spec.rpb_memory_size)
+            for phys in range(1, self.spec.num_rpbs + 1)
+        }
+        self._entry_capacity: dict[str, int] = {
+            dp.rpb_table(phys): self.spec.rpb_table_size
+            for phys in range(1, self.spec.num_rpbs + 1)
+        }
+        self._entry_capacity[dp.INIT_TABLE] = INIT_TABLE_CAPACITY
+        self._entry_capacity[dp.RECIRC_TABLE] = RECIRC_TABLE_CAPACITY
+        self._entries_reserved: dict[str, int] = dict.fromkeys(self._entry_capacity, 0)
+        self._programs: dict[int, ProgramRecord] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- ResourceView protocol -----------------------------------------------------
+    def free_entries(self, phys_rpb: int) -> int:
+        table = dp.rpb_table(phys_rpb)
+        return self._entry_capacity[table] - self._entries_reserved[table]
+
+    def can_allocate_memory(self, phys_rpb: int, sizes: list[int]) -> bool:
+        return self._freelists[phys_rpb].can_allocate(sizes)
+
+    def can_allocate_memory_direct(self, phys_rpb: int, sizes: list[int]) -> bool:
+        """Fragmented feasibility (direct mapping, paper §7)."""
+        return self._freelists[phys_rpb].can_allocate_all_fragmented(sizes)
+
+    # -- program lifecycle -----------------------------------------------------------
+    def admit(self, compiled: CompiledProgram) -> ProgramRecord:
+        """Reserve resources for a compiled program and mint its record.
+
+        Allocates memory bases via the free lists, emits the entry batch,
+        and reserves the table entries.  Rolls everything back and raises
+        if any step fails (the allocation vector should have guaranteed
+        feasibility, so a failure here indicates a race or model bug).
+        """
+        program_id = next(self._id_counter)
+        memory: dict[str, MemoryAllocation] = {}
+        try:
+            for mid, (phys, size) in sorted(compiled.memory_requests().items()):
+                if getattr(compiled, "direct_memory", False):
+                    fragments = self._freelists[phys].allocate_fragments(size)
+                else:
+                    fragments = [(self._freelists[phys].allocate(size), size)]
+                memory[mid] = MemoryAllocation(
+                    mid, phys, fragments[0][0], size, fragments=fragments
+                )
+        except OutOfMemoryError:
+            for alloc in memory.values():
+                for phys_base, _fsize in alloc.fragments:
+                    self._freelists[alloc.phys_rpb].free(phys_base)
+            raise
+        bases = {
+            mid: (alloc.phys_rpb, alloc.virtual_layout())
+            for mid, alloc in memory.items()
+        }
+        batch = compiled.emit_entries(self.spec, program_id, bases)
+        # Reserve entries per table; verify capacity.
+        per_table: dict[str, int] = {}
+        for entry in batch.install_order():
+            per_table[entry.table] = per_table.get(entry.table, 0) + 1
+        for table, count in per_table.items():
+            if self._entries_reserved[table] + count > self._entry_capacity[table]:
+                for alloc in memory.values():
+                    self._freelists[alloc.phys_rpb].free(alloc.base)
+                raise OutOfMemoryError(
+                    f"table {table} cannot hold {count} more entries"
+                )
+        for table, count in per_table.items():
+            self._entries_reserved[table] += count
+        record = ProgramRecord(compiled.name, program_id, compiled, batch, memory)
+        self._programs[program_id] = record
+        return record
+
+    def mark_running(self, record: ProgramRecord) -> None:
+        record.state = ProgramState.RUNNING
+
+    def abort_admission(self, record: ProgramRecord) -> None:
+        """Undo :meth:`admit` after a failed install (no entries remain
+        on the data plane): release entry reservations and memory."""
+        per_table: dict[str, int] = {}
+        for entry in record.batch.install_order():
+            per_table[entry.table] = per_table.get(entry.table, 0) + 1
+        for table, count in per_table.items():
+            self._entries_reserved[table] -= count
+        for alloc in record.memory.values():
+            for phys_base, _fsize in alloc.fragments:
+                self._freelists[alloc.phys_rpb].free(phys_base)
+        record.state = ProgramState.REMOVED
+        del self._programs[record.program_id]
+
+    def begin_removal(self, program_id: int) -> ProgramRecord:
+        record = self.get(program_id)
+        record.state = ProgramState.REMOVING
+        # Lock the program's memory: unavailable for reallocation until the
+        # reset completes (Fig. 6 step 4).
+        for alloc in record.memory.values():
+            for phys_base, _fsize in alloc.fragments:
+                self._freelists[alloc.phys_rpb].lock(phys_base)
+        return record
+
+    def finish_removal(self, record: ProgramRecord) -> None:
+        for table, _handle in record.installed_handles:
+            self._entries_reserved[table] -= 1
+        record.installed_handles.clear()
+        for alloc in record.memory.values():
+            for phys_base, _fsize in alloc.fragments:
+                self._freelists[alloc.phys_rpb].unlock_and_free(phys_base)
+        record.state = ProgramState.REMOVED
+        del self._programs[record.program_id]
+
+    def get(self, program_id: int) -> ProgramRecord:
+        record = self._programs.get(program_id)
+        if record is None:
+            raise ProgramNotFoundError(f"no program with id {program_id}")
+        return record
+
+    def programs(self) -> list[ProgramRecord]:
+        return list(self._programs.values())
+
+    # -- monitoring -------------------------------------------------------------
+    def memory_utilization(self, phys_rpb: int | None = None) -> float:
+        """Fraction of memory buckets allocated (one RPB or chip-wide)."""
+        if phys_rpb is not None:
+            return self._freelists[phys_rpb].utilization()
+        total = sum(fl.allocated_total() for fl in self._freelists.values())
+        capacity = self.spec.rpb_memory_size * self.spec.num_rpbs
+        return total / capacity
+
+    def entry_utilization(self, phys_rpb: int | None = None) -> float:
+        """Fraction of RPB table entries reserved (one RPB or all RPBs)."""
+        if phys_rpb is not None:
+            table = dp.rpb_table(phys_rpb)
+            return self._entries_reserved[table] / self._entry_capacity[table]
+        rpb_tables = [dp.rpb_table(p) for p in range(1, self.spec.num_rpbs + 1)]
+        used = sum(self._entries_reserved[t] for t in rpb_tables)
+        capacity = sum(self._entry_capacity[t] for t in rpb_tables)
+        return used / capacity
+
+    def utilization_snapshot(self) -> dict[str, list[float]]:
+        """Per-RPB memory and entry utilization (Fig. 18/19 heatmaps)."""
+        rpbs = range(1, self.spec.num_rpbs + 1)
+        return {
+            "memory": [self.memory_utilization(p) for p in rpbs],
+            "entries": [self.entry_utilization(p) for p in rpbs],
+        }

@@ -1,0 +1,66 @@
+"""Traffic-filter overlap detection.
+
+P4runpro executes exactly one program per packet (no parallel execution —
+paper §7), and the initialization block resolves overlapping filters by
+first-match.  Which program owns contested traffic is therefore an
+operator responsibility; this module gives the operator the tool the
+paper implies they need: a sound overlap check between ternary filter
+sets, surfaced as deployment warnings.
+
+Two filter sets overlap iff some packet satisfies both.  Each filter is a
+conjunction of ternary conditions, so the sets are disjoint only when
+some field is constrained by both sides with *conflicting* required bits
+(bits covered by both masks that demand different values).  Fields
+constrained by only one side never separate the sets, and parsing-path
+requirements only add headers (they cannot conflict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast import Filter
+from ..rmt import fields as field_registry
+
+
+def filters_overlap(first: list[Filter], second: list[Filter]) -> bool:
+    """Whether some packet can match both filter conjunctions."""
+    for a in first:
+        for b in second:
+            if field_registry.canonical_name(a.field) != field_registry.canonical_name(
+                b.field
+            ):
+                continue
+            common = a.mask & b.mask
+            if (a.value & common) != (b.value & common):
+                return False  # provably disjoint on this field
+    return True
+
+
+@dataclass(frozen=True)
+class OverlapWarning:
+    """A deployment-time warning: an earlier program shadows traffic."""
+
+    earlier_program_id: int
+    earlier_name: str
+    new_name: str
+
+    def __str__(self) -> str:
+        return (
+            f"filter overlap: traffic matching {self.new_name!r} may be owned "
+            f"by earlier program #{self.earlier_program_id} "
+            f"({self.earlier_name!r}) — the initialization block resolves "
+            "overlaps by first match"
+        )
+
+
+def detect_overlaps(records, new_name: str, new_filters: list[Filter]):
+    """Warnings for every running program whose filters overlap the new
+    program's (``records`` = the resource manager's program records)."""
+    warnings = []
+    for record in records:
+        if filters_overlap(record.compiled.program.filters, new_filters):
+            warnings.append(
+                OverlapWarning(record.program_id, record.name, new_name)
+            )
+    return warnings

@@ -1,0 +1,132 @@
+"""Consistent update engine (paper §4.3, Fig. 6).
+
+Entries are pushed to the data plane one at a time — the RMT architecture
+guarantees per-entry atomicity — but in an order that keeps every
+intermediate state invisible to traffic:
+
+* **Add**: all program components (RPB + recirculation entries) first;
+  the initialization-block entry last.  Until the init entry lands, no
+  packet carries the program's ID, so no half-installed program executes.
+* **Delete**: the init entry first — instantly disabling the program ID —
+  then the remaining entries, then the lock-reset-unlock memory protocol.
+
+The engine talks to any object implementing :class:`DataPlaneBinding`;
+the simulator binding lives in :mod:`repro.dataplane.runpro`, and tests
+use in-memory fakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..compiler.entries import EntryConfig
+from .manager import ProgramRecord
+from .timing import SimClock, UpdateTimingModel
+
+
+class DataPlaneBinding(Protocol):
+    """The southbound interface (bfrt_grpc stand-in)."""
+
+    def insert_entry(self, entry: EntryConfig) -> int:
+        """Install one entry atomically; returns a handle."""
+        ...
+
+    def delete_entry(self, table: str, handle: int) -> None:
+        """Remove one entry atomically."""
+        ...
+
+    def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
+        """Zero a bucket range (terminated-program reclaim)."""
+        ...
+
+
+class NullBinding:
+    """A no-op binding for control-plane-only experiments (no simulator)."""
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def insert_entry(self, entry: EntryConfig) -> int:
+        handle = self._next
+        self._next += 1
+        return handle
+
+    def delete_entry(self, table: str, handle: int) -> None:
+        pass
+
+    def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
+        pass
+
+
+@dataclass
+class UpdateReport:
+    """What one install/remove cost."""
+
+    program: str
+    entries: int
+    update_delay_ms: float
+
+
+class UpdateEngine:
+    """Applies entry batches in consistent order with modelled delays."""
+
+    def __init__(
+        self,
+        binding: DataPlaneBinding,
+        clock: SimClock | None = None,
+        timing: UpdateTimingModel | None = None,
+    ):
+        self.binding = binding
+        self.clock = clock or SimClock()
+        self.timing = timing or UpdateTimingModel()
+
+    def install(self, record: ProgramRecord) -> UpdateReport:
+        """Install a program's batch; init entry last (Fig. 6 add order).
+
+        If any southbound insert fails, every entry installed so far is
+        rolled back before the error propagates — the Fig. 6 ordering
+        guarantees no packet observed the half-installed program (the init
+        entry is always last), so rollback restores the exact pre-install
+        state.
+        """
+        entries = record.batch.install_order()
+        for entry in entries:
+            try:
+                handle = self.binding.insert_entry(entry)
+            except Exception:
+                for table, installed in reversed(record.installed_handles):
+                    self.binding.delete_entry(table, installed)
+                record.installed_handles.clear()
+                raise
+            record.installed_handles.append((entry.table, handle))
+        delay_ms = self.timing.install_delay_ms(len(entries))
+        self.clock.advance_ms(delay_ms)
+        return UpdateReport(record.name, len(entries), delay_ms)
+
+    def remove(self, record: ProgramRecord) -> UpdateReport:
+        """Remove a program: init first, then components, then memory reset."""
+        handles = {(table, handle) for table, handle in record.installed_handles}
+        ordered: list[tuple[str, int]] = []
+        # Delete in the batch's delete order: init entries were installed
+        # last, so they sit at the tail of installed_handles.
+        delete_sequence = record.batch.delete_order()
+        remaining = list(record.installed_handles)
+        for entry in delete_sequence:
+            for i, (table, handle) in enumerate(remaining):
+                if table == entry.table:
+                    ordered.append((table, handle))
+                    remaining.pop(i)
+                    break
+        ordered.extend(remaining)
+        assert len(ordered) == len(handles)
+        for table, handle in ordered:
+            self.binding.delete_entry(table, handle)
+        delay_ms = self.timing.delete_delay_ms(len(ordered))
+        # Reset (zero) the program's memory while it is locked.
+        for alloc in record.memory.values():
+            for phys_base, fragment_size in alloc.fragments:
+                self.binding.reset_memory(alloc.phys_rpb, phys_base, fragment_size)
+            delay_ms += self.timing.memory_reset_ms(alloc.size)
+        self.clock.advance_ms(delay_ms)
+        return UpdateReport(record.name, len(ordered), delay_ms)

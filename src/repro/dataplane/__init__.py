@@ -1,0 +1,33 @@
+"""The P4runpro data plane built on the RMT simulator.
+
+``P4runproDataPlane`` is exported lazily: it depends on the compiler
+package (for entry configs), which in turn imports this package's
+``constants`` module — a cycle only if everything loads eagerly.
+"""
+
+from . import constants
+from .blocks import InitBlock, RecirculationBlock
+from .rpb import RPB, execute_action
+
+__all__ = [
+    "InitBlock",
+    "P4runproDataPlane",
+    "RPB",
+    "RecirculationBlock",
+    "SwitchChain",
+    "UnknownTableError",
+    "constants",
+    "execute_action",
+]
+
+
+def __getattr__(name):
+    if name in ("P4runproDataPlane", "UnknownTableError"):
+        from . import runpro
+
+        return getattr(runpro, name)
+    if name == "SwitchChain":
+        from .chain import SwitchChain
+
+        return SwitchChain
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

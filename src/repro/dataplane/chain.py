@@ -1,0 +1,113 @@
+"""A chain of P4runpro switches replacing recirculation (paper §4.1.3, §5).
+
+"Recirculation can also be replaced by multiple switches deployed on the
+same path" — each hop drops the recirculation block (one extra ingress
+RPB) and the P4runpro bridge header carries the program state from hop to
+hop.  The chain exposes the same southbound binding as a single data
+plane, with *global* table names: hop ``h``'s per-switch RPB ``r`` is
+``rpb{h * rpbs_per_switch + r}``, so the compiler, resource manager, and
+update engine work unchanged against a :class:`ChainSpec`.
+
+Forwarding semantics along the chain: an intermediate hop's FORWARD
+verdict means "pass to the next hop" (its port faces the next switch);
+DROP, REFLECT, and TO_CPU are terminal wherever they fire.  The last
+hop's verdict is the chain's verdict.
+"""
+
+from __future__ import annotations
+
+from ..compiler.entries import EntryConfig
+from ..compiler.target import ChainSpec, TargetSpec
+from ..rmt.packet import Packet
+from ..rmt.pipeline import SwitchResult, Verdict
+from . import constants as dp
+from .runpro import P4runproDataPlane, UnknownTableError
+
+
+class SwitchChain:
+    """``num_switches`` recirculation-free P4runpro hops on one path."""
+
+    def __init__(self, spec: ChainSpec | None = None):
+        self.spec = spec or ChainSpec()
+        per_switch = TargetSpec(
+            num_ingress_rpbs=self.spec.num_ingress_rpbs,
+            num_egress_rpbs=self.spec.num_egress_rpbs,
+            max_recirculations=0,
+            rpb_table_size=self.spec.rpb_table_size,
+            rpb_memory_size=self.spec.rpb_memory_size,
+        )
+        self.hops = [
+            P4runproDataPlane(per_switch, include_recirc_block=False)
+            for _ in range(self.spec.num_switches)
+        ]
+
+    # -- table routing -----------------------------------------------------------
+    def _route(self, table: str) -> tuple[P4runproDataPlane, str]:
+        """Map a global table name to (hop, per-switch table name)."""
+        if table == dp.INIT_TABLE:
+            return self.hops[0], table
+        if table == dp.RECIRC_TABLE:
+            raise UnknownTableError(
+                "a switch chain has no recirculation block"
+            )
+        if not table.startswith("rpb"):
+            raise UnknownTableError(table)
+        global_rpb = int(table[3:])
+        hop_index, local = self.spec.local_rpb(global_rpb)
+        if hop_index >= len(self.hops):
+            raise UnknownTableError(table)
+        return self.hops[hop_index], dp.rpb_table(local)
+
+    # -- DataPlaneBinding ----------------------------------------------------------
+    def insert_entry(self, entry: EntryConfig) -> int:
+        hop, local_table = self._route(entry.table)
+        routed = EntryConfig(
+            local_table, entry.keys, entry.action, entry.action_data, entry.priority
+        )
+        # Encode the hop in the handle so deletion can route back.
+        hop_index = self.hops.index(hop)
+        handle = hop.insert_entry(routed)
+        return hop_index * 10_000_000 + handle
+
+    def delete_entry(self, table: str, handle: int) -> None:
+        hop, local_table = self._route(table)
+        hop.delete_entry(local_table, handle % 10_000_000)
+
+    def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
+        hop_index, local = self.spec.local_rpb(phys_rpb)
+        self.hops[hop_index].reset_memory(local, base, size)
+
+    def read_bucket(self, phys_rpb: int, addr: int) -> int:
+        hop_index, local = self.spec.local_rpb(phys_rpb)
+        return self.hops[hop_index].read_bucket(local, addr)
+
+    def write_bucket(self, phys_rpb: int, addr: int, value: int) -> None:
+        hop_index, local = self.spec.local_rpb(phys_rpb)
+        self.hops[hop_index].write_bucket(local, addr, value)
+
+    def read_entry_counter(self, table: str, handle: int) -> int:
+        hop, local_table = self._route(table)
+        return hop.read_entry_counter(local_table, handle % 10_000_000)
+
+    def configure_multicast_group(self, group: int, ports: list[int]) -> None:
+        """Program every hop's replication table (a MULTICAST may fire on
+        any hop's ingress)."""
+        for hop in self.hops:
+            hop.configure_multicast_group(group, ports)
+
+    # -- traffic ---------------------------------------------------------------------
+    def process(self, packet: Packet) -> SwitchResult:
+        """Run a packet down the chain, bridging program state hop to hop."""
+        carried: dict[str, int] | None = None
+        result: SwitchResult | None = None
+        current = packet
+        for hop_index, hop in enumerate(self.hops):
+            if carried is not None:
+                carried["ud.recirc_count"] = hop_index
+            result = hop.process(current, carried)
+            if result.verdict is not Verdict.FORWARD:
+                return result  # drop / reflect / report are terminal
+            current = result.packet
+            carried = dict(result.bridge)
+        assert result is not None
+        return result

@@ -1,0 +1,64 @@
+"""Shared names and widths for the P4runpro data plane.
+
+Both the compiler (entry generation) and the data plane (block execution)
+need the same table names, PHV scratch-field names, and action names; they
+live here so neither package depends on the other's internals.
+"""
+
+from __future__ import annotations
+
+#: P4runpro user-metadata fields added to the PHV (paper §4.1.2), with bit
+#: widths.  har/sar/mar are the three registers; the rest are control flags
+#: and the address-translation scratch field.
+P4RUNPRO_FIELDS: dict[str, int] = {
+    "ud.har": 32,  # hash register
+    "ud.sar": 32,  # SALU register
+    "ud.mar": 32,  # memory address register
+    "ud.program_id": 16,
+    "ud.branch_id": 16,
+    "ud.phys_addr": 32,  # offset-step output (physical memory address)
+    "ud.salu_flag": 4,
+    "ud.reg_backup": 32,  # supportive-register backup slot
+    "ud.mcast_grp": 16,  # multicast group id (MULTICAST extension)
+}
+
+REGISTER_FIELDS: dict[str, str] = {
+    "har": "ud.har",
+    "sar": "ud.sar",
+    "mar": "ud.mar",
+}
+
+#: Table names.
+INIT_TABLE = "init"
+RECIRC_TABLE = "recirc"
+
+
+def rpb_table(phys_rpb: int) -> str:
+    """Table name of the 1-based physical RPB."""
+    return f"rpb{phys_rpb}"
+
+
+def rpb_memory(phys_rpb: int) -> str:
+    """Register-array name of the 1-based physical RPB."""
+    return f"rpb{phys_rpb}.mem"
+
+
+#: Action names beyond the primitive set.
+ACTION_SET_PROGRAM = "set_program"
+ACTION_SET_BRANCH = "set_branch"
+ACTION_RECIRCULATE = "recirculate"
+
+#: Match-key widths for RPB tables (full-width exact masks).
+PROGRAM_ID_MASK = 0xFFFF
+BRANCH_ID_MASK = 0xFFFF
+RECIRC_ID_MASK = 0xF
+REGISTER_MASK = 0xFFFFFFFF
+
+#: The CRC algorithms cycled through by hash primitives, in depth order —
+#: the four the paper's heavy-hitter case study names (§6.4).
+HASH_ALGORITHM_CYCLE = (
+    "crc_16_buypass",
+    "crc_16_mcrf4xx",
+    "crc_aug_ccitt",
+    "crc_16_dds_110",
+)

@@ -1,0 +1,172 @@
+"""Abstract syntax tree for P4runpro programs.
+
+Statements mirror the grammar of Appendix B.1: a program is a filter tuple
+plus a statement list; a statement is a primitive invocation or a BRANCH
+with case blocks, each case holding a nested statement list.  Argument
+nodes are typed (field / register / memory identifier / immediate), which
+is what the semantic checker validates against the primitive registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+REGISTERS = ("har", "sar", "mar")
+
+
+class ArgKind(Enum):
+    FIELD = "field"
+    REGISTER = "register"
+    MEMORY = "memory"
+    IMMEDIATE = "immediate"
+
+
+@dataclass(frozen=True)
+class Arg:
+    kind: ArgKind
+    value: str | int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+def reg(name: str) -> Arg:
+    return Arg(ArgKind.REGISTER, name)
+
+
+def imm(value: int) -> Arg:
+    return Arg(ArgKind.IMMEDIATE, value)
+
+
+def fld(name: str) -> Arg:
+    return Arg(ArgKind.FIELD, name)
+
+
+def mem(name: str) -> Arg:
+    return Arg(ArgKind.MEMORY, name)
+
+
+@dataclass
+class Primitive:
+    """A primitive (or pseudo-primitive) invocation statement."""
+
+    name: str
+    args: tuple[Arg, ...] = ()
+    line: int = 0
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass
+class Condition:
+    """One case condition: ``<register, value, mask>``."""
+
+    register: str
+    value: int
+    mask: int
+    line: int = 0
+
+
+@dataclass
+class Case:
+    """One case block of a BRANCH."""
+
+    conditions: list[Condition]
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class Branch:
+    """A BRANCH statement with its case blocks."""
+
+    cases: list[Case]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"BRANCH[{len(self.cases)} cases]"
+
+
+Stmt = Primitive | Branch
+
+
+@dataclass
+class Filter:
+    """One traffic filter tuple: ``<field, value, mask>``."""
+
+    field: str
+    value: int
+    mask: int
+    line: int = 0
+
+
+@dataclass
+class MemoryDecl:
+    """An ``@ identifier size`` annotation requesting a memory block."""
+
+    name: str
+    size: int  # number of 32-bit buckets
+    line: int = 0
+
+
+@dataclass
+class ProgramDecl:
+    """One ``program name(filters...) { ... }`` declaration."""
+
+    name: str
+    filters: list[Filter]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class SourceUnit:
+    """A full P4runpro source file: annotations then programs."""
+
+    memories: list[MemoryDecl] = field(default_factory=list)
+    programs: list[ProgramDecl] = field(default_factory=list)
+
+    def memory(self, name: str) -> MemoryDecl | None:
+        for decl in self.memories:
+            if decl.name == name:
+                return decl
+        return None
+
+
+def walk_statements(body: list[Stmt]):
+    """Yield every statement in ``body``, depth-first through branches."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, Branch):
+            for case in stmt.cases:
+                yield from walk_statements(case.body)
+
+
+def count_loc(unit: SourceUnit, *, count_elastic: bool = True) -> int:
+    """Count logical lines of a source unit, one per statement/decl.
+
+    With ``count_elastic=False``, case blocks beyond the first in each
+    BRANCH are treated as elastic (variable-count lookup entries, paper
+    §6.1) and excluded — matching how Table 1 counts P4runpro LoC.
+    """
+    total = len(unit.memories)
+    for program in unit.programs:
+        total += 1  # program declaration line
+
+        def count_body(body: list[Stmt]) -> int:
+            subtotal = 0
+            for stmt in body:
+                subtotal += 1
+                if isinstance(stmt, Branch):
+                    cases = stmt.cases if count_elastic else stmt.cases[:1]
+                    for case in cases:
+                        subtotal += 1  # the case header
+                        subtotal += count_body(case.body)
+            return subtotal
+
+        total += count_body(program.body)
+    return total

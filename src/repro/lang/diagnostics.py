@@ -1,0 +1,61 @@
+"""Human-friendly diagnostics: annotated source excerpts for errors.
+
+The toolchain's errors carry 1-based line numbers; this module renders
+them against the source text the way modern compilers do:
+
+    error: line 6: unknown field 'hdr.nc.bogus'
+       4 |     <hdr.udp.dst_port, 7777, 0xffff>) {
+       5 |     EXTRACT(hdr.nc.op, har);
+    >  6 |     EXTRACT(hdr.nc.bogus, sar);
+       7 |     BRANCH:
+
+Used by the runtime CLI and handy in tests and notebooks.
+"""
+
+from __future__ import annotations
+
+from .errors import P4runproError
+
+
+def annotate(source: str, line: int | None, *, context: int = 2) -> str:
+    """Render ``source`` around ``line`` with a marker column."""
+    lines = source.splitlines()
+    if line is None or not 1 <= line <= len(lines):
+        return ""
+    lo = max(1, line - context)
+    hi = min(len(lines), line + context)
+    width = len(str(hi))
+    rendered = []
+    for number in range(lo, hi + 1):
+        marker = ">" if number == line else " "
+        rendered.append(f"{marker} {number:>{width}} | {lines[number - 1]}")
+    return "\n".join(rendered)
+
+
+def explain(source: str, error: P4runproError, *, context: int = 2) -> str:
+    """Format a toolchain error with its source excerpt."""
+    line = getattr(error, "line", None)
+    header = f"error: {error}"
+    excerpt = annotate(source, line, context=context)
+    if excerpt:
+        return f"{header}\n{excerpt}"
+    return header
+
+
+def check_source(source: str) -> list[str]:
+    """Run the full front end; return rendered diagnostics (empty = clean).
+
+    A linting entry point: unlike ``parse_and_check`` it never raises and
+    collects what it can (the front end stops at the first error per
+    phase, so at most one diagnostic is returned today — the list return
+    keeps the interface stable for multi-error recovery).
+    """
+    from .parser import parse_source
+    from .semantics import check_unit
+
+    try:
+        unit = parse_source(source)
+        check_unit(unit)
+    except P4runproError as error:
+        return [explain(source, error)]
+    return []

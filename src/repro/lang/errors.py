@@ -1,0 +1,35 @@
+"""Diagnostics for the P4runpro language frontend and compiler."""
+
+from __future__ import annotations
+
+
+class P4runproError(Exception):
+    """Base class for all P4runpro toolchain errors."""
+
+
+class LexError(P4runproError):
+    """Invalid character or malformed literal in the source text."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class ParseError(P4runproError):
+    """The source text does not conform to the P4runpro grammar."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class SemanticError(P4runproError):
+    """The program is grammatical but ill-typed or inconsistent."""
+
+    def __init__(self, message: str, line: int | None = None):
+        super().__init__(f"line {line}: {message}" if line is not None else message)
+        self.line = line
+
+
+class AllocationError(P4runproError):
+    """The compiler could not find a feasible resource allocation."""

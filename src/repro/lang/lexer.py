@@ -1,0 +1,123 @@
+"""Tokenizer for P4runpro sources.
+
+The paper's prototype uses PLY; this reproduction ships a self-contained
+scanner with the same token language (Appendix B.1):
+
+* ``IDENT`` — identifiers, including dotted field references
+  (``hdr.udp.dst_port``) and the registers ``har``/``sar``/``mar``;
+* ``INT`` — decimal, hexadecimal (``0x..``), and binary (``0b..``)
+  integers, plus dotted-quad IP addresses (lexed to their integer value);
+* punctuation ``@ ( ) { } < > , ; :``;
+* keywords ``program`` and ``case``;
+* ``//`` line comments and ``/* .. */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .errors import LexError
+
+KEYWORDS = frozenset({"program", "case"})
+
+
+class TokenKind(Enum):
+    IDENT = "IDENT"
+    INT = "INT"
+    KEYWORD = "KEYWORD"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str | int
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.value!r}, line={self.line})"
+
+
+_PUNCT = set("@(){}<>,;:")
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "._"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, line))
+            i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "."):
+                i += 1
+            text = source[start:i]
+            tokens.append(Token(TokenKind.INT, _parse_number(text, line), line))
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_char(source[i]):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line))
+            continue
+        raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(TokenKind.EOF, "", line))
+    return tokens
+
+
+def _parse_number(text: str, line: int) -> int:
+    """Parse INT: decimal / hex / binary literal, or dotted-quad IP."""
+    if "." in text:
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise LexError(f"malformed IP address literal {text!r}", line)
+        value = 0
+        for part in parts:
+            if not part.isdigit() or not 0 <= int(part) <= 255:
+                raise LexError(f"malformed IP address literal {text!r}", line)
+            value = (value << 8) | int(part)
+        return value
+    try:
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        if text.lower().startswith("0b"):
+            return int(text, 2)
+        return int(text, 10)
+    except ValueError as exc:
+        raise LexError(f"malformed integer literal {text!r}", line) from exc

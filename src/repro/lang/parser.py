@@ -1,0 +1,211 @@
+"""Recursive-descent parser for P4runpro (grammar of Appendix B.1).
+
+Deviations from the figure, matching the paper's own example programs:
+
+* ``condition`` is the 3-tuple ``<register, value, mask>`` (the figure's
+  2-tuple omits the register name, but every listed program names it);
+* semicolons after ``BRANCH`` case lists and case blocks are optional —
+  Fig. 2 omits them, Fig. 17 writes them.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Arg,
+    ArgKind,
+    Branch,
+    Case,
+    Condition,
+    Filter,
+    MemoryDecl,
+    ProgramDecl,
+    REGISTERS,
+    SourceUnit,
+    Stmt,
+)
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+from .primitives import SOURCE_PRIMITIVES
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check_punct(self, char: str) -> bool:
+        return self._current.kind is TokenKind.PUNCT and self._current.value == char
+
+    def _accept_punct(self, char: str) -> bool:
+        if self._check_punct(char):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> Token:
+        if not self._check_punct(char):
+            raise ParseError(
+                f"expected {char!r}, found {self._current.value!r}", self._current.line
+            )
+        return self._advance()
+
+    def _expect_int(self) -> int:
+        if self._current.kind is not TokenKind.INT:
+            raise ParseError(
+                f"expected integer, found {self._current.value!r}", self._current.line
+            )
+        return int(self._advance().value)
+
+    def _expect_ident(self) -> str:
+        if self._current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {self._current.value!r}", self._current.line
+            )
+        return str(self._advance().value)
+
+    # -- grammar ---------------------------------------------------------------
+    def parse_unit(self) -> SourceUnit:
+        unit = SourceUnit()
+        while self._accept_punct("@"):
+            line = self._tokens[self._pos - 1].line
+            name = self._expect_ident()
+            size = self._expect_int()
+            unit.memories.append(MemoryDecl(name, size, line))
+        while self._current.kind is TokenKind.KEYWORD and self._current.value == "program":
+            unit.programs.append(self._parse_program())
+        if self._current.kind is not TokenKind.EOF:
+            raise ParseError(
+                f"unexpected token {self._current.value!r}", self._current.line
+            )
+        if not unit.programs:
+            raise ParseError("source contains no program declaration", self._current.line)
+        return unit
+
+    def _parse_program(self) -> ProgramDecl:
+        line = self._advance().line  # 'program'
+        name = self._expect_ident()
+        self._expect_punct("(")
+        filters = [self._parse_filter()]
+        while self._accept_punct(","):
+            filters.append(self._parse_filter())
+        self._expect_punct(")")
+        self._expect_punct("{")
+        body = self._parse_body()
+        self._expect_punct("}")
+        return ProgramDecl(name, filters, body, line)
+
+    def _parse_filter(self) -> Filter:
+        line = self._expect_punct("<").line
+        field = self._expect_ident()
+        self._expect_punct(",")
+        value = self._expect_int()
+        self._expect_punct(",")
+        mask = self._expect_int()
+        self._expect_punct(">")
+        return Filter(field, value, mask, line)
+
+    def _parse_body(self) -> list[Stmt]:
+        body: list[Stmt] = []
+        while not self._check_punct("}"):
+            if self._current.kind is TokenKind.EOF:
+                raise ParseError("unexpected end of input inside a block", self._current.line)
+            body.append(self._parse_statement())
+        return body
+
+    def _parse_statement(self) -> Stmt:
+        token = self._current
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected primitive, found {token.value!r}", token.line)
+        name = str(token.value)
+        if name == "BRANCH":
+            return self._parse_branch()
+        self._advance()
+        if name not in SOURCE_PRIMITIVES:
+            raise ParseError(f"unknown primitive {name!r}", token.line)
+        args: list[Arg] = []
+        if self._accept_punct("("):
+            args.append(self._parse_argument())
+            while self._accept_punct(","):
+                args.append(self._parse_argument())
+            self._expect_punct(")")
+        self._expect_punct(";")
+        return PrimitiveFactory.make(name, tuple(args), token.line)
+
+    def _parse_branch(self) -> Branch:
+        line = self._advance().line  # 'BRANCH'
+        self._expect_punct(":")
+        cases: list[Case] = []
+        while self._current.kind is TokenKind.KEYWORD and self._current.value == "case":
+            cases.append(self._parse_case())
+        if not cases:
+            raise ParseError("BRANCH requires at least one case block", line)
+        self._accept_punct(";")  # optional trailing ';' after the case list
+        return Branch(cases, line)
+
+    def _parse_case(self) -> Case:
+        line = self._advance().line  # 'case'
+        self._expect_punct("(")
+        conditions = [self._parse_condition()]
+        while self._accept_punct(","):
+            conditions.append(self._parse_condition())
+        self._expect_punct(")")
+        self._expect_punct("{")
+        body = self._parse_body()
+        self._expect_punct("}")
+        self._accept_punct(";")  # optional ';' after a case block
+        return Case(conditions, body, line)
+
+    def _parse_condition(self) -> Condition:
+        line = self._expect_punct("<").line
+        register = self._expect_ident()
+        if register not in REGISTERS:
+            raise ParseError(
+                f"case condition must name a register (har/sar/mar), found {register!r}", line
+            )
+        self._expect_punct(",")
+        value = self._expect_int()
+        self._expect_punct(",")
+        mask = self._expect_int()
+        self._expect_punct(">")
+        return Condition(register, value, mask, line)
+
+    def _parse_argument(self) -> Arg:
+        token = self._current
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return Arg(ArgKind.IMMEDIATE, int(token.value))
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            text = str(token.value)
+            if text in REGISTERS:
+                return Arg(ArgKind.REGISTER, text)
+            if text.startswith(("hdr.", "meta.")):
+                return Arg(ArgKind.FIELD, text)
+            return Arg(ArgKind.MEMORY, text)
+        raise ParseError(f"expected argument, found {token.value!r}", token.line)
+
+
+class PrimitiveFactory:
+    """Builds Primitive nodes; separate so tests can stub construction."""
+
+    @staticmethod
+    def make(name: str, args: tuple[Arg, ...], line: int):
+        from .ast import Primitive
+
+        return Primitive(name, args, line)
+
+
+def parse_source(source: str) -> SourceUnit:
+    """Tokenize and parse a P4runpro source string."""
+    return _Parser(tokenize(source)).parse_unit()

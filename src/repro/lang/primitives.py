@@ -1,0 +1,144 @@
+"""The P4runpro primitive and pseudo-primitive set (paper Table 3).
+
+Each primitive is described by a :class:`PrimitiveSpec`: its category (the
+six types of §4.2), its argument signature, and whether it is a *pseudo*
+primitive that the compiler expands into real primitives before allocation
+(Appendix A.2).
+
+A few compiler-internal primitives are also registered (category
+``internal``): ``NOP`` (branch alignment padding, §4.3), ``OFFSET`` (the
+address-translation offset step + SALU-flag set, §4.1.2), and
+``BACKUP``/``RESTORE`` (supportive-register save/restore around pseudo-
+primitive expansions, §4.2).  These never appear in source programs; the
+semantic checker rejects them there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .ast import ArgKind
+
+
+class Category(Enum):
+    HEADER = "header interaction"
+    HASH = "hash"
+    BRANCH = "conditional branch"
+    MEMORY = "memory"
+    ARITH = "arithmetic and logic"
+    FORWARD = "forwarding"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class PrimitiveSpec:
+    name: str
+    category: Category
+    signature: tuple[ArgKind, ...]
+    pseudo: bool = False
+    #: primitive writes to memory / reads memory (allocation bookkeeping)
+    memory_op: bool = False
+
+    @property
+    def internal(self) -> bool:
+        return self.category is Category.INTERNAL
+
+
+_F = ArgKind.FIELD
+_R = ArgKind.REGISTER
+_M = ArgKind.MEMORY
+_I = ArgKind.IMMEDIATE
+
+
+def _spec(
+    name: str,
+    category: Category,
+    *signature: ArgKind,
+    pseudo: bool = False,
+    memory_op: bool = False,
+) -> PrimitiveSpec:
+    return PrimitiveSpec(name, category, tuple(signature), pseudo=pseudo, memory_op=memory_op)
+
+
+_SPECS: tuple[PrimitiveSpec, ...] = (
+    # header interaction
+    _spec("EXTRACT", Category.HEADER, _F, _R),
+    _spec("MODIFY", Category.HEADER, _F, _R),
+    # hash
+    _spec("HASH_5_TUPLE", Category.HASH),
+    _spec("HASH", Category.HASH),
+    _spec("HASH_5_TUPLE_MEM", Category.HASH, _M),
+    _spec("HASH_MEM", Category.HASH, _M),
+    # conditional branch (cases are parsed structurally, not as args)
+    _spec("BRANCH", Category.BRANCH),
+    # memory
+    _spec("MEMADD", Category.MEMORY, _M, memory_op=True),
+    _spec("MEMSUB", Category.MEMORY, _M, memory_op=True),
+    _spec("MEMAND", Category.MEMORY, _M, memory_op=True),
+    _spec("MEMOR", Category.MEMORY, _M, memory_op=True),
+    _spec("MEMREAD", Category.MEMORY, _M, memory_op=True),
+    _spec("MEMWRITE", Category.MEMORY, _M, memory_op=True),
+    _spec("MEMMAX", Category.MEMORY, _M, memory_op=True),
+    # arithmetic & logic
+    _spec("LOADI", Category.ARITH, _R, _I),
+    _spec("ADD", Category.ARITH, _R, _R),
+    _spec("AND", Category.ARITH, _R, _R),
+    _spec("OR", Category.ARITH, _R, _R),
+    _spec("MAX", Category.ARITH, _R, _R),
+    _spec("MIN", Category.ARITH, _R, _R),
+    _spec("XOR", Category.ARITH, _R, _R),
+    # pseudo primitives (expanded by the compiler, Appendix A.2)
+    _spec("MOVE", Category.ARITH, _R, _R, pseudo=True),
+    _spec("NOT", Category.ARITH, _R, pseudo=True),
+    _spec("SUB", Category.ARITH, _R, _R, pseudo=True),
+    _spec("EQUAL", Category.ARITH, _R, _R, pseudo=True),
+    _spec("SGT", Category.ARITH, _R, _R, pseudo=True),
+    _spec("SLT", Category.ARITH, _R, _R, pseudo=True),
+    _spec("ADDI", Category.ARITH, _R, _I, pseudo=True),
+    _spec("ANDI", Category.ARITH, _R, _I, pseudo=True),
+    _spec("XORI", Category.ARITH, _R, _I, pseudo=True),
+    _spec("SUBI", Category.ARITH, _R, _I, pseudo=True),
+    # forwarding
+    _spec("FORWARD", Category.FORWARD, _I),
+    # MULTICAST is the §7 SwitchML-enabling extension: replicate the packet
+    # to a control-plane-configured multicast group.
+    _spec("MULTICAST", Category.FORWARD, _I),
+    _spec("DROP", Category.FORWARD),
+    _spec("RETURN", Category.FORWARD),
+    _spec("REPORT", Category.FORWARD),
+    # compiler-internal
+    _spec("NOP", Category.INTERNAL),
+    _spec("OFFSET", Category.INTERNAL, _M),
+    _spec("BACKUP", Category.INTERNAL, _R),
+    _spec("RESTORE", Category.INTERNAL, _R),
+)
+
+REGISTRY: dict[str, PrimitiveSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Names legal in source programs (pseudo included, internals excluded).
+SOURCE_PRIMITIVES: frozenset[str] = frozenset(
+    spec.name for spec in _SPECS if not spec.internal
+)
+
+#: Forwarding primitives may only execute in ingress RPBs (§4.1.2).
+FORWARDING_PRIMITIVES: frozenset[str] = frozenset(
+    spec.name for spec in _SPECS if spec.category is Category.FORWARD
+)
+
+MEMORY_PRIMITIVES: frozenset[str] = frozenset(
+    spec.name for spec in _SPECS if spec.memory_op
+)
+
+PSEUDO_PRIMITIVES: frozenset[str] = frozenset(spec.name for spec in _SPECS if spec.pseudo)
+
+
+def get(name: str) -> PrimitiveSpec:
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise KeyError(f"unknown primitive {name!r}")
+    return spec
+
+
+def is_primitive(name: str) -> bool:
+    return name in REGISTRY

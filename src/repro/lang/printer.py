@@ -1,0 +1,85 @@
+"""Pretty-printer: format a P4runpro AST back to canonical source text.
+
+Round-trips with the parser (``parse(print(unit))`` reproduces the same
+AST up to line numbers) — property-tested in the test suite.  Used by the
+runtime CLI's ``show`` command and by the incremental-update engine to
+display the effective program after case-block edits.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Arg,
+    ArgKind,
+    Branch,
+    Case,
+    Condition,
+    Filter,
+    Primitive,
+    ProgramDecl,
+    SourceUnit,
+    Stmt,
+)
+
+_INDENT = "    "
+
+
+def _format_value(value: int) -> str:
+    """Integers print in hex when they look like masks/addresses."""
+    if value > 9:
+        return f"{value:#x}"
+    return str(value)
+
+
+def format_arg(arg: Arg) -> str:
+    if arg.kind is ArgKind.IMMEDIATE:
+        return _format_value(int(arg.value))
+    return str(arg.value)
+
+
+def format_condition(cond: Condition) -> str:
+    return f"<{cond.register}, {_format_value(cond.value)}, {cond.mask:#x}>"
+
+
+def format_filter(flt: Filter) -> str:
+    return f"<{flt.field}, {_format_value(flt.value)}, {flt.mask:#x}>"
+
+
+def _format_stmt(stmt: Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Branch):
+        lines = [f"{pad}BRANCH:"]
+        for case in stmt.cases:
+            lines.extend(_format_case(case, depth))
+        return lines
+    assert isinstance(stmt, Primitive)
+    if stmt.args:
+        args = ", ".join(format_arg(a) for a in stmt.args)
+        return [f"{pad}{stmt.name}({args});"]
+    return [f"{pad}{stmt.name};"]
+
+
+def _format_case(case: Case, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    conditions = ", ".join(format_condition(c) for c in case.conditions)
+    lines = [f"{pad}case({conditions}) {{"]
+    for stmt in case.body:
+        lines.extend(_format_stmt(stmt, depth + 1))
+    lines.append(f"{pad}}}")
+    return lines
+
+
+def format_program(program: ProgramDecl) -> str:
+    filters = ", ".join(format_filter(f) for f in program.filters)
+    lines = [f"program {program.name}({filters}) {{"]
+    for stmt in program.body:
+        lines.extend(_format_stmt(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_unit(unit: SourceUnit) -> str:
+    """Format a whole source unit back to parseable text."""
+    parts = [f"@ {decl.name} {decl.size}" for decl in unit.memories]
+    parts.extend(format_program(program) for program in unit.programs)
+    return "\n".join(parts) + "\n"

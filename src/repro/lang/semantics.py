@@ -1,0 +1,164 @@
+"""Semantic checks for parsed P4runpro programs (paper §4.3).
+
+The language's semantics are intentionally simple, so checking is a typed
+walk of the AST:
+
+* every primitive's arguments match the registry signature;
+* memory identifiers are declared by an ``@`` annotation, and declared
+  sizes are powers of two (mask-based address translation requirement,
+  §4.1.2 / §7);
+* filter and condition fields exist in the chip's field registry, and
+  values/masks fit their widths;
+* program names are unique within the unit.
+
+Note that forwarding primitives are *not* terminal: they only set intrinsic
+metadata that the traffic manager executes later, so statements may follow
+them (the paper's cache program runs RETURN before its memory reads).
+"""
+
+from __future__ import annotations
+
+from ..rmt import fields as field_registry
+from .ast import (
+    Arg,
+    ArgKind,
+    Branch,
+    Case,
+    Primitive,
+    ProgramDecl,
+    SourceUnit,
+    Stmt,
+)
+from .errors import SemanticError
+from .primitives import get as get_spec
+
+REGISTER_WIDTH = 32
+REGISTER_MAX = (1 << REGISTER_WIDTH) - 1
+
+def check_unit(unit: SourceUnit) -> None:
+    """Validate a whole source unit; raises :class:`SemanticError`."""
+    _check_memories(unit)
+    seen: set[str] = set()
+    for program in unit.programs:
+        if program.name in seen:
+            raise SemanticError(f"duplicate program name {program.name!r}", program.line)
+        seen.add(program.name)
+        check_program(unit, program)
+
+
+def _check_memories(unit: SourceUnit) -> None:
+    names: set[str] = set()
+    for decl in unit.memories:
+        if decl.name in names:
+            raise SemanticError(f"duplicate memory declaration {decl.name!r}", decl.line)
+        names.add(decl.name)
+        if decl.size <= 0:
+            raise SemanticError(f"memory {decl.name!r} has non-positive size", decl.line)
+        if decl.size & (decl.size - 1):
+            raise SemanticError(
+                f"memory {decl.name!r} size {decl.size} is not a power of two "
+                "(mask-based address translation requirement)",
+                decl.line,
+            )
+
+
+def check_program(unit: SourceUnit, program: ProgramDecl) -> None:
+    if not program.filters:
+        raise SemanticError(f"program {program.name!r} has no traffic filter", program.line)
+    for flt in program.filters:
+        _check_field(flt.field, flt.line)
+        _check_fits(flt.value, flt.field, flt.line, "filter value")
+        _check_fits(flt.mask, flt.field, flt.line, "filter mask")
+    if not program.body:
+        raise SemanticError(f"program {program.name!r} has an empty body", program.line)
+    _check_body(unit, program.body)
+
+
+def _check_body(unit: SourceUnit, body: list[Stmt]) -> None:
+    for stmt in body:
+        if isinstance(stmt, Branch):
+            _check_branch(unit, stmt)
+        else:
+            _check_primitive(unit, stmt)
+
+
+def _check_branch(unit: SourceUnit, branch: Branch) -> None:
+    for case in branch.cases:
+        _check_case(unit, case)
+
+
+def _check_case(unit: SourceUnit, case: Case) -> None:
+    if not case.conditions:
+        raise SemanticError("case block has no conditions", case.line)
+    for cond in case.conditions:
+        if cond.value < 0 or cond.value > REGISTER_MAX:
+            raise SemanticError(
+                f"condition value {cond.value} exceeds register width", cond.line
+            )
+        if cond.mask < 0 or cond.mask > REGISTER_MAX:
+            raise SemanticError(f"condition mask {cond.mask:#x} exceeds register width", cond.line)
+    _check_body(unit, case.body)
+
+
+def _check_primitive(unit: SourceUnit, prim: Primitive) -> None:
+    try:
+        spec = get_spec(prim.name)
+    except KeyError as exc:
+        raise SemanticError(f"unknown primitive {prim.name!r}", prim.line) from exc
+    if spec.internal:
+        raise SemanticError(
+            f"{prim.name} is a compiler-internal primitive and cannot appear in source",
+            prim.line,
+        )
+    if len(prim.args) != len(spec.signature):
+        raise SemanticError(
+            f"{prim.name} expects {len(spec.signature)} argument(s), got {len(prim.args)}",
+            prim.line,
+        )
+    for arg, expected in zip(prim.args, spec.signature):
+        _check_arg(unit, prim, arg, expected)
+    if prim.name == "FORWARD":
+        port = prim.args[0].value
+        if not 0 <= int(port) < 512:
+            raise SemanticError(f"FORWARD port {port} out of range", prim.line)
+    if prim.name == "MULTICAST":
+        group = prim.args[0].value
+        if not 1 <= int(group) < 0x10000:
+            raise SemanticError(f"MULTICAST group {group} out of range", prim.line)
+
+
+def _check_arg(unit: SourceUnit, prim: Primitive, arg: Arg, expected: ArgKind) -> None:
+    if arg.kind is not expected:
+        raise SemanticError(
+            f"{prim.name}: expected {expected.value} argument, got {arg.kind.value} "
+            f"({arg.value!r})",
+            prim.line,
+        )
+    if expected is ArgKind.FIELD:
+        _check_field(str(arg.value), prim.line)
+    elif expected is ArgKind.MEMORY:
+        if unit.memory(str(arg.value)) is None:
+            raise SemanticError(
+                f"{prim.name}: memory {arg.value!r} is not declared with an '@' annotation",
+                prim.line,
+            )
+    elif expected is ArgKind.IMMEDIATE:
+        value = int(arg.value)
+        if value < 0 or value > REGISTER_MAX:
+            raise SemanticError(
+                f"{prim.name}: immediate {value} does not fit in {REGISTER_WIDTH} bits",
+                prim.line,
+            )
+
+
+def _check_field(name: str, line: int | None) -> None:
+    if not field_registry.is_known(name):
+        raise SemanticError(f"unknown field {name!r}", line)
+
+
+def _check_fits(value: int, field_name: str, line: int | None, what: str) -> None:
+    spec = field_registry.lookup(field_name)
+    if value < 0 or value > spec.max_value:
+        raise SemanticError(
+            f"{what} {value:#x} does not fit field {field_name} ({spec.width} bits)", line
+        )

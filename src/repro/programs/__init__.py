@@ -1,0 +1,21 @@
+"""The Table-1 program library."""
+
+from .library import (
+    ALL_PROGRAM_NAMES,
+    PROGRAMS,
+    ProgramInfo,
+    WORKLOAD_PROGRAMS,
+    get,
+    source_loc,
+    source_with_memory,
+)
+
+__all__ = [
+    "ALL_PROGRAM_NAMES",
+    "PROGRAMS",
+    "ProgramInfo",
+    "WORKLOAD_PROGRAMS",
+    "get",
+    "source_loc",
+    "source_with_memory",
+]

@@ -1,0 +1,125 @@
+"""Extension programs beyond the paper's Table 1.
+
+These exercise the reproduction's extensions and double as reusable
+building blocks for the examples:
+
+* ``mlagg`` — SwitchML-style in-network gradient aggregation, enabled by
+  the MULTICAST primitive (the paper's §7 observation that "implementing
+  the simple aggregation logic in SwitchML requires only modifying
+  P4runpro to support multicast");
+* ``ratelimit`` — a per-flow packet-budget rate limiter (the multi-tenant
+  example's tenant B);
+* ``syncount`` — TCP SYN counter with flood reporting, a classic security
+  monitor composed from the standard primitive set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExtensionProgram:
+    name: str
+    source: str
+    description: str
+    #: multicast group ids the program expects the operator to configure
+    multicast_groups: tuple[int, ...] = ()
+
+
+def make_mlagg(
+    *, num_workers: int = 4, group: int = 1, port: int = 9999
+) -> ExtensionProgram:
+    """Parameterized in-network aggregation: sums ``num_workers`` partial
+    values per chunk, absorbing intermediates and multicasting the final
+    aggregate to ``group``.  Requires a parser that extracts the nc header
+    on ``port`` (``default_parse_machine(nc_port=port)``)."""
+    source = f"""
+@ agg_val 256
+@ agg_cnt 256
+program mlagg(
+    <hdr.udp.dst_port, {port}, 0xffff>) {{
+    EXTRACT(hdr.nc.key2, har);  //chunk index
+    HASH_MEM(agg_val);          //aggregation slot
+    EXTRACT(hdr.nc.val, sar);   //worker's partial value
+    MEMADD(agg_val);            //sum in-network
+    MODIFY(hdr.nc.val, sar);    //piggyback the running sum
+    LOADI(sar, 1);
+    MEMADD(agg_cnt);            //arrival counter
+    BRANCH:
+    case(<sar, {num_workers}, 0xffffffff>) {{
+        MULTICAST({group});     //round complete: broadcast the aggregate
+    }}
+    DROP;                       //absorb intermediate arrivals
+}}
+"""
+    return ExtensionProgram(
+        "mlagg",
+        source,
+        f"in-network aggregation over {num_workers} workers (MULTICAST ext.)",
+        multicast_groups=(group,),
+    )
+
+
+def make_ratelimit(*, budget: int = 50, port: int = 9000, egress: int = 4) -> ExtensionProgram:
+    """Per-flow packet budget: flows on UDP ``port`` are dropped once they
+    exceed ``budget`` packets (counters reset by the control plane)."""
+    source = f"""
+@ rl_counts 256
+program ratelimit(
+    <hdr.udp.dst_port, {port}, 0xffff>) {{
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(rl_counts);
+    MEMADD(rl_counts);          //per-flow packet count
+    LOADI(har, {budget});       //budget
+    MIN(har, sar);
+    BRANCH:
+    case(<har, {budget}, 0xffffffff>) {{
+        DROP;                   //over budget
+    }}
+    FORWARD({egress});
+}}
+"""
+    return ExtensionProgram(
+        "ratelimit", source, f"per-flow rate limiter (budget {budget})"
+    )
+
+
+def make_syncount(*, threshold: int = 64, report_port_mask: int = 0x2) -> ExtensionProgram:
+    """SYN-flood monitor: counts TCP SYNs per destination and reports a
+    destination once its SYN count crosses ``threshold`` (BF-deduped)."""
+    source = f"""
+@ syn_counts 256
+@ syn_seen 256
+program syncount(
+    <hdr.tcp.flags, {report_port_mask}, 0x2>) {{
+    EXTRACT(hdr.ipv4.dst, har); //victim candidate
+    HASH_MEM(syn_counts);
+    LOADI(sar, 1);
+    MEMADD(syn_counts);
+    LOADI(har, {threshold});
+    MIN(har, sar);
+    BRANCH:
+    case(<har, {threshold}, 0xffffffff>) {{
+        EXTRACT(hdr.ipv4.dst, har);
+        HASH_MEM(syn_seen);
+        LOADI(sar, 1);
+        MEMOR(syn_seen);        //first report only
+        BRANCH:
+        case(<sar, 0, 0xffffffff>) {{
+            REPORT;
+        }};
+    }};
+    FORWARD(0);
+}}
+"""
+    return ExtensionProgram(
+        "syncount", source, f"TCP SYN-flood monitor (threshold {threshold})"
+    )
+
+
+EXTENSION_PROGRAMS = {
+    "mlagg": make_mlagg(),
+    "ratelimit": make_ratelimit(),
+    "syncount": make_syncount(),
+}

@@ -1,0 +1,105 @@
+"""A pure-Python RMT programmable-switch ASIC simulator.
+
+This package is the hardware substrate the P4runpro reproduction runs on:
+PHV containers, a programmable parser, ternary match-action tables, VLIW
+action slots, stateful ALUs over SRAM register arrays, CRC hash units, an
+ingress/egress pipeline pair with a traffic manager, recirculation, and a
+static resource/latency/power model.
+"""
+
+from .fields import FieldSpec, UnknownFieldError, lookup, register_header
+from .hashing import CRC_CATALOG, HashUnit
+from .packet import (
+    NC_READ,
+    NC_WRITE,
+    Packet,
+    make_cache,
+    make_calc,
+    make_ipv4,
+    make_l2,
+    make_tcp,
+    make_udp,
+)
+from .parser import ParseMachine, ParseState, default_parse_machine
+from .phv import PHV, PHVLayout, PHVOverflowError
+from .pipeline import (
+    CPU_PORT,
+    RECIRC_PORT,
+    Pipeline,
+    RecirculationLimitError,
+    Switch,
+    SwitchConfig,
+    SwitchResult,
+    TrafficManager,
+    Verdict,
+)
+from .queueing import CELL_BYTES, PortQueue, QueueModel
+from .salu import MEMORY_OPS, MemoryOutOfRangeError, RegisterArray
+from .stage import LogicalUnit, Stage, StageBudget, StageResourceError
+from .wire import (
+    WireFormatError,
+    deserialize,
+    load_pcap,
+    save_pcap,
+    serialize,
+)
+from .table import (
+    EntryNotFoundError,
+    MatchActionTable,
+    TableEntry,
+    TableFullError,
+    TernaryKey,
+)
+
+__all__ = [
+    "CELL_BYTES",
+    "CPU_PORT",
+    "CRC_CATALOG",
+    "EntryNotFoundError",
+    "FieldSpec",
+    "HashUnit",
+    "LogicalUnit",
+    "MatchActionTable",
+    "MEMORY_OPS",
+    "MemoryOutOfRangeError",
+    "NC_READ",
+    "NC_WRITE",
+    "Packet",
+    "ParseMachine",
+    "ParseState",
+    "PHV",
+    "PHVLayout",
+    "PHVOverflowError",
+    "Pipeline",
+    "PortQueue",
+    "QueueModel",
+    "RECIRC_PORT",
+    "RecirculationLimitError",
+    "RegisterArray",
+    "Stage",
+    "StageBudget",
+    "StageResourceError",
+    "Switch",
+    "SwitchConfig",
+    "SwitchResult",
+    "TableEntry",
+    "TableFullError",
+    "TernaryKey",
+    "TrafficManager",
+    "UnknownFieldError",
+    "Verdict",
+    "WireFormatError",
+    "default_parse_machine",
+    "deserialize",
+    "load_pcap",
+    "lookup",
+    "make_cache",
+    "make_calc",
+    "make_ipv4",
+    "make_l2",
+    "make_tcp",
+    "make_udp",
+    "register_header",
+    "save_pcap",
+    "serialize",
+]

@@ -1,0 +1,151 @@
+"""Field registry for the simulated RMT chip.
+
+Every value a match-action table can match on or an action can modify is a
+*field*: either a header field (``hdr.<header>.<name>``) or an intrinsic /
+user metadata field (``meta.<name>``).  The registry records each field's
+bit width so tables, actions, and the P4runpro semantic checker can validate
+operands, and so the resource model can account PHV bits.
+
+The header set mirrors the parsers used by the paper's evaluation: Ethernet,
+IPv4, TCP, UDP, the NetCache-style cache header (``nc``), and a small
+calculator header (``calc``).  Operators may register additional headers via
+:func:`register_header` before building a switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class UnknownFieldError(KeyError):
+    """Raised when a field name is not present in the registry."""
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Static description of a single PHV field."""
+
+    name: str  # fully qualified, e.g. "hdr.ipv4.dst"
+    width: int  # bits
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def header(self) -> str | None:
+        """Header name for ``hdr.*`` fields, ``None`` for metadata."""
+        parts = self.name.split(".")
+        if parts[0] == "hdr":
+            return parts[1]
+        return None
+
+
+#: header name -> ordered {field: width}.  Order matters: it is the wire
+#: order used when computing header sizes for the traffic model.
+HEADER_LAYOUTS: dict[str, dict[str, int]] = {
+    "eth": {"dst": 48, "src": 48, "etype": 16},
+    "ipv4": {
+        "ver_ihl": 8,
+        "dscp": 6,
+        "ecn": 2,
+        "len": 16,
+        "id": 16,
+        "flags_frag": 16,
+        "ttl": 8,
+        "proto": 8,
+        "checksum": 16,
+        "src": 32,
+        "dst": 32,
+    },
+    "tcp": {
+        "src_port": 16,
+        "dst_port": 16,
+        "seq": 32,
+        "ack": 32,
+        "flags": 8,
+        "window": 16,
+    },
+    "udp": {"src_port": 16, "dst_port": 16, "len": 16},
+    # NetCache-style in-network cache header (paper Fig. 2).
+    "nc": {"op": 8, "key1": 32, "key2": 32, "val": 32},
+    # Simple calculator header for the `calc` program.
+    "calc": {"op": 8, "a": 32, "b": 32, "result": 32},
+    # Tunnel header used by the `tunnel` program.
+    "tun": {"id": 32},
+}
+
+#: Aliases tolerated in P4runpro sources.  The paper's own cache program
+#: refers to the cache value as both ``hdr.nc.value`` and ``hdr.nc.val``.
+FIELD_ALIASES: dict[str, str] = {
+    "hdr.nc.value": "hdr.nc.val",
+}
+
+#: Intrinsic + user metadata fields, per the simulated chip.
+METADATA_FIELDS: dict[str, int] = {
+    "meta.ingress_port": 9,
+    "meta.egress_port": 9,
+    "meta.queue_depth": 19,
+    "meta.pkt_len": 16,
+    "meta.timestamp": 32,
+}
+
+
+def _build_registry() -> dict[str, FieldSpec]:
+    registry: dict[str, FieldSpec] = {}
+    for header, layout in HEADER_LAYOUTS.items():
+        for field, width in layout.items():
+            name = f"hdr.{header}.{field}"
+            registry[name] = FieldSpec(name, width)
+    for name, width in METADATA_FIELDS.items():
+        registry[name] = FieldSpec(name, width)
+    return registry
+
+
+_REGISTRY: dict[str, FieldSpec] = _build_registry()
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases to the canonical field name."""
+    return FIELD_ALIASES.get(name, name)
+
+
+def lookup(name: str) -> FieldSpec:
+    """Return the :class:`FieldSpec` for ``name`` (alias-aware)."""
+    spec = _REGISTRY.get(canonical_name(name))
+    if spec is None:
+        raise UnknownFieldError(name)
+    return spec
+
+
+def is_known(name: str) -> bool:
+    return canonical_name(name) in _REGISTRY
+
+
+def all_fields() -> dict[str, FieldSpec]:
+    """A copy of the full registry (for resource accounting)."""
+    return dict(_REGISTRY)
+
+
+def register_header(header: str, layout: dict[str, int]) -> None:
+    """Register a custom header at switch-build time.
+
+    Raises ``ValueError`` if the header already exists with a different
+    layout, to catch accidental redefinition.
+    """
+    existing = HEADER_LAYOUTS.get(header)
+    if existing is not None:
+        if existing != layout:
+            raise ValueError(f"header {header!r} already registered with a different layout")
+        return
+    HEADER_LAYOUTS[header] = dict(layout)
+    for field, width in layout.items():
+        name = f"hdr.{header}.{field}"
+        _REGISTRY[name] = FieldSpec(name, width)
+
+
+def header_size_bytes(header: str) -> int:
+    """Wire size of a header, rounded up to whole bytes."""
+    layout = HEADER_LAYOUTS[header]
+    bits = sum(layout.values())
+    return (bits + 7) // 8

@@ -1,0 +1,113 @@
+"""Hash units: table-driven CRC engines like Tofino's hash distribution units.
+
+The case studies (paper §6.4) rely on standard CRC-16 variants —
+``crc_16_buypass``, ``crc_16_mcrf4xx``, ``crc_aug_ccitt``,
+``crc_16_dds_110`` — and on the property that *truncating* a uniform hash's
+output (the paper's mask-based address translation) has the same collision
+behaviour as a natively narrower hash.  We implement a generic parametric
+CRC so all four variants (plus CRC-32 for wider needs) are bit-exact with
+their published parameterizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+def _reflect(value: int, width: int) -> int:
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+@dataclass(frozen=True)
+class CRCParams:
+    """Rocksoft-model CRC parameterization."""
+
+    name: str
+    width: int
+    poly: int
+    init: int
+    refin: bool
+    refout: bool
+    xorout: int
+
+
+#: The CRC variants exposed as selectable hash units.
+CRC_CATALOG: dict[str, CRCParams] = {
+    "crc_16_buypass": CRCParams("crc_16_buypass", 16, 0x8005, 0x0000, False, False, 0x0000),
+    "crc_16_mcrf4xx": CRCParams("crc_16_mcrf4xx", 16, 0x1021, 0xFFFF, True, True, 0x0000),
+    "crc_aug_ccitt": CRCParams("crc_aug_ccitt", 16, 0x1021, 0x1D0F, False, False, 0x0000),
+    "crc_16_dds_110": CRCParams("crc_16_dds_110", 16, 0x8005, 0x800D, False, False, 0x0000),
+    "crc_32": CRCParams("crc_32", 32, 0x04C11DB7, 0xFFFFFFFF, True, True, 0xFFFFFFFF),
+}
+
+
+@lru_cache(maxsize=None)
+def _crc_table(poly: int, width: int, refin: bool) -> tuple[int, ...]:
+    """Byte-at-a-time CRC table for the given polynomial."""
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    table = []
+    for byte in range(256):
+        if refin:
+            byte = _reflect(byte, 8)
+        crc = byte << (width - 8)
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) if crc & top else (crc << 1)
+        crc &= mask
+        if refin:
+            crc = _reflect(crc, width)
+        table.append(crc)
+    return tuple(table)
+
+
+def crc(data: bytes, params: CRCParams) -> int:
+    """Compute a CRC over ``data`` with the given parameterization."""
+    mask = (1 << params.width) - 1
+    table = _crc_table(params.poly, params.width, params.refin)
+    crc_val = params.init
+    if params.refin:
+        crc_val = _reflect(crc_val, params.width)
+        for byte in data:
+            crc_val = (crc_val >> 8) ^ table[(crc_val ^ byte) & 0xFF]
+    else:
+        shift = params.width - 8
+        for byte in data:
+            crc_val = ((crc_val << 8) & mask) ^ table[((crc_val >> shift) ^ byte) & 0xFF]
+    if params.refin != params.refout:
+        crc_val = _reflect(crc_val, params.width)
+    return (crc_val ^ params.xorout) & mask
+
+
+class HashUnit:
+    """One hardware hash unit configured with a CRC variant.
+
+    Inputs are integers (PHV field values); they are serialized big-endian
+    into a fixed number of bytes per operand so the hash is deterministic.
+    """
+
+    def __init__(self, algorithm: str = "crc_16_buypass"):
+        if algorithm not in CRC_CATALOG:
+            raise ValueError(f"unknown hash algorithm {algorithm!r}")
+        self.params = CRC_CATALOG[algorithm]
+
+    @property
+    def output_width(self) -> int:
+        return self.params.width
+
+    def hash_values(self, values: tuple[int, ...], widths: tuple[int, ...] | None = None) -> int:
+        """Hash a tuple of integer operands."""
+        if widths is None:
+            widths = tuple(32 for _ in values)
+        data = bytearray()
+        for value, width in zip(values, widths):
+            nbytes = (width + 7) // 8
+            data += int(value).to_bytes(nbytes, "big")
+        return crc(bytes(data), self.params)
+
+    def hash_five_tuple(self, five_tuple: tuple[int, int, int, int, int]) -> int:
+        return self.hash_values(five_tuple, (32, 32, 8, 16, 16))

@@ -1,0 +1,194 @@
+"""Packet model for the RMT simulator.
+
+A :class:`Packet` is a bag of headers plus wire-level metadata (size,
+arrival timestamp, ingress port).  Headers are stored structurally — a dict
+of ``header name -> {field: int}`` — rather than as raw bytes: the simulator
+never needs byte-exact serialization, only field semantics and sizes, and
+structural headers keep every experiment deterministic and debuggable.
+
+Construction helpers cover the packet types the paper's evaluation uses
+(plain L2, IPv4, TCP, UDP, cache packets).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from . import fields as field_registry
+from .fields import header_size_bytes
+
+ETYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: Cache opcodes used by the in-network cache programs (paper Fig. 2).
+NC_READ = 1
+NC_WRITE = 2
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes:
+        headers: present headers, in parse order.
+        size: wire size in bytes (includes payload beyond the headers).
+        ts: arrival timestamp in seconds (simulation clock).
+        ingress_port: port the packet arrived on.
+    """
+
+    headers: dict[str, dict[str, int]] = field(default_factory=dict)
+    size: int = 64
+    ts: float = 0.0
+    ingress_port: int = 0
+    #: simulated queue occupancy observed by this packet (drives
+    #: ``meta.queue_depth`` for programs like ECN marking)
+    queue_depth: int = 0
+
+    def has(self, header: str) -> bool:
+        return header in self.headers
+
+    def get_field(self, name: str) -> int:
+        """Read a fully qualified ``hdr.<h>.<f>`` field."""
+        name = field_registry.canonical_name(name)
+        _, header, fname = name.split(".", 2)
+        try:
+            return self.headers[header][fname]
+        except KeyError as exc:
+            raise KeyError(f"packet has no field {name}") from exc
+
+    def set_field(self, name: str, value: int) -> None:
+        """Write a fully qualified ``hdr.<h>.<f>`` field (masked to width)."""
+        name = field_registry.canonical_name(name)
+        spec = field_registry.lookup(name)
+        _, header, fname = name.split(".", 2)
+        if header not in self.headers:
+            raise KeyError(f"packet has no header {header}")
+        self.headers[header][fname] = value & spec.max_value
+
+    def five_tuple(self) -> tuple[int, int, int, int, int]:
+        """(src ip, dst ip, proto, sport, dport); zeros for absent layers."""
+        src = dst = proto = sport = dport = 0
+        if self.has("ipv4"):
+            ip = self.headers["ipv4"]
+            src, dst, proto = ip["src"], ip["dst"], ip["proto"]
+        if self.has("tcp"):
+            sport = self.headers["tcp"]["src_port"]
+            dport = self.headers["tcp"]["dst_port"]
+        elif self.has("udp"):
+            sport = self.headers["udp"]["src_port"]
+            dport = self.headers["udp"]["dst_port"]
+        return (src, dst, proto, sport, dport)
+
+    def clone(self) -> "Packet":
+        return Packet(
+            headers=copy.deepcopy(self.headers),
+            size=self.size,
+            ts=self.ts,
+            ingress_port=self.ingress_port,
+            queue_depth=self.queue_depth,
+        )
+
+    def header_bytes(self) -> int:
+        """Total wire size of the present headers."""
+        return sum(header_size_bytes(h) for h in self.headers)
+
+
+def _eth_header(dst: int, src: int, etype: int) -> dict[str, int]:
+    return {"dst": dst, "src": src, "etype": etype}
+
+
+def make_l2(dst: int = 0x0200_0000_0001, src: int = 0x0200_0000_0002, *, size: int = 64) -> Packet:
+    """Plain Ethernet packet (non-IP)."""
+    return Packet(headers={"eth": _eth_header(dst, src, 0x88B5)}, size=size)
+
+
+def make_ipv4(
+    src_ip: int,
+    dst_ip: int,
+    proto: int = 0,
+    *,
+    ttl: int = 64,
+    ecn: int = 0,
+    size: int = 64,
+) -> Packet:
+    pkt = make_l2(size=size)
+    pkt.headers["eth"]["etype"] = ETYPE_IPV4
+    pkt.headers["ipv4"] = {
+        "ver_ihl": 0x45,
+        "dscp": 0,
+        "ecn": ecn,
+        "len": max(size - header_size_bytes("eth"), 20),
+        "id": 0,
+        "flags_frag": 0,
+        "ttl": ttl,
+        "proto": proto,
+        "checksum": 0,
+        "src": src_ip,
+        "dst": dst_ip,
+    }
+    return pkt
+
+
+def make_tcp(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    *,
+    flags: int = 0x10,
+    size: int = 64,
+) -> Packet:
+    pkt = make_ipv4(src_ip, dst_ip, PROTO_TCP, size=size)
+    pkt.headers["tcp"] = {
+        "src_port": src_port,
+        "dst_port": dst_port,
+        "seq": 0,
+        "ack": 0,
+        "flags": flags,
+        "window": 0xFFFF,
+    }
+    return pkt
+
+
+def make_udp(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    *,
+    size: int = 64,
+) -> Packet:
+    pkt = make_ipv4(src_ip, dst_ip, PROTO_UDP, size=size)
+    pkt.headers["udp"] = {"src_port": src_port, "dst_port": dst_port, "len": size}
+    return pkt
+
+
+def make_cache(
+    src_ip: int,
+    dst_ip: int,
+    *,
+    op: int,
+    key: int,
+    value: int = 0,
+    dst_port: int = 7777,
+    src_port: int = 50000,
+    size: int = 80,
+) -> Packet:
+    """Cache read/write packet: UDP + nc header (64-bit key split hi/lo)."""
+    pkt = make_udp(src_ip, dst_ip, src_port, dst_port, size=size)
+    pkt.headers["nc"] = {
+        "op": op,
+        "key1": (key >> 32) & 0xFFFFFFFF,
+        "key2": key & 0xFFFFFFFF,
+        "val": value,
+    }
+    return pkt
+
+
+def make_calc(src_ip: int, dst_ip: int, *, op: int, a: int, b: int, dst_port: int = 8888) -> Packet:
+    """Calculator request packet: UDP + calc header."""
+    pkt = make_udp(src_ip, dst_ip, 50001, dst_port, size=72)
+    pkt.headers["calc"] = {"op": op, "a": a, "b": b, "result": 0}
+    return pkt

@@ -1,0 +1,119 @@
+"""Packet Header Vector (PHV) model.
+
+On a real RMT chip the PHV is the bundle of containers that carries all
+per-packet state through the pipeline: parsed header fields, intrinsic
+metadata, and user metadata.  The simulator's :class:`PHV` mirrors that: a
+flat map from fully qualified field names to integer values, with a
+*layout* (:class:`PHVLayout`) tracking which user-metadata fields exist and
+how many container bits the program consumes — the quantity the resource
+model (Fig. 10 of the paper) accounts.
+
+Match-action tables match on PHV fields; actions read and write them.  At
+deparse time header fields are copied back into the packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import fields as field_registry
+from .packet import Packet
+
+
+class PHVOverflowError(RuntimeError):
+    """Raised when user metadata exceeds the chip's PHV container budget."""
+
+
+@dataclass
+class PHVLayout:
+    """User-metadata declarations and PHV bit accounting.
+
+    The chip provides a fixed pool of PHV container bits shared by headers,
+    intrinsic metadata, and user metadata.  ``declare`` registers a new user
+    metadata field; the layout rejects declarations past the budget.
+    """
+
+    budget_bits: int = 4096  # Tofino-like: 64x8b + 96x16b + 64x32b containers
+    user_fields: dict[str, int] = field(default_factory=dict)  # name -> width
+
+    def declare(self, name: str, width: int) -> None:
+        if not name.startswith("ud."):
+            raise ValueError("user metadata fields must be named 'ud.<name>'")
+        if name in self.user_fields:
+            if self.user_fields[name] != width:
+                raise ValueError(f"{name} redeclared with different width")
+            return
+        if self.used_bits() + width > self.budget_bits:
+            raise PHVOverflowError(
+                f"declaring {name} ({width}b) exceeds PHV budget of {self.budget_bits}b"
+            )
+        self.user_fields[name] = width
+
+    def width_of(self, name: str) -> int:
+        if name in self.user_fields:
+            return self.user_fields[name]
+        return field_registry.lookup(name).width
+
+    def header_bits(self) -> int:
+        return sum(spec.width for name, spec in field_registry.all_fields().items())
+
+    def used_bits(self) -> int:
+        return self.header_bits() + sum(self.user_fields.values())
+
+    def utilization(self) -> float:
+        return self.used_bits() / self.budget_bits
+
+
+class PHV:
+    """Per-packet header vector instance flowing through the pipeline."""
+
+    __slots__ = ("layout", "values", "valid_headers", "packet")
+
+    def __init__(self, layout: PHVLayout, packet: Packet):
+        self.layout = layout
+        self.packet = packet
+        self.values: dict[str, int] = {}
+        self.valid_headers: set[str] = set()
+        # Intrinsic metadata is always present.
+        self.values["meta.ingress_port"] = packet.ingress_port
+        self.values["meta.egress_port"] = 0
+        self.values["meta.queue_depth"] = packet.queue_depth
+        self.values["meta.pkt_len"] = packet.size
+        self.values["meta.timestamp"] = int(packet.ts * 1_000_000) & 0xFFFFFFFF
+        # User metadata starts zeroed, as on hardware after parser init.
+        for name in layout.user_fields:
+            self.values[name] = 0
+
+    # -- field access ----------------------------------------------------
+    def get(self, name: str) -> int:
+        name = field_registry.canonical_name(name)
+        try:
+            return self.values[name]
+        except KeyError as exc:
+            raise KeyError(f"PHV has no field {name} for this packet") from exc
+
+    def set(self, name: str, value: int) -> None:
+        name = field_registry.canonical_name(name)
+        width = self.layout.width_of(name)
+        if name.startswith("hdr.") and name not in self.values:
+            raise KeyError(f"PHV has no field {name} for this packet")
+        self.values[name] = value & ((1 << width) - 1)
+
+    def has(self, name: str) -> bool:
+        return field_registry.canonical_name(name) in self.values
+
+    # -- header lifecycle -------------------------------------------------
+    def load_header(self, header: str) -> None:
+        """Copy a parsed header's fields from the packet into the PHV."""
+        self.valid_headers.add(header)
+        for fname, value in self.packet.headers[header].items():
+            self.values[f"hdr.{header}.{fname}"] = value
+
+    def deparse(self) -> Packet:
+        """Write modified header fields back into the packet and return it."""
+        for header in self.valid_headers:
+            for fname in self.packet.headers[header]:
+                key = f"hdr.{header}.{fname}"
+                if key in self.values:
+                    self.packet.headers[header][fname] = self.values[key]
+        return self.packet

@@ -1,0 +1,85 @@
+"""Egress queueing: a fluid model of a bottleneck port's queue.
+
+The ECN program (Table 1) marks packets when ``meta.queue_depth`` exceeds
+a threshold.  On hardware that intrinsic metadata comes from the traffic
+manager's queue; the simulator models one bottleneck egress queue with
+classic fluid dynamics — depth grows by (arrivals − drain) per interval,
+clamped to [0, capacity], with tail drops past capacity — and exposes the
+depth in scheduler cells, the unit Tofino reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Tofino-like scheduler cell size in bytes.
+CELL_BYTES = 80
+
+
+@dataclass
+class PortQueue:
+    """One egress port's queue under a fluid arrival/drain model."""
+
+    drain_mbps: float = 100.0
+    capacity_cells: int = 20000
+
+    depth_bytes: float = 0.0
+    tail_dropped_bytes: float = field(default=0.0)
+
+    @property
+    def depth_cells(self) -> int:
+        return int(self.depth_bytes // CELL_BYTES)
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.capacity_cells * CELL_BYTES
+
+    def advance(self, arrived_bytes: float, dt_s: float) -> int:
+        """Apply one interval of arrivals and draining; returns the depth
+        in cells at the end of the interval."""
+        if dt_s < 0 or arrived_bytes < 0:
+            raise ValueError("arrivals and time must be non-negative")
+        drained = self.drain_mbps * 1e6 / 8 * dt_s
+        self.depth_bytes += arrived_bytes - drained
+        if self.depth_bytes < 0:
+            self.depth_bytes = 0.0
+        elif self.depth_bytes > self.capacity_bytes:
+            self.tail_dropped_bytes += self.depth_bytes - self.capacity_bytes
+            self.depth_bytes = self.capacity_bytes
+        return self.depth_cells
+
+    def utilization(self) -> float:
+        return self.depth_bytes / self.capacity_bytes
+
+
+class QueueModel:
+    """Per-port queues fed by a replay engine's window statistics.
+
+    Packets in window ``k`` observe the depth left by window ``k-1`` —
+    the one-interval feedback delay real queue telemetry has.
+    """
+
+    def __init__(self, drain_mbps: float = 100.0, capacity_cells: int = 20000):
+        self.drain_mbps = drain_mbps
+        self.capacity_cells = capacity_cells
+        self.queues: dict[int, PortQueue] = {}
+        self.depth_history: list[dict[int, int]] = []
+
+    def queue(self, port: int) -> PortQueue:
+        if port not in self.queues:
+            self.queues[port] = PortQueue(self.drain_mbps, self.capacity_cells)
+        return self.queues[port]
+
+    def observe_depth(self, port: int) -> int:
+        """Depth (cells) a packet headed to ``port`` sees right now."""
+        if port not in self.queues:
+            return 0
+        return self.queues[port].depth_cells
+
+    def end_window(self, per_port_bytes: dict[int, float], dt_s: float) -> None:
+        """Advance every queue by one window of arrivals."""
+        for port in set(self.queues) | set(per_port_bytes):
+            self.queue(port).advance(per_port_bytes.get(port, 0.0), dt_s)
+        self.depth_history.append(
+            {port: q.depth_cells for port, q in self.queues.items()}
+        )

@@ -1,0 +1,159 @@
+"""Chip-level resource, latency, and power accounting.
+
+This module reproduces what the paper obtains from P4C + P4 Insight (§6.3):
+static usage of the seven headline resources (PHV, hash units, SRAM, TCAM,
+VLIW, SALU, logical table IDs), per-pipeline latency in clock cycles, a
+worst-case power estimate, and the resulting *traffic limit load* — the
+fraction of maximum forwarding rate the chip allows itself when the power
+estimate exceeds the budget (the mechanism behind ActiveRMT's 91% load in
+Table 2).
+
+All accounting is static: it depends only on what hardware the data plane
+attaches to stages, never on traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dc_fields
+
+from .phv import PHVLayout
+from .pipeline import Switch
+from .stage import StageBudget
+
+#: Hardware power budget in watts; exceeding it causes forwarding-rate
+#: limiting (paper Table 2 caption).
+POWER_BUDGET_WATTS = 40.0
+
+#: Per-stage pipeline latency model, in clock cycles.
+INGRESS_BASE_CYCLES = 18  # parser
+EGRESS_BASE_CYCLES = 28  # deparser + queueing interface
+CYCLES_PER_ACTIVE_STAGE = 24
+
+#: Worst-case power coefficients (watts per used resource unit).
+POWER_COEFFS = {
+    "base": 0.9,  # per active gress
+    "sram_blocks": 0.0105,
+    "tcam_blocks": 0.048,
+    "vliw_slots": 0.0088,
+    "salus": 0.265,
+    "hash_units": 0.22,
+    "ltids": 0.018,
+}
+
+
+@dataclass
+class ResourceUsage:
+    """Aggregate usage over one gress (or the whole chip when summed)."""
+
+    sram_blocks: int = 0
+    tcam_blocks: int = 0
+    vliw_slots: int = 0
+    salus: int = 0
+    hash_units: int = 0
+    ltids: int = 0
+    phv_bits: int = 0
+    active_stages: int = 0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        merged = ResourceUsage()
+        for f in dc_fields(ResourceUsage):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+
+@dataclass
+class ChipBudget:
+    """Total per-chip budgets: per-stage budget x stages x both gresses."""
+
+    stages_per_gress: int = 12
+    stage: StageBudget = field(default_factory=StageBudget)
+    phv_bits: int = 4096
+
+    def total(self, resource: str) -> int:
+        if resource == "phv_bits":
+            return self.phv_bits
+        return getattr(self.stage, resource) * self.stages_per_gress * 2
+
+
+def account_gress(switch: Switch, gress: str) -> ResourceUsage:
+    """Sum stage usage over one gress of a built switch."""
+    pipeline = switch.ingress if gress == "ingress" else switch.egress
+    usage = ResourceUsage()
+    for stage in pipeline.stages:
+        usage.sram_blocks += stage.usage.sram_blocks
+        usage.tcam_blocks += stage.usage.tcam_blocks
+        usage.vliw_slots += stage.usage.vliw_slots
+        usage.salus += stage.usage.salus
+        usage.hash_units += stage.usage.hash_units
+        usage.ltids += stage.usage.ltids
+        if stage.units:
+            usage.active_stages += 1
+    return usage
+
+
+def account_switch(switch: Switch) -> ResourceUsage:
+    usage = account_gress(switch, "ingress") + account_gress(switch, "egress")
+    usage.phv_bits = switch.layout.used_bits()
+    usage.active_stages = (
+        account_gress(switch, "ingress").active_stages
+        + account_gress(switch, "egress").active_stages
+    )
+    return usage
+
+
+def utilization_report(usage: ResourceUsage, budget: ChipBudget | None = None) -> dict[str, float]:
+    """Percent utilization per headline resource (Fig. 10)."""
+    budget = budget or ChipBudget()
+    report = {}
+    for resource in ("sram_blocks", "tcam_blocks", "vliw_slots", "salus", "hash_units", "ltids"):
+        report[resource] = 100.0 * getattr(usage, resource) / budget.total(resource)
+    report["phv_bits"] = 100.0 * usage.phv_bits / budget.phv_bits
+    return report
+
+
+def phv_utilization(layout: PHVLayout) -> float:
+    return 100.0 * layout.utilization()
+
+
+# -- latency -----------------------------------------------------------------
+def latency_cycles(active_ingress_stages: int, active_egress_stages: int) -> tuple[int, int, int]:
+    """(ingress, egress, total) pipeline latency in clock cycles."""
+    ingress = INGRESS_BASE_CYCLES + CYCLES_PER_ACTIVE_STAGE * active_ingress_stages
+    egress = EGRESS_BASE_CYCLES + CYCLES_PER_ACTIVE_STAGE * active_egress_stages
+    return ingress, egress, ingress + egress
+
+
+def switch_latency_cycles(switch: Switch) -> tuple[int, int, int]:
+    return latency_cycles(
+        account_gress(switch, "ingress").active_stages,
+        account_gress(switch, "egress").active_stages,
+    )
+
+
+# -- power --------------------------------------------------------------------
+def power_watts(usage: ResourceUsage, *, active: bool = True) -> float:
+    """Worst-case power for one gress's usage."""
+    total = POWER_COEFFS["base"] if active and usage.active_stages else 0.0
+    for resource, coeff in POWER_COEFFS.items():
+        if resource == "base":
+            continue
+        total += coeff * getattr(usage, resource)
+    return total
+
+
+def switch_power_watts(switch: Switch) -> tuple[float, float, float]:
+    """(ingress, egress, total) worst-case power."""
+    ing = power_watts(account_gress(switch, "ingress"))
+    eg = power_watts(account_gress(switch, "egress"))
+    return ing, eg, ing + eg
+
+
+def traffic_limit_load(total_power: float, budget: float = POWER_BUDGET_WATTS) -> float:
+    """Fraction of max forwarding rate permitted under the power budget.
+
+    When the worst-case estimate exceeds the budget, the chip limits its
+    forwarding rate proportionally (Table 2: 40.74 W -> 98%, 43.7 W -> 91%).
+    """
+    if total_power <= budget:
+        return 1.0
+    return budget / total_power

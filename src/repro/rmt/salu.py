@@ -1,0 +1,105 @@
+"""Stateful ALUs and per-stage register arrays.
+
+Each RMT stage owns SRAM register arrays accessed through stateful ALUs
+(SALUs).  A SALU executes a single read-modify-write on one bucket per
+packet; it can additionally perform a conditional comparison before the
+write (the capability the paper borrows from FlyMon to multiplex two memory
+operations behind one SALU flag, §4.1.2).
+
+The seven P4runpro memory operations of Table 3 are provided as SALU
+microprograms: MEMADD, MEMSUB, MEMAND, MEMOR, MEMREAD, MEMWRITE, MEMMAX.
+All arithmetic wraps at the register width, matching hardware overflow
+behaviour (which the pseudo-primitives SUB/SUBI exploit, Appendix A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: A SALU microprogram: (old bucket value, operand) -> (new bucket value,
+#: value returned to the PHV).
+SaluProgram = Callable[[int, int], tuple[int, int]]
+
+
+class MemoryOutOfRangeError(IndexError):
+    """Raised on access past the end of a register array."""
+
+
+def _wrap(width: int) -> int:
+    return (1 << width) - 1
+
+
+def make_salu_programs(width: int = 32) -> dict[str, SaluProgram]:
+    """The Table-3 memory operations as SALU microprograms."""
+    mask = _wrap(width)
+    return {
+        # mid[mar] += sar; sar = mid[mar]
+        "MEMADD": lambda old, sar: (((old + sar) & mask),) * 2,
+        # mid[mar] -= sar; sar = mid[mar]
+        "MEMSUB": lambda old, sar: (((old - sar) & mask),) * 2,
+        # mid[mar] &= sar; sar = mid[mar]
+        "MEMAND": lambda old, sar: ((old & sar),) * 2,
+        # sar = mid[mar] (old value!); mid[mar] |= sar
+        "MEMOR": lambda old, sar: ((old | sar) & mask, old),
+        # sar = mid[mar]
+        "MEMREAD": lambda old, sar: (old, old),
+        # mid[mar] = sar
+        "MEMWRITE": lambda old, sar: (sar & mask, sar & mask),
+        # mid[mar] = sar if sar > mid[mar]
+        "MEMMAX": lambda old, sar: (max(old, sar & mask), max(old, sar & mask)),
+    }
+
+
+MEMORY_OPS: frozenset[str] = frozenset(make_salu_programs().keys())
+
+
+@dataclass
+class RegisterArray:
+    """A stage-local SRAM register array behind one SALU."""
+
+    name: str
+    size: int
+    width: int = 32
+
+    def __post_init__(self) -> None:
+        self._data = [0] * self.size
+        self._programs = make_salu_programs(self.width)
+        self.accesses = 0
+
+    def execute(self, op: str, addr: int, operand: int) -> int:
+        """Run a SALU microprogram on bucket ``addr``; returns the PHV value."""
+        if not 0 <= addr < self.size:
+            raise MemoryOutOfRangeError(f"{self.name}[{addr}] out of range (size {self.size})")
+        program = self._programs.get(op)
+        if program is None:
+            raise ValueError(f"unknown SALU op {op!r}")
+        self.accesses += 1
+        new_value, output = program(self._data[addr], operand & _wrap(self.width))
+        self._data[addr] = new_value
+        return output
+
+    # -- control plane access (raw APIs) ----------------------------------
+    def read(self, addr: int) -> int:
+        if not 0 <= addr < self.size:
+            raise MemoryOutOfRangeError(f"{self.name}[{addr}] out of range (size {self.size})")
+        return self._data[addr]
+
+    def write(self, addr: int, value: int) -> None:
+        if not 0 <= addr < self.size:
+            raise MemoryOutOfRangeError(f"{self.name}[{addr}] out of range (size {self.size})")
+        self._data[addr] = value & _wrap(self.width)
+
+    def reset_range(self, start: int, length: int) -> None:
+        """Zero ``length`` buckets starting at ``start`` (memory reclaim)."""
+        if start < 0 or start + length > self.size:
+            raise MemoryOutOfRangeError(
+                f"{self.name}[{start}:{start + length}] out of range (size {self.size})"
+            )
+        for addr in range(start, start + length):
+            self._data[addr] = 0
+
+    def snapshot(self, start: int = 0, length: int | None = None) -> list[int]:
+        if length is None:
+            length = self.size - start
+        return list(self._data[start : start + length])

@@ -1,0 +1,125 @@
+"""Pipeline stages.
+
+A stage is the unit of hardware the allocator reasons about: it hosts
+logical tables (match-action units), register arrays behind SALUs, and hash
+units, all drawing on the stage's fixed resource budget (SRAM/TCAM blocks,
+VLIW instruction slots, SALUs, hash units, logical table IDs).
+
+The data plane built on top (P4runpro blocks, or a baseline's tables)
+attaches :class:`LogicalUnit` objects to stages; the pipeline applies each
+stage's units in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .hashing import HashUnit
+from .phv import PHV
+from .salu import RegisterArray
+
+
+class StageResourceError(RuntimeError):
+    """Raised when attaching hardware past the stage's budget."""
+
+
+@dataclass
+class StageBudget:
+    """Per-stage hardware budget (Tofino-like defaults).
+
+    ``vliw_slots`` counts VLIW action-instruction words; ``tcam_blocks`` and
+    ``sram_blocks`` count memory blocks; a register array of N 32-bit
+    buckets consumes ``ceil(N / sram_bucket_per_block)`` SRAM blocks.
+    """
+
+    sram_blocks: int = 80
+    tcam_blocks: int = 24
+    vliw_slots: int = 32
+    salus: int = 4
+    hash_units: int = 6
+    ltids: int = 16
+    sram_bucket_per_block: int = 4096  # 32-bit buckets per SRAM block
+    tcam_entries_per_block: int = 512
+    tcam_block_key_bits: int = 44  # wider keys gang blocks side by side
+
+
+@dataclass
+class StageUsage:
+    sram_blocks: int = 0
+    tcam_blocks: int = 0
+    vliw_slots: int = 0
+    salus: int = 0
+    hash_units: int = 0
+    ltids: int = 0
+
+
+class LogicalUnit:
+    """Base class for anything attached to a stage that processes packets."""
+
+    name: str = "unit"
+
+    def apply(self, phv: PHV, stage: "Stage") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class Stage:
+    """One physical match-action stage."""
+
+    index: int
+    gress: str  # "ingress" | "egress"
+    budget: StageBudget = field(default_factory=StageBudget)
+
+    def __post_init__(self) -> None:
+        self.units: list[LogicalUnit] = []
+        self.register_arrays: dict[str, RegisterArray] = {}
+        self.hash_units: dict[str, HashUnit] = {}
+        self.usage = StageUsage()
+
+    # -- attachment with resource accounting -------------------------------
+    def attach_unit(
+        self,
+        unit: LogicalUnit,
+        *,
+        tcam_entries: int = 0,
+        key_bits: int = 44,
+        vliw_slots: int = 0,
+        ltids: int = 1,
+    ) -> None:
+        if tcam_entries:
+            rows = -(-tcam_entries // self.budget.tcam_entries_per_block)
+            width = -(-key_bits // self.budget.tcam_block_key_bits)
+            tcam_blocks = rows * width
+        else:
+            tcam_blocks = 0
+        if self.usage.tcam_blocks + tcam_blocks > self.budget.tcam_blocks:
+            raise StageResourceError(f"stage {self.gress}[{self.index}]: TCAM budget exceeded")
+        if self.usage.vliw_slots + vliw_slots > self.budget.vliw_slots:
+            raise StageResourceError(f"stage {self.gress}[{self.index}]: VLIW budget exceeded")
+        if self.usage.ltids + ltids > self.budget.ltids:
+            raise StageResourceError(f"stage {self.gress}[{self.index}]: LTID budget exceeded")
+        self.usage.tcam_blocks += tcam_blocks
+        self.usage.vliw_slots += vliw_slots
+        self.usage.ltids += ltids
+        self.units.append(unit)
+
+    def attach_register_array(self, array: RegisterArray) -> None:
+        blocks = -(-array.size // self.budget.sram_bucket_per_block)
+        if self.usage.sram_blocks + blocks > self.budget.sram_blocks:
+            raise StageResourceError(f"stage {self.gress}[{self.index}]: SRAM budget exceeded")
+        if self.usage.salus + 1 > self.budget.salus:
+            raise StageResourceError(f"stage {self.gress}[{self.index}]: SALU budget exceeded")
+        self.usage.sram_blocks += blocks
+        self.usage.salus += 1
+        self.register_arrays[array.name] = array
+
+    def attach_hash_unit(self, name: str, unit: HashUnit) -> None:
+        if self.usage.hash_units + 1 > self.budget.hash_units:
+            raise StageResourceError(f"stage {self.gress}[{self.index}]: hash budget exceeded")
+        self.usage.hash_units += 1
+        self.hash_units[name] = unit
+
+    # -- packet processing --------------------------------------------------
+    def process(self, phv: PHV) -> None:
+        for unit in self.units:
+            unit.apply(phv, self)

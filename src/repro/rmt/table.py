@@ -1,0 +1,181 @@
+"""Match-action tables.
+
+The simulator supports exact and ternary matching with priorities, the two
+kinds P4runpro's data plane uses (all P4runpro tables are ternary, paper
+§7 "Entry Expansion").  Each entry binds a key to a named action plus
+action data; the action implementation is resolved by the owning stage.
+
+Hardware semantics preserved here:
+
+* single-entry updates are atomic — a packet either sees an entry fully or
+  not at all (the property P4runpro's consistent update builds on, §4.3);
+* tables have a fixed capacity; inserting past it raises
+  :class:`TableFullError` (the resource the allocator must budget);
+* ternary matches are resolved by explicit priority (lower number wins),
+  ties broken by insertion order, as TCAM entry ordering does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .phv import PHV
+
+
+class TableFullError(RuntimeError):
+    """Raised when an insert would exceed the table's capacity."""
+
+
+class EntryNotFoundError(KeyError):
+    """Raised when deleting or fetching an entry that does not exist."""
+
+
+@dataclass(frozen=True)
+class TernaryKey:
+    """One match condition: ``phv[field] & mask == value & mask``."""
+
+    field: str
+    value: int
+    mask: int
+
+    def matches(self, phv: PHV) -> bool:
+        if not phv.has(self.field):
+            return False
+        return (phv.get(self.field) & self.mask) == (self.value & self.mask)
+
+
+@dataclass
+class TableEntry:
+    """A single installed match-action entry."""
+
+    keys: tuple[TernaryKey, ...]
+    action: str
+    action_data: dict = field(default_factory=dict)
+    priority: int = 0
+    handle: int = -1  # assigned by the table on insert
+    #: direct counter: packets that matched this entry
+    hits: int = 0
+
+    def matches(self, phv: PHV) -> bool:
+        return all(key.matches(phv) for key in self.keys)
+
+
+class MatchActionTable:
+    """A fixed-capacity ternary match-action table."""
+
+    _handle_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        *,
+        default_action: str | None = None,
+        default_action_data: dict | None = None,
+        index_field: str | None = None,
+        index_mask: int = 0,
+    ):
+        self.name = name
+        self.capacity = capacity
+        self.default_action = default_action
+        self.default_action_data = default_action_data or {}
+        self._entries: dict[int, TableEntry] = {}
+        #: Optional lookup acceleration: entries carrying a key on
+        #: ``index_field`` with exactly ``index_mask`` are bucketed by the
+        #: masked value (models hardware key hashing; purely an
+        #: optimization, match semantics unchanged).
+        self._index_field = index_field
+        self._index_mask = index_mask
+        self._index: dict[int, list[TableEntry]] = {}
+        self._unindexed: list[TableEntry] = []
+        #: number of lookups / hits, for utilization reporting
+        self.lookups = 0
+        self.hits = 0
+
+    def _index_value(self, entry: TableEntry) -> int | None:
+        if self._index_field is None:
+            return None
+        for key in entry.keys:
+            if key.field == self._index_field and key.mask == self._index_mask:
+                return key.value & self._index_mask
+        return None
+
+    # -- management --------------------------------------------------------
+    def insert(self, entry: TableEntry) -> int:
+        """Atomically install ``entry``; returns its handle."""
+        if len(self._entries) >= self.capacity:
+            raise TableFullError(f"table {self.name} full ({self.capacity} entries)")
+        handle = next(self._handle_counter)
+        entry.handle = handle
+        self._entries[handle] = entry
+        bucket = self._index_value(entry)
+        if bucket is None:
+            self._unindexed.append(entry)
+        else:
+            self._index.setdefault(bucket, []).append(entry)
+        return handle
+
+    def delete(self, handle: int) -> None:
+        """Atomically remove the entry with ``handle``."""
+        if handle not in self._entries:
+            raise EntryNotFoundError(f"table {self.name}: no entry {handle}")
+        entry = self._entries.pop(handle)
+        bucket = self._index_value(entry)
+        if bucket is None:
+            self._unindexed.remove(entry)
+        else:
+            self._index[bucket].remove(entry)
+            if not self._index[bucket]:
+                del self._index[bucket]
+
+    def get(self, handle: int) -> TableEntry:
+        if handle not in self._entries:
+            raise EntryNotFoundError(f"table {self.name}: no entry {handle}")
+        return self._entries[handle]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._index.clear()
+        self._unindexed.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def utilization(self) -> float:
+        return len(self._entries) / self.capacity if self.capacity else 0.0
+
+    def entries(self) -> list[TableEntry]:
+        return list(self._entries.values())
+
+    # -- data plane ----------------------------------------------------------
+    def lookup(self, phv: PHV) -> tuple[str, dict] | None:
+        """Find the highest-priority matching entry.
+
+        Returns ``(action, action_data)``; falls back to the default action
+        if no entry matches, or ``None`` if there is no default either.
+        """
+        self.lookups += 1
+        if self._index_field is not None and phv.has(self._index_field):
+            bucket = phv.get(self._index_field) & self._index_mask
+            candidates = self._index.get(bucket, ())
+            pool = [*candidates, *self._unindexed]
+        else:
+            pool = list(self._entries.values())
+        best: TableEntry | None = None
+        for entry in pool:
+            if entry.matches(phv):
+                if best is None or entry.priority < best.priority:
+                    best = entry
+        if best is not None:
+            self.hits += 1
+            best.hits += 1
+            return best.action, best.action_data
+        if self.default_action is not None:
+            return self.default_action, self.default_action_data
+        return None

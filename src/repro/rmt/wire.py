@@ -1,0 +1,188 @@
+"""Wire-format serialization: structural packets <-> real bytes.
+
+The simulator works on structural packets, but interoperating with the
+outside world (and validating that our header layouts are real) needs
+bytes.  This module packs packets bit-exactly according to
+``fields.HEADER_LAYOUTS`` — including a correct IPv4 header checksum —
+parses them back, and exports classic libpcap files any external tool
+(tcpdump, wireshark, scapy) can open.
+
+Unknown/custom headers (``nc``, ``calc``, ``tun``) serialize as the raw
+payload bytes their layouts define, exactly how they would ride UDP on
+the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable
+
+from .fields import HEADER_LAYOUTS, header_size_bytes
+from .packet import ETYPE_IPV4, PROTO_TCP, PROTO_UDP, Packet
+
+#: classic pcap magic (microsecond timestamps), LINKTYPE_ETHERNET
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+
+#: etype used by the `tun` header in the default parse machine
+ETYPE_TUN = 0x88F7
+
+
+class WireFormatError(ValueError):
+    """Malformed bytes or an unserializable packet."""
+
+
+# ---------------------------------------------------------------------------
+# bit packing against HEADER_LAYOUTS
+# ---------------------------------------------------------------------------
+def pack_header(header: str, fields: dict[str, int]) -> bytes:
+    """Pack one header's fields into wire bytes (big-endian bit order)."""
+    layout = HEADER_LAYOUTS[header]
+    total_bits = sum(layout.values())
+    if total_bits % 8:
+        raise WireFormatError(f"header {header!r} is not byte-aligned")
+    value = 0
+    for name, width in layout.items():
+        field_value = fields.get(name, 0)
+        if field_value >= 1 << width:
+            raise WireFormatError(f"{header}.{name} = {field_value} overflows {width} bits")
+        value = (value << width) | field_value
+    return value.to_bytes(total_bits // 8, "big")
+
+
+def unpack_header(header: str, data: bytes) -> tuple[dict[str, int], bytes]:
+    """Unpack one header from the front of ``data``; returns (fields, rest)."""
+    layout = HEADER_LAYOUTS[header]
+    size = header_size_bytes(header)
+    if len(data) < size:
+        raise WireFormatError(f"short packet: need {size} bytes for {header}")
+    value = int.from_bytes(data[:size], "big")
+    total_bits = sum(layout.values())
+    fields: dict[str, int] = {}
+    consumed = 0
+    for name, width in layout.items():
+        consumed += width
+        fields[name] = (value >> (total_bits - consumed)) & ((1 << width) - 1)
+    return fields, data[size:]
+
+
+def ipv4_checksum(header_bytes: bytes) -> int:
+    """RFC 1071 ones-complement sum over the IPv4 header."""
+    if len(header_bytes) % 2:
+        header_bytes += b"\x00"
+    total = sum(struct.unpack(f">{len(header_bytes) // 2}H", header_bytes))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+# ---------------------------------------------------------------------------
+# whole-packet serialization
+# ---------------------------------------------------------------------------
+def serialize(packet: Packet) -> bytes:
+    """Render a structural packet to wire bytes, padded to ``packet.size``.
+
+    The IPv4 checksum is recomputed; ``ipv4.len`` is set to the actual
+    IP-layer length so external tools parse the result cleanly.
+    """
+    order = [h for h in ("eth", "tun", "ipv4", "tcp", "udp", "nc", "calc") if h in packet.headers]
+    data = b""
+    ip_payload = sum(header_size_bytes(h) for h in order if h not in ("eth", "tun", "ipv4"))
+    for header in order:
+        fields = dict(packet.headers[header])
+        if header == "ipv4":
+            fields["len"] = header_size_bytes("ipv4") + ip_payload + max(
+                packet.size - sum(header_size_bytes(h) for h in order), 0
+            )
+            fields["checksum"] = 0
+            raw = pack_header("ipv4", fields)
+            fields["checksum"] = ipv4_checksum(raw)
+        data += pack_header(header, fields)
+    if packet.size > len(data):
+        data += bytes(packet.size - len(data))  # zero payload padding
+    return data
+
+
+def deserialize(data: bytes, *, nc_port: int = 7777, calc_port: int = 8888) -> Packet:
+    """Parse wire bytes back into a structural packet (default parse graph)."""
+    headers: dict[str, dict[str, int]] = {}
+    fields, rest = unpack_header("eth", data)
+    headers["eth"] = fields
+    if fields["etype"] == ETYPE_TUN:
+        headers["tun"], rest = unpack_header("tun", rest)
+    elif fields["etype"] == ETYPE_IPV4:
+        ip, rest = unpack_header("ipv4", rest)
+        headers["ipv4"] = ip
+        if ip["proto"] == PROTO_TCP:
+            headers["tcp"], rest = unpack_header("tcp", rest)
+        elif ip["proto"] == PROTO_UDP:
+            udp, rest = unpack_header("udp", rest)
+            headers["udp"] = udp
+            if udp["dst_port"] == nc_port and len(rest) >= header_size_bytes("nc"):
+                headers["nc"], rest = unpack_header("nc", rest)
+            elif udp["dst_port"] == calc_port and len(rest) >= header_size_bytes("calc"):
+                headers["calc"], rest = unpack_header("calc", rest)
+    return Packet(headers=headers, size=len(data))
+
+
+def verify_ipv4_checksum(data: bytes) -> bool:
+    """True if the embedded IPv4 checksum of serialized bytes is valid."""
+    eth_size = header_size_bytes("eth")
+    ip_size = header_size_bytes("ipv4")
+    ip_bytes = data[eth_size : eth_size + ip_size]
+    return ipv4_checksum(ip_bytes) == 0
+
+
+# ---------------------------------------------------------------------------
+# libpcap export / import
+# ---------------------------------------------------------------------------
+def save_pcap(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Write packets to a classic libpcap file; returns the record count."""
+    count = 0
+    with open(path, "wb") as out:
+        out.write(
+            struct.pack(
+                ">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET
+            )
+        )
+        for packet in packets:
+            data = serialize(packet)
+            seconds = int(packet.ts)
+            micros = int((packet.ts - seconds) * 1e6)
+            out.write(struct.pack(">IIII", seconds, micros, len(data), len(data)))
+            out.write(data)
+            count += 1
+    return count
+
+
+def load_pcap(path: str | Path, **parse_kwargs) -> list[Packet]:
+    """Read a classic libpcap file written by :func:`save_pcap`."""
+    packets: list[Packet] = []
+    with open(path, "rb") as stream:
+        header = stream.read(24)
+        if len(header) < 24:
+            raise WireFormatError("truncated pcap global header")
+        (magic,) = struct.unpack(">I", header[:4])
+        if magic == PCAP_MAGIC:
+            endian = ">"
+        elif magic == struct.unpack("<I", struct.pack(">I", PCAP_MAGIC))[0]:
+            endian = "<"
+        else:
+            raise WireFormatError(f"not a pcap file (magic {magic:#x})")
+        while True:
+            record = stream.read(16)
+            if not record:
+                break
+            if len(record) < 16:
+                raise WireFormatError("truncated pcap record header")
+            seconds, micros, incl_len, _orig_len = struct.unpack(
+                f"{endian}IIII", record
+            )
+            data = stream.read(incl_len)
+            if len(data) < incl_len:
+                raise WireFormatError("truncated pcap record body")
+            packet = deserialize(data, **parse_kwargs)
+            packet.ts = seconds + micros / 1e6
+            packets.append(packet)
+    return packets

@@ -1,0 +1,40 @@
+"""Traffic substrate: flow populations, synthetic traces, replay engine."""
+
+from .capture import (
+    CaptureFormatError,
+    capture_windows,
+    iter_capture,
+    load_capture,
+    save_capture,
+)
+from .flows import Flow, FlowPopulation, make_population
+from .replay import ReplayEngine, ReplayEvent, WindowStats, load_imbalance
+from .trace import (
+    WINDOW_S,
+    CacheTrace,
+    CacheTraceConfig,
+    CampusTrace,
+    TraceConfig,
+    Window,
+)
+
+__all__ = [
+    "CacheTrace",
+    "CaptureFormatError",
+    "capture_windows",
+    "iter_capture",
+    "load_capture",
+    "save_capture",
+    "CacheTraceConfig",
+    "CampusTrace",
+    "Flow",
+    "FlowPopulation",
+    "ReplayEngine",
+    "ReplayEvent",
+    "TraceConfig",
+    "WINDOW_S",
+    "Window",
+    "WindowStats",
+    "load_imbalance",
+    "make_population",
+]

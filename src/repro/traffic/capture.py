@@ -1,0 +1,144 @@
+"""Trace capture files: persist and replay packet streams byte-exactly.
+
+The paper's testbed replays a recorded campus pcap with tcpreplay and
+analyzes received packets with libpcap (§5).  This module is that
+machinery for the simulator: a compact binary container ("RPCAP") that
+serializes the structural packets deterministically, so an experiment's
+exact traffic can be saved, shared, diffed, and replayed.
+
+Format (all integers big-endian):
+
+    magic   4s   b"RPC1"
+    count   u32
+    records:
+        ts          f64 (seconds)
+        ingress     u16
+        size        u16 (wire bytes)
+        queue_depth u32
+        nheaders    u8
+        headers:
+            name_len u8, name bytes (ascii)
+            nfields  u8
+            fields:  name_len u8, name bytes, value u64
+
+Values wider than 64 bits (Ethernet MACs fit; nothing wider exists in the
+registry) would need a format bump — the writer validates this.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+from ..rmt.packet import Packet
+
+MAGIC = b"RPC1"
+
+
+class CaptureFormatError(ValueError):
+    """The file is not a valid RPCAP capture."""
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    data = text.encode("ascii")
+    if len(data) > 255:
+        raise CaptureFormatError(f"name too long: {text!r}")
+    out.write(struct.pack(">B", len(data)))
+    out.write(data)
+
+
+def _read_str(stream: BinaryIO) -> str:
+    (length,) = struct.unpack(">B", _read_exact(stream, 1))
+    return _read_exact(stream, length).decode("ascii")
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes:
+    data = stream.read(count)
+    if len(data) != count:
+        raise CaptureFormatError("truncated capture file")
+    return data
+
+
+def write_packet(out: BinaryIO, packet: Packet) -> None:
+    out.write(
+        struct.pack(
+            ">dHHI",
+            packet.ts,
+            packet.ingress_port,
+            packet.size,
+            packet.queue_depth,
+        )
+    )
+    out.write(struct.pack(">B", len(packet.headers)))
+    for header, fields in packet.headers.items():
+        _write_str(out, header)
+        out.write(struct.pack(">B", len(fields)))
+        for name, value in fields.items():
+            if not 0 <= value < (1 << 64):
+                raise CaptureFormatError(
+                    f"field {header}.{name} value {value} exceeds 64 bits"
+                )
+            _write_str(out, name)
+            out.write(struct.pack(">Q", value))
+
+
+def read_packet(stream: BinaryIO) -> Packet:
+    ts, ingress, size, queue_depth = struct.unpack(">dHHI", _read_exact(stream, 16))
+    (nheaders,) = struct.unpack(">B", _read_exact(stream, 1))
+    headers: dict[str, dict[str, int]] = {}
+    for _ in range(nheaders):
+        header = _read_str(stream)
+        (nfields,) = struct.unpack(">B", _read_exact(stream, 1))
+        fields: dict[str, int] = {}
+        for _ in range(nfields):
+            name = _read_str(stream)
+            (value,) = struct.unpack(">Q", _read_exact(stream, 8))
+            fields[name] = value
+        headers[header] = fields
+    return Packet(
+        headers=headers,
+        size=size,
+        ts=ts,
+        ingress_port=ingress,
+        queue_depth=queue_depth,
+    )
+
+
+def save_capture(path: str | Path, packets: Iterable[Packet]) -> int:
+    """Write packets to a capture file; returns the record count."""
+    buffer = io.BytesIO()
+    count = 0
+    for packet in packets:
+        write_packet(buffer, packet)
+        count += 1
+    with open(path, "wb") as out:
+        out.write(MAGIC)
+        out.write(struct.pack(">I", count))
+        out.write(buffer.getvalue())
+    return count
+
+
+def load_capture(path: str | Path) -> list[Packet]:
+    """Read a whole capture file into memory."""
+    return list(iter_capture(path))
+
+
+def iter_capture(path: str | Path) -> Iterator[Packet]:
+    """Stream packets from a capture file."""
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+        if magic != MAGIC:
+            raise CaptureFormatError(f"bad magic {magic!r} (expected {MAGIC!r})")
+        (count,) = struct.unpack(">I", _read_exact(stream, 4))
+        for _ in range(count):
+            yield read_packet(stream)
+
+
+def capture_windows(windows) -> list[Packet]:
+    """Flatten a trace's windows into one timestamped packet list."""
+    packets: list[Packet] = []
+    for window in windows:
+        packets.extend(window.packets)
+    return packets

@@ -1,0 +1,107 @@
+"""Flow populations: 5-tuple pools with heavy-tailed packet counts.
+
+The case studies (paper §6.4) use campus traffic reduced to 4,096 distinct
+5-tuple combinations, with 100 ground-truth heavy flows for the
+heavy-hitter study.  This module synthesizes such populations with a
+seeded RNG: Zipf-like weights for the flow sizes, a configurable TCP/UDP
+mix, and explicit control over which flows are heavy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rmt.packet import PROTO_TCP, PROTO_UDP
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One synthetic flow."""
+
+    src_ip: int
+    dst_ip: int
+    proto: int
+    src_port: int
+    dst_port: int
+    weight: float  # relative packet share
+    heavy: bool = False
+
+    @property
+    def five_tuple(self) -> tuple[int, int, int, int, int]:
+        return (self.src_ip, self.dst_ip, self.proto, self.src_port, self.dst_port)
+
+
+@dataclass
+class FlowPopulation:
+    """A fixed set of flows plus their sampling distribution."""
+
+    flows: list[Flow]
+    seed: int
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._weights = [flow.weight for flow in self.flows]
+
+    def sample(self, count: int) -> list[Flow]:
+        """Draw ``count`` flows (with replacement) by weight."""
+        return self._rng.choices(self.flows, weights=self._weights, k=count)
+
+    def heavy_flows(self) -> list[Flow]:
+        return [flow for flow in self.flows if flow.heavy]
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+
+def make_population(
+    *,
+    num_flows: int = 4096,
+    heavy_flows: int = 100,
+    heavy_share: float = 0.6,
+    udp_fraction: float = 0.35,
+    subnet: int = 0x0A000000,  # 10.0.0.0/16: matches the workload filters
+    seed: int = 7,
+) -> FlowPopulation:
+    """Build a heavy-tailed population.
+
+    ``heavy_share`` of all packets belongs to the ``heavy_flows`` heaviest
+    flows (uniformly among them); the rest follows a Zipf-ish tail over
+    the light flows — the structure campus traffic showed in the paper's
+    dataset.
+    """
+    if heavy_flows > num_flows:
+        raise ValueError("heavy_flows cannot exceed num_flows")
+    rng = random.Random(seed)
+    flows: list[Flow] = []
+    light = num_flows - heavy_flows
+    light_total = 1.0 - heavy_share if heavy_flows else 1.0
+    for index in range(num_flows):
+        heavy = index < heavy_flows
+        if heavy:
+            weight = heavy_share / heavy_flows
+        else:
+            rank = index - heavy_flows + 1
+            zipf = 1.0 / rank**1.1
+            weight = zipf  # normalized below
+        proto = PROTO_UDP if rng.random() < udp_fraction else PROTO_TCP
+        flows.append(
+            Flow(
+                src_ip=subnet | rng.randrange(1, 1 << 16),
+                dst_ip=subnet | rng.randrange(1, 1 << 16),
+                proto=proto,
+                src_port=rng.randrange(1024, 65536),
+                dst_port=rng.choice([80, 443, 53, 123, 8080, rng.randrange(1024, 65536)]),
+                weight=weight,
+                heavy=heavy,
+            )
+        )
+    # Normalize the light tail to its share.
+    light_sum = sum(f.weight for f in flows if not f.heavy)
+    if light and light_sum:
+        scale = light_total / light_sum
+        flows = [
+            f if f.heavy else Flow(*f.five_tuple, weight=f.weight * scale, heavy=False)
+            for f in flows
+        ]
+    return FlowPopulation(flows, seed)

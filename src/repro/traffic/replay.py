@@ -1,0 +1,136 @@
+"""Replay engine: drive a data plane with a trace and measure RX series.
+
+Plays the TRex/tcpreplay role from the paper's testbed (§5): pushes each
+window's sample packets through the simulated switch, attributes the
+window's offered bytes to the forwarding verdicts proportionally, and
+produces the per-50 ms RX-rate series (and per-port split) the Fig. 13
+case studies plot.
+
+Mid-replay control-plane actions are supported through *events*: callables
+scheduled at trace timestamps (deploy program X at t=5 s, delete one every
+0.5 s, ...), executed between windows exactly like an operator driving the
+CLI against live traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..rmt.pipeline import SwitchResult, Verdict
+from .trace import WINDOW_S, Window
+
+
+@dataclass
+class WindowStats:
+    """Measured outcome of one replay window."""
+
+    start_s: float
+    offered_mbps: float
+    rx_mbps: float
+    reflected_mbps: float
+    dropped_mbps: float
+    reported_packets: int
+    rx_mbps_by_port: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """A control-plane action fired when replay time passes ``at_s``."""
+
+    at_s: float
+    action: Callable[[], None]
+    label: str = ""
+
+
+class ReplayEngine:
+    """Replays windows against a data plane and collects statistics."""
+
+    def __init__(
+        self,
+        dataplane,
+        *,
+        blackout: Callable[[float], bool] | None = None,
+        queue_model=None,
+    ):
+        """``dataplane`` needs a ``process(packet) -> SwitchResult`` method.
+
+        ``blackout``, when given, maps a timestamp to "switch unavailable"
+        (the conventional-workflow reprovision window): unavailable windows
+        measure zero RX regardless of the packets.
+
+        ``queue_model`` (a :class:`repro.rmt.queueing.QueueModel`) makes
+        packets observe live egress queue depths — window k's packets see
+        the depths window k-1 left behind, and forwarded bytes feed the
+        queues, giving ECN-style programs a real congestion signal.
+        """
+        self.dataplane = dataplane
+        self.blackout = blackout
+        self.queue_model = queue_model
+        self.reported: list[SwitchResult] = []
+
+    def run(
+        self,
+        windows: Iterable[Window],
+        events: list[ReplayEvent] | None = None,
+    ) -> list[WindowStats]:
+        pending = sorted(events or [], key=lambda e: e.at_s)
+        cursor = 0
+        stats: list[WindowStats] = []
+        for window in windows:
+            while cursor < len(pending) and pending[cursor].at_s <= window.start_s:
+                pending[cursor].action()
+                cursor += 1
+            stats.append(self._replay_window(window))
+        return stats
+
+    def _replay_window(self, window: Window) -> WindowStats:
+        offered_mbps = window.offered_bytes * 8 / WINDOW_S / 1e6
+        if self.blackout is not None and self.blackout(window.start_s):
+            return WindowStats(window.start_s, offered_mbps, 0.0, 0.0, offered_mbps, 0)
+        if not window.packets:
+            return WindowStats(window.start_s, offered_mbps, 0.0, 0.0, 0.0, 0)
+        per_packet_bytes = window.offered_bytes / len(window.packets)
+        rx = reflected = dropped = 0.0
+        reports = 0
+        by_port: dict[int, float] = {}
+        by_port_bytes: dict[int, float] = {}
+        for packet in window.packets:
+            packet = packet.clone()
+            if self.queue_model is not None:
+                # The congestion signal is dominated by the bottleneck
+                # queue; packets observe the deepest current queue (their
+                # own egress port is only known after processing).
+                packet.queue_depth = max(
+                    (q.depth_cells for q in self.queue_model.queues.values()),
+                    default=0,
+                )
+            result = self.dataplane.process(packet)
+            share = per_packet_bytes * 8 / WINDOW_S / 1e6
+            if result.verdict is Verdict.DROP:
+                dropped += share
+            elif result.verdict is Verdict.REFLECT:
+                reflected += share
+            elif result.verdict is Verdict.TO_CPU:
+                reports += 1
+                self.reported.append(result)
+            else:
+                rx += share
+                port = result.egress_port or 0
+                by_port[port] = by_port.get(port, 0.0) + share
+                by_port_bytes[port] = by_port_bytes.get(port, 0.0) + per_packet_bytes
+        if self.queue_model is not None:
+            self.queue_model.end_window(by_port_bytes, WINDOW_S)
+        return WindowStats(
+            window.start_s, offered_mbps, rx, reflected, dropped, reports, by_port
+        )
+
+
+def load_imbalance(stats: WindowStats, port_a: int, port_b: int) -> float:
+    """The paper's imbalance metric: |rx_a - rx_b| / total rx (Fig. 13(c))."""
+    rx_a = stats.rx_mbps_by_port.get(port_a, 0.0)
+    rx_b = stats.rx_mbps_by_port.get(port_b, 0.0)
+    total = rx_a + rx_b
+    if total == 0:
+        return 0.0
+    return abs(rx_a - rx_b) / total

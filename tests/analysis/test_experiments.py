@@ -1,0 +1,113 @@
+"""Experiment-runner tests (reduced-scale versions of the §6.2 engines)."""
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import (
+    compare_objectives,
+    continuous_deployment,
+    pick_program,
+    program_capacity,
+)
+from repro.compiler.objectives import f1, f2
+
+
+class TestPickProgram:
+    def test_named_workloads(self):
+        rng = random.Random(0)
+        assert pick_program("cache", rng) == "cache"
+        assert pick_program("hll", rng) == "hll"
+
+    def test_mixed_draws_from_three(self):
+        rng = random.Random(0)
+        picks = {pick_program("mixed", rng) for _ in range(60)}
+        assert picks == {"cache", "lb", "hh"}
+
+    def test_all_mixed_draws_widely(self):
+        rng = random.Random(0)
+        picks = {pick_program("all-mixed", rng) for _ in range(300)}
+        assert len(picks) == 15
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            pick_program("bogus", random.Random(0))
+
+
+class TestContinuousDeployment:
+    def test_epochs_recorded(self):
+        results = continuous_deployment("lb", 5)
+        assert len(results) == 5
+        assert all(r.success for r in results)
+        assert all(r.program == "lb" for r in results)
+
+    def test_utilization_monotonic_while_successful(self):
+        results = continuous_deployment("cache", 8)
+        memory = [r.memory_utilization for r in results]
+        assert memory == sorted(memory)
+
+    def test_allocation_delay_measured(self):
+        results = continuous_deployment("hh", 3)
+        assert all(r.allocation_ms > 0 for r in results)
+
+    def test_snapshot_rpbs(self):
+        results = continuous_deployment("lb", 2, snapshot_rpbs=True)
+        assert len(results[0].per_rpb_memory) == 22
+        assert len(results[0].per_rpb_entries) == 22
+
+    def test_memory_buckets_respected(self):
+        small = continuous_deployment("cache", 3, memory_buckets=128)
+        large = continuous_deployment("cache", 3, memory_buckets=1024)
+        assert large[-1].memory_utilization > small[-1].memory_utilization
+
+    def test_reproducible_with_seed(self):
+        a = continuous_deployment("mixed", 6, seed=3)
+        b = continuous_deployment("mixed", 6, seed=3)
+        assert [r.program for r in a] == [r.program for r in b]
+
+
+class TestCapacity:
+    def test_capacity_stops_at_failure(self):
+        # A tiny target makes exhaustion quick: max_epochs bounds the scan.
+        result = program_capacity("hh", max_epochs=12)
+        assert result.capacity == 12  # far from exhaustion at this scale
+
+    def test_elastic_blocks_reduce_capacity(self):
+        few = program_capacity("cache", elastic_blocks=2, max_epochs=40)
+        many = program_capacity("cache", elastic_blocks=64, max_epochs=40)
+        # At 40 epochs neither fails, but utilization must differ.
+        assert many.entry_utilization > few.entry_utilization
+
+
+class TestCompareObjectives:
+    def test_rows_per_objective(self):
+        rows = compare_objectives(
+            {"f1": f1(), "f2": f2()}, workload="lb", max_epochs=5
+        )
+        assert [r.objective for r in rows] == ["f1", "f2"]
+        for row in rows:
+            assert row.capacity == 5
+            assert row.mean_allocation_ms > 0
+
+
+class TestCustomController:
+    def test_continuous_deployment_on_chain(self):
+        """The experiment engine drives any controller, incl. a chain."""
+        from repro.controlplane import Controller
+
+        ctl, _chain = Controller.with_chain(2)
+        results = continuous_deployment("lb", 4, controller=ctl)
+        assert all(r.success for r in results)
+        assert len(ctl.running_programs()) == 4
+
+    def test_failures_recorded_not_raised(self):
+        """hh revisits no memory, but a chain rejects programs that do;
+        the engine records the failure and keeps going."""
+        from repro.controlplane import Controller
+
+        ctl, _ = Controller.with_chain(2)
+        # Exhaust epochs with a workload mixing deployable programs; engine
+        # must never raise even when some epochs fail.
+        results = continuous_deployment("all-mixed", 12, controller=ctl, seed=4)
+        assert len(results) == 12
+        assert any(r.success for r in results)

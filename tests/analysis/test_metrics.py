@@ -1,0 +1,60 @@
+"""Metric helper tests."""
+
+import pytest
+
+from repro.analysis.metrics import f1_score, moving_average, precision_recall
+
+
+class TestMovingAverage:
+    def test_constant_series_unchanged(self):
+        assert moving_average([5.0] * 10, window=3) == [5.0] * 10
+
+    def test_smooths_spike(self):
+        series = [0.0] * 5 + [10.0] + [0.0] * 5
+        smoothed = moving_average(series, window=5)
+        assert max(smoothed) < 10.0
+        assert max(smoothed) == pytest.approx(2.0)
+
+    def test_edges_shrink(self):
+        smoothed = moving_average([1.0, 2.0, 3.0], window=31)
+        assert smoothed == [2.0, 2.0, 2.0]
+
+    def test_window_one_identity(self):
+        series = [3.0, 1.0, 4.0]
+        assert moving_average(series, window=1) == series
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    def test_length_preserved(self):
+        assert len(moving_average(list(range(100)), window=31)) == 100
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score(10, 0, 0) == 1.0
+
+    def test_nothing_detected(self):
+        assert f1_score(0, 0, 10) == 0.0
+
+    def test_undefined_is_zero(self):
+        assert f1_score(0, 0, 0) == 0.0
+
+    def test_known_value(self):
+        assert f1_score(8, 2, 2) == pytest.approx(0.8)
+
+
+class TestPrecisionRecall:
+    def test_sets(self):
+        precision, recall, f1 = precision_recall({1, 2, 3}, {2, 3, 4})
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_empty_detection(self):
+        precision, recall, f1 = precision_recall(set(), {1})
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+    def test_perfect_detection(self):
+        assert precision_recall({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)

@@ -1,0 +1,65 @@
+"""Report-generator tests (tiny scale)."""
+
+import pytest
+
+from repro.analysis.report import ReportBuilder, SCALES, generate_report, main
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report("tiny")
+
+
+class TestBuilder:
+    def test_table_rendering(self):
+        builder = ReportBuilder()
+        builder.table(["a", "b"], [[1, 2], [3, 4]])
+        text = builder.render()
+        assert "| a | b |" in text
+        assert "| 1 | 2 |" in text
+        assert "|---|---|" in text
+
+    def test_heading_levels(self):
+        builder = ReportBuilder()
+        builder.heading("top", level=1)
+        builder.heading("sub")
+        text = builder.render()
+        assert "# top" in text
+        assert "## sub" in text
+
+
+class TestGeneratedReport:
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "Table 1",
+            "Table 2",
+            "Fig. 7(a)",
+            "Fig. 11",
+            "Fig. 12",
+            "Prior-work",
+            "Recirculation census",
+        ):
+            assert section in report_text
+
+    def test_every_program_row_present(self, report_text):
+        from repro.programs import ALL_PROGRAM_NAMES
+
+        for name in ALL_PROGRAM_NAMES:
+            assert f"| {name} |" in report_text
+
+    def test_table2_paper_row(self, report_text):
+        assert "306/316/622" in report_text
+
+    def test_recirculation_census(self, report_text):
+        assert "'hh'" in report_text and "'nc'" in report_text
+        assert "13 of 15" in report_text
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"tiny", "quick"}
+
+
+class TestCLI:
+    def test_main_writes_file(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        assert main(["--scale", "tiny", "--out", str(out)]) == 0
+        assert out.read_text().startswith("# P4runpro reproduction report")

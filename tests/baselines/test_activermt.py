@@ -1,0 +1,101 @@
+"""ActiveRMT baseline tests."""
+
+import pytest
+
+from repro.baselines.activermt import (
+    ACTIVE_HEADER_BYTES,
+    ActiveProgram,
+    ActiveRMTAllocator,
+    ActiveRMTTiming,
+    NUM_STAGES,
+    WORKLOADS,
+    goodput_fraction,
+)
+
+
+class TestAllocator:
+    def test_successful_allocation(self):
+        allocator = ActiveRMTAllocator()
+        outcome = allocator.allocate(WORKLOADS["cache"])
+        assert outcome.success
+        assert len(outcome.stages) == 1
+        assert allocator.program_count() == 1
+
+    def test_memory_objects_on_distinct_increasing_stages(self):
+        allocator = ActiveRMTAllocator()
+        outcome = allocator.allocate(WORKLOADS["hh"])
+        assert len(outcome.stages) == 4
+        assert list(outcome.stages) == sorted(set(outcome.stages))
+
+    def test_utilization_grows(self):
+        allocator = ActiveRMTAllocator()
+        before = allocator.memory_utilization()
+        allocator.allocate(WORKLOADS["lb"])
+        assert allocator.memory_utilization() > before
+
+    def test_delay_grows_with_resident_programs(self):
+        """The Fig. 7(a) behaviour: allocation time increases with the
+        number of allocated programs."""
+        allocator = ActiveRMTAllocator()
+        early = [allocator.allocate(WORKLOADS["hh"]).delay_s for _ in range(5)]
+        for _ in range(120):
+            allocator.allocate(WORKLOADS["hh"])
+        late = [allocator.allocate(WORKLOADS["hh"]).delay_s for _ in range(5)]
+        assert sum(late) > sum(early)
+
+    def test_finer_granularity_not_faster(self):
+        """Fig. 7(b): finer fixed granularity costs more, never less."""
+
+        def delay(granularity):
+            allocator = ActiveRMTAllocator(granularity=granularity)
+            for _ in range(40):
+                allocator.allocate(WORKLOADS["hh"])
+            return sum(allocator.allocate(WORKLOADS["hh"]).delay_s for _ in range(5))
+
+        assert delay(32) > delay(1024) * 0.5  # noisy, but no large inversion
+
+    def test_elastic_remap_frees_memory(self):
+        allocator = ActiveRMTAllocator(granularity=4096, memory_size=8192)
+        # Elastic cache programs fill everything (2 blocks/stage).
+        elastic = ActiveProgram("big", 10, (8192,), elastic=True, min_share=4096)
+        for _ in range(NUM_STAGES):
+            assert allocator.allocate(elastic).success
+        # A newcomer only fits if elastic residents shrink.
+        outcome = allocator.allocate(ActiveProgram("late", 10, (4096,)))
+        assert outcome.success
+        assert outcome.remapped_programs >= 1
+
+    def test_exhaustion_fails_gracefully(self):
+        allocator = ActiveRMTAllocator(granularity=4096, memory_size=4096)
+        inelastic = ActiveProgram("solid", 10, (4096,))
+        for _ in range(NUM_STAGES):
+            assert allocator.allocate(inelastic).success
+        outcome = allocator.allocate(inelastic)
+        assert not outcome.success
+        assert outcome.delay_s >= 0
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            ActiveRMTAllocator(granularity=0)
+
+
+class TestTimingAndOverhead:
+    def test_update_delay_in_paper_band(self):
+        """Table 1: ActiveRMT's updates land near ~200 ms."""
+        timing = ActiveRMTTiming()
+        for name in ("cache", "lb", "hh"):
+            delay = timing.update_delay_ms(WORKLOADS[name])
+            assert 100.0 < delay < 350.0
+
+    def test_remap_inflates_update_delay(self):
+        timing = ActiveRMTTiming()
+        base = timing.update_delay_ms(WORKLOADS["cache"])
+        with_remap = timing.update_delay_ms(WORKLOADS["cache"], remapped_programs=5)
+        assert with_remap > base
+
+    def test_goodput_fraction_small_packets_hurt_more(self):
+        assert goodput_fraction(64) < goodput_fraction(1500)
+        assert goodput_fraction(1500) < 1.0
+
+    def test_goodput_matches_header_share(self):
+        assert goodput_fraction(128) == pytest.approx(128 / (128 + ACTIVE_HEADER_BYTES))

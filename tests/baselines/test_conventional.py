@@ -1,0 +1,52 @@
+"""Conventional P4 workflow tests."""
+
+import pytest
+
+from repro.baselines.conventional import ConventionalWorkflow
+from repro.controlplane.timing import ConventionalP4Timing
+
+
+class TestDeployment:
+    def test_precompiled_deploy_skips_compile(self):
+        wf = ConventionalWorkflow()
+        event = wf.deploy("cache", p4_loc=77, at_s=5.0)
+        assert event.compile_s == 0.0
+        assert event.started_at_s == 5.0
+
+    def test_fresh_compile_takes_minutes(self):
+        wf = ConventionalWorkflow()
+        event = wf.deploy("cache", p4_loc=77, at_s=0.0, precompiled=False)
+        assert event.compile_s > 60.0
+
+    def test_deploy_delay_orders_of_magnitude_above_p4runpro(self):
+        """§6.2.1: P4runpro cuts deployment by at least one order of
+        magnitude; the conventional path costs seconds even precompiled."""
+        timing = ConventionalP4Timing()
+        assert timing.traffic_blackout_s > 1.0
+        assert timing.deploy_delay_s(77) > 90.0
+
+    def test_blackout_window(self):
+        wf = ConventionalWorkflow()
+        event = wf.deploy("cache", p4_loc=77, at_s=5.0)
+        assert not wf.traffic_available(5.0)
+        assert not wf.traffic_available(event.started_at_s + event.blackout_s - 0.01)
+        assert wf.traffic_available(event.started_at_s + event.blackout_s + 0.01)
+        assert wf.traffic_available(4.99)
+
+    def test_function_active_after_blackout(self):
+        wf = ConventionalWorkflow()
+        event = wf.deploy("cache", p4_loc=77, at_s=5.0)
+        assert not wf.function_active(5.0)
+        assert wf.function_active(event.function_active_at_s)
+
+    def test_removal_is_also_a_reprovision(self):
+        wf = ConventionalWorkflow()
+        wf.deploy("cache", p4_loc=77, at_s=1.0)
+        wf.remove("cache", at_s=20.0)
+        assert wf.programs == []
+        assert not wf.traffic_available(20.5)
+
+    def test_no_events_no_function(self):
+        wf = ConventionalWorkflow()
+        assert not wf.function_active(100.0)
+        assert wf.traffic_available(100.0)

@@ -1,0 +1,58 @@
+"""FlyMon baseline tests."""
+
+import pytest
+
+from repro.baselines.flymon import (
+    FlyMonController,
+    TASKS,
+    UnsupportedTaskError,
+)
+
+
+class TestTaskModel:
+    def test_supported_tasks(self):
+        assert set(TASKS) == {"cms", "bf", "sumax", "hll"}
+
+    def test_update_delays_near_paper(self):
+        """Table 1: FlyMon updates ~17-32 ms."""
+        ctl = FlyMonController()
+        expected = {"cms": 27.46, "bf": 32.09, "sumax": 22.88, "hll": 17.37}
+        for task, paper_ms in expected.items():
+            deployment = ctl.deploy(task)
+            assert deployment.update_delay_ms == pytest.approx(paper_ms, rel=0.25)
+
+    def test_generality_gap(self):
+        """FlyMon cannot express the non-measurement Table-1 programs."""
+        ctl = FlyMonController()
+        for name in ("cache", "lb", "calc", "firewall", "l3route"):
+            with pytest.raises(UnsupportedTaskError):
+                ctl.deploy(name)
+
+    def test_unknown_task(self):
+        with pytest.raises(UnsupportedTaskError):
+            FlyMonController().deploy("quantum")
+
+
+class TestCMUAccounting:
+    def test_capacity_bounded_by_cmus(self):
+        ctl = FlyMonController()
+        count = 0
+        try:
+            while True:
+                ctl.deploy("cms")
+                count += 1
+        except UnsupportedTaskError:
+            pass
+        assert count == 9  # 9 groups x 2 CMUs / 2 CMUs per CMS
+
+    def test_revoke_frees_cmus(self):
+        ctl = FlyMonController()
+        deployments = [ctl.deploy("cms") for _ in range(9)]
+        ctl.revoke(deployments[0])
+        assert ctl.deploy("cms").task == "cms"
+
+    def test_mixed_tasks_share_groups(self):
+        ctl = FlyMonController()
+        a = ctl.deploy("hll")  # 1 CMU
+        b = ctl.deploy("hll")  # fits in the same group
+        assert a.cmu_group == b.cmu_group

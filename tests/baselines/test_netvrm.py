@@ -1,0 +1,85 @@
+"""NetVRM baseline tests."""
+
+import pytest
+
+from repro.baselines.netvrm import (
+    FixedApplicationSetError,
+    NetVRM,
+    VRMApplication,
+)
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+
+
+def make_vrm(weights=(1.0, 1.0, 1.0), total=65536):
+    apps = [
+        VRMApplication(f"app{i}", weight=w, min_memory=256)
+        for i, w in enumerate(weights)
+    ]
+    return NetVRM(total_memory=total, applications=apps)
+
+
+class TestUtilityModel:
+    def test_utility_monotone_concave(self):
+        app = VRMApplication("a")
+        utilities = [app.utility(m) for m in (256, 512, 1024, 2048)]
+        assert utilities == sorted(utilities)
+        gains = [b - a for a, b in zip(utilities, utilities[1:])]
+        # Diminishing returns per doubling? log2(1+m/s) gains shrink per
+        # fixed-size step; per-doubling gains approach 1 from above.
+        assert app.marginal_utility(512, 256) < app.marginal_utility(256, 256)
+
+    def test_minimum_shares_enforced(self):
+        with pytest.raises(ValueError):
+            NetVRM(total_memory=100, applications=[VRMApplication("a", min_memory=256)])
+
+
+class TestReallocation:
+    def test_memory_fully_distributed(self):
+        vrm = make_vrm()
+        allocation = vrm.reallocate()
+        assert sum(allocation.values()) <= vrm.total_memory
+        assert vrm.total_memory - sum(allocation.values()) < vrm.step
+        assert vrm.utilization() > 0.99
+
+    def test_equal_weights_equal_shares(self):
+        vrm = make_vrm(weights=(1.0, 1.0, 1.0))
+        allocation = vrm.reallocate()
+        shares = sorted(allocation.values())
+        assert shares[-1] - shares[0] <= vrm.step
+
+    def test_heavier_app_gets_more(self):
+        vrm = make_vrm(weights=(4.0, 1.0, 1.0))
+        allocation = vrm.reallocate()
+        assert allocation["app0"] > allocation["app1"]
+        assert allocation["app0"] > allocation["app2"]
+
+    def test_reallocation_improves_utility(self):
+        vrm = make_vrm(weights=(3.0, 1.0, 1.0))
+        before = vrm.total_utility()
+        vrm.reallocate()
+        assert vrm.total_utility() > before
+
+    def test_minimums_respected(self):
+        vrm = make_vrm(weights=(100.0, 0.001, 0.001))
+        allocation = vrm.reallocate()
+        assert allocation["app1"] >= 256
+        assert allocation["app2"] >= 256
+
+
+class TestTheLimitation:
+    """§2.2: NetVRM cannot do what P4runpro does."""
+
+    def test_admission_rejected(self):
+        vrm = make_vrm()
+        with pytest.raises(FixedApplicationSetError, match="reprovisioning"):
+            vrm.admit(VRMApplication("newcomer"))
+
+    def test_p4runpro_admits_where_netvrm_cannot(self):
+        """The side-by-side contrast: same moment, new program arrives."""
+        vrm = make_vrm()
+        with pytest.raises(FixedApplicationSetError):
+            vrm.admit(VRMApplication("cache"))
+        ctl, _ = Controller.with_simulator()
+        handle = ctl.deploy(PROGRAMS["cache"].source)  # just works
+        assert handle.stats.total_ms < 1000

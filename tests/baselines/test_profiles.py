@@ -1,0 +1,82 @@
+"""System profile tests (Fig. 10 / Table 2 comparison shapes)."""
+
+import pytest
+
+from repro.baselines.profiles import (
+    activermt_profile,
+    all_profiles,
+    flymon_profile,
+    p4runpro_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {p.name: p for p in all_profiles()}
+
+
+class TestTable2Shapes:
+    def test_three_systems(self, profiles):
+        assert set(profiles) == {"P4runpro", "ActiveRMT", "FlyMon"}
+
+    def test_p4runpro_and_activermt_same_latency_band(self, profiles):
+        """Table 2: 622 vs 620 total cycles — effectively equal."""
+        assert profiles["P4runpro"].latency_cycles[2] == pytest.approx(
+            profiles["ActiveRMT"].latency_cycles[2], rel=0.02
+        )
+
+    def test_flymon_latency_much_lower(self, profiles):
+        assert profiles["FlyMon"].latency_cycles[2] < 0.6 * profiles["P4runpro"].latency_cycles[2]
+
+    def test_flymon_ingress_nearly_free(self, profiles):
+        assert profiles["FlyMon"].power_watts[0] < 2.0
+
+    def test_p4runpro_power_lower_than_activermt(self, profiles):
+        """Table 2: 40.74 W vs 43.7 W."""
+        assert profiles["P4runpro"].power_watts[2] < profiles["ActiveRMT"].power_watts[2]
+
+    def test_traffic_limit_ordering(self, profiles):
+        """FlyMon 100% > P4runpro ~98% > ActiveRMT ~91%."""
+        assert profiles["FlyMon"].traffic_limit_load == 1.0
+        assert (
+            profiles["FlyMon"].traffic_limit_load
+            > profiles["P4runpro"].traffic_limit_load
+            > profiles["ActiveRMT"].traffic_limit_load
+        )
+
+    def test_p4runpro_load_in_paper_band(self, profiles):
+        assert 0.95 < profiles["P4runpro"].traffic_limit_load < 1.0
+
+    def test_activermt_load_in_paper_band(self, profiles):
+        assert 0.85 < profiles["ActiveRMT"].traffic_limit_load < 0.95
+
+
+class TestFig10Shapes:
+    def test_p4runpro_vliw_heaviest_resource(self, profiles):
+        util = profiles["P4runpro"].utilization
+        assert util["vliw_slots"] == max(util.values())
+
+    def test_activermt_phv_above_p4runpro(self, profiles):
+        """The capsule header rides the PHV."""
+        assert (
+            profiles["ActiveRMT"].utilization["phv_bits"]
+            > profiles["P4runpro"].utilization["phv_bits"]
+        )
+
+    def test_p4runpro_salu_and_hash_exceed_activermt(self, profiles):
+        """§6.3: two extra RPB stages give P4runpro more SALU/hash usage."""
+        p4 = profiles["P4runpro"].utilization
+        active = profiles["ActiveRMT"].utilization
+        assert p4["salus"] > active["salus"]
+        assert p4["hash_units"] > active["hash_units"]
+
+    def test_flymon_modest_everywhere(self, profiles):
+        util = profiles["FlyMon"].utilization
+        assert all(value < 65.0 for value in util.values())
+
+    def test_profiles_deterministic(self):
+        a = p4runpro_profile()
+        b = p4runpro_profile()
+        assert a.utilization == b.utilization
+        assert activermt_profile().power_watts == activermt_profile().power_watts
+        assert flymon_profile().latency_cycles == flymon_profile().latency_cycles

@@ -1,0 +1,78 @@
+"""Allocation-problem builder tests."""
+
+import pytest
+
+from repro.compiler.allocation import build_problem, op_entry_cost
+from repro.compiler.translate import translate
+from repro.lang.errors import AllocationError
+from repro.lang.parser import parse_source
+
+
+def build(source):
+    unit = parse_source(source)
+    return unit, build_problem(unit, translate(unit.programs[0]))
+
+
+class TestEntryCosts:
+    def test_cache_profile(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        _, prob = build(CACHE_SOURCE)
+        assert prob.num_depths == 10  # matches Fig. 5(b)
+        assert prob.te_req[4] == 2  # BRANCH with two cases
+        # the NOP-aligned depth holds 1 entry (the write branch's EXTRACT)
+        assert prob.te_req[7] == 1
+        assert prob.entries_total() == 16
+
+    def test_branch_cost_is_case_count(self):
+        _, prob = build(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " BRANCH: case(<har, 1, 0xff>) { DROP; }"
+            " case(<har, 2, 0xff>) { RETURN; }"
+            " case(<har, 3, 0xff>) { REPORT; } }"
+        )
+        assert prob.te_req[1] == 3
+
+    def test_forwarding_depths(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        _, prob = build(CACHE_SOURCE)
+        assert 5 in prob.forwarding_depths  # RETURN / DROP / FORWARD level
+
+    def test_memory_metadata(self):
+        from repro.programs.library import LB_SOURCE
+
+        _, prob = build(LB_SOURCE)
+        assert prob.memory_sizes == {"dip_pool": 256, "port_pool": 256}
+        assert len(prob.memory_depths["dip_pool"]) == 1  # aligned across cases
+
+    def test_sequential_pairs_depths(self):
+        _, prob = build(
+            "@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMADD(m); MEMREAD(m); }"
+        )
+        assert prob.sequential_pairs == [(2, 4)]  # offsets shift the depths
+
+    def test_empty_program_rejected(self):
+        unit = parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }")
+        translation = translate(unit.programs[0])
+        translation.ir.root.ops.clear()
+        with pytest.raises(AllocationError, match="no operations"):
+            build_problem(unit, translation)
+
+
+class TestOpEntryCost:
+    def test_nop_is_free(self):
+        from repro.compiler.ir import Op
+
+        assert op_entry_cost(Op("NOP")) == 0
+
+    def test_plain_op_costs_one(self):
+        from repro.compiler.ir import Op
+
+        assert op_entry_cost(Op("LOADI")) == 1
+
+    def test_branch_costs_cases(self):
+        from repro.compiler.ir import CaseInfo, Op, Path
+
+        cases = [CaseInfo([], i, Path(i)) for i in (1, 2, 3, 4)]
+        assert op_entry_cost(Op("BRANCH", cases=cases)) == 4

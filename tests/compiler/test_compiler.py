@@ -1,0 +1,78 @@
+"""Top-level compiler driver tests."""
+
+import pytest
+
+from repro.compiler.compiler import CompileOptions, compile_source, parse_and_check
+from repro.compiler.objectives import f2
+from repro.compiler.target import TargetSpec
+from repro.lang.errors import P4runproError, SemanticError
+from repro.programs.library import CACHE_SOURCE, LB_SOURCE
+
+
+class TestCompileSource:
+    def test_cache_matches_figure5(self):
+        compiled = compile_source(CACHE_SOURCE)
+        assert compiled.problem.num_depths == 10
+        assert compiled.allocation.x == list(range(1, 11))
+
+    def test_phase_timings_populated(self):
+        compiled = compile_source(CACHE_SOURCE)
+        assert compiled.parse_time_s > 0
+        assert compiled.translate_time_s > 0
+        assert compiled.allocate_time_s > 0
+
+    def test_memory_requests(self):
+        compiled = compile_source(LB_SOURCE)
+        requests = compiled.memory_requests()
+        assert set(requests) == {"dip_pool", "port_pool"}
+        for phys, size in requests.values():
+            assert size == 256
+            assert 1 <= phys <= 22
+
+    # Annotations must precede all programs, so a combined source hoists
+    # both programs' '@' declarations to the top.
+    COMBINED = (
+        "@ mem1 256\n@ dip_pool 256\n@ port_pool 256\n"
+        + CACHE_SOURCE.replace("@ mem1 256\n", "")
+        + LB_SOURCE.replace("@ dip_pool 256\n@ port_pool 256\n", "")
+    )
+
+    def test_multi_program_source_needs_name(self):
+        with pytest.raises(P4runproError, match="program_name"):
+            compile_source(self.COMBINED)
+        compiled = compile_source(self.COMBINED, program_name="lb")
+        assert compiled.name == "lb"
+
+    def test_unknown_program_name(self):
+        with pytest.raises(P4runproError, match="no program named"):
+            compile_source(CACHE_SOURCE, program_name="nope")
+
+    def test_semantic_error_propagates(self):
+        with pytest.raises(SemanticError):
+            compile_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(ghost); }")
+
+    def test_custom_objective(self):
+        compiled = compile_source(CACHE_SOURCE, options=CompileOptions(objective=f2()))
+        assert compiled.allocation.objective_name == "f2"
+
+    def test_elastic_option_inflates_entries(self):
+        base = compile_source(CACHE_SOURCE)
+        grown = compile_source(
+            CACHE_SOURCE, options=CompileOptions(elastic_cases=16, elastic_branch=0)
+        )
+        assert grown.problem.entries_total() > base.problem.entries_total()
+
+    def test_custom_spec(self):
+        spec = TargetSpec(num_ingress_rpbs=4, num_egress_rpbs=4, max_recirculations=3)
+        compiled = compile_source(CACHE_SOURCE, spec=spec)
+        assert max(compiled.allocation.x) <= spec.num_logic_rpbs
+
+
+class TestParseAndCheck:
+    def test_returns_checked_unit(self):
+        unit = parse_and_check(CACHE_SOURCE)
+        assert unit.programs[0].name == "cache"
+
+    def test_rejects_bad_source(self):
+        with pytest.raises(SemanticError):
+            parse_and_check("@ m 3\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }")

@@ -1,0 +1,147 @@
+"""Entry-generation tests (Fig. 5(c) / Fig. 6 install order)."""
+
+import pytest
+
+from repro.compiler.compiler import compile_source
+from repro.compiler.entries import required_bitmap
+from repro.compiler.target import TargetSpec
+from repro.dataplane import constants as dp
+from repro.lang.ast import Filter
+from repro.programs.library import CACHE_SOURCE, HH_SOURCE
+
+SPEC = TargetSpec()
+
+
+@pytest.fixture(scope="module")
+def cache_batch():
+    compiled = compile_source(CACHE_SOURCE)
+    bases = {"mem1": (compiled.allocation.memory_placement["mem1"], 128)}
+    return compiled, compiled.emit_entries(SPEC, 42, bases)
+
+
+class TestBatchStructure:
+    def test_entry_count(self, cache_batch):
+        _, batch = cache_batch
+        assert len(batch) == 17  # 16 body + 1 init
+
+    def test_init_entry_last_in_install_order(self, cache_batch):
+        _, batch = cache_batch
+        order = batch.install_order()
+        assert order[-1].table == dp.INIT_TABLE
+        assert all(e.table != dp.INIT_TABLE for e in order[:-1])
+
+    def test_init_entry_first_in_delete_order(self, cache_batch):
+        _, batch = cache_batch
+        assert batch.delete_order()[0].table == dp.INIT_TABLE
+
+    def test_no_recirc_entries_for_cache(self, cache_batch):
+        _, batch = cache_batch
+        assert batch.recirc_entries == []
+
+    def test_program_id_on_every_body_entry(self, cache_batch):
+        _, batch = cache_batch
+        for entry in batch.body_entries:
+            pid_keys = [k for k in entry.keys if k.field == "ud.program_id"]
+            assert pid_keys and pid_keys[0].value == 42
+
+    def test_nop_generates_no_entry(self, cache_batch):
+        _, batch = cache_batch
+        assert all(e.action != "NOP" for e in batch.install_order())
+
+
+class TestBranchEntries:
+    def test_case_entries_match_registers(self, cache_batch):
+        _, batch = cache_batch
+        branch_entries = [e for e in batch.body_entries if e.action == dp.ACTION_SET_BRANCH]
+        assert len(branch_entries) == 2
+        for entry in branch_entries:
+            fields = {k.field for k in entry.keys}
+            assert {"ud.har", "ud.sar", "ud.mar"} <= fields
+
+    def test_case_entries_set_target_branch(self, cache_batch):
+        _, batch = cache_batch
+        targets = {
+            e.data()["branch_id"]
+            for e in batch.body_entries
+            if e.action == dp.ACTION_SET_BRANCH
+        }
+        assert targets == {1, 2}
+
+    def test_case_priorities_follow_order(self, cache_batch):
+        _, batch = cache_batch
+        priorities = [
+            e.priority for e in batch.body_entries if e.action == dp.ACTION_SET_BRANCH
+        ]
+        assert priorities == sorted(priorities)
+
+
+class TestActionData:
+    def test_offset_carries_physical_base(self, cache_batch):
+        _, batch = cache_batch
+        offsets = [e for e in batch.body_entries if e.action == "OFFSET"]
+        assert offsets and all(e.data()["base"] == 128 for e in offsets)
+
+    def test_hash_mem_mask_from_declared_size(self):
+        compiled = compile_source(HH_SOURCE)
+        bases = {
+            mid: (phys, 0) for mid, phys in compiled.allocation.memory_placement.items()
+        }
+        batch = compiled.emit_entries(SPEC, 7, bases)
+        hash_entries = [e for e in batch.body_entries if e.action == "HASH_5_TUPLE_MEM"]
+        assert hash_entries
+        assert all(e.data()["mask"] == 255 for e in hash_entries)
+
+    def test_hash_algorithms_cycle(self):
+        compiled = compile_source(HH_SOURCE)
+        bases = {
+            mid: (phys, 0) for mid, phys in compiled.allocation.memory_placement.items()
+        }
+        batch = compiled.emit_entries(SPEC, 7, bases)
+        algos = [
+            e.data()["algorithm"]
+            for e in batch.install_order()
+            if "algorithm" in e.data()
+        ]
+        assert len(set(algos)) >= 2  # distinct CRCs across hash ops
+
+    def test_recirc_entries_for_recirculating_program(self):
+        compiled = compile_source(HH_SOURCE)
+        assert compiled.allocation.max_iteration == 1
+        bases = {
+            mid: (phys, 0) for mid, phys in compiled.allocation.memory_placement.items()
+        }
+        batch = compiled.emit_entries(SPEC, 7, bases)
+        assert len(batch.recirc_entries) == 1
+        entry = batch.recirc_entries[0]
+        assert entry.table == dp.RECIRC_TABLE
+        assert entry.action == dp.ACTION_RECIRCULATE
+
+    def test_entries_placed_on_allocated_rpbs(self, cache_batch):
+        compiled, batch = cache_batch
+        allocated_tables = {
+            dp.rpb_table(SPEC.physical_rpb(v)) for v in compiled.allocation.x
+        }
+        body_tables = {e.table for e in batch.body_entries}
+        assert body_tables <= allocated_tables
+
+
+class TestRequiredBitmap:
+    def test_udp_filter_implies_chain(self):
+        bitmap = required_bitmap([Filter("hdr.udp.dst_port", 7777, 0xFFFF)])
+        from repro.rmt.parser import DEFAULT_BITMAP_BITS as B
+
+        for header in ("eth", "ipv4", "udp"):
+            assert bitmap & (1 << B[header])
+
+    def test_metadata_filter_needs_only_eth(self):
+        bitmap = required_bitmap([Filter("meta.ingress_port", 1, 0x1FF)])
+        from repro.rmt.parser import DEFAULT_BITMAP_BITS as B
+
+        assert bitmap == 1 << B["eth"]
+
+    def test_nc_filter_implies_udp(self):
+        bitmap = required_bitmap([Filter("hdr.nc.op", 1, 0xFF)])
+        from repro.rmt.parser import DEFAULT_BITMAP_BITS as B
+
+        for header in ("eth", "ipv4", "udp", "nc"):
+            assert bitmap & (1 << B[header])

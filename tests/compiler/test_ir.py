@@ -1,0 +1,105 @@
+"""IR construction / depth assignment tests."""
+
+from repro.compiler.ir import assign_depths, build_ir
+from repro.lang.parser import parse_source
+
+
+def ir_for(source):
+    unit = parse_source(source)
+    ir = build_ir(unit.programs[0])
+    assign_depths(ir)
+    return ir
+
+
+class TestBranchIds:
+    SOURCE = """
+    program p(<hdr.ipv4.ttl, 0, 0x0>) {
+        LOADI(har, 1);
+        BRANCH:
+        case(<har, 1, 0xff>) { DROP; }
+        case(<har, 2, 0xff>) { RETURN; }
+        FORWARD(1);
+    }
+    """
+
+    def test_root_is_branch_zero(self):
+        ir = ir_for(self.SOURCE)
+        assert ir.root.branch_id == 0
+        assert all(op.branch_id == 0 for op in ir.root.ops)
+
+    def test_cases_get_fresh_branch_ids(self):
+        ir = ir_for(self.SOURCE)
+        branch = next(op for op in ir.root.ops if op.is_branch)
+        targets = [case.target_branch for case in branch.cases]
+        assert targets == [1, 2]
+        assert ir.num_branches == 3
+
+    def test_case_bodies_carry_their_branch_id(self):
+        ir = ir_for(self.SOURCE)
+        branch = next(op for op in ir.root.ops if op.is_branch)
+        for case in branch.cases:
+            assert all(op.branch_id == case.target_branch for op in case.path.ops)
+
+    def test_nested_branch_ids_unique(self):
+        ir = ir_for(
+            """
+            program p(<hdr.ipv4.ttl, 0, 0x0>) {
+                BRANCH:
+                case(<har, 1, 0xff>) {
+                    BRANCH:
+                    case(<sar, 0, 0xffffffff>) { REPORT; };
+                };
+                case(<har, 2, 0xff>) { DROP; }
+            }
+            """
+        )
+        ids = [op.branch_id for op in ir.walk_ops()]
+        assert ir.num_branches == 4  # root + 3 cases
+        assert max(ids) == 3
+
+
+class TestDepths:
+    def test_sequential_depths(self):
+        ir = ir_for(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) { LOADI(har, 1); LOADI(sar, 2); DROP; }"
+        )
+        assert [op.depth for op in ir.root.ops] == [1, 2, 3]
+
+    def test_continuation_parallel_with_cases(self):
+        ir = ir_for(TestBranchIds.SOURCE)
+        branch = next(op for op in ir.root.ops if op.is_branch)
+        forward = ir.root.ops[-1]
+        assert branch.depth == 2
+        assert forward.depth == 3  # right after the BRANCH, like case bodies
+        for case in branch.cases:
+            assert case.path.ops[0].depth == 3
+
+    def test_max_depth_and_levels(self):
+        ir = ir_for(TestBranchIds.SOURCE)
+        assert ir.max_depth() == 3
+        levels = ir.levels()
+        assert sorted(levels) == [1, 2, 3]
+        assert len(levels[3]) == 3  # DROP, RETURN, FORWARD share depth 3
+
+    def test_walk_ops_covers_everything(self):
+        ir = ir_for(TestBranchIds.SOURCE)
+        names = sorted(op.name for op in ir.walk_ops())
+        assert names == ["BRANCH", "DROP", "FORWARD", "LOADI", "RETURN"]
+
+
+class TestOpHelpers:
+    def test_memory_id(self):
+        ir = ir_for("@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(m); }")
+        op = ir.root.ops[0]
+        assert op.memory_id() == "m"
+
+    def test_memory_id_none(self):
+        ir = ir_for("program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }")
+        assert ir.root.ops[0].memory_id() is None
+
+    def test_str_forms(self):
+        ir = ir_for(TestBranchIds.SOURCE)
+        branch = next(op for op in ir.root.ops if op.is_branch)
+        assert "BRANCH[2 cases]" in str(branch)
+        loadi = ir.root.ops[0]
+        assert "LOADI" in str(loadi)

@@ -1,0 +1,120 @@
+"""Register lifetime analysis tests."""
+
+from repro.compiler.ir import build_ir
+from repro.compiler.liveness import compute_live_out, reads_writes
+from repro.lang.parser import parse_source
+
+
+def analyse(source):
+    unit = parse_source(source)
+    ir = build_ir(unit.programs[0])
+    return ir, compute_live_out(ir)
+
+
+class TestReadsWrites:
+    def test_extract_writes_only(self):
+        ir, _ = analyse("program p(<hdr.ipv4.ttl, 0, 0x0>) { EXTRACT(hdr.ipv4.src, har); }")
+        reads, writes = reads_writes(ir.root.ops[0])
+        assert reads == frozenset()
+        assert writes == {"har"}
+
+    def test_memadd_reads_mar_sar_writes_sar(self):
+        ir, _ = analyse("@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMADD(m); }")
+        reads, writes = reads_writes(ir.root.ops[0])
+        assert reads == {"mar", "sar"}
+        assert writes == {"sar"}
+
+    def test_memwrite_writes_nothing(self):
+        ir, _ = analyse("@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMWRITE(m); }")
+        _, writes = reads_writes(ir.root.ops[0])
+        assert writes == frozenset()
+
+    def test_branch_reads_condition_registers(self):
+        ir, _ = analyse(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " BRANCH: case(<har, 1, 0xff>, <mar, 2, 0xff>) { DROP; } }"
+        )
+        reads, writes = reads_writes(ir.root.ops[0])
+        assert reads == {"har", "mar"}
+        assert writes == frozenset()
+
+    def test_alu_op(self):
+        ir, _ = analyse("program p(<hdr.ipv4.ttl, 0, 0x0>) { ADD(har, sar); }")
+        reads, writes = reads_writes(ir.root.ops[0])
+        assert reads == {"har", "sar"}
+        assert writes == {"har"}
+
+
+class TestLiveOut:
+    def test_dead_at_program_end(self):
+        ir, live = analyse(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) { LOADI(har, 1); LOADI(sar, 2); }"
+        )
+        last = ir.root.ops[-1]
+        assert live[id(last)] == frozenset()
+
+    def test_live_until_read(self):
+        ir, live = analyse(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " LOADI(har, 1); LOADI(sar, 2); ADD(sar, har); }"
+        )
+        first = ir.root.ops[0]
+        assert "har" in live[id(first)]
+
+    def test_killed_by_rewrite(self):
+        ir, live = analyse(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " LOADI(har, 1); LOADI(har, 2); MODIFY(hdr.ipv4.ttl, har); }"
+        )
+        first = ir.root.ops[0]
+        assert "har" not in live[id(first)]  # overwritten before any read
+
+    def test_branch_joins_case_liveness(self):
+        ir, live = analyse(
+            """
+            program p(<hdr.ipv4.ttl, 0, 0x0>) {
+                LOADI(sar, 5);
+                BRANCH:
+                case(<har, 1, 0xff>) { MODIFY(hdr.ipv4.ttl, sar); }
+                case(<har, 2, 0xff>) { DROP; }
+            }
+            """
+        )
+        loadi = ir.root.ops[0]
+        # sar is read in case 1, so it is live after LOADI.
+        assert "sar" in live[id(loadi)]
+
+    def test_branch_joins_continuation_liveness(self):
+        ir, live = analyse(
+            """
+            program p(<hdr.ipv4.ttl, 0, 0x0>) {
+                LOADI(mar, 9);
+                BRANCH:
+                case(<har, 1, 0xff>) { DROP; }
+                MODIFY(hdr.ipv4.ttl, mar);
+            }
+            """
+        )
+        loadi = ir.root.ops[0]
+        assert "mar" in live[id(loadi)]
+
+    def test_not_live_when_unused_everywhere(self):
+        ir, live = analyse(
+            """
+            program p(<hdr.ipv4.ttl, 0, 0x0>) {
+                LOADI(mar, 9);
+                BRANCH:
+                case(<har, 1, 0xff>) { DROP; }
+                case(<har, 2, 0xff>) { RETURN; }
+            }
+            """
+        )
+        loadi = ir.root.ops[0]
+        assert "mar" not in live[id(loadi)]
+
+    def test_every_op_has_live_out(self):
+        from repro.programs.library import HH_SOURCE
+
+        ir, live = analyse(HH_SOURCE)
+        for op in ir.walk_ops():
+            assert id(op) in live

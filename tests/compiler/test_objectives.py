@@ -1,0 +1,86 @@
+"""Objective-function unit tests."""
+
+import pytest
+
+from repro.compiler.objectives import (
+    OBJECTIVES,
+    f1,
+    f2,
+    f3,
+    hierarchical,
+    make_objective,
+)
+
+
+class TestValues:
+    def test_f1_default_weights(self):
+        objective = f1()
+        assert objective.value(1, 10) == pytest.approx(0.7 * 10 - 0.3 * 1)
+        assert objective.alpha == 0.7
+        assert objective.beta == 0.3
+
+    def test_f1_custom_weights(self):
+        objective = f1(alpha=0.5, beta=0.5)
+        assert objective.value(4, 10) == pytest.approx(3.0)
+
+    def test_f2_ignores_x1(self):
+        objective = f2()
+        assert objective.value(1, 10) == objective.value(9, 10) == 10
+
+    def test_f3_ratio(self):
+        assert f3().value(11, 22) == pytest.approx(2.0)
+
+    def test_hierarchical_lexicographic(self):
+        objective = hierarchical()
+        # Smaller xL always dominates; larger x1 breaks ties.
+        assert objective.value(1, 5) < objective.value(10, 6)
+        assert objective.value(4, 5) < objective.value(3, 5)
+
+    def test_linearity_flags(self):
+        assert f1().linear and f2().linear and hierarchical().linear
+        assert not f3().linear
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert set(OBJECTIVES) == {"f1", "f2", "f3", "hierarchical"}
+        for name in OBJECTIVES:
+            assert make_objective(name).name == name
+
+    def test_kwargs_forwarded(self):
+        objective = make_objective("f1", alpha=0.9, beta=0.1)
+        assert objective.alpha == 0.9
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            make_objective("f9")
+
+    def test_objectives_frozen(self):
+        objective = f1()
+        with pytest.raises(Exception):
+            objective.alpha = 0.5
+
+
+class TestObjectiveDrivesAllocation:
+    """The weights really steer placement under pressure."""
+
+    def test_beta_heavy_f1_prefers_late_start(self):
+        from repro.compiler.allocation import AllocationProblem
+        from repro.compiler.solver import AllocationSolver
+        from repro.compiler.target import TargetSpec, UnlimitedResources
+
+        problem = AllocationProblem(
+            program="steer",
+            num_depths=3,
+            te_req={1: 1, 2: 1, 3: 1},
+            forwarding_depths=set(),
+            memory_sizes={},
+            memory_depths={},
+            sequential_pairs=[],
+        )
+        spec = TargetSpec()
+        solver = AllocationSolver(spec, UnlimitedResources(spec))
+        compact = solver.solve(problem, f1())  # alpha-dominant: start early
+        greedy = solver.solve(problem, f1(alpha=0.1, beta=0.9))  # beta-dominant
+        assert compact.x[0] < greedy.x[0]
+        assert greedy.x[0] == spec.num_logic_rpbs - 2  # pushed to the end

@@ -1,0 +1,235 @@
+"""Allocation solver tests: constraints, optimality, resource pressure."""
+
+import pytest
+
+from repro.compiler.allocation import AllocationProblem
+from repro.compiler.objectives import f1, f2, f3, hierarchical
+from repro.compiler.solver import AllocationSolver
+from repro.compiler.target import TargetSpec, UnlimitedResources
+from repro.lang.errors import AllocationError
+
+SPEC = TargetSpec()  # M=22, N=10, R=1 -> domain 44
+
+
+def problem(
+    depths,
+    *,
+    te=1,
+    forwarding=(),
+    memory_sizes=None,
+    memory_depths=None,
+    pairs=(),
+):
+    return AllocationProblem(
+        program="test",
+        num_depths=depths,
+        te_req={d: te for d in range(1, depths + 1)},
+        forwarding_depths=set(forwarding),
+        memory_sizes=memory_sizes or {},
+        memory_depths=memory_depths or {},
+        sequential_pairs=list(pairs),
+    )
+
+
+def solve(prob, objective=None, view=None, spec=SPEC):
+    solver = AllocationSolver(spec, view or UnlimitedResources(spec))
+    return solver.solve(prob, objective or f1())
+
+
+class ConstrainedView:
+    """Resource view with configurable per-RPB free entries/memory."""
+
+    def __init__(self, entries=None, memory_ok=None, default_entries=2048):
+        self.entries = entries or {}
+        self.memory_ok = memory_ok
+        self.default_entries = default_entries
+
+    def free_entries(self, phys):
+        return self.entries.get(phys, self.default_entries)
+
+    def can_allocate_memory(self, phys, sizes):
+        if self.memory_ok is None:
+            return True
+        return self.memory_ok(phys, sizes)
+
+
+class TestBasicConstraints:
+    def test_strictly_increasing(self):
+        result = solve(problem(10))
+        assert all(a < b for a, b in zip(result.x, result.x[1:]))
+
+    def test_depth_exceeds_domain(self):
+        with pytest.raises(AllocationError, match="logic RPBs"):
+            solve(problem(45))
+
+    def test_full_domain_program_fits(self):
+        result = solve(problem(44))
+        assert result.x == list(range(1, 45))
+
+    def test_single_depth(self):
+        result = solve(problem(1))
+        assert len(result.x) == 1
+
+    def test_forwarding_on_ingress_only(self):
+        result = solve(problem(15, forwarding={15}))
+        phys = SPEC.physical_rpb(result.x[14])
+        assert phys <= SPEC.num_ingress_rpbs
+        assert result.max_iteration == 1  # depth 15 cannot reach ingress in pass 0
+
+    def test_forwarding_infeasible_without_recirculation(self):
+        spec = TargetSpec(max_recirculations=0)
+        with pytest.raises(AllocationError):
+            solve(problem(15, forwarding={15}), spec=spec)
+
+    def test_sequential_pair_same_physical_rpb(self):
+        prob = problem(
+            3,
+            memory_sizes={"m": 64},
+            memory_depths={"m": [1, 3]},
+            pairs=[(1, 3)],
+        )
+        result = solve(prob)
+        assert SPEC.physical_rpb(result.x[0]) == SPEC.physical_rpb(result.x[2])
+        assert result.x[2] == result.x[0] + SPEC.num_rpbs
+
+    def test_memory_placement_recorded(self):
+        prob = problem(2, memory_sizes={"m": 64}, memory_depths={"m": [2]})
+        result = solve(prob)
+        assert result.memory_placement == {"m": SPEC.physical_rpb(result.x[1])}
+
+
+class TestResourcePressure:
+    def test_avoids_full_rpbs(self):
+        view = ConstrainedView(entries={1: 0, 2: 0})
+        result = solve(problem(3), view=view)
+        for value in result.x:
+            assert SPEC.physical_rpb(value) not in (1, 2)
+
+    def test_zero_entry_depth_can_use_full_rpb(self):
+        prob = problem(3)
+        prob.te_req[2] = 0  # a NOP-only depth
+        view = ConstrainedView(entries={2: 0})
+        result = solve(prob, view=view)
+        assert result.x == [1, 2, 3]
+
+    def test_cumulative_entries_across_iterations(self):
+        """Two depths mapping to the same physical RPB must jointly fit."""
+        view = ConstrainedView(entries={1: 1}, default_entries=0)
+        # Depth 1 and 2 must both go somewhere; only RPB 1 has one entry
+        # free, so placing both (logic 1 and logic 23) must be rejected.
+        prob = problem(2)
+        with pytest.raises(AllocationError):
+            solve(prob, view=view)
+
+    def test_memory_infeasible(self):
+        prob = problem(
+            2, memory_sizes={"m": 1 << 20}, memory_depths={"m": [2]}
+        )
+        view = ConstrainedView(memory_ok=lambda phys, sizes: False)
+        with pytest.raises(AllocationError):
+            solve(prob, view=view)
+
+    def test_memory_feasible_on_specific_rpb(self):
+        prob = problem(2, memory_sizes={"m": 64}, memory_depths={"m": [2]})
+        view = ConstrainedView(memory_ok=lambda phys, sizes: phys == 5)
+        result = solve(prob, view=view)
+        assert SPEC.physical_rpb(result.x[1]) == 5
+
+
+class TestObjectives:
+    def test_f1_prefers_compact_low_allocation_when_free(self):
+        result = solve(problem(10), f1())
+        assert result.x == list(range(1, 11))
+        assert result.objective_value == pytest.approx(0.7 * 10 - 0.3 * 1)
+
+    def test_f2_minimizes_xl(self):
+        result = solve(problem(5), f2())
+        assert result.x[-1] == 5
+
+    def test_f3_maximizes_ratio_quality(self):
+        result = solve(problem(3), f3())
+        # optimum of xL/x1 with xL >= x1+2: x=[42,43,44] -> 44/42
+        assert result.x[0] + 2 <= result.x[-1]
+        assert result.objective_value == pytest.approx(result.x[-1] / result.x[0])
+        assert result.objective_value < 1.1
+
+    def test_hierarchical_min_xl_then_max_x1(self):
+        result = solve(problem(3), hierarchical())
+        assert result.x[-1] == 3  # phase 1: minimal xL
+        assert result.x[0] == 1  # phase 2: maximal x1 given xL=3
+
+    def test_f1_pushed_by_ingress_pressure(self):
+        """When early ingress RPBs fill up, f1 shifts the window right."""
+        view = ConstrainedView(entries={p: 0 for p in range(1, 6)})
+        result = solve(problem(4), f1(), view=view)
+        assert SPEC.physical_rpb(result.x[0]) >= 6
+
+    def test_f3_explores_more_nodes_than_f1(self):
+        """The nonlinear objective runs generic branch and bound: visibly
+        more work than the endpoint enumeration (paper §6.2.4)."""
+        lin = solve(problem(6), f1())
+        non = solve(problem(6), f3())
+        assert non.nodes_explored > lin.nodes_explored
+
+    def test_objective_value_consistency(self):
+        for objective in (f1(), f2(), f3()):
+            result = solve(problem(4), objective)
+            assert result.objective_value == pytest.approx(
+                objective.value(result.x[0], result.x[-1])
+            )
+
+
+class TestSequentialPairPruning:
+    """Regression: same-memory revisits must not blow up the search."""
+
+    def test_revisit_allocates_across_iterations(self):
+        from repro.compiler import compile_source
+
+        source = (
+            "@ m0 64\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " HASH_5_TUPLE_MEM(m0);"
+            " BRANCH: case(<har, 0, 0xff>) { MEMADD(m0); MEMADD(m0); } }"
+        )
+        compiled = compile_source(source)
+        x = compiled.allocation.x
+        i, j = compiled.problem.sequential_pairs[0]
+        assert SPEC.physical_rpb(x[i - 1]) == SPEC.physical_rpb(x[j - 1])
+        assert compiled.allocation.max_iteration == 1
+        # The pair prechecks keep this tiny (was ~100k nodes without them).
+        assert compiled.allocation.nodes_explored < 1000
+
+    def test_triple_revisit_infeasible_at_r1(self):
+        """Three sequential accesses need two extra iterations: R=1 fails,
+        R=2 succeeds."""
+        from repro.compiler import CompileOptions, compile_source
+
+        source = (
+            "@ m0 64\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " HASH_5_TUPLE_MEM(m0); MEMADD(m0); MEMADD(m0); MEMADD(m0); }"
+        )
+        with pytest.raises(AllocationError):
+            compile_source(source)
+        compiled = compile_source(source, spec=TargetSpec(max_recirculations=2))
+        assert compiled.allocation.max_iteration == 2
+
+    def test_pair_window_precheck_rejects_cleanly(self):
+        prob = problem(
+            6,
+            memory_sizes={"m": 64},
+            memory_depths={"m": [4, 6]},
+            pairs=[(4, 6)],
+        )
+        spec = TargetSpec(max_recirculations=0)
+        with pytest.raises(AllocationError):
+            solve(prob, spec=spec)
+
+
+class TestSolverReporting:
+    def test_solve_time_recorded(self):
+        result = solve(problem(8))
+        assert result.solve_time_s >= 0
+
+    def test_node_cap(self):
+        solver = AllocationSolver(SPEC, UnlimitedResources(SPEC), max_nodes=3)
+        with pytest.raises(AllocationError, match="budget"):
+            solver.solve(problem(20, forwarding={20}), f3())

@@ -1,0 +1,94 @@
+"""TargetSpec / ChainSpec mapping tests."""
+
+import pytest
+
+from repro.compiler.target import ChainSpec, TargetSpec, UnlimitedResources
+
+
+class TestTargetSpec:
+    def test_defaults_match_paper(self):
+        spec = TargetSpec()
+        assert spec.num_ingress_rpbs == 10
+        assert spec.num_egress_rpbs == 12
+        assert spec.num_rpbs == 22
+        assert spec.max_recirculations == 1
+        assert spec.num_logic_rpbs == 44
+        assert spec.rpb_table_size == 2048
+        assert spec.rpb_memory_size == 65536
+
+    @pytest.mark.parametrize(
+        "logic,phys,iteration",
+        [(1, 1, 0), (10, 10, 0), (11, 11, 0), (22, 22, 0), (23, 1, 1), (44, 22, 1)],
+    )
+    def test_logic_mapping(self, logic, phys, iteration):
+        spec = TargetSpec()
+        assert spec.physical_rpb(logic) == phys
+        assert spec.iteration(logic) == iteration
+
+    def test_is_ingress_boundaries(self):
+        spec = TargetSpec()
+        assert spec.is_ingress(10)
+        assert not spec.is_ingress(11)
+        assert spec.is_ingress(32)  # iteration-1 ingress
+        assert not spec.is_ingress(33)
+
+    @pytest.mark.parametrize("bad", [0, 45, -1, 100])
+    def test_out_of_range_logic(self, bad):
+        spec = TargetSpec()
+        with pytest.raises(ValueError):
+            spec.physical_rpb(bad)
+        with pytest.raises(ValueError):
+            spec.iteration(bad)
+
+    def test_recirculation_semantics_flags(self):
+        spec = TargetSpec()
+        assert spec.uses_recirculation
+        assert spec.memory_revisit_supported
+
+    def test_zero_recirculation_domain(self):
+        spec = TargetSpec(max_recirculations=0)
+        assert spec.num_logic_rpbs == 22
+
+    def test_three_recirculations(self):
+        spec = TargetSpec(max_recirculations=3)
+        assert spec.num_logic_rpbs == 88
+        assert spec.iteration(88) == 3
+        assert spec.physical_rpb(88) == 22
+
+    def test_frozen(self):
+        spec = TargetSpec()
+        with pytest.raises(Exception):
+            spec.num_ingress_rpbs = 5
+
+
+class TestUnlimitedResources:
+    def test_everything_free(self):
+        view = UnlimitedResources()
+        assert view.free_entries(1) == 2048
+        assert view.can_allocate_memory(1, [65536])
+        assert not view.can_allocate_memory(1, [65537])
+
+
+class TestChainSpecMapping:
+    def test_default_two_hops(self):
+        spec = ChainSpec()
+        assert spec.num_switches == 2
+        assert spec.num_ingress_rpbs == 11  # +1 from the dropped recirc block
+
+    @pytest.mark.parametrize("hops", [1, 2, 3, 4])
+    def test_hop_scaling(self, hops):
+        spec = ChainSpec(num_switches=hops)
+        assert spec.num_logic_rpbs == hops * 23
+        assert spec.iteration(spec.num_logic_rpbs) == hops - 1
+
+    def test_every_logic_is_unique_hardware(self):
+        spec = ChainSpec(num_switches=2)
+        physical = {spec.physical_rpb(v) for v in range(1, 47)}
+        assert len(physical) == 46
+
+    def test_out_of_range(self):
+        spec = ChainSpec(num_switches=2)
+        with pytest.raises(ValueError):
+            spec.physical_rpb(47)
+        with pytest.raises(ValueError):
+            spec.iteration(0)

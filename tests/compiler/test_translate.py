@@ -1,0 +1,294 @@
+"""Translation-phase tests: pseudo expansion, offsets, alignment, elastic."""
+
+import pytest
+
+from repro.compiler.ir import build_ir
+from repro.compiler.translate import (
+    expand_elastic,
+    expand_pseudo,
+    insert_offsets,
+    sequential_memory_pairs,
+    translate,
+)
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_source
+
+
+def program(source):
+    return parse_source(source).programs[0]
+
+
+def names(path):
+    return [op.name for op in path.ops]
+
+
+class TestPseudoExpansion:
+    def expand(self, body):
+        ir = build_ir(program(f"program p(<hdr.ipv4.ttl, 0, 0x0>) {{ {body} }}"))
+        stats = expand_pseudo(ir)
+        return ir, stats
+
+    def test_move_expansion(self):
+        ir, stats = self.expand("MOVE(har, sar);")
+        assert names(ir.root) == ["LOADI", "ADD"]
+        assert stats.pseudo_ops == 1
+        assert stats.emitted_ops == 2
+
+    def test_equal_expansion(self):
+        ir, _ = self.expand("EQUAL(har, sar);")
+        assert names(ir.root) == ["XOR"]
+
+    def test_sgt_expansion(self):
+        ir, _ = self.expand("SGT(har, sar);")
+        assert names(ir.root) == ["MIN", "XOR"]
+
+    def test_slt_expansion(self):
+        ir, _ = self.expand("SLT(har, sar);")
+        assert names(ir.root) == ["MAX", "XOR"]
+
+    def test_addi_uses_supportive_register(self):
+        ir, stats = self.expand("ADDI(har, 5);")
+        assert names(ir.root) == ["LOADI", "ADD"]
+        loadi = ir.root.ops[0]
+        support = str(loadi.args[0].value)
+        assert support != "har"
+        assert stats.backups_elided == 1  # nothing live afterwards
+
+    def test_subi_two_complement(self):
+        ir, _ = self.expand("SUBI(har, 3);")
+        loadi = ir.root.ops[0]
+        assert int(loadi.args[1].value) == (0xFFFFFFFF - 3 + 1) & 0xFFFFFFFF
+
+    def test_not_expansion(self):
+        ir, _ = self.expand("NOT(har);")
+        assert names(ir.root) == ["LOADI", "XOR"]
+        assert int(ir.root.ops[0].args[1].value) == 0xFFFFFFFF
+
+    def test_sub_expansion_has_correction(self):
+        """Our SUB emits the corrected 6-primitive sequence (the paper's
+        Fig. 14 sequence is off by 2; see translate.py erratum note)."""
+        ir, _ = self.expand("SUB(har, sar);")
+        assert names(ir.root) == ["LOADI", "XOR", "ADD", "XOR", "LOADI", "ADD"]
+
+    def test_backup_inserted_when_support_live(self):
+        ir, stats = self.expand("LOADI(mar, 7); ADDI(har, 5); MODIFY(hdr.ipv4.ttl, mar);")
+        # supportive register for ADDI(har) is sar or mar; mar is live.
+        ops = names(ir.root)
+        if "BACKUP" in ops:
+            assert ops.index("BACKUP") < ops.index("RESTORE")
+            assert stats.backups_needed == 1
+        else:
+            # sar was chosen (not live) — equally valid, no backup needed.
+            assert stats.backups_elided == 1
+
+    def test_backup_restore_pair_when_all_support_live(self):
+        ir, stats = self.expand(
+            "LOADI(mar, 7); LOADI(sar, 8); ADDI(har, 5);"
+            " MODIFY(hdr.ipv4.ttl, mar); MODIFY(hdr.ipv4.dscp, sar);"
+        )
+        ops = names(ir.root)
+        assert stats.backups_needed == 1
+        backup = ir.root.ops[ops.index("BACKUP")]
+        restore = ir.root.ops[ops.index("RESTORE")]
+        assert backup.args == restore.args
+
+    def test_expansion_inside_cases(self):
+        ir, stats = self.expand(
+            "BRANCH: case(<har, 1, 0xff>) { MOVE(sar, mar); } case(<har, 2, 0xff>) { DROP; }"
+        )
+        branch = ir.root.ops[0]
+        assert names(branch.cases[0].path) == ["LOADI", "ADD"]
+
+
+class TestOffsets:
+    def test_offset_before_each_memory_op(self):
+        ir = build_ir(
+            program("@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMADD(m); MEMREAD(m); }")
+        )
+        count = insert_offsets(ir)
+        assert count == 2
+        assert names(ir.root) == ["OFFSET", "MEMADD", "OFFSET", "MEMREAD"]
+
+    def test_offset_carries_memory_arg(self):
+        ir = build_ir(program("@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(m); }"))
+        insert_offsets(ir)
+        assert ir.root.ops[0].memory_id() == "m"
+
+
+class TestAlignment:
+    CACHE_LIKE = """
+    @ m 8
+    program p(<hdr.ipv4.ttl, 0, 0x0>) {
+        BRANCH:
+        case(<har, 1, 0xff>) {
+            DROP;
+            LOADI(mar, 1);
+            MEMREAD(m);
+        }
+        case(<har, 2, 0xff>) {
+            DROP;
+            LOADI(mar, 2);
+            EXTRACT(hdr.ipv4.src, sar);
+            MEMWRITE(m);
+        }
+    }
+    """
+
+    def test_parallel_same_memory_aligned(self):
+        result = translate(program(self.CACHE_LIKE))
+        mem_depths = [
+            op.depth for op in result.ir.walk_ops() if op.name in ("MEMREAD", "MEMWRITE")
+        ]
+        assert len(set(mem_depths)) == 1
+
+    def test_nop_inserted_in_shorter_branch(self):
+        result = translate(program(self.CACHE_LIKE))
+        assert result.nops_inserted == 1
+        nops = [op for op in result.ir.walk_ops() if op.name == "NOP"]
+        assert len(nops) == 1
+
+    def test_different_memories_not_aligned(self):
+        source = """
+        @ a 8
+        @ b 8
+        program p(<hdr.ipv4.ttl, 0, 0x0>) {
+            BRANCH:
+            case(<har, 1, 0xff>) { MEMREAD(a); }
+            case(<har, 2, 0xff>) { LOADI(mar, 1); MEMREAD(b); }
+        }
+        """
+        result = translate(program(source))
+        assert result.nops_inserted == 0
+
+    def test_sequential_same_memory_not_aligned(self):
+        """Same-path accesses become allocator pairs, not NOP alignment."""
+        source = "@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(m); MEMWRITE(m); }"
+        result = translate(program(source))
+        assert result.nops_inserted == 0
+        assert len(result.sequential_pairs) == 1
+        first, second = result.sequential_pairs[0]
+        assert first.name == "MEMREAD"
+        assert second.name == "MEMWRITE"
+
+
+class TestSequentialPairs:
+    def test_ancestor_dominates_case_body(self):
+        source = """
+        @ m 8
+        program p(<hdr.ipv4.ttl, 0, 0x0>) {
+            MEMADD(m);
+            BRANCH:
+            case(<sar, 1, 0xff>) { MEMREAD(m); }
+        }
+        """
+        result = translate(program(source))
+        assert len(result.sequential_pairs) == 1
+
+    def test_continuation_vs_case_is_parallel(self):
+        source = """
+        @ m 8
+        program p(<hdr.ipv4.ttl, 0, 0x0>) {
+            BRANCH:
+            case(<har, 1, 0xff>) { MEMREAD(m); }
+            LOADI(mar, 0);
+            MEMWRITE(m);
+        }
+        """
+        result = translate(program(source))
+        # No domination either way: the ops must be depth-aligned instead.
+        assert result.sequential_pairs == []
+        depths = [
+            op.depth for op in result.ir.walk_ops() if op.name in ("MEMREAD", "MEMWRITE")
+        ]
+        assert len(set(depths)) == 1
+
+
+class TestElastic:
+    def test_expand_to_requested_count(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        prog = expand_elastic(program(CACHE_SOURCE), 0, 16)
+        branch = next(s for s in prog.body if hasattr(s, "cases"))
+        assert len(branch.cases) == 16
+
+    def test_expanded_conditions_distinct(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        prog = expand_elastic(program(CACHE_SOURCE), 0, 8)
+        branch = next(s for s in prog.body if hasattr(s, "cases"))
+        signatures = {
+            tuple((c.register, c.value, c.mask) for c in case.conditions)
+            for case in branch.cases
+        }
+        assert len(signatures) == 8
+
+    def test_shrink_to_requested_count(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        prog = expand_elastic(program(CACHE_SOURCE), 0, 1)
+        branch = next(s for s in prog.body if hasattr(s, "cases"))
+        assert len(branch.cases) == 1
+
+    def test_original_program_untouched(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        original = program(CACHE_SOURCE)
+        before = len(original.body[3].cases)
+        expand_elastic(original, 0, 64)
+        assert len(original.body[3].cases) == before
+
+    def test_missing_branch_index(self):
+        with pytest.raises(SemanticError, match="no BRANCH"):
+            expand_elastic(
+                program("program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }"), 0, 4
+            )
+
+
+class TestUnalignableFallback:
+    """Cross-ordered memory accesses (case: m0 then m1; continuation: m1
+    then m0) make NOP alignment impossible — translation must fall back
+    to the unaligned IR instead of looping or failing."""
+
+    CROSS = """
+    @ m0 64
+    @ m1 64
+    program p(<hdr.ipv4.ttl, 0, 0x0>) {
+        BRANCH:
+        case(<har, 0, 0xff>) {
+            HASH_5_TUPLE_MEM(m0);
+            MEMREAD(m0);
+            MEMWRITE(m1);
+        }
+        MEMWRITE(m1);
+        MEMWRITE(m0);
+    }
+    """
+
+    def test_translation_falls_back(self):
+        result = translate(program(self.CROSS))
+        assert result.aligned is False
+        assert result.nops_inserted == 0
+
+    def test_fallback_still_allocates_or_rejects_cleanly(self):
+        """The allocator's same-physical-RPB constraints take over: the
+        program either allocates (spanning iterations) or is rejected with
+        a typed error — never a hang."""
+        from repro.compiler import compile_source
+        from repro.compiler.target import TargetSpec
+        from repro.lang.errors import AllocationError
+
+        try:
+            compiled = compile_source(self.CROSS, spec=TargetSpec(max_recirculations=3))
+        except AllocationError:
+            return
+        spec = TargetSpec(max_recirculations=3)
+        x = compiled.allocation.x
+        for mid, depths in compiled.problem.memory_depths.items():
+            physical = {spec.physical_rpb(x[d - 1]) for d in set(depths)}
+            assert len(physical) == 1
+
+    def test_aligned_flag_true_for_normal_programs(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        result = translate(program(CACHE_SOURCE))
+        assert result.aligned is True

@@ -1,0 +1,122 @@
+"""Controller API tests against the simulated data plane."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.lang.errors import AllocationError, P4runproError
+from repro.programs.library import CACHE_SOURCE, LB_SOURCE
+
+
+@pytest.fixture
+def ctl():
+    controller, dataplane = Controller.with_simulator()
+    controller.dataplane = dataplane  # keep for assertions
+    return controller
+
+
+class TestDeploy:
+    def test_deploy_returns_stats(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        stats = handle.stats
+        assert stats.program == "cache"
+        assert stats.entries == 17
+        assert stats.update_ms > 0
+        assert stats.total_ms == pytest.approx(
+            stats.parse_ms + stats.allocation_ms + stats.update_ms
+        )
+
+    def test_deploy_installs_entries_in_simulator(self, ctl):
+        ctl.deploy(CACHE_SOURCE)
+        assert ctl.dataplane.tables["init"].occupancy == 1
+
+    def test_deploy_failure_leaves_no_residue(self, ctl):
+        util_before = ctl.utilization()
+        bad = "@ big 131072\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(big); }"
+        with pytest.raises(AllocationError):
+            ctl.deploy(bad)
+        assert ctl.utilization() == util_before
+        assert ctl.running_programs() == []
+
+    def test_compile_without_deploy(self, ctl):
+        compiled = ctl.compile(CACHE_SOURCE)
+        assert compiled.name == "cache"
+        assert ctl.running_programs() == []
+
+    def test_two_programs_coexist(self, ctl):
+        ctl.deploy(CACHE_SOURCE)
+        ctl.deploy(LB_SOURCE)
+        assert {r.name for r in ctl.running_programs()} == {"cache", "lb"}
+
+
+class TestRevoke:
+    def test_revoke_by_handle(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        delay = ctl.revoke(handle)
+        assert delay > 0
+        assert ctl.running_programs() == []
+
+    def test_revoke_by_id(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        ctl.revoke(handle.program_id)
+        assert ctl.running_programs() == []
+
+    def test_revoke_clears_simulator_entries(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        ctl.revoke(handle)
+        assert ctl.dataplane.tables["init"].occupancy == 0
+        for name, table in ctl.dataplane.tables.items():
+            assert table.occupancy == 0, name
+
+    def test_other_program_survives_revoke(self, ctl):
+        cache = ctl.deploy(CACHE_SOURCE)
+        ctl.deploy(LB_SOURCE)
+        ctl.revoke(cache)
+        assert [r.name for r in ctl.running_programs()] == ["lb"]
+        assert ctl.dataplane.tables["init"].occupancy == 1
+
+
+class TestMemoryAccess:
+    def test_write_then_read(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        ctl.write_memory(handle, "mem1", 128, 0xABCD)
+        assert ctl.read_memory(handle, "mem1", 128) == 0xABCD
+
+    def test_virtual_address_translation(self, ctl):
+        """Two programs' virtual address 0 must hit distinct buckets."""
+        a = ctl.deploy(CACHE_SOURCE)
+        b = ctl.deploy(CACHE_SOURCE)
+        ctl.write_memory(a, "mem1", 0, 111)
+        ctl.write_memory(b, "mem1", 0, 222)
+        assert ctl.read_memory(a, "mem1", 0) == 111
+        assert ctl.read_memory(b, "mem1", 0) == 222
+
+    def test_out_of_range_vaddr(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        with pytest.raises(P4runproError, match="out of range"):
+            ctl.read_memory(handle, "mem1", 256)
+
+    def test_unknown_memory(self, ctl):
+        handle = ctl.deploy(CACHE_SOURCE)
+        with pytest.raises(P4runproError, match="no memory"):
+            ctl.read_memory(handle, "ghost", 0)
+
+    def test_memory_zeroed_after_revoke_and_reuse(self, ctl):
+        a = ctl.deploy(CACHE_SOURCE)
+        ctl.write_memory(a, "mem1", 5, 999)
+        ctl.revoke(a)
+        b = ctl.deploy(CACHE_SOURCE)
+        assert ctl.read_memory(b, "mem1", 5) == 0
+
+
+class TestMonitoring:
+    def test_utilization_keys(self, ctl):
+        util = ctl.utilization()
+        assert set(util) == {"memory", "entries"}
+
+    def test_clock_advances_with_operations(self, ctl):
+        t0 = ctl.clock.now
+        handle = ctl.deploy(CACHE_SOURCE)
+        t1 = ctl.clock.now
+        ctl.revoke(handle)
+        assert t1 > t0
+        assert ctl.clock.now > t1

@@ -1,0 +1,139 @@
+"""Free-list allocator tests."""
+
+import pytest
+
+from repro.controlplane.freelist import (
+    FreeList,
+    FreeListCorruptionError,
+    OutOfMemoryError,
+)
+
+
+@pytest.fixture
+def fl():
+    return FreeList(1024)
+
+
+class TestAllocation:
+    def test_first_fit_from_zero(self, fl):
+        assert fl.allocate(100) == 0
+        assert fl.allocate(50) == 100
+
+    def test_exhaustion(self, fl):
+        fl.allocate(1024)
+        with pytest.raises(OutOfMemoryError):
+            fl.allocate(1)
+
+    def test_fragmentation_blocks_large_request(self, fl):
+        a = fl.allocate(512)
+        fl.allocate(512)
+        fl.free(a)
+        # 512 free at the front, but not 513 contiguous.
+        with pytest.raises(OutOfMemoryError):
+            fl.allocate(513)
+        assert fl.allocate(512) == 0
+
+    def test_invalid_sizes(self, fl):
+        with pytest.raises(ValueError):
+            fl.allocate(0)
+        with pytest.raises(ValueError):
+            FreeList(0)
+
+    def test_totals(self, fl):
+        fl.allocate(100)
+        assert fl.free_total() == 924
+        assert fl.allocated_total() == 100
+        assert fl.utilization() == pytest.approx(100 / 1024)
+
+
+class TestFree:
+    def test_free_coalesces_with_next(self, fl):
+        a = fl.allocate(100)
+        b = fl.allocate(100)
+        fl.free(b)
+        fl.free(a)
+        assert fl.largest_free_run() == 1024
+        assert len(fl.free_runs()) == 1
+
+    def test_free_coalesces_with_prev(self, fl):
+        a = fl.allocate(100)
+        b = fl.allocate(100)
+        fl.free(a)
+        fl.free(b)
+        assert fl.largest_free_run() == 1024
+
+    def test_free_middle_coalesces_both_sides(self, fl):
+        a = fl.allocate(100)
+        b = fl.allocate(100)
+        c = fl.allocate(100)
+        fl.free(a)
+        fl.free(c)
+        fl.free(b)
+        assert len(fl.free_runs()) == 1
+
+    def test_double_free_rejected(self, fl):
+        a = fl.allocate(10)
+        fl.free(a)
+        with pytest.raises(FreeListCorruptionError):
+            fl.free(a)
+
+    def test_free_unallocated_rejected(self, fl):
+        with pytest.raises(FreeListCorruptionError):
+            fl.free(123)
+
+
+class TestCanAllocate:
+    def test_simple(self, fl):
+        assert fl.can_allocate([1024])
+        assert not fl.can_allocate([1025])
+
+    def test_multiple_sizes(self, fl):
+        assert fl.can_allocate([512, 512])
+        assert not fl.can_allocate([512, 513])
+
+    def test_respects_fragmentation(self, fl):
+        a = fl.allocate(400)
+        fl.allocate(224)
+        fl.free(a)
+        # runs: [0..400), [624..1024): 400 + 400
+        assert fl.can_allocate([400, 400])
+        assert not fl.can_allocate([401, 400])
+
+    def test_does_not_mutate(self, fl):
+        fl.can_allocate([512])
+        assert fl.free_total() == 1024
+
+
+class TestLockProtocol:
+    def test_locked_memory_unavailable(self, fl):
+        a = fl.allocate(1024)
+        fl.lock(a)
+        with pytest.raises(OutOfMemoryError):
+            fl.allocate(1)
+        assert fl.allocated_total() == 1024
+
+    def test_unlock_and_free_releases(self, fl):
+        a = fl.allocate(512)
+        fl.lock(a)
+        fl.unlock_and_free(a)
+        assert fl.free_total() == 1024
+
+    def test_lock_unallocated_rejected(self, fl):
+        with pytest.raises(FreeListCorruptionError):
+            fl.lock(7)
+
+    def test_unlock_unlocked_rejected(self, fl):
+        a = fl.allocate(8)
+        with pytest.raises(FreeListCorruptionError):
+            fl.unlock_and_free(a)
+
+    def test_locked_ranges_reported(self, fl):
+        a = fl.allocate(64)
+        fl.lock(a)
+        assert fl.locked_ranges() == [(0, 64)]
+
+    def test_free_locked_block_rejected(self, fl):
+        a = fl.allocate(64)
+        fl.lock(a)
+        with pytest.raises(FreeListCorruptionError):
+            fl.free(a)

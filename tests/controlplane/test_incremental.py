@@ -1,0 +1,154 @@
+"""Incremental-update tests: growing/shrinking a running cache's keys."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.controlplane.incremental import IncrementalUpdateError
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache
+from repro.rmt.pipeline import Verdict
+
+NEW_KEY = 0x4242
+NEW_BUCKET = 64
+
+
+@pytest.fixture
+def env():
+    ctl, dataplane = Controller.with_simulator()
+    handle = ctl.deploy(PROGRAMS["cache"].source)
+    return ctl, dataplane, handle
+
+
+def add_key(ctl, handle, key=NEW_KEY, bucket=NEW_BUCKET):
+    """Add read+write cases for a new cache key, like the paper's example
+    of 'adding a new key-value pair to the program cache'."""
+    read = ctl.add_case(
+        handle,
+        [("har", 1, 0xFF), ("sar", 0, 0xFFFFFFFF), ("mar", key, 0xFFFFFFFF)],
+        template_case=0,
+        loadi_values=[bucket],
+    )
+    write = ctl.add_case(
+        handle,
+        [("har", 2, 0xFF), ("sar", 0, 0xFFFFFFFF), ("mar", key, 0xFFFFFFFF)],
+        template_case=1,
+        loadi_values=[bucket],
+    )
+    return read, write
+
+
+class TestAddCase:
+    def test_new_key_served_after_add(self, env):
+        ctl, dataplane, handle = env
+        # Before the incremental update, the new key is a miss.
+        miss = dataplane.process(make_cache(1, 2, op=NC_READ, key=NEW_KEY))
+        assert miss.verdict is Verdict.FORWARD
+        assert miss.egress_port == 32
+        add_key(ctl, handle)
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=NEW_KEY, value=555))
+        hit = dataplane.process(make_cache(1, 2, op=NC_READ, key=NEW_KEY))
+        assert hit.verdict is Verdict.REFLECT
+        assert hit.packet.get_field("hdr.nc.val") == 555
+
+    def test_original_key_unaffected(self, env):
+        ctl, dataplane, handle = env
+        add_key(ctl, handle)
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=7))
+        hit = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert hit.packet.get_field("hdr.nc.val") == 7
+
+    def test_new_key_uses_requested_bucket(self, env):
+        ctl, dataplane, handle = env
+        add_key(ctl, handle, bucket=NEW_BUCKET)
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=NEW_KEY, value=99))
+        assert ctl.read_memory(handle, "mem1", NEW_BUCKET) == 99
+
+    def test_branch_ids_fresh_per_case(self, env):
+        ctl, _, handle = env
+        read, write = add_key(ctl, handle)
+        assert read.branch_id != write.branch_id
+        assert read.branch_id >= 3  # 0 root + 2 static cases
+
+    def test_entry_reservations_grow(self, env):
+        ctl, _, handle = env
+        before = ctl.manager.entry_utilization()
+        add_key(ctl, handle)
+        assert ctl.manager.entry_utilization() > before
+
+    def test_clock_advances(self, env):
+        ctl, _, handle = env
+        t0 = ctl.clock.now
+        add_key(ctl, handle)
+        assert ctl.clock.now > t0
+
+
+class TestRemoveCase:
+    def test_removed_key_misses_again(self, env):
+        ctl, dataplane, handle = env
+        read, write = add_key(ctl, handle)
+        ctl.remove_case(handle, read)
+        ctl.remove_case(handle, write)
+        miss = dataplane.process(make_cache(1, 2, op=NC_READ, key=NEW_KEY))
+        assert miss.verdict is Verdict.FORWARD
+        assert miss.egress_port == 32
+
+    def test_reservations_released(self, env):
+        ctl, _, handle = env
+        before = ctl.manager.entry_utilization()
+        read, write = add_key(ctl, handle)
+        ctl.remove_case(handle, read)
+        ctl.remove_case(handle, write)
+        assert ctl.manager.entry_utilization() == pytest.approx(before)
+
+    def test_double_remove_rejected(self, env):
+        ctl, _, handle = env
+        read, _write = add_key(ctl, handle)
+        ctl.remove_case(handle, read)
+        with pytest.raises(IncrementalUpdateError, match="not live"):
+            ctl.remove_case(handle, read)
+
+
+class TestRevokeWithDynamicCases:
+    def test_revoke_cleans_dynamic_entries(self, env):
+        ctl, dataplane, handle = env
+        add_key(ctl, handle)
+        ctl.revoke(handle)
+        for table in dataplane.tables.values():
+            assert table.occupancy == 0
+        assert ctl.incremental.live_cases(handle.program_id) == []
+
+    def test_redeploy_after_revoke_with_cases(self, env):
+        ctl, dataplane, handle = env
+        add_key(ctl, handle)
+        ctl.revoke(handle)
+        again = ctl.deploy(PROGRAMS["cache"].source)
+        hit = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert hit.verdict is Verdict.REFLECT
+
+
+class TestValidation:
+    def test_unknown_branch_index(self, env):
+        ctl, _, handle = env
+        with pytest.raises(IncrementalUpdateError, match="no BRANCH #5"):
+            ctl.add_case(handle, [("har", 1, 0xFF)], branch_index=5)
+
+    def test_unknown_template_case(self, env):
+        ctl, _, handle = env
+        with pytest.raises(IncrementalUpdateError, match="no case #9"):
+            ctl.add_case(handle, [("har", 1, 0xFF)], template_case=9)
+
+    def test_empty_conditions_rejected(self, env):
+        ctl, _, handle = env
+        with pytest.raises(IncrementalUpdateError, match="condition"):
+            ctl.add_case(handle, [])
+
+    def test_unknown_register_rejected(self, env):
+        ctl, _, handle = env
+        with pytest.raises(IncrementalUpdateError, match="register"):
+            ctl.add_case(handle, [("xar", 1, 0xFF)])
+
+    def test_nested_branch_template_rejected(self):
+        ctl, _ = Controller.with_simulator()
+        handle = ctl.deploy(PROGRAMS["hh"].source)
+        with pytest.raises(IncrementalUpdateError, match="nested BRANCH"):
+            ctl.add_case(handle, [("har", 1, 0xFF)], branch_index=0)

@@ -1,0 +1,106 @@
+"""Filter-overlap detection tests."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.controlplane.overlap import filters_overlap
+from repro.lang.ast import Filter
+from repro.programs import PROGRAMS
+
+
+def flt(field, value, mask):
+    return Filter(field, value, mask)
+
+
+class TestFiltersOverlap:
+    def test_same_exact_filter(self):
+        a = [flt("hdr.udp.dst_port", 7777, 0xFFFF)]
+        assert filters_overlap(a, a)
+
+    def test_disjoint_exact_values(self):
+        a = [flt("hdr.udp.dst_port", 7777, 0xFFFF)]
+        b = [flt("hdr.udp.dst_port", 8888, 0xFFFF)]
+        assert not filters_overlap(a, b)
+
+    def test_catch_all_overlaps_everything(self):
+        a = [flt("hdr.ipv4.ttl", 0, 0x0)]
+        b = [flt("hdr.udp.dst_port", 7777, 0xFFFF)]
+        assert filters_overlap(a, b)
+        assert filters_overlap(b, a)
+
+    def test_different_fields_overlap(self):
+        a = [flt("hdr.ipv4.src", 0x0A000000, 0xFFFF0000)]
+        b = [flt("hdr.ipv4.dst", 0x0B000000, 0xFFFF0000)]
+        assert filters_overlap(a, b)
+
+    def test_nested_prefixes_overlap(self):
+        a = [flt("hdr.ipv4.dst", 0x0A000000, 0xFF000000)]  # 10/8
+        b = [flt("hdr.ipv4.dst", 0x0A010000, 0xFFFF0000)]  # 10.1/16
+        assert filters_overlap(a, b)
+
+    def test_sibling_prefixes_disjoint(self):
+        a = [flt("hdr.ipv4.dst", 0x0A000000, 0xFFFF0000)]  # 10.0/16
+        b = [flt("hdr.ipv4.dst", 0x0A010000, 0xFFFF0000)]  # 10.1/16
+        assert not filters_overlap(a, b)
+
+    def test_partial_mask_agreement(self):
+        # masks overlap on the low byte only; values agree there
+        a = [flt("hdr.udp.dst_port", 0x1234, 0x00FF)]
+        b = [flt("hdr.udp.dst_port", 0x5634, 0xFFFF)]
+        assert filters_overlap(a, b)
+
+    def test_partial_mask_conflict(self):
+        a = [flt("hdr.udp.dst_port", 0x1234, 0x00FF)]
+        b = [flt("hdr.udp.dst_port", 0x5635, 0xFFFF)]
+        assert not filters_overlap(a, b)
+
+    def test_alias_fields_compared(self):
+        a = [flt("hdr.nc.value", 5, 0xFF)]
+        b = [flt("hdr.nc.val", 6, 0xFF)]
+        assert not filters_overlap(a, b)
+
+    def test_multi_filter_conjunction(self):
+        a = [
+            flt("hdr.udp.dst_port", 7777, 0xFFFF),
+            flt("hdr.ipv4.src", 0x0A000000, 0xFFFF0000),
+        ]
+        b = [
+            flt("hdr.udp.dst_port", 7777, 0xFFFF),
+            flt("hdr.ipv4.src", 0x0B000000, 0xFFFF0000),
+        ]
+        assert not filters_overlap(a, b)
+
+
+class TestDeployWarnings:
+    def test_overlapping_deploy_warns(self):
+        ctl, _ = Controller.with_simulator()
+        ctl.deploy(PROGRAMS["cache"].source)
+        nc = ctl.deploy(PROGRAMS["nc"].source)  # same UDP:7777 filter
+        assert len(nc.stats.overlap_warnings) == 1
+        warning = nc.stats.overlap_warnings[0]
+        assert warning.earlier_name == "cache"
+        assert "first match" in str(warning)
+
+    def test_disjoint_deploy_no_warning(self):
+        ctl, _ = Controller.with_simulator()
+        ctl.deploy(PROGRAMS["cache"].source)  # UDP:7777
+        calc = ctl.deploy(PROGRAMS["calc"].source)  # UDP:8888
+        assert calc.stats.overlap_warnings == []
+
+    def test_first_deploy_never_warns(self):
+        ctl, _ = Controller.with_simulator()
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        assert handle.stats.overlap_warnings == []
+
+    def test_catch_all_programs_warn_on_everything(self):
+        ctl, _ = Controller.with_simulator()
+        ctl.deploy(PROGRAMS["firewall"].source)  # all IPv4
+        cms = ctl.deploy(PROGRAMS["cms"].source)  # all IPv4 too
+        assert len(cms.stats.overlap_warnings) == 1
+
+    def test_warnings_cleared_after_revoke(self):
+        ctl, _ = Controller.with_simulator()
+        first = ctl.deploy(PROGRAMS["cache"].source)
+        ctl.revoke(first)
+        again = ctl.deploy(PROGRAMS["nc"].source)
+        assert again.stats.overlap_warnings == []

@@ -1,0 +1,72 @@
+"""Timing-model tests (update + conventional workflow)."""
+
+import pytest
+
+from repro.controlplane.timing import (
+    ConventionalP4Timing,
+    SimClock,
+    UpdateTimingModel,
+)
+
+
+class TestUpdateTimingModel:
+    def test_install_linear_in_entries(self):
+        timing = UpdateTimingModel()
+        base = timing.install_delay_ms(0)
+        assert timing.install_delay_ms(100) == pytest.approx(
+            base + 100 * timing.entry_insert_ms
+        )
+
+    def test_delete_cheaper_than_insert(self):
+        timing = UpdateTimingModel()
+        assert timing.delete_delay_ms(50) < timing.install_delay_ms(50)
+
+    def test_memory_reset_scales_per_kbucket(self):
+        timing = UpdateTimingModel()
+        assert timing.memory_reset_ms(2048) == pytest.approx(
+            2 * timing.memory_reset_ms_per_kbucket
+        )
+
+    def test_calibration_anchor_cache(self):
+        """The Table-1 calibration: 17 entries -> ~11.4 ms (paper 11.47)."""
+        timing = UpdateTimingModel()
+        assert timing.install_delay_ms(17) == pytest.approx(11.44, abs=0.1)
+
+    def test_model_frozen(self):
+        timing = UpdateTimingModel()
+        with pytest.raises(Exception):
+            timing.entry_insert_ms = 1.0
+
+
+class TestConventionalTiming:
+    def test_compile_dominates(self):
+        timing = ConventionalP4Timing()
+        assert timing.deploy_delay_s(100) > 60
+        assert timing.deploy_delay_s(200) > timing.deploy_delay_s(50)
+
+    def test_blackout_includes_port_enable(self):
+        timing = ConventionalP4Timing()
+        assert timing.traffic_blackout_s == pytest.approx(
+            timing.reprovision_s + timing.port_enable_s
+        )
+
+    def test_order_of_magnitude_gap(self):
+        """§6.2.1: P4runpro cuts deployment by >= one order of magnitude."""
+        conventional = ConventionalP4Timing().deploy_delay_s(77) * 1e3
+        runpro = UpdateTimingModel().install_delay_ms(17)
+        assert conventional / runpro > 1000
+
+
+class TestSimClockEdges:
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now == 5.0
+
+    def test_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(1.0) == 1.0
+        assert clock.advance_ms(500.0) == 1.5

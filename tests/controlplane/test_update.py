@@ -1,0 +1,124 @@
+"""Consistent-update engine tests (Fig. 6)."""
+
+import pytest
+
+from repro.compiler.compiler import compile_source
+from repro.controlplane.manager import ResourceManager
+from repro.controlplane.timing import SimClock, UpdateTimingModel
+from repro.controlplane.update import NullBinding, UpdateEngine
+from repro.dataplane import constants as dp
+from repro.programs.library import CACHE_SOURCE, HH_SOURCE
+
+
+class RecordingBinding(NullBinding):
+    """Remembers the order of every southbound call."""
+
+    def __init__(self):
+        super().__init__()
+        self.inserts = []
+        self.deletes = []
+        self.resets = []
+
+    def insert_entry(self, entry):
+        self.inserts.append(entry)
+        return super().insert_entry(entry)
+
+    def delete_entry(self, table, handle):
+        self.deletes.append((table, handle))
+
+    def reset_memory(self, phys_rpb, base, size):
+        self.resets.append((phys_rpb, base, size))
+
+
+@pytest.fixture
+def setup():
+    manager = ResourceManager()
+    binding = RecordingBinding()
+    clock = SimClock()
+    engine = UpdateEngine(binding, clock)
+    compiled = compile_source(CACHE_SOURCE, view=manager)
+    record = manager.admit(compiled)
+    return manager, binding, clock, engine, record
+
+
+class TestInstall:
+    def test_init_entry_installed_last(self, setup):
+        _, binding, _, engine, record = setup
+        engine.install(record)
+        assert binding.inserts[-1].table == dp.INIT_TABLE
+        assert all(e.table != dp.INIT_TABLE for e in binding.inserts[:-1])
+
+    def test_handles_recorded_in_order(self, setup):
+        _, _, _, engine, record = setup
+        report = engine.install(record)
+        assert len(record.installed_handles) == report.entries == len(record.batch)
+
+    def test_install_advances_clock(self, setup):
+        _, _, clock, engine, record = setup
+        before = clock.now
+        report = engine.install(record)
+        assert clock.now == pytest.approx(before + report.update_delay_ms / 1000.0)
+
+    def test_delay_model_linear_in_entries(self):
+        timing = UpdateTimingModel()
+        d10 = timing.install_delay_ms(10)
+        d20 = timing.install_delay_ms(20)
+        assert d20 - d10 == pytest.approx(10 * timing.entry_insert_ms)
+
+
+class TestRemove:
+    def test_init_entry_deleted_first(self, setup):
+        manager, binding, _, engine, record = setup
+        engine.install(record)
+        manager.begin_removal(record.program_id)
+        engine.remove(record)
+        assert binding.deletes[0][0] == dp.INIT_TABLE
+
+    def test_every_installed_entry_deleted(self, setup):
+        manager, binding, _, engine, record = setup
+        engine.install(record)
+        manager.begin_removal(record.program_id)
+        engine.remove(record)
+        assert sorted(binding.deletes) == sorted(record.installed_handles)
+
+    def test_memory_reset_issued(self, setup):
+        manager, binding, _, engine, record = setup
+        engine.install(record)
+        manager.begin_removal(record.program_id)
+        engine.remove(record)
+        alloc = record.memory["mem1"]
+        assert binding.resets == [(alloc.phys_rpb, alloc.base, alloc.size)]
+
+    def test_remove_delay_includes_memory_reset(self, setup):
+        manager, _, _, engine, record = setup
+        engine.install(record)
+        manager.begin_removal(record.program_id)
+        report = engine.remove(record)
+        bare = engine.timing.delete_delay_ms(len(record.batch))
+        assert report.update_delay_ms > bare
+
+
+class TestRecirculatingProgram:
+    def test_recirc_entries_installed_before_init(self):
+        manager = ResourceManager()
+        binding = RecordingBinding()
+        engine = UpdateEngine(binding)
+        compiled = compile_source(HH_SOURCE, view=manager)
+        record = manager.admit(compiled)
+        engine.install(record)
+        tables = [e.table for e in binding.inserts]
+        assert dp.RECIRC_TABLE in tables
+        assert tables.index(dp.RECIRC_TABLE) < tables.index(dp.INIT_TABLE)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance_ms(500)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_no_backwards(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)

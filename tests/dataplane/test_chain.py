@@ -1,0 +1,154 @@
+"""Switch-chain tests: the recirculation-free deployment of §4.1.3."""
+
+import pytest
+
+from repro.compiler.target import ChainSpec
+from repro.controlplane import Controller
+from repro.lang.errors import AllocationError
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache, make_calc, make_udp
+from repro.rmt.pipeline import Verdict
+
+
+@pytest.fixture
+def chain_env():
+    return Controller.with_chain(num_switches=2)
+
+
+class TestChainSpec:
+    def test_shape(self):
+        spec = ChainSpec(num_switches=2)
+        assert spec.rpbs_per_switch == 23  # one extra ingress RPB per hop
+        assert spec.num_rpbs == 46
+        assert spec.num_logic_rpbs == 46
+
+    def test_iteration_is_hop_index(self):
+        spec = ChainSpec(num_switches=2)
+        assert spec.iteration(1) == 0
+        assert spec.iteration(23) == 0
+        assert spec.iteration(24) == 1
+        assert spec.iteration(46) == 1
+
+    def test_is_ingress_per_hop(self):
+        spec = ChainSpec(num_switches=2)
+        assert spec.is_ingress(11)  # hop 0, RPB 11 (the freed stage)
+        assert not spec.is_ingress(12)  # hop 0, first egress RPB
+        assert spec.is_ingress(24)  # hop 1, RPB 1
+
+    def test_local_rpb(self):
+        spec = ChainSpec(num_switches=2)
+        assert spec.local_rpb(1) == (0, 1)
+        assert spec.local_rpb(23) == (0, 23)
+        assert spec.local_rpb(24) == (1, 1)
+
+    def test_no_recirculation_semantics(self):
+        spec = ChainSpec()
+        assert not spec.uses_recirculation
+        assert not spec.memory_revisit_supported
+
+
+class TestChainDeployment:
+    def test_cache_on_chain(self, chain_env):
+        ctl, chain = chain_env
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        chain.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=11))
+        hit = chain.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert hit.verdict is Verdict.REFLECT
+        assert hit.packet.get_field("hdr.nc.val") == 11
+        miss = chain.process(make_cache(1, 2, op=NC_READ, key=0x1))
+        assert miss.verdict is Verdict.FORWARD
+        assert miss.egress_port == 32
+
+    def test_long_program_spans_hops(self, chain_env):
+        """hh needs ~24 logic RPBs: impossible on one hop, fine on two —
+        the chain replaces recirculation (the paper's 1-more-RPB claim)."""
+        ctl, chain = chain_env
+        threshold = 4
+        source = PROGRAMS["hh"].source.replace("1024", str(threshold))
+        handle = ctl.deploy(source)
+        assert max(handle.stats.logic_rpbs) > 23  # spills into hop 1
+        pkt = lambda: make_udp(0x0A000001, 0x0B000001, 4000, 80)
+        verdicts = [chain.process(pkt()).verdict for _ in range(threshold + 2)]
+        assert Verdict.TO_CPU in verdicts  # report fires on hop 1's ingress
+
+    def test_no_recirculations_on_chain(self, chain_env):
+        ctl, chain = chain_env
+        ctl.deploy(PROGRAMS["hh"].source.replace("1024", "4"))
+        result = chain.process(make_udp(0x0A000001, 0x0B000001, 4000, 80))
+        assert result.recirculations == 0
+
+    def test_memory_revisit_rejected(self, chain_env):
+        """Reading then writing one virtual memory needs the same array
+        at two execution steps — recirculation-only semantics."""
+        ctl, _ = chain_env
+        source = (
+            "@ m 64\nprogram revisit(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " MEMREAD(m); LOADI(sar, 1); MEMWRITE(m); }"
+        )
+        with pytest.raises(AllocationError, match="switch chain"):
+            ctl.deploy(source)
+
+    def test_memory_access_routed_to_owning_hop(self, chain_env):
+        ctl, chain = chain_env
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        ctl.write_memory(handle, "mem1", 5, 77)
+        assert ctl.read_memory(handle, "mem1", 5) == 77
+
+    def test_revoke_clears_both_hops(self, chain_env):
+        ctl, chain = chain_env
+        handle = ctl.deploy(PROGRAMS["hh"].source.replace("1024", "4"))
+        ctl.revoke(handle)
+        for hop in chain.hops:
+            for table in hop.tables.values():
+                assert table.occupancy == 0
+
+    def test_intermediate_drop_is_terminal(self, chain_env):
+        ctl, chain = chain_env
+        ctl.deploy(PROGRAMS["calc"].source)
+        result = chain.process(make_calc(1, 2, op=9, a=1, b=1))  # bad opcode
+        assert result.verdict is Verdict.DROP
+
+
+class TestChainCapacityEffect:
+    def test_chain_offers_more_logic_rpbs_than_recirculation(self):
+        single = Controller.with_simulator()[0]
+        chained = Controller.with_chain(2)[0]
+        assert chained.spec.num_logic_rpbs > single.spec.num_logic_rpbs
+
+    def test_three_hop_chain(self):
+        ctl, chain = Controller.with_chain(3)
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        hit = chain.process(make_cache(1, 2, op=NC_READ, key=0x1))
+        assert hit.verdict is Verdict.FORWARD
+        assert len(chain.hops) == 3
+
+
+class TestChainIncrementalUpdate:
+    def test_add_case_on_chain(self, chain_env):
+        """Incremental case additions route entries to the right hop."""
+        ctl, chain = chain_env
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        ctl.add_case(
+            handle,
+            [("har", 1, 0xFF), ("sar", 0, 0xFFFFFFFF), ("mar", 0x42, 0xFFFFFFFF)],
+            template_case=0,
+            loadi_values=[7],
+        )
+        ctl.write_memory(handle, "mem1", 7, 123)
+        hit = chain.process(make_cache(1, 2, op=NC_READ, key=0x42))
+        assert hit.verdict is Verdict.REFLECT
+        assert hit.packet.get_field("hdr.nc.val") == 123
+
+    def test_remove_case_on_chain(self, chain_env):
+        ctl, chain = chain_env
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        case = ctl.add_case(
+            handle,
+            [("har", 1, 0xFF), ("sar", 0, 0xFFFFFFFF), ("mar", 0x42, 0xFFFFFFFF)],
+            template_case=0,
+            loadi_values=[7],
+        )
+        ctl.remove_case(handle, case)
+        miss = chain.process(make_cache(1, 2, op=NC_READ, key=0x42))
+        assert miss.verdict is Verdict.FORWARD
+        assert miss.egress_port == 32

@@ -1,0 +1,131 @@
+"""MULTICAST extension tests (§7: the SwitchML-enabling primitive)."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.lang.errors import P4runproError, SemanticError
+from repro.lang.parser import parse_source
+from repro.lang.semantics import check_unit
+from repro.rmt.packet import make_cache, make_udp
+from repro.rmt.pipeline import UnknownMulticastGroupError, Verdict
+
+# The aggregation program is the library extension, parameterized for
+# four workers on group 1 (programs.extensions is the single source of
+# truth the examples use too).
+from repro.programs.extensions import make_mlagg
+
+AGG_SOURCE = make_mlagg(num_workers=4, group=1, port=9999).source
+
+WORKER_PORTS = [10, 11, 12, 13]
+
+
+@pytest.fixture
+def env():
+    # The aggregation service runs on UDP:9999, so the operator provisions
+    # a parser that extracts the nc header there (§5: customizable parser).
+    from repro.rmt.parser import default_parse_machine
+
+    ctl, dataplane = Controller.with_simulator(
+        parse_machine=default_parse_machine(nc_port=9999)
+    )
+    ctl.configure_multicast_group(1, WORKER_PORTS)
+    ctl.deploy(AGG_SOURCE)
+    return ctl, dataplane
+
+
+def worker_packet(worker: int, chunk: int, value: int):
+    return make_cache(
+        0x0A000000 + worker, 0x0A00FF01, op=3, key=chunk, value=value, dst_port=9999
+    )
+
+
+class TestLanguageSupport:
+    def test_multicast_parses_and_checks(self):
+        check_unit(parse_source(AGG_SOURCE))
+
+    def test_group_zero_rejected(self):
+        with pytest.raises(SemanticError, match="MULTICAST group"):
+            check_unit(
+                parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { MULTICAST(0); }")
+            )
+
+    def test_multicast_is_ingress_bound(self):
+        """MULTICAST is a forwarding primitive: the allocator must place
+        its depth on an ingress RPB."""
+        from repro.compiler import compile_source
+
+        compiled = compile_source(AGG_SOURCE)
+        depth = next(
+            op.depth for op in compiled.ir.walk_ops() if op.name == "MULTICAST"
+        )
+        logic = compiled.allocation.x[depth - 1]
+        assert compiled.allocation.x and logic
+        from repro.compiler.target import TargetSpec
+
+        assert TargetSpec().is_ingress(logic)
+
+
+class TestAggregation:
+    def test_intermediate_arrivals_absorbed(self, env):
+        _, dataplane = env
+        for worker in range(3):
+            result = dataplane.process(worker_packet(worker, chunk=5, value=10))
+            assert result.verdict is Verdict.DROP
+
+    def test_fourth_arrival_multicasts_sum(self, env):
+        _, dataplane = env
+        for worker in range(3):
+            dataplane.process(worker_packet(worker, chunk=5, value=10))
+        final = dataplane.process(worker_packet(3, chunk=5, value=10))
+        assert final.verdict is Verdict.MULTICAST
+        assert final.egress_ports == tuple(WORKER_PORTS)
+        assert final.packet.get_field("hdr.nc.val") == 40  # the aggregate
+
+    def test_chunks_are_independent(self, env):
+        _, dataplane = env
+        for worker in range(4):
+            dataplane.process(worker_packet(worker, chunk=1, value=1))
+        # A different chunk starts a fresh aggregation round.
+        result = dataplane.process(worker_packet(0, chunk=2, value=7))
+        assert result.verdict is Verdict.DROP
+        assert result.packet.get_field("hdr.nc.val") == 7
+
+    def test_running_sum_piggybacked(self, env):
+        _, dataplane = env
+        sums = []
+        for worker, value in enumerate((1, 2, 3)):
+            result = dataplane.process(worker_packet(worker, chunk=9, value=value))
+            sums.append(result.packet.get_field("hdr.nc.val"))
+        assert sums == [1, 3, 6]
+
+
+class TestConfiguration:
+    def test_unconfigured_group_raises(self):
+        from repro.rmt.parser import default_parse_machine
+
+        ctl, dataplane = Controller.with_simulator(
+            parse_machine=default_parse_machine(nc_port=9999)
+        )
+        ctl.deploy(AGG_SOURCE)  # group 1 never configured
+        for worker in range(3):
+            dataplane.process(worker_packet(worker, chunk=5, value=1))
+        with pytest.raises(UnknownMulticastGroupError):
+            dataplane.process(worker_packet(3, chunk=5, value=1))
+
+    def test_group_id_validation(self):
+        ctl, _ = Controller.with_simulator()
+        with pytest.raises(ValueError):
+            ctl.configure_multicast_group(0, [1, 2])
+
+    def test_reconfiguration_takes_effect(self, env):
+        ctl, dataplane = env
+        ctl.configure_multicast_group(1, [40, 41])
+        for worker in range(4):
+            result = dataplane.process(worker_packet(worker, chunk=77, value=1))
+        assert result.egress_ports == (40, 41)
+
+    def test_non_multicast_traffic_unaffected(self, env):
+        _, dataplane = env
+        result = dataplane.process(make_udp(1, 2, 3, 4))
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_ports == ()

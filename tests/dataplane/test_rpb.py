@@ -1,0 +1,196 @@
+"""RPB action-interpreter tests."""
+
+import pytest
+
+from repro.dataplane import constants as dp
+from repro.dataplane.rpb import RPB, execute_action
+from repro.rmt.packet import make_udp
+from repro.rmt.phv import PHV, PHVLayout
+from repro.rmt.pipeline import FWD_FIELDS
+from repro.rmt.salu import RegisterArray
+from repro.rmt.stage import Stage
+from repro.rmt.table import MatchActionTable
+
+
+@pytest.fixture
+def env():
+    layout = PHVLayout()
+    for name, width in {**FWD_FIELDS, **dp.P4RUNPRO_FIELDS}.items():
+        layout.declare(name, width)
+    packet = make_udp(0x0A000001, 0x0A000002, 1234, 80)
+    phv = PHV(layout, packet)
+    for header in ("eth", "ipv4", "udp"):
+        phv.load_header(header)
+    stage = Stage(1, "ingress")
+    stage.attach_register_array(RegisterArray("rpb1.mem", 1024))
+    table = MatchActionTable("rpb1", 16)
+    rpb = RPB(1, table, "rpb1.mem")
+    return rpb, phv, stage
+
+
+def run(env, action, **data):
+    rpb, phv, stage = env
+    execute_action(rpb, action, data, phv, stage)
+    return phv
+
+
+class TestHeaderInteraction:
+    def test_extract(self, env):
+        phv = run(env, "EXTRACT", field="hdr.udp.dst_port", reg="har")
+        assert phv.get("ud.har") == 80
+
+    def test_modify(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.sar", 9999)
+        execute_action(rpb, "MODIFY", {"field": "hdr.udp.src_port", "reg": "sar"}, phv, stage)
+        assert phv.get("hdr.udp.src_port") == 9999
+
+    def test_modify_masks_to_field_width(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.sar", 0x12345)
+        execute_action(rpb, "MODIFY", {"field": "hdr.ipv4.ttl", "reg": "sar"}, phv, stage)
+        assert phv.get("hdr.ipv4.ttl") == 0x45
+
+
+class TestHash:
+    def test_hash_5_tuple(self, env):
+        phv = run(env, "HASH_5_TUPLE", algorithm="crc_16_buypass")
+        assert 0 < phv.get("ud.har") <= 0xFFFF
+
+    def test_hash_chains_har(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.har", 5)
+        execute_action(rpb, "HASH", {"algorithm": "crc_16_buypass"}, phv, stage)
+        first = phv.get("ud.har")
+        execute_action(rpb, "HASH", {"algorithm": "crc_16_buypass"}, phv, stage)
+        assert phv.get("ud.har") != first
+
+    def test_hash_5_tuple_mem_masks(self, env):
+        phv = run(env, "HASH_5_TUPLE_MEM", algorithm="crc_16_buypass", mask=0xFF)
+        assert phv.get("ud.mar") <= 0xFF
+
+    def test_hash_mem_uses_har(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.har", 77)
+        execute_action(
+            rpb, "HASH_MEM", {"algorithm": "crc_16_mcrf4xx", "mask": 0x3F}, phv, stage
+        )
+        assert phv.get("ud.mar") <= 0x3F
+
+    def test_deterministic_per_flow(self, env):
+        a = run(env, "HASH_5_TUPLE", algorithm="crc_aug_ccitt").get("ud.har")
+        b = run(env, "HASH_5_TUPLE", algorithm="crc_aug_ccitt").get("ud.har")
+        assert a == b
+
+
+class TestMemoryAndOffset:
+    def test_offset_adds_base_into_scratch(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.mar", 10)
+        execute_action(rpb, "OFFSET", {"base": 100, "mid": "m"}, phv, stage)
+        assert phv.get("ud.phys_addr") == 110
+        assert phv.get("ud.mar") == 10  # mar untouched
+
+    def test_memwrite_then_memread(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.phys_addr", 7)
+        phv.set("ud.sar", 1234)
+        execute_action(rpb, "MEMWRITE", {"mid": "m"}, phv, stage)
+        phv.set("ud.sar", 0)
+        execute_action(rpb, "MEMREAD", {"mid": "m"}, phv, stage)
+        assert phv.get("ud.sar") == 1234
+
+    def test_memadd_updates_sar(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.phys_addr", 3)
+        phv.set("ud.sar", 5)
+        execute_action(rpb, "MEMADD", {"mid": "m"}, phv, stage)
+        assert phv.get("ud.sar") == 5
+        execute_action(rpb, "MEMADD", {"mid": "m"}, phv, stage)
+        assert phv.get("ud.sar") == 10
+
+    def test_address_wraps_modulo_array(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.phys_addr", 1024 + 3)
+        phv.set("ud.sar", 9)
+        execute_action(rpb, "MEMWRITE", {"mid": "m"}, phv, stage)
+        assert stage.register_arrays["rpb1.mem"].read(3) == 9
+
+
+class TestArithmetic:
+    def test_loadi(self, env):
+        phv = run(env, "LOADI", reg="mar", value=512)
+        assert phv.get("ud.mar") == 512
+
+    @pytest.mark.parametrize(
+        "action,a,b,expected",
+        [
+            ("ADD", 3, 4, 7),
+            ("ADD", 0xFFFFFFFF, 1, 0),
+            ("AND", 0b1100, 0b1010, 0b1000),
+            ("OR", 0b1100, 0b1010, 0b1110),
+            ("MAX", 5, 9, 9),
+            ("MIN", 5, 9, 5),
+            ("XOR", 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_alu_ops(self, env, action, a, b, expected):
+        rpb, phv, stage = env
+        phv.set("ud.har", a)
+        phv.set("ud.sar", b)
+        execute_action(rpb, action, {"reg0": "har", "reg1": "sar"}, phv, stage)
+        assert phv.get("ud.har") == expected
+        assert phv.get("ud.sar") == b  # reg1 unchanged
+
+
+class TestForwardingAndFlags:
+    def test_forward(self, env):
+        assert run(env, "FORWARD", port=32).get("meta.egress_port") == 32
+
+    def test_drop(self, env):
+        assert run(env, "DROP").get("ud.drop_ctl") == 1
+
+    def test_return(self, env):
+        assert run(env, "RETURN").get("ud.reflect") == 1
+
+    def test_report(self, env):
+        assert run(env, "REPORT").get("ud.to_cpu") == 1
+
+    def test_set_branch(self, env):
+        assert run(env, dp.ACTION_SET_BRANCH, branch_id=3).get("ud.branch_id") == 3
+
+    def test_backup_restore_roundtrip(self, env):
+        rpb, phv, stage = env
+        phv.set("ud.mar", 42)
+        execute_action(rpb, "BACKUP", {"reg": "mar"}, phv, stage)
+        phv.set("ud.mar", 0)
+        execute_action(rpb, "RESTORE", {"reg": "mar"}, phv, stage)
+        assert phv.get("ud.mar") == 42
+
+    def test_unknown_action_rejected(self, env):
+        rpb, phv, stage = env
+        with pytest.raises(ValueError, match="unknown action"):
+            execute_action(rpb, "TELEPORT", {}, phv, stage)
+
+
+class TestRPBLookupDispatch:
+    def test_no_entry_is_nop(self, env):
+        rpb, phv, stage = env
+        before = dict(phv.values)
+        rpb.apply(phv, stage)
+        assert phv.values == before
+
+    def test_matching_entry_executes(self, env):
+        from repro.rmt.table import TableEntry, TernaryKey
+
+        rpb, phv, stage = env
+        phv.set("ud.program_id", 5)
+        rpb.table.insert(
+            TableEntry(
+                (TernaryKey("ud.program_id", 5, 0xFFFF),),
+                "LOADI",
+                {"reg": "har", "value": 111},
+            )
+        )
+        rpb.apply(phv, stage)
+        assert phv.get("ud.har") == 111

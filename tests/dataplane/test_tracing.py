@@ -1,0 +1,106 @@
+"""Execution-trace tests (the Fig. 3 walkthrough as an oracle)."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.dataplane.tracing import active_trace, capture_trace
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache, make_udp
+
+
+@pytest.fixture
+def env():
+    ctl, dataplane = Controller.with_simulator()
+    ctl.deploy(PROGRAMS["cache"].source)
+    return ctl, dataplane
+
+
+class TestCacheWalkthrough:
+    """Figure 3's packet-processing walkthrough for the program cache."""
+
+    def test_cache_read_trace(self, env):
+        _, dataplane = env
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=42))
+        with capture_trace() as trace:
+            result = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert trace.actions() == [
+            "set_program",  # (1) init block assigns the program ID
+            "EXTRACT",
+            "EXTRACT",
+            "EXTRACT",
+            "set_branch",  # (2) BRANCH matches the read-hit case
+            "RETURN",
+            "LOADI",
+            "OFFSET",
+            "MEMREAD",
+            "MODIFY",
+        ]
+        # Branch flag transitions 0 -> 1 at the BRANCH step.
+        branch_ids = [s.branch_id for s in trace.steps]
+        assert branch_ids[:4] == [0, 0, 0, 0]
+        assert set(branch_ids[4:]) == {1}
+
+    def test_miss_trace_is_shorter(self, env):
+        _, dataplane = env
+        with capture_trace() as trace:
+            dataplane.process(make_cache(1, 2, op=NC_READ, key=0x1234))
+        assert trace.actions() == [
+            "set_program",
+            "EXTRACT",
+            "EXTRACT",
+            "EXTRACT",
+            "FORWARD",  # cache miss: the no-case-matched continuation
+        ]
+
+    def test_unowned_packet_traces_nothing(self, env):
+        _, dataplane = env
+        with capture_trace() as trace:
+            dataplane.process(make_udp(1, 2, 3, 9999))
+        assert trace.steps == []
+
+    def test_units_match_allocation(self, env):
+        ctl, dataplane = env
+        record = ctl.running_programs()[0]
+        with capture_trace() as trace:
+            dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        rpb_units = {s.unit for s in trace.steps if s.unit.startswith("rpb")}
+        allocated = {
+            f"rpb{ctl.spec.physical_rpb(v)}" for v in record.compiled.allocation.x
+        }
+        assert rpb_units <= allocated
+
+
+class TestRecirculationTrace:
+    def test_hh_trace_spans_passes(self):
+        ctl, dataplane = Controller.with_simulator()
+        ctl.deploy(PROGRAMS["hh"].source.replace("1024", "1"))
+        with capture_trace() as trace:
+            dataplane.process(make_udp(0x0A000001, 2, 3, 4))
+        passes = {s.recirc_count for s in trace.steps}
+        assert passes == {0, 1}
+        assert "recirculate" in trace.actions()
+
+
+class TestCaptureSemantics:
+    def test_no_active_trace_by_default(self, env):
+        _, dataplane = env
+        assert active_trace() is None
+        dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert active_trace() is None
+
+    def test_nested_captures_restore(self, env):
+        _, dataplane = env
+        with capture_trace() as outer:
+            dataplane.process(make_cache(1, 2, op=NC_READ, key=0x1))
+            with capture_trace() as inner:
+                dataplane.process(make_cache(1, 2, op=NC_READ, key=0x1))
+            assert active_trace() is outer
+        assert len(inner.steps) == len(outer.steps)
+
+    def test_render_and_grouping(self, env):
+        _, dataplane = env
+        with capture_trace() as trace:
+            dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        text = trace.render()
+        assert "set_program" in text and "rpb" in text
+        assert "init" in trace.by_unit()

@@ -1,0 +1,176 @@
+"""Reduced-scale versions of the paper's four case studies (§6.4, Fig. 13).
+
+The full-scale runs live in ``benchmarks/bench_fig13_case_studies.py``;
+these tests validate the same pipelines at a size suitable for CI.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.metrics import precision_recall
+from repro.baselines.conventional import ConventionalWorkflow
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.rmt.pipeline import Verdict
+from repro.traffic import (
+    CacheTrace,
+    CacheTraceConfig,
+    CampusTrace,
+    ReplayEngine,
+    ReplayEvent,
+    TraceConfig,
+    load_imbalance,
+    make_population,
+)
+
+
+class TestImpactsOnTraffic:
+    """Fig. 13(a): runtime deploy/delete churn must not move the RX rate."""
+
+    def test_rx_stable_under_churn(self):
+        ctl, dataplane = Controller.with_simulator()
+        trace = CampusTrace(
+            make_population(seed=3),
+            TraceConfig(duration_s=3.0, samples_per_window=20, tcp_burst_probability=0.0),
+        )
+        deployed = []
+        events = []
+        # From t=1s, deploy or delete a program every 0.25 s with filters
+        # independent of the traffic (high UDP ports).
+        programs = ["cache", "calc", "dqacc", "cms", "bf", "sumax"]
+
+        def make_action(name):
+            def action():
+                if deployed and len(deployed) % 3 == 2:
+                    ctl.revoke(deployed.pop(0))
+                else:
+                    deployed.append(ctl.deploy(PROGRAMS[name].source))
+
+            return action
+
+        for k, name in enumerate(programs):
+            events.append(ReplayEvent(at_s=1.0 + 0.25 * k, action=make_action(name)))
+        stats = ReplayEngine(dataplane).run(trace.windows(), events)
+        rx = [s.rx_mbps for s in stats]
+        # Every window passes its full offered load.
+        for s in stats:
+            assert s.rx_mbps == pytest.approx(s.offered_mbps)
+        assert statistics.pstdev(rx) < 1e-6
+
+    def test_conventional_workflow_blacks_out(self):
+        """The contrast curve: a reprovision stops traffic for seconds."""
+        ctl, dataplane = Controller.with_simulator()
+        workflow = ConventionalWorkflow()
+        workflow.deploy("cache", p4_loc=77, at_s=1.0)
+        trace = CampusTrace(
+            make_population(seed=3), TraceConfig(duration_s=3.0, samples_per_window=5)
+        )
+        engine = ReplayEngine(
+            dataplane, blackout=lambda t: not workflow.traffic_available(t)
+        )
+        stats = engine.run(trace.windows())
+        blacked = [s for s in stats if s.rx_mbps == 0]
+        assert blacked  # the blackout is visible
+        assert all(1.0 <= s.start_s < 8.0 for s in blacked)
+
+
+class TestInNetworkCacheStudy:
+    """Fig. 13(b): deploy at t; hit traffic reflects, misses forward."""
+
+    def test_hit_rate_visible_in_rx_split(self):
+        ctl, dataplane = Controller.with_simulator()
+        trace = CacheTrace(CacheTraceConfig(duration_s=2.0, samples_per_window=30))
+        handle_box = {}
+
+        def deploy():
+            handle = ctl.deploy(PROGRAMS["cache"].source)
+            ctl.write_memory(handle, "mem1", 128, 0xCAFE)
+            handle_box["h"] = handle
+
+        stats = ReplayEngine(dataplane).run(
+            trace.windows(), [ReplayEvent(at_s=0.5, action=deploy)]
+        )
+        before = [s for s in stats if s.start_s < 0.5]
+        after = [s for s in stats if s.start_s >= 0.7]
+        # Before deployment everything is forwarded (rx == offered).
+        for s in before:
+            assert s.reflected_mbps == 0
+        # After: ~60% reflected (hits), ~40% forwarded to the server.
+        reflected_share = statistics.mean(
+            s.reflected_mbps / s.offered_mbps for s in after
+        )
+        assert reflected_share == pytest.approx(0.6, abs=0.08)
+
+    def test_p4runpro_function_starts_faster_than_conventional(self):
+        ctl, _ = Controller.with_simulator()
+        t0 = ctl.clock.now
+        ctl.deploy(PROGRAMS["cache"].source)
+        runpro_delay_s = ctl.clock.now - t0
+        conventional = ConventionalWorkflow()
+        event = conventional.deploy("cache", p4_loc=77, at_s=0.0)
+        assert runpro_delay_s < 0.1
+        assert event.blackout_s > 10 * runpro_delay_s
+
+
+class TestLoadBalancerStudy:
+    """Fig. 13(c): imbalance settles near zero after deployment."""
+
+    def test_imbalance_low_after_deploy(self):
+        ctl, dataplane = Controller.with_simulator()
+        handle = ctl.deploy(PROGRAMS["lb"].source)
+        for addr in range(256):
+            ctl.write_memory(handle, "port_pool", addr, addr % 2)
+            ctl.write_memory(handle, "dip_pool", addr, 0x0A00B000 + addr % 2)
+        population = make_population(
+            num_flows=2048, heavy_flows=0, seed=5, subnet=0x0A000000
+        )
+        trace = CampusTrace(
+            population, TraceConfig(duration_s=2.0, samples_per_window=60)
+        )
+        stats = ReplayEngine(dataplane).run(trace.windows())
+        imbalance = statistics.mean(load_imbalance(s, 0, 1) for s in stats)
+        assert imbalance < 0.25  # sampled traffic: near-balanced
+
+
+class TestHeavyHitterStudy:
+    """Fig. 13(d): F1 reaches 1.0 once heavy flows cross the threshold."""
+
+    THRESHOLD = 32
+
+    def test_f1_reaches_one(self):
+        ctl, dataplane = Controller.with_simulator()
+        from repro.programs import source_with_memory
+
+        # 2048-bucket rows keep CMS collision noise negligible at this
+        # flow count; the threshold is lowered for CI scale.
+        source = (
+            source_with_memory("hh", 2048)
+            .replace("LOADI(har, 1024)", f"LOADI(har, {self.THRESHOLD})")
+            .replace("case(<har, 1024, 0xffffffff>)", f"case(<har, {self.THRESHOLD}, 0xffffffff>)")
+        )
+        ctl.deploy(source)
+        population = make_population(
+            num_flows=256, heavy_flows=8, heavy_share=0.7, seed=6
+        )
+        heavy_truth = {f.five_tuple for f in population.heavy_flows()}
+        detected = set()
+        sent: dict[tuple, int] = {}
+        for flow in population.sample(6000):
+            packet_count = sent.get(flow.five_tuple, 0) + 1
+            sent[flow.five_tuple] = packet_count
+            from repro.rmt.packet import make_tcp, make_udp
+
+            maker = make_udp if flow.proto == 17 else make_tcp
+            pkt = maker(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port)
+            result = dataplane.process(pkt)
+            if result.verdict is Verdict.TO_CPU:
+                detected.add(pkt.five_tuple())
+        # Ground truth at this scale: flows that actually crossed the
+        # threshold in the sampled stream.
+        crossed = {t for t, n in sent.items() if n >= self.THRESHOLD}
+        precision, recall, f1 = precision_recall(detected, crossed)
+        assert f1 > 0.95
+        # Every population-level heavy flow crossed and was detected.
+        assert heavy_truth <= crossed
+        assert heavy_truth <= detected

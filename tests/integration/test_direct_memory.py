@@ -1,0 +1,125 @@
+"""Direct memory mapping tests (SwitchVM-style fragments, paper §7)."""
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.controlplane import Controller
+from repro.controlplane.incremental import IncrementalUpdateError
+from repro.programs import PROGRAMS, source_with_memory
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache, make_udp
+from repro.rmt.pipeline import Verdict
+
+DIRECT = CompileOptions(direct_memory=True)
+
+
+def fragment_controller(hole_buckets=192):
+    """A controller whose RPB memories are pre-fragmented: several small
+    placeholder blocks split every free list so no large contiguous run
+    remains."""
+    ctl, dataplane = Controller.with_simulator()
+    # Chew the contiguous space: leave free runs of `hole_buckets` between
+    # persistent 64-bucket pins on every RPB.
+    for phys in range(1, 23):
+        freelist = ctl.manager._freelists[phys]
+        cursor = 0
+        while cursor + hole_buckets + 64 <= freelist.capacity:
+            freelist.allocate(hole_buckets)  # will be freed -> hole
+            freelist.allocate(64)  # pin stays
+            cursor += hole_buckets + 64
+        for base, size in list(freelist._allocated.items()):
+            if size == hole_buckets:
+                freelist.free(base)
+    return ctl, dataplane
+
+
+class TestFragmentedDeployment:
+    def test_contiguous_deploy_fails_on_fragmented_chip(self):
+        ctl, _ = fragment_controller(hole_buckets=192)
+        # cache wants 256 contiguous buckets; the largest hole is 192.
+        from repro.lang.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            ctl.deploy(PROGRAMS["cache"].source)
+
+    def test_direct_memory_deploys_on_fragmented_chip(self):
+        ctl, dataplane = fragment_controller(hole_buckets=192)
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        record = ctl.manager.get(handle.program_id)
+        assert len(record.memory["mem1"].fragments) >= 2
+
+    def test_fragmented_cache_serves_traffic(self):
+        ctl, dataplane = fragment_controller(hole_buckets=192)
+        ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=77))
+        hit = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert hit.verdict is Verdict.REFLECT
+        assert hit.packet.get_field("hdr.nc.val") == 77
+
+    def test_hash_addressed_program_spans_fragments(self):
+        """cms hashes across its whole 1,024-bucket row: every virtual
+        bucket must translate to the right fragment."""
+        ctl, dataplane = fragment_controller(hole_buckets=512)
+        handle = ctl.deploy(source_with_memory("cms", 1024), options=DIRECT)
+        record = ctl.manager.get(handle.program_id)
+        assert any(len(a.fragments) >= 2 for a in record.memory.values())
+        for i in range(200):
+            dataplane.process(make_udp(i + 1, 2, 3, 4))
+        snapshot = ctl.snapshot_memory(handle, "cms_row1")
+        assert sum(snapshot) == 200  # every increment landed somewhere valid
+
+    def test_fragment_translation_bijective(self):
+        ctl, _ = fragment_controller(hole_buckets=192)
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        record = ctl.manager.get(handle.program_id)
+        alloc = record.memory["mem1"]
+        physical = {alloc.translate(v) for v in range(alloc.size)}
+        assert len(physical) == alloc.size  # no aliasing
+
+    def test_control_plane_rw_across_fragments(self):
+        ctl, _ = fragment_controller(hole_buckets=192)
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        record = ctl.manager.get(handle.program_id)
+        boundary = record.memory["mem1"].fragments[0][1]
+        ctl.write_memory(handle, "mem1", boundary - 1, 1)
+        ctl.write_memory(handle, "mem1", boundary, 2)  # second fragment
+        assert ctl.read_memory(handle, "mem1", boundary - 1) == 1
+        assert ctl.read_memory(handle, "mem1", boundary) == 2
+
+
+class TestFragmentedLifecycle:
+    def test_revoke_frees_and_zeroes_all_fragments(self):
+        ctl, dataplane = fragment_controller(hole_buckets=192)
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        util_with = ctl.manager.memory_utilization()
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=5))
+        ctl.revoke(handle)
+        assert ctl.manager.memory_utilization() < util_with
+        again = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        hit = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert hit.packet.get_field("hdr.nc.val") == 0  # zeroed
+
+    def test_extra_offset_entries_accounted(self):
+        ctl, _ = fragment_controller(hole_buckets=192)
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        record = ctl.manager.get(handle.program_id)
+        offsets = [e for e in record.batch.body_entries if e.action == "OFFSET"]
+        fragments = len(record.memory["mem1"].fragments)
+        # Two OFFSET ops (read + write branches) x one entry per fragment.
+        assert len(offsets) == 2 * fragments
+
+    def test_incremental_rejects_multi_fragment_memory(self):
+        ctl, _ = fragment_controller(hole_buckets=192)
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        with pytest.raises(IncrementalUpdateError, match="direct-mapped"):
+            ctl.add_case(
+                handle,
+                [("har", 1, 0xFF), ("sar", 0, 0xFFFFFFFF), ("mar", 0x1, 0xFFFFFFFF)],
+                loadi_values=[1],
+            )
+
+    def test_contiguous_when_space_allows(self):
+        """Direct mode still prefers one fragment when a run fits."""
+        ctl, _ = Controller.with_simulator()
+        handle = ctl.deploy(PROGRAMS["cache"].source, options=DIRECT)
+        record = ctl.manager.get(handle.program_id)
+        assert len(record.memory["mem1"].fragments) == 1

@@ -1,0 +1,109 @@
+"""The generality boundary, as executable documentation (paper §7).
+
+The paper is explicit about what P4runpro cannot express: shift
+operations (VLIW constraint), and ATP-style aggregation ("we failed to
+implement ATP using P4runpro primitives due to its complicated logic").
+These tests pin those limits down so a regression that silently *breaks*
+them — or an extension that *lifts* them — shows up.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.target import TargetSpec
+from repro.lang.errors import AllocationError, ParseError
+from repro.lang.parser import parse_source
+from repro.lang.primitives import REGISTRY
+
+
+class TestMissingOperations:
+    def test_no_shift_primitives(self):
+        """§7: "we cannot support shift operations due to the VLIW
+        constraint"."""
+        for name in ("SHL", "SHR", "LSHIFT", "RSHIFT", "SLL", "SRL"):
+            assert name not in REGISTRY
+
+    def test_shift_in_source_rejected(self):
+        with pytest.raises(ParseError, match="unknown primitive"):
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { SHL(har, 2); }")
+
+    def test_no_multiplication_or_division(self):
+        for name in ("MUL", "DIV", "MOD"):
+            assert name not in REGISTRY
+
+
+def atp_style_source(values_per_packet: int) -> str:
+    """An ATP-shaped program: aggregate ``values_per_packet`` gradient
+    words carried in ONE packet into per-slot memory.  Every value needs
+    its own extract + address load + SALU access chain, and P4runpro's
+    one-memory-op-per-RPB execution makes the depth grow linearly — the
+    "complicated logic" that defeated the paper's authors."""
+    decls = "@ atp_slots 1024\n"
+    body = []
+    for index in range(values_per_packet):
+        body.append(f"LOADI(mar, {index});")
+        body.append("EXTRACT(hdr.nc.val, sar);")  # stand-in for value i
+        body.append("MEMADD(atp_slots);")
+    return (
+        decls
+        + "program atp(<hdr.udp.dst_port, 9999, 0xffff>) { "
+        + " ".join(body)
+        + " }"
+    )
+
+
+class TestATPBoundary:
+    def test_small_aggregation_fits(self):
+        """A few values per packet compile fine (this is SwitchML-scale)."""
+        compiled = compile_source(atp_style_source(2))
+        assert compiled.allocation.max_iteration <= 1
+
+    def test_atp_scale_infeasible_at_default_r(self):
+        """ATP aggregates tens of values per packet: each revisit of the
+        slot memory costs a recirculation iteration, so the default R=1
+        cannot host it — the paper's failed-ATP observation, measured."""
+        with pytest.raises(AllocationError):
+            compile_source(atp_style_source(8))
+
+    def test_even_generous_recirculation_runs_out(self):
+        """Raising R helps linearly, but ATP-scale (32 values) would need
+        R≈31 — far past any sane recirculation budget."""
+        spec = TargetSpec(max_recirculations=4)
+        compiled = compile_source(atp_style_source(5), spec=spec)
+        assert compiled.allocation.max_iteration == 4  # one pass per value
+        with pytest.raises(AllocationError):
+            compile_source(atp_style_source(8), spec=spec)
+
+    def test_depth_grows_linearly_with_values(self):
+        depths = {
+            n: compile_source(
+                atp_style_source(n), spec=TargetSpec(max_recirculations=6)
+            ).problem.num_depths
+            for n in (1, 2, 3)
+        }
+        assert depths[2] - depths[1] == depths[3] - depths[2] == 4
+
+    def test_chain_does_not_rescue_atp(self):
+        """Chains reject memory revisits outright (each hop has its own
+        arrays), so ATP is out of reach there too."""
+        from repro.compiler.target import ChainSpec
+
+        with pytest.raises(AllocationError):
+            compile_source(atp_style_source(3), spec=ChainSpec(num_switches=4))
+
+
+class TestRangeMatchBoundary:
+    def test_branch_is_ternary_not_range(self):
+        """§7: range match supports only 20-bit keys, so BRANCH uses
+        ternary matching — inequality tests must go through SGT/SLT."""
+        from repro.programs import PROGRAMS
+
+        compiled = compile_source(PROGRAMS["cache"].source)
+        batch = compiled.emit_entries(
+            TargetSpec(),
+            1,
+            {"mem1": (compiled.allocation.memory_placement["mem1"], 0)},
+        )
+        for entry in batch.install_order():
+            for key in entry.keys:
+                assert hasattr(key, "mask")  # every key is value/mask ternary

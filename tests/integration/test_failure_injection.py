@@ -1,0 +1,98 @@
+"""Failure injection: southbound faults mid-update must leave no residue."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.dataplane.runpro import P4runproDataPlane
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, make_cache
+from repro.rmt.pipeline import Verdict
+
+
+class FlakyBinding:
+    """Wraps a real data plane; fails the Nth insert with a transient error."""
+
+    def __init__(self, inner: P4runproDataPlane, fail_at: int):
+        self.inner = inner
+        self.fail_at = fail_at
+        self.inserts = 0
+
+    def insert_entry(self, entry):
+        self.inserts += 1
+        if self.inserts == self.fail_at:
+            raise ConnectionError("simulated southbound RPC failure")
+        return self.inner.insert_entry(entry)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def flaky_controller(fail_at: int):
+    inner = P4runproDataPlane()
+    binding = FlakyBinding(inner, fail_at)
+    return Controller(binding), inner, binding
+
+
+class TestInstallRollback:
+    @pytest.mark.parametrize("fail_at", [1, 5, 10, 17])
+    def test_failed_install_leaves_clean_dataplane(self, fail_at):
+        ctl, inner, _ = flaky_controller(fail_at)
+        with pytest.raises(ConnectionError):
+            ctl.deploy(PROGRAMS["cache"].source)
+        for name, table in inner.tables.items():
+            assert table.occupancy == 0, name
+
+    def test_failed_install_releases_reservations(self):
+        ctl, _, _ = flaky_controller(fail_at=5)
+        util_before = ctl.utilization()
+        with pytest.raises(ConnectionError):
+            ctl.deploy(PROGRAMS["cache"].source)
+        assert ctl.utilization() == util_before
+        assert ctl.running_programs() == []
+
+    def test_failed_install_releases_memory(self):
+        ctl, _, _ = flaky_controller(fail_at=3)
+        with pytest.raises(ConnectionError):
+            ctl.deploy(PROGRAMS["lb"].source)
+        # Both pools' buckets must be reusable.
+        assert ctl.manager.memory_utilization() == 0.0
+
+    def test_redeploy_after_failure_succeeds(self):
+        ctl, inner, binding = flaky_controller(fail_at=7)
+        with pytest.raises(ConnectionError):
+            ctl.deploy(PROGRAMS["cache"].source)
+        binding.fail_at = -1  # heal the link
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        result = inner.process(make_cache(1, 2, op=NC_READ, key=0x1234))
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_port == 32
+
+    def test_survivors_unaffected_by_failed_install(self):
+        ctl, inner, binding = flaky_controller(fail_at=-1)
+        ctl.deploy(PROGRAMS["cache"].source)
+        binding.inserts = 0
+        binding.fail_at = 4
+        with pytest.raises(ConnectionError):
+            ctl.deploy(PROGRAMS["lb"].source)
+        # The first program keeps working.
+        inner.process(make_cache(1, 2, op=2, key=0x8888, value=5))
+        hit = inner.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert hit.verdict is Verdict.REFLECT
+        assert [r.name for r in ctl.running_programs()] == ["cache"]
+
+    def test_consistency_probe_never_saw_half_program(self):
+        """During the failed install, a probe between inserts must see
+        'program absent' behaviour (init entry is installed last)."""
+        inner = P4runproDataPlane()
+
+        class ProbingBinding(FlakyBinding):
+            def insert_entry(self, entry):
+                result = inner.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+                assert result.verdict is Verdict.FORWARD
+                assert result.egress_port == 0  # default path: no program
+                return super().insert_entry(entry)
+
+        binding = ProbingBinding(inner, fail_at=12)
+        ctl = Controller(binding)
+        with pytest.raises(ConnectionError):
+            ctl.deploy(PROGRAMS["cache"].source)

@@ -1,0 +1,79 @@
+"""AST helper tests."""
+
+from repro.lang.ast import (
+    Arg,
+    ArgKind,
+    count_loc,
+    fld,
+    imm,
+    mem,
+    reg,
+    walk_statements,
+)
+from repro.lang.parser import parse_source
+
+
+class TestArgHelpers:
+    def test_constructors(self):
+        assert reg("har") == Arg(ArgKind.REGISTER, "har")
+        assert imm(5) == Arg(ArgKind.IMMEDIATE, 5)
+        assert fld("hdr.ipv4.src") == Arg(ArgKind.FIELD, "hdr.ipv4.src")
+        assert mem("m1") == Arg(ArgKind.MEMORY, "m1")
+
+    def test_str(self):
+        assert str(imm(5)) == "5"
+        assert str(reg("sar")) == "sar"
+
+
+class TestWalk:
+    SOURCE = """
+    program p(<hdr.ipv4.ttl, 0, 0x0>) {
+        LOADI(har, 1);
+        BRANCH:
+        case(<har, 1, 0xff>) {
+            DROP;
+            BRANCH:
+            case(<sar, 0, 0xffffffff>) { REPORT; };
+        }
+        case(<har, 2, 0xff>) { RETURN; }
+        FORWARD(1);
+    }
+    """
+
+    def test_walk_visits_all_statements(self):
+        unit = parse_source(self.SOURCE)
+        names = [
+            getattr(s, "name", "BRANCH") for s in walk_statements(unit.programs[0].body)
+        ]
+        assert names.count("BRANCH") == 2
+        for expected in ("LOADI", "DROP", "REPORT", "RETURN", "FORWARD"):
+            assert expected in names
+
+    def test_primitive_str(self):
+        unit = parse_source(self.SOURCE)
+        loadi = unit.programs[0].body[0]
+        assert str(loadi) == "LOADI(har, 1)"
+
+
+class TestCountLoc:
+    def test_count_full_vs_inelastic(self):
+        unit = parse_source(self.SOURCE_TWO_CASES)
+        full = count_loc(unit)
+        inelastic = count_loc(unit, count_elastic=False)
+        assert full > inelastic
+
+    SOURCE_TWO_CASES = """
+    @ m 4
+    program p(<hdr.ipv4.ttl, 0, 0x0>) {
+        BRANCH:
+        case(<har, 1, 0xff>) { DROP; }
+        case(<har, 2, 0xff>) { RETURN; }
+    }
+    """
+
+    def test_count_includes_memory_decls(self):
+        with_mem = count_loc(parse_source(self.SOURCE_TWO_CASES))
+        without = count_loc(
+            parse_source(self.SOURCE_TWO_CASES.replace("@ m 4\n", ""))
+        )
+        assert with_mem == without + 1

@@ -1,0 +1,68 @@
+"""Diagnostic rendering tests."""
+
+from repro.lang.diagnostics import annotate, check_source, explain
+from repro.lang.errors import SemanticError
+
+SOURCE = """@ m 256
+program p(
+    <hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.op, har);
+    EXTRACT(hdr.nc.bogus, sar);
+    DROP;
+}"""
+
+
+class TestAnnotate:
+    def test_marker_on_target_line(self):
+        text = annotate(SOURCE, 5)
+        lines = text.splitlines()
+        marked = [l for l in lines if l.startswith(">")]
+        assert len(marked) == 1
+        assert "hdr.nc.bogus" in marked[0]
+
+    def test_context_window(self):
+        text = annotate(SOURCE, 5, context=1)
+        assert len(text.splitlines()) == 3
+
+    def test_clamped_at_file_start(self):
+        text = annotate(SOURCE, 1)
+        assert text.splitlines()[0].startswith(">")
+
+    def test_out_of_range_line(self):
+        assert annotate(SOURCE, 99) == ""
+        assert annotate(SOURCE, None) == ""
+
+    def test_line_numbers_aligned(self):
+        text = annotate(SOURCE, 5)
+        widths = {line.index("|") for line in text.splitlines()}
+        assert len(widths) == 1
+
+
+class TestExplain:
+    def test_includes_header_and_excerpt(self):
+        error = SemanticError("unknown field 'hdr.nc.bogus'", 5)
+        text = explain(SOURCE, error)
+        assert text.startswith("error: line 5: unknown field")
+        assert "> 5 |" in text
+
+    def test_error_without_line(self):
+        error = SemanticError("broken")
+        assert explain(SOURCE, error) == "error: broken"
+
+
+class TestCheckSource:
+    def test_clean_source(self):
+        from repro.programs import PROGRAMS
+
+        assert check_source(PROGRAMS["cache"].source) == []
+
+    def test_semantic_error_rendered(self):
+        diagnostics = check_source(SOURCE)
+        assert len(diagnostics) == 1
+        assert "unknown field" in diagnostics[0]
+        assert ">" in diagnostics[0]
+
+    def test_parse_error_rendered(self):
+        diagnostics = check_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { FROB; }")
+        assert len(diagnostics) == 1
+        assert "unknown primitive" in diagnostics[0]

@@ -1,0 +1,112 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert values("cache") == ["cache"]
+        assert kinds("cache")[0] is TokenKind.IDENT
+
+    def test_keywords(self):
+        assert kinds("program")[0] is TokenKind.KEYWORD
+        assert kinds("case")[0] is TokenKind.KEYWORD
+
+    def test_dotted_field_single_token(self):
+        assert values("hdr.udp.dst_port") == ["hdr.udp.dst_port"]
+
+    def test_punctuation(self):
+        assert values("@(){}<>,;:") == list("@(){}<>,;:")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("512", 512),
+            ("0x8888", 0x8888),
+            ("0XFF", 0xFF),
+            ("0b1101", 0b1101),
+            ("0xffffffff", 0xFFFFFFFF),
+        ],
+    )
+    def test_integer_literals(self, text, value):
+        assert values(text) == [value]
+
+    def test_ip_address_literal(self):
+        assert values("10.0.0.0") == [0x0A000000]
+        assert values("255.255.0.0") == [0xFFFF0000]
+
+    def test_malformed_ip_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("10.0.0")
+        with pytest.raises(LexError):
+            tokenize("10.0.0.256")
+
+    def test_malformed_hex_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0xZZ")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment_tracks_lines(self):
+        tokens = tokenize("/* one\ntwo\nthree */ x")
+        assert tokens[0].value == "x"
+        assert tokens[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("a /* never closed")
+
+    def test_comment_at_eof(self):
+        assert values("a //tail") == ["a"]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_error_carries_line(self):
+        try:
+            tokenize("ok\n%")
+        except LexError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestRealProgram:
+    def test_cache_fragment(self):
+        source = "program cache(<hdr.udp.dst_port, 7777, 0xffff>) { DROP; }"
+        tokens = tokenize(source)
+        assert tokens[0] == Token(TokenKind.KEYWORD, "program", 1)
+        assert any(t.value == 7777 for t in tokens)
+        assert any(t.value == 0xFFFF for t in tokens)

@@ -1,0 +1,190 @@
+"""P4runpro grammar tests."""
+
+import pytest
+
+from repro.lang.ast import ArgKind, Branch, Primitive
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_source
+
+MINIMAL = "program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }"
+
+
+class TestPrograms:
+    def test_minimal_program(self):
+        unit = parse_source(MINIMAL)
+        assert len(unit.programs) == 1
+        assert unit.programs[0].name == "p"
+        assert len(unit.programs[0].body) == 1
+
+    def test_annotations(self):
+        unit = parse_source("@ mem1 1024\n@ mem2 64\n" + MINIMAL)
+        assert [(m.name, m.size) for m in unit.memories] == [("mem1", 1024), ("mem2", 64)]
+
+    def test_memory_lookup(self):
+        unit = parse_source("@ mem1 1024\n" + MINIMAL)
+        assert unit.memory("mem1").size == 1024
+        assert unit.memory("nope") is None
+
+    def test_multiple_programs(self):
+        unit = parse_source(MINIMAL + "\nprogram q(<hdr.ipv4.ttl, 0, 0x0>) { RETURN; }")
+        assert [p.name for p in unit.programs] == ["p", "q"]
+
+    def test_multiple_filters(self):
+        unit = parse_source(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>, <hdr.udp.dst_port, 53, 0xffff>) { DROP; }"
+        )
+        assert len(unit.programs[0].filters) == 2
+        assert unit.programs[0].filters[1].value == 53
+
+    def test_no_program_rejected(self):
+        with pytest.raises(ParseError, match="no program"):
+            parse_source("@ mem1 4")
+
+    def test_ip_address_in_filter(self):
+        unit = parse_source("program p(<hdr.ipv4.dst, 10.0.0.0, 0xffff0000>) { DROP; }")
+        assert unit.programs[0].filters[0].value == 0x0A000000
+
+
+class TestPrimitives:
+    def test_no_arg_primitive(self):
+        unit = parse_source(MINIMAL)
+        stmt = unit.programs[0].body[0]
+        assert isinstance(stmt, Primitive)
+        assert stmt.name == "DROP"
+        assert stmt.args == ()
+
+    def test_arg_kinds_inferred(self):
+        unit = parse_source(
+            "@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " EXTRACT(hdr.nc.op, har); LOADI(mar, 512); MEMREAD(m); }"
+        )
+        extract, loadi, memread = unit.programs[0].body
+        assert [a.kind for a in extract.args] == [ArgKind.FIELD, ArgKind.REGISTER]
+        assert [a.kind for a in loadi.args] == [ArgKind.REGISTER, ArgKind.IMMEDIATE]
+        assert [a.kind for a in memread.args] == [ArgKind.MEMORY]
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ParseError, match="unknown primitive"):
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { FROBNICATE; }")
+
+    def test_internal_primitive_rejected_at_parse(self):
+        with pytest.raises(ParseError, match="unknown primitive"):
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { NOP; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP }")
+
+    def test_line_numbers_recorded(self):
+        unit = parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) {\n\n DROP;\n}")
+        assert unit.programs[0].body[0].line == 3
+
+
+class TestBranch:
+    BRANCHY = """
+    program p(<hdr.ipv4.ttl, 0, 0x0>) {
+        BRANCH:
+        case(<har, 1, 0xff>) { DROP; }
+        case(<sar, 2, 0xffffffff>, <mar, 3, 0xffffffff>) { RETURN; };
+        FORWARD(1);
+    }
+    """
+
+    def test_branch_structure(self):
+        unit = parse_source(self.BRANCHY)
+        branch, forward = unit.programs[0].body
+        assert isinstance(branch, Branch)
+        assert len(branch.cases) == 2
+        assert forward.name == "FORWARD"
+
+    def test_case_conditions(self):
+        unit = parse_source(self.BRANCHY)
+        branch = unit.programs[0].body[0]
+        case0, case1 = branch.cases
+        assert [(c.register, c.value, c.mask) for c in case0.conditions] == [("har", 1, 0xFF)]
+        assert len(case1.conditions) == 2
+
+    def test_case_bodies(self):
+        unit = parse_source(self.BRANCHY)
+        branch = unit.programs[0].body[0]
+        assert branch.cases[0].body[0].name == "DROP"
+        assert branch.cases[1].body[0].name == "RETURN"
+
+    def test_nested_branch(self):
+        unit = parse_source(
+            """
+            program p(<hdr.ipv4.ttl, 0, 0x0>) {
+                BRANCH:
+                case(<har, 1, 0xff>) {
+                    BRANCH:
+                    case(<sar, 0, 0xffffffff>) { REPORT; };
+                };
+            }
+            """
+        )
+        outer = unit.programs[0].body[0]
+        inner = outer.cases[0].body[0]
+        assert isinstance(inner, Branch)
+        assert inner.cases[0].body[0].name == "REPORT"
+
+    def test_branch_without_cases_rejected(self):
+        with pytest.raises(ParseError, match="at least one case"):
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { BRANCH: DROP; }")
+
+    def test_condition_must_name_register(self):
+        with pytest.raises(ParseError, match="register"):
+            parse_source(
+                "program p(<hdr.ipv4.ttl, 0, 0x0>) { BRANCH: case(<bogus, 1, 0xff>) { DROP; } }"
+            )
+
+    def test_semicolons_after_cases_optional(self):
+        bare = "program p(<hdr.ipv4.ttl, 0, 0x0>) { BRANCH: case(<har, 1, 0xff>) { DROP; } }"
+        semi = "program p(<hdr.ipv4.ttl, 0, 0x0>) { BRANCH: case(<har, 1, 0xff>) { DROP; }; }"
+        for source in (bare, semi):
+            unit = parse_source(source)
+            assert len(unit.programs[0].body) == 1
+
+
+class TestErrors:
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError, match="end of input"):
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP;")
+
+    def test_garbage_after_programs(self):
+        with pytest.raises(ParseError, match="unexpected token"):
+            parse_source(MINIMAL + " garbage")
+
+    def test_missing_filter(self):
+        with pytest.raises(ParseError):
+            parse_source("program p() { DROP; }")
+
+    def test_error_has_line_number(self):
+        try:
+            parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) {\n BADPRIM;\n}")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestPaperPrograms:
+    """The three paper listings must parse."""
+
+    def test_cache(self):
+        from repro.programs.library import CACHE_SOURCE
+
+        unit = parse_source(CACHE_SOURCE)
+        assert unit.programs[0].name == "cache"
+
+    def test_lb(self):
+        from repro.programs.library import LB_SOURCE
+
+        unit = parse_source(LB_SOURCE)
+        assert [m.name for m in unit.memories] == ["dip_pool", "port_pool"]
+
+    def test_hh_nested_branches(self):
+        from repro.programs.library import HH_SOURCE
+
+        unit = parse_source(HH_SOURCE)
+        outer = [s for s in unit.programs[0].body if isinstance(s, Branch)]
+        assert len(outer) == 1

@@ -1,0 +1,109 @@
+"""Primitive registry tests against Table 3."""
+
+import pytest
+
+from repro.lang.ast import ArgKind
+from repro.lang.primitives import (
+    Category,
+    FORWARDING_PRIMITIVES,
+    MEMORY_PRIMITIVES,
+    PSEUDO_PRIMITIVES,
+    REGISTRY,
+    SOURCE_PRIMITIVES,
+    get,
+    is_primitive,
+)
+
+
+class TestRegistry:
+    def test_table3_primitive_count(self):
+        """Table 3 lists 25 real primitives (+ MULTICAST, our SwitchML
+        extension) + 10 pseudo primitives."""
+        real = [s for s in REGISTRY.values() if not s.pseudo and not s.internal]
+        pseudo = [s for s in REGISTRY.values() if s.pseudo]
+        assert len(real) == 26
+        assert len(pseudo) == 10
+
+    def test_six_primitive_categories(self):
+        cats = {s.category for s in REGISTRY.values() if not s.internal}
+        assert cats == {
+            Category.HEADER,
+            Category.HASH,
+            Category.BRANCH,
+            Category.MEMORY,
+            Category.ARITH,
+            Category.FORWARD,
+        }
+
+    def test_memory_primitives(self):
+        assert MEMORY_PRIMITIVES == {
+            "MEMADD",
+            "MEMSUB",
+            "MEMAND",
+            "MEMOR",
+            "MEMREAD",
+            "MEMWRITE",
+            "MEMMAX",
+        }
+
+    def test_forwarding_primitives(self):
+        assert FORWARDING_PRIMITIVES == {
+            "FORWARD",
+            "DROP",
+            "RETURN",
+            "REPORT",
+            "MULTICAST",
+        }
+
+    def test_pseudo_primitives(self):
+        assert PSEUDO_PRIMITIVES == {
+            "MOVE",
+            "NOT",
+            "SUB",
+            "EQUAL",
+            "SGT",
+            "SLT",
+            "ADDI",
+            "ANDI",
+            "XORI",
+            "SUBI",
+        }
+
+    def test_internals_not_in_source_set(self):
+        for name in ("NOP", "OFFSET", "BACKUP", "RESTORE"):
+            assert name not in SOURCE_PRIMITIVES
+            assert REGISTRY[name].internal
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get("BOGUS")
+
+    def test_is_primitive(self):
+        assert is_primitive("EXTRACT")
+        assert is_primitive("NOP")
+        assert not is_primitive("extract")
+
+
+class TestSignatures:
+    @pytest.mark.parametrize(
+        "name,signature",
+        [
+            ("EXTRACT", (ArgKind.FIELD, ArgKind.REGISTER)),
+            ("MODIFY", (ArgKind.FIELD, ArgKind.REGISTER)),
+            ("HASH_5_TUPLE", ()),
+            ("HASH_5_TUPLE_MEM", (ArgKind.MEMORY,)),
+            ("MEMADD", (ArgKind.MEMORY,)),
+            ("LOADI", (ArgKind.REGISTER, ArgKind.IMMEDIATE)),
+            ("ADD", (ArgKind.REGISTER, ArgKind.REGISTER)),
+            ("SUBI", (ArgKind.REGISTER, ArgKind.IMMEDIATE)),
+            ("FORWARD", (ArgKind.IMMEDIATE,)),
+            ("DROP", ()),
+            ("NOT", (ArgKind.REGISTER,)),
+        ],
+    )
+    def test_signature(self, name, signature):
+        assert get(name).signature == signature
+
+    def test_memory_ops_flagged(self):
+        assert get("MEMWRITE").memory_op
+        assert not get("HASH_5_TUPLE_MEM").memory_op  # hash, not SALU access

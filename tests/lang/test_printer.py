@@ -1,0 +1,86 @@
+"""Pretty-printer tests, including parse/print round-trips."""
+
+import pytest
+
+from repro.lang.ast import Branch, Primitive
+from repro.lang.parser import parse_source
+from repro.lang.printer import format_program, format_unit
+from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality, ignoring line numbers."""
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, Primitive) and isinstance(b, Primitive):
+        return a.name == b.name and a.args == b.args
+    if isinstance(a, Branch) and isinstance(b, Branch):
+        if len(a.cases) != len(b.cases):
+            return False
+        for ca, cb in zip(a.cases, b.cases):
+            if [(c.register, c.value, c.mask) for c in ca.conditions] != [
+                (c.register, c.value, c.mask) for c in cb.conditions
+            ]:
+                return False
+            if not ast_equal(ca.body, cb.body):
+                return False
+        return True
+    return False
+
+
+def unit_equal(a, b) -> bool:
+    if [(m.name, m.size) for m in a.memories] != [(m.name, m.size) for m in b.memories]:
+        return False
+    if len(a.programs) != len(b.programs):
+        return False
+    for pa, pb in zip(a.programs, b.programs):
+        if pa.name != pb.name:
+            return False
+        if [(f.field, f.value, f.mask) for f in pa.filters] != [
+            (f.field, f.value, f.mask) for f in pb.filters
+        ]:
+            return False
+        if not ast_equal(pa.body, pb.body):
+            return False
+    return True
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAM_NAMES))
+    def test_library_program_round_trips(self, name):
+        original = parse_source(PROGRAMS[name].source)
+        printed = format_unit(original)
+        reparsed = parse_source(printed)
+        assert unit_equal(original, reparsed), printed
+
+    def test_double_print_is_fixpoint(self):
+        unit = parse_source(PROGRAMS["cache"].source)
+        once = format_unit(unit)
+        twice = format_unit(parse_source(once))
+        assert once == twice
+
+
+class TestFormatting:
+    def test_memory_decls_first(self):
+        unit = parse_source(PROGRAMS["lb"].source)
+        text = format_unit(unit)
+        assert text.startswith("@ dip_pool 256\n@ port_pool 256\n")
+
+    def test_small_ints_decimal_large_hex(self):
+        unit = parse_source(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) { LOADI(mar, 5); LOADI(sar, 512); }"
+        )
+        text = format_program(unit.programs[0])
+        assert "LOADI(mar, 5);" in text
+        assert "LOADI(sar, 0x200);" in text
+
+    def test_nested_branch_indentation(self):
+        unit = parse_source(PROGRAMS["hh"].source)
+        text = format_program(unit.programs[0])
+        assert "        case(" in text  # nested case indented deeper
+
+    def test_no_arg_primitive(self):
+        unit = parse_source("program p(<hdr.ipv4.ttl, 0, 0x0>) { HASH_5_TUPLE; DROP; }")
+        text = format_program(unit.programs[0])
+        assert "HASH_5_TUPLE;" in text
+        assert "DROP;" in text

@@ -1,0 +1,132 @@
+"""Semantic checker tests."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_source
+from repro.lang.semantics import check_unit
+
+
+def check(source):
+    check_unit(parse_source(source))
+
+
+GOOD = "@ m 256\nprogram p(<hdr.udp.dst_port, 7777, 0xffff>) { MEMREAD(m); }"
+
+
+class TestMemoryDecls:
+    def test_valid_unit_passes(self):
+        check(GOOD)
+
+    def test_undeclared_memory(self):
+        with pytest.raises(SemanticError, match="not declared"):
+            check("program p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(ghost); }")
+
+    def test_non_power_of_two_size(self):
+        with pytest.raises(SemanticError, match="power of two"):
+            check("@ m 100\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { MEMREAD(m); }")
+
+    def test_zero_size(self):
+        with pytest.raises(SemanticError, match="non-positive"):
+            check("@ m 0\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }")
+
+    def test_duplicate_memory(self):
+        with pytest.raises(SemanticError, match="duplicate memory"):
+            check("@ m 4\n@ m 8\nprogram p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }")
+
+
+class TestPrograms:
+    def test_duplicate_program_names(self):
+        src = (
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) { DROP; }"
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) { RETURN; }"
+        )
+        with pytest.raises(SemanticError, match="duplicate program"):
+            check(src)
+
+    def test_unknown_filter_field(self):
+        with pytest.raises(SemanticError, match="unknown field"):
+            check("program p(<hdr.nonsuch.x, 0, 0x0>) { DROP; }")
+
+    def test_filter_value_too_wide(self):
+        with pytest.raises(SemanticError, match="does not fit"):
+            check("program p(<hdr.udp.dst_port, 0x10000, 0xffff>) { DROP; }")
+
+    def test_filter_mask_too_wide(self):
+        with pytest.raises(SemanticError, match="does not fit"):
+            check("program p(<hdr.ipv4.ttl, 0, 0xfff>) { DROP; }")
+
+
+class TestPrimitiveArgs:
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="argument"):
+            check("program p(<hdr.ipv4.ttl, 0, 0x0>) { LOADI(mar); }")
+
+    def test_wrong_arg_kind(self):
+        with pytest.raises(SemanticError, match="expected register"):
+            check("program p(<hdr.ipv4.ttl, 0, 0x0>) { LOADI(512, mar); }")
+
+    def test_unknown_field_in_extract(self):
+        with pytest.raises(SemanticError, match="unknown field"):
+            check("program p(<hdr.ipv4.ttl, 0, 0x0>) { EXTRACT(hdr.bogus.f, har); }")
+
+    def test_immediate_too_wide(self):
+        with pytest.raises(SemanticError, match="does not fit"):
+            check("program p(<hdr.ipv4.ttl, 0, 0x0>) { LOADI(mar, 0x100000000); }")
+
+    def test_forward_port_range(self):
+        with pytest.raises(SemanticError, match="port"):
+            check("program p(<hdr.ipv4.ttl, 0, 0x0>) { FORWARD(600); }")
+
+    def test_meta_fields_allowed(self):
+        check("program p(<hdr.ipv4.ttl, 0, 0x0>) { EXTRACT(meta.queue_depth, har); }")
+
+    def test_alias_field_allowed(self):
+        check(
+            "program p(<hdr.udp.dst_port, 7777, 0xffff>) { MODIFY(hdr.nc.value, sar); }"
+        )
+
+    def test_pseudo_primitives_allowed(self):
+        check(
+            "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+            " MOVE(har, sar); NOT(mar); SUBI(sar, 3); SGT(har, mar); }"
+        )
+
+
+class TestBranchSemantics:
+    def test_condition_value_width(self):
+        with pytest.raises(SemanticError, match="exceeds register width"):
+            check(
+                "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+                " BRANCH: case(<har, 0x100000000, 0xff>) { DROP; } }"
+            )
+
+    def test_condition_mask_width(self):
+        with pytest.raises(SemanticError, match="exceeds register width"):
+            check(
+                "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+                " BRANCH: case(<har, 1, 0x1ffffffff>) { DROP; } }"
+            )
+
+    def test_nested_bodies_checked(self):
+        with pytest.raises(SemanticError, match="not declared"):
+            check(
+                "program p(<hdr.ipv4.ttl, 0, 0x0>) {"
+                " BRANCH: case(<har, 1, 0xff>) { MEMREAD(ghost); } }"
+            )
+
+    def test_statements_after_forwarding_allowed(self):
+        """RETURN only latches intrinsic metadata; the cache program runs
+        memory reads after it (paper Fig. 2)."""
+        check(
+            "@ m 4\nprogram p(<hdr.udp.dst_port, 7777, 0xffff>) {"
+            " RETURN; LOADI(mar, 1); MEMREAD(m); }"
+        )
+
+
+class TestLibraryPrograms:
+    def test_all_fifteen_check(self):
+        from repro.programs import PROGRAMS
+
+        for info in PROGRAMS.values():
+            check(info.source)

@@ -1,0 +1,399 @@
+"""Functional tests: each Table-1 program deployed on the simulator and
+driven with packets — the reproduction's equivalent of the paper's claim
+that P4runpro programs behave like their conventional-P4 counterparts.
+"""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.rmt.hashing import HashUnit
+from repro.rmt.packet import (
+    NC_READ,
+    NC_WRITE,
+    Packet,
+    make_cache,
+    make_calc,
+    make_l2,
+    make_tcp,
+    make_udp,
+)
+from repro.rmt.pipeline import Verdict
+
+
+@pytest.fixture
+def env():
+    ctl, dataplane = Controller.with_simulator()
+    return ctl, dataplane
+
+
+IN_NET = 0x0A000000  # 10.0.0.0/16, the workload filters' subnet
+
+
+class TestCache:
+    KEY = 0x8888  # low word matches the program's mar condition
+
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        return ctl, dataplane, handle
+
+    def test_write_then_read(self, deployed):
+        _, dataplane, _ = deployed
+        wr = dataplane.process(make_cache(1, 2, op=NC_WRITE, key=self.KEY, value=777))
+        assert wr.verdict is Verdict.DROP
+        rd = dataplane.process(make_cache(1, 2, op=NC_READ, key=self.KEY))
+        assert rd.verdict is Verdict.REFLECT
+        assert rd.packet.get_field("hdr.nc.val") == 777
+
+    def test_miss_forwarded_to_server(self, deployed):
+        _, dataplane, _ = deployed
+        miss = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x1234))
+        assert miss.verdict is Verdict.FORWARD
+        assert miss.egress_port == 32
+
+    def test_control_plane_sees_written_value(self, deployed):
+        ctl, dataplane, handle = deployed
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=self.KEY, value=55))
+        assert ctl.read_memory(handle, "mem1", 128) == 55
+
+    def test_non_cache_traffic_untouched(self, deployed):
+        _, dataplane, _ = deployed
+        other = dataplane.process(make_udp(1, 2, 3, 9999))
+        assert other.verdict is Verdict.FORWARD
+        assert other.egress_port == 0
+
+
+class TestLoadBalancer:
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["lb"].source)
+        for addr in range(256):
+            ctl.write_memory(handle, "port_pool", addr, addr % 2)
+            ctl.write_memory(handle, "dip_pool", addr, 0x0A00B000 + addr % 2)
+        return ctl, dataplane, handle
+
+    def _packet(self, i):
+        return make_udp(0x0B000000 + i, IN_NET | (i + 1), 1000 + i, 80)
+
+    def test_forwards_to_pool_ports(self, deployed):
+        _, dataplane, _ = deployed
+        ports = {dataplane.process(self._packet(i)).egress_port for i in range(64)}
+        assert ports == {0, 1}
+
+    def test_dip_rewritten_consistently_with_port(self, deployed):
+        _, dataplane, _ = deployed
+        for i in range(32):
+            result = dataplane.process(self._packet(i))
+            dip = result.packet.get_field("hdr.ipv4.dst")
+            assert dip == 0x0A00B000 + result.egress_port
+
+    def test_per_flow_consistency(self, deployed):
+        _, dataplane, _ = deployed
+        first = dataplane.process(self._packet(7)).egress_port
+        for _ in range(5):
+            assert dataplane.process(self._packet(7)).egress_port == first
+
+    def test_non_matching_dst_untouched(self, deployed):
+        _, dataplane, _ = deployed
+        result = dataplane.process(make_udp(1, 0x0B000001, 5, 80))
+        assert result.packet.get_field("hdr.ipv4.dst") == 0x0B000001
+
+
+class TestHeavyHitter:
+    THRESHOLD = 8
+
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        source = PROGRAMS["hh"].source.replace("1024", str(self.THRESHOLD))
+        ctl.deploy(source)
+        return ctl, dataplane
+
+    def _flow_packet(self, flow=0):
+        return make_udp(IN_NET | (flow + 1), 0x0B000001, 4000 + flow, 80)
+
+    def test_reports_after_threshold(self, deployed):
+        _, dataplane = deployed
+        verdicts = [
+            dataplane.process(self._flow_packet()).verdict
+            for _ in range(self.THRESHOLD + 2)
+        ]
+        assert Verdict.TO_CPU in verdicts
+        first_report = verdicts.index(Verdict.TO_CPU)
+        assert first_report + 1 >= self.THRESHOLD
+
+    def test_reports_exactly_once_per_flow(self, deployed):
+        """The Bloom filter suppresses duplicate reports (Fig. 17)."""
+        _, dataplane = deployed
+        verdicts = [
+            dataplane.process(self._flow_packet()).verdict
+            for _ in range(self.THRESHOLD * 4)
+        ]
+        assert verdicts.count(Verdict.TO_CPU) == 1
+
+    def test_light_flows_never_reported(self, deployed):
+        _, dataplane = deployed
+        for flow in range(1, 30):
+            for _ in range(self.THRESHOLD - 2):
+                result = dataplane.process(self._flow_packet(flow))
+                assert result.verdict is not Verdict.TO_CPU
+
+    def test_hh_packets_recirculate(self, deployed):
+        _, dataplane = deployed
+        result = dataplane.process(self._flow_packet())
+        assert result.recirculations == 1
+
+
+class TestNetCache:
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        source = (
+            PROGRAMS["nc"]
+            .source.replace("LOADI(har, 128);", "LOADI(har, 4);")
+            .replace("case(<har, 128, 0xffffffff>)", "case(<har, 4, 0xffffffff>)")
+        )
+        ctl.deploy(source)
+        return ctl, dataplane
+
+    def test_cache_hit_read(self, deployed):
+        _, dataplane = deployed
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=5))
+        result = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert result.verdict is Verdict.REFLECT
+        assert result.packet.get_field("hdr.nc.val") == 5
+
+    def test_miss_forwarded(self, deployed):
+        _, dataplane = deployed
+        result = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x42))
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_port == 32
+
+    def test_hot_missed_key_reported(self, deployed):
+        _, dataplane = deployed
+        verdicts = [
+            dataplane.process(make_cache(3, 4, op=NC_READ, key=0x4242)).verdict
+            for _ in range(8)
+        ]
+        assert Verdict.TO_CPU in verdicts
+
+
+class TestDQAcc:
+    def test_aggregation_accumulates(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["dqacc"].source)
+        totals = []
+        for value in (5, 7, 11):
+            pkt = make_cache(1, 2, op=3, key=0x77, value=value)
+            result = dataplane.process(pkt)
+            assert result.verdict is Verdict.FORWARD
+            totals.append(result.packet.get_field("hdr.nc.val"))
+        assert totals == [5, 12, 23]
+
+    def test_distinct_groups_isolated(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["dqacc"].source)
+        a = dataplane.process(make_cache(1, 2, op=3, key=0x100, value=9))
+        b = dataplane.process(make_cache(1, 2, op=3, key=0x95, value=4))
+        assert a.packet.get_field("hdr.nc.val") == 9
+        assert b.packet.get_field("hdr.nc.val") == 4
+
+
+class TestFirewall:
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["firewall"].source)
+        return ctl, dataplane
+
+    def test_outbound_forwarded_upstream(self, deployed):
+        _, dataplane = deployed
+        result = dataplane.process(make_tcp(IN_NET | 5, 0x0B000001, 1000, 80))
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_port == 1
+
+    def test_inbound_to_initiator_admitted(self, deployed):
+        _, dataplane = deployed
+        dataplane.process(make_tcp(IN_NET | 5, 0x0B000001, 1000, 80))
+        back = dataplane.process(make_tcp(0x0B000001, IN_NET | 5, 80, 1000))
+        assert back.verdict is Verdict.FORWARD
+        assert back.egress_port == 0
+
+    def test_unsolicited_inbound_dropped(self, deployed):
+        _, dataplane = deployed
+        result = dataplane.process(make_tcp(0x0B000001, IN_NET | 77, 80, 1000))
+        assert result.verdict is Verdict.DROP
+
+
+class TestForwardingPrograms:
+    def test_l2fwd(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["l2fwd"].source)
+        assert dataplane.process(make_l2(dst=1)).egress_port == 1
+        assert dataplane.process(make_l2(dst=2)).egress_port == 2
+        assert dataplane.process(make_l2(dst=77)).egress_port == 0
+
+    def test_l3route(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["l3route"].source)
+        assert dataplane.process(make_udp(1, 0x0A000009, 5, 6)).egress_port == 1
+        assert dataplane.process(make_udp(1, 0x0A010009, 5, 6)).egress_port == 2
+        assert dataplane.process(make_udp(1, 0x0B000009, 5, 6)).egress_port == 0
+
+    def test_tunnel(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["tunnel"].source)
+
+        def tun_packet(label):
+            pkt = make_l2()
+            pkt.headers["eth"]["etype"] = 0x88F7
+            pkt.headers["tun"] = {"id": label}
+            return pkt
+
+        assert dataplane.process(tun_packet(100)).egress_port == 1
+        assert dataplane.process(tun_packet(200)).egress_port == 2
+        assert dataplane.process(tun_packet(300)).egress_port == 0
+
+
+class TestCalculator:
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["calc"].source)
+        return dataplane
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (1, 7, 9, 16),  # ADD
+            (2, 10, 3, 7),  # SUB
+            (2, 3, 10, (3 - 10) & 0xFFFFFFFF),  # SUB wraps
+            (3, 0b1100, 0b1010, 0b1000),  # AND
+            (4, 0b1100, 0b1010, 0b1110),  # OR
+            (5, 0b1100, 0b1010, 0b0110),  # XOR
+        ],
+    )
+    def test_operations(self, deployed, op, a, b, expected):
+        result = deployed.process(make_calc(1, 2, op=op, a=a, b=b))
+        assert result.verdict is Verdict.REFLECT
+        assert result.packet.get_field("hdr.calc.result") == expected
+
+    def test_unknown_opcode_dropped(self, deployed):
+        result = deployed.process(make_calc(1, 2, op=9, a=1, b=1))
+        assert result.verdict is Verdict.DROP
+
+
+class TestECN:
+    @pytest.fixture
+    def deployed(self, env):
+        ctl, dataplane = env
+        ctl.deploy(PROGRAMS["ecn"].source)
+        return dataplane
+
+    def _ect_packet(self, depth):
+        pkt = make_udp(1, 2, 3, 4)
+        pkt.set_field("hdr.ipv4.ecn", 1)
+        pkt.queue_depth = depth
+        return pkt
+
+    def test_shallow_queue_not_marked(self, deployed):
+        result = deployed.process(self._ect_packet(10))
+        assert result.packet.get_field("hdr.ipv4.ecn") == 1
+
+    def test_deep_queue_marked_ce(self, deployed):
+        result = deployed.process(self._ect_packet(5000))
+        assert result.packet.get_field("hdr.ipv4.ecn") == 3
+
+    def test_non_ect_ignored(self, deployed):
+        pkt = make_udp(1, 2, 3, 4)
+        pkt.queue_depth = 5000
+        result = deployed.process(pkt)
+        assert result.packet.get_field("hdr.ipv4.ecn") == 0
+
+
+class TestSketches:
+    """CMS / BF / SuMax validated end to end through the control plane's
+    address translation: recompute the data plane's bucket with the same
+    CRC and read it back via the raw memory API."""
+
+    def _bucket(self, packet, algorithm, mask=255):
+        return HashUnit(algorithm).hash_five_tuple(packet.five_tuple()) & mask
+
+    def test_cms_counts(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["cms"].source)
+        pkt = make_udp(1, 2, 3, 4)
+        for _ in range(5):
+            dataplane.process(pkt.clone())
+        row1 = self._bucket(pkt, "crc_16_buypass")
+        row2 = self._bucket(pkt, "crc_16_mcrf4xx")
+        assert ctl.read_memory(handle, "cms_row1", row1) == 5
+        assert ctl.read_memory(handle, "cms_row2", row2) == 5
+
+    def test_bf_membership(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["bf"].source)
+        pkt = make_udp(9, 8, 7, 6)
+        dataplane.process(pkt.clone())
+        row1 = self._bucket(pkt, "crc_16_buypass")
+        row2 = self._bucket(pkt, "crc_16_mcrf4xx")
+        assert ctl.read_memory(handle, "bf_row1", row1) == 1
+        assert ctl.read_memory(handle, "bf_row2", row2) == 1
+
+    def test_sumax_tracks_maximum(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["sumax"].source)
+        for size in (100, 900, 300):
+            dataplane.process(make_udp(5, 6, 7, 8, size=size))
+        pkt = make_udp(5, 6, 7, 8)
+        row1 = self._bucket(pkt, "crc_16_buypass")
+        stored = ctl.read_memory(handle, "sumax_row1", row1)
+        assert stored == 900 - 14  # ipv4.len excludes the Ethernet header
+
+    def test_hll_registers_populate(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["hll"].source)
+        for i in range(200):
+            dataplane.process(make_udp(i + 1, 2, 3, 4))
+        registers = [ctl.read_memory(handle, "hll_regs", i) for i in range(64)]
+        assert any(r > 0 for r in registers)
+        assert all(r <= 11 for r in registers)
+        assert ctl.read_memory(handle, "hll_sum", 0) > 0
+
+
+class TestIsolation:
+    def test_fifteen_programs_coexist(self, env):
+        """Deploy all 15 programs at once.
+
+        Traffic ownership follows the init table's first-match order (the
+        operator's responsibility when filters overlap), but resource
+        isolation must hold for all 15, and programs whose filters stay
+        reachable must keep their exact behaviour.
+        """
+        ctl, dataplane = env
+        for name, info in PROGRAMS.items():
+            ctl.deploy(info.source)
+        assert len(ctl.running_programs()) == 15
+        # cache owns UDP:7777 (deployed before nc) and still answers.
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=3))
+        rd = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert rd.packet.get_field("hdr.nc.val") == 3
+        # l2fwd owns non-IP Ethernet (firewall's filter needs IPv4).
+        assert dataplane.process(make_l2(dst=2)).egress_port == 2
+
+    def test_deploy_revoke_interleaving_preserves_others(self, env):
+        ctl, dataplane = env
+        cache = ctl.deploy(PROGRAMS["cache"].source)
+        calc = ctl.deploy(PROGRAMS["calc"].source)
+        dataplane.process(make_cache(1, 2, op=NC_WRITE, key=0x8888, value=9))
+        ctl.revoke(calc)
+        rd = dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        assert rd.verdict is Verdict.REFLECT
+        assert rd.packet.get_field("hdr.nc.val") == 9
+        ctl.revoke(cache)
+        again = ctl.deploy(PROGRAMS["calc"].source)
+        result = dataplane.process(make_calc(1, 2, op=1, a=2, b=3))
+        assert result.packet.get_field("hdr.calc.result") == 5

@@ -1,0 +1,109 @@
+"""Library metadata + compilation tests for the 15 Table-1 programs."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.programs import (
+    ALL_PROGRAM_NAMES,
+    PROGRAMS,
+    get,
+    source_loc,
+    source_with_memory,
+)
+
+
+class TestRegistry:
+    def test_fifteen_programs(self):
+        assert len(PROGRAMS) == 15
+
+    def test_expected_names(self):
+        assert set(ALL_PROGRAM_NAMES) == {
+            "cache",
+            "lb",
+            "hh",
+            "nc",
+            "dqacc",
+            "firewall",
+            "l2fwd",
+            "l3route",
+            "tunnel",
+            "calc",
+            "ecn",
+            "cms",
+            "bf",
+            "sumax",
+            "hll",
+        }
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="unknown program"):
+            get("nonesuch")
+
+    def test_paper_metadata_present(self):
+        for info in PROGRAMS.values():
+            assert info.paper_runpro_loc > 0
+            assert info.paper_p4_loc > info.paper_runpro_loc * 0  # present
+            assert info.paper_update_ms > 0
+
+    def test_prior_work_annotations(self):
+        assert PROGRAMS["cache"].prior_system == "ActiveRMT"
+        assert PROGRAMS["cms"].prior_system == "FlyMon"
+        assert PROGRAMS["nc"].prior_system is None
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAM_NAMES))
+    def test_compiles(self, name):
+        compiled = compile_source(PROGRAMS[name].source)
+        assert compiled.name == name
+        assert compiled.problem.num_depths >= 1
+
+    def test_exactly_two_programs_recirculate(self):
+        """Paper §6.3: 13 of 15 run without recirculation."""
+        recirculating = {
+            name
+            for name in ALL_PROGRAM_NAMES
+            if compile_source(PROGRAMS[name].source).allocation.max_iteration > 0
+        }
+        assert recirculating == {"hh", "nc"}
+
+    def test_hll_has_most_entries(self):
+        """HLL's inelastic case blocks dominate (Table 1's worst update)."""
+        entries = {
+            name: compile_source(PROGRAMS[name].source).problem.entries_total()
+            for name in ALL_PROGRAM_NAMES
+        }
+        assert max(entries, key=entries.get) == "hll"
+
+    def test_loc_within_factor_of_paper(self):
+        """Our sources track the paper's P4runpro LoC within ~2x."""
+        for info in PROGRAMS.values():
+            ours = source_loc(info.source)
+            assert ours <= info.paper_runpro_loc * 2
+            assert ours >= info.paper_runpro_loc / 2.5
+
+    def test_runpro_loc_below_p4_loc(self):
+        """The expressiveness claim: P4runpro programs are shorter than
+        their conventional-P4 control blocks (Table 1)."""
+        for info in PROGRAMS.values():
+            assert source_loc(info.source) < info.paper_p4_loc
+
+
+class TestMemoryRewrite:
+    def test_rewrite_changes_all_decls(self):
+        source = source_with_memory("hh", 1024)
+        compiled = compile_source(source)
+        assert all(size == 1024 for size in compiled.problem.memory_sizes.values())
+
+    def test_rewrite_preserves_program(self):
+        source = source_with_memory("cache", 512)
+        compiled = compile_source(source)
+        assert compiled.name == "cache"
+        assert compiled.problem.memory_sizes == {"mem1": 512}
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            source_with_memory("cache", 300)
+
+    def test_program_without_memory_unchanged(self):
+        assert source_with_memory("l2fwd", 1024) == PROGRAMS["l2fwd"].source

@@ -1,0 +1,159 @@
+"""Model-based stateful testing of the control plane.
+
+A hypothesis rule-based state machine drives random interleavings of
+deploy / revoke / add-case / remove-case / memory writes against the real
+simulator, checking global invariants after every step:
+
+* the data plane's installed entries exactly equal the sum of every live
+  program's batch plus its live dynamic cases;
+* memory reservations equal the sum of live programs' blocks, and free
+  lists conserve capacity;
+* every live cache program still answers its built-in key correctly
+  (state is never corrupted by unrelated operations);
+* after revoking everything, the switch is pristine.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.controlplane import Controller
+from repro.lang.errors import AllocationError, P4runproError
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache
+from repro.rmt.pipeline import Verdict
+
+DEPLOYABLE = ("cache", "lb", "cms", "bf", "l3route", "calc")
+
+
+class ControlPlaneMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.controller, self.dataplane = Controller.with_simulator()
+        self.live = {}  # program_id -> name
+        self.cases = {}  # program_id -> list of case handles
+        self.cache_values = {}  # program_id -> expected value at 0x8888
+
+    # -- operations ----------------------------------------------------------
+    @rule(name=st.sampled_from(DEPLOYABLE))
+    def deploy(self, name):
+        try:
+            handle = self.controller.deploy(PROGRAMS[name].source)
+        except (AllocationError, P4runproError):
+            return
+        self.live[handle.program_id] = name
+        self.cases[handle.program_id] = []
+
+    @rule(index=st.integers(0, 1000))
+    def revoke(self, index):
+        if not self.live:
+            return
+        program_id = sorted(self.live)[index % len(self.live)]
+        self.controller.revoke(program_id)
+        del self.live[program_id]
+        del self.cases[program_id]
+        self.cache_values.pop(program_id, None)
+
+    @rule(index=st.integers(0, 1000), key=st.integers(1, 0xFFFF), bucket=st.integers(0, 255))
+    def add_case(self, index, key, bucket):
+        caches = [pid for pid, name in self.live.items() if name == "cache"]
+        if not caches:
+            return
+        program_id = caches[index % len(caches)]
+        try:
+            handle = self.controller.add_case(
+                program_id,
+                [("har", 1, 0xFF), ("sar", 0, 0xFFFFFFFF), ("mar", key, 0xFFFFFFFF)],
+                template_case=0,
+                loadi_values=[bucket],
+            )
+        except P4runproError:
+            return
+        self.cases[program_id].append(handle)
+
+    @rule(index=st.integers(0, 1000))
+    def remove_case(self, index):
+        populated = [pid for pid, handles in self.cases.items() if handles]
+        if not populated:
+            return
+        program_id = populated[index % len(populated)]
+        handle = self.cases[program_id].pop()
+        self.controller.remove_case(program_id, handle)
+
+    @rule(index=st.integers(0, 1000), value=st.integers(1, 0xFFFF))
+    def write_cache_value(self, index, value):
+        caches = [pid for pid, name in self.live.items() if name == "cache"]
+        if not caches:
+            return
+        program_id = caches[index % len(caches)]
+        self.controller.write_memory(program_id, "mem1", 128, value)
+        self.cache_values[program_id] = value
+
+    # -- invariants --------------------------------------------------------------
+    @invariant()
+    def entries_balance(self):
+        if not hasattr(self, "controller"):
+            return
+        expected = 0
+        for record in self.controller.manager.programs():
+            expected += len(record.installed_handles)
+        for handles in self.cases.values():
+            for case in handles:
+                expected += len(case.body_entries) + 1
+        installed = sum(t.occupancy for t in self.dataplane.tables.values())
+        assert installed == expected, (installed, expected)
+
+    @invariant()
+    def memory_conserved(self):
+        if not hasattr(self, "controller"):
+            return
+        for freelist in self.controller.manager._freelists.values():
+            assert freelist.free_total() + freelist.allocated_total() == freelist.capacity
+
+    @invariant()
+    def owning_cache_still_answers(self):
+        """Whichever live program the init table hands cache traffic to
+        (first match — possibly a catch-all like cms), if it is a cache it
+        must answer with exactly its stored value."""
+        if not hasattr(self, "controller"):
+            return
+        if not any(name == "cache" for name in self.live.values()):
+            return
+        before = {
+            pid: self.controller.program_stats(pid)["matched_packets"]
+            for pid in self.live
+        }
+        result = self.dataplane.process(make_cache(1, 2, op=NC_READ, key=0x8888))
+        owners = [
+            pid
+            for pid in self.live
+            if self.controller.program_stats(pid)["matched_packets"] == before[pid] + 1
+        ]
+        assert len(owners) <= 1
+        if not owners or self.live[owners[0]] != "cache":
+            return  # a non-cache program owns UDP:7777 right now
+        expected = self.cache_values.get(owners[0], 0)
+        assert result.verdict is Verdict.REFLECT
+        assert result.packet.get_field("hdr.nc.val") == expected
+
+    def teardown(self):
+        if not hasattr(self, "controller"):
+            return
+        for program_id in list(self.live):
+            self.controller.revoke(program_id)
+        for table in self.dataplane.tables.values():
+            assert table.occupancy == 0
+        assert self.controller.manager.memory_utilization() == 0.0
+        assert self.controller.manager.entry_utilization() == 0.0
+
+
+ControlPlaneMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestControlPlaneStateMachine = ControlPlaneMachine.TestCase

@@ -1,0 +1,90 @@
+"""Fuzzing the language front end: arbitrary input must fail *cleanly*.
+
+Whatever bytes arrive, the toolchain may only raise its own typed errors
+(LexError / ParseError / SemanticError) — never IndexError, KeyError,
+RecursionError, or the like.  Runtime-CLI robustness rides on this.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.diagnostics import check_source
+from repro.lang.errors import P4runproError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_source
+from repro.lang.semantics import check_unit
+
+printable_text = st.text(alphabet=string.printable, max_size=300)
+
+token_soup = st.lists(
+    st.sampled_from(
+        [
+            "program", "case", "BRANCH", "DROP;", "LOADI", "har", "sar",
+            "mar", "@", "(", ")", "{", "}", "<", ">", ",", ";", ":", "0x10",
+            "42", "10.0.0.0", "hdr.ipv4.src", "meta.queue_depth", "mem1",
+            "EXTRACT", "MEMADD", "FORWARD", "//x\n", "/*y*/",
+        ]
+    ),
+    max_size=40,
+).map(" ".join)
+
+
+class TestLexerRobustness:
+    @given(printable_text)
+    @settings(max_examples=200)
+    def test_tokenize_raises_only_typed_errors(self, text):
+        try:
+            tokens = tokenize(text)
+        except P4runproError:
+            return
+        assert tokens[-1].value == ""  # EOF terminated
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=50)
+    def test_binary_garbage(self, blob):
+        try:
+            tokenize(blob.decode("latin-1"))
+        except P4runproError:
+            pass
+
+
+class TestParserRobustness:
+    @given(printable_text)
+    @settings(max_examples=200)
+    def test_parse_raises_only_typed_errors(self, text):
+        try:
+            unit = parse_source(text)
+        except P4runproError:
+            return
+        assert unit.programs  # grammatical input yields programs
+
+    @given(token_soup)
+    @settings(max_examples=300)
+    def test_token_soup(self, text):
+        try:
+            unit = parse_source(text)
+            check_unit(unit)
+        except P4runproError:
+            pass
+
+    @given(token_soup)
+    @settings(max_examples=100)
+    def test_diagnostics_never_crash(self, text):
+        diagnostics = check_source(text)
+        assert isinstance(diagnostics, list)
+
+
+class TestDeepNesting:
+    def test_deeply_nested_branches_parse(self):
+        depth = 60
+        body = "DROP;"
+        for _ in range(depth):
+            body = f"BRANCH: case(<har, 1, 0xff>) {{ {body} }}"
+        unit = parse_source(f"program p(<hdr.ipv4.ttl, 0, 0x0>) {{ {body} }}")
+        check_unit(unit)
+
+    def test_long_statement_list(self):
+        body = "LOADI(har, 1);" * 2000
+        unit = parse_source(f"program p(<hdr.ipv4.ttl, 0, 0x0>) {{ {body} }}")
+        assert len(unit.programs[0].body) == 2000

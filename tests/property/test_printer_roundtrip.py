@@ -1,0 +1,55 @@
+"""Property: parse -> print -> parse is the identity on random programs,
+and the whole toolchain (check, compile, P4 emission) accepts the printed
+form identically."""
+
+from hypothesis import given, settings
+
+from repro.compiler import compile_source
+from repro.compiler.p4gen import check_structure, emit_p4
+from repro.lang.parser import parse_source
+from repro.lang.printer import format_unit
+from repro.lang.semantics import check_unit
+
+from .strategies import programs
+from ..lang.test_printer import unit_equal
+
+
+class TestPrinterRoundTrip:
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_identity(self, source):
+        unit = parse_source(source)
+        check_unit(unit)
+        printed = format_unit(unit)
+        reparsed = parse_source(printed)
+        assert unit_equal(unit, reparsed), printed
+
+    @given(programs(max_stmts=3))
+    @settings(max_examples=30, deadline=None)
+    def test_printed_form_compiles_identically(self, source):
+        """The printed form must compile to the same result — including
+        identical *infeasibility* (e.g. three sequential accesses to one
+        memory need R=2 and are rightly rejected at the default R=1)."""
+        from repro.lang.errors import AllocationError
+
+        def outcome(text):
+            try:
+                compiled = compile_source(text)
+            except AllocationError:
+                return ("infeasible",)
+            return (
+                compiled.problem.num_depths,
+                compiled.problem.te_req,
+                compiled.allocation.x,
+            )
+
+        printed = format_unit(parse_source(source))
+        assert outcome(printed) == outcome(source)
+
+    @given(programs(max_stmts=3))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_p4_always_well_formed(self, source):
+        unit = parse_source(source)
+        check_unit(unit)
+        text = emit_p4(unit, unit.programs[0])
+        assert check_structure(text) == []

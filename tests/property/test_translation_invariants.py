@@ -1,0 +1,142 @@
+"""Property tests over the compiler's translation invariants, driven by
+randomly generated (valid) P4runpro programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.allocation import build_problem
+from repro.compiler.translate import translate
+from repro.lang.parser import parse_source
+from repro.lang.primitives import MEMORY_PRIMITIVES, PSEUDO_PRIMITIVES
+from repro.lang.semantics import check_unit
+
+_SIMPLE = [
+    "LOADI(har, {i});",
+    "LOADI(sar, {i});",
+    "LOADI(mar, {i});",
+    "ADD(har, sar);",
+    "XOR(sar, mar);",
+    "MIN(har, sar);",
+    "MOVE(har, mar);",
+    "ADDI(sar, {i});",
+    "SUBI(har, {i});",
+    "NOT(mar);",
+    "EXTRACT(hdr.ipv4.src, har);",
+    "MODIFY(hdr.ipv4.ttl, sar);",
+    "HASH_5_TUPLE;",
+    "DROP;",
+    "RETURN;",
+]
+_MEMORY = [
+    "HASH_5_TUPLE_MEM(m{j});",
+    "MEMADD(m{j});",
+    "MEMREAD(m{j});",
+    "MEMWRITE(m{j});",
+    "MEMOR(m{j});",
+]
+
+
+@st.composite
+def programs(draw):
+    """Random valid programs: a prefix, a BRANCH with 1-3 cases, a suffix."""
+    num_mems = draw(st.integers(1, 3))
+    decls = "".join(f"@ m{j} 64\n" for j in range(num_mems))
+
+    def stmts(depth_budget):
+        count = draw(st.integers(0, depth_budget))
+        out = []
+        for _ in range(count):
+            if draw(st.booleans()):
+                template = draw(st.sampled_from(_SIMPLE))
+            else:
+                template = draw(st.sampled_from(_MEMORY))
+            out.append(
+                template.format(i=draw(st.integers(0, 1000)), j=draw(st.integers(0, num_mems - 1)))
+            )
+        return out
+
+    prefix = stmts(3)
+    cases = []
+    for index in range(draw(st.integers(1, 3))):
+        body = stmts(3) or ["DROP;"]
+        cases.append(
+            f"case(<har, {index}, 0xff>) {{ {' '.join(body)} }}"
+        )
+    suffix = stmts(2)
+    body = " ".join(prefix) + " BRANCH: " + " ".join(cases) + " " + " ".join(suffix)
+    return f"{decls}program p(<hdr.ipv4.ttl, 0, 0x0>) {{ {body} }}"
+
+
+class TestTranslationInvariants:
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold(self, source):
+        unit = parse_source(source)
+        check_unit(unit)
+        result = translate(unit.programs[0])
+        ir = result.ir
+
+        # 1. No pseudo primitives survive expansion.
+        for op in ir.walk_ops():
+            assert op.name not in PSEUDO_PRIMITIVES
+
+        # 2. Depths contiguous from 1 along every path; strictly +1 steps.
+        for path in ir.walk_paths():
+            for first, second in zip(path.ops, path.ops[1:]):
+                if not first.is_branch:
+                    assert second.depth == first.depth + 1
+
+        # 3. Every memory primitive is immediately preceded by its OFFSET.
+        for path in ir.walk_paths():
+            for i, op in enumerate(path.ops):
+                if op.name in MEMORY_PRIMITIVES:
+                    assert i > 0
+                    prev = path.ops[i - 1]
+                    assert prev.name == "OFFSET"
+                    assert prev.memory_id() == op.memory_id()
+
+        # 4. The aligner's contract: every parallel component it processes
+        #    (connected, dominance-free) shares one depth — unless
+        #    cross-ordered accesses forced the unaligned fallback.
+        #    Components contaminated by an internal sequential pair are
+        #    intentionally skipped; the allocator still pins every access
+        #    of a memory to one physical RPB (checked in 6).
+        from repro.compiler.translate import _dominance_index, _parallel_components
+
+        dominators = _dominance_index(ir)
+        by_mid = {}
+        for op in ir.walk_ops():
+            if op.name in MEMORY_PRIMITIVES:
+                by_mid.setdefault(op.memory_id(), []).append(op)
+        if result.aligned:
+            for ops in by_mid.values():
+                for component in _parallel_components(ops, dominators):
+                    assert len({op.depth for op in component}) == 1
+
+        # 5. The allocation problem is internally consistent.
+        prob = build_problem(unit, result)
+        assert prob.num_depths == ir.max_depth()
+        assert set(prob.te_req) == set(range(1, prob.num_depths + 1))
+        for mid, depths in prob.memory_depths.items():
+            assert mid in prob.memory_sizes
+            assert all(1 <= d <= prob.num_depths for d in depths)
+        for i, j in prob.sequential_pairs:
+            assert i < j
+
+        # 6. End to end: when an allocation exists, every access to one
+        #    virtual memory lands on a single physical RPB (the hardware
+        #    cannot reach a register array from two stages).
+        from repro.compiler.objectives import f1
+        from repro.compiler.solver import AllocationSolver
+        from repro.compiler.target import TargetSpec, UnlimitedResources
+        from repro.lang.errors import AllocationError
+
+        spec = TargetSpec()
+        solver = AllocationSolver(spec, UnlimitedResources(spec))
+        try:
+            allocation = solver.solve(prob, f1())
+        except AllocationError:
+            return
+        for mid, depths in prob.memory_depths.items():
+            physical = {spec.physical_rpb(allocation.x[d - 1]) for d in depths}
+            assert len(physical) == 1
+            assert physical == {allocation.memory_placement[mid]}

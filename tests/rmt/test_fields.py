@@ -1,0 +1,80 @@
+"""Field registry tests."""
+
+import pytest
+
+from repro.rmt import fields
+
+
+class TestLookup:
+    def test_known_header_field(self):
+        spec = fields.lookup("hdr.ipv4.dst")
+        assert spec.width == 32
+        assert spec.max_value == 0xFFFFFFFF
+        assert spec.header == "ipv4"
+
+    def test_known_metadata_field(self):
+        spec = fields.lookup("meta.ingress_port")
+        assert spec.width == 9
+        assert spec.header is None
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(fields.UnknownFieldError):
+            fields.lookup("hdr.bogus.field")
+
+    def test_alias_resolves_to_canonical(self):
+        assert fields.lookup("hdr.nc.value") is fields.lookup("hdr.nc.val")
+
+    def test_canonical_name_identity_for_non_alias(self):
+        assert fields.canonical_name("hdr.ipv4.src") == "hdr.ipv4.src"
+
+    def test_is_known(self):
+        assert fields.is_known("hdr.udp.dst_port")
+        assert fields.is_known("hdr.nc.value")  # via alias
+        assert not fields.is_known("hdr.udp.nonexistent")
+
+
+class TestWidths:
+    @pytest.mark.parametrize(
+        "name,width",
+        [
+            ("hdr.eth.dst", 48),
+            ("hdr.eth.etype", 16),
+            ("hdr.ipv4.ecn", 2),
+            ("hdr.ipv4.proto", 8),
+            ("hdr.tcp.seq", 32),
+            ("hdr.udp.dst_port", 16),
+            ("hdr.nc.op", 8),
+            ("hdr.nc.key1", 32),
+            ("hdr.calc.result", 32),
+            ("meta.queue_depth", 19),
+        ],
+    )
+    def test_field_width(self, name, width):
+        assert fields.lookup(name).width == width
+
+    def test_header_size_bytes(self):
+        assert fields.header_size_bytes("eth") == 14
+        assert fields.header_size_bytes("ipv4") == 20
+        assert fields.header_size_bytes("udp") == 6
+
+    def test_all_fields_returns_copy(self):
+        registry = fields.all_fields()
+        registry["hdr.fake.x"] = None
+        assert not fields.is_known("hdr.fake.x")
+
+
+class TestRegisterHeader:
+    def test_register_new_header(self):
+        fields.register_header("testhdr", {"a": 8, "b": 16})
+        assert fields.lookup("hdr.testhdr.a").width == 8
+        assert fields.lookup("hdr.testhdr.b").width == 16
+
+    def test_reregister_same_layout_is_noop(self):
+        fields.register_header("testhdr2", {"x": 4})
+        fields.register_header("testhdr2", {"x": 4})
+        assert fields.lookup("hdr.testhdr2.x").width == 4
+
+    def test_reregister_different_layout_rejected(self):
+        fields.register_header("testhdr3", {"x": 4})
+        with pytest.raises(ValueError):
+            fields.register_header("testhdr3", {"x": 8})

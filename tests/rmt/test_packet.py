@@ -1,0 +1,98 @@
+"""Packet model tests."""
+
+import pytest
+
+from repro.rmt import packet as pkt
+
+
+class TestConstructors:
+    def test_l2_packet_has_eth_only(self):
+        p = pkt.make_l2()
+        assert p.has("eth")
+        assert not p.has("ipv4")
+
+    def test_ipv4_packet_sets_etype(self):
+        p = pkt.make_ipv4(0x0A000001, 0x0A000002)
+        assert p.headers["eth"]["etype"] == pkt.ETYPE_IPV4
+        assert p.get_field("hdr.ipv4.src") == 0x0A000001
+
+    def test_tcp_packet(self):
+        p = pkt.make_tcp(1, 2, 1000, 80)
+        assert p.get_field("hdr.ipv4.proto") == pkt.PROTO_TCP
+        assert p.get_field("hdr.tcp.dst_port") == 80
+
+    def test_udp_packet(self):
+        p = pkt.make_udp(1, 2, 1000, 53)
+        assert p.get_field("hdr.ipv4.proto") == pkt.PROTO_UDP
+        assert p.get_field("hdr.udp.dst_port") == 53
+
+    def test_cache_packet_key_split(self):
+        p = pkt.make_cache(1, 2, op=pkt.NC_READ, key=0x1234_5678_9ABC_DEF0)
+        assert p.get_field("hdr.nc.key1") == 0x12345678
+        assert p.get_field("hdr.nc.key2") == 0x9ABCDEF0
+        assert p.get_field("hdr.nc.op") == pkt.NC_READ
+
+    def test_cache_packet_default_port(self):
+        p = pkt.make_cache(1, 2, op=1, key=5)
+        assert p.get_field("hdr.udp.dst_port") == 7777
+
+    def test_calc_packet(self):
+        p = pkt.make_calc(1, 2, op=3, a=7, b=9)
+        assert p.get_field("hdr.calc.op") == 3
+        assert p.get_field("hdr.calc.a") == 7
+        assert p.get_field("hdr.calc.b") == 9
+
+
+class TestFieldAccess:
+    def test_set_field_masks_to_width(self):
+        p = pkt.make_ipv4(1, 2)
+        p.set_field("hdr.ipv4.ttl", 0x1FF)  # 8-bit field
+        assert p.get_field("hdr.ipv4.ttl") == 0xFF
+
+    def test_get_missing_field_raises(self):
+        p = pkt.make_l2()
+        with pytest.raises(KeyError):
+            p.get_field("hdr.ipv4.src")
+
+    def test_set_missing_header_raises(self):
+        p = pkt.make_l2()
+        with pytest.raises(KeyError):
+            p.set_field("hdr.ipv4.src", 1)
+
+    def test_alias_field_access(self):
+        p = pkt.make_cache(1, 2, op=1, key=5, value=99)
+        assert p.get_field("hdr.nc.value") == 99
+        p.set_field("hdr.nc.value", 100)
+        assert p.get_field("hdr.nc.val") == 100
+
+
+class TestFiveTuple:
+    def test_udp_five_tuple(self):
+        p = pkt.make_udp(10, 20, 1000, 2000)
+        assert p.five_tuple() == (10, 20, pkt.PROTO_UDP, 1000, 2000)
+
+    def test_tcp_five_tuple(self):
+        p = pkt.make_tcp(10, 20, 1000, 2000)
+        assert p.five_tuple() == (10, 20, pkt.PROTO_TCP, 1000, 2000)
+
+    def test_l2_five_tuple_zeros(self):
+        assert pkt.make_l2().five_tuple() == (0, 0, 0, 0, 0)
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        p = pkt.make_udp(1, 2, 3, 4)
+        q = p.clone()
+        q.set_field("hdr.ipv4.src", 999)
+        assert p.get_field("hdr.ipv4.src") == 1
+
+    def test_clone_preserves_metadata(self):
+        p = pkt.make_udp(1, 2, 3, 4, size=200)
+        p.ts = 1.5
+        p.ingress_port = 7
+        q = p.clone()
+        assert (q.size, q.ts, q.ingress_port) == (200, 1.5, 7)
+
+    def test_header_bytes(self):
+        p = pkt.make_udp(1, 2, 3, 4)
+        assert p.header_bytes() == 14 + 20 + 6

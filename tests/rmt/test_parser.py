@@ -1,0 +1,121 @@
+"""Parse-machine tests."""
+
+import pytest
+
+from repro.rmt.packet import make_cache, make_calc, make_ipv4, make_l2, make_tcp, make_udp
+from repro.rmt.parser import (
+    DEFAULT_BITMAP_BITS,
+    ParseMachine,
+    ParserFrozenError,
+    ParseState,
+    default_parse_machine,
+)
+from repro.rmt.phv import PHV, PHVLayout
+
+
+def parse(machine, packet):
+    layout = PHVLayout()
+    layout.declare("ud.parse_bitmap", 8)
+    phv = PHV(layout, packet)
+    return machine.parse(packet, phv), phv
+
+
+@pytest.fixture
+def machine():
+    return default_parse_machine()
+
+
+class TestDefaultMachine:
+    def test_l2_only_bitmap(self, machine):
+        bitmap, _ = parse(machine, make_l2())
+        assert bitmap == 1 << DEFAULT_BITMAP_BITS["eth"]
+
+    def test_ipv4_bitmap(self, machine):
+        bitmap, _ = parse(machine, make_ipv4(1, 2))
+        assert bitmap & (1 << DEFAULT_BITMAP_BITS["ipv4"])
+        assert not bitmap & (1 << DEFAULT_BITMAP_BITS["tcp"])
+
+    def test_tcp_bitmap(self, machine):
+        bitmap, _ = parse(machine, make_tcp(1, 2, 3, 4))
+        assert bitmap & (1 << DEFAULT_BITMAP_BITS["tcp"])
+        assert not bitmap & (1 << DEFAULT_BITMAP_BITS["udp"])
+
+    def test_udp_bitmap(self, machine):
+        bitmap, _ = parse(machine, make_udp(1, 2, 3, 4))
+        expected = (
+            (1 << DEFAULT_BITMAP_BITS["eth"])
+            | (1 << DEFAULT_BITMAP_BITS["ipv4"])
+            | (1 << DEFAULT_BITMAP_BITS["udp"])
+        )
+        assert bitmap == expected
+
+    def test_cache_packet_parses_nc(self, machine):
+        bitmap, phv = parse(machine, make_cache(1, 2, op=1, key=5))
+        assert bitmap & (1 << DEFAULT_BITMAP_BITS["nc"])
+        assert phv.has("hdr.nc.op")
+
+    def test_calc_packet_parses_calc(self, machine):
+        bitmap, phv = parse(machine, make_calc(1, 2, op=1, a=1, b=2))
+        assert bitmap & (1 << DEFAULT_BITMAP_BITS["calc"])
+
+    def test_udp_wrong_port_stops_before_nc(self, machine):
+        pkt = make_udp(1, 2, 3, 9999)
+        bitmap, phv = parse(machine, pkt)
+        assert not bitmap & (1 << DEFAULT_BITMAP_BITS["nc"])
+        assert not phv.has("hdr.nc.op")
+
+    def test_bitmap_stored_in_phv(self, machine):
+        bitmap, phv = parse(machine, make_udp(1, 2, 3, 4))
+        assert phv.get("ud.parse_bitmap") == bitmap
+
+    def test_headers_loaded_in_phv(self, machine):
+        _, phv = parse(machine, make_tcp(1, 2, 3, 4))
+        assert phv.get("hdr.tcp.dst_port") == 4
+        assert "tcp" in phv.valid_headers
+
+    def test_parsing_paths_enumeration(self, machine):
+        paths = machine.parsing_paths()
+        # Every concrete packet's bitmap must be a known path.
+        for packet in (
+            make_l2(),
+            make_ipv4(1, 2),
+            make_tcp(1, 2, 3, 4),
+            make_udp(1, 2, 3, 4),
+            make_cache(1, 2, op=1, key=1),
+            make_calc(1, 2, op=1, a=1, b=1),
+        ):
+            bitmap, _ = parse(default_parse_machine(), packet)
+            assert bitmap in paths
+
+
+class TestMachineMechanics:
+    def test_freeze_blocks_modification(self, machine):
+        machine.freeze()
+        with pytest.raises(ParserFrozenError):
+            machine.add_state(ParseState("late"))
+
+    def test_no_start_state_raises(self):
+        machine = ParseMachine()
+        with pytest.raises(RuntimeError):
+            parse(machine, make_l2())
+
+    def test_loop_detection(self):
+        machine = ParseMachine()
+        machine.add_state(
+            ParseState("a", header="eth", select="hdr.eth.etype", transitions={None: "a"}),
+            start=True,
+        )
+        with pytest.raises(RuntimeError, match="loop"):
+            parse(machine, make_l2())
+
+    def test_custom_machine_unknown_header_stops(self):
+        machine = ParseMachine()
+        machine.add_state(
+            ParseState(
+                "eth", header="eth", select="hdr.eth.etype", transitions={0x0800: "v4"}
+            ),
+            start=True,
+        )
+        machine.add_state(ParseState("v4", header="ipv4"))
+        bitmap, _ = parse(machine, make_l2())  # no ipv4 on the wire
+        assert bitmap == 1 << DEFAULT_BITMAP_BITS["eth"]

@@ -1,0 +1,110 @@
+"""PHV and layout tests."""
+
+import pytest
+
+from repro.rmt.packet import make_udp
+from repro.rmt.phv import PHV, PHVLayout, PHVOverflowError
+
+
+@pytest.fixture
+def layout():
+    lay = PHVLayout()
+    lay.declare("ud.flag", 1)
+    lay.declare("ud.word", 32)
+    return lay
+
+
+@pytest.fixture
+def phv(layout):
+    p = PHV(layout, make_udp(1, 2, 3, 4, size=100))
+    p.load_header("eth")
+    p.load_header("ipv4")
+    p.load_header("udp")
+    return p
+
+
+class TestLayout:
+    def test_declare_requires_ud_prefix(self, layout):
+        with pytest.raises(ValueError):
+            layout.declare("flag2", 1)
+
+    def test_redeclare_same_width_ok(self, layout):
+        layout.declare("ud.flag", 1)
+        assert layout.user_fields["ud.flag"] == 1
+
+    def test_redeclare_different_width_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.declare("ud.flag", 8)
+
+    def test_budget_enforced(self):
+        lay = PHVLayout(budget_bits=PHVLayout().header_bits() + 8)
+        lay.declare("ud.small", 8)
+        with pytest.raises(PHVOverflowError):
+            lay.declare("ud.big", 1)
+
+    def test_width_of_user_field(self, layout):
+        assert layout.width_of("ud.word") == 32
+
+    def test_width_of_header_field(self, layout):
+        assert layout.width_of("hdr.ipv4.ttl") == 8
+
+    def test_utilization_monotonic(self):
+        lay = PHVLayout()
+        before = lay.utilization()
+        lay.declare("ud.x", 32)
+        assert lay.utilization() > before
+
+
+class TestPHV:
+    def test_intrinsic_metadata_initialized(self, phv):
+        assert phv.get("meta.pkt_len") == 100
+        assert phv.get("meta.egress_port") == 0
+
+    def test_user_fields_start_zero(self, phv):
+        assert phv.get("ud.flag") == 0
+        assert phv.get("ud.word") == 0
+
+    def test_loaded_header_fields_visible(self, phv):
+        assert phv.get("hdr.udp.dst_port") == 4
+        assert phv.get("hdr.ipv4.src") == 1
+
+    def test_set_masks_to_width(self, phv):
+        phv.set("ud.flag", 0xFF)
+        assert phv.get("ud.flag") == 1
+
+    def test_set_header_field_masks(self, phv):
+        phv.set("hdr.ipv4.ttl", 0x1FF)
+        assert phv.get("hdr.ipv4.ttl") == 0xFF
+
+    def test_get_unloaded_header_raises(self, layout):
+        phv = PHV(layout, make_udp(1, 2, 3, 4))
+        with pytest.raises(KeyError):
+            phv.get("hdr.udp.dst_port")
+
+    def test_set_unparsed_header_field_raises(self, phv):
+        with pytest.raises(KeyError):
+            phv.set("hdr.tcp.seq", 1)
+
+    def test_has(self, phv):
+        assert phv.has("hdr.udp.dst_port")
+        assert not phv.has("hdr.tcp.seq")
+        assert phv.has("ud.flag")
+
+    def test_alias_access(self, layout):
+        from repro.rmt.packet import make_cache
+
+        phv = PHV(layout, make_cache(1, 2, op=1, key=5, value=77))
+        phv.load_header("nc")
+        assert phv.get("hdr.nc.value") == 77
+
+    def test_deparse_writes_back(self, phv):
+        phv.set("hdr.ipv4.ttl", 10)
+        packet = phv.deparse()
+        assert packet.get_field("hdr.ipv4.ttl") == 10
+
+    def test_deparse_ignores_unloaded_headers(self, layout):
+        packet = make_udp(1, 2, 3, 4)
+        phv = PHV(layout, packet)
+        phv.load_header("eth")
+        out = phv.deparse()
+        assert out.get_field("hdr.udp.dst_port") == 4  # untouched

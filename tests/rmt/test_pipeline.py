@@ -1,0 +1,185 @@
+"""Switch / traffic-manager / recirculation tests."""
+
+import pytest
+
+from repro.rmt.packet import make_udp
+from repro.rmt.parser import default_parse_machine
+from repro.rmt.phv import PHV
+from repro.rmt.pipeline import (
+    CPU_PORT,
+    RECIRC_PORT,
+    RecirculationLimitError,
+    Switch,
+    SwitchConfig,
+    Verdict,
+)
+from repro.rmt.stage import LogicalUnit
+
+
+class SetField(LogicalUnit):
+    """Test helper: set a PHV field when a predicate holds."""
+
+    def __init__(self, field, value, when=None):
+        self.field = field
+        self.value = value
+        self.when = when
+
+    def apply(self, phv, stage):
+        if self.when is None or self.when(phv):
+            phv.set(self.field, self.value)
+
+
+@pytest.fixture
+def switch():
+    return Switch(default_parse_machine())
+
+
+def run(switch, packet=None):
+    return switch.process_packet(packet or make_udp(1, 2, 3, 4))
+
+
+class TestForwardingVerdicts:
+    def test_default_forward_to_port_zero(self, switch):
+        result = run(switch)
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_port == 0
+
+    def test_forward_to_set_port(self, switch):
+        switch.ingress.stages[1].attach_unit(SetField("meta.egress_port", 7))
+        result = run(switch)
+        assert result.egress_port == 7
+
+    def test_drop(self, switch):
+        switch.ingress.stages[1].attach_unit(SetField("ud.drop_ctl", 1))
+        result = run(switch)
+        assert result.verdict is Verdict.DROP
+        assert result.egress_port is None
+        assert switch.tm.dropped == 1
+
+    def test_reflect_returns_to_ingress_port(self, switch):
+        switch.ingress.stages[1].attach_unit(SetField("ud.reflect", 1))
+        packet = make_udp(1, 2, 3, 4)
+        packet.ingress_port = 9
+        result = run(switch, packet)
+        assert result.verdict is Verdict.REFLECT
+        assert result.egress_port == 9
+
+    def test_to_cpu(self, switch):
+        switch.ingress.stages[1].attach_unit(SetField("ud.to_cpu", 1))
+        result = run(switch)
+        assert result.verdict is Verdict.TO_CPU
+        assert result.egress_port == CPU_PORT
+
+    def test_drop_beats_forward(self, switch):
+        switch.ingress.stages[1].attach_unit(SetField("meta.egress_port", 7))
+        switch.ingress.stages[2].attach_unit(SetField("ud.drop_ctl", 1))
+        assert run(switch).verdict is Verdict.DROP
+
+    def test_drop_skips_egress(self, switch):
+        seen = []
+
+        class Spy(LogicalUnit):
+            def apply(self, phv, stage):
+                seen.append(1)
+
+        switch.ingress.stages[1].attach_unit(SetField("ud.drop_ctl", 1))
+        switch.egress.stages[0].attach_unit(Spy())
+        run(switch)
+        assert not seen
+
+
+class TestRecirculation:
+    def _recirc_once(self, switch):
+        """Flag recirculation only on the first pass."""
+        switch.ingress.stages[11].attach_unit(
+            SetField("ud.recirc_flag", 1, when=lambda phv: phv.get("ud.recirc_count") == 0)
+        )
+
+    def test_single_recirculation(self, switch):
+        self._recirc_once(switch)
+        result = run(switch)
+        assert result.recirculations == 1
+        assert result.verdict is Verdict.FORWARD
+
+    def test_recirculated_packet_reenters_on_recirc_port(self, switch):
+        self._recirc_once(switch)
+        ports = []
+
+        class PortSpy(LogicalUnit):
+            def apply(self, phv, stage):
+                ports.append(phv.get("meta.ingress_port"))
+
+        switch.ingress.stages[1].attach_unit(PortSpy())
+        run(switch)
+        assert ports == [0, RECIRC_PORT]
+
+    def test_state_carried_across_passes(self, switch):
+        switch.layout.declare("ud.scratch", 32)
+        switch.ingress.stages[1].attach_unit(
+            SetField("ud.scratch", 42, when=lambda phv: phv.get("ud.recirc_count") == 0)
+        )
+        self._recirc_once(switch)
+        captured = []
+
+        class Capture(LogicalUnit):
+            def apply(self, phv, stage):
+                if phv.get("ud.recirc_count") == 1:
+                    captured.append(phv.get("ud.scratch"))
+
+        switch.ingress.stages[2].attach_unit(Capture())
+        run(switch)
+        assert captured == [42]
+
+    def test_drop_deferred_until_final_pass(self, switch):
+        """A drop intent latched before recirculation must not kill the
+        packet until its final pass (the paper's DROP-then-continue)."""
+        self._recirc_once(switch)
+        switch.ingress.stages[1].attach_unit(
+            SetField("ud.drop_ctl", 1, when=lambda phv: phv.get("ud.recirc_count") == 0)
+        )
+        result = run(switch)
+        assert result.recirculations == 1
+        assert result.verdict is Verdict.DROP
+
+    def test_recirculation_limit(self):
+        switch = Switch(default_parse_machine(), SwitchConfig(max_recirculations=2))
+        switch.ingress.stages[11].attach_unit(SetField("ud.recirc_flag", 1))
+        with pytest.raises(RecirculationLimitError):
+            run(switch)
+
+    def test_pipeline_pass_accounting(self, switch):
+        self._recirc_once(switch)
+        run(switch)
+        assert switch.packets_in == 1
+        assert switch.pipeline_passes == 2
+
+
+class TestThroughputModel:
+    def test_no_recirculation_no_loss(self, switch):
+        assert switch.max_lossless_throughput_gbps(128, 0) == 100.0
+
+    def test_one_iteration_small_packets_lose_about_ten_percent(self, switch):
+        rate = switch.max_lossless_throughput_gbps(128, 1)
+        assert 85.0 < rate < 93.0
+
+    def test_one_iteration_large_packets_lose_about_one_percent(self, switch):
+        rate = switch.max_lossless_throughput_gbps(1500, 1)
+        assert 98.0 < rate < 99.5
+
+    def test_loss_monotonic_in_iterations(self, switch):
+        rates = [switch.max_lossless_throughput_gbps(512, k) for k in range(7)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_loss_monotonic_in_packet_size(self, switch):
+        rates = [switch.max_lossless_throughput_gbps(s, 1) for s in (128, 256, 512, 1500)]
+        assert rates == sorted(rates)
+
+    def test_latency_grows_linearly(self, switch):
+        l1 = switch.added_latency_ms(1)
+        l6 = switch.added_latency_ms(6)
+        assert l6 == pytest.approx(6 * l1)
+
+    def test_latency_at_six_iterations_in_paper_band(self, switch):
+        """Paper §6.3: 0.5-1.5 ms added at R=6 depending on packet size."""
+        assert 0.4 < switch.added_latency_ms(6, 128) < 1.6
+        assert 0.4 < switch.added_latency_ms(6, 1500) < 1.6

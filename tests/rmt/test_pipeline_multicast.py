@@ -1,0 +1,84 @@
+"""Traffic-manager multicast tests at the RMT layer."""
+
+import pytest
+
+from repro.rmt.packet import make_udp
+from repro.rmt.parser import default_parse_machine
+from repro.rmt.pipeline import (
+    Switch,
+    UnknownMulticastGroupError,
+    Verdict,
+)
+from repro.rmt.stage import LogicalUnit
+
+
+class SetGroup(LogicalUnit):
+    def __init__(self, group):
+        self.group = group
+
+    def apply(self, phv, stage):
+        phv.set("ud.mcast_grp", self.group)
+
+
+@pytest.fixture
+def switch():
+    return Switch(default_parse_machine())
+
+
+class TestMulticastVerdict:
+    def test_replication_ports_reported(self, switch):
+        switch.tm.configure_multicast_group(5, [10, 20, 30])
+        switch.ingress.stages[1].attach_unit(SetGroup(5))
+        result = switch.process_packet(make_udp(1, 2, 3, 4))
+        assert result.verdict is Verdict.MULTICAST
+        assert result.egress_ports == (10, 20, 30)
+        assert switch.tm.multicast == 1
+
+    def test_unknown_group_raises(self, switch):
+        switch.ingress.stages[1].attach_unit(SetGroup(9))
+        with pytest.raises(UnknownMulticastGroupError):
+            switch.process_packet(make_udp(1, 2, 3, 4))
+
+    def test_group_zero_is_unicast(self, switch):
+        """Group 0 means 'no multicast' — the PHV default."""
+        result = switch.process_packet(make_udp(1, 2, 3, 4))
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_ports == ()
+
+    def test_group_id_validation(self, switch):
+        with pytest.raises(ValueError):
+            switch.tm.configure_multicast_group(0, [1])
+
+    def test_reconfiguration(self, switch):
+        switch.tm.configure_multicast_group(5, [1])
+        switch.tm.configure_multicast_group(5, [2, 3])
+        switch.ingress.stages[1].attach_unit(SetGroup(5))
+        result = switch.process_packet(make_udp(1, 2, 3, 4))
+        assert result.egress_ports == (2, 3)
+
+    def test_drop_beats_multicast(self, switch):
+        class AlsoDrop(LogicalUnit):
+            def apply(self, phv, stage):
+                phv.set("ud.drop_ctl", 1)
+
+        switch.tm.configure_multicast_group(5, [1])
+        switch.ingress.stages[1].attach_unit(SetGroup(5))
+        switch.ingress.stages[2].attach_unit(AlsoDrop())
+        result = switch.process_packet(make_udp(1, 2, 3, 4))
+        assert result.verdict is Verdict.DROP
+
+    def test_multicast_group_carried_across_recirculation(self, switch):
+        """A MULTICAST latched before recirculation fires on the final pass."""
+        switch.tm.configure_multicast_group(5, [7])
+        switch.ingress.stages[1].attach_unit(SetGroup(5))
+
+        class RecircOnce(LogicalUnit):
+            def apply(self, phv, stage):
+                if phv.get("ud.recirc_count") == 0:
+                    phv.set("ud.recirc_flag", 1)
+
+        switch.ingress.stages[11].attach_unit(RecircOnce())
+        result = switch.process_packet(make_udp(1, 2, 3, 4))
+        assert result.recirculations == 1
+        assert result.verdict is Verdict.MULTICAST
+        assert result.egress_ports == (7,)

@@ -1,0 +1,125 @@
+"""Fluid queue model tests + the ECN program under live congestion."""
+
+import pytest
+
+from repro.rmt.queueing import CELL_BYTES, PortQueue, QueueModel
+
+
+class TestPortQueue:
+    def test_underload_stays_empty(self):
+        q = PortQueue(drain_mbps=100.0)
+        for _ in range(20):
+            q.advance(50e6 / 8 * 0.05, 0.05)  # 50 Mbps offered
+        assert q.depth_cells == 0
+
+    def test_overload_builds_queue(self):
+        q = PortQueue(drain_mbps=100.0, capacity_cells=100_000)
+        depths = [q.advance(150e6 / 8 * 0.05, 0.05) for _ in range(10)]
+        assert depths == sorted(depths)
+        assert depths[-1] > 0
+        # Build rate: 50 Mbps excess = 312,500 B per 50 ms window.
+        expected = 10 * 50e6 / 8 * 0.05 / CELL_BYTES
+        assert depths[-1] == pytest.approx(expected, rel=0.01)
+
+    def test_drains_after_overload(self):
+        q = PortQueue(drain_mbps=100.0)
+        q.advance(200e6 / 8 * 0.5, 0.5)
+        assert q.depth_cells > 0
+        for _ in range(40):
+            q.advance(0.0, 0.5)
+        assert q.depth_cells == 0
+
+    def test_tail_drop_at_capacity(self):
+        q = PortQueue(drain_mbps=10.0, capacity_cells=100)
+        q.advance(1e9, 1.0)
+        assert q.depth_cells == 100
+        assert q.tail_dropped_bytes > 0
+        assert q.utilization() == pytest.approx(1.0)
+
+    def test_negative_inputs_rejected(self):
+        q = PortQueue()
+        with pytest.raises(ValueError):
+            q.advance(-1, 0.1)
+        with pytest.raises(ValueError):
+            q.advance(1, -0.1)
+
+
+class TestQueueModel:
+    def test_ports_created_lazily(self):
+        model = QueueModel()
+        assert model.observe_depth(3) == 0
+        model.end_window({3: 1e6}, 0.05)
+        assert model.observe_depth(3) > 0
+
+    def test_independent_ports(self):
+        model = QueueModel(drain_mbps=100.0)
+        model.end_window({1: 5e6, 2: 0.0}, 0.05)
+        assert model.observe_depth(1) > 0
+        assert model.observe_depth(2) == 0
+
+    def test_history_recorded(self):
+        model = QueueModel()
+        model.end_window({0: 1e6}, 0.05)
+        model.end_window({0: 1e6}, 0.05)
+        assert len(model.depth_history) == 2
+
+
+class TestECNUnderCongestion:
+    """The Table-1 ECN program with a live queue: marks appear exactly
+    when the bottleneck is oversubscribed."""
+
+    def _run(self, rate_mbps: float):
+        from repro.controlplane import Controller
+        from repro.programs import PROGRAMS
+        from repro.traffic import CampusTrace, ReplayEngine, TraceConfig, make_population
+
+        ctl, dataplane = Controller.with_simulator()
+        ctl.deploy(PROGRAMS["ecn"].source)
+        model = QueueModel(drain_mbps=100.0)
+        trace = CampusTrace(
+            make_population(seed=4, udp_fraction=0.0),
+            TraceConfig(
+                rate_mbps=rate_mbps,
+                duration_s=2.0,
+                samples_per_window=20,
+                tcp_burst_probability=0.0,
+            ),
+        )
+        engine = ReplayEngine(dataplane, queue_model=model)
+        marked = total_ect = 0
+        original = engine.dataplane.process
+
+        def counting(packet, carried=None):
+            nonlocal marked, total_ect
+            result = original(packet, carried)
+            if result.packet.has("ipv4"):
+                ecn = result.packet.get_field("hdr.ipv4.ecn")
+                if ecn == 3:
+                    marked += 1
+                if ecn in (1, 3):
+                    total_ect += 1
+            return result
+
+        engine.dataplane.process = counting
+        try:
+            engine.run(self._ect_windows(trace))
+        finally:
+            engine.dataplane.process = original
+        return marked, total_ect
+
+    @staticmethod
+    def _ect_windows(trace):
+        for window in trace.windows():
+            for packet in window.packets:
+                packet.set_field("hdr.ipv4.ecn", 1)  # ECT(1)
+            yield window
+
+    def test_no_marks_under_light_load(self):
+        marked, total = self._run(rate_mbps=60.0)
+        assert total > 0
+        assert marked == 0
+
+    def test_marks_appear_under_congestion(self):
+        marked, total = self._run(rate_mbps=200.0)
+        assert marked > 0
+        assert marked <= total

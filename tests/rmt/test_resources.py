@@ -1,0 +1,111 @@
+"""Resource / latency / power model tests (Table 2, Fig. 10)."""
+
+import pytest
+
+from repro.rmt import resources
+from repro.rmt.resources import ChipBudget, ResourceUsage
+
+
+class TestUsageArithmetic:
+    def test_addition(self):
+        a = ResourceUsage(sram_blocks=1, salus=2, active_stages=3)
+        b = ResourceUsage(sram_blocks=4, salus=5, active_stages=6)
+        c = a + b
+        assert (c.sram_blocks, c.salus, c.active_stages) == (5, 7, 9)
+
+    def test_chip_budget_totals(self):
+        budget = ChipBudget()
+        assert budget.total("salus") == 4 * 12 * 2
+        assert budget.total("phv_bits") == 4096
+
+    def test_utilization_report_keys(self):
+        report = resources.utilization_report(ResourceUsage())
+        assert set(report) == {
+            "sram_blocks",
+            "tcam_blocks",
+            "vliw_slots",
+            "salus",
+            "hash_units",
+            "ltids",
+            "phv_bits",
+        }
+
+    def test_utilization_percentage(self):
+        usage = ResourceUsage(salus=48)
+        report = resources.utilization_report(usage)
+        assert report["salus"] == pytest.approx(50.0)
+
+
+class TestLatency:
+    def test_full_pipelines_match_table2(self):
+        """12 active stages per gress gives the paper's 306/316/622."""
+        assert resources.latency_cycles(12, 12) == (306, 316, 622)
+
+    def test_empty_pipeline(self):
+        ingress, egress, total = resources.latency_cycles(0, 0)
+        assert ingress == resources.INGRESS_BASE_CYCLES
+        assert egress == resources.EGRESS_BASE_CYCLES
+        assert total == ingress + egress
+
+    def test_monotonic_in_stages(self):
+        totals = [resources.latency_cycles(k, k)[2] for k in range(13)]
+        assert totals == sorted(totals)
+
+
+class TestPower:
+    def test_zero_usage_zero_power(self):
+        assert resources.power_watts(ResourceUsage()) == 0.0
+
+    def test_base_power_requires_active_stage(self):
+        idle = resources.power_watts(ResourceUsage(salus=1, active_stages=0))
+        active = resources.power_watts(ResourceUsage(salus=1, active_stages=1))
+        assert active > idle
+
+    def test_traffic_limit_under_budget(self):
+        assert resources.traffic_limit_load(30.0) == 1.0
+
+    def test_traffic_limit_over_budget(self):
+        assert resources.traffic_limit_load(43.7) == pytest.approx(40.0 / 43.7)
+
+    def test_traffic_limit_paper_example(self):
+        """40.74 W -> ~98% load (Table 2, P4runpro row)."""
+        assert resources.traffic_limit_load(40.74) == pytest.approx(0.982, abs=0.01)
+
+
+class TestSwitchAccounting:
+    @pytest.fixture(scope="class")
+    def dataplane(self):
+        from repro.dataplane.runpro import P4runproDataPlane
+
+        return P4runproDataPlane()
+
+    def test_p4runpro_latency_matches_paper(self, dataplane):
+        assert resources.switch_latency_cycles(dataplane.switch) == (306, 316, 622)
+
+    def test_p4runpro_power_in_paper_band(self, dataplane):
+        ingress, egress, total = resources.switch_power_watts(dataplane.switch)
+        assert 17.0 < ingress < 22.0  # paper: 19.32
+        assert 19.0 < egress < 24.0  # paper: 21.42
+        assert 38.0 < total < 43.0  # paper: 40.74
+
+    def test_p4runpro_vliw_near_saturation(self, dataplane):
+        usage = resources.account_switch(dataplane.switch)
+        report = resources.utilization_report(usage)
+        assert report["vliw_slots"] > 80.0  # "uses almost all the VLIW"
+
+    def test_p4runpro_sram_light(self, dataplane):
+        usage = resources.account_switch(dataplane.switch)
+        report = resources.utilization_report(usage)
+        assert report["sram_blocks"] < 40.0  # "does not heavily rely on SRAM"
+
+    def test_salu_count_is_one_per_rpb(self, dataplane):
+        usage = resources.account_switch(dataplane.switch)
+        assert usage.salus == 22
+
+    def test_account_gress_split(self, dataplane):
+        ingress = resources.account_gress(dataplane.switch, "ingress")
+        egress = resources.account_gress(dataplane.switch, "egress")
+        assert ingress.salus == 10
+        assert egress.salus == 12
+        assert ingress.active_stages == 12  # init + 10 RPBs + recirc
+        assert egress.active_stages == 12

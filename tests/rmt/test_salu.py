@@ -1,0 +1,106 @@
+"""Stateful ALU / register array tests (Table-3 memory op semantics)."""
+
+import pytest
+
+from repro.rmt.salu import MemoryOutOfRangeError, RegisterArray, make_salu_programs
+
+
+@pytest.fixture
+def array():
+    return RegisterArray("mem", 16)
+
+
+class TestMemoryOps:
+    def test_memadd_accumulates_and_returns_new(self, array):
+        assert array.execute("MEMADD", 0, 5) == 5
+        assert array.execute("MEMADD", 0, 3) == 8
+        assert array.read(0) == 8
+
+    def test_memsub_wraps(self, array):
+        out = array.execute("MEMSUB", 0, 1)
+        assert out == 0xFFFFFFFF
+        assert array.read(0) == 0xFFFFFFFF
+
+    def test_memand(self, array):
+        array.write(1, 0b1100)
+        assert array.execute("MEMAND", 1, 0b1010) == 0b1000
+
+    def test_memor_returns_old_value(self, array):
+        """MEMOR's PHV output is the value *before* the OR — the Bloom
+        filter existence check depends on this (paper Fig. 17)."""
+        assert array.execute("MEMOR", 2, 1) == 0
+        assert array.execute("MEMOR", 2, 1) == 1
+        assert array.read(2) == 1
+
+    def test_memread_does_not_modify(self, array):
+        array.write(3, 42)
+        assert array.execute("MEMREAD", 3, 999) == 42
+        assert array.read(3) == 42
+
+    def test_memwrite_stores_operand(self, array):
+        array.execute("MEMWRITE", 4, 77)
+        assert array.read(4) == 77
+
+    def test_memmax_keeps_maximum(self, array):
+        array.execute("MEMMAX", 5, 10)
+        assert array.execute("MEMMAX", 5, 3) == 10
+        assert array.execute("MEMMAX", 5, 20) == 20
+        assert array.read(5) == 20
+
+    def test_memadd_wraps_at_width(self, array):
+        array.write(6, 0xFFFFFFFF)
+        assert array.execute("MEMADD", 6, 1) == 0
+
+    def test_unknown_op_rejected(self, array):
+        with pytest.raises(ValueError):
+            array.execute("MEMXOR", 0, 1)
+
+    def test_operand_masked_to_width(self):
+        narrow = RegisterArray("w8", 4, width=8)
+        narrow.execute("MEMWRITE", 0, 0x1FF)
+        assert narrow.read(0) == 0xFF
+
+
+class TestBounds:
+    def test_execute_out_of_range(self, array):
+        with pytest.raises(MemoryOutOfRangeError):
+            array.execute("MEMREAD", 16, 0)
+
+    def test_negative_address(self, array):
+        with pytest.raises(MemoryOutOfRangeError):
+            array.read(-1)
+
+    def test_write_out_of_range(self, array):
+        with pytest.raises(MemoryOutOfRangeError):
+            array.write(100, 1)
+
+    def test_reset_range(self, array):
+        for i in range(16):
+            array.write(i, i + 1)
+        array.reset_range(4, 8)
+        assert array.snapshot(0, 4) == [1, 2, 3, 4]
+        assert array.snapshot(4, 8) == [0] * 8
+        assert array.snapshot(12, 4) == [13, 14, 15, 16]
+
+    def test_reset_range_bounds_checked(self, array):
+        with pytest.raises(MemoryOutOfRangeError):
+            array.reset_range(10, 10)
+
+    def test_access_counter(self, array):
+        array.execute("MEMADD", 0, 1)
+        array.execute("MEMREAD", 0, 0)
+        assert array.accesses == 2
+
+
+class TestProgramFactory:
+    def test_all_seven_ops_present(self):
+        programs = make_salu_programs()
+        assert set(programs) == {
+            "MEMADD",
+            "MEMSUB",
+            "MEMAND",
+            "MEMOR",
+            "MEMREAD",
+            "MEMWRITE",
+            "MEMMAX",
+        }

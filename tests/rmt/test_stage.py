@@ -1,0 +1,88 @@
+"""Stage resource-budget tests."""
+
+import pytest
+
+from repro.rmt.hashing import HashUnit
+from repro.rmt.salu import RegisterArray
+from repro.rmt.stage import LogicalUnit, Stage, StageBudget, StageResourceError
+
+
+class _Unit(LogicalUnit):
+    def __init__(self):
+        self.applied = 0
+
+    def apply(self, phv, stage):
+        self.applied += 1
+
+
+@pytest.fixture
+def stage():
+    return Stage(0, "ingress")
+
+
+class TestAttachment:
+    def test_attach_unit_accounts_resources(self, stage):
+        stage.attach_unit(_Unit(), tcam_entries=1024, key_bits=88, vliw_slots=10)
+        assert stage.usage.tcam_blocks == 2 * 2  # 2 rows x 2 blocks wide
+        assert stage.usage.vliw_slots == 10
+        assert stage.usage.ltids == 1
+
+    def test_tcam_budget_enforced(self, stage):
+        with pytest.raises(StageResourceError, match="TCAM"):
+            stage.attach_unit(_Unit(), tcam_entries=512 * 100)
+
+    def test_vliw_budget_enforced(self, stage):
+        with pytest.raises(StageResourceError, match="VLIW"):
+            stage.attach_unit(_Unit(), vliw_slots=33)
+
+    def test_ltid_budget_enforced(self, stage):
+        for _ in range(16):
+            stage.attach_unit(_Unit(), ltids=1)
+        with pytest.raises(StageResourceError, match="LTID"):
+            stage.attach_unit(_Unit(), ltids=1)
+
+    def test_register_array_sram_accounting(self, stage):
+        stage.attach_register_array(RegisterArray("m", 65536))
+        assert stage.usage.sram_blocks == 16
+        assert stage.usage.salus == 1
+
+    def test_salu_budget_enforced(self, stage):
+        for i in range(4):
+            stage.attach_register_array(RegisterArray(f"m{i}", 4096))
+        with pytest.raises(StageResourceError, match="SALU"):
+            stage.attach_register_array(RegisterArray("m5", 4096))
+
+    def test_sram_budget_enforced(self):
+        stage = Stage(0, "ingress", StageBudget(sram_blocks=8))
+        with pytest.raises(StageResourceError, match="SRAM"):
+            stage.attach_register_array(RegisterArray("big", 65536))
+
+    def test_hash_budget_enforced(self, stage):
+        for i in range(6):
+            stage.attach_hash_unit(f"h{i}", HashUnit())
+        with pytest.raises(StageResourceError, match="hash"):
+            stage.attach_hash_unit("h7", HashUnit())
+
+    def test_wide_key_gangs_blocks(self, stage):
+        stage.attach_unit(_Unit(), tcam_entries=512, key_bits=132)
+        assert stage.usage.tcam_blocks == 3  # 1 row x 3 blocks wide
+
+
+class TestProcessing:
+    def test_units_applied_in_order(self, stage):
+        calls = []
+
+        class Recorder(LogicalUnit):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def apply(self, phv, st):
+                calls.append(self.tag)
+
+        stage.attach_unit(Recorder("a"))
+        stage.attach_unit(Recorder("b"))
+        stage.process(None)
+        assert calls == ["a", "b"]
+
+    def test_empty_stage_noop(self, stage):
+        stage.process(None)  # must not raise

@@ -1,0 +1,166 @@
+"""Match-action table tests."""
+
+import pytest
+
+from repro.rmt.packet import make_udp
+from repro.rmt.phv import PHV, PHVLayout
+from repro.rmt.table import (
+    EntryNotFoundError,
+    MatchActionTable,
+    TableEntry,
+    TableFullError,
+    TernaryKey,
+)
+
+
+def make_phv(**ud_fields):
+    layout = PHVLayout()
+    for name, (width, _value) in ud_fields.items():
+        layout.declare(name, width)
+    phv = PHV(layout, make_udp(1, 2, 3, 4))
+    phv.load_header("udp")
+    phv.load_header("ipv4")
+    for name, (_width, value) in ud_fields.items():
+        phv.set(name, value)
+    return phv
+
+
+def entry(keys, action="act", priority=0, **data):
+    return TableEntry(tuple(TernaryKey(*k) for k in keys), action, data, priority=priority)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        table = MatchActionTable("t", 10)
+        table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="hit"))
+        result = table.lookup(make_phv())
+        assert result == ("hit", {})
+
+    def test_ternary_mask(self):
+        table = MatchActionTable("t", 10)
+        table.insert(entry([("hdr.ipv4.src", 0x0A000000, 0xFF000000)], action="net"))
+        phv = make_phv()
+        phv.set("hdr.ipv4.src", 0x0A123456)
+        assert table.lookup(phv) == ("net", {})
+
+    def test_mask_zero_is_wildcard(self):
+        table = MatchActionTable("t", 10)
+        table.insert(entry([("hdr.udp.dst_port", 999, 0x0)], action="any"))
+        assert table.lookup(make_phv()) == ("any", {})
+
+    def test_miss_returns_none_without_default(self):
+        table = MatchActionTable("t", 10)
+        table.insert(entry([("hdr.udp.dst_port", 5, 0xFFFF)]))
+        assert table.lookup(make_phv()) is None
+
+    def test_miss_returns_default(self):
+        table = MatchActionTable("t", 10, default_action="nop", default_action_data={"x": 1})
+        assert table.lookup(make_phv()) == ("nop", {"x": 1})
+
+    def test_priority_lower_wins(self):
+        table = MatchActionTable("t", 10)
+        table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="low", priority=5))
+        table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="high", priority=1))
+        assert table.lookup(make_phv())[0] == "high"
+
+    def test_multi_key_all_must_match(self):
+        table = MatchActionTable("t", 10)
+        table.insert(
+            entry(
+                [("hdr.udp.dst_port", 4, 0xFFFF), ("hdr.udp.src_port", 99, 0xFFFF)],
+                action="both",
+            )
+        )
+        assert table.lookup(make_phv()) is None  # src_port is 3, not 99
+
+    def test_missing_phv_field_never_matches(self):
+        table = MatchActionTable("t", 10)
+        table.insert(entry([("hdr.tcp.seq", 0, 0x0)], action="tcp_only"))
+        assert table.lookup(make_phv()) is None
+
+
+class TestManagement:
+    def test_capacity_enforced(self):
+        table = MatchActionTable("t", 2)
+        table.insert(entry([("hdr.udp.dst_port", 1, 0xFFFF)]))
+        table.insert(entry([("hdr.udp.dst_port", 2, 0xFFFF)]))
+        with pytest.raises(TableFullError):
+            table.insert(entry([("hdr.udp.dst_port", 3, 0xFFFF)]))
+
+    def test_delete_frees_capacity(self):
+        table = MatchActionTable("t", 1)
+        handle = table.insert(entry([("hdr.udp.dst_port", 1, 0xFFFF)]))
+        table.delete(handle)
+        table.insert(entry([("hdr.udp.dst_port", 2, 0xFFFF)]))
+        assert table.occupancy == 1
+
+    def test_delete_unknown_handle(self):
+        table = MatchActionTable("t", 4)
+        with pytest.raises(EntryNotFoundError):
+            table.delete(99999)
+
+    def test_handles_unique(self):
+        table = MatchActionTable("t", 4)
+        h1 = table.insert(entry([("hdr.udp.dst_port", 1, 0xFFFF)]))
+        h2 = table.insert(entry([("hdr.udp.dst_port", 2, 0xFFFF)]))
+        assert h1 != h2
+
+    def test_get_and_entries(self):
+        table = MatchActionTable("t", 4)
+        h = table.insert(entry([("hdr.udp.dst_port", 1, 0xFFFF)], action="a"))
+        assert table.get(h).action == "a"
+        assert len(table.entries()) == 1
+
+    def test_utilization(self):
+        table = MatchActionTable("t", 4)
+        assert table.utilization() == 0.0
+        table.insert(entry([("hdr.udp.dst_port", 1, 0xFFFF)]))
+        assert table.utilization() == 0.25
+        assert table.free_entries == 3
+
+    def test_clear(self):
+        table = MatchActionTable("t", 4)
+        table.insert(entry([("hdr.udp.dst_port", 1, 0xFFFF)]))
+        table.clear()
+        assert table.occupancy == 0
+        assert table.lookup(make_phv()) is None
+
+
+class TestIndexedLookup:
+    """The program-ID index must not change match semantics."""
+
+    def _tables(self):
+        plain = MatchActionTable("plain", 100)
+        indexed = MatchActionTable("indexed", 100, index_field="ud.pid", index_mask=0xFFFF)
+        return plain, indexed
+
+    def test_indexed_equals_plain(self):
+        plain, indexed = self._tables()
+        for pid in range(1, 6):
+            e = [("ud.pid", pid, 0xFFFF), ("hdr.udp.dst_port", 4, 0xFFFF)]
+            plain.insert(entry(e, action=f"p{pid}"))
+            indexed.insert(entry(e, action=f"p{pid}"))
+        for pid in range(7):
+            phv = make_phv(**{"ud.pid": (16, pid)})
+            assert plain.lookup(phv) == indexed.lookup(phv)
+
+    def test_partial_mask_entries_fall_back_to_scan(self):
+        _, indexed = self._tables()
+        indexed.insert(entry([("ud.pid", 0x10, 0xF0)], action="masked"))
+        phv = make_phv(**{"ud.pid": (16, 0x15)})
+        assert indexed.lookup(phv) == ("masked", {})
+
+    def test_index_delete_consistency(self):
+        _, indexed = self._tables()
+        h = indexed.insert(entry([("ud.pid", 3, 0xFFFF)], action="x"))
+        indexed.delete(h)
+        phv = make_phv(**{"ud.pid": (16, 3)})
+        assert indexed.lookup(phv) is None
+
+    def test_lookup_counts(self):
+        plain, _ = self._tables()
+        plain.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)]))
+        plain.lookup(make_phv())
+        plain.lookup(make_phv())
+        assert plain.lookups == 2
+        assert plain.hits == 2

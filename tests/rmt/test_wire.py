@@ -1,0 +1,162 @@
+"""Wire-format tests: bit packing, IPv4 checksums, pcap round-trips."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rmt.fields import header_size_bytes
+from repro.rmt.packet import make_cache, make_l2, make_tcp, make_udp
+from repro.rmt.wire import (
+    WireFormatError,
+    deserialize,
+    ipv4_checksum,
+    load_pcap,
+    pack_header,
+    save_pcap,
+    serialize,
+    unpack_header,
+    verify_ipv4_checksum,
+)
+
+
+class TestBitPacking:
+    def test_eth_pack_layout(self):
+        data = pack_header("eth", {"dst": 0x112233445566, "src": 0xAABBCCDDEEFF, "etype": 0x0800})
+        assert data == bytes.fromhex("112233445566AABBCCDDEEFF0800")
+
+    def test_udp_pack(self):
+        data = pack_header("udp", {"src_port": 0x1234, "dst_port": 0x5678, "len": 0x9ABC})
+        assert data == bytes.fromhex("123456789ABC")
+
+    def test_subbyte_fields_pack_together(self):
+        """dscp(6) + ecn(2) share one byte."""
+        fields = {"ver_ihl": 0x45, "dscp": 0b000010, "ecn": 0b11, "len": 20,
+                  "id": 0, "flags_frag": 0, "ttl": 64, "proto": 17,
+                  "checksum": 0, "src": 0, "dst": 0}
+        data = pack_header("ipv4", fields)
+        assert data[1] == (0b000010 << 2) | 0b11
+
+    def test_overflow_rejected(self):
+        with pytest.raises(WireFormatError, match="overflows"):
+            pack_header("udp", {"src_port": 0x10000, "dst_port": 0, "len": 0})
+
+    def test_unpack_inverse_of_pack(self):
+        fields = {"src_port": 53, "dst_port": 5353, "len": 300}
+        packed = pack_header("udp", fields)
+        unpacked, rest = unpack_header("udp", packed + b"tail")
+        assert unpacked == fields
+        assert rest == b"tail"
+
+    def test_short_data_rejected(self):
+        with pytest.raises(WireFormatError, match="short packet"):
+            unpack_header("ipv4", b"\x45\x00")
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        """RFC 1071 example-style header checksums validate to zero."""
+        header = bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+        checksum = ipv4_checksum(header)
+        patched = header[:10] + struct.pack(">H", checksum) + header[12:]
+        assert ipv4_checksum(patched) == 0
+
+    def test_serialized_packets_have_valid_checksums(self):
+        for pkt in (make_udp(1, 2, 3, 4), make_tcp(5, 6, 7, 8, size=200)):
+            assert verify_ipv4_checksum(serialize(pkt))
+
+
+class TestSerializeDeserialize:
+    @pytest.mark.parametrize(
+        "packet",
+        [
+            make_l2(),
+            make_udp(0x0A000001, 0x0B000002, 1234, 80, size=120),
+            make_tcp(1, 2, 3, 4),
+            make_cache(5, 6, op=2, key=0xDEAD_BEEF_0BAD_F00D, value=42),
+        ],
+    )
+    def test_round_trip_preserves_headers(self, packet):
+        data = serialize(packet)
+        restored = deserialize(data)
+        assert set(restored.headers) == set(packet.headers)
+        for header, fields in packet.headers.items():
+            for name, value in fields.items():
+                if header == "ipv4" and name in ("len", "checksum"):
+                    continue  # recomputed on the wire
+                assert restored.headers[header][name] == value, f"{header}.{name}"
+
+    def test_padding_to_wire_size(self):
+        pkt = make_udp(1, 2, 3, 4, size=200)
+        assert len(serialize(pkt)) == 200
+
+    def test_ipv4_len_field_consistent(self):
+        pkt = make_udp(1, 2, 3, 4, size=100)
+        restored = deserialize(serialize(pkt))
+        assert restored.headers["ipv4"]["len"] == 100 - header_size_bytes("eth")
+
+    @given(
+        src=st.integers(0, 0xFFFFFFFF),
+        dst=st.integers(0, 0xFFFFFFFF),
+        sport=st.integers(0, 0xFFFF),
+        dport=st.integers(1, 0xFFFF),
+        size=st.integers(64, 1500),
+    )
+    @settings(max_examples=60)
+    def test_random_round_trips(self, src, dst, sport, dport, size):
+        pkt = make_udp(src, dst, sport, dport, size=size)
+        restored = deserialize(serialize(pkt))
+        assert restored.five_tuple() == pkt.five_tuple()
+        assert verify_ipv4_checksum(serialize(pkt))
+
+
+class TestPcap:
+    def test_pcap_round_trip(self, tmp_path):
+        packets = [make_udp(i + 1, 2, 3, 80, size=100) for i in range(10)]
+        for i, pkt in enumerate(packets):
+            pkt.ts = i * 0.05
+        path = tmp_path / "out.pcap"
+        assert save_pcap(path, packets) == 10
+        loaded = load_pcap(path)
+        assert len(loaded) == 10
+        assert [p.five_tuple() for p in loaded] == [p.five_tuple() for p in packets]
+        assert [round(p.ts, 6) for p in loaded] == [round(p.ts, 6) for p in packets]
+
+    def test_pcap_global_header_is_standard(self, tmp_path):
+        path = tmp_path / "hdr.pcap"
+        save_pcap(path, [make_l2()])
+        raw = path.read_bytes()
+        magic, major, minor = struct.unpack(">IHH", raw[:8])
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+        (linktype,) = struct.unpack(">I", raw[20:24])
+        assert linktype == 1  # Ethernet
+
+    def test_not_a_pcap(self, tmp_path):
+        path = tmp_path / "junk.pcap"
+        path.write_bytes(b"\x00" * 30)
+        with pytest.raises(WireFormatError, match="not a pcap"):
+            load_pcap(path)
+
+    def test_cache_packets_survive_pcap(self, tmp_path):
+        pkt = make_cache(1, 2, op=1, key=0x8888, value=7)
+        path = tmp_path / "cache.pcap"
+        save_pcap(path, [pkt])
+        restored = load_pcap(path)[0]
+        assert restored.headers["nc"] == pkt.headers["nc"]
+
+    def test_pcap_replay_through_switch(self, tmp_path):
+        """Bytes-from-disk traffic drives the data plane identically."""
+        from repro.controlplane import Controller
+        from repro.programs import PROGRAMS
+        from repro.rmt.packet import NC_READ
+        from repro.rmt.pipeline import Verdict
+
+        pkt = make_cache(1, 2, op=NC_READ, key=0x1)
+        path = tmp_path / "replay.pcap"
+        save_pcap(path, [pkt])
+        ctl, dataplane = Controller.with_simulator()
+        ctl.deploy(PROGRAMS["cache"].source)
+        result = dataplane.process(load_pcap(path)[0])
+        assert result.verdict is Verdict.FORWARD
+        assert result.egress_port == 32

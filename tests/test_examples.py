@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example carries its own assertions; this suite runs them in-process
+(fast — no interpreter startup per script) with stdout captured.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        spec.loader.exec_module(module)
+        module.main()
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"example {name} produced no output"
+
+
+def test_example_inventory_matches_readme():
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    for name in EXAMPLES:
+        assert f"`{name}.py`" in readme, f"{name}.py missing from README"
+
+
+def test_quickstart_output_shape():
+    output = run_example("quickstart")
+    assert "deployed 'cache'" in output
+    assert "cache read   -> reflect" in output
+    assert "revoked in" in output

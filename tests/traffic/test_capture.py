@@ -1,0 +1,130 @@
+"""Capture-file round-trip tests, including hypothesis-driven packets."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rmt.packet import make_cache, make_l2, make_tcp, make_udp
+from repro.traffic.capture import (
+    CaptureFormatError,
+    capture_windows,
+    iter_capture,
+    load_capture,
+    read_packet,
+    save_capture,
+    write_packet,
+)
+from repro.traffic.trace import CampusTrace, TraceConfig
+
+
+def roundtrip(packet):
+    buffer = io.BytesIO()
+    write_packet(buffer, packet)
+    buffer.seek(0)
+    return read_packet(buffer)
+
+
+class TestRecordRoundTrip:
+    @pytest.mark.parametrize(
+        "packet",
+        [
+            make_l2(),
+            make_udp(0x0A000001, 0x0B000002, 1234, 80, size=300),
+            make_tcp(1, 2, 3, 4),
+            make_cache(5, 6, op=2, key=0x1234_5678_9ABC_DEF0, value=42),
+        ],
+    )
+    def test_structural_equality(self, packet):
+        packet.ts = 1.25
+        packet.ingress_port = 7
+        packet.queue_depth = 99
+        restored = roundtrip(packet)
+        assert restored.headers == packet.headers
+        assert restored.size == packet.size
+        assert restored.ts == packet.ts
+        assert restored.ingress_port == packet.ingress_port
+        assert restored.queue_depth == packet.queue_depth
+
+    @given(
+        src=st.integers(0, 0xFFFFFFFF),
+        dst=st.integers(0, 0xFFFFFFFF),
+        sport=st.integers(0, 0xFFFF),
+        dport=st.integers(0, 0xFFFF),
+        size=st.integers(64, 1500),
+        ts=st.floats(0, 1e6, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_random_udp_round_trips(self, src, dst, sport, dport, size, ts):
+        packet = make_udp(src, dst, sport, dport, size=size)
+        packet.ts = ts
+        restored = roundtrip(packet)
+        assert restored.headers == packet.headers
+        assert restored.five_tuple() == packet.five_tuple()
+
+
+class TestFileFormat:
+    def test_save_load(self, tmp_path):
+        packets = [make_udp(i, i + 1, 100 + i, 200 + i) for i in range(25)]
+        path = tmp_path / "trace.rpcap"
+        assert save_capture(path, packets) == 25
+        loaded = load_capture(path)
+        assert len(loaded) == 25
+        assert [p.five_tuple() for p in loaded] == [p.five_tuple() for p in packets]
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.rpcap"
+        assert save_capture(path, []) == 0
+        assert load_capture(path) == []
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.rpcap"
+        path.write_bytes(b"NOPE\x00\x00\x00\x00")
+        with pytest.raises(CaptureFormatError, match="bad magic"):
+            load_capture(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "trunc.rpcap"
+        save_capture(path, [make_udp(1, 2, 3, 4)])
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(CaptureFormatError, match="truncated"):
+            load_capture(path)
+
+    def test_streaming_iteration(self, tmp_path):
+        path = tmp_path / "stream.rpcap"
+        save_capture(path, [make_udp(i, 2, 3, 4) for i in range(10)])
+        sources = [p.get_field("hdr.ipv4.src") for p in iter_capture(path)]
+        assert sources == list(range(10))
+
+
+class TestTraceCapture:
+    def test_campus_trace_round_trips(self, tmp_path):
+        trace = CampusTrace(config=TraceConfig(duration_s=0.5, samples_per_window=10))
+        packets = capture_windows(trace.windows())
+        path = tmp_path / "campus.rpcap"
+        save_capture(path, packets)
+        loaded = load_capture(path)
+        assert len(loaded) == len(packets)
+        assert [p.ts for p in loaded] == [p.ts for p in packets]
+        assert [p.headers for p in loaded] == [p.headers for p in packets]
+
+    def test_replay_from_capture_matches_live(self, tmp_path):
+        """Processing a saved trace gives identical verdicts to live."""
+        from repro.controlplane import Controller
+        from repro.programs import PROGRAMS
+
+        trace = CampusTrace(config=TraceConfig(duration_s=0.3, samples_per_window=8))
+        packets = capture_windows(trace.windows())
+        path = tmp_path / "replayable.rpcap"
+        save_capture(path, packets)
+
+        def run(stream):
+            ctl, dataplane = Controller.with_simulator()
+            ctl.deploy(PROGRAMS["l3route"].source)
+            return [
+                (r.verdict, r.egress_port)
+                for r in (dataplane.process(p.clone()) for p in stream)
+            ]
+
+        assert run(packets) == run(load_capture(path))

@@ -1,0 +1,66 @@
+"""Flow population tests."""
+
+import pytest
+
+from repro.rmt.packet import PROTO_TCP, PROTO_UDP
+from repro.traffic.flows import make_population
+
+
+class TestPopulationShape:
+    def test_counts(self):
+        pop = make_population(num_flows=512, heavy_flows=10)
+        assert len(pop) == 512
+        assert len(pop.heavy_flows()) == 10
+
+    def test_heavy_cannot_exceed_total(self):
+        with pytest.raises(ValueError):
+            make_population(num_flows=5, heavy_flows=6)
+
+    def test_weights_sum_to_one(self):
+        pop = make_population(num_flows=256, heavy_flows=8, heavy_share=0.6)
+        assert sum(f.weight for f in pop.flows) == pytest.approx(1.0)
+
+    def test_heavy_share_respected(self):
+        pop = make_population(num_flows=256, heavy_flows=8, heavy_share=0.6)
+        heavy_weight = sum(f.weight for f in pop.heavy_flows())
+        assert heavy_weight == pytest.approx(0.6)
+
+    def test_flows_in_subnet(self):
+        pop = make_population(num_flows=64, heavy_flows=2, subnet=0x0A000000)
+        for flow in pop.flows:
+            assert flow.src_ip & 0xFFFF0000 == 0x0A000000
+
+    def test_udp_fraction_roughly_honoured(self):
+        pop = make_population(num_flows=2000, heavy_flows=0, udp_fraction=0.35)
+        udp = sum(1 for f in pop.flows if f.proto == PROTO_UDP)
+        assert 0.25 < udp / 2000 < 0.45
+        assert any(f.proto == PROTO_TCP for f in pop.flows)
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        a = make_population(seed=5).sample(100)
+        b = make_population(seed=5).sample(100)
+        assert [f.five_tuple for f in a] == [f.five_tuple for f in b]
+
+    def test_different_seeds_differ(self):
+        a = make_population(seed=1).sample(50)
+        b = make_population(seed=2).sample(50)
+        assert [f.five_tuple for f in a] != [f.five_tuple for f in b]
+
+    def test_heavy_flows_dominate_samples(self):
+        pop = make_population(num_flows=1024, heavy_flows=16, heavy_share=0.7)
+        samples = pop.sample(4000)
+        heavy = sum(1 for f in samples if f.heavy)
+        assert heavy / 4000 > 0.5
+
+    def test_five_tuple_property(self):
+        pop = make_population(num_flows=8, heavy_flows=0)
+        flow = pop.flows[0]
+        assert flow.five_tuple == (
+            flow.src_ip,
+            flow.dst_ip,
+            flow.proto,
+            flow.src_port,
+            flow.dst_port,
+        )

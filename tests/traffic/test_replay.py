@@ -1,0 +1,115 @@
+"""Replay-engine tests."""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.traffic.replay import ReplayEngine, ReplayEvent, load_imbalance
+from repro.traffic.trace import CacheTrace, CacheTraceConfig, CampusTrace, TraceConfig
+
+
+@pytest.fixture
+def env():
+    return Controller.with_simulator()
+
+
+def short_trace(duration=0.5, samples=10, seed=4):
+    return CampusTrace(config=TraceConfig(duration_s=duration, samples_per_window=samples, seed=seed))
+
+
+class TestBasicReplay:
+    def test_default_forwarding_passes_all(self, env):
+        _, dataplane = env
+        stats = ReplayEngine(dataplane).run(short_trace().windows())
+        for s in stats:
+            assert s.rx_mbps == pytest.approx(s.offered_mbps)
+            assert s.dropped_mbps == 0
+
+    def test_stats_timeline(self, env):
+        _, dataplane = env
+        stats = ReplayEngine(dataplane).run(short_trace().windows())
+        assert [s.start_s for s in stats] == pytest.approx(
+            [i * 0.05 for i in range(10)]
+        )
+
+    def test_per_port_split_sums_to_rx(self, env):
+        _, dataplane = env
+        stats = ReplayEngine(dataplane).run(short_trace().windows())
+        for s in stats:
+            assert sum(s.rx_mbps_by_port.values()) == pytest.approx(s.rx_mbps)
+
+
+class TestEvents:
+    def test_event_fires_before_matching_window(self, env):
+        ctl, dataplane = env
+        fired = []
+
+        def deploy():
+            ctl.deploy(PROGRAMS["cache"].source)
+            fired.append(True)
+
+        engine = ReplayEngine(dataplane)
+        engine.run(
+            short_trace().windows(),
+            events=[ReplayEvent(at_s=0.2, action=deploy, label="deploy cache")],
+        )
+        assert fired == [True]
+        assert len(ctl.running_programs()) == 1
+
+    def test_events_in_time_order(self, env):
+        _, dataplane = env
+        order = []
+        events = [
+            ReplayEvent(at_s=0.3, action=lambda: order.append("b")),
+            ReplayEvent(at_s=0.1, action=lambda: order.append("a")),
+        ]
+        ReplayEngine(dataplane).run(short_trace().windows(), events=events)
+        assert order == ["a", "b"]
+
+
+class TestBlackout:
+    def test_blackout_windows_measure_zero(self, env):
+        _, dataplane = env
+        engine = ReplayEngine(dataplane, blackout=lambda t: 0.1 <= t < 0.3)
+        stats = engine.run(short_trace().windows())
+        for s in stats:
+            if 0.1 <= s.start_s < 0.3:
+                assert s.rx_mbps == 0
+            else:
+                assert s.rx_mbps > 0
+
+
+class TestCacheReplay:
+    def test_hit_traffic_reflected(self, env):
+        ctl, dataplane = env
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        ctl.write_memory(handle, "mem1", 128, 0xBEEF)
+        trace = CacheTrace(CacheTraceConfig(duration_s=1.0, samples_per_window=30, hit_rate=0.6))
+        stats = ReplayEngine(dataplane).run(trace.windows())
+        total_rx = sum(s.rx_mbps for s in stats)
+        total_reflect = sum(s.reflected_mbps for s in stats)
+        # ~60% of reads hit and reflect; ~40% miss and forward (Fig 13(b)).
+        assert total_reflect / (total_rx + total_reflect) == pytest.approx(0.6, abs=0.08)
+
+
+class TestImbalanceMetric:
+    def test_balanced(self, env):
+        _, dataplane = env
+        stats = ReplayEngine(dataplane).run(short_trace().windows())
+        s = stats[0]
+        s.rx_mbps_by_port = {0: 50.0, 1: 50.0}
+        assert load_imbalance(s, 0, 1) == 0.0
+
+    def test_fully_imbalanced(self, env):
+        _, dataplane = env
+        stats = ReplayEngine(dataplane).run(short_trace().windows())
+        s = stats[0]
+        s.rx_mbps_by_port = {0: 80.0}
+        assert load_imbalance(s, 0, 1) == 1.0
+
+    def test_no_traffic_zero(self, env):
+        _, dataplane = env
+        stats = ReplayEngine(dataplane).run(short_trace().windows())
+        s = stats[0]
+        s.rx_mbps_by_port = {}
+        assert load_imbalance(s, 0, 1) == 0.0

@@ -1,0 +1,77 @@
+"""Synthetic trace generation tests."""
+
+import pytest
+
+from repro.traffic.trace import (
+    WINDOW_S,
+    CacheTrace,
+    CacheTraceConfig,
+    CampusTrace,
+    TraceConfig,
+)
+
+
+class TestCampusTrace:
+    def test_window_count_and_timing(self):
+        trace = CampusTrace(config=TraceConfig(duration_s=2.0, samples_per_window=5))
+        windows = list(trace.windows())
+        assert len(windows) == 40
+        assert windows[0].start_s == 0.0
+        assert windows[1].start_s == pytest.approx(WINDOW_S)
+
+    def test_offered_rate_tracks_config(self):
+        trace = CampusTrace(config=TraceConfig(rate_mbps=100, duration_s=1.0))
+        rates = [w.offered_mbps for w in trace.windows()]
+        assert min(rates) == pytest.approx(100.0)
+        assert max(rates) <= 170.0  # bursts capped at 1.6x
+
+    def test_bursts_present(self):
+        trace = CampusTrace(
+            config=TraceConfig(duration_s=10.0, tcp_burst_probability=0.3)
+        )
+        rates = [w.offered_mbps for w in trace.windows()]
+        assert any(r > 100.0 for r in rates)
+
+    def test_deterministic(self):
+        cfg = TraceConfig(duration_s=0.5, seed=9)
+        a = [[p.five_tuple() for p in w.packets] for w in CampusTrace(config=cfg).windows()]
+        b = [[p.five_tuple() for p in w.packets] for w in CampusTrace(config=cfg).windows()]
+        assert a == b
+
+    def test_packet_timestamps_match_window(self):
+        trace = CampusTrace(config=TraceConfig(duration_s=0.5))
+        for window in trace.windows():
+            assert all(p.ts == window.start_s for p in window.packets)
+
+    def test_mixed_protocols(self):
+        trace = CampusTrace(config=TraceConfig(duration_s=1.0, samples_per_window=50))
+        protos = {
+            p.get_field("hdr.ipv4.proto")
+            for w in trace.windows()
+            for p in w.packets
+        }
+        assert protos == {6, 17}
+
+
+class TestCacheTrace:
+    def test_hit_rate_statistics(self):
+        cfg = CacheTraceConfig(duration_s=5.0, samples_per_window=40, hit_rate=0.6)
+        hits = total = 0
+        for window in CacheTrace(cfg).windows():
+            for pkt in window.packets:
+                total += 1
+                key = (pkt.get_field("hdr.nc.key1") << 32) | pkt.get_field("hdr.nc.key2")
+                hits += key == cfg.hot_key
+        assert hits / total == pytest.approx(0.6, abs=0.05)
+
+    def test_all_packets_are_cache_reads(self):
+        for window in CacheTrace(CacheTraceConfig(duration_s=0.2)).windows():
+            for pkt in window.packets:
+                assert pkt.get_field("hdr.nc.op") == 1
+                assert pkt.get_field("hdr.udp.dst_port") == 7777
+
+    def test_constant_offered_rate(self):
+        rates = {
+            w.offered_mbps for w in CacheTrace(CacheTraceConfig(duration_s=0.5)).windows()
+        }
+        assert len(rates) == 1
