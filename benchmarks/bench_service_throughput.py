@@ -1,0 +1,113 @@
+"""Control-service throughput: N concurrent tenants churning deploy/revoke.
+
+Measures the northbound service end to end — TCP framing, admission
+queue, tenancy, audit, metrics — with a NullBinding controller so the
+numbers isolate the *service* layer rather than the simulator.  Reports
+ops/s and client-observed p50/p99 RPC latency, plus the server's own
+latency histograms, so later PRs have a perf trajectory for this layer.
+
+Scale: quick = 4 tenants x 12 deploy/revoke rounds; full = 8 x 50.
+"""
+
+import statistics
+import threading
+import time
+
+from _common import banner, fmt_row, once, scaled
+
+from repro.controlplane import Controller, NullBinding
+from repro.programs import PROGRAMS
+from repro.service import ControlService, ServerThread, ServiceClient, TenantQuota, TenantRegistry
+
+SOURCES = [PROGRAMS[name].source for name in ("cache", "lb", "hh", "nc")]
+
+
+def churn(port, tenant, source, rounds, latencies):
+    with ServiceClient(port=port, tenant=tenant) as client:
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            info = client.deploy(source)
+            latencies["deploy"].append((time.perf_counter() - t0) * 1e3)
+            t0 = time.perf_counter()
+            client.revoke(info["program_id"])
+            latencies["revoke"].append((time.perf_counter() - t0) * 1e3)
+            t0 = time.perf_counter()
+            client.list_programs()
+            latencies["list"].append((time.perf_counter() - t0) * 1e3)
+
+
+def run_churn(num_tenants, rounds):
+    service = ControlService(
+        Controller(NullBinding()),
+        tenants=TenantRegistry(TenantQuota.unlimited()),
+    )
+    latencies = {"deploy": [], "revoke": [], "list": []}
+    with ServerThread(service) as server:
+        threads = [
+            threading.Thread(
+                target=churn,
+                args=(server.port, f"tenant{i}", SOURCES[i % len(SOURCES)], rounds, latencies),
+            )
+            for i in range(num_tenants)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        server_metrics = service.metrics.snapshot()
+    total_rpcs = sum(len(v) for v in latencies.values())
+    return {
+        "elapsed_s": elapsed,
+        "ops_per_s": total_rpcs / elapsed,
+        "latencies": latencies,
+        "server": server_metrics,
+        "audit_records": len(service.audit),
+    }
+
+
+def quantile(values, q):
+    ordered = sorted(values)
+    return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+
+def test_service_throughput(benchmark):
+    num_tenants = scaled(4, 8)
+    rounds = scaled(12, 50)
+    report = once(benchmark, lambda: run_churn(num_tenants, rounds))
+    banner(
+        f"Control-service throughput: {num_tenants} concurrent tenants x "
+        f"{rounds} deploy/revoke/list rounds"
+    )
+    print(
+        f"total {report['ops_per_s']:8.1f} RPC/s over {report['elapsed_s']:.2f} s "
+        f"({report['audit_records']} audited writes)"
+    )
+    widths = [8, 8, 10, 10, 10, 10]
+    print(fmt_row("rpc", "count", "mean ms", "p50 ms", "p99 ms", "max ms", widths=widths))
+    for rpc, values in sorted(report["latencies"].items()):
+        print(
+            fmt_row(
+                rpc,
+                len(values),
+                f"{statistics.mean(values):.3f}",
+                f"{quantile(values, 0.50):.3f}",
+                f"{quantile(values, 0.99):.3f}",
+                f"{max(values):.3f}",
+                widths=widths,
+            )
+        )
+    print("\nserver-side latency histograms (ms):")
+    for name, hist in sorted(report["server"]["histograms"].items()):
+        print(
+            fmt_row(
+                name,
+                hist["count"],
+                f"mean {hist['mean']}",
+                f"p50 {round(hist['p50'], 3)}",
+                f"p99 {round(hist['p99'], 3)}",
+                widths=[28, 8, 14, 14, 14],
+            )
+        )
+    assert report["ops_per_s"] > 0

@@ -7,6 +7,7 @@ Commands operate on one controller session (simulated switch by default):
                   [--elastic N [--branch K]]
     revoke <program-id>
     list
+    ps                                     # structured process listing
     show <program-id>                      # pretty-printed source + layout
     trace <pcap-file> [index]             # per-op execution trace (Fig. 3)
     mem read <program-id> <mid> <vaddr>
@@ -18,6 +19,12 @@ Commands operate on one controller session (simulated switch by default):
 
 Run interactively (``python -m repro.cli``) or scripted
 (``python -m repro.cli -c "deploy prog.rp" -c list``).
+
+Two daemon-mode subcommands wrap the northbound control service
+(:mod:`repro.service`) instead of an in-process controller:
+
+    p4runpro serve  [--host H] [--port P] [--chain HOPS] [--max-programs N]
+    p4runpro client <method> [key=value ...] [--tenant T] [--deadline-ms D]
 """
 
 from __future__ import annotations
@@ -129,6 +136,27 @@ class RuntimeCLI:
         self._handles.pop(program_id, None)
         self._cases.pop(program_id, None)
         self._print(f"revoked #{program_id} in {delay:.2f} ms")
+
+    def cmd_ps(self, args) -> None:
+        """Structured process listing via Controller.list_programs()."""
+        listing = self.controller.list_programs()
+        if not listing:
+            self._print("no programs running")
+            return
+        self._print(
+            f"{'ID':<5s} {'NAME':<14s} {'STATE':<11s} {'ENTRIES':>7s}  "
+            f"{'LOGIC RPBS':<22s} MEMORY"
+        )
+        for info in listing:
+            rpbs = ",".join(str(r) for r in info["logic_rpbs"])
+            memories = " ".join(
+                f"{mid}:{m['size']}@rpb{m['phys_rpb']}"
+                for mid, m in info["memory"].items()
+            )
+            self._print(
+                f"#{info['program_id']:<4d} {info['name']:<14s} {info['state']:<11s} "
+                f"{info['entries']:>7d}  {rpbs:<22s} {memories or '-'}"
+            )
 
     def cmd_list(self, args) -> None:
         records = self.controller.running_programs()
@@ -248,7 +276,109 @@ class RuntimeCLI:
         return int(args[0])
 
 
+def serve_main(argv: list[str]) -> int:
+    """``p4runpro serve``: run the northbound control service."""
+    parser = argparse.ArgumentParser(
+        prog="p4runpro serve",
+        description="Run the multi-tenant northbound control service "
+        "(newline-delimited JSON-RPC over TCP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9400)
+    parser.add_argument(
+        "--chain",
+        type=int,
+        metavar="HOPS",
+        help="serve a switch chain of HOPS hops instead of a single switch",
+    )
+    parser.add_argument(
+        "--max-programs", type=int, default=8, help="per-tenant program quota"
+    )
+    parser.add_argument(
+        "--max-memory-buckets", type=int, default=65536,
+        help="per-tenant memory-bucket quota",
+    )
+    parser.add_argument(
+        "--max-table-entries", type=int, default=512,
+        help="per-tenant table-entry quota",
+    )
+    ns = parser.parse_args(argv)
+    import asyncio
+
+    from .service import ControlService, TenantQuota, TenantRegistry, serve
+
+    if ns.chain:
+        controller, dataplane = Controller.with_chain(ns.chain)
+    else:
+        controller, dataplane = Controller.with_simulator()
+    tenants = TenantRegistry(
+        TenantQuota(ns.max_programs, ns.max_memory_buckets, ns.max_table_entries)
+    )
+    service = ControlService(controller, dataplane, tenants=tenants)
+    print(f"p4runpro control service listening on {ns.host}:{ns.port}")
+    try:
+        asyncio.run(serve(ns.host, ns.port, service))
+    except KeyboardInterrupt:
+        print("drained; bye")
+    return 0
+
+
+def client_main(argv: list[str]) -> int:
+    """``p4runpro client``: one RPC against a running control service.
+
+    The method's params are given as ``key=value`` pairs; values parse as
+    JSON when possible (so ``program_id=3`` is an int and
+    ``conditions=[["har",1,255]]`` is a list), else as strings.
+    ``source=@file.rp`` inlines a file's contents.
+    """
+    parser = argparse.ArgumentParser(
+        prog="p4runpro client",
+        description="Send one RPC to a running control service",
+    )
+    parser.add_argument("method", help="RPC method, e.g. deploy, list, metrics")
+    parser.add_argument("params", nargs="*", help="key=value params")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9400)
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--deadline-ms", type=float)
+    ns = parser.parse_args(argv)
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    params = {}
+    for pair in ns.params:
+        if "=" not in pair:
+            parser.error(f"param {pair!r} is not key=value")
+        key, value = pair.split("=", 1)
+        if value.startswith("@"):
+            value = Path(value[1:]).read_text()
+        else:
+            try:
+                value = json.loads(value)
+            except json.JSONDecodeError:
+                pass
+        params[key] = value
+    try:
+        with ServiceClient(ns.host, ns.port, tenant=ns.tenant) as client:
+            try:
+                result = client.call(ns.method, params, deadline_ms=ns.deadline_ms)
+            except ServiceError as exc:
+                print(f"error [{exc.code.value}]: {exc.message}", file=sys.stderr)
+                return 1
+    except OSError as exc:
+        print(f"error: cannot reach {ns.host}:{ns.port} ({exc})", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return client_main(argv[1:])
     parser = argparse.ArgumentParser(description="P4runpro runtime CLI")
     parser.add_argument(
         "-c",

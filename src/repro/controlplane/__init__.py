@@ -15,7 +15,10 @@ from .manager import (
 from .timing import ConventionalP4Timing, SimClock, UpdateTimingModel
 from .update import (
     DataPlaneBinding,
+    FaultInjectingBinding,
+    FaultPlan,
     NullBinding,
+    SouthboundError,
     UpdateEngine,
     UpdateReport,
 )
@@ -27,6 +30,8 @@ __all__ = [
     "DataPlaneBinding",
     "DeployStats",
     "DeployedProgram",
+    "FaultInjectingBinding",
+    "FaultPlan",
     "FreeList",
     "FreeListCorruptionError",
     "INIT_TABLE_CAPACITY",
@@ -41,6 +46,7 @@ __all__ = [
     "RECIRC_TABLE_CAPACITY",
     "ResourceManager",
     "SimClock",
+    "SouthboundError",
     "UpdateEngine",
     "UpdateReport",
     "UpdateTimingModel",

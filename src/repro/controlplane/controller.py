@@ -303,6 +303,32 @@ class Controller:
     def running_programs(self) -> list[ProgramRecord]:
         return self.manager.programs()
 
+    def list_programs(self) -> list[dict]:
+        """Structured registry listing: one dict per deployed program.
+
+        The monitoring counterpart to :meth:`program_stats` that needs no
+        prior handle — id, name, lifecycle state, installed-entry count,
+        logic-RPB vector, and per-memory sizes.  Serializable as-is (the
+        northbound ``list`` RPC and the CLI ``ps`` command return it
+        verbatim).
+        """
+        listing = []
+        for record in self.manager.programs():
+            listing.append(
+                {
+                    "program_id": record.program_id,
+                    "name": record.name,
+                    "state": record.state.value,
+                    "entries": len(record.installed_handles) or len(record.batch),
+                    "logic_rpbs": list(record.compiled.allocation.x),
+                    "memory": {
+                        mid: {"phys_rpb": alloc.phys_rpb, "size": alloc.size}
+                        for mid, alloc in sorted(record.memory.items())
+                    },
+                }
+            )
+        return listing
+
     def utilization(self) -> dict[str, float]:
         return {
             "memory": self.manager.memory_utilization(),

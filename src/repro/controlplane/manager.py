@@ -197,6 +197,18 @@ class ResourceManager:
         record.state = ProgramState.REMOVED
         del self._programs[record.program_id]
 
+    def seed_program_id(self, next_id: int) -> None:
+        """Pin the next admitted program's id (audit-log replay).
+
+        A live run may burn ids on deployments that later failed; replay
+        only re-applies the successful ones, so it aligns the counter to
+        each record's id before re-deploying to reproduce the original
+        registry byte-for-byte.
+        """
+        if next_id in self._programs:
+            raise ValueError(f"program id {next_id} is already in use")
+        self._id_counter = itertools.count(next_id)
+
     def get(self, program_id: int) -> ProgramRecord:
         record = self._programs.get(program_id)
         if record is None:
@@ -224,6 +236,48 @@ class ResourceManager:
         used = sum(self._entries_reserved[t] for t in rpb_tables)
         capacity = sum(self._entry_capacity[t] for t in rpb_tables)
         return used / capacity
+
+    def state_fingerprint(self) -> str:
+        """Canonical JSON digest of the manager's entire dynamic state.
+
+        Covers every free list (free runs, allocated and locked blocks),
+        every table's reserved-entry count, and the program registry
+        (ids, names, states, memory layouts, per-table installed-entry
+        counts).  Two managers that fingerprint equal are byte-identical
+        as far as admission decisions are concerned — the basis for the
+        rollback tests and for audit-log replay verification.  Raw entry
+        handles are deliberately excluded: they depend on how many
+        southbound attempts a binding has seen, not on what is installed.
+        """
+        import json
+
+        programs = {}
+        for program_id, record in sorted(self._programs.items()):
+            per_table: dict[str, int] = {}
+            for table, _handle in record.installed_handles:
+                per_table[table] = per_table.get(table, 0) + 1
+            programs[str(program_id)] = {
+                "name": record.name,
+                "state": record.state.value,
+                "memory": {
+                    mid: [alloc.phys_rpb, alloc.fragments]
+                    for mid, alloc in sorted(record.memory.items())
+                },
+                "installed": dict(sorted(per_table.items())),
+            }
+        state = {
+            "freelists": {
+                str(phys): {
+                    "free": fl.free_runs(),
+                    "allocated": sorted(fl._allocated.items()),
+                    "locked": fl.locked_ranges(),
+                }
+                for phys, fl in sorted(self._freelists.items())
+            },
+            "entries_reserved": dict(sorted(self._entries_reserved.items())),
+            "programs": programs,
+        }
+        return json.dumps(state, sort_keys=True)
 
     def utilization_snapshot(self) -> dict[str, list[float]]:
         """Per-RPB memory and entry utilization (Fig. 18/19 heatmaps)."""

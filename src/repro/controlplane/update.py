@@ -41,22 +41,92 @@ class DataPlaneBinding(Protocol):
         ...
 
 
+class SouthboundError(ConnectionError):
+    """A transient southbound RPC failure (bfrt_grpc UNAVAILABLE stand-in)."""
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic southbound fault schedule: fail every k-th operation.
+
+    ``every_k == 0`` disables injection.  ``ops`` selects which southbound
+    calls count toward (and can trip) the schedule; by default only entry
+    updates, matching the paper's update-delay-critical path.  The counter
+    spans operations of all selected kinds, so ``every_k=3`` over
+    ``{"insert", "delete"}`` fails the 3rd, 6th, ... update regardless of
+    kind.  ``max_faults`` bounds total injections (``None`` = unbounded),
+    letting tests model a link that heals after n transient errors.
+    """
+
+    every_k: int = 0
+    ops: frozenset[str] = frozenset({"insert", "delete"})
+    max_faults: int | None = None
+    exception: type[Exception] = SouthboundError
+    calls: int = 0
+    faults: int = 0
+
+    def check(self, op: str) -> None:
+        """Count one southbound call; raise if the schedule says so."""
+        if self.every_k <= 0 or op not in self.ops:
+            return
+        self.calls += 1
+        if self.calls % self.every_k != 0:
+            return
+        if self.max_faults is not None and self.faults >= self.max_faults:
+            return
+        self.faults += 1
+        raise self.exception(
+            f"injected southbound fault on {op} (call {self.calls})"
+        )
+
+
 class NullBinding:
     """A no-op binding for control-plane-only experiments (no simulator)."""
 
-    def __init__(self) -> None:
+    def __init__(self, fault_plan: FaultPlan | None = None) -> None:
         self._next = 1
+        self.fault_plan = fault_plan
+
+    def _check(self, op: str) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.check(op)
 
     def insert_entry(self, entry: EntryConfig) -> int:
+        self._check("insert")
         handle = self._next
         self._next += 1
         return handle
 
     def delete_entry(self, table: str, handle: int) -> None:
-        pass
+        self._check("delete")
 
     def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
-        pass
+        self._check("reset")
+
+
+class FaultInjectingBinding:
+    """Wraps any binding with a :class:`FaultPlan` (fails before the call
+    reaches the inner binding, so a fault never half-applies an update).
+    Everything the plan does not cover is transparently delegated."""
+
+    def __init__(self, inner: DataPlaneBinding, plan: FaultPlan):
+        self.inner = inner
+        self.fault_plan = plan
+
+    def insert_entry(self, entry: EntryConfig) -> int:
+        self.fault_plan.check("insert")
+        return self.inner.insert_entry(entry)
+
+    def delete_entry(self, table: str, handle: int) -> None:
+        self.fault_plan.check("delete")
+        self.inner.delete_entry(table, handle)
+
+    def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
+        self.fault_plan.check("reset")
+        self.inner.reset_memory(phys_rpb, base, size)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
 
 
 @dataclass

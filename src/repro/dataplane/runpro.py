@@ -64,8 +64,21 @@ class P4runproDataPlane:
         for name, width in dp.P4RUNPRO_FIELDS.items():
             self.switch.layout.declare(name, width)
         self.tables: dict[str, MatchActionTable] = {}
+        #: southbound event hooks: callables ``(event, detail)`` invoked
+        #: after every successful binding mutation ("insert_entry",
+        #: "delete_entry", "reset_memory").  The control service's audit
+        #: layer subscribes here; hooks must not raise.
+        self.event_hooks: list = []
         self._build_blocks(machine)
         self.switch.provision_done()
+
+    def add_event_hook(self, hook) -> None:
+        """Subscribe ``hook(event: str, detail: dict)`` to binding events."""
+        self.event_hooks.append(hook)
+
+    def _emit(self, event: str, **detail) -> None:
+        for hook in self.event_hooks:
+            hook(event, detail)
 
     # -- construction -----------------------------------------------------------
     def _build_blocks(self, machine: ParseMachine) -> None:
@@ -132,15 +145,19 @@ class P4runproDataPlane:
     def insert_entry(self, entry: EntryConfig) -> int:
         table = self._table(entry.table)
         keys = tuple(TernaryKey(k.field, k.value, k.mask) for k in entry.keys)
-        return table.insert(
+        handle = table.insert(
             TableEntry(keys, entry.action, entry.data(), priority=entry.priority)
         )
+        self._emit("insert_entry", table=entry.table, action=entry.action, handle=handle)
+        return handle
 
     def delete_entry(self, table: str, handle: int) -> None:
         self._table(table).delete(handle)
+        self._emit("delete_entry", table=table, handle=handle)
 
     def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
         self._array(phys_rpb).reset_range(base, size)
+        self._emit("reset_memory", phys_rpb=phys_rpb, base=base, size=size)
 
     # -- raw control-plane memory APIs ---------------------------------------
     def read_bucket(self, phys_rpb: int, addr: int) -> int:

@@ -1,0 +1,76 @@
+"""repro.service — the multi-tenant northbound control service.
+
+The paper's operator interface is a single-user CLI over an in-process
+:class:`~repro.controlplane.Controller`.  This package is the layer a
+production deployment puts between operators and the switch (cf. RBFRT
+and the P4ContainerFlow control plane): a long-lived asyncio daemon that
+serves many tenants over a newline-delimited JSON-RPC protocol, with
+
+* per-tenant namespaces and admission quotas (:mod:`.tenants`),
+* an admission queue serializing compiler/allocator access while reads
+  stay concurrent, per-request deadlines, and graceful drain
+  (:mod:`.server`),
+* bounded-retry/exponential-backoff southbound robustness
+  (:mod:`.robustness`),
+* a structured audit journal whose replay reconstructs controller state,
+  plus counters and latency histograms (:mod:`.audit`, :mod:`.metrics`).
+
+Start one with ``p4runpro serve`` or::
+
+    from repro.service import ControlService, ServerThread, ServiceClient
+
+    with ServerThread(ControlService()) as server:
+        client = ServiceClient(port=server.port, tenant="alice")
+        info = client.deploy(source)
+        client.revoke(info["program_id"])
+"""
+
+from .audit import AuditLog, AuditRecord, replay
+from .client import AsyncServiceClient, ServiceClient
+from .metrics import Counter, Histogram, MetricsRegistry
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    Request,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+)
+from .robustness import RetryingBinding, RetryPolicy, RetryStats
+from .server import ControlService, ServerThread, ServiceServer, serve
+from .tenants import (
+    QuotaExceededError,
+    Tenant,
+    TenantProgram,
+    TenantQuota,
+    TenantRegistry,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "AuditLog",
+    "AuditRecord",
+    "ControlService",
+    "Counter",
+    "ErrorCode",
+    "Histogram",
+    "MetricsRegistry",
+    "PROTOCOL_VERSION",
+    "QuotaExceededError",
+    "Request",
+    "RetryPolicy",
+    "RetryStats",
+    "RetryingBinding",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "Tenant",
+    "TenantProgram",
+    "TenantQuota",
+    "TenantRegistry",
+    "decode_frame",
+    "encode_frame",
+    "replay",
+    "serve",
+]

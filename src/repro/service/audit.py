@@ -1,0 +1,209 @@
+"""Structured audit/event log, and state reconstruction by replay.
+
+Every state-changing RPC the service executes appends one
+:class:`AuditRecord`: who (tenant), what (method + full params), when
+(sequence number and wall time), how long (queue wait vs execution), and
+how it ended (``ok`` or a structured error code).  The log is the
+service's source of truth for "what happened to the switch and why" —
+and because deploy records carry the full program source, it is also a
+*recovery journal*: :func:`replay` applies the successful records, in
+order, to a fresh controller and reproduces the resource manager's final
+state byte-for-byte (verified against
+:meth:`~repro.controlplane.manager.ResourceManager.state_fingerprint`).
+
+Replay exactness hinges on two properties the service guarantees:
+
+* state-changing requests are serialized by the admission queue, so the
+  log's sequence order *is* the execution order;
+* program ids are pinned — each deploy record stores the id the live run
+  assigned, and replay seeds the manager's id counter with it (a live run
+  may burn ids on deployments that subsequently failed; replay skips
+  those records, so it cannot rely on the counter lining up by itself).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+#: Methods whose successful execution mutates switch / manager state.
+STATE_CHANGING_METHODS = frozenset(
+    {"deploy", "revoke", "add_case", "remove_case", "write_mem"}
+)
+
+
+def compile_options_from_params(params: dict):
+    """Build :class:`~repro.compiler.compiler.CompileOptions` from deploy
+    params — shared by the live server and :func:`replay` so both compile
+    a recorded source identically."""
+    from ..compiler.compiler import CompileOptions
+    from ..compiler.objectives import make_objective
+
+    return CompileOptions(
+        objective=make_objective(params.get("objective", "f1")),
+        elastic_cases=params.get("elastic"),
+        elastic_branch=params.get("branch", 0),
+    )
+
+
+@dataclass
+class AuditRecord:
+    """One state-changing request, as executed."""
+
+    seq: int
+    wall_time: float
+    tenant: str
+    method: str
+    params: dict
+    outcome: str  # "ok" or "error:<CODE>"
+    result: dict = field(default_factory=dict)
+    queue_ms: float = 0.0
+    execute_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    @property
+    def total_ms(self) -> float:
+        return self.queue_ms + self.execute_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "wall_time": self.wall_time,
+            "tenant": self.tenant,
+            "method": self.method,
+            "params": self.params,
+            "outcome": self.outcome,
+            "result": self.result,
+            "queue_ms": round(self.queue_ms, 4),
+            "execute_ms": round(self.execute_ms, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditRecord":
+        return cls(
+            seq=payload["seq"],
+            wall_time=payload["wall_time"],
+            tenant=payload["tenant"],
+            method=payload["method"],
+            params=payload["params"],
+            outcome=payload["outcome"],
+            result=payload.get("result", {}),
+            queue_ms=payload.get("queue_ms", 0.0),
+            execute_ms=payload.get("execute_ms", 0.0),
+        )
+
+
+class AuditLog:
+    """Append-only audit journal with JSONL import/export."""
+
+    def __init__(self, *, clock=time.time):
+        self._records: list[AuditRecord] = []
+        self._clock = clock
+
+    def append(
+        self,
+        tenant: str,
+        method: str,
+        params: dict,
+        outcome: str,
+        result: dict | None = None,
+        *,
+        queue_ms: float = 0.0,
+        execute_ms: float = 0.0,
+    ) -> AuditRecord:
+        record = AuditRecord(
+            seq=len(self._records) + 1,
+            wall_time=self._clock(),
+            tenant=tenant,
+            method=method,
+            params=params,
+            outcome=outcome,
+            result=result or {},
+            queue_ms=queue_ms,
+            execute_ms=execute_ms,
+        )
+        self._records.append(record)
+        return record
+
+    def records(self) -> list[AuditRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def tail(self, limit: int) -> list[AuditRecord]:
+        return self._records[-limit:] if limit else list(self._records)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(r.as_dict(), sort_keys=True) for r in self._records)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "AuditLog":
+        log = cls()
+        for line in text.splitlines():
+            if line.strip():
+                log._records.append(AuditRecord.from_dict(json.loads(line)))
+        return log
+
+
+def replay(records, controller=None):
+    """Apply the successful state-changing records to a fresh controller.
+
+    ``records`` is an :class:`AuditLog` or an iterable of records/dicts.
+    Returns the controller, whose resource manager now fingerprints
+    identically to the live service's at the moment the log was captured.
+    """
+    from ..controlplane.controller import Controller
+
+    if isinstance(records, AuditLog):
+        records = records.records()
+    if controller is None:
+        controller = Controller.with_simulator()[0]
+    # wire case ids -> live CaseHandle objects minted during this replay
+    cases: dict[int, object] = {}
+    for record in records:
+        if isinstance(record, dict):
+            record = AuditRecord.from_dict(record)
+        if not record.ok or record.method not in STATE_CHANGING_METHODS:
+            continue
+        params = record.params
+        if record.method == "deploy":
+            controller.manager.seed_program_id(record.result["program_id"])
+            handle = controller.deploy(
+                params["source"],
+                program_name=params.get("program"),
+                options=compile_options_from_params(params),
+            )
+            if handle.program_id != record.result["program_id"]:
+                raise RuntimeError(
+                    f"replay divergence at seq {record.seq}: deployed as "
+                    f"#{handle.program_id}, log says #{record.result['program_id']}"
+                )
+        elif record.method == "revoke":
+            controller.revoke(params["program_id"])
+        elif record.method == "add_case":
+            case = controller.add_case(
+                params["program_id"],
+                [tuple(c) for c in params["conditions"]],
+                branch_index=params.get("branch_index", 0),
+                template_case=params.get("template_case", 0),
+                loadi_values=params.get("loadi_values"),
+            )
+            cases[record.result["case_id"]] = case
+        elif record.method == "remove_case":
+            case = cases.pop(params["case_id"], None)
+            if case is None:
+                raise RuntimeError(
+                    f"replay divergence at seq {record.seq}: unknown case id "
+                    f"{params['case_id']}"
+                )
+            controller.remove_case(params["program_id"], case)
+        elif record.method == "write_mem":
+            controller.write_memory(
+                params["program_id"], params["mid"], params["vaddr"], params["value"]
+            )
+    return controller

@@ -1,0 +1,185 @@
+"""Clients for the control service: synchronous (socket) and asyncio.
+
+:class:`ServiceClient` is the blocking client used by the CLI, the
+benchmarks, and thread-based tests — one TCP connection, one request per
+call, structured errors re-raised as
+:class:`~repro.service.protocol.ServiceError`.
+
+:class:`AsyncServiceClient` is the asyncio twin for callers that want
+many in-flight requests on one event loop (the integration tests drive
+four tenants concurrently with it).
+
+Both speak the NDJSON protocol and expose one convenience method per
+RPC; ``call`` remains available for anything new the server grows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ErrorCode,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class _CallMixin:
+    """RPC conveniences shared by both clients (sync methods defined in
+    terms of ``self.call``, which each client implements)."""
+
+    def _request(self, method: str, params: dict | None, deadline_ms: float | None):
+        self._next_id += 1
+        payload = {
+            "id": self._next_id,
+            "tenant": self.tenant,
+            "method": method,
+            "params": params or {},
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return payload
+
+    @staticmethod
+    def _unwrap(response: dict):
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServiceError.from_wire(error)
+
+
+def _sync_api(cls):
+    """Attach one convenience method per RPC to a sync client class."""
+
+    def make(method, keys):
+        def rpc(self, *args, deadline_ms=None, **kwargs):
+            params = dict(zip(keys, args))
+            params.update(kwargs)
+            return self.call(method, params, deadline_ms=deadline_ms)
+
+        rpc.__name__ = method
+        return rpc
+
+    for method, keys in _RPC_SIGNATURES.items():
+        if not hasattr(cls, method):
+            setattr(cls, method, make(method, keys))
+    return cls
+
+
+#: positional-argument names for each RPC's convenience wrapper
+_RPC_SIGNATURES = {
+    "ping": (),
+    "deploy": ("source",),
+    "revoke": ("program_id",),
+    "add_case": ("program_id", "conditions"),
+    "remove_case": ("program_id", "case_id"),
+    "read_mem": ("program_id", "mid", "vaddr"),
+    "write_mem": ("program_id", "mid", "vaddr", "value"),
+    "snapshot": ("program_id", "mid"),
+    "stats": ("program_id",),
+    "list": (),
+    "utilization": (),
+    "tenants": (),
+    "metrics": (),
+    "audit": (),
+    "fingerprint": (),
+    "set_quota": ("tenant",),
+}
+
+
+@_sync_api
+class ServiceClient(_CallMixin):
+    """Blocking NDJSON-RPC client over one TCP connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9400,
+        *,
+        tenant: str = "default",
+        timeout: float = 30.0,
+    ):
+        self.tenant = tenant
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    def call(self, method: str, params: dict | None = None, *, deadline_ms: float | None = None):
+        payload = self._request(method, params, deadline_ms)
+        self._sock.sendall(encode_frame(payload))
+        line = self._file.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ServiceError(ErrorCode.INTERNAL, "connection closed by server")
+        return self._unwrap(decode_frame(line))
+
+    def list_programs(self, **kwargs) -> list[dict]:
+        return self.call("list", kwargs)["programs"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServiceClient(_CallMixin):
+    """Asyncio NDJSON-RPC client; ``await connect()`` then ``await call()``.
+
+    Calls on one client instance are serialized over its connection (a
+    lock pairs each request with its response line); open one client per
+    tenant/coroutine for true concurrency — connections are cheap.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9400, *, tenant: str = "default"):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self._next_id = 0
+        self._reader: asyncio.StreamReader | None = None
+        self._writer = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        return self
+
+    async def call(
+        self, method: str, params: dict | None = None, *, deadline_ms: float | None = None
+    ):
+        if self._reader is None:
+            await self.connect()
+        payload = self._request(method, params, deadline_ms)
+        async with self._lock:
+            self._writer.write(encode_frame(payload))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServiceError(ErrorCode.INTERNAL, "connection closed by server")
+        return self._unwrap(decode_frame(line))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,0 +1,130 @@
+"""Lightweight in-process metrics: counters and latency histograms.
+
+Prometheus-shaped but dependency-free.  Every RPC the server handles
+increments ``rpc.<method>.<outcome>`` and observes its wall-clock latency
+in ``rpc.<method>.latency_ms``; the ``metrics`` RPC returns the whole
+registry as one JSON snapshot, so a scraper (or the benchmark harness)
+needs nothing beyond the service's own wire protocol.
+
+Histograms use fixed logarithmic bucket bounds.  Quantiles are estimated
+by linear interpolation inside the winning bucket — coarse, but stable
+memory (no reservoir) and accurate enough to track p50/p99 trends across
+PRs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+#: Default latency bounds (ms): ~exponential from 50us to 10s.
+DEFAULT_BOUNDS = (
+    0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+    1000, 2500, 5000, 10000,
+)
+
+
+@dataclass
+class Counter:
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max and quantile estimates."""
+
+    name: str
+    bounds: tuple = DEFAULT_BOUNDS
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            # one bucket per bound plus the +inf overflow bucket
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated q-quantile (0 < q <= 1); None when empty."""
+        if self.total == 0:
+            return None
+        rank = q * self.total
+        seen = 0.0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if seen + count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else (self.max if self.max is not None else lower)
+                )
+                fraction = (rank - seen) / count
+                return lower + (upper - lower) * fraction
+            seen += count
+        return self.max
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.total if self.total else None
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum, 4),
+            "mean": round(self.mean, 4) if self.total else None,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def histogram(self, name: str, bounds: tuple = DEFAULT_BOUNDS) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name, bounds)
+            self._histograms[name] = histogram
+        return histogram
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-serializable mapping."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }

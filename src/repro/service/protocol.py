@@ -1,0 +1,137 @@
+"""Wire protocol of the northbound control service.
+
+Newline-delimited JSON-RPC over a plain TCP stream — the same shape the
+P4ContainerFlow control plane exposes over HTTP, collapsed to one framed
+socket so a session can pipeline requests.  One request per line, one
+response per line, always in request order per connection::
+
+    -> {"id": 1, "tenant": "alice", "method": "deploy",
+        "params": {"source": "..."}, "deadline_ms": 2000}
+    <- {"id": 1, "ok": true, "result": {"program_id": 3, ...}}
+
+    -> {"id": 2, "tenant": "alice", "method": "revoke",
+        "params": {"program_id": 99}}
+    <- {"id": 2, "ok": false,
+        "error": {"code": "NOT_FOUND", "message": "no program with id 99"}}
+
+``id`` is caller-chosen and echoed verbatim; ``tenant`` scopes the request
+to a namespace (defaults to ``"default"``); ``deadline_ms`` is an optional
+per-request budget measured from arrival — a state-changing request still
+waiting in the admission queue when it expires is rejected with
+``DEADLINE_EXCEEDED`` instead of executing late.
+
+Every error is structured: a stable machine-readable ``code`` from
+:class:`ErrorCode` plus a human message.  Clients re-raise them as
+:class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+
+#: Protocol revision, reported by the ``ping`` RPC.
+PROTOCOL_VERSION = 1
+
+#: Frame size guard: a single request/response line may not exceed this
+#: (a P4runpro source is a few KB; 4 MiB leaves room for big snapshots).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+class ErrorCode(str, Enum):
+    """Stable machine-readable failure categories."""
+
+    PARSE_ERROR = "PARSE_ERROR"  # request line was not valid JSON
+    BAD_REQUEST = "BAD_REQUEST"  # malformed envelope or params
+    UNKNOWN_METHOD = "UNKNOWN_METHOD"
+    NOT_FOUND = "NOT_FOUND"  # unknown program id / memory id
+    COMPILE_ERROR = "COMPILE_ERROR"  # source rejected by the compiler
+    ALLOCATION_ERROR = "ALLOCATION_ERROR"  # data plane cannot host it
+    QUOTA_EXCEEDED = "QUOTA_EXCEEDED"  # tenant over its admission quota
+    DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+    SOUTHBOUND_FAILURE = "SOUTHBOUND_FAILURE"  # retries exhausted
+    SHUTTING_DOWN = "SHUTTING_DOWN"  # service draining; writes refused
+    INTERNAL = "INTERNAL"
+
+
+class ServiceError(Exception):
+    """A structured RPC failure (raised server-side, re-raised client-side)."""
+
+    def __init__(self, code: ErrorCode | str, message: str):
+        super().__init__(message)
+        self.code = ErrorCode(code)
+        self.message = message
+
+    def to_wire(self) -> dict:
+        return {"code": self.code.value, "message": self.message}
+
+    @classmethod
+    def from_wire(cls, error: dict) -> "ServiceError":
+        return cls(error.get("code", ErrorCode.INTERNAL), error.get("message", ""))
+
+
+@dataclass
+class Request:
+    """A decoded request envelope."""
+
+    id: object
+    method: str
+    params: dict
+    tenant: str = "default"
+    deadline_ms: float | None = None
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Request":
+        if not isinstance(payload, dict):
+            raise ServiceError(ErrorCode.BAD_REQUEST, "request must be a JSON object")
+        method = payload.get("method")
+        if not isinstance(method, str) or not method:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "missing request method")
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServiceError(ErrorCode.BAD_REQUEST, "params must be an object")
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "tenant must be a non-empty string")
+        deadline = payload.get("deadline_ms")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ServiceError(ErrorCode.BAD_REQUEST, "deadline_ms must be positive")
+        return cls(
+            id=payload.get("id"),
+            method=method,
+            params=params,
+            tenant=tenant,
+            deadline_ms=deadline,
+        )
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One JSON object -> one newline-terminated wire frame."""
+    line = json.dumps(payload, separators=(",", ":")).encode()
+    if len(line) > MAX_FRAME_BYTES:
+        raise ServiceError(ErrorCode.BAD_REQUEST, "frame exceeds size limit")
+    return line + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """One wire line -> JSON object; PARSE_ERROR on garbage."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ServiceError(ErrorCode.PARSE_ERROR, "frame exceeds size limit")
+    try:
+        payload = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(ErrorCode.PARSE_ERROR, f"bad frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(ErrorCode.PARSE_ERROR, "frame must encode a JSON object")
+    return payload
+
+
+def ok_response(request_id, result) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, error: ServiceError) -> dict:
+    return {"id": request_id, "ok": False, "error": error.to_wire()}

@@ -1,0 +1,114 @@
+"""Southbound robustness: bounded retry with exponential backoff.
+
+RBFRT's motivating observation is that runtime control at scale lives or
+dies on how the controller handles a flaky switch connection.  The
+service therefore never talks to the raw binding: every southbound entry
+update goes through :class:`RetryingBinding`, which retries *transient*
+failures (connection resets, timeouts — in tests, injected
+:class:`~repro.controlplane.update.SouthboundError`) with exponential
+backoff, up to a bounded attempt budget.  Anything non-transient — an
+unknown table, a semantic error — propagates immediately; retrying it
+would just repeat the bug.
+
+When retries are exhausted the last transient error propagates and the
+update engine's rollback path takes over, so a dead link degrades to a
+clean failed deploy, never a half-installed program.
+
+The sleep function is injectable so tests (and the simulated clock) do
+not wait real wall-time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..controlplane.update import DataPlaneBinding, SouthboundError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: delays base, base*m, base*m^2, ..."""
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    #: exception types considered transient (retried); everything else
+    #: propagates on first occurrence
+    transient: tuple = (SouthboundError, ConnectionError, TimeoutError)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+
+
+@dataclass
+class RetryStats:
+    """Aggregate retry behaviour, surfaced through the metrics RPC."""
+
+    attempts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    backoff_s: float = 0.0
+    last_error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "backoff_s": round(self.backoff_s, 6),
+            "last_error": self.last_error,
+        }
+
+
+class RetryingBinding:
+    """Wraps any :class:`DataPlaneBinding` with the retry policy.
+
+    Only the three mutating southbound calls are wrapped; reads and any
+    binding extras (``read_bucket``, counters, multicast config) delegate
+    untouched via ``__getattr__``.
+    """
+
+    def __init__(
+        self,
+        inner: DataPlaneBinding,
+        policy: RetryPolicy | None = None,
+        *,
+        sleep=time.sleep,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.sleep = sleep
+        self.stats = RetryStats()
+
+    def _call(self, fn, *args):
+        policy = self.policy
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats.attempts += 1
+            try:
+                return fn(*args)
+            except policy.transient as exc:
+                self.stats.last_error = f"{type(exc).__name__}: {exc}"
+                if attempt >= policy.max_attempts:
+                    self.stats.gave_up += 1
+                    raise
+                self.stats.retries += 1
+                delay = policy.delay(attempt)
+                self.stats.backoff_s += delay
+                self.sleep(delay)
+
+    def insert_entry(self, entry) -> int:
+        return self._call(self.inner.insert_entry, entry)
+
+    def delete_entry(self, table: str, handle: int) -> None:
+        self._call(self.inner.delete_entry, table, handle)
+
+    def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
+        self._call(self.inner.reset_memory, phys_rpb, base, size)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

@@ -1,0 +1,547 @@
+"""The northbound control service: asyncio server over one controller.
+
+Turns the in-process :class:`~repro.controlplane.Controller` into a
+long-lived daemon serving many concurrent tenants over the NDJSON-RPC
+protocol (:mod:`repro.service.protocol`).  Layering:
+
+* :class:`ControlService` is the transport-independent request executor:
+  tenancy + quotas, the admission queue, deadlines, audit, metrics.
+* :class:`ServiceServer` binds it to a TCP listener via asyncio streams.
+* :class:`ServerThread` runs a server on a background thread for
+  synchronous callers (the CLI, benchmarks, tests).
+
+Concurrency model: requests from different connections are handled
+concurrently on the event loop.  State-changing methods (deploy, revoke,
+add_case, remove_case, write_mem, set_quota) funnel through one FIFO
+admission lock — the compiler and allocator always observe a quiescent
+resource manager, and the audit log's order *is* the execution order
+(which makes replay exact).  Read-only methods bypass the queue entirely,
+so monitoring stays responsive while a deploy is in flight.  Handler
+bodies are synchronous (controller calls take at most a few ms at
+simulation scale), so within one handler nothing interleaves.
+
+Robustness: the controller's southbound binding is wrapped in
+:class:`~repro.service.robustness.RetryingBinding` at service
+construction; per-request deadlines are enforced when a queued request is
+finally admitted; shutdown drains the admission queue before the listener
+closes (in-flight writes finish, queued-but-undispatched writes are
+refused with ``SHUTTING_DOWN``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..controlplane.controller import Controller
+from ..controlplane.manager import ProgramNotFoundError
+from ..lang.errors import AllocationError, P4runproError
+from .audit import STATE_CHANGING_METHODS, AuditLog, compile_options_from_params
+from .metrics import MetricsRegistry
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    Request,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+from .robustness import RetryingBinding, RetryPolicy
+from .tenants import TenantQuota, TenantRegistry
+
+#: Methods serialized through the admission queue.
+WRITE_METHODS = STATE_CHANGING_METHODS | {"set_quota"}
+
+#: Methods served without queueing.
+READ_METHODS = frozenset(
+    {
+        "ping",
+        "list",
+        "stats",
+        "read_mem",
+        "snapshot",
+        "utilization",
+        "tenants",
+        "metrics",
+        "audit",
+        "fingerprint",
+    }
+)
+
+
+class ControlService:
+    """Transport-independent executor for northbound requests."""
+
+    def __init__(
+        self,
+        controller: Controller | None = None,
+        dataplane=None,
+        *,
+        tenants: TenantRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        retry_sleep=None,
+        audit: AuditLog | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ):
+        if controller is None:
+            controller, dataplane = Controller.with_simulator()
+        self.controller = controller
+        self.dataplane = dataplane
+        binding = controller.updater.binding
+        if not isinstance(binding, RetryingBinding):
+            binding = RetryingBinding(
+                binding,
+                retry_policy,
+                **({"sleep": retry_sleep} if retry_sleep is not None else {}),
+            )
+            controller.updater.binding = binding
+        self.retrying = binding
+        self.tenants = tenants or TenantRegistry()
+        self.audit = audit or AuditLog()
+        self.metrics = metrics or MetricsRegistry()
+        self.clock = clock
+        self.draining = False
+        import weakref
+
+        self._write_locks = weakref.WeakKeyDictionary()
+        self._cases: dict[tuple[str, int], tuple[int, object]] = {}
+        self._next_case_id = 1
+
+    # -- dispatch ----------------------------------------------------------------
+    def _lock(self) -> asyncio.Lock:
+        # One admission lock per event loop (an asyncio.Lock binds to the
+        # loop it first awaits on; a service may outlive short test loops).
+        # Serialization across loops is not needed — a loop runs one thread.
+        loop = asyncio.get_running_loop()
+        lock = self._write_locks.get(loop)
+        if lock is None:
+            lock = asyncio.Lock()
+            self._write_locks[loop] = lock
+        return lock
+
+    async def handle_frame(self, line: bytes) -> dict:
+        """One wire line in, one response object out (never raises)."""
+        try:
+            payload = decode_frame(line)
+        except ServiceError as exc:
+            return error_response(None, exc)
+        try:
+            request = Request.from_wire(payload)
+        except ServiceError as exc:
+            return error_response(payload.get("id"), exc)
+        return await self.handle_request(request)
+
+    async def handle_request(self, request: Request) -> dict:
+        arrival = self.clock()
+        method = request.method
+        try:
+            if method in WRITE_METHODS:
+                result = await self._execute_write(request, arrival)
+            elif method in READ_METHODS:
+                self._check_deadline(request, arrival)
+                result = self._execute(request)
+                self._observe(method, "ok", arrival)
+            else:
+                raise ServiceError(
+                    ErrorCode.UNKNOWN_METHOD, f"unknown method {method!r}"
+                )
+        except ServiceError as exc:
+            self._observe(method, exc.code.value, arrival)
+            return error_response(request.id, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            error = ServiceError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
+            self._observe(method, error.code.value, arrival)
+            return error_response(request.id, error)
+        return ok_response(request.id, result)
+
+    async def _execute_write(self, request: Request, arrival: float) -> dict:
+        async with self._lock():
+            admitted = self.clock()
+            queue_ms = (admitted - arrival) * 1e3
+            try:
+                if self.draining:
+                    raise ServiceError(
+                        ErrorCode.SHUTTING_DOWN, "service is draining; write refused"
+                    )
+                self._check_deadline(request, arrival)
+                result = self._execute(request)
+            except ServiceError as exc:
+                self._audit(request, f"error:{exc.code.value}", {}, queue_ms, admitted)
+                raise
+            except Exception as exc:
+                error = self._map_error(request.method, exc)
+                self._audit(request, f"error:{error.code.value}", {}, queue_ms, admitted)
+                raise error from exc
+            self._audit(request, "ok", result, queue_ms, admitted)
+            self._observe(request.method, "ok", arrival)
+            return result
+
+    def _execute(self, request: Request) -> dict:
+        handler = getattr(self, f"_rpc_{request.method}")
+        try:
+            return handler(request.tenant, request.params)
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise self._map_error(request.method, exc) from exc
+
+    def _map_error(self, method: str, exc: Exception) -> ServiceError:
+        if isinstance(exc, ServiceError):
+            return exc
+        if isinstance(exc, self.retrying.policy.transient):
+            return ServiceError(
+                ErrorCode.SOUTHBOUND_FAILURE,
+                f"southbound update failed after retries: {exc}",
+            )
+        if isinstance(exc, ProgramNotFoundError):
+            return ServiceError(ErrorCode.NOT_FOUND, str(exc.args[0]) if exc.args else str(exc))
+        if isinstance(exc, AllocationError):
+            return ServiceError(ErrorCode.ALLOCATION_ERROR, str(exc))
+        if isinstance(exc, P4runproError):
+            code = ErrorCode.COMPILE_ERROR if method == "deploy" else ErrorCode.BAD_REQUEST
+            return ServiceError(code, str(exc))
+        if isinstance(exc, (KeyError, ValueError, TypeError)):
+            return ServiceError(ErrorCode.BAD_REQUEST, str(exc))
+        return ServiceError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
+
+    def _check_deadline(self, request: Request, arrival: float) -> None:
+        if request.deadline_ms is None:
+            return
+        elapsed_ms = (self.clock() - arrival) * 1e3
+        if elapsed_ms > request.deadline_ms:
+            raise ServiceError(
+                ErrorCode.DEADLINE_EXCEEDED,
+                f"deadline of {request.deadline_ms} ms exceeded after "
+                f"{elapsed_ms:.1f} ms in queue",
+            )
+
+    def _observe(self, method: str, outcome: str, arrival: float) -> None:
+        latency_ms = (self.clock() - arrival) * 1e3
+        suffix = "ok" if outcome == "ok" else "error"
+        self.metrics.counter(f"rpc.{method}.{suffix}").inc()
+        if outcome not in ("ok",):
+            self.metrics.counter(f"rpc.{method}.error.{outcome}").inc()
+        self.metrics.histogram(f"rpc.{method}.latency_ms").observe(latency_ms)
+
+    def _audit(
+        self, request: Request, outcome: str, result: dict, queue_ms: float, admitted: float
+    ) -> None:
+        self.audit.append(
+            request.tenant,
+            request.method,
+            request.params,
+            outcome,
+            result,
+            queue_ms=queue_ms,
+            execute_ms=(self.clock() - admitted) * 1e3,
+        )
+
+    # -- shutdown ---------------------------------------------------------------
+    async def drain(self) -> None:
+        """Refuse new writes, then wait for the in-flight one to finish."""
+        self.draining = True
+        async with self._lock():
+            pass
+
+    # -- param plumbing ---------------------------------------------------------
+    @staticmethod
+    def _require(params: dict, key: str):
+        if key not in params:
+            raise ServiceError(ErrorCode.BAD_REQUEST, f"missing param {key!r}")
+        return params[key]
+
+    def _program_id(self, tenant_name: str, params: dict) -> int:
+        program_id = self._require(params, "program_id")
+        if not isinstance(program_id, int):
+            raise ServiceError(ErrorCode.BAD_REQUEST, "program_id must be an integer")
+        self.tenants.get(tenant_name).require(program_id)
+        return program_id
+
+    # -- state-changing RPCs ----------------------------------------------------
+    def _rpc_deploy(self, tenant_name: str, params: dict) -> dict:
+        from .tenants import TenantProgram
+
+        source = self._require(params, "source")
+        tenant = self.tenants.get(tenant_name)
+        # Program-count quota first: no compile time for a full namespace.
+        tenant.check_admission(entries=0, memory_buckets=0)
+        options = compile_options_from_params(params)
+        compiled = self.controller.compile(
+            source, program_name=params.get("program"), options=options
+        )
+        buckets = sum(size for _phys, size in compiled.memory_requests().values())
+        # Exact entry footprint without reserving anything: emission is pure,
+        # and the entry *count* does not depend on the real bases/id.
+        probe_bases = {
+            mid: (phys, [(0, 0, size)])
+            for mid, (phys, size) in compiled.memory_requests().items()
+        }
+        entries = len(compiled.emit_entries(self.controller.spec, 0, probe_bases))
+        tenant.check_admission(entries=entries, memory_buckets=buckets)
+        handle = self.controller.deploy(compiled)
+        tenant.charge(
+            TenantProgram(handle.program_id, handle.name, handle.stats.entries, buckets)
+        )
+        stats = handle.stats
+        return {
+            "program_id": handle.program_id,
+            "name": handle.name,
+            "entries": stats.entries,
+            "logic_rpbs": stats.logic_rpbs,
+            "parse_ms": stats.parse_ms,
+            "allocation_ms": stats.allocation_ms,
+            "update_ms": stats.update_ms,
+            "overlap_warnings": [str(w) for w in stats.overlap_warnings],
+        }
+
+    def _rpc_revoke(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        delay_ms = self.controller.revoke(program_id)
+        self.tenants.get(tenant_name).release(program_id)
+        self._cases = {
+            key: value
+            for key, value in self._cases.items()
+            if value[0] != program_id
+        }
+        return {"program_id": program_id, "update_ms": delay_ms}
+
+    def _rpc_add_case(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        conditions = [tuple(c) for c in self._require(params, "conditions")]
+        case = self.controller.add_case(
+            program_id,
+            conditions,
+            branch_index=params.get("branch_index", 0),
+            template_case=params.get("template_case", 0),
+            loadi_values=params.get("loadi_values"),
+        )
+        case_id = self._next_case_id
+        self._next_case_id += 1
+        self._cases[(tenant_name, case_id)] = (program_id, case)
+        return {"case_id": case_id, "branch_id": case.branch_id}
+
+    def _rpc_remove_case(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        case_id = self._require(params, "case_id")
+        entry = self._cases.get((tenant_name, case_id))
+        if entry is None or entry[0] != program_id:
+            raise ServiceError(
+                ErrorCode.NOT_FOUND,
+                f"tenant {tenant_name!r} has no case {case_id} on program {program_id}",
+            )
+        self.controller.remove_case(program_id, entry[1])
+        del self._cases[(tenant_name, case_id)]
+        return {"case_id": case_id}
+
+    def _rpc_write_mem(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        self.controller.write_memory(
+            program_id,
+            self._require(params, "mid"),
+            self._require(params, "vaddr"),
+            self._require(params, "value"),
+        )
+        return {}
+
+    def _rpc_set_quota(self, tenant_name: str, params: dict) -> dict:
+        target = params.get("tenant", tenant_name)
+        quota = TenantQuota(
+            max_programs=params.get("max_programs"),
+            max_memory_buckets=params.get("max_memory_buckets"),
+            max_table_entries=params.get("max_table_entries"),
+        )
+        self.tenants.set_quota(target, quota)
+        return {"tenant": target, "quota": quota.__dict__}
+
+    # -- read-only RPCs ---------------------------------------------------------
+    def _rpc_ping(self, tenant_name: str, params: dict) -> dict:
+        return {
+            "version": PROTOCOL_VERSION,
+            "draining": self.draining,
+            "programs": len(self.controller.running_programs()),
+        }
+
+    def _rpc_list(self, tenant_name: str, params: dict) -> dict:
+        listing = self.controller.list_programs()
+        if params.get("all"):
+            for info in listing:
+                info["tenant"] = self.tenants.owner_of(info["program_id"])
+            return {"programs": listing}
+        tenant = self.tenants.get(tenant_name)
+        return {"programs": [p for p in listing if tenant.owns(p["program_id"])]}
+
+    def _rpc_stats(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        return self.controller.program_stats(program_id)
+
+    def _rpc_read_mem(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        value = self.controller.read_memory(
+            program_id, self._require(params, "mid"), self._require(params, "vaddr")
+        )
+        return {"value": value}
+
+    def _rpc_snapshot(self, tenant_name: str, params: dict) -> dict:
+        program_id = self._program_id(tenant_name, params)
+        values = self.controller.snapshot_memory(program_id, self._require(params, "mid"))
+        return {"values": values}
+
+    def _rpc_utilization(self, tenant_name: str, params: dict) -> dict:
+        util = self.controller.utilization()
+        util["per_rpb"] = self.controller.manager.utilization_snapshot()
+        return util
+
+    def _rpc_tenants(self, tenant_name: str, params: dict) -> dict:
+        return {
+            "tenants": [
+                {"name": t.name, "quota": t.quota.__dict__, "usage": t.usage()}
+                for t in self.tenants.tenants()
+            ]
+        }
+
+    def _rpc_metrics(self, tenant_name: str, params: dict) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["southbound_retries"] = self.retrying.stats.as_dict()
+        snapshot["audit_records"] = len(self.audit)
+        return snapshot
+
+    def _rpc_audit(self, tenant_name: str, params: dict) -> dict:
+        limit = params.get("limit", 0)
+        records = self.audit.tail(limit) if limit else self.audit.records()
+        return {"records": [r.as_dict() for r in records]}
+
+    def _rpc_fingerprint(self, tenant_name: str, params: dict) -> dict:
+        return {"fingerprint": self.controller.manager.state_fingerprint()}
+
+
+class ServiceServer:
+    """TCP front end: one asyncio stream server over a ControlService."""
+
+    def __init__(self, service: ControlService | None = None, host: str = "127.0.0.1", port: int = 0):
+        self.service = service or ControlService()
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_FRAME_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful drain: finish the in-flight write, then close."""
+        await self.service.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    error = ServiceError(ErrorCode.PARSE_ERROR, "oversized frame")
+                    writer.write(encode_frame(error_response(None, error)))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.service.handle_frame(line)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+
+class ServerThread:
+    """Runs a ServiceServer on a daemon thread (for synchronous callers).
+
+    ::
+
+        server = ServerThread(ControlService())
+        server.start()                     # returns once the port is bound
+        client = ServiceClient("127.0.0.1", server.port)
+        ...
+        server.stop()
+    """
+
+    def __init__(self, service: ControlService | None = None, host: str = "127.0.0.1", port: int = 0):
+        self.service = service or ControlService()
+        self.host = host
+        self.port = port
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Event | None = None
+        self._ready = None
+
+    def start(self) -> "ServerThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("control service failed to start within 10 s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        server = ServiceServer(self.service, self.host, self.port)
+        await server.start()
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._ready.set()
+        await self._stopped.wait()
+        await server.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stopped is not None:
+            self._loop.call_soon_threadsafe(self._stopped.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 9400,
+    service: ControlService | None = None,
+) -> None:
+    """Run a control service until cancelled (the ``p4runpro serve`` entry)."""
+    server = ServiceServer(service, host, port)
+    await server.start()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # graceful drain on cancellation
+        await server.stop()
+        raise

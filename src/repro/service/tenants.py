@@ -1,0 +1,170 @@
+"""Multi-tenant namespaces and admission quotas.
+
+The controller itself is single-operator: program ids are global and any
+caller may revoke anything.  The service layers tenancy on top (the
+NetVRM-style virtualization the ROADMAP points at): every RPC carries a
+tenant name, each tenant only sees and addresses its own programs, and a
+deploy is admitted only if it fits the tenant's quota.  The program-count
+quota is checked before the compiler runs (an over-quota tenant cannot
+burn compile time on doomed work); the entry and memory-bucket quotas are
+checked against the compiled program's actual footprint, before any
+resource is reserved.
+
+Quotas are three-dimensional, mirroring the resources the resource
+manager tracks: program count, memory buckets, and table entries.
+Accounting is charge/release exact: a deploy charges what the compiled
+program actually uses, a revoke releases exactly what its deploy charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .protocol import ErrorCode, ServiceError
+
+
+class QuotaExceededError(ServiceError):
+    """Raised when an admission would take a tenant over quota."""
+
+    def __init__(self, tenant: str, dimension: str, used, requested, limit):
+        super().__init__(
+            ErrorCode.QUOTA_EXCEEDED,
+            f"tenant {tenant!r} over {dimension} quota: "
+            f"{used} used + {requested} requested > {limit} allowed",
+        )
+        self.dimension = dimension
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (None = unlimited)."""
+
+    max_programs: int | None = 8
+    max_memory_buckets: int | None = 65536
+    max_table_entries: int | None = 512
+
+    @classmethod
+    def unlimited(cls) -> "TenantQuota":
+        return cls(None, None, None)
+
+
+@dataclass
+class TenantProgram:
+    """What one deployed program costs its tenant."""
+
+    program_id: int
+    name: str
+    entries: int
+    memory_buckets: int
+
+
+@dataclass
+class Tenant:
+    """One namespace: its quota and its live programs."""
+
+    name: str
+    quota: TenantQuota
+    programs: dict[int, TenantProgram] = field(default_factory=dict)
+
+    @property
+    def used_programs(self) -> int:
+        return len(self.programs)
+
+    @property
+    def used_memory_buckets(self) -> int:
+        return sum(p.memory_buckets for p in self.programs.values())
+
+    @property
+    def used_entries(self) -> int:
+        return sum(p.entries for p in self.programs.values())
+
+    def check_admission(self, entries: int, memory_buckets: int) -> None:
+        """Raise :class:`QuotaExceededError` if one more program with the
+        given footprint would not fit."""
+        quota = self.quota
+        if quota.max_programs is not None and self.used_programs + 1 > quota.max_programs:
+            raise QuotaExceededError(
+                self.name, "program", self.used_programs, 1, quota.max_programs
+            )
+        if (
+            quota.max_memory_buckets is not None
+            and self.used_memory_buckets + memory_buckets > quota.max_memory_buckets
+        ):
+            raise QuotaExceededError(
+                self.name,
+                "memory-bucket",
+                self.used_memory_buckets,
+                memory_buckets,
+                quota.max_memory_buckets,
+            )
+        if (
+            quota.max_table_entries is not None
+            and self.used_entries + entries > quota.max_table_entries
+        ):
+            raise QuotaExceededError(
+                self.name, "table-entry", self.used_entries, entries, quota.max_table_entries
+            )
+
+    def charge(self, program: TenantProgram) -> None:
+        self.programs[program.program_id] = program
+
+    def release(self, program_id: int) -> TenantProgram:
+        program = self.programs.pop(program_id, None)
+        if program is None:
+            raise ServiceError(
+                ErrorCode.NOT_FOUND,
+                f"tenant {self.name!r} owns no program with id {program_id}",
+            )
+        return program
+
+    def owns(self, program_id: int) -> bool:
+        return program_id in self.programs
+
+    def require(self, program_id: int) -> TenantProgram:
+        """Ownership check: tenants cannot address other namespaces."""
+        program = self.programs.get(program_id)
+        if program is None:
+            raise ServiceError(
+                ErrorCode.NOT_FOUND,
+                f"tenant {self.name!r} owns no program with id {program_id}",
+            )
+        return program
+
+    def usage(self) -> dict:
+        return {
+            "programs": self.used_programs,
+            "memory_buckets": self.used_memory_buckets,
+            "table_entries": self.used_entries,
+        }
+
+
+class TenantRegistry:
+    """All namespaces the service knows, created on first use.
+
+    ``default_quota`` applies to tenants the operator never configured;
+    :meth:`set_quota` pins a specific tenant's limits (takes effect for
+    future admissions only — already-running programs are never evicted).
+    """
+
+    def __init__(self, default_quota: TenantQuota | None = None):
+        self.default_quota = default_quota or TenantQuota()
+        self._tenants: dict[str, Tenant] = {}
+
+    def get(self, name: str) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = Tenant(name, self.default_quota)
+            self._tenants[name] = tenant
+        return tenant
+
+    def set_quota(self, name: str, quota: TenantQuota) -> None:
+        self.get(name).quota = quota
+
+    def tenants(self) -> list[Tenant]:
+        return [self._tenants[name] for name in sorted(self._tenants)]
+
+    def owner_of(self, program_id: int) -> str | None:
+        for tenant in self._tenants.values():
+            if tenant.owns(program_id):
+                return tenant.name
+        return None

@@ -1,0 +1,100 @@
+"""Injectable southbound faults and install rollback (fail every k-th update).
+
+The satellite requirement: with a :class:`FaultPlan` failing every k-th
+entry update, a failed install must leave the resource manager
+byte-identical (``state_fingerprint``) to its pre-deploy state.
+"""
+
+import pytest
+
+from repro.controlplane import (
+    Controller,
+    FaultInjectingBinding,
+    FaultPlan,
+    NullBinding,
+    SouthboundError,
+)
+from repro.dataplane.runpro import P4runproDataPlane
+from repro.programs import PROGRAMS
+
+
+class TestFaultPlan:
+    def test_disabled_plan_never_fires(self):
+        plan = FaultPlan(every_k=0)
+        for _ in range(100):
+            plan.check("insert")
+        assert plan.faults == 0
+
+    def test_fails_every_kth(self):
+        plan = FaultPlan(every_k=3)
+        outcomes = []
+        for _ in range(9):
+            try:
+                plan.check("insert")
+                outcomes.append("ok")
+            except SouthboundError:
+                outcomes.append("boom")
+        assert outcomes == ["ok", "ok", "boom"] * 3
+
+    def test_op_filter(self):
+        plan = FaultPlan(every_k=1, ops=frozenset({"insert"}))
+        plan.check("delete")  # not counted, not failed
+        with pytest.raises(SouthboundError):
+            plan.check("insert")
+
+    def test_max_faults_heals(self):
+        plan = FaultPlan(every_k=1, max_faults=2)
+        for _ in range(2):
+            with pytest.raises(SouthboundError):
+                plan.check("insert")
+        plan.check("insert")  # healed
+        assert plan.faults == 2
+
+
+@pytest.mark.parametrize("every_k", [1, 3, 7, 16])
+class TestRollbackFingerprint:
+    def test_null_binding_rollback_is_byte_identical(self, every_k):
+        ctl = Controller(NullBinding(FaultPlan(every_k=every_k, ops=frozenset({"insert"}))))
+        before = ctl.manager.state_fingerprint()
+        with pytest.raises(SouthboundError):
+            ctl.deploy(PROGRAMS["cache"].source)
+        assert ctl.manager.state_fingerprint() == before
+
+    def test_simulator_rollback_is_byte_identical(self, every_k):
+        inner = P4runproDataPlane()
+        binding = FaultInjectingBinding(
+            inner, FaultPlan(every_k=every_k, ops=frozenset({"insert"}))
+        )
+        ctl = Controller(binding)
+        before = ctl.manager.state_fingerprint()
+        with pytest.raises(SouthboundError):
+            ctl.deploy(PROGRAMS["cache"].source)
+        assert ctl.manager.state_fingerprint() == before
+        # and no residue on the simulated switch either
+        for name, table in inner.tables.items():
+            assert table.occupancy == 0, name
+
+
+class TestRollbackWithSurvivors:
+    def test_survivor_fingerprint_preserved_across_failed_deploy(self):
+        """A failed deploy must not disturb an already-running program's
+        allocations — fingerprint with the survivor admitted must be
+        restored exactly."""
+        inner = P4runproDataPlane()
+        plan = FaultPlan(every_k=0, ops=frozenset({"insert"}))
+        ctl = Controller(FaultInjectingBinding(inner, plan))
+        ctl.deploy(PROGRAMS["cache"].source)
+        with_survivor = ctl.manager.state_fingerprint()
+        plan.every_k = 4  # now start failing
+        with pytest.raises(SouthboundError):
+            ctl.deploy(PROGRAMS["lb"].source)
+        assert ctl.manager.state_fingerprint() == with_survivor
+
+    def test_fingerprint_changes_when_state_changes(self):
+        """Sanity: the fingerprint is not a constant."""
+        ctl = Controller(NullBinding())
+        before = ctl.manager.state_fingerprint()
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        assert ctl.manager.state_fingerprint() != before
+        ctl.revoke(handle)
+        assert ctl.manager.state_fingerprint() == before

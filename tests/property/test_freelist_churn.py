@@ -1,0 +1,130 @@
+"""Property test: random alloc/free churn on the control-plane free list.
+
+Invariants (satellite task):
+
+* no two live blocks (allocated or locked) ever overlap, and none
+  escapes ``[0, capacity)``;
+* frees coalesce: once everything is freed the free list returns to the
+  initial single-run state and the free-byte total equals the capacity;
+* accounting identity: free + allocated + locked == capacity after every
+  operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.controlplane.freelist import FreeList, OutOfMemoryError
+
+CAPACITY = 1024
+
+
+def _blocks_overlap(blocks):
+    ordered = sorted(blocks)
+    for (base_a, size_a), (base_b, _size_b) in zip(ordered, ordered[1:]):
+        if base_a + size_a > base_b:
+            return True
+    return False
+
+
+class FreeListChurn(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.freelist = FreeList(CAPACITY)
+        self.live: dict[int, int] = {}  # base -> size (allocated)
+        self.locked: dict[int, int] = {}  # base -> size (lock/reset protocol)
+
+    @rule(size=st.integers(min_value=1, max_value=CAPACITY))
+    def allocate(self, size):
+        try:
+            base = self.freelist.allocate(size)
+        except OutOfMemoryError:
+            # only acceptable when no contiguous run fits
+            assert self.freelist.largest_free_run() < size
+            return
+        assert 0 <= base and base + size <= CAPACITY
+        self.live[base] = size
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free_one(self, data):
+        base = data.draw(st.sampled_from(sorted(self.live)))
+        self.freelist.free(base)
+        del self.live[base]
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def lock_then_release(self, data):
+        """Exercise the lock/reset/unlock protocol used during removal."""
+        base = data.draw(st.sampled_from(sorted(self.live)))
+        self.freelist.lock(base)
+        self.locked[base] = self.live.pop(base)
+
+    @precondition(lambda self: self.locked)
+    @rule(data=st.data())
+    def unlock(self, data):
+        base = data.draw(st.sampled_from(sorted(self.locked)))
+        self.freelist.unlock_and_free(base)
+        del self.locked[base]
+
+    @rule(size=st.integers(min_value=1, max_value=64), max_fragments=st.integers(1, 8))
+    def allocate_fragmented(self, size, max_fragments):
+        """Direct-mapping fragment allocation must obey the same invariants."""
+        try:
+            fragments = self.freelist.allocate_fragments(size, max_fragments)
+        except OutOfMemoryError:
+            return
+        assert sum(fragment_size for _b, fragment_size in fragments) == size
+        for base, fragment_size in fragments:
+            assert 0 <= base and base + fragment_size <= CAPACITY
+            self.live[base] = fragment_size
+
+    @invariant()
+    def no_overlaps(self):
+        blocks = list(self.live.items()) + list(self.locked.items())
+        assert not _blocks_overlap(blocks)
+
+    @invariant()
+    def accounting_identity(self):
+        used = sum(self.live.values()) + sum(self.locked.values())
+        assert self.freelist.free_total() == CAPACITY - used
+        assert self.freelist.allocated_total() == used
+
+    @invariant()
+    def free_runs_disjoint_from_live(self):
+        blocks = list(self.live.items()) + list(self.locked.items())
+        assert not _blocks_overlap(blocks + self.freelist.free_runs())
+
+    def teardown(self):
+        """Drain everything: frees must coalesce back to one full run."""
+        for base in sorted(self.locked):
+            self.freelist.unlock_and_free(base)
+        for base in sorted(self.live):
+            self.freelist.free(base)
+        assert self.freelist.free_total() == CAPACITY
+        assert self.freelist.free_runs() == [(0, CAPACITY)]
+        assert self.freelist.allocated_total() == 0
+
+
+TestFreeListChurn = FreeListChurn.TestCase
+TestFreeListChurn.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=30)
+)
+@settings(max_examples=100, deadline=None)
+def test_alloc_all_free_all_coalesces(sizes):
+    """Allocate a batch, free in a scrambled (reversed) order: the list
+    must coalesce to the single initial run regardless of order."""
+    freelist = FreeList(4096)
+    bases = []
+    for size in sizes:
+        try:
+            bases.append(freelist.allocate(size))
+        except OutOfMemoryError:
+            break
+    for base in reversed(bases):
+        freelist.free(base)
+    assert freelist.free_runs() == [(0, 4096)]
+    assert freelist.free_total() == 4096

@@ -1,0 +1,120 @@
+"""Audit journal: JSONL round-trip and state reconstruction by replay."""
+
+import asyncio
+
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.service import AuditLog, ControlService, Request, TenantQuota, TenantRegistry, replay
+
+CACHE = PROGRAMS["cache"].source
+LB = PROGRAMS["lb"].source
+
+
+def drive(service, script):
+    """Run a list of (method, params, tenant) writes/reads in order."""
+
+    async def go():
+        responses = []
+        for method, params, tenant in script:
+            responses.append(
+                await service.handle_request(
+                    Request(id=len(responses), method=method, params=params, tenant=tenant)
+                )
+            )
+        return responses
+
+    return asyncio.run(go())
+
+
+class TestJournal:
+    def test_jsonl_roundtrip(self):
+        log = AuditLog()
+        log.append("alice", "deploy", {"source": "..."}, "ok", {"program_id": 1})
+        log.append("bob", "revoke", {"program_id": 9}, "error:NOT_FOUND")
+        text = log.to_jsonl()
+        back = AuditLog.from_jsonl(text)
+        assert [r.as_dict() for r in back.records()] == [
+            r.as_dict() for r in log.records()
+        ]
+
+    def test_sequence_numbers_monotone(self):
+        log = AuditLog()
+        for _ in range(5):
+            log.append("t", "deploy", {}, "ok")
+        assert [r.seq for r in log.records()] == [1, 2, 3, 4, 5]
+
+
+class TestReplay:
+    def test_replay_reproduces_fingerprint(self):
+        service = ControlService()
+        responses = drive(
+            service,
+            [
+                ("deploy", {"source": CACHE}, "alice"),
+                ("deploy", {"source": LB}, "bob"),
+                ("write_mem", {"program_id": 1, "mid": "mem1", "vaddr": 4, "value": 99}, "alice"),
+                ("revoke", {"program_id": 2}, "bob"),
+                ("deploy", {"source": CACHE}, "bob"),
+            ],
+        )
+        assert all(r["ok"] for r in responses)
+        fresh = replay(service.audit)
+        assert (
+            fresh.manager.state_fingerprint()
+            == service.controller.manager.state_fingerprint()
+        )
+
+    def test_replay_skips_failed_records(self):
+        """Failed writes are journaled but not replayed; replay still
+        reproduces the final state exactly.  (The id-burning variant —
+        a southbound failure after admission — is covered by the
+        multi-tenant integration test.)"""
+        service = ControlService(
+            tenants=TenantRegistry(TenantQuota(max_table_entries=17))
+        )
+        responses = drive(
+            service,
+            [
+                ("deploy", {"source": CACHE}, "alice"),  # 17 entries: fits
+                ("deploy", {"source": CACHE}, "alice"),  # over entry quota
+                ("deploy", {"source": CACHE}, "bob"),  # id 2 on the live run
+            ],
+        )
+        assert responses[0]["ok"] and responses[2]["ok"]
+        assert not responses[1]["ok"]
+        fresh = replay(service.audit)
+        assert (
+            fresh.manager.state_fingerprint()
+            == service.controller.manager.state_fingerprint()
+        )
+
+    def test_replay_from_serialized_journal(self):
+        """Replay works from the JSONL export, not just live records."""
+        service = ControlService()
+        drive(service, [("deploy", {"source": CACHE}, "a")])
+        journal = AuditLog.from_jsonl(service.audit.to_jsonl())
+        fresh = replay(journal)
+        assert (
+            fresh.manager.state_fingerprint()
+            == service.controller.manager.state_fingerprint()
+        )
+
+    def test_replay_applies_memory_writes(self):
+        service = ControlService()
+        drive(
+            service,
+            [
+                ("deploy", {"source": CACHE}, "a"),
+                ("write_mem", {"program_id": 1, "mid": "mem1", "vaddr": 0, "value": 5}, "a"),
+            ],
+        )
+        fresh = replay(service.audit)
+        assert fresh.read_memory(1, "mem1", 0) == 5
+
+    def test_replay_onto_supplied_controller(self):
+        service = ControlService()
+        drive(service, [("deploy", {"source": CACHE}, "a")])
+        target = Controller.with_simulator()[0]
+        returned = replay(service.audit, target)
+        assert returned is target
+        assert [r.name for r in target.running_programs()] == ["cache"]

@@ -1,0 +1,56 @@
+"""Counters and latency histograms."""
+
+from repro.service.metrics import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.snapshot()["counters"]["x"] == 5
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) is None
+        assert h.mean is None
+
+    def test_stats(self):
+        h = Histogram("lat")
+        for v in [1, 2, 3, 4, 100]:
+            h.observe(v)
+        assert h.total == 5
+        assert h.min == 1
+        assert h.max == 100
+        assert h.mean == 22
+
+    def test_quantiles_monotone_and_bracketed(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        p50, p90, p99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+        assert p50 <= p90 <= p99 <= h.max
+        # p50 of uniform 1..100 should land well inside the middle buckets
+        assert 25 <= p50 <= 100
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        h.observe(5000.0)
+        assert h.counts[-1] == 1
+        # overflow-bucket quantiles interpolate between the last bound and
+        # the observed max — bracketed, never beyond max
+        assert 10.0 < h.quantile(0.99) <= 5000.0
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.deploy.ok").inc()
+        registry.histogram("rpc.deploy.latency_ms").observe(3.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"rpc.deploy.ok": 1}
+        hist = snap["histograms"]["rpc.deploy.latency_ms"]
+        assert hist["count"] == 1
+        assert hist["p50"] is not None

@@ -1,0 +1,70 @@
+"""Wire-protocol framing and envelope validation."""
+
+import pytest
+
+from repro.service.protocol import (
+    ErrorCode,
+    Request,
+    ServiceError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"id": 7, "method": "ping", "params": {}}
+        frame = encode_frame(payload)
+        assert frame.endswith(b"\n")
+        assert decode_frame(frame) == payload
+
+    def test_garbage_is_parse_error(self):
+        with pytest.raises(ServiceError) as exc:
+            decode_frame(b"{not json}\n")
+        assert exc.value.code is ErrorCode.PARSE_ERROR
+
+    def test_non_object_frame_rejected(self):
+        with pytest.raises(ServiceError) as exc:
+            decode_frame(b"[1, 2, 3]\n")
+        assert exc.value.code is ErrorCode.PARSE_ERROR
+
+
+class TestRequestEnvelope:
+    def test_defaults(self):
+        request = Request.from_wire({"id": 1, "method": "list"})
+        assert request.tenant == "default"
+        assert request.params == {}
+        assert request.deadline_ms is None
+
+    def test_missing_method(self):
+        with pytest.raises(ServiceError) as exc:
+            Request.from_wire({"id": 1})
+        assert exc.value.code is ErrorCode.BAD_REQUEST
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"method": "x", "params": [1]},
+            {"method": "x", "tenant": ""},
+            {"method": "x", "deadline_ms": -5},
+            {"method": "x", "deadline_ms": "soon"},
+        ],
+    )
+    def test_malformed_fields(self, payload):
+        with pytest.raises(ServiceError):
+            Request.from_wire(payload)
+
+
+class TestErrorsOnTheWire:
+    def test_error_roundtrip(self):
+        error = ServiceError(ErrorCode.QUOTA_EXCEEDED, "too many programs")
+        response = error_response(3, error)
+        assert response["ok"] is False
+        back = ServiceError.from_wire(response["error"])
+        assert back.code is ErrorCode.QUOTA_EXCEEDED
+        assert back.message == "too many programs"
+
+    def test_ok_response_shape(self):
+        assert ok_response(9, {"x": 1}) == {"id": 9, "ok": True, "result": {"x": 1}}

@@ -1,0 +1,96 @@
+"""Southbound retry with exponential backoff, driven by injected faults."""
+
+import pytest
+
+from repro.controlplane import (
+    Controller,
+    FaultPlan,
+    NullBinding,
+    SouthboundError,
+)
+from repro.programs import PROGRAMS
+from repro.service.robustness import RetryingBinding, RetryPolicy
+
+
+def make_binding(every_k, max_faults=None, **policy_kwargs):
+    sleeps = []
+    inner = NullBinding(FaultPlan(every_k=every_k, max_faults=max_faults))
+    binding = RetryingBinding(
+        inner, RetryPolicy(**policy_kwargs), sleep=sleeps.append
+    )
+    return binding, sleeps
+
+
+class TestRetryingBinding:
+    def test_transient_fault_is_retried(self):
+        binding, sleeps = make_binding(every_k=2)
+        # Every even-numbered southbound call fails.  Each top-level insert
+        # after the first lands on an even call, fails once, and succeeds on
+        # its (odd-numbered) retry: 5 retries across 6 inserts.
+        for _ in range(6):
+            binding.insert_entry(object())
+        assert binding.stats.retries == 5
+        assert binding.stats.gave_up == 0
+        assert len(sleeps) == 5
+
+    def test_backoff_is_exponential_and_capped(self):
+        binding, sleeps = make_binding(
+            every_k=1,
+            max_faults=3,
+            base_delay_s=0.01,
+            multiplier=2.0,
+            max_delay_s=0.015,
+        )
+        binding.insert_entry(object())
+        assert sleeps == [0.01, 0.015, 0.015]  # 0.02 and 0.04 capped
+
+    def test_gives_up_after_max_attempts(self):
+        binding, sleeps = make_binding(every_k=1, max_attempts=3)
+        with pytest.raises(SouthboundError):
+            binding.insert_entry(object())
+        assert binding.stats.gave_up == 1
+        assert len(sleeps) == 2  # two backoffs, third attempt raises
+
+    def test_non_transient_error_propagates_immediately(self):
+        class Broken:
+            def insert_entry(self, entry):
+                raise RuntimeError("semantic bug")
+
+        binding = RetryingBinding(Broken(), RetryPolicy(), sleep=lambda s: None)
+        with pytest.raises(RuntimeError):
+            binding.insert_entry(object())
+        assert binding.stats.attempts == 1
+
+    def test_reads_delegate_untouched(self):
+        inner = NullBinding()
+        inner.read_bucket = lambda rpb, addr: 42
+        binding = RetryingBinding(inner, sleep=lambda s: None)
+        assert binding.read_bucket(1, 0) == 42
+
+
+class TestControllerThroughRetries:
+    def test_deploy_survives_intermittent_faults(self):
+        """Every 5th southbound update fails transiently; the retry layer
+        makes the whole deploy/revoke cycle succeed anyway."""
+        inner = NullBinding(FaultPlan(every_k=5))
+        binding = RetryingBinding(inner, RetryPolicy(), sleep=lambda s: None)
+        ctl = Controller(binding)
+        handle = ctl.deploy(PROGRAMS["cache"].source)
+        assert [r.name for r in ctl.running_programs()] == ["cache"]
+        ctl.revoke(handle)
+        assert ctl.running_programs() == []
+        assert binding.stats.retries > 0
+        assert binding.stats.gave_up == 0
+
+    def test_dead_link_degrades_to_clean_failed_deploy(self):
+        """When retries are exhausted the install rollback still runs and
+        the manager fingerprint is untouched."""
+        inner = NullBinding(FaultPlan(every_k=1))  # every call fails
+        binding = RetryingBinding(
+            inner, RetryPolicy(max_attempts=2), sleep=lambda s: None
+        )
+        ctl = Controller(binding)
+        before = ctl.manager.state_fingerprint()
+        with pytest.raises(SouthboundError):
+            ctl.deploy(PROGRAMS["cache"].source)
+        assert ctl.manager.state_fingerprint() == before

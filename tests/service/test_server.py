@@ -1,0 +1,248 @@
+"""Control-service behaviour: dispatch, quotas, deadlines, drain, TCP."""
+
+import asyncio
+import itertools
+import json
+import socket
+
+import pytest
+
+from repro.programs import PROGRAMS
+from repro.service import (
+    ControlService,
+    Request,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    TenantQuota,
+    TenantRegistry,
+)
+
+CACHE = PROGRAMS["cache"].source
+LB = PROGRAMS["lb"].source
+
+
+def run(service, method, params=None, tenant="default", deadline_ms=None):
+    """Execute one request against a service on a private event loop."""
+    request = Request(
+        id=1, method=method, params=params or {}, tenant=tenant, deadline_ms=deadline_ms
+    )
+    return asyncio.run(service.handle_request(request))
+
+
+def result_of(response):
+    assert response["ok"], response
+    return response["result"]
+
+
+def error_of(response):
+    assert not response["ok"], response
+    return response["error"]["code"]
+
+
+class TestDispatch:
+    def test_unknown_method(self):
+        service = ControlService()
+        assert error_of(run(service, "frobnicate")) == "UNKNOWN_METHOD"
+
+    def test_ping(self):
+        service = ControlService()
+        result = result_of(run(service, "ping"))
+        assert result["version"] == 1
+        assert result["draining"] is False
+
+    def test_deploy_then_scoped_list(self):
+        service = ControlService()
+        deployed = result_of(run(service, "deploy", {"source": CACHE}, tenant="alice"))
+        assert deployed["name"] == "cache"
+        mine = result_of(run(service, "list", tenant="alice"))["programs"]
+        assert [p["program_id"] for p in mine] == [deployed["program_id"]]
+        # another namespace sees nothing
+        assert result_of(run(service, "list", tenant="bob"))["programs"] == []
+        # but the admin view names the owner
+        all_programs = result_of(run(service, "list", {"all": True}, tenant="bob"))
+        assert all_programs["programs"][0]["tenant"] == "alice"
+
+    def test_compile_error_is_structured(self):
+        service = ControlService()
+        response = run(service, "deploy", {"source": "program p { THIS IS NOT"})
+        assert error_of(response) == "COMPILE_ERROR"
+
+    def test_missing_param(self):
+        service = ControlService()
+        assert error_of(run(service, "deploy", {})) == "BAD_REQUEST"
+
+    def test_cross_tenant_revoke_denied(self):
+        service = ControlService()
+        deployed = result_of(run(service, "deploy", {"source": CACHE}, tenant="alice"))
+        response = run(
+            service, "revoke", {"program_id": deployed["program_id"]}, tenant="bob"
+        )
+        assert error_of(response) == "NOT_FOUND"
+        # alice still owns a running program
+        assert len(result_of(run(service, "list", tenant="alice"))["programs"]) == 1
+
+    def test_memory_roundtrip_and_snapshot(self):
+        service = ControlService()
+        pid = result_of(run(service, "deploy", {"source": CACHE}, tenant="a"))[
+            "program_id"
+        ]
+        run(service, "write_mem", {"program_id": pid, "mid": "mem1", "vaddr": 3, "value": 9}, tenant="a")
+        value = result_of(
+            run(service, "read_mem", {"program_id": pid, "mid": "mem1", "vaddr": 3}, tenant="a")
+        )["value"]
+        assert value == 9
+        values = result_of(
+            run(service, "snapshot", {"program_id": pid, "mid": "mem1"}, tenant="a")
+        )["values"]
+        assert values[3] == 9
+
+
+class TestQuotas:
+    def make_service(self, **quota):
+        return ControlService(tenants=TenantRegistry(TenantQuota(**quota)))
+
+    def test_program_quota_rejects_structured(self):
+        service = self.make_service(max_programs=1)
+        result_of(run(service, "deploy", {"source": CACHE}, tenant="alice"))
+        response = run(service, "deploy", {"source": LB}, tenant="alice")
+        assert error_of(response) == "QUOTA_EXCEEDED"
+        # a different tenant is unaffected
+        result_of(run(service, "deploy", {"source": LB}, tenant="bob"))
+
+    def test_entry_quota_uses_actual_footprint(self):
+        service = self.make_service(max_table_entries=10)  # cache needs 17
+        response = run(service, "deploy", {"source": CACHE}, tenant="alice")
+        assert error_of(response) == "QUOTA_EXCEEDED"
+        assert result_of(run(service, "list", tenant="alice"))["programs"] == []
+
+    def test_revoke_returns_quota(self):
+        service = self.make_service(max_programs=1)
+        pid = result_of(run(service, "deploy", {"source": CACHE}, tenant="a"))[
+            "program_id"
+        ]
+        result_of(run(service, "revoke", {"program_id": pid}, tenant="a"))
+        result_of(run(service, "deploy", {"source": CACHE}, tenant="a"))  # fits again
+
+    def test_set_quota_rpc(self):
+        service = ControlService()
+        result_of(
+            run(service, "set_quota", {"tenant": "alice", "max_programs": 0})
+        )
+        response = run(service, "deploy", {"source": CACHE}, tenant="alice")
+        assert error_of(response) == "QUOTA_EXCEEDED"
+
+
+class TestDeadlinesAndDrain:
+    def test_write_deadline_enforced_at_admission(self):
+        # Every clock() call advances simulated time by 1 s, so by the time
+        # the write is admitted its 100 ms budget has long expired.
+        ticker = itertools.count()
+        service = ControlService(clock=lambda: float(next(ticker)))
+        response = run(service, "deploy", {"source": CACHE}, deadline_ms=100)
+        assert error_of(response) == "DEADLINE_EXCEEDED"
+        # the rejection is audited with its queue time
+        record = service.audit.records()[-1]
+        assert record.outcome == "error:DEADLINE_EXCEEDED"
+        assert record.queue_ms >= 100
+
+    def test_no_deadline_means_no_rejection(self):
+        ticker = itertools.count()
+        service = ControlService(clock=lambda: float(next(ticker)))
+        result_of(run(service, "deploy", {"source": CACHE}))
+
+    def test_drain_refuses_writes_allows_reads(self):
+        service = ControlService()
+
+        async def scenario():
+            deploy = Request(id=1, method="deploy", params={"source": CACHE})
+            response = await service.handle_request(deploy)
+            assert response["ok"]
+            await service.drain()
+            refused = await service.handle_request(
+                Request(id=2, method="deploy", params={"source": LB})
+            )
+            assert refused["error"]["code"] == "SHUTTING_DOWN"
+            listing = await service.handle_request(
+                Request(id=3, method="list", params={})
+            )
+            assert listing["ok"]
+
+        asyncio.run(scenario())
+
+
+class TestAuditAndMetrics:
+    def test_audit_records_writes_not_reads(self):
+        service = ControlService()
+        run(service, "deploy", {"source": CACHE}, tenant="a")
+        run(service, "list", tenant="a")
+        run(service, "utilization", tenant="a")
+        methods = [r.method for r in service.audit.records()]
+        assert methods == ["deploy"]
+
+    def test_audit_has_timing_breakdown(self):
+        service = ControlService()
+        run(service, "deploy", {"source": CACHE}, tenant="a")
+        record = service.audit.records()[0]
+        assert record.ok
+        assert record.execute_ms > 0
+        assert record.total_ms == record.queue_ms + record.execute_ms
+        assert record.result["program_id"] == 1
+
+    def test_metrics_rpc_reports_counters_and_latency(self):
+        service = ControlService()
+        run(service, "deploy", {"source": CACHE}, tenant="a")
+        run(service, "deploy", {"source": "garbage ("}, tenant="a")
+        snap = result_of(run(service, "metrics", tenant="a"))
+        assert snap["counters"]["rpc.deploy.ok"] == 1
+        assert snap["counters"]["rpc.deploy.error"] == 1
+        assert snap["counters"]["rpc.deploy.error.COMPILE_ERROR"] == 1
+        assert snap["histograms"]["rpc.deploy.latency_ms"]["count"] == 2
+        assert "southbound_retries" in snap
+
+
+class TestTCPTransport:
+    def test_full_session_over_tcp(self):
+        with ServerThread(ControlService()) as server:
+            with ServiceClient(port=server.port, tenant="alice") as client:
+                info = client.deploy(CACHE)
+                assert client.stats(info["program_id"])["entries"] == 17
+                assert len(client.list_programs()) == 1
+                client.revoke(info["program_id"])
+                assert client.list_programs() == []
+
+    def test_error_surfaces_as_service_error(self):
+        with ServerThread(ControlService()) as server:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceError) as exc:
+                    client.revoke(12345)
+                assert exc.value.code.value == "NOT_FOUND"
+
+    def test_malformed_frame_gets_parse_error_response(self):
+        with ServerThread(ControlService()) as server:
+            with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+                sock.sendall(b"this is not json\n")
+                line = sock.makefile("rb").readline()
+        response = json.loads(line)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "PARSE_ERROR"
+
+    def test_pipelined_requests_one_connection(self):
+        with ServerThread(ControlService()) as server:
+            with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+                frames = b"".join(
+                    json.dumps({"id": i, "method": "ping"}).encode() + b"\n"
+                    for i in range(5)
+                )
+                sock.sendall(frames)
+                reader = sock.makefile("rb")
+                ids = [json.loads(reader.readline())["id"] for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]  # responses in request order
+
+    def test_stop_drains(self):
+        server = ServerThread(ControlService()).start()
+        client = ServiceClient(port=server.port)
+        client.deploy(CACHE)
+        client.close()
+        server.stop()
+        assert server.service.draining

@@ -1,0 +1,83 @@
+"""Tenant namespace and quota accounting."""
+
+import pytest
+
+from repro.service.protocol import ErrorCode, ServiceError
+from repro.service.tenants import (
+    QuotaExceededError,
+    TenantProgram,
+    TenantQuota,
+    TenantRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return TenantRegistry(TenantQuota(max_programs=2, max_memory_buckets=100, max_table_entries=30))
+
+
+class TestQuotas:
+    def test_program_count_quota(self, registry):
+        tenant = registry.get("alice")
+        tenant.charge(TenantProgram(1, "a", 5, 10))
+        tenant.charge(TenantProgram(2, "b", 5, 10))
+        with pytest.raises(QuotaExceededError) as exc:
+            tenant.check_admission(entries=1, memory_buckets=1)
+        assert exc.value.code is ErrorCode.QUOTA_EXCEEDED
+        assert exc.value.dimension == "program"
+
+    def test_memory_quota(self, registry):
+        tenant = registry.get("alice")
+        tenant.charge(TenantProgram(1, "a", 5, 90))
+        with pytest.raises(QuotaExceededError) as exc:
+            tenant.check_admission(entries=1, memory_buckets=20)
+        assert exc.value.dimension == "memory-bucket"
+
+    def test_entry_quota(self, registry):
+        tenant = registry.get("alice")
+        tenant.charge(TenantProgram(1, "a", 25, 1))
+        with pytest.raises(QuotaExceededError) as exc:
+            tenant.check_admission(entries=10, memory_buckets=0)
+        assert exc.value.dimension == "table-entry"
+
+    def test_release_frees_quota(self, registry):
+        tenant = registry.get("alice")
+        tenant.charge(TenantProgram(1, "a", 25, 90))
+        tenant.release(1)
+        tenant.check_admission(entries=30, memory_buckets=100)  # fits again
+
+    def test_unlimited_quota(self):
+        tenant = TenantRegistry(TenantQuota.unlimited()).get("big")
+        for i in range(50):
+            tenant.charge(TenantProgram(i, "p", 10_000, 10_000))
+        tenant.check_admission(entries=10**6, memory_buckets=10**6)
+
+
+class TestNamespaces:
+    def test_tenants_isolated(self, registry):
+        registry.get("alice").charge(TenantProgram(1, "a", 1, 1))
+        bob = registry.get("bob")
+        assert not bob.owns(1)
+        with pytest.raises(ServiceError) as exc:
+            bob.require(1)
+        assert exc.value.code is ErrorCode.NOT_FOUND
+
+    def test_owner_lookup(self, registry):
+        registry.get("alice").charge(TenantProgram(7, "a", 1, 1))
+        assert registry.owner_of(7) == "alice"
+        assert registry.owner_of(8) is None
+
+    def test_set_quota_pins_tenant(self, registry):
+        registry.set_quota("vip", TenantQuota(max_programs=99))
+        assert registry.get("vip").quota.max_programs == 99
+        # other tenants keep the default
+        assert registry.get("pleb").quota.max_programs == 2
+
+    def test_usage_snapshot(self, registry):
+        tenant = registry.get("alice")
+        tenant.charge(TenantProgram(1, "a", 7, 32))
+        assert tenant.usage() == {
+            "programs": 1,
+            "memory_buckets": 32,
+            "table_entries": 7,
+        }

@@ -185,3 +185,63 @@ class TestTraceCommand:
         interface, out, _ = cli
         interface.execute("trace")
         assert "usage:" in output(out)
+
+
+class TestPsCommand:
+    def test_ps_empty(self, cli):
+        interface, out, _ = cli
+        interface.execute("ps")
+        assert "no programs running" in output(out)
+
+    def test_ps_lists_structured_columns(self, cli):
+        interface, out, source = cli
+        interface.execute(f"deploy {source}")
+        interface.execute("ps")
+        text = output(out)
+        assert "ID" in text and "LOGIC RPBS" in text
+        assert "#1" in text and "cache" in text and "running" in text
+        assert "mem1:256@rpb" in text
+
+    def test_ps_matches_list_programs(self, cli):
+        interface, out, source = cli
+        interface.execute(f"deploy {source}")
+        listing = interface.controller.list_programs()
+        assert len(listing) == 1
+        info = listing[0]
+        assert info["name"] == "cache"
+        assert info["entries"] == 17
+        assert info["state"] == "running"
+        assert info["memory"]["mem1"]["size"] == 256
+
+
+class TestServiceSubcommands:
+    def test_serve_and_client_round_trip(self, tmp_path):
+        """`p4runpro client` drives a live control service."""
+        import json
+
+        from repro.cli import client_main
+        from repro.programs import PROGRAMS
+        from repro.service import ControlService, ServerThread
+
+        source = tmp_path / "cache.rp"
+        source.write_text(PROGRAMS["cache"].source)
+        with ServerThread(ControlService()) as server:
+            port = str(server.port)
+            assert client_main(["ping", "--port", port]) == 0
+            assert (
+                client_main(
+                    ["deploy", f"source=@{source}", "--port", port, "--tenant", "alice"]
+                )
+                == 0
+            )
+            assert client_main(["list", "--port", port, "--tenant", "alice"]) == 0
+            # structured errors exit non-zero
+            assert (
+                client_main(["revoke", "program_id=99", "--port", port]) == 1
+            )
+
+    def test_client_param_parsing_errors(self, capsys):
+        from repro.cli import client_main
+
+        with pytest.raises(SystemExit):
+            client_main(["deploy", "not-a-pair", "--port", "1"])
