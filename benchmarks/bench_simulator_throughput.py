@@ -2,29 +2,70 @@
 
 Not a paper artifact — a substrate quality metric.  Measures how many
 packets per second the simulated data plane processes with 1 and with 15
-resident programs, and the per-deploy cost of the full control-plane
-path.  Useful to size the case-study experiments and catch performance
+resident programs (through the batched fast path), the per-deploy cost of
+the full control-plane path, and the allocation solver's search rate.
+Useful to size the case-study experiments and catch performance
 regressions in the table/PHV hot paths.
+
+Results are written to ``BENCH_simulator.json`` at the repo root — the
+canonical machine-readable performance record (CI's perf-smoke job diffs
+it against ``benchmarks/perf_baseline.json``).  ``pre_fast_path`` keeps
+the numbers measured on this machine before the compiled fast path landed,
+so the speedup stays visible next to the current run.
 """
 
+import json
+import platform
 import time
+from pathlib import Path
 
-from _common import banner, fmt_row, once
+from _common import SCALE, banner, fmt_row, once
 
+from repro.compiler.compiler import compile_source
+from repro.compiler.objectives import f3
 from repro.controlplane import Controller
 from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
 from repro.rmt.packet import make_cache, make_udp
 
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: pps measured on the pre-fast-path simulator (same scenarios, same
+#: machine class) — kept for speedup reporting, not for CI gating.
+PRE_FAST_PATH_PPS = {
+    "idle (no programs)": 18335,
+    "1 program (cache traffic)": 8953,
+    "15 programs (cache traffic)": 7457,
+    "15 programs (plain UDP)": 7057,
+}
+
 
 def pps(dataplane, packets, repeats=3):
+    """Best-of-N batched packet rate; cloning counts against the clock,
+    exactly as the pre-fast-path measurement did."""
     best = 0.0
     for _ in range(repeats):
         start = time.perf_counter()
-        for packet in packets:
-            dataplane.process(packet.clone())
+        dataplane.process_many([packet.clone() for packet in packets])
         elapsed = time.perf_counter() - start
         best = max(best, len(packets) / elapsed)
     return best
+
+
+def _write_results(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_simulator.json."""
+    record = {}
+    if RESULTS_PATH.exists():
+        try:
+            record = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            record = {}
+    record[section] = payload
+    record["meta"] = {
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def test_packet_throughput(benchmark):
@@ -47,9 +88,22 @@ def test_packet_throughput(benchmark):
         return results
 
     results = once(benchmark, run)
-    banner("Simulator throughput (packets/second, single core)")
+    banner("Simulator throughput (packets/second, single core, batched)")
     for label, rate in results.items():
-        print(fmt_row(label, f"{rate:,.0f} pps", widths=[30, 16]))
+        baseline = PRE_FAST_PATH_PPS.get(label)
+        speedup = f"{rate / baseline:.1f}x vs pre-fast-path" if baseline else ""
+        print(fmt_row(label, f"{rate:,.0f} pps", speedup, widths=[30, 16, 24]))
+    _write_results(
+        "throughput",
+        {
+            "pps": {label: round(rate, 1) for label, rate in results.items()},
+            "pre_fast_path_pps": PRE_FAST_PATH_PPS,
+            "speedup": {
+                label: round(results[label] / base, 2)
+                for label, base in PRE_FAST_PATH_PPS.items()
+            },
+        },
+    )
     # Program-count scaling must stay sane thanks to the program-ID index.
     assert results["15 programs (cache traffic)"] > results["1 program (cache traffic)"] * 0.3
     assert results["idle (no programs)"] > 2000
@@ -61,10 +115,42 @@ def test_deploy_rate(benchmark):
         start = time.perf_counter()
         count = 60
         for i in range(count):
-            handle = ctl.deploy(PROGRAMS[("lb", "cms", "l3route")[i % 3]].source)
+            ctl.deploy(PROGRAMS[("lb", "cms", "l3route")[i % 3]].source)
         return count / (time.perf_counter() - start)
 
     rate = once(benchmark, run)
     banner("Control-plane deploy rate (compile + allocate + install)")
     print(f"{rate:.1f} deployments/second")
+    _write_results("deploy", {"deploys_per_s": round(rate, 1)})
     assert rate > 5
+
+
+def test_solver_node_rate(benchmark):
+    """Branch-and-bound search rate (nodes/s) on a nonlinear objective —
+    the solver-side companion of the packet-rate numbers above."""
+
+    def run():
+        from repro.compiler.compiler import CompileOptions
+
+        nodes = 0
+        elapsed = 0.0
+        # Default (linear) objective plus f3, which forces the generic
+        # branch-and-bound path (much more search).
+        for options in (None, CompileOptions(objective=f3())):
+            for name in ("cache", "lb", "hh"):
+                allocation = compile_source(
+                    PROGRAMS[name].source, options=options
+                ).allocation
+                nodes += allocation.nodes_explored
+                elapsed += allocation.solve_time_s
+        return nodes, elapsed
+
+    nodes, elapsed = once(benchmark, run)
+    rate = nodes / elapsed if elapsed > 0 else 0.0
+    banner("Allocation-solver search rate")
+    print(f"{nodes:,} nodes in {elapsed * 1e3:.1f} ms -> {rate:,.0f} nodes/s")
+    _write_results(
+        "solver",
+        {"nodes": nodes, "elapsed_ms": round(elapsed * 1e3, 2), "nodes_per_s": round(rate)},
+    )
+    assert rate > 1000

@@ -1,0 +1,83 @@
+"""CI perf gate: compare BENCH_simulator.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py [results.json] [baseline.json]
+
+Fails (exit 1) if the idle packet rate regresses by more than the allowed
+fraction versus ``benchmarks/perf_baseline.json``.  Only the idle scenario
+gates: it has the least variance across runners (no program state, no
+register traffic), so it catches hot-path regressions without flaking on
+scheduler noise.  The other scenarios are reported for context.
+
+``PERF_REGRESSION_TOLERANCE`` overrides the allowed fractional drop
+(default 0.30, i.e. fail below 70% of baseline) — CI runners are shared
+and noisy, so the gate is deliberately loose; it exists to catch
+order-of-magnitude regressions (an accidental fall back to the reference
+path), not single-digit drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_simulator.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf_baseline.json"
+
+GATED_SCENARIO = "idle (no programs)"
+
+
+def main(argv: list[str]) -> int:
+    results_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+    tolerance = float(os.environ.get("PERF_REGRESSION_TOLERANCE", "0.30"))
+
+    try:
+        results = json.loads(results_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read results {results_path}: {exc}")
+        return 1
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read baseline {baseline_path}: {exc}")
+        return 1
+
+    measured = results.get("throughput", {}).get("pps", {})
+    expected = baseline.get("pps", {})
+    if GATED_SCENARIO not in measured:
+        print(f"FAIL: results have no {GATED_SCENARIO!r} measurement")
+        return 1
+    if GATED_SCENARIO not in expected:
+        print(f"FAIL: baseline has no {GATED_SCENARIO!r} entry")
+        return 1
+
+    print(f"{'scenario':32} {'measured':>12} {'baseline':>12} {'ratio':>7}")
+    failed = False
+    for scenario, base in expected.items():
+        got = measured.get(scenario)
+        if got is None:
+            print(f"{scenario:32} {'missing':>12} {base:>12,.0f}")
+            continue
+        ratio = got / base if base else float("inf")
+        gate = " <-- gate" if scenario == GATED_SCENARIO else ""
+        print(f"{scenario:32} {got:>12,.0f} {base:>12,.0f} {ratio:>6.2f}x{gate}")
+        if scenario == GATED_SCENARIO and ratio < 1.0 - tolerance:
+            failed = True
+
+    if failed:
+        print(
+            f"\nFAIL: {GATED_SCENARIO!r} regressed below "
+            f"{(1.0 - tolerance) * 100:.0f}% of the committed baseline"
+        )
+        return 1
+    print(f"\nOK: {GATED_SCENARIO!r} within {tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -105,6 +105,12 @@ class _DirectMemoryView:
     def __init__(self, inner: ResourceView):
         self._inner = inner
 
+    @property
+    def generation(self):
+        # Feasibility answers differ from the inner view's (fragmented vs
+        # contiguous), but they change exactly when the inner view does.
+        return getattr(self._inner, "generation", None)
+
     def free_entries(self, phys_rpb: int) -> int:
         return self._inner.free_entries(phys_rpb)
 

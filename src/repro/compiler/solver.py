@@ -24,6 +24,7 @@ the f3 allocation delays of §6.2.4.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 
 from ..lang.errors import AllocationError
@@ -163,6 +164,40 @@ class SearchBudgetExceeded(Exception):
     """Internal: the node cap was hit."""
 
 
+class _FeasibleCache:
+    """Static-feasibility sets for one resource view, by problem shape."""
+
+    __slots__ = ("generation", "by_shape")
+
+    def __init__(self):
+        self.generation: object = None
+        self.by_shape: dict = {}
+
+
+#: Process-wide default for new solvers (per-solver ``cache_enabled``
+#: overrides it).  Benchmarks flip this to measure the cache's effect
+#: through the full compile path, where each compile builds its own solver.
+CACHING_ENABLED = True
+
+#: Shared caches, keyed by view identity.  Solvers are constructed fresh
+#: per compile, so cross-deploy reuse only works if the cache outlives the
+#: solver; the weak keying makes the cache die with its view.  Only views
+#: exposing a ``generation`` counter participate — without one there is no
+#: invalidation signal to trust across solves.
+_VIEW_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _shared_cache_for(view) -> _FeasibleCache | None:
+    try:
+        cache = _VIEW_CACHES.get(view)
+        if cache is None:
+            cache = _FeasibleCache()
+            _VIEW_CACHES[view] = cache
+        return cache
+    except TypeError:  # view not hashable or not weak-referenceable
+        return None
+
+
 class AllocationSolver:
     """Solves allocation problems against a resource view."""
 
@@ -179,11 +214,23 @@ class AllocationSolver:
         self.view = view if view is not None else UnlimitedResources(self.spec)
         self.max_nodes = max_nodes
         self._nodes = 0
+        #: cache of per-depth static feasibility sets, keyed by problem
+        #: shape and invalidated whenever the view's ``generation``
+        #: changes (views without one get a per-solve serial, so the
+        #: cache still shares work between a hierarchical solve's phases)
+        self.cache_enabled = CACHING_ENABLED
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._local_cache = _FeasibleCache()
+        self._solve_serial = 0
+        #: endpoint-pair lists depend only on (domain, length)
+        self._pair_cache: dict[tuple[int, int], list] = {}
 
     # -- public API -----------------------------------------------------------
     def solve(self, problem: AllocationProblem, objective: Objective) -> AllocationResult:
         start = time.perf_counter()
         self._nodes = 0
+        self._solve_serial += 1
         domain = self.spec.num_logic_rpbs
         if problem.num_depths > domain:
             raise AllocationError(
@@ -231,6 +278,10 @@ class AllocationSolver:
     def _endpoint_pairs(self, problem: AllocationProblem):
         domain = self.spec.num_logic_rpbs
         length = problem.num_depths
+        cached = self._pair_cache.get((domain, length))
+        if cached is not None:
+            # Copy: callers re-sort the list per objective.
+            return list(cached)
         pairs = []
         if length == 1:
             pairs = [(v, v) for v in range(1, domain + 1)]
@@ -238,7 +289,8 @@ class AllocationSolver:
             for x1 in range(1, domain - length + 2):
                 for xl in range(x1 + length - 1, domain + 1):
                     pairs.append((x1, xl))
-        return pairs
+        self._pair_cache[(domain, length)] = pairs
+        return list(pairs)
 
     def _solve_linear(self, problem: AllocationProblem, objective: Objective):
         pairs = self._endpoint_pairs(problem)
@@ -338,13 +390,53 @@ class AllocationSolver:
         return best, best_value, placement
 
     # -- interior completion ---------------------------------------------------
+    def _problem_shape(self, problem: AllocationProblem) -> tuple:
+        """Hashable key covering every problem field that feeds the static
+        feasibility computation (not the program name — two programs with
+        identical demand share cache lines)."""
+        return (
+            problem.num_depths,
+            tuple(sorted(problem.te_req.items())),
+            tuple(sorted(problem.forwarding_depths)),
+            tuple(sorted(problem.memory_sizes.items())),
+            tuple(sorted((m, tuple(d)) for m, d in problem.memory_depths.items())),
+        )
+
     def _static_feasible_values(self, problem: AllocationProblem) -> list[list[int]]:
         """Per-depth sorted lists of logic RPBs passing the static
         (non-cumulative) constraints: forwarding-on-ingress, per-depth
         entry demand vs current free entries, and single-memory fit.
-        Computed once per solve; the per-pair window prechecks then reduce
-        to sorted-list window tests instead of re-evaluating resources for
-        every pair (the hot path near saturation)."""
+        The result is cached per (problem shape, view generation): a
+        hierarchical solve's second phase — and any same-shape re-solve
+        against an unchanged view — reuses it instead of re-evaluating
+        resources for every (depth, value) combination.  Callers must not
+        mutate the returned lists."""
+        if not self.cache_enabled:
+            return self._compute_static_feasible(problem)
+        generation = getattr(self.view, "generation", None)
+        cache = _shared_cache_for(self.view) if generation is not None else None
+        if cache is None:
+            # No generation counter (or view not weak-referenceable): key
+            # the solver-local cache on the solve serial, so the cache
+            # still collapses the phases of one solve but is never trusted
+            # across solves.
+            cache = self._local_cache
+            if generation is None:
+                generation = ("solve", self._solve_serial)
+        if cache.generation != generation:
+            cache.by_shape.clear()
+            cache.generation = generation
+        key = self._problem_shape(problem)
+        cached = cache.by_shape.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        feasible = self._compute_static_feasible(problem)
+        cache.by_shape[key] = feasible
+        return feasible
+
+    def _compute_static_feasible(self, problem: AllocationProblem) -> list[list[int]]:
         domain = self.spec.num_logic_rpbs
         length = problem.num_depths
         mids_at_depth: dict[int, list[str]] = {}

@@ -100,6 +100,10 @@ class ResourceManager:
         self._entries_reserved: dict[str, int] = dict.fromkeys(self._entry_capacity, 0)
         self._programs: dict[int, ProgramRecord] = {}
         self._id_counter = itertools.count(1)
+        #: bumped on every change to resource availability (admission,
+        #: aborts, removals); caches derived from this view — notably the
+        #: allocation solver's static-feasibility sets — key on it
+        self.generation = 0
 
     # -- ResourceView protocol -----------------------------------------------------
     def free_entries(self, phys_rpb: int) -> int:
@@ -158,6 +162,7 @@ class ResourceManager:
             self._entries_reserved[table] += count
         record = ProgramRecord(compiled.name, program_id, compiled, batch, memory)
         self._programs[program_id] = record
+        self.generation += 1
         return record
 
     def mark_running(self, record: ProgramRecord) -> None:
@@ -176,6 +181,7 @@ class ResourceManager:
                 self._freelists[alloc.phys_rpb].free(phys_base)
         record.state = ProgramState.REMOVED
         del self._programs[record.program_id]
+        self.generation += 1
 
     def begin_removal(self, program_id: int) -> ProgramRecord:
         record = self.get(program_id)
@@ -185,6 +191,7 @@ class ResourceManager:
         for alloc in record.memory.values():
             for phys_base, _fsize in alloc.fragments:
                 self._freelists[alloc.phys_rpb].lock(phys_base)
+        self.generation += 1
         return record
 
     def finish_removal(self, record: ProgramRecord) -> None:
@@ -196,6 +203,7 @@ class ResourceManager:
                 self._freelists[alloc.phys_rpb].unlock_and_free(phys_base)
         record.state = ProgramState.REMOVED
         del self._programs[record.program_id]
+        self.generation += 1
 
     def seed_program_id(self, next_id: int) -> None:
         """Pin the next admitted program's id (audit-log replay).

@@ -17,6 +17,7 @@ from ..rmt.phv import PHV
 from ..rmt.stage import LogicalUnit, Stage
 from ..rmt.table import MatchActionTable
 from . import constants as dp
+from . import tracing
 
 
 class InitBlock(LogicalUnit):
@@ -40,9 +41,8 @@ class InitBlock(LogicalUnit):
             raise ValueError(f"init block: unexpected action {action!r}")
         phv.set("ud.program_id", data["program_id"])
         phv.set("ud.branch_id", 0)
-        from .tracing import emit
-
-        emit(self.name, action, data, phv)
+        if tracing._ACTIVE is not None:
+            tracing._ACTIVE.record(self.name, action, data, phv)
 
 
 class RecirculationBlock(LogicalUnit):
@@ -61,6 +61,5 @@ class RecirculationBlock(LogicalUnit):
         if action != dp.ACTION_RECIRCULATE:
             raise ValueError(f"recirculation block: unexpected action {action!r}")
         phv.set("ud.recirc_flag", 1)
-        from .tracing import emit
-
-        emit(self.name, action, _data, phv)
+        if tracing._ACTIVE is not None:
+            tracing._ACTIVE.record(self.name, action, _data, phv)

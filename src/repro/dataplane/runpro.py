@@ -180,6 +180,17 @@ class P4runproDataPlane:
     ) -> SwitchResult:
         return self.switch.process_packet(packet, carried)
 
+    def process_many(
+        self, packets, carried: dict[str, int] | None = None
+    ) -> list[SwitchResult]:
+        """Run a batch of packets through the switch in arrival order.
+
+        Equivalent to calling :meth:`process` per packet (same verdicts,
+        counters, and register mutations) but amortizes compiled-state
+        resolution across the batch via :meth:`Switch.process_batch`.
+        """
+        return self.switch.process_batch(packets, carried)
+
     # -- internals ------------------------------------------------------------
     def _table(self, name: str) -> MatchActionTable:
         table = self.tables.get(name)

@@ -104,6 +104,14 @@ def _build_registry() -> dict[str, FieldSpec]:
 
 _REGISTRY: dict[str, FieldSpec] = _build_registry()
 
+#: Bumped whenever the registry grows so compiled PHV layouts (which intern
+#: field names into slot indices) know to rebuild.
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    return _GENERATION
+
 
 def canonical_name(name: str) -> str:
     """Resolve aliases to the canonical field name."""
@@ -133,6 +141,7 @@ def register_header(header: str, layout: dict[str, int]) -> None:
     Raises ``ValueError`` if the header already exists with a different
     layout, to catch accidental redefinition.
     """
+    global _GENERATION
     existing = HEADER_LAYOUTS.get(header)
     if existing is not None:
         if existing != layout:
@@ -142,6 +151,7 @@ def register_header(header: str, layout: dict[str, int]) -> None:
     for field, width in layout.items():
         name = f"hdr.{header}.{field}"
         _REGISTRY[name] = FieldSpec(name, width)
+    _GENERATION += 1
 
 
 def header_size_bytes(header: str) -> int:

@@ -3,10 +3,17 @@
 On a real RMT chip the PHV is the bundle of containers that carries all
 per-packet state through the pipeline: parsed header fields, intrinsic
 metadata, and user metadata.  The simulator's :class:`PHV` mirrors that: a
-flat map from fully qualified field names to integer values, with a
-*layout* (:class:`PHVLayout`) tracking which user-metadata fields exist and
-how many container bits the program consumes — the quantity the resource
-model (Fig. 10 of the paper) accounts.
+fixed vector of containers ("slots"), one per known field, with a *layout*
+(:class:`PHVLayout`) tracking which user-metadata fields exist and how many
+container bits the program consumes — the quantity the resource model
+(Fig. 10 of the paper) accounts.
+
+Hot-path design: the layout is compiled once into a :class:`CompiledLayout`
+that interns every field name to a slot index.  Reads and writes on the hot
+path are then list-index operations instead of string-keyed dict lookups; an
+absent field (unparsed header) is an ``None`` slot.  The dict-style API
+(``get``/``set``/``has``/``values``) is kept as a thin compatible wrapper,
+falling back to a slow path for fields registered after compilation.
 
 Match-action tables match on PHV fields; actions read and write them.  At
 deparse time header fields are copied back into the packet.
@@ -24,6 +31,75 @@ class PHVOverflowError(RuntimeError):
     """Raised when user metadata exceeds the chip's PHV container budget."""
 
 
+class CompiledLayout:
+    """Field-name -> slot interning for one :class:`PHVLayout` snapshot.
+
+    Built lazily by :meth:`PHVLayout.compiled` and invalidated whenever the
+    layout (or the global field registry) grows, so every PHV constructed
+    from the same layout shares one slot map, one width-mask table, and one
+    pre-built template vector.
+    """
+
+    __slots__ = (
+        "slot_of",
+        "slot_names",
+        "masks",
+        "template",
+        "header_slots",
+        "registry_gen",
+        "user_count",
+        "slot_ingress",
+        "slot_egress",
+        "slot_qdepth",
+        "slot_pktlen",
+        "slot_ts",
+    )
+
+    def __init__(self, layout: "PHVLayout"):
+        slot_of: dict[str, int] = {}
+        slot_names: list[str] = []
+        masks: list[int] = []
+        template: list[int | None] = []
+
+        def add(name: str, width: int, initial: int | None) -> int:
+            index = len(slot_names)
+            slot_of[name] = index
+            slot_names.append(name)
+            masks.append((1 << width) - 1)
+            template.append(initial)
+            return index
+
+        header_slots: dict[str, list[tuple[str, int]]] = {}
+        for name, spec in field_registry.all_fields().items():
+            if name.startswith("hdr."):
+                index = add(name, spec.width, None)
+                _, header, fname = name.split(".", 2)
+                header_slots.setdefault(header, []).append((fname, index))
+            else:
+                # Intrinsic metadata is always present (zeroed until the
+                # PHV constructor fills it from the packet).
+                add(name, spec.width, 0)
+        for name, width in layout.user_fields.items():
+            # User metadata starts zeroed, as on hardware after parser init.
+            add(name, width, 0)
+        for alias, canonical in field_registry.FIELD_ALIASES.items():
+            if canonical in slot_of:
+                slot_of[alias] = slot_of[canonical]
+
+        self.slot_of = slot_of
+        self.slot_names = slot_names
+        self.masks = masks
+        self.template = template
+        self.header_slots = header_slots
+        self.registry_gen = field_registry.registry_generation()
+        self.user_count = len(layout.user_fields)
+        self.slot_ingress = slot_of["meta.ingress_port"]
+        self.slot_egress = slot_of["meta.egress_port"]
+        self.slot_qdepth = slot_of["meta.queue_depth"]
+        self.slot_pktlen = slot_of["meta.pkt_len"]
+        self.slot_ts = slot_of["meta.timestamp"]
+
+
 @dataclass
 class PHVLayout:
     """User-metadata declarations and PHV bit accounting.
@@ -35,6 +111,9 @@ class PHVLayout:
 
     budget_bits: int = 4096  # Tofino-like: 64x8b + 96x16b + 64x32b containers
     user_fields: dict[str, int] = field(default_factory=dict)  # name -> width
+
+    def __post_init__(self) -> None:
+        self._compiled: CompiledLayout | None = None
 
     def declare(self, name: str, width: int) -> None:
         if not name.startswith("ud."):
@@ -48,6 +127,19 @@ class PHVLayout:
                 f"declaring {name} ({width}b) exceeds PHV budget of {self.budget_bits}b"
             )
         self.user_fields[name] = width
+        self._compiled = None
+
+    def compiled(self) -> CompiledLayout:
+        """The interned field->slot mapping for the layout's current shape."""
+        compiled = self._compiled
+        if (
+            compiled is None
+            or compiled.registry_gen != field_registry.registry_generation()
+            or compiled.user_count != len(self.user_fields)
+        ):
+            compiled = CompiledLayout(self)
+            self._compiled = compiled
+        return compiled
 
     def width_of(self, name: str) -> int:
         if name in self.user_fields:
@@ -67,53 +159,129 @@ class PHVLayout:
 class PHV:
     """Per-packet header vector instance flowing through the pipeline."""
 
-    __slots__ = ("layout", "values", "valid_headers", "packet")
+    __slots__ = ("layout", "packet", "cl", "slots", "valid_headers", "_extra")
 
     def __init__(self, layout: PHVLayout, packet: Packet):
         self.layout = layout
         self.packet = packet
-        self.values: dict[str, int] = {}
+        cl = layout.compiled()
+        self.cl = cl
+        slots = cl.template.copy()
+        self.slots = slots
         self.valid_headers: set[str] = set()
-        # Intrinsic metadata is always present.
-        self.values["meta.ingress_port"] = packet.ingress_port
-        self.values["meta.egress_port"] = 0
-        self.values["meta.queue_depth"] = packet.queue_depth
-        self.values["meta.pkt_len"] = packet.size
-        self.values["meta.timestamp"] = int(packet.ts * 1_000_000) & 0xFFFFFFFF
-        # User metadata starts zeroed, as on hardware after parser init.
-        for name in layout.user_fields:
-            self.values[name] = 0
+        #: overflow store for fields that have no slot (registered after
+        #: this PHV's layout was compiled) — keeps the dict API complete.
+        self._extra: dict[str, int] | None = None
+        slots[cl.slot_ingress] = packet.ingress_port
+        slots[cl.slot_qdepth] = packet.queue_depth
+        slots[cl.slot_pktlen] = packet.size
+        slots[cl.slot_ts] = int(packet.ts * 1_000_000) & 0xFFFFFFFF
 
     # -- field access ----------------------------------------------------
     def get(self, name: str) -> int:
-        name = field_registry.canonical_name(name)
-        try:
-            return self.values[name]
-        except KeyError as exc:
-            raise KeyError(f"PHV has no field {name} for this packet") from exc
+        index = self.cl.slot_of.get(name)
+        if index is not None:
+            value = self.slots[index]
+            if value is not None:
+                return value
+        elif self._extra is not None:
+            canonical = field_registry.canonical_name(name)
+            if canonical in self._extra:
+                return self._extra[canonical]
+        raise KeyError(f"PHV has no field {name} for this packet")
 
     def set(self, name: str, value: int) -> None:
-        name = field_registry.canonical_name(name)
-        width = self.layout.width_of(name)
-        if name.startswith("hdr.") and name not in self.values:
+        cl = self.cl
+        index = cl.slot_of.get(name)
+        if index is None:
+            self._set_slow(name, value)
+            return
+        slots = self.slots
+        if slots[index] is None and name.startswith("hdr."):
             raise KeyError(f"PHV has no field {name} for this packet")
-        self.values[name] = value & ((1 << width) - 1)
+        slots[index] = value & cl.masks[index]
+
+    def _set_slow(self, name: str, value: int) -> None:
+        # Field registered after this PHV's layout snapshot was compiled
+        # (late ``declare`` / ``register_header``) — mirror the historical
+        # dict semantics exactly, including the error cases.
+        name = field_registry.canonical_name(name)
+        index = self.cl.slot_of.get(name)
+        if index is not None:
+            self.set(name, value)
+            return
+        width = self.layout.width_of(name)
+        if name.startswith("hdr."):
+            raise KeyError(f"PHV has no field {name} for this packet")
+        if self._extra is None:
+            self._extra = {}
+        self._extra[name] = value & ((1 << width) - 1)
 
     def has(self, name: str) -> bool:
-        return field_registry.canonical_name(name) in self.values
+        index = self.cl.slot_of.get(name)
+        if index is not None:
+            return self.slots[index] is not None
+        if self._extra is not None:
+            return field_registry.canonical_name(name) in self._extra
+        return False
+
+    @property
+    def values(self) -> dict[str, int]:
+        """Dict view of the present fields (compatibility wrapper)."""
+        names = self.cl.slot_names
+        out = {
+            names[i]: value
+            for i, value in enumerate(self.slots)
+            if value is not None
+        }
+        if self._extra:
+            out.update(self._extra)
+        return out
 
     # -- header lifecycle -------------------------------------------------
     def load_header(self, header: str) -> None:
         """Copy a parsed header's fields from the packet into the PHV."""
         self.valid_headers.add(header)
-        for fname, value in self.packet.headers[header].items():
-            self.values[f"hdr.{header}.{fname}"] = value
+        source = self.packet.headers[header]
+        layout_slots = self.cl.header_slots.get(header)
+        if layout_slots is not None and len(layout_slots) == len(source):
+            slots = self.slots
+            try:
+                for fname, index in layout_slots:
+                    slots[index] = source[fname]
+                return
+            except KeyError:
+                pass  # field set mismatch: fall through to the slow path
+        self._load_header_slow(header, source)
+
+    def _load_header_slow(self, header: str, source: dict[str, int]) -> None:
+        slot_of = self.cl.slot_of
+        for fname, value in source.items():
+            index = slot_of.get(f"hdr.{header}.{fname}")
+            if index is not None:
+                self.slots[index] = value
+            else:
+                if self._extra is None:
+                    self._extra = {}
+                self._extra[f"hdr.{header}.{fname}"] = value
 
     def deparse(self) -> Packet:
         """Write modified header fields back into the packet and return it."""
+        slots = self.slots
+        header_slots = self.cl.header_slots
         for header in self.valid_headers:
-            for fname in self.packet.headers[header]:
-                key = f"hdr.{header}.{fname}"
-                if key in self.values:
-                    self.packet.headers[header][fname] = self.values[key]
+            target = self.packet.headers[header]
+            layout_slots = header_slots.get(header)
+            if layout_slots is not None:
+                for fname, index in layout_slots:
+                    value = slots[index]
+                    if value is not None and fname in target:
+                        target[fname] = value
+            if self._extra:
+                prefix = f"hdr.{header}."
+                for key, value in self._extra.items():
+                    if key.startswith(prefix):
+                        fname = key[len(prefix) :]
+                        if fname in target:
+                            target[fname] = value
         return self.packet

@@ -106,15 +106,36 @@ class TrafficManager:
 
 
 class Pipeline:
-    """An ordered list of stages in one gress."""
+    """An ordered list of stages in one gress.
+
+    Packet processing runs over a *compiled unit program*: the attached
+    :class:`~repro.rmt.stage.LogicalUnit` list of every stage is flattened
+    into one list of ``(apply, stage)`` bound-method pairs, resolved once
+    per deploy (attaching a unit invalidates it) rather than per packet.
+    """
 
     def __init__(self, gress: str, stages: list[Stage]):
         self.gress = gress
         self.stages = stages
+        self._compiled: list[tuple] | None = None
+        for stage in stages:
+            stage.pipeline = self
+
+    def invalidate_compiled(self) -> None:
+        self._compiled = None
+
+    def compiled_units(self) -> list[tuple]:
+        compiled = self._compiled
+        if compiled is None:
+            compiled = [
+                (unit.apply, stage) for stage in self.stages for unit in stage.units
+            ]
+            self._compiled = compiled
+        return compiled
 
     def process(self, phv: PHV) -> None:
-        for stage in self.stages:
-            stage.process(phv)
+        for apply, stage in self.compiled_units():
+            apply(phv, stage)
 
     def __len__(self) -> int:
         return len(self.stages)
@@ -161,10 +182,36 @@ class Switch:
         #: total packets injected / recirculation passes, for load accounting
         self.packets_in = 0
         self.pipeline_passes = 0
+        #: cached bridge-header field list (user fields minus the recirc
+        #: flag), rebuilt when the layout grows
+        self._bridge_fields: tuple[str, ...] = ()
+        self._bridge_fields_count = -1
+        #: bridge fields resolved to (name, slot) pairs for one compiled
+        #: layout snapshot
+        self._bridge_slots: tuple[tuple[str, int], ...] = ()
+        self._bridge_slots_cl = None
 
     def provision_done(self) -> None:
         """Freeze compile-time structures (parser); enter runtime phase."""
         self.parse_machine.freeze()
+
+    def _bridge_field_names(self) -> tuple[str, ...]:
+        user_fields = self.layout.user_fields
+        if len(user_fields) != self._bridge_fields_count:
+            self._bridge_fields = tuple(
+                name for name in user_fields if name != "ud.recirc_flag"
+            )
+            self._bridge_fields_count = len(user_fields)
+        return self._bridge_fields
+
+    def _bridge_slot_pairs(self, cl) -> tuple[tuple[str, int], ...]:
+        if self._bridge_slots_cl is not cl:
+            slot_of = cl.slot_of
+            self._bridge_slots = tuple(
+                (name, slot_of[name]) for name in self._bridge_field_names()
+            )
+            self._bridge_slots_cl = cl
+        return self._bridge_slots
 
     # -- packet processing --------------------------------------------------
     def process_packet(
@@ -188,13 +235,12 @@ class Switch:
                 # on the previous pass (paper §4.1.3).
                 for name, value in carried.items():
                     phv.set(name, value)
+            bridge_pairs = self._bridge_slot_pairs(phv.cl)
+
             def bridge_state() -> dict[str, int]:
-                state = {
-                    name: phv.get(name)
-                    for name in self.layout.user_fields
-                    if name != "ud.recirc_flag"
-                }
-                state["meta.egress_port"] = phv.get("meta.egress_port")
+                slots = phv.slots
+                state = {name: slots[slot] for name, slot in bridge_pairs}
+                state["meta.egress_port"] = slots[phv.cl.slot_egress]
                 return state
 
             self.ingress.process(phv)
@@ -216,11 +262,8 @@ class Switch:
                     raise RecirculationLimitError(
                         f"packet exceeded {self.config.max_recirculations} recirculations"
                     )
-                carried = {
-                    name: phv.get(name)
-                    for name in self.layout.user_fields
-                    if name not in ("ud.recirc_flag",)
-                }
+                slots = phv.slots
+                carried = {name: slots[slot] for name, slot in bridge_pairs}
                 carried["ud.recirc_count"] = recirculations
                 # The forwarding intent latched so far (e.g. FORWARD's
                 # egress port) is stateless per-packet data and rides the
@@ -235,6 +278,25 @@ class Switch:
             return SwitchResult(
                 verdict, port, phv.deparse(), recirculations, ports, bridge_state()
             )
+
+    def process_batch(
+        self, packets, carried: dict[str, int] | None = None
+    ) -> list[SwitchResult]:
+        """Run a batch of packets to completion, amortizing per-packet setup.
+
+        Semantically identical to calling :meth:`process_packet` on each
+        packet in order (same verdicts, same counters, same register-array
+        mutations); the batch form resolves the compiled pipeline programs,
+        the PHV layout, and the bridge-field list once up front.
+        """
+        # Force one compilation of everything the per-packet loop consumes
+        # so the whole batch runs on warmed caches.
+        self.layout.compiled()
+        self.ingress.compiled_units()
+        self.egress.compiled_units()
+        self._bridge_field_names()
+        process = self.process_packet
+        return [process(packet, carried) for packet in packets]
 
     # -- throughput model (Fig. 11) -----------------------------------------
     #: wire size of the bridge header the recirculation block attaches

@@ -75,6 +75,9 @@ class Stage:
         self.register_arrays: dict[str, RegisterArray] = {}
         self.hash_units: dict[str, HashUnit] = {}
         self.usage = StageUsage()
+        #: owning pipeline, set on pipeline construction; attaching a unit
+        #: invalidates the pipeline's compiled unit program
+        self.pipeline = None
 
     # -- attachment with resource accounting -------------------------------
     def attach_unit(
@@ -102,6 +105,8 @@ class Stage:
         self.usage.vliw_slots += vliw_slots
         self.usage.ltids += ltids
         self.units.append(unit)
+        if self.pipeline is not None:
+            self.pipeline.invalidate_compiled()
 
     def attach_register_array(self, array: RegisterArray) -> None:
         blocks = -(-array.size // self.budget.sram_bucket_per_block)

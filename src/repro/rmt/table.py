@@ -13,11 +13,31 @@ Hardware semantics preserved here:
   :class:`TableFullError` (the resource the allocator must budget);
 * ternary matches are resolved by explicit priority (lower number wins),
   ties broken by insertion order, as TCAM entry ordering does.
+
+Two lookup paths exist:
+
+* the **compiled fast path** (:meth:`MatchActionTable.lookup`): entries are
+  kept pre-sorted by ``(priority, handle)`` in per-bucket and unindexed
+  pools so the scan early-exits on the first match; each entry's key tuple
+  is compiled once into ``(slot, value & mask, mask)`` triples against the
+  PHV's interned slot layout, so a key test is two list indexes and one
+  masked compare;
+* the **reference path** (:meth:`MatchActionTable.lookup_reference`): a
+  naive full scan through :class:`TernaryKey.matches` used as the oracle by
+  the equivalence property tests.
+
+A ``generation`` counter increments on every structural update (insert,
+delete, clear); all derived compiled state is keyed on it, so a packet in
+flight either sees an entry fully or not at all — never a half-built index.
+Deletes are tombstones (O(1) amortized): the entry is unlinked from the
+handle map immediately and the sorted pools are compacted only once
+tombstones pile up.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from dataclasses import dataclass, field
 
 from .phv import PHV
@@ -45,6 +65,10 @@ class TernaryKey:
         return (phv.get(self.field) & self.mask) == (self.value & self.mask)
 
 
+def _entry_order(entry: "TableEntry") -> tuple[int, int]:
+    return (entry.priority, entry.handle)
+
+
 @dataclass
 class TableEntry:
     """A single installed match-action entry."""
@@ -56,6 +80,14 @@ class TableEntry:
     handle: int = -1  # assigned by the table on insert
     #: direct counter: packets that matched this entry
     hits: int = 0
+    #: False once deleted; tombstones are skipped by the fast path and
+    #: swept out of the sorted pools in bulk
+    live: bool = field(default=True, repr=False, compare=False)
+    #: compiled key triples ``(field, value & mask, mask)`` — set at insert
+    compiled_keys: tuple = field(default=None, repr=False, compare=False)
+    #: action closure bound by the owning execution unit (e.g. an RPB),
+    #: resolved once per deploy rather than per packet
+    compiled_op: object = field(default=None, repr=False, compare=False)
 
     def matches(self, phv: PHV) -> bool:
         return all(key.matches(phv) for key in self.keys)
@@ -89,6 +121,20 @@ class MatchActionTable:
         self._index_mask = index_mask
         self._index: dict[int, list[TableEntry]] = {}
         self._unindexed: list[TableEntry] = []
+        #: structural-update counter: any insert/delete/clear bumps it,
+        #: invalidating every cache derived from the entry set
+        self.generation = 0
+        self._tombstones = 0
+        #: compiled candidate pools, keyed by masked index value (or "*"
+        #: for lookups that cannot use the index): bucket + unindexed
+        #: entries merged in (priority, handle) order, each as a
+        #: ``(slot_triples_or_None, entry)`` pair.  Valid only for
+        #: (_compiled_gen, _compiled_cl); any structural update or layout
+        #: change drops the whole cache.
+        self._compiled_pools: dict = {}
+        self._compiled_gen = -1
+        self._compiled_cl = None
+        self._index_slot: int | None = None
         #: number of lookups / hits, for utilization reporting
         self.lookups = 0
         self.hits = 0
@@ -108,26 +154,45 @@ class MatchActionTable:
             raise TableFullError(f"table {self.name} full ({self.capacity} entries)")
         handle = next(self._handle_counter)
         entry.handle = handle
+        entry.live = True
+        entry.compiled_keys = tuple(
+            (key.field, key.value & key.mask, key.mask) for key in entry.keys
+        )
+        entry.compiled_op = None
         self._entries[handle] = entry
         bucket = self._index_value(entry)
         if bucket is None:
-            self._unindexed.append(entry)
+            insort(self._unindexed, entry, key=_entry_order)
         else:
-            self._index.setdefault(bucket, []).append(entry)
+            pool = self._index.get(bucket)
+            if pool is None:
+                self._index[bucket] = [entry]
+            else:
+                insort(pool, entry, key=_entry_order)
+        self.generation += 1
         return handle
 
     def delete(self, handle: int) -> None:
-        """Atomically remove the entry with ``handle``."""
-        if handle not in self._entries:
+        """Atomically remove the entry with ``handle`` (O(1) amortized)."""
+        entry = self._entries.pop(handle, None)
+        if entry is None:
             raise EntryNotFoundError(f"table {self.name}: no entry {handle}")
-        entry = self._entries.pop(handle)
-        bucket = self._index_value(entry)
-        if bucket is None:
-            self._unindexed.remove(entry)
-        else:
-            self._index[bucket].remove(entry)
-            if not self._index[bucket]:
+        entry.live = False
+        self._tombstones += 1
+        self.generation += 1
+        if self._tombstones > max(16, len(self._entries)):
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Compact tombstones out of the sorted pools."""
+        self._unindexed = [e for e in self._unindexed if e.live]
+        for bucket in list(self._index):
+            pool = [e for e in self._index[bucket] if e.live]
+            if pool:
+                self._index[bucket] = pool
+            else:
                 del self._index[bucket]
+        self._tombstones = 0
 
     def get(self, handle: int) -> TableEntry:
         if handle not in self._entries:
@@ -135,9 +200,13 @@ class MatchActionTable:
         return self._entries[handle]
 
     def clear(self) -> None:
+        for entry in self._entries.values():
+            entry.live = False
         self._entries.clear()
         self._index.clear()
         self._unindexed.clear()
+        self._tombstones = 0
+        self.generation += 1
 
     @property
     def occupancy(self) -> int:
@@ -160,22 +229,125 @@ class MatchActionTable:
         Returns ``(action, action_data)``; falls back to the default action
         if no entry matches, or ``None`` if there is no default either.
         """
+        entry = self.lookup_entry(phv)
+        if entry is not None:
+            return entry.action, entry.action_data
+        if self.default_action is not None:
+            return self.default_action, self.default_action_data
+        return None
+
+    def lookup_entry(self, phv: PHV) -> TableEntry | None:
+        """Fast path: return the winning live entry (or ``None``), updating
+        the lookup/hit counters exactly as :meth:`lookup` does."""
         self.lookups += 1
-        if self._index_field is not None and phv.has(self._index_field):
-            bucket = phv.get(self._index_field) & self._index_mask
-            candidates = self._index.get(bucket, ())
-            pool = [*candidates, *self._unindexed]
+        cl = phv.cl
+        if self._compiled_gen != self.generation or self._compiled_cl is not cl:
+            self._recompile(cl)
+        if self._index_field is not None:
+            index_slot = self._index_slot
+            if index_slot is not None:
+                index_value = phv.slots[index_slot]
+            elif phv.has(self._index_field):
+                # Index field lives outside the slot layout (late-declared);
+                # fall back to the dict API for the bucket selection.
+                index_value = phv.get(self._index_field)
+            else:
+                index_value = None
+            key = index_value & self._index_mask if index_value is not None else "*"
         else:
-            pool = list(self._entries.values())
+            key = "*"
+        pool = self._compiled_pools.get(key)
+        if pool is None:
+            pool = self._build_pool(key, cl)
+        slots = phv.slots
+        for triples, entry in pool:
+            if triples is None:
+                # Entry keyed on a field outside this layout's slot space:
+                # match through the generic dict-API path.
+                if entry.matches(phv):
+                    self.hits += 1
+                    entry.hits += 1
+                    return entry
+                continue
+            for slot, value, mask in triples:
+                pv = slots[slot]
+                if pv is None or (pv & mask) != value:
+                    break
+            else:
+                self.hits += 1
+                entry.hits += 1
+                return entry
+        return None
+
+    def _recompile(self, cl) -> None:
+        """Reset compiled lookup state for the current (generation, layout)."""
+        self._compiled_pools = {}
+        self._compiled_gen = self.generation
+        self._compiled_cl = cl
+        self._index_slot = (
+            cl.slot_of.get(self._index_field) if self._index_field is not None else None
+        )
+
+    def _build_pool(self, key, cl) -> list:
+        """Compile the candidate pool for one masked index value.
+
+        The pool merges the bucket's entries with the unindexed entries in
+        (priority, handle) order — which is exactly "lowest priority wins,
+        ties broken by insertion order" — and resolves every entry's keys
+        to slot triples once, so the per-packet scan is a flat loop.
+        """
+        if key == "*":
+            candidates = sorted(self._entries.values(), key=_entry_order)
+        else:
+            bucket = self._index.get(key, ())
+            unindexed = self._unindexed
+            if not unindexed:
+                candidates = [e for e in bucket if e.live]
+            elif not bucket:
+                candidates = [e for e in unindexed if e.live]
+            else:
+                candidates = sorted(
+                    [e for e in bucket if e.live] + [e for e in unindexed if e.live],
+                    key=_entry_order,
+                )
+        slot_of = cl.slot_of
+        pool = []
+        for entry in candidates:
+            triples: tuple | None = tuple(
+                (slot_of[fname], value, mask)
+                for fname, value, mask in entry.compiled_keys
+                if fname in slot_of
+            )
+            if len(triples) != len(entry.compiled_keys):
+                triples = None
+            pool.append((triples, entry))
+        if len(self._compiled_pools) >= 4096:
+            # Pathological probe streams could otherwise grow one pool per
+            # distinct masked index value without bound.
+            self._compiled_pools.clear()
+        self._compiled_pools[key] = pool
+        return pool
+
+    # -- reference path -------------------------------------------------------
+    def lookup_reference_entry(self, phv: PHV) -> TableEntry | None:
+        """Naive full-scan oracle: same semantics as the fast path —
+        lowest priority wins, ties broken by insertion order (handle) —
+        implemented directly from the documented TCAM rules.  Updates no
+        counters; used by the equivalence property tests."""
         best: TableEntry | None = None
-        for entry in pool:
+        for entry in self._entries.values():
             if entry.matches(phv):
-                if best is None or entry.priority < best.priority:
+                if best is None or (entry.priority, entry.handle) < (
+                    best.priority,
+                    best.handle,
+                ):
                     best = entry
-        if best is not None:
-            self.hits += 1
-            best.hits += 1
-            return best.action, best.action_data
+        return best
+
+    def lookup_reference(self, phv: PHV) -> tuple[str, dict] | None:
+        entry = self.lookup_reference_entry(phv)
+        if entry is not None:
+            return entry.action, entry.action_data
         if self.default_action is not None:
             return self.default_action, self.default_action_data
         return None

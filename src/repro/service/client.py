@@ -87,6 +87,7 @@ _RPC_SIGNATURES = {
     "audit": (),
     "fingerprint": (),
     "set_quota": ("tenant",),
+    "inject": ("packets",),
 }
 
 

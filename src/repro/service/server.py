@@ -12,7 +12,7 @@ protocol (:mod:`repro.service.protocol`).  Layering:
 
 Concurrency model: requests from different connections are handled
 concurrently on the event loop.  State-changing methods (deploy, revoke,
-add_case, remove_case, write_mem, set_quota) funnel through one FIFO
+add_case, remove_case, write_mem, set_quota, inject) funnel through one FIFO
 admission lock — the compiler and allocator always observe a quiescent
 resource manager, and the audit log's order *is* the execution order
 (which makes replay exact).  Read-only methods bypass the queue entirely,
@@ -52,8 +52,12 @@ from .protocol import (
 from .robustness import RetryingBinding, RetryPolicy
 from .tenants import TenantQuota, TenantRegistry
 
-#: Methods serialized through the admission queue.
-WRITE_METHODS = STATE_CHANGING_METHODS | {"set_quota"}
+#: Methods serialized through the admission queue.  ``inject`` drives
+#: traffic through the data plane: it mutates register arrays and
+#: counters, so it must not interleave with a deploy's entry updates —
+#: but it is deliberately *not* in STATE_CHANGING_METHODS, so audit
+#: replay skips it (replay restores control-plane state, not traffic).
+WRITE_METHODS = STATE_CHANGING_METHODS | {"set_quota", "inject"}
 
 #: Methods served without queueing.
 READ_METHODS = frozenset(
@@ -70,6 +74,71 @@ READ_METHODS = frozenset(
         "fingerprint",
     }
 )
+
+
+def _build_packet(spec: dict):
+    """Build one packet from a JSON inject spec (kind + kind-specific args)."""
+    from ..rmt import packet as pkt
+
+    kind = spec.get("kind", "udp")
+    src_ip = spec.get("src_ip", 0x0A00_0001)
+    dst_ip = spec.get("dst_ip", 0x0A00_0002)
+    try:
+        if kind == "l2":
+            packet = pkt.make_l2(size=spec.get("size", 64))
+        elif kind == "udp":
+            packet = pkt.make_udp(
+                src_ip,
+                dst_ip,
+                spec.get("src_port", 10000),
+                spec.get("dst_port", 20000),
+                size=spec.get("size", 64),
+            )
+        elif kind == "tcp":
+            packet = pkt.make_tcp(
+                src_ip,
+                dst_ip,
+                spec.get("src_port", 10000),
+                spec.get("dst_port", 20000),
+                flags=spec.get("flags", 0x10),
+                size=spec.get("size", 64),
+            )
+        elif kind == "cache":
+            op = spec.get("op", "read")
+            if op == "read":
+                op = pkt.NC_READ
+            elif op == "write":
+                op = pkt.NC_WRITE
+            if not isinstance(op, int):
+                raise ValueError(f"unknown cache op {op!r}")
+            packet = pkt.make_cache(
+                src_ip,
+                dst_ip,
+                op=op,
+                key=spec.get("key", 0),
+                value=spec.get("value", 0),
+                dst_port=spec.get("dst_port", 7777),
+            )
+        elif kind == "calc":
+            packet = pkt.make_calc(
+                src_ip,
+                dst_ip,
+                op=spec.get("op", 1),
+                a=spec.get("a", 0),
+                b=spec.get("b", 0),
+                dst_port=spec.get("dst_port", 8888),
+            )
+        else:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, f"unknown packet kind {kind!r}"
+            )
+    except ServiceError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(ErrorCode.BAD_REQUEST, f"bad packet spec: {exc}") from exc
+    packet.ingress_port = spec.get("ingress_port", 0)
+    packet.queue_depth = spec.get("queue_depth", 0)
+    return packet
 
 
 class ControlService:
@@ -346,6 +415,59 @@ class ControlService:
             self._require(params, "value"),
         )
         return {}
+
+    #: hard cap on packets per inject request (keeps one RPC from
+    #: monopolizing the admission queue)
+    MAX_INJECT_PACKETS = 65536
+
+    def _rpc_inject(self, tenant_name: str, params: dict) -> dict:
+        """Drive a batch of packets through the data plane's fast path.
+
+        Each spec in ``packets`` is ``{"kind": ..., "count": N, ...}`` with
+        kind-specific fields (see :mod:`repro.rmt.packet` constructors).
+        Returns verdict counts and the measured packet rate, making the
+        batch path reachable over the wire for load tests and benchmarks.
+        """
+        if self.dataplane is None:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "service has no data-plane binding"
+            )
+        specs = self._require(params, "packets")
+        if not isinstance(specs, list) or not specs:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "packets must be a non-empty list"
+            )
+        batch = []
+        for spec in specs:
+            if not isinstance(spec, dict):
+                raise ServiceError(ErrorCode.BAD_REQUEST, "packet spec must be an object")
+            count = spec.get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise ServiceError(ErrorCode.BAD_REQUEST, "count must be a positive integer")
+            if len(batch) + count > self.MAX_INJECT_PACKETS:
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"inject batch exceeds {self.MAX_INJECT_PACKETS} packets",
+                )
+            template = _build_packet(spec)
+            batch.append(template)
+            for _ in range(count - 1):
+                batch.append(template.clone())
+        started = time.perf_counter()
+        results = self.dataplane.process_many(batch)
+        elapsed = time.perf_counter() - started
+        verdicts: dict[str, int] = {}
+        recirculations = 0
+        for result in results:
+            verdicts[result.verdict.value] = verdicts.get(result.verdict.value, 0) + 1
+            recirculations += result.recirculations
+        return {
+            "processed": len(results),
+            "verdicts": verdicts,
+            "recirculations": recirculations,
+            "elapsed_ms": elapsed * 1e3,
+            "pps": len(results) / elapsed if elapsed > 0 else 0.0,
+        }
 
     def _rpc_set_quota(self, tenant_name: str, params: dict) -> dict:
         target = params.get("tenant", tenant_name)

@@ -164,3 +164,87 @@ class TestIndexedLookup:
         plain.lookup(make_phv())
         assert plain.lookups == 2
         assert plain.hits == 2
+
+
+class TestTieBreaking:
+    """Equal priorities resolve by insertion order (handle), exactly as
+    TCAM entry ordering does — including across the indexed/unindexed
+    boundary, where the pre-PR lookup wrongly preferred bucket entries."""
+
+    def _indexed(self):
+        return MatchActionTable("t", 100, index_field="ud.pid", index_mask=0xFFFF)
+
+    def test_unindexed_inserted_first_wins_tie(self):
+        table = self._indexed()
+        # Partial mask: not bucketable, lands in the unindexed pool.
+        table.insert(entry([("ud.pid", 0, 0x0)], action="older", priority=3))
+        table.insert(entry([("ud.pid", 7, 0xFFFF)], action="newer", priority=3))
+        phv = make_phv(**{"ud.pid": (16, 7)})
+        assert table.lookup(phv)[0] == "older"
+        assert table.lookup_reference(phv)[0] == "older"
+
+    def test_indexed_inserted_first_wins_tie(self):
+        table = self._indexed()
+        table.insert(entry([("ud.pid", 7, 0xFFFF)], action="older", priority=3))
+        table.insert(entry([("ud.pid", 0, 0x0)], action="newer", priority=3))
+        phv = make_phv(**{"ud.pid": (16, 7)})
+        assert table.lookup(phv)[0] == "older"
+        assert table.lookup_reference(phv)[0] == "older"
+
+    def test_priority_still_beats_insertion_order(self):
+        table = self._indexed()
+        table.insert(entry([("ud.pid", 0, 0x0)], action="older", priority=5))
+        table.insert(entry([("ud.pid", 7, 0xFFFF)], action="newer", priority=2))
+        phv = make_phv(**{"ud.pid": (16, 7)})
+        assert table.lookup(phv)[0] == "newer"
+
+    def test_tie_break_within_one_pool(self):
+        table = MatchActionTable("t", 100)
+        table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="first", priority=1))
+        table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="second", priority=1))
+        assert table.lookup(make_phv())[0] == "first"
+
+
+class TestTombstones:
+    """Deletes are O(1) amortized: entries are unlinked immediately and
+    swept from the sorted pools in bulk."""
+
+    def test_deleted_entry_never_matches(self):
+        table = MatchActionTable("t", 100)
+        h = table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="gone"))
+        table.insert(
+            entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="stays", priority=9)
+        )
+        table.delete(h)
+        assert table.lookup(make_phv())[0] == "stays"
+
+    def test_mass_delete_triggers_sweep(self):
+        table = MatchActionTable("t", 200)
+        handles = [
+            table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action=f"a{i}"))
+            for i in range(100)
+        ]
+        for h in handles[1:]:
+            table.delete(h)
+        # The sweep threshold (tombstones > max(16, live)) has tripped by
+        # now; the pools must hold only the survivor.
+        assert table._tombstones < 100
+        assert table.occupancy == 1
+        assert table.lookup(make_phv())[0] == "a0"
+
+    def test_delete_then_reinsert_same_shape(self):
+        table = MatchActionTable("t", 10)
+        h = table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="v1"))
+        table.delete(h)
+        table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)], action="v2"))
+        assert table.lookup(make_phv())[0] == "v2"
+
+    def test_generation_bumps_on_every_structural_change(self):
+        table = MatchActionTable("t", 10)
+        g0 = table.generation
+        h = table.insert(entry([("hdr.udp.dst_port", 4, 0xFFFF)]))
+        g1 = table.generation
+        table.delete(h)
+        g2 = table.generation
+        table.clear()
+        assert g0 < g1 < g2 < table.generation
