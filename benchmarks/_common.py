@@ -12,13 +12,45 @@ scales are supported:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+from pathlib import Path
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: worker-process count for the sharded-engine benchmarks (the
+#: ``--workers`` pytest option overrides this env default)
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+#: the canonical machine-readable performance record at the repo root
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 
 def scaled(quick: int, full: int) -> int:
     return full if SCALE == "full" else quick
+
+
+def write_results(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_simulator.json``.
+
+    Every benchmark that records numbers goes through this helper so a
+    partial rerun (say, just the engine scaling bench) updates its own
+    section without clobbering the others.
+    """
+    record = {}
+    if RESULTS_PATH.exists():
+        try:
+            record = json.loads(RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            record = {}
+    record[section] = payload
+    record["meta"] = {
+        "scale": SCALE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def banner(title: str) -> None:

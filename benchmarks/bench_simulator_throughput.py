@@ -12,22 +12,21 @@ canonical machine-readable performance record (CI's perf-smoke job diffs
 it against ``benchmarks/perf_baseline.json``).  ``pre_fast_path`` keeps
 the numbers measured on this machine before the compiled fast path landed,
 so the speedup stays visible next to the current run.
+
+Pass ``--workers N`` (or set ``REPRO_BENCH_WORKERS=N``) to also measure
+the 15-program scenario through an N-worker sharded engine;
+``bench_engine_scaling.py`` holds the full 1/2/4-worker scaling study.
 """
 
-import json
-import platform
 import time
-from pathlib import Path
 
-from _common import SCALE, banner, fmt_row, once
+from _common import banner, fmt_row, once, write_results
 
 from repro.compiler.compiler import compile_source
 from repro.compiler.objectives import f3
 from repro.controlplane import Controller
 from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
 from repro.rmt.packet import make_cache, make_udp
-
-RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 #: pps measured on the pre-fast-path simulator (same scenarios, same
 #: machine class) — kept for speedup reporting, not for CI gating.
@@ -51,24 +50,29 @@ def pps(dataplane, packets, repeats=3):
     return best
 
 
-def _write_results(section: str, payload: dict) -> None:
-    """Merge one section into BENCH_simulator.json."""
-    record = {}
-    if RESULTS_PATH.exists():
-        try:
-            record = json.loads(RESULTS_PATH.read_text())
-        except (ValueError, OSError):
-            record = {}
-    record[section] = payload
-    record["meta"] = {
-        "scale": SCALE,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+def engine_pps(num_workers, packets, repeats=3):
+    """Best-of-N wall-clock packet rate through an N-worker sharded
+    engine, all 15 programs resident (cms first so the multi-flow IP
+    traffic is data-parallel; see bench_engine_scaling.py for the full
+    scaling study and the capacity projection)."""
+    from repro.engine import ShardedEngine
+
+    with ShardedEngine(num_workers) as engine:
+        engine.controller.deploy(PROGRAMS["cms"].source)
+        for name in ALL_PROGRAM_NAMES:
+            if name != "cms":
+                engine.controller.deploy(PROGRAMS[name].source)
+        plan = engine.plan(packets, mode="verdicts")
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.inject_plan(plan)
+            elapsed = time.perf_counter() - start
+            best = max(best, len(packets) / elapsed)
+    return best
 
 
-def test_packet_throughput(benchmark):
+def test_packet_throughput(benchmark, engine_workers):
     def run():
         results = {}
         packets = [make_udp(i + 1, 2, 1000 + i, 80) for i in range(500)]
@@ -85,6 +89,13 @@ def test_packet_throughput(benchmark):
                 ctl.deploy(PROGRAMS[name].source)
         results["15 programs (cache traffic)"] = pps(dataplane, cache_packets)
         results["15 programs (plain UDP)"] = pps(dataplane, packets)
+        if engine_workers:
+            flows = [
+                make_cache(i % 64 + 1, 2, op=1, key=i % 50) for i in range(500)
+            ]
+            results[f"15 programs ({engine_workers} workers)"] = engine_pps(
+                engine_workers, flows
+            )
         return results
 
     results = once(benchmark, run)
@@ -93,7 +104,7 @@ def test_packet_throughput(benchmark):
         baseline = PRE_FAST_PATH_PPS.get(label)
         speedup = f"{rate / baseline:.1f}x vs pre-fast-path" if baseline else ""
         print(fmt_row(label, f"{rate:,.0f} pps", speedup, widths=[30, 16, 24]))
-    _write_results(
+    write_results(
         "throughput",
         {
             "pps": {label: round(rate, 1) for label, rate in results.items()},
@@ -121,7 +132,7 @@ def test_deploy_rate(benchmark):
     rate = once(benchmark, run)
     banner("Control-plane deploy rate (compile + allocate + install)")
     print(f"{rate:.1f} deployments/second")
-    _write_results("deploy", {"deploys_per_s": round(rate, 1)})
+    write_results("deploy", {"deploys_per_s": round(rate, 1)})
     assert rate > 5
 
 
@@ -149,7 +160,7 @@ def test_solver_node_rate(benchmark):
     rate = nodes / elapsed if elapsed > 0 else 0.0
     banner("Allocation-solver search rate")
     print(f"{nodes:,} nodes in {elapsed * 1e3:.1f} ms -> {rate:,.0f} nodes/s")
-    _write_results(
+    write_results(
         "solver",
         {"nodes": nodes, "elapsed_ms": round(elapsed * 1e3, 2), "nodes_per_s": round(rate)},
     )

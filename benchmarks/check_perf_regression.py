@@ -4,17 +4,23 @@ Usage::
 
     python benchmarks/check_perf_regression.py [results.json] [baseline.json]
 
-Fails (exit 1) if the idle packet rate regresses by more than the allowed
-fraction versus ``benchmarks/perf_baseline.json``.  Only the idle scenario
-gates: it has the least variance across runners (no program state, no
-register traffic), so it catches hot-path regressions without flaking on
-scheduler noise.  The other scenarios are reported for context.
+Fails (exit 1) if any gated number regresses by more than the allowed
+fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
+
+* the four single-process throughput scenarios (``throughput.pps``);
+* the sharded engine's projected aggregate capacity per worker count
+  (``engine.by_workers.<N>.pps``) — the projection is CPU-time based and
+  therefore stable across runners with different core counts;
+* the engine's projected speedup at the highest worker count.
 
 ``PERF_REGRESSION_TOLERANCE`` overrides the allowed fractional drop
 (default 0.30, i.e. fail below 70% of baseline) — CI runners are shared
 and noisy, so the gate is deliberately loose; it exists to catch
 order-of-magnitude regressions (an accidental fall back to the reference
-path), not single-digit drift.
+path, a serialization stall in the engine), not single-digit drift.
+Engine entries are skipped with a warning when the results file has no
+``engine`` section (the scaling bench did not run), so the gate still
+works on throughput-only runs.
 """
 
 from __future__ import annotations
@@ -28,7 +34,19 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_RESULTS = REPO_ROOT / "BENCH_simulator.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf_baseline.json"
 
-GATED_SCENARIO = "idle (no programs)"
+
+def check(label: str, got: float | None, base: float, tolerance: float) -> bool:
+    """Print one gate row; returns True when the gate trips."""
+    if got is None:
+        print(f"{label:44} {'missing':>12} {base:>12,.2f}  <-- gate FAILED")
+        return True
+    ratio = got / base if base else float("inf")
+    verdict = ""
+    failed = ratio < 1.0 - tolerance
+    if failed:
+        verdict = "  <-- gate FAILED"
+    print(f"{label:44} {got:>12,.1f} {base:>12,.1f} {ratio:>6.2f}x{verdict}")
+    return failed
 
 
 def main(argv: list[str]) -> int:
@@ -47,35 +65,51 @@ def main(argv: list[str]) -> int:
         print(f"FAIL: cannot read baseline {baseline_path}: {exc}")
         return 1
 
+    print(f"{'gated number':44} {'measured':>12} {'baseline':>12} {'ratio':>7}")
+    failed = False
+
     measured = results.get("throughput", {}).get("pps", {})
     expected = baseline.get("pps", {})
-    if GATED_SCENARIO not in measured:
-        print(f"FAIL: results have no {GATED_SCENARIO!r} measurement")
+    if not expected:
+        print("FAIL: baseline has no throughput floors")
         return 1
-    if GATED_SCENARIO not in expected:
-        print(f"FAIL: baseline has no {GATED_SCENARIO!r} entry")
-        return 1
-
-    print(f"{'scenario':32} {'measured':>12} {'baseline':>12} {'ratio':>7}")
-    failed = False
     for scenario, base in expected.items():
-        got = measured.get(scenario)
-        if got is None:
-            print(f"{scenario:32} {'missing':>12} {base:>12,.0f}")
-            continue
-        ratio = got / base if base else float("inf")
-        gate = " <-- gate" if scenario == GATED_SCENARIO else ""
-        print(f"{scenario:32} {got:>12,.0f} {base:>12,.0f} {ratio:>6.2f}x{gate}")
-        if scenario == GATED_SCENARIO and ratio < 1.0 - tolerance:
-            failed = True
+        failed |= check(scenario, measured.get(scenario), base, tolerance)
+
+    engine_baseline = baseline.get("engine", {})
+    engine_results = results.get("engine", {})
+    if engine_baseline:
+        if not engine_results:
+            print(
+                "WARN: results have no engine section "
+                "(scaling bench not run); engine gates skipped"
+            )
+        else:
+            by_workers = engine_results.get("by_workers", {})
+            for workers, base in engine_baseline.get("pps", {}).items():
+                got = by_workers.get(workers, {}).get("pps")
+                failed |= check(
+                    f"engine capacity ({workers} workers)", got, base, tolerance
+                )
+            speedup_floor = engine_baseline.get("speedup_at_max_workers")
+            if speedup_floor:
+                counts = sorted(by_workers, key=int)
+                top = counts[-1] if counts else None
+                got = engine_results.get("speedup", {}).get(top)
+                failed |= check(
+                    f"engine speedup ({top} workers)",
+                    got,
+                    speedup_floor,
+                    tolerance,
+                )
 
     if failed:
         print(
-            f"\nFAIL: {GATED_SCENARIO!r} regressed below "
+            f"\nFAIL: at least one gated number regressed below "
             f"{(1.0 - tolerance) * 100:.0f}% of the committed baseline"
         )
         return 1
-    print(f"\nOK: {GATED_SCENARIO!r} within {tolerance * 100:.0f}% of baseline")
+    print(f"\nOK: all gated numbers within {tolerance * 100:.0f}% of baseline")
     return 0
 
 

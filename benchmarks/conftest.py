@@ -1,0 +1,27 @@
+"""Benchmark-harness options.
+
+``--workers N`` (or ``REPRO_BENCH_WORKERS=N``) adds sharded-engine
+measurements to the throughput benchmarks: packets are routed across N
+switch-replica worker processes instead of one in-process switch.
+"""
+
+import pytest
+
+from _common import WORKERS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=None,
+        help="measure throughput through a sharded engine with N worker "
+        "processes (default: REPRO_BENCH_WORKERS env, else off)",
+    )
+
+
+@pytest.fixture
+def engine_workers(request):
+    option = request.config.getoption("--workers", default=None)
+    return WORKERS if option is None else option

@@ -292,6 +292,13 @@ def serve_main(argv: list[str]) -> int:
         help="serve a switch chain of HOPS hops instead of a single switch",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="shard traffic across N switch-replica worker processes "
+        "(flow-hash routed; incompatible with --chain)",
+    )
+    parser.add_argument(
         "--max-programs", type=int, default=8, help="per-tenant program quota"
     )
     parser.add_argument(
@@ -307,19 +314,33 @@ def serve_main(argv: list[str]) -> int:
 
     from .service import ControlService, TenantQuota, TenantRegistry, serve
 
-    if ns.chain:
-        controller, dataplane = Controller.with_chain(ns.chain)
-    else:
-        controller, dataplane = Controller.with_simulator()
+    if ns.chain and ns.workers:
+        parser.error("--workers shards a single switch; combining it with "
+                     "--chain is not supported")
     tenants = TenantRegistry(
         TenantQuota(ns.max_programs, ns.max_memory_buckets, ns.max_table_entries)
     )
-    service = ControlService(controller, dataplane, tenants=tenants)
+    engine = None
+    if ns.workers:
+        from .engine import ShardedEngine
+
+        engine = ShardedEngine(ns.workers)
+        service = ControlService(engine=engine, tenants=tenants)
+        print(f"sharded engine: {ns.workers} worker processes")
+    else:
+        if ns.chain:
+            controller, dataplane = Controller.with_chain(ns.chain)
+        else:
+            controller, dataplane = Controller.with_simulator()
+        service = ControlService(controller, dataplane, tenants=tenants)
     print(f"p4runpro control service listening on {ns.host}:{ns.port}")
     try:
         asyncio.run(serve(ns.host, ns.port, service))
     except KeyboardInterrupt:
         print("drained; bye")
+    finally:
+        if engine is not None:
+            engine.close()
     return 0
 
 

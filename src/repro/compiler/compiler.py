@@ -81,6 +81,17 @@ class CompiledProgram:
             if (decl := self.unit.memory(mid)) is not None
         }
 
+    def register_semantics(self):
+        """Shard-parallel register semantics (cached), for the engine's
+        placement decision — see :mod:`repro.compiler.register_semantics`."""
+        cached = getattr(self, "_register_semantics", None)
+        if cached is None:
+            from .register_semantics import classify
+
+            cached = classify(self.ir)
+            self._register_semantics = cached
+        return cached
+
     def emit_entries(
         self,
         spec: TargetSpec,

@@ -1,0 +1,118 @@
+"""Register-semantics classification for the flow-sharded engine.
+
+The sharded engine (:mod:`repro.engine`) runs N full switch replicas and
+routes packets to them by flow hash.  Whether a deployed program may run
+*data-parallel* across shards hinges on its stateful ALU usage: a memory
+op whose bucket updates commute (MEMADD, MEMSUB, MEMOR, MEMAND, MEMMAX —
+see :data:`repro.rmt.salu.MERGE_SEMANTICS`) leaves each shard holding a
+partial aggregate that a cross-shard merge can fold back into the exact
+single-process value.  Two things break that:
+
+* a **non-commutative** op (MEMWRITE's blind store — last-writer-wins
+  order across shards is undefined);
+* an **observed output**: every mergeable op also returns a value to the
+  PHV (``sar``).  On a shard that value reflects only the shard's partial
+  state, so if any downstream op *reads* it (a BRANCH on ``sar``, a
+  MODIFY into a header, a MIN against a threshold...) the program's
+  visible behaviour would diverge from single-process execution.  The
+  compiler's register-lifetime analysis (:mod:`repro.compiler.liveness`)
+  already computes exactly this: the op is safe iff ``sar`` is not
+  live-out at it.
+
+Programs classify into three tiers:
+
+* ``stateless`` — no memory ops at all; trivially data-parallel;
+* ``mergeable`` — every memory op commutes and is unobserved, and each
+  memory block is touched by ops of one merge kind only;
+* ``pinned`` — anything else; the engine's placement map assigns the
+  whole program to a single owning shard so its read-modify-write state
+  stays sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.ast import ArgKind
+from ..rmt.salu import MEMORY_OPS, MERGE_SEMANTICS
+from .ir import ProgramIR
+from .liveness import compute_live_out
+
+#: Merge kinds that never mutate the bucket: observing their output is
+#: safe because replicas stay identical (all writes arrive via the
+#: control plane, which fans out to every shard).
+_PURE_READ_KINDS = frozenset({"read"})
+
+STATELESS = "stateless"
+MERGEABLE = "mergeable"
+PINNED = "pinned"
+
+
+@dataclass(frozen=True)
+class MemoryOpInfo:
+    """One memory op's shard-parallel safety verdict."""
+
+    op: str
+    mid: str
+    #: the op's PHV output (``sar``) is read downstream
+    observed: bool
+    #: merge kind if the op is shard-safe, else None
+    merge_kind: str | None
+
+
+@dataclass(frozen=True)
+class RegisterSemantics:
+    """Whole-program register semantics, derived from the translated IR."""
+
+    tier: str
+    #: mid -> merge kind; a mid maps to None when any op on it is unsafe
+    memories: dict[str, str | None]
+    ops: tuple[MemoryOpInfo, ...]
+
+    @property
+    def data_parallel(self) -> bool:
+        return self.tier in (STATELESS, MERGEABLE)
+
+
+def _memory_arg(op) -> str:
+    for arg in op.args:
+        if arg.kind is ArgKind.MEMORY:
+            return str(arg.value)
+    raise ValueError(f"memory op {op.name!r} has no memory argument")
+
+
+def classify(ir: ProgramIR) -> RegisterSemantics:
+    """Classify a translated program's stateful-register semantics.
+
+    Must run on the *post-translation* IR (pseudo primitives expanded,
+    OFFSET/BACKUP/RESTORE inserted) — that is the op sequence the data
+    plane executes, and the liveness model covers exactly those ops.
+    """
+    live_out = compute_live_out(ir)
+    ops: list[MemoryOpInfo] = []
+    memories: dict[str, str | None] = {}
+    for op in ir.walk_ops():
+        if op.name not in MEMORY_OPS:
+            continue
+        mid = _memory_arg(op)
+        kind = MERGE_SEMANTICS[op.name]
+        observed = "sar" in live_out[id(op)]
+        safe_kind = kind
+        if kind is None or (observed and kind not in _PURE_READ_KINDS):
+            safe_kind = None
+        ops.append(MemoryOpInfo(op.name, mid, observed, safe_kind))
+        if mid not in memories:
+            memories[mid] = safe_kind
+        elif memories[mid] != safe_kind:
+            # Mixed kinds on one block (e.g. MEMADD + MEMREAD): the merge
+            # would need to reconcile two different monoids — give up.
+            memories[mid] = None
+
+    if not ops:
+        return RegisterSemantics(STATELESS, {}, ())
+    tier = (
+        MERGEABLE
+        if all(kind is not None for kind in memories.values())
+        else PINNED
+    )
+    return RegisterSemantics(tier, memories, tuple(ops))

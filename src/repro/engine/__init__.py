@@ -1,0 +1,27 @@
+"""Flow-sharded multi-process packet engine.
+
+Runs N worker processes, each owning a full switch replica built from the
+same deployed program state, and routes packets to workers by a stable
+RSS-style hash of the flow key (per-flow order preserved).  Programs
+whose stateful ops are all mergeable run data-parallel with cross-shard
+merge; non-mergeable programs are pinned to one owning shard by the
+placement map.  See ``docs/ARCHITECTURE.md`` ("The sharded engine").
+"""
+
+from .engine import (
+    EngineError,
+    FanoutBinding,
+    ShardedEngine,
+    ShardPlan,
+    WorkerError,
+    flow_hash,
+)
+
+__all__ = [
+    "EngineError",
+    "FanoutBinding",
+    "ShardPlan",
+    "ShardedEngine",
+    "WorkerError",
+    "flow_hash",
+]

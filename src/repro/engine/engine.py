@@ -1,0 +1,496 @@
+"""The sharded engine coordinator: placement, fan-out, routing, merge.
+
+:class:`ShardedEngine` owns
+
+* a **coordinator replica** — a full controller + data plane that never
+  processes packets.  Its resource manager is the single source of truth
+  for allocation, and its register arrays hold the authoritative merged
+  state (the *base* every shard was last rebased to);
+* N **worker processes** (:mod:`repro.engine.worker`), each a full switch
+  replica driven over a pipe;
+* the **placement map** — ``program_id -> owning shard`` for pinned
+  programs, ``None`` for data-parallel ones (stateless, or every memory
+  op mergeable-and-unobserved; see
+  :mod:`repro.compiler.register_semantics`);
+* :class:`FanoutBinding` — the coordinator controller's southbound
+  binding.  Every control-plane mutation (entry insert/delete, memory
+  reset, bucket write, multicast config) applies locally and is broadcast
+  to every worker as a generation-stamped pipelined command; an explicit
+  ``barrier`` drains the command channel and collects acks before any
+  traffic or state read, so a deploy followed immediately by an inject
+  can never observe a shard without the program.
+
+Packet routing parses each packet on the coordinator replica and runs the
+*real* init-table lookup, so ownership decisions (first-match filter
+semantics, conditional parse paths) are bit-identical to what every
+worker's own init block will decide.  Packets of a pinned program go to
+its owning shard; everything else is spread by an RSS-style CRC32 of the
+5-tuple, which keeps every flow on one shard (per-flow order preserved).
+
+Cross-shard merge (:meth:`ShardedEngine.sync`) folds each mergeable
+memory block's shard replicas into the coordinator's base value with
+:func:`repro.rmt.salu.merge_buckets` and rebases all workers to the
+merged value; pinned programs just mirror their owning shard's region
+into the coordinator.  It runs on demand before every control-plane read
+or write of register state, and periodically every ``merge_every``
+injected packets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from ..compiler.entries import EntryConfig
+from ..compiler.target import TargetSpec
+from ..controlplane.controller import Controller
+from ..controlplane.manager import ProgramNotFoundError, ProgramState
+from ..dataplane import constants as dp
+from ..dataplane.runpro import P4runproDataPlane
+from ..rmt.phv import PHV
+from ..rmt.salu import merge_buckets
+from .worker import worker_main
+
+
+class EngineError(RuntimeError):
+    """Coordinator-side engine failure (dead worker, timeout)."""
+
+
+class WorkerError(EngineError):
+    """A worker request or fanned-out control command failed."""
+
+
+_FLOW_PACK = struct.Struct("!IIIHH")
+
+
+def flow_hash(five_tuple: tuple[int, int, int, int, int]) -> int:
+    """Stable RSS-style flow hash: CRC32 over the packed 5-tuple."""
+    src, dst, proto, sport, dport = five_tuple
+    return zlib.crc32(
+        _FLOW_PACK.pack(
+            src & 0xFFFFFFFF,
+            dst & 0xFFFFFFFF,
+            proto & 0xFFFFFFFF,
+            sport & 0xFFFF,
+            dport & 0xFFFF,
+        )
+    )
+
+
+@dataclass
+class ShardPlan:
+    """A routed, pre-pickled packet batch, reusable across injections.
+
+    ``frames[w]`` is the ready-to-send wire frame for worker ``w`` (None
+    when the worker received no packets); ``index_lists[w]`` maps the
+    worker's reply positions back to original batch positions.  Building
+    the plan once amortizes routing and serialization across repeated
+    :meth:`ShardedEngine.inject_plan` calls (benchmark loops).
+    """
+
+    frames: list[bytes | None]
+    index_lists: list[list[int]]
+    total: int
+    mode: str
+    #: per-shard packet counts, for balance reporting
+    shard_counts: list[int] = field(default_factory=list)
+
+
+class FanoutBinding:
+    """Southbound binding fanning every mutation out to all shards.
+
+    Wraps the coordinator's own data plane: mutations apply locally first
+    (keeping the coordinator replica authoritative) and are then broadcast
+    as pipelined generation-stamped commands.  State *reads* trigger an
+    on-demand cross-shard merge so the control plane always observes
+    merged traffic state.
+    """
+
+    def __init__(self, local: P4runproDataPlane, engine: "ShardedEngine"):
+        self.local = local
+        self.engine = engine
+        #: init-entry handle -> program id, for placement-map cleanup
+        self._init_handles: dict[int, int] = {}
+
+    # -- DataPlaneBinding (mutations) --------------------------------------
+    def insert_entry(self, entry: EntryConfig) -> int:
+        handle = self.local.insert_entry(entry)
+        self.engine._broadcast(("insert", handle, entry))
+        if entry.table == dp.INIT_TABLE and entry.action == dp.ACTION_SET_PROGRAM:
+            program_id = entry.data().get("program_id")
+            if program_id is not None:
+                self._init_handles[handle] = program_id
+                self.engine._note_program(program_id)
+        return handle
+
+    def delete_entry(self, table: str, handle: int) -> None:
+        self.local.delete_entry(table, handle)
+        self.engine._broadcast(("delete", table, handle))
+        program_id = self._init_handles.pop(handle, None)
+        if program_id is not None:
+            self.engine._drop_program(program_id)
+
+    def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
+        self.local.reset_memory(phys_rpb, base, size)
+        self.engine._broadcast(("reset_memory", phys_rpb, base, size))
+
+    def configure_multicast_group(self, group: int, ports: list[int]) -> None:
+        self.local.configure_multicast_group(group, ports)
+        self.engine._broadcast(("mcast", group, tuple(ports)))
+
+    # -- control-plane state access ----------------------------------------
+    def read_bucket(self, phys_rpb: int, addr: int) -> int:
+        self.engine.sync()
+        return self.local.read_bucket(phys_rpb, addr)
+
+    def write_bucket(self, phys_rpb: int, addr: int, value: int) -> None:
+        # Merge outstanding shard deltas first so the write rebases all
+        # replicas to a consistent absolute value instead of clobbering
+        # unmerged partial aggregates.
+        self.engine.sync()
+        self.local.write_bucket(phys_rpb, addr, value)
+        self.engine._broadcast(("write_bucket", phys_rpb, addr, value))
+
+    def read_entry_counter(self, table: str, handle: int) -> int:
+        """Aggregate an entry's hit counter across all shards.
+
+        The coordinator replica processes no packets (its own counters
+        only reflect routing lookups), so the true count is the sum over
+        workers of their local entry's counter.
+        """
+        return self.engine._aggregate_counter(table, handle)
+
+
+class ShardedEngine:
+    """N-shard packet engine over one coordinator control plane."""
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        spec: TargetSpec | None = None,
+        parse_machine=None,
+        merge_every: int | None = 500_000,
+        start_method: str | None = None,
+        reply_timeout_s: float = 120.0,
+    ):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.spec = spec or TargetSpec()
+        self.merge_every = merge_every
+        self.reply_timeout_s = reply_timeout_s
+
+        # Provisioning is pickled before the coordinator freezes the parse
+        # machine, so every replica is built from the same description.
+        setup_bytes = pickle.dumps((self.spec, parse_machine))
+        self.dataplane = P4runproDataPlane(self.spec, parse_machine)
+        self.binding = FanoutBinding(self.dataplane, self)
+        self.controller = Controller(self.binding, spec=self.spec)
+        self._init_table = self.dataplane.tables[dp.INIT_TABLE]
+
+        #: program id -> owning shard (pinned) or None (data-parallel)
+        self.placement: dict[int, int | None] = {}
+        self._semantics: dict[int, object] = {}
+
+        self._generation = 0
+        self._ctl_pending = False
+        self._traffic_dirty = False
+        self._since_merge = 0
+        self.merges = 0
+        #: timing of the most recent inject_plan, for benchmarks:
+        #: wall seconds, per-worker CPU seconds, coordinator CPU seconds
+        self.last_inject_stats: dict = {}
+
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        ctx = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        for _ in range(num_workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=worker_main, args=(child, setup_bytes), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",)))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc, conn in zip(self._procs, self._conns):
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+            conn.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- command channel ----------------------------------------------------
+    def _broadcast(self, op: tuple) -> None:
+        self._generation += 1
+        frame = pickle.dumps(("ctl", self._generation, op))
+        for worker, conn in enumerate(self._conns):
+            try:
+                conn.send_bytes(frame)
+            except (OSError, BrokenPipeError) as exc:
+                raise EngineError(f"worker {worker} is dead: {exc}") from exc
+        self._ctl_pending = True
+
+    def _recv(self, worker: int):
+        conn = self._conns[worker]
+        if not conn.poll(self.reply_timeout_s):
+            raise EngineError(
+                f"worker {worker} did not reply within {self.reply_timeout_s}s"
+            )
+        reply = pickle.loads(conn.recv_bytes())
+        if reply[0] == "err":
+            raise WorkerError(f"worker {worker}: {reply[1]}")
+        return reply
+
+    def _request(self, worker: int, msg: tuple):
+        self._conns[worker].send_bytes(pickle.dumps(msg))
+        reply = self._recv(worker)
+        return reply[1]
+
+    def barrier(self) -> None:
+        """Drain the command channel: every shard acks the current
+        generation; deferred control errors surface here."""
+        if not self._ctl_pending:
+            return
+        gen = self._generation
+        frame = pickle.dumps(("barrier", gen))
+        for conn in self._conns:
+            conn.send_bytes(frame)
+        errors = []
+        for worker in range(self.num_workers):
+            tag, ack_gen, applied_gen, worker_errors = self._recv(worker)
+            if tag != "ack" or ack_gen != gen or applied_gen < gen:
+                raise EngineError(
+                    f"worker {worker} acked generation {applied_gen}, "
+                    f"expected {gen}"
+                )
+            errors.extend(f"worker {worker}: {e}" for e in worker_errors)
+        self._ctl_pending = False
+        if errors:
+            raise WorkerError("; ".join(errors))
+
+    # -- placement ----------------------------------------------------------
+    def _note_program(self, program_id: int) -> None:
+        if program_id in self.placement:
+            return
+        try:
+            record = self.controller.manager.get(program_id)
+        except ProgramNotFoundError:  # pragma: no cover - foreign binding use
+            return
+        semantics = record.compiled.register_semantics()
+        self._semantics[program_id] = semantics
+        if semantics.data_parallel:
+            self.placement[program_id] = None
+            return
+        loads = [0] * self.num_workers
+        for shard in self.placement.values():
+            if shard is not None:
+                loads[shard] += 1
+        self.placement[program_id] = min(
+            range(self.num_workers), key=lambda w: (loads[w], w)
+        )
+
+    def _drop_program(self, program_id: int) -> None:
+        self.placement.pop(program_id, None)
+        self._semantics.pop(program_id, None)
+
+    # -- routing ------------------------------------------------------------
+    def shard_of(self, packet) -> int:
+        """Which shard a packet belongs to (identical to init-block
+        ownership semantics: real parse, real first-match lookup)."""
+        switch = self.dataplane.switch
+        phv = PHV(switch.layout, packet)
+        switch.parse_machine.parse(packet, phv)
+        hit = self._init_table.lookup(phv)
+        if hit is not None and hit[0] == dp.ACTION_SET_PROGRAM:
+            pinned = self.placement.get(hit[1].get("program_id"))
+            if pinned is not None:
+                return pinned
+        return flow_hash(packet.five_tuple()) % self.num_workers
+
+    def plan(self, packets, mode: str = "full") -> ShardPlan:
+        """Route a batch and pre-pickle one wire frame per shard."""
+        if mode not in ("full", "verdicts"):
+            raise ValueError(f"unknown inject mode {mode!r}")
+        buckets: list[list] = [[] for _ in range(self.num_workers)]
+        index_lists: list[list[int]] = [[] for _ in range(self.num_workers)]
+        for index, packet in enumerate(packets):
+            shard = self.shard_of(packet)
+            buckets[shard].append(packet)
+            index_lists[shard].append(index)
+        frames: list[bytes | None] = [
+            pickle.dumps(("batch", mode, bucket), protocol=pickle.HIGHEST_PROTOCOL)
+            if bucket
+            else None
+            for bucket in buckets
+        ]
+        return ShardPlan(
+            frames,
+            index_lists,
+            len(packets),
+            mode,
+            [len(bucket) for bucket in buckets],
+        )
+
+    # -- traffic ------------------------------------------------------------
+    def inject(self, packets, mode: str = "full") -> list:
+        """Route + process a batch; results come back in arrival order."""
+        return self.inject_plan(self.plan(packets, mode))
+
+    def inject_plan(self, plan: ShardPlan) -> list:
+        """Process a pre-routed batch.  Results are ordered by original
+        batch position; per-flow order is preserved by construction."""
+        self.barrier()
+        wall0 = time.perf_counter()
+        coord_cpu0 = time.process_time()
+        active = [w for w in range(self.num_workers) if plan.frames[w] is not None]
+        for worker in active:
+            self._conns[worker].send_bytes(plan.frames[worker])
+        results: list = [None] * plan.total
+        worker_cpu: dict[int, float] = {}
+        for worker in active:
+            payload, cpu_s = self._recv(worker)[1]
+            worker_cpu[worker] = cpu_s
+            indices = plan.index_lists[worker]
+            for index, result in zip(indices, payload):
+                results[index] = result
+        coord_cpu = time.process_time() - coord_cpu0
+        wall = time.perf_counter() - wall0
+        self.last_inject_stats = {
+            "wall_s": wall,
+            "coordinator_cpu_s": coord_cpu,
+            "worker_cpu_s": worker_cpu,
+            "shard_counts": list(plan.shard_counts),
+        }
+        if plan.total:
+            self._traffic_dirty = True
+            self._since_merge += plan.total
+            if self.merge_every and self._since_merge >= self.merge_every:
+                self.sync()
+        return results
+
+    # -- cross-shard merge ---------------------------------------------------
+    def sync(self) -> None:
+        """Merge shard register state into the coordinator and rebase.
+
+        Mergeable blocks: fold every bucket's shard values over the
+        coordinator's base with the block's merge kind, store the merged
+        value locally, and push it back to every shard (the new common
+        base).  Pinned blocks: mirror the owning shard's region into the
+        coordinator (the owner stays authoritative).  No-op when no
+        traffic ran since the last merge.
+        """
+        if not self._traffic_dirty:
+            return
+        self.barrier()
+        for record in self.controller.manager.programs():
+            if record.state not in (ProgramState.RUNNING, ProgramState.INSTALLING):
+                continue
+            semantics = self._semantics.get(record.program_id)
+            if semantics is None:
+                semantics = record.compiled.register_semantics()
+            shard = self.placement.get(record.program_id)
+            for mid, alloc in record.memory.items():
+                addrs = [
+                    addr
+                    for _off, base, size in alloc.virtual_layout()
+                    for addr in range(base, base + size)
+                ]
+                if not addrs:
+                    continue
+                phys = alloc.phys_rpb
+                if not semantics.data_parallel:
+                    if shard is None:  # pragma: no cover - defensive
+                        continue
+                    values = self._request(shard, ("read_buckets", phys, addrs))
+                    for addr, value in zip(addrs, values):
+                        self.dataplane.write_bucket(phys, addr, value)
+                    continue
+                kind = semantics.memories.get(mid)
+                if kind in (None, "read"):
+                    # Read-only replicas never diverge; nothing to fold.
+                    continue
+                base_values = [self.dataplane.read_bucket(phys, a) for a in addrs]
+                shard_values = [
+                    self._request(w, ("read_buckets", phys, addrs))
+                    for w in range(self.num_workers)
+                ]
+                merged = [
+                    merge_buckets(
+                        kind,
+                        base_values[i],
+                        [values[i] for values in shard_values],
+                        self.spec.register_width,
+                    )
+                    for i in range(len(addrs))
+                ]
+                # Rebase every bucket where any replica (coordinator or
+                # shard) diverges from the merged value — a shard's copy
+                # is base+its-own-delta, so deltas that cancel across
+                # shards still leave replicas to reset.
+                rebase = [
+                    (addr, value)
+                    for i, (addr, value) in enumerate(zip(addrs, merged))
+                    if value != base_values[i]
+                    or any(values[i] != value for values in shard_values)
+                ]
+                for addr, value in rebase:
+                    self.dataplane.write_bucket(phys, addr, value)
+                if rebase:
+                    for worker in range(self.num_workers):
+                        self._request(worker, ("write_buckets", phys, rebase))
+        self._traffic_dirty = False
+        self._since_merge = 0
+        self.merges += 1
+
+    # -- monitoring ----------------------------------------------------------
+    def _aggregate_counter(self, table: str, handle: int) -> int:
+        self.barrier()
+        return sum(
+            self._request(worker, ("counters", [(table, handle)]))[0]
+            for worker in range(self.num_workers)
+        )
+
+    def stats(self) -> dict:
+        """Aggregated traffic-manager counters plus per-shard detail."""
+        self.barrier()
+        shards = [
+            self._request(worker, ("stats",)) for worker in range(self.num_workers)
+        ]
+        totals: dict[str, int] = {}
+        for shard in shards:
+            for key, value in shard.items():
+                totals[key] = totals.get(key, 0) + value
+        return {"workers": self.num_workers, "totals": totals, "shards": shards}

@@ -1,0 +1,163 @@
+"""The shard worker process: one full switch replica behind a pipe.
+
+Each worker owns a complete :class:`~repro.dataplane.runpro.P4runproDataPlane`
+replica and serves two kinds of messages from the coordinator:
+
+* **pipelined control commands** (``ctl``) — southbound mutations fanned
+  out by :class:`~repro.engine.engine.FanoutBinding`, applied in FIFO
+  order without replies; failures are held until the next barrier;
+* **synchronous requests** — ``barrier`` (ack with the applied generation
+  plus any deferred control errors), ``batch`` (process packets, reply
+  verdicts or full results plus the worker's CPU seconds), register
+  region reads/writes for the cross-shard merge, entry-counter reads, and
+  ``stats``/``stop``.
+
+Table-entry handles are process-local (the simulator draws them from a
+process-global counter), so the coordinator ships *its* handle with every
+insert and the worker keeps a ``coordinator handle -> local handle`` map;
+deletes and counter reads address entries by coordinator handle.
+
+The module is import-safe for both ``fork`` and ``spawn`` start methods:
+:func:`worker_main` is a top-level function and builds its replica from a
+pickled ``(TargetSpec, ParseMachine | None)`` provisioning tuple.
+"""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import time
+import traceback
+
+
+def _build_dataplane(setup_bytes: bytes):
+    from ..dataplane.runpro import P4runproDataPlane
+
+    spec, parse_machine = pickle.loads(setup_bytes)
+    return P4runproDataPlane(spec, parse_machine)
+
+
+def _apply_ctl(dataplane, handle_map: dict, op: tuple) -> None:
+    kind = op[0]
+    if kind == "insert":
+        _kind, coord_handle, entry = op
+        handle_map[coord_handle] = dataplane.insert_entry(entry)
+    elif kind == "delete":
+        _kind, table, coord_handle = op
+        dataplane.delete_entry(table, handle_map.pop(coord_handle))
+    elif kind == "reset_memory":
+        _kind, phys_rpb, base, size = op
+        dataplane.reset_memory(phys_rpb, base, size)
+    elif kind == "write_bucket":
+        _kind, phys_rpb, addr, value = op
+        dataplane.write_bucket(phys_rpb, addr, value)
+    elif kind == "mcast":
+        _kind, group, ports = op
+        dataplane.configure_multicast_group(group, list(ports))
+    else:
+        raise ValueError(f"unknown control op {kind!r}")
+
+
+def _run_batch(dataplane, mode: str, packets) -> tuple[list, float]:
+    """Process one packet batch; returns (payload, CPU seconds spent).
+
+    CPU time (not wall time) is reported so the coordinator can project
+    aggregate capacity independently of how many cores the host actually
+    grants — on an unloaded multi-core machine the two are equal.
+    """
+    cpu0 = time.process_time()
+    results = dataplane.process_many(packets)
+    cpu_s = time.process_time() - cpu0
+    if mode == "verdicts":
+        payload = [
+            (r.verdict.value, r.egress_port, r.recirculations) for r in results
+        ]
+    else:
+        payload = results
+    return payload, cpu_s
+
+
+def worker_main(conn, setup_bytes: bytes) -> None:
+    """Blocking request loop of one shard worker (runs in a child process)."""
+    # The coordinator owns worker lifetime (stop message / pipe close); a
+    # terminal Ctrl-C must not make every shard dump a KeyboardInterrupt.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    dataplane = _build_dataplane(setup_bytes)
+    handle_map: dict[int, int] = {}
+    applied_gen = 0
+    ctl_errors: list[str] = []
+    while True:
+        try:
+            msg = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        kind = msg[0]
+        if kind == "ctl":
+            # Pipelined: never replies; failures surface at the next barrier.
+            _kind, gen, op = msg
+            try:
+                _apply_ctl(dataplane, handle_map, op)
+            except Exception:
+                ctl_errors.append(
+                    f"ctl gen {gen} {op[0]}: {traceback.format_exc()}"
+                )
+            applied_gen = gen
+            continue
+        try:
+            if kind == "barrier":
+                errors, ctl_errors = ctl_errors, []
+                conn.send_bytes(
+                    pickle.dumps(("ack", msg[1], applied_gen, errors))
+                )
+            elif kind == "batch":
+                _kind, mode, packets = msg
+                payload, cpu_s = _run_batch(dataplane, mode, packets)
+                conn.send_bytes(
+                    pickle.dumps(("ok", (payload, cpu_s)), protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            elif kind == "read_buckets":
+                _kind, phys_rpb, addrs = msg
+                values = [dataplane.read_bucket(phys_rpb, a) for a in addrs]
+                conn.send_bytes(pickle.dumps(("ok", values)))
+            elif kind == "write_buckets":
+                _kind, phys_rpb, pairs = msg
+                for addr, value in pairs:
+                    dataplane.write_bucket(phys_rpb, addr, value)
+                conn.send_bytes(pickle.dumps(("ok", None)))
+            elif kind == "counters":
+                _kind, refs = msg
+                hits = [
+                    dataplane.read_entry_counter(table, handle_map[handle])
+                    for table, handle in refs
+                ]
+                conn.send_bytes(pickle.dumps(("ok", hits)))
+            elif kind == "stats":
+                tm = dataplane.switch.tm
+                conn.send_bytes(
+                    pickle.dumps(
+                        (
+                            "ok",
+                            {
+                                "packets_in": dataplane.switch.packets_in,
+                                "pipeline_passes": dataplane.switch.pipeline_passes,
+                                "forwarded": tm.forwarded,
+                                "dropped": tm.dropped,
+                                "reflected": tm.reflected,
+                                "to_cpu": tm.to_cpu,
+                                "multicast": tm.multicast,
+                            },
+                        )
+                    )
+                )
+            elif kind == "stop":
+                conn.send_bytes(pickle.dumps(("bye",)))
+                return
+            else:
+                raise ValueError(f"unknown message {kind!r}")
+        except Exception:
+            # Synchronous requests get the failure as their reply; the
+            # coordinator raises it as a WorkerError.
+            try:
+                conn.send_bytes(pickle.dumps(("err", traceback.format_exc())))
+            except (OSError, BrokenPipeError):
+                return

@@ -53,6 +53,68 @@ def make_salu_programs(width: int = 32) -> dict[str, SaluProgram]:
 
 MEMORY_OPS: frozenset[str] = frozenset(make_salu_programs().keys())
 
+#: Shard-merge semantics of each SALU microprogram, for the flow-sharded
+#: engine (:mod:`repro.engine`).  A kind names the commutative monoid the
+#: op's bucket updates form, so N shard replicas that each started from a
+#: common base value can be folded back into one merged value:
+#:
+#: * ``"sum"``  — MEMADD/MEMSUB: bucket deltas are additive (mod 2^width);
+#: * ``"or"``   — MEMOR: bucket updates only set bits;
+#: * ``"and"``  — MEMAND: bucket updates only clear bits;
+#: * ``"max"``  — MEMMAX: bucket updates are monotone maxima;
+#: * ``"read"`` — MEMREAD: never mutates the bucket, so replicas stay
+#:   identical as long as all *control-plane* writes fan out;
+#: * ``None``   — MEMWRITE: a blind last-writer-wins store.  Write order
+#:   across shards is undefined, so no merge can reproduce the
+#:   single-process state; programs using it must be pinned to one shard.
+#:
+#: A kind is necessary but not sufficient for data-parallel execution: the
+#: op's PHV output (``sar``) must also be *unobserved* downstream, because
+#: a shard replica's bucket holds only that shard's partial aggregate (see
+#: :mod:`repro.compiler.register_semantics` for the liveness check).
+MERGE_SEMANTICS: dict[str, str | None] = {
+    "MEMADD": "sum",
+    "MEMSUB": "sum",
+    "MEMAND": "and",
+    "MEMOR": "or",
+    "MEMMAX": "max",
+    "MEMREAD": "read",
+    "MEMWRITE": None,
+}
+
+
+def merge_buckets(
+    kind: str, base: int, shard_values: list[int], width: int = 32
+) -> int:
+    """Fold one bucket's shard-replica values into the merged value.
+
+    ``base`` is the common value all replicas started from (the
+    coordinator's copy as of the last rebase); ``shard_values`` are the
+    replicas' current values.  For ``"sum"`` each replica's delta from the
+    base is accumulated; the monotone kinds fold directly.
+    """
+    mask = _wrap(width)
+    if kind == "sum":
+        merged = base
+        for value in shard_values:
+            merged = (merged + value - base) & mask
+        return merged
+    if kind == "max":
+        return max(base, *shard_values) if shard_values else base
+    if kind == "or":
+        merged = base
+        for value in shard_values:
+            merged |= value
+        return merged & mask
+    if kind == "and":
+        merged = base
+        for value in shard_values:
+            merged &= value
+        return merged
+    if kind == "read":
+        return base
+    raise ValueError(f"unknown merge kind {kind!r}")
+
 
 @dataclass
 class RegisterArray:

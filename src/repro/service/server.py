@@ -149,6 +149,7 @@ class ControlService:
         controller: Controller | None = None,
         dataplane=None,
         *,
+        engine=None,
         tenants: TenantRegistry | None = None,
         retry_policy: RetryPolicy | None = None,
         retry_sleep=None,
@@ -156,8 +157,18 @@ class ControlService:
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
     ):
-        if controller is None:
+        if engine is not None:
+            # Sharded mode: the engine's coordinator controller is the
+            # control plane (its FanoutBinding keeps every shard in sync),
+            # and inject routes batches through the engine instead of the
+            # coordinator's local replica.
+            if controller is not None or dataplane is not None:
+                raise ValueError("pass either engine or controller/dataplane")
+            controller = engine.controller
+            dataplane = engine.dataplane
+        elif controller is None:
             controller, dataplane = Controller.with_simulator()
+        self.engine = engine
         self.controller = controller
         self.dataplane = dataplane
         binding = controller.updater.binding
@@ -454,20 +465,39 @@ class ControlService:
             for _ in range(count - 1):
                 batch.append(template.clone())
         started = time.perf_counter()
-        results = self.dataplane.process_many(batch)
-        elapsed = time.perf_counter() - started
         verdicts: dict[str, int] = {}
         recirculations = 0
-        for result in results:
-            verdicts[result.verdict.value] = verdicts.get(result.verdict.value, 0) + 1
-            recirculations += result.recirculations
-        return {
-            "processed": len(results),
+        if self.engine is not None:
+            # Sharded path: the engine returns lightweight (verdict,
+            # egress_port, recirculations) tuples in arrival order.
+            outcomes = self.engine.inject(batch, mode="verdicts")
+            elapsed = time.perf_counter() - started
+            for verdict, _port, recircs in outcomes:
+                verdicts[verdict] = verdicts.get(verdict, 0) + 1
+                recirculations += recircs
+            processed = len(outcomes)
+        else:
+            results = self.dataplane.process_many(batch)
+            elapsed = time.perf_counter() - started
+            for result in results:
+                verdicts[result.verdict.value] = (
+                    verdicts.get(result.verdict.value, 0) + 1
+                )
+                recirculations += result.recirculations
+            processed = len(results)
+        response = {
+            "processed": processed,
             "verdicts": verdicts,
             "recirculations": recirculations,
             "elapsed_ms": elapsed * 1e3,
-            "pps": len(results) / elapsed if elapsed > 0 else 0.0,
+            "pps": processed / elapsed if elapsed > 0 else 0.0,
         }
+        if self.engine is not None:
+            response["workers"] = self.engine.num_workers
+            response["shard_counts"] = list(
+                self.engine.last_inject_stats.get("shard_counts", [])
+            )
+        return response
 
     def _rpc_set_quota(self, tenant_name: str, params: dict) -> dict:
         target = params.get("tenant", tenant_name)
@@ -485,6 +515,7 @@ class ControlService:
             "version": PROTOCOL_VERSION,
             "draining": self.draining,
             "programs": len(self.controller.running_programs()),
+            "workers": self.engine.num_workers if self.engine is not None else 0,
         }
 
     def _rpc_list(self, tenant_name: str, params: dict) -> dict:

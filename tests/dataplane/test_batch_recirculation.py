@@ -1,0 +1,146 @@
+"""Batched processing of recirculating programs.
+
+``process_many`` resolves compiled state once per batch, but a
+recirculating packet re-enters the pipeline mid-batch — the fast path
+must produce exactly the sequential results, and the hardware
+recirculation safety cap must fire at the same packet with every earlier
+packet's side effects already committed.
+"""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, make_cache, make_udp
+from repro.rmt.pipeline import RecirculationLimitError, SwitchConfig, Verdict
+
+IN_NET = 0x0A000000
+
+#: low threshold so heavy-hitter reports appear inside a small batch
+HH_SOURCE = PROGRAMS["hh"].source.replace("1024", "8")
+
+
+def build(source=HH_SOURCE, max_recirculations=None):
+    from repro.compiler.target import TargetSpec
+    from repro.dataplane.runpro import P4runproDataPlane
+
+    spec = TargetSpec()
+    switch_config = None
+    if max_recirculations is not None:
+        switch_config = SwitchConfig(
+            num_ingress_stages=spec.num_ingress_rpbs + 2,
+            num_egress_stages=spec.num_egress_rpbs,
+            max_recirculations=max_recirculations,
+        )
+    dataplane = P4runproDataPlane(spec, switch_config=switch_config)
+    ctl = Controller(dataplane, spec=spec)
+    ctl.deploy(source)
+    return ctl, dataplane
+
+
+def hh_traffic():
+    """Three interleaved flows, two of them crossing the report threshold
+    mid-stream; every matching packet recirculates once."""
+    packets = []
+    for i in range(30):
+        flow = i % 3
+        packets.append(make_udp(IN_NET | (flow + 1), 0x0B000001, 4000 + flow, 80))
+        if i % 4 == 0:  # non-matching background traffic between hh packets
+            packets.append(make_udp(0x0B000005, 2, 1234, 80))
+    return packets
+
+
+def observable(result):
+    return (
+        result.verdict,
+        result.egress_port,
+        result.recirculations,
+        result.egress_ports,
+        result.packet.headers,
+    )
+
+
+def test_recirculating_batch_equals_sequential():
+    _, seq_dp = build()
+    _, batch_dp = build()
+    packets = hh_traffic()
+
+    seq = [seq_dp.process(p.clone()) for p in packets]
+    batch = batch_dp.process_many([p.clone() for p in packets])
+
+    assert any(r.recirculations > 0 for r in seq)
+    assert Verdict.TO_CPU in [r.verdict for r in seq]
+    assert [observable(r) for r in seq] == [observable(r) for r in batch]
+    for counter in ("forwarded", "dropped", "reflected", "to_cpu"):
+        assert getattr(seq_dp.switch.tm, counter) == getattr(
+            batch_dp.switch.tm, counter
+        ), counter
+    assert seq_dp.switch.pipeline_passes == batch_dp.switch.pipeline_passes
+
+
+def test_nc_recirculating_batch_equals_sequential():
+    """NetCache's hot-report path recirculates; report threshold lowered
+    so the batch exercises it."""
+    source = (
+        PROGRAMS["nc"]
+        .source.replace("LOADI(har, 128);", "LOADI(har, 4);")
+        .replace("case(<har, 128, 0xffffffff>)", "case(<har, 4, 0xffffffff>)")
+    )
+    _, seq_dp = build(source)
+    _, batch_dp = build(source)
+    packets = [
+        make_cache(3, 4, op=NC_READ, key=0x4242) for _ in range(8)
+    ] + [make_cache(1, 2, op=NC_READ, key=0x7777) for _ in range(3)]
+
+    seq = [seq_dp.process(p.clone()) for p in packets]
+    batch = batch_dp.process_many([p.clone() for p in packets])
+    assert any(r.recirculations > 0 for r in seq)
+    assert [observable(r) for r in seq] == [observable(r) for r in batch]
+
+
+def test_recirculation_cap_hits_mid_batch():
+    """With the safety cap at 0, the first recirculating packet raises —
+    and everything processed before it has already committed."""
+    _, dataplane = build(max_recirculations=0)
+    background = [make_udp(0x0B000005, 2, 1234, 80) for _ in range(4)]
+    hh_packet = make_udp(IN_NET | 1, 0x0B000001, 4000, 80)
+    batch = background + [hh_packet] + background
+
+    with pytest.raises(RecirculationLimitError):
+        dataplane.process_many([p.clone() for p in batch])
+
+    # The four leading packets (plus the failing packet's first pass)
+    # went through: their TM verdicts and table counters persisted.
+    assert dataplane.switch.tm.forwarded == len(background)
+    assert dataplane.switch.packets_in == len(background) + 1
+
+
+def test_cap_failure_point_matches_sequential():
+    """Batch and sequential runs fail on the same packet with the same
+    committed prefix."""
+    _, seq_dp = build(max_recirculations=0)
+    _, batch_dp = build(max_recirculations=0)
+    background = [make_udp(0x0B000005, 2, 1234, 80) for _ in range(3)]
+    batch = background + [make_udp(IN_NET | 1, 0x0B000001, 4000, 80)]
+
+    seq_results = []
+    with pytest.raises(RecirculationLimitError):
+        for p in batch:
+            seq_results.append(seq_dp.process(p.clone()))
+    with pytest.raises(RecirculationLimitError):
+        batch_dp.process_many([p.clone() for p in batch])
+
+    assert len(seq_results) == len(background)
+    assert seq_dp.switch.tm.forwarded == batch_dp.switch.tm.forwarded
+    assert seq_dp.switch.packets_in == batch_dp.switch.packets_in
+    for name, table in seq_dp.tables.items():
+        other = batch_dp.tables[name]
+        assert (table.lookups, table.hits) == (other.lookups, other.hits), name
+
+
+def test_cap_allows_exactly_configured_recirculations():
+    _, dataplane = build(max_recirculations=1)
+    result = dataplane.process_many(
+        [make_udp(IN_NET | 1, 0x0B000001, 4000, 80)]
+    )[0]
+    assert result.recirculations == 1

@@ -1,0 +1,181 @@
+"""Shard-vs-single-process equivalence: the engine's correctness contract.
+
+An N-worker engine fed the same deployments and the same packet stream
+must produce identical per-packet results, and — after a cross-shard
+merge — register state byte-identical to the single-process run for
+mergeable programs.  Non-mergeable programs must be provably pinned.
+"""
+
+import pytest
+
+from repro.controlplane import Controller
+from repro.engine import ShardedEngine, flow_hash
+from repro.programs import PROGRAMS
+from repro.rmt.packet import NC_READ, NC_WRITE, make_cache, make_udp
+
+#: deploy order used by both sides (first-match: cms owns plain IP traffic)
+DEPLOYS = ("cms", "bf", "sumax", "cache")
+
+
+@pytest.fixture()
+def engine():
+    with ShardedEngine(2) as engine:
+        yield engine
+
+
+def deploy_all(controller, names=DEPLOYS):
+    return {name: controller.deploy(PROGRAMS[name].source) for name in names}
+
+
+def reference(names=DEPLOYS):
+    controller, dataplane = Controller.with_simulator()
+    handles = deploy_all(controller, names)
+    return controller, dataplane, handles
+
+
+def traffic(flows=12, per_flow=6):
+    """Multi-flow UDP stream; same-flow packets stay in relative order."""
+    packets = []
+    for i in range(flows * per_flow):
+        flow = i % flows
+        packets.append(make_udp(flow + 1, 2, 5000 + flow, 80, size=64 + flow))
+    return packets
+
+
+def observable(result):
+    return (
+        result.verdict,
+        result.egress_port,
+        result.recirculations,
+        result.egress_ports,
+        result.packet.headers,
+    )
+
+
+def test_per_flow_verdicts_identical(engine):
+    handles = deploy_all(engine.controller)
+    controller, dataplane, ref_handles = reference()
+    packets = traffic()
+
+    engine_results = engine.inject([p.clone() for p in packets])
+    single_results = dataplane.process_many([p.clone() for p in packets])
+
+    assert [observable(r) for r in engine_results] == [
+        observable(r) for r in single_results
+    ]
+    # Aggregated TM counters match the single process too.
+    totals = engine.stats()["totals"]
+    tm = dataplane.switch.tm
+    assert totals["forwarded"] == tm.forwarded
+    assert totals["dropped"] == tm.dropped
+    assert totals["packets_in"] == dataplane.switch.packets_in
+    # program_stats aggregates per-entry counters across shards.
+    for name in DEPLOYS:
+        assert engine.controller.program_stats(
+            handles[name]
+        ) == controller.program_stats(ref_handles[name])
+
+
+def test_merged_register_state_byte_identical(engine):
+    """cms (sum), bf (or), sumax (max): merged state == single-process."""
+    handles = deploy_all(engine.controller)
+    controller, dataplane, ref_handles = reference()
+    packets = traffic(flows=16, per_flow=4)
+
+    engine.inject([p.clone() for p in packets], mode="verdicts")
+    dataplane.process_many([p.clone() for p in packets])
+
+    for name in ("cms", "bf", "sumax"):
+        for mid in PROGRAMS[name].source.split("@")[1:]:
+            mid = mid.split()[0]
+            merged = engine.controller.snapshot_memory(handles[name], mid)
+            single = controller.snapshot_memory(ref_handles[name], mid)
+            assert merged == single, (name, mid)
+
+
+def test_merge_is_idempotent_and_repeatable(engine):
+    handles = deploy_all(engine.controller, ("cms",))
+    packets = traffic(flows=8, per_flow=3)
+    engine.inject(packets, mode="verdicts")
+    first = engine.controller.snapshot_memory(handles["cms"], "cms_row1")
+    again = engine.controller.snapshot_memory(handles["cms"], "cms_row1")
+    assert first == again
+    # more traffic accumulates on top of the rebased state
+    engine.inject(traffic(flows=8, per_flow=2), mode="verdicts")
+    final = engine.controller.snapshot_memory(handles["cms"], "cms_row1")
+    assert sum(final) == sum(first) + 8 * 2
+
+
+def test_non_mergeable_program_is_pinned(engine):
+    """Placement assertion: pinned programs own exactly one shard, and
+    every one of their packets routes there."""
+    handle = engine.controller.deploy(PROGRAMS["cache"].source)
+    shard = engine.placement[handle.program_id]
+    assert shard is not None
+
+    packets = [
+        make_cache(i + 1, 2, op=NC_READ, key=0x8888) for i in range(20)
+    ]
+    assert {engine.shard_of(p) for p in packets} == {shard}
+    # ...while a data-parallel program's traffic spreads by flow hash.
+    engine.controller.deploy(PROGRAMS["cms"].source)
+    spread = {engine.shard_of(p) for p in traffic(flows=16, per_flow=1)}
+    assert spread == {0, 1}
+
+
+def test_pinned_state_correct_through_merge(engine):
+    """Data-plane writes on the owning shard surface in control-plane
+    reads; control-plane writes fan out to the data plane."""
+    handle = engine.controller.deploy(PROGRAMS["cache"].source)
+    controller, dataplane, _ = reference(("cache",))
+
+    packets = [make_cache(1, 2, op=NC_WRITE, key=0x8888, value=42)] + [
+        make_cache(i + 2, 2, op=NC_READ, key=0x8888) for i in range(6)
+    ]
+    engine_results = engine.inject([p.clone() for p in packets])
+    single_results = dataplane.process_many([p.clone() for p in packets])
+    assert [observable(r) for r in engine_results] == [
+        observable(r) for r in single_results
+    ]
+    assert engine.controller.read_memory(handle, "mem1", 128) == 42
+
+    engine.controller.write_memory(handle, "mem1", 128, 77)
+    served = engine.inject([make_cache(9, 2, op=NC_READ, key=0x8888)])
+    assert served[0].packet.headers["nc"]["val"] == 77
+
+
+def test_pinned_placement_spreads_across_shards(engine):
+    """Least-loaded placement: consecutive pinned deployments alternate."""
+    shards = []
+    for name in ("cache", "firewall"):
+        handle = engine.controller.deploy(PROGRAMS[name].source)
+        shards.append(engine.placement[handle.program_id])
+    assert sorted(shards) == [0, 1]
+
+
+def test_flow_hash_stability_and_order():
+    five_tuple = (0x0A000001, 0x0A000002, 17, 1234, 80)
+    assert flow_hash(five_tuple) == flow_hash(five_tuple)
+    assert flow_hash(five_tuple) != flow_hash((0x0A000003, *five_tuple[1:]))
+
+
+def test_single_worker_engine_degenerates_to_single_process():
+    with ShardedEngine(1) as engine:
+        deploy_all(engine.controller)
+        _, dataplane, _ = reference()
+        packets = traffic(flows=5, per_flow=4)
+        engine_results = engine.inject([p.clone() for p in packets])
+        single_results = dataplane.process_many([p.clone() for p in packets])
+        assert [observable(r) for r in engine_results] == [
+            observable(r) for r in single_results
+        ]
+
+
+def test_verdict_mode_matches_full_mode(engine):
+    deploy_all(engine.controller)
+    packets = traffic(flows=6, per_flow=2)
+    full = engine.inject([p.clone() for p in packets], mode="full")
+    with ShardedEngine(2) as other:
+        deploy_all(other.controller)
+        light = other.inject([p.clone() for p in packets], mode="verdicts")
+    assert [(r.verdict.value, r.egress_port, r.recirculations) for r in full] == light

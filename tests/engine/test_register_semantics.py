@@ -1,0 +1,142 @@
+"""Register-semantics classification: the engine's placement oracle.
+
+The sharded engine may only run a program data-parallel when every memory
+op's bucket updates commute *and* its PHV output is unobserved; these
+tests pin the classification of all 15 library programs and the bucket
+merge math itself.
+"""
+
+import pytest
+
+from repro.compiler.compiler import compile_source
+from repro.compiler.register_semantics import (
+    MERGEABLE,
+    PINNED,
+    STATELESS,
+    classify,
+)
+from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
+from repro.rmt.salu import MERGE_SEMANTICS, RegisterArray, merge_buckets
+
+EXPECTED_TIERS = {
+    # read-modify-write with observed outputs, or blind MEMWRITEs
+    "cache": PINNED,
+    "hh": PINNED,
+    "nc": PINNED,
+    "dqacc": PINNED,
+    "firewall": PINNED,
+    "hll": PINNED,
+    # no memory ops at all
+    "l2fwd": STATELESS,
+    "l3route": STATELESS,
+    "tunnel": STATELESS,
+    "calc": STATELESS,
+    "ecn": STATELESS,
+    # commutative, unobserved updates
+    "cms": MERGEABLE,
+    "bf": MERGEABLE,
+    "sumax": MERGEABLE,
+    # MEMREADs over control-plane-written pools: replicas never diverge
+    "lb": MERGEABLE,
+}
+
+
+def semantics_of(name):
+    return compile_source(PROGRAMS[name].source).register_semantics()
+
+
+def test_every_library_program_classifies():
+    assert set(EXPECTED_TIERS) == set(ALL_PROGRAM_NAMES)
+    for name, tier in EXPECTED_TIERS.items():
+        assert semantics_of(name).tier == tier, name
+
+
+def test_merge_kinds_match_salu_ops():
+    cms = semantics_of("cms")
+    assert cms.memories == {"cms_row1": "sum", "cms_row2": "sum"}
+    assert semantics_of("bf").memories == {"bf_row1": "or", "bf_row2": "or"}
+    assert semantics_of("sumax").memories == {
+        "sumax_row1": "max",
+        "sumax_row2": "max",
+    }
+    # lb only MEMREADs its pools — safe to replicate, nothing to fold.
+    assert set(semantics_of("lb").memories.values()) == {"read"}
+
+
+def test_observed_output_pins_commutative_op():
+    # MEMADD is commutative, but hh MINs its running count against a
+    # threshold — the partial per-shard count would change behaviour.
+    hh = semantics_of("hh")
+    assert hh.tier == PINNED
+    add_ops = [op for op in hh.ops if op.op == "MEMADD"]
+    assert add_ops and all(op.observed for op in add_ops)
+    assert all(op.merge_kind is None for op in add_ops)
+
+
+def test_unobserved_commutative_op_is_mergeable():
+    cms = semantics_of("cms")
+    assert all(not op.observed for op in cms.ops)
+    assert all(op.merge_kind == "sum" for op in cms.ops)
+
+
+def test_mixed_kinds_on_one_block_pin():
+    # cache's mem1 sees MEMREAD and MEMWRITE: merge impossible.
+    cache = semantics_of("cache")
+    assert cache.memories == {"mem1": None}
+
+
+def test_memwrite_never_mergeable():
+    assert MERGE_SEMANTICS["MEMWRITE"] is None
+
+
+def test_classify_source_without_memory_is_stateless():
+    source = """
+    program p(<hdr.udp.dst_port, 9, 0xffff>) {
+        LOADI(har, 1);
+        FORWARD(2);
+    }
+    """
+    assert compile_source(source).register_semantics().tier == STATELESS
+    assert classify(compile_source(source).ir).ops == ()
+
+
+@pytest.mark.parametrize(
+    "kind,op",
+    [("sum", "MEMADD"), ("or", "MEMOR"), ("and", "MEMAND"), ("max", "MEMMAX")],
+)
+def test_merge_buckets_reproduces_sequential_state(kind, op):
+    """Splitting an operand stream across shards and merging must equal
+    running the whole stream on one array."""
+    operands = [3, 9, 250, 7, 1, 0x80, 0x41, 64, 2, 5, 17, 0xFF]
+    base = 0x2C
+    sequential = RegisterArray("seq", 1)
+    sequential.write(0, base)
+    for operand in operands:
+        sequential.execute(op, 0, operand)
+
+    shards = [RegisterArray(f"s{i}", 1) for i in range(3)]
+    for shard in shards:
+        shard.write(0, base)
+    for i, operand in enumerate(operands):
+        shards[i % 3].execute(op, 0, operand)
+
+    merged = merge_buckets(kind, base, [s.read(0) for s in shards])
+    assert merged == sequential.read(0)
+
+
+def test_merge_buckets_sum_wraps_and_cancels():
+    # deltas +5 and -5 (mod 2^32) cancel to the base
+    base = 10
+    shard_values = [(base + 5) & 0xFFFFFFFF, (base - 5) & 0xFFFFFFFF]
+    assert merge_buckets("sum", base, shard_values) == base
+    # wraparound survives the fold
+    assert merge_buckets("sum", 0xFFFFFFFF, [0, 0xFFFFFFFF]) == 0
+
+
+def test_merge_buckets_read_keeps_base():
+    assert merge_buckets("read", 42, [42, 42]) == 42
+
+
+def test_merge_buckets_unknown_kind():
+    with pytest.raises(ValueError):
+        merge_buckets("xor", 0, [1])
