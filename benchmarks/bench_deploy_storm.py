@@ -1,0 +1,152 @@
+"""Deploy storm: N tenants concurrently deploying the 15-program mix.
+
+Stresses the pipelined deploy path end to end through the TCP service:
+every tenant walks the full program catalog (deploy, then revoke, so
+occupancy keeps churning), all tenants at once.  With the pipelined
+install enabled, tenant A's entry installation overlaps tenant B's
+solve, so the aggregate rate should exceed what serialized deploys
+would allow; the relocatable allocation cache and warm-started solver
+serve the repeat shapes.
+
+Reports aggregate deploys/s, client-observed deploy latency quantiles,
+and the server's cache counters (deploy cache + process-wide solver
+caches) from the ``metrics`` RPC — the counters prove the storm
+actually exercised the fast path rather than falling back to cold
+solves.
+
+Scale: quick = 4 tenants x 1 pass over the catalog; full = 8 x 2.
+"""
+
+import statistics
+import threading
+import time
+
+from _common import banner, fmt_row, once, scaled, write_results
+
+from repro.controlplane import Controller
+from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
+from repro.service import (
+    ControlService,
+    ServerThread,
+    ServiceClient,
+    TenantQuota,
+    TenantRegistry,
+)
+
+MIX = tuple(ALL_PROGRAM_NAMES)
+
+
+def storm(port, tenant_index, passes, latencies, errors):
+    """One tenant: deploy/revoke every program in the mix, offset by the
+    tenant index so concurrent tenants hit different shapes at any
+    instant (worst case for the caches, best case for install overlap)."""
+    with ServiceClient(port=port, tenant=f"tenant{tenant_index}") as client:
+        for round_index in range(passes * len(MIX)):
+            name = MIX[(tenant_index + round_index) % len(MIX)]
+            t0 = time.perf_counter()
+            try:
+                info = client.deploy(PROGRAMS[name].source)
+            except Exception as exc:  # noqa: BLE001 - tally, don't crash the bench
+                errors.append(f"{name}: {exc}")
+                continue
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            client.revoke(info["program_id"])
+
+
+def run_storm(num_tenants, passes):
+    service = ControlService(
+        Controller(),
+        tenants=TenantRegistry(TenantQuota.unlimited()),
+    )
+    latencies: list[float] = []
+    errors: list[str] = []
+    with ServerThread(service) as server:
+        threads = [
+            threading.Thread(
+                target=storm, args=(server.port, i, passes, latencies, errors)
+            )
+            for i in range(num_tenants)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        with ServiceClient(port=server.port, tenant="tenant0") as client:
+            caches = client.metrics()["caches"]
+    return {
+        "elapsed_s": elapsed,
+        "deploys": len(latencies),
+        "deploys_per_s": len(latencies) / elapsed,
+        "latencies_ms": latencies,
+        "errors": errors,
+        "caches": caches,
+    }
+
+
+def quantile(values, q):
+    ordered = sorted(values)
+    return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+
+def test_deploy_storm(benchmark):
+    num_tenants = scaled(4, 8)
+    passes = scaled(1, 2)
+    report = once(benchmark, lambda: run_storm(num_tenants, passes))
+    lat = report["latencies_ms"]
+    banner(
+        f"Deploy storm: {num_tenants} concurrent tenants x "
+        f"{passes} pass(es) over the {len(MIX)}-program catalog"
+    )
+    print(
+        f"{report['deploys']} deploys in {report['elapsed_s']:.2f} s "
+        f"-> {report['deploys_per_s']:,.1f} deploys/s aggregate"
+    )
+    print(
+        fmt_row(
+            "deploy latency",
+            f"mean {statistics.mean(lat):.2f} ms",
+            f"p50 {quantile(lat, 0.50):.2f}",
+            f"p99 {quantile(lat, 0.99):.2f}",
+            f"max {max(lat):.2f}",
+            widths=[16, 16, 12, 12, 12],
+        )
+    )
+    cache = report["caches"]["deploy_cache"]
+    print(
+        fmt_row(
+            "deploy cache",
+            f"frontend {cache['frontend_hits']}h/{cache['frontend_misses']}m",
+            f"shapes {cache['shape_hits']}h/{cache['shape_misses']}m",
+            f"rebinds {cache['rebinds']} (+{cache['rebind_fallbacks']} fell back)",
+            widths=[16, 20, 18, 30],
+        )
+    )
+    if report["errors"]:
+        print(f"NOTE: {len(report['errors'])} deploys failed: {report['errors'][:3]}")
+    write_results(
+        "deploy_storm",
+        {
+            "tenants": num_tenants,
+            "deploys": report["deploys"],
+            "deploys_per_s": round(report["deploys_per_s"], 1),
+            "p50_ms": round(quantile(lat, 0.50), 3),
+            "p99_ms": round(quantile(lat, 0.99), 3),
+            "errors": len(report["errors"]),
+            "deploy_cache": {
+                key: cache[key]
+                for key in (
+                    "frontend_hits",
+                    "shape_hits",
+                    "rebinds",
+                    "rebind_fallbacks",
+                )
+            },
+        },
+    )
+    # Every deploy must succeed and the storm must actually hit the cache:
+    # after the first pass over the catalog every shape is resident.
+    assert not report["errors"]
+    assert report["deploys"] == num_tenants * passes * len(MIX)
+    assert cache["shape_hits"] > 0 and cache["frontend_hits"] > 0

@@ -120,20 +120,86 @@ def test_packet_throughput(benchmark, engine_workers):
     assert results["idle (no programs)"] > 2000
 
 
-def test_deploy_rate(benchmark):
-    def run():
-        ctl = Controller()
-        start = time.perf_counter()
-        count = 60
-        for i in range(count):
-            ctl.deploy(PROGRAMS[("lb", "cms", "l3route")[i % 3]].source)
-        return count / (time.perf_counter() - start)
+#: deploys/s measured on the pre-fast-path control plane (same 60-deploy
+#: lb/cms/l3route mix, same machine class) — for speedup reporting.
+PRE_FAST_PATH_DEPLOYS_PER_S = 983.4
 
-    rate = once(benchmark, run)
+#: the deploy mix and count shared by the cold and warm scenarios
+DEPLOY_MIX = ("lb", "cms", "l3route")
+DEPLOY_COUNT = 60
+
+
+def _deploy_rate(make_controller, repeats=3):
+    """Best-of-N deploy rate over a fresh controller per round (same
+    convention as :func:`pps`: best-of filters scheduler/GC noise)."""
+    best = 0.0
+    for _ in range(repeats):
+        ctl = make_controller()
+        start = time.perf_counter()
+        for i in range(DEPLOY_COUNT):
+            ctl.deploy(PROGRAMS[DEPLOY_MIX[i % len(DEPLOY_MIX)]].source)
+        best = max(best, DEPLOY_COUNT / (time.perf_counter() - start))
+    return best
+
+
+def test_deploy_rate(benchmark):
+    """Control-plane deploy rate, cold and warm.
+
+    *cold*: relocatable allocation cache disabled and process-wide solver
+    caches cleared — every deploy pays the full parse + translate +
+    branch-and-bound + install path (the pre-fast-path behavior, so the
+    cold number gauges the solver-side speedups: warm-started endpoint
+    enumeration and incremental feasibility refresh).
+
+    *warm*: fresh controller whose deploy cache was primed with one
+    deploy/revoke round per program — every timed deploy front-end-hits
+    (no parse/translate) and shape-hits (trace rebind instead of solve).
+    """
+    from repro.compiler import solver
+
+    def make_cold():
+        solver.clear_global_caches()
+        ctl = Controller()
+        ctl.deploy_cache.enabled = False
+        return ctl
+
+    def make_warm():
+        solver.clear_global_caches()
+        ctl = Controller()
+        for name in DEPLOY_MIX:
+            handle = ctl.deploy(PROGRAMS[name].source)
+            ctl.revoke(handle)
+        return ctl
+
+    def run():
+        return {"cold": _deploy_rate(make_cold), "warm": _deploy_rate(make_warm)}
+
+    results = once(benchmark, run)
     banner("Control-plane deploy rate (compile + allocate + install)")
-    print(f"{rate:.1f} deployments/second")
-    write_results("deploy", {"deploys_per_s": round(rate, 1)})
-    assert rate > 5
+    for label in ("cold", "warm"):
+        rate = results[label]
+        print(
+            fmt_row(
+                f"deploy.{label}",
+                f"{rate:,.1f} deploys/s",
+                f"{rate / PRE_FAST_PATH_DEPLOYS_PER_S:.1f}x vs pre-fast-path",
+                widths=[16, 20, 24],
+            )
+        )
+    write_results(
+        "deploy",
+        {
+            "cold": {"deploys_per_s": round(results["cold"], 1)},
+            "warm": {"deploys_per_s": round(results["warm"], 1)},
+            "pre_fast_path_deploys_per_s": PRE_FAST_PATH_DEPLOYS_PER_S,
+            "speedup": {
+                label: round(results[label] / PRE_FAST_PATH_DEPLOYS_PER_S, 2)
+                for label in ("cold", "warm")
+            },
+        },
+    )
+    assert results["cold"] > 5
+    assert results["warm"] > results["cold"] * 0.8
 
 
 def test_solver_node_rate(benchmark):

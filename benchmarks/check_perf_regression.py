@@ -11,7 +11,11 @@ fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
 * the sharded engine's projected aggregate capacity per worker count
   (``engine.by_workers.<N>.pps``) — the projection is CPU-time based and
   therefore stable across runners with different core counts;
-* the engine's projected speedup at the highest worker count.
+* the engine's projected speedup at the highest worker count;
+* the control-plane deploy rate, cold and warm (``deploy.cold`` /
+  ``deploy.warm`` in deploys/s) — warm goes through the relocatable
+  allocation cache, cold through the full solve, so the pair catches a
+  broken cache and a regressed solver independently.
 
 ``PERF_REGRESSION_TOLERANCE`` overrides the allowed fractional drop
 (default 0.30, i.e. fail below 70% of baseline) — CI runners are shared
@@ -102,6 +106,19 @@ def main(argv: list[str]) -> int:
                     speedup_floor,
                     tolerance,
                 )
+
+    deploy_baseline = baseline.get("deploy", {})
+    deploy_results = results.get("deploy", {})
+    if deploy_baseline:
+        if not deploy_results:
+            print(
+                "WARN: results have no deploy section "
+                "(deploy-rate bench not run); deploy gates skipped"
+            )
+        else:
+            for scenario, base in deploy_baseline.items():
+                got = deploy_results.get(scenario, {}).get("deploys_per_s")
+                failed |= check(f"deploy.{scenario} (deploys/s)", got, base, tolerance)
 
     if failed:
         print(

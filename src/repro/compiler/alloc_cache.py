@@ -1,0 +1,191 @@
+"""Relocatable allocation cache — the deploy fast path's front half.
+
+P4runpro's mask/offset address translation (§4.2) makes an installed
+program position-independent: the solved allocation depends only on the
+program's *demand shape* (per-depth table entries, memory sizes and
+access depths, forwarding/sequential constraints) and on current
+occupancy, never on which program carries that shape.  This module
+content-addresses each deployment by that shape — the normalized IR after
+linearization, before address translation — and caches two
+occupancy-independent artifacts:
+
+* the **front end** (parsed unit, checked AST, translated IR, allocation
+  problem) keyed by source text and elasticity options, so repeat deploys
+  skip the parser and translator outright;
+* the **allocation shape**: the endpoint-enumeration *trace* of the last
+  successful solve of this shape.  A later deploy replays the trace
+  against the live free lists (:meth:`AllocationSolver.rebind`), which
+  either proves the cached decision still optimal — skipping the
+  branch-and-bound enumeration — or refuses, falling back to a full
+  solve.  Either way the resulting allocation is byte-identical to what a
+  cold solve would produce *now* (rebinding re-derives x, memory
+  placement, and entry addresses from current state; nothing stale is
+  installed).
+
+Both caches are LRU-bounded so a long-lived multi-tenant service cannot
+grow them without bound under program churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .allocation import AllocationProblem
+from .objectives import Objective
+from .target import TargetSpec
+
+
+@dataclass(frozen=True)
+class AllocationShape:
+    """The reusable residue of one successful linear solve."""
+
+    #: endpoint pairs examined, in enumeration order: (x1, xl, reason),
+    #: the winner last with reason "win" — see AllocationSolver.rebind
+    trace: tuple
+    #: the winning vector and value at record time (diagnostics only;
+    #: rebinding recomputes both from the live view)
+    x: tuple
+    objective_value: float
+
+
+#: id(problem) -> (weakref to the problem, {(spec, objective, direct): digest})
+#: — the front-end cache shares problem objects across deploys, so the
+#: digest (a pure function of the problem) is computed once per object.
+#: The weakref guards against id reuse after garbage collection.
+_DIGEST_MEMO: dict[int, tuple] = {}
+
+
+def shape_digest(
+    problem: AllocationProblem,
+    spec: TargetSpec,
+    objective: Objective,
+    direct_memory: bool = False,
+) -> str:
+    """Content address of a deployment's demand shape.
+
+    Covers every input the solver's decision depends on *except*
+    occupancy: the full allocation problem (minus the program name — two
+    programs with identical demand share one line), the target geometry,
+    the objective, and the memory-mapping mode.
+    """
+    pid = id(problem)
+    memo = _DIGEST_MEMO.get(pid)
+    if memo is None or memo[0]() is not problem:
+        if len(_DIGEST_MEMO) >= 512:
+            for dead in [k for k, (ref, _) in _DIGEST_MEMO.items() if ref() is None]:
+                del _DIGEST_MEMO[dead]
+        memo = (weakref.ref(problem), {})
+        _DIGEST_MEMO[pid] = memo
+    subkey = (spec, objective, bool(direct_memory))
+    cached = memo[1].get(subkey)
+    if cached is not None:
+        return cached
+    payload = {
+        "num_depths": problem.num_depths,
+        "te_req": sorted(problem.te_req.items()),
+        "forwarding": sorted(problem.forwarding_depths),
+        "memory_sizes": sorted(problem.memory_sizes.items()),
+        "memory_depths": sorted(
+            (mid, list(depths)) for mid, depths in problem.memory_depths.items()
+        ),
+        "sequential_pairs": sorted(problem.sequential_pairs),
+        "spec": [
+            spec.num_ingress_rpbs,
+            spec.num_egress_rpbs,
+            spec.max_recirculations,
+            spec.rpb_table_size,
+            spec.rpb_memory_size,
+        ],
+        "objective": repr(objective),
+        "direct_memory": bool(direct_memory),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha1(blob.encode()).hexdigest()
+    memo[1][subkey] = digest
+    return digest
+
+
+class DeployCache:
+    """Per-controller deploy fast-path cache (front end + shapes)."""
+
+    def __init__(self, *, frontend_cap: int = 256, shape_cap: int = 256):
+        self.enabled = True
+        self.frontend_cap = frontend_cap
+        self.shape_cap = shape_cap
+        #: (source, program name, options fingerprint) ->
+        #: (unit, program, translation, problem)
+        self._frontend: OrderedDict = OrderedDict()
+        #: shape digest -> AllocationShape
+        self._shapes: OrderedDict[str, AllocationShape] = OrderedDict()
+        self.frontend_hits = 0
+        self.frontend_misses = 0
+        self.shape_hits = 0
+        self.shape_misses = 0
+        #: shape hits whose trace replay succeeded (solve skipped)
+        self.rebinds = 0
+        #: shape hits whose replay refused (full solve ran instead)
+        self.rebind_fallbacks = 0
+
+    # -- front end -----------------------------------------------------------
+    def lookup_frontend(self, key):
+        if not self.enabled:
+            return None
+        hit = self._frontend.get(key)
+        if hit is None:
+            self.frontend_misses += 1
+            return None
+        self.frontend_hits += 1
+        self._frontend.move_to_end(key)
+        return hit
+
+    def store_frontend(self, key, value) -> None:
+        if not self.enabled:
+            return
+        self._frontend[key] = value
+        self._frontend.move_to_end(key)
+        while len(self._frontend) > self.frontend_cap:
+            self._frontend.popitem(last=False)
+
+    # -- allocation shapes ----------------------------------------------------
+    def lookup_shape(self, digest: str) -> AllocationShape | None:
+        if not self.enabled:
+            return None
+        shape = self._shapes.get(digest)
+        if shape is None:
+            self.shape_misses += 1
+            return None
+        self.shape_hits += 1
+        self._shapes.move_to_end(digest)
+        return shape
+
+    def store_shape(self, digest: str, shape: AllocationShape) -> None:
+        if not self.enabled:
+            return
+        self._shapes[digest] = shape
+        self._shapes.move_to_end(digest)
+        while len(self._shapes) > self.shape_cap:
+            self._shapes.popitem(last=False)
+
+    # -- management ------------------------------------------------------------
+    def clear(self) -> None:
+        self._frontend.clear()
+        self._shapes.clear()
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "frontend_entries": len(self._frontend),
+            "frontend_cap": self.frontend_cap,
+            "frontend_hits": self.frontend_hits,
+            "frontend_misses": self.frontend_misses,
+            "shape_entries": len(self._shapes),
+            "shape_cap": self.shape_cap,
+            "shape_hits": self.shape_hits,
+            "shape_misses": self.shape_misses,
+            "rebinds": self.rebinds,
+            "rebind_fallbacks": self.rebind_fallbacks,
+        }

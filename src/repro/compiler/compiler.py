@@ -98,7 +98,55 @@ class CompiledProgram:
         program_id: int,
         memory_bases: dict[str, tuple[int, int]],
     ) -> EntryBatch:
+        """Emit the program's entry batch for a concrete (id, bases) pair.
+
+        Emission for one (translation, allocation-vector) pair differs
+        between deployments only in the program id and the memory base
+        addresses, so the canonical batch (id 0, zero bases) is cached on
+        the translation — which the deploy cache's front end shares across
+        deployments — and relocated per call.  Fragmented (direct-mapped)
+        layouts change entry *structure* and fall back to full emission.
+        """
+        from .entries import relocate_batch
+
+        templates = getattr(self.translation, "_entry_templates", None)
+        if templates is None:
+            templates = {}
+            self.translation._entry_templates = templates
+        key = (spec, tuple(self.allocation.x), self.allocation.max_iteration)
+        template = templates.get(key)
+        if isinstance(template, EntryBatch):
+            batch = relocate_batch(template, program_id, memory_bases)
+            if batch is not None:
+                return batch
         generator = EntryGenerator(spec)
+        # Build the canonical template only on the *second* emission of a
+        # key: a one-shot deployment (or a cold run with the front-end
+        # cache off, where every deploy gets a fresh translation) never
+        # pays the extra emission.
+        if template is None:
+            if len(templates) >= 8:
+                templates.clear()
+            templates[key] = "seen"
+        elif template == "seen" and all(
+            not isinstance(layout, int) and len(layout) == 1 and layout[0][0] == 0
+            for _phys, layout in memory_bases.values()
+        ):
+            canonical = generator.generate(
+                self.ir,
+                self.program.filters,
+                self.allocation,
+                0,
+                {
+                    mid: (phys, [(0, 0, layout[0][2])])
+                    for mid, (phys, layout) in memory_bases.items()
+                },
+                self.memory_decls(),
+            )
+            templates[key] = canonical
+            batch = relocate_batch(canonical, program_id, memory_bases)
+            if batch is not None:
+                return batch
         return generator.generate(
             self.ir,
             self.program.filters,
@@ -139,6 +187,61 @@ def parse_and_check(source: str) -> SourceUnit:
     return unit
 
 
+def allocate_program(
+    problem: AllocationProblem,
+    objective: Objective,
+    *,
+    spec: TargetSpec,
+    view: ResourceView,
+    max_nodes: int = 500_000,
+    direct_memory: bool = False,
+    deploy_cache=None,
+) -> AllocationResult:
+    """Solve one allocation problem, through the deploy cache when given.
+
+    On a shape-cache hit the recorded solve trace is replayed against the
+    current view (:meth:`AllocationSolver.rebind`); a successful replay
+    returns an allocation provably identical to a fresh solve (marked
+    ``rebound=True``) without enumerating.  A refused replay — occupancy
+    changed in a way the trace cannot vouch for — falls back to a full
+    solve, whose fresh trace then replaces the cached shape.
+    """
+    if direct_memory:
+        view = _DirectMemoryView(view)
+    solver = AllocationSolver(spec, view, max_nodes=max_nodes)
+    digest = None
+    if deploy_cache is not None and deploy_cache.enabled:
+        from .alloc_cache import shape_digest
+
+        digest = shape_digest(problem, spec, objective, direct_memory)
+        shape = deploy_cache.lookup_shape(digest)
+        if shape is not None:
+            rebound = solver.rebind(problem, objective, shape.trace)
+            if rebound is not None:
+                deploy_cache.rebinds += 1
+                return rebound
+            deploy_cache.rebind_fallbacks += 1
+    trace: list | None = [] if digest is not None else None
+    allocation = solver.solve(problem, objective, trace=trace)
+    if (
+        digest is not None
+        and not allocation.capped
+        and trace
+        and trace[-1][2] == "win"
+    ):
+        from .alloc_cache import AllocationShape
+
+        deploy_cache.store_shape(
+            digest,
+            AllocationShape(
+                trace=tuple(trace),
+                x=tuple(allocation.x),
+                objective_value=allocation.objective_value,
+            ),
+        )
+    return allocation
+
+
 def compile_program(
     unit: SourceUnit,
     program: ProgramDecl,
@@ -146,14 +249,13 @@ def compile_program(
     spec: TargetSpec | None = None,
     view: ResourceView | None = None,
     options: CompileOptions | None = None,
+    deploy_cache=None,
 ) -> CompiledProgram:
     """Translate and allocate one checked program against a resource view."""
     spec = spec or TargetSpec()
     view = view if view is not None else UnlimitedResources(spec)
     options = options or CompileOptions()
     objective = options.objective or f1()
-    if options.direct_memory:
-        view = _DirectMemoryView(view)
 
     t0 = time.perf_counter()
     translation = translate(
@@ -163,8 +265,15 @@ def compile_program(
     )
     problem = build_problem(unit, translation)
     t1 = time.perf_counter()
-    solver = AllocationSolver(spec, view, max_nodes=options.max_solver_nodes)
-    allocation = solver.solve(problem, objective)
+    allocation = allocate_program(
+        problem,
+        objective,
+        spec=spec,
+        view=view,
+        max_nodes=options.max_solver_nodes,
+        direct_memory=options.direct_memory,
+        deploy_cache=deploy_cache,
+    )
     t2 = time.perf_counter()
 
     return CompiledProgram(

@@ -77,6 +77,64 @@ def _data(**kwargs) -> tuple[tuple[str, object], ...]:
     return tuple(sorted(kwargs.items()))
 
 
+def relocate_batch(
+    template: EntryBatch, program_id: int, memory_bases: dict
+) -> EntryBatch | None:
+    """Rebind a canonical entry batch (program id 0, zero bases) to a
+    concrete deployment — the emission-side half of the relocatable
+    allocation cache.
+
+    Only the program-id keys, the init entry's program-id action datum,
+    and each OFFSET entry's base change between deployments of one
+    (translation, allocation) pair; everything else — tables, branch keys,
+    priorities, order — is structural.  Returns ``None`` when a memory
+    block is fragmented (direct-mapped layouts add per-fragment keys, so
+    the structure itself differs) and the caller must re-emit.
+    """
+    base_of: dict[str, int] = {}
+    for mid, (_phys, base_or_layout) in memory_bases.items():
+        if isinstance(base_or_layout, int):
+            base_of[mid] = base_or_layout & dp.REGISTER_MASK
+        else:
+            if len(base_or_layout) != 1 or base_or_layout[0][0] != 0:
+                return None
+            base_of[mid] = base_or_layout[0][1] & dp.REGISTER_MASK
+
+    def rekey(keys: tuple[KeySpec, ...]) -> tuple[KeySpec, ...]:
+        if keys and keys[0].field == "ud.program_id":
+            return (KeySpec("ud.program_id", program_id, keys[0].mask),) + keys[1:]
+        return keys
+
+    body = []
+    for entry in template.body_entries:
+        data = entry.action_data
+        if entry.action == "OFFSET":
+            patched = dict(data)
+            patched["base"] = base_of[patched["mid"]]
+            data = tuple(sorted(patched.items()))
+        body.append(
+            EntryConfig(entry.table, rekey(entry.keys), entry.action, data, entry.priority)
+        )
+    recirc = [
+        EntryConfig(e.table, rekey(e.keys), e.action, e.action_data, e.priority)
+        for e in template.recirc_entries
+    ]
+    init = []
+    for entry in template.init_entries:
+        patched = dict(entry.action_data)
+        patched["program_id"] = program_id
+        init.append(
+            EntryConfig(
+                entry.table,
+                entry.keys,
+                entry.action,
+                tuple(sorted(patched.items())),
+                entry.priority,
+            )
+        )
+    return EntryBatch(template.program, program_id, body, recirc, init)
+
+
 def _flag_keys(program_id: int, branch_id: int, recirc_id: int) -> list[KeySpec]:
     return [
         KeySpec("ud.program_id", program_id, dp.PROGRAM_ID_MASK),

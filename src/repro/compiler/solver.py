@@ -19,12 +19,35 @@ feasible pair is optimal.  Nonlinear objectives (f3) cannot be enumerated
 that way and run generic branch-and-bound over the full space with a bound
 from the partial assignment, which is genuinely much slower — reproducing
 the f3 allocation delays of §6.2.4.
+
+Deploy fast path (three cache layers, all exactness-preserving):
+
+* **Sorted pair orders** (:data:`_SORTED_PAIRS`): the best-first endpoint
+  order depends only on (domain, length, objective) — never on occupancy —
+  so it is computed once per process and shared by every solve.
+* **Warm-start** (:data:`_LAST_SUCCESS`): when the order is not cached yet
+  the enumeration is seeded with the last successful endpoint pair for the
+  class: only pairs at-or-below that objective value are sorted up front,
+  the (usually never reached) tail lazily.
+* **Incremental static feasibility**: for views exposing per-physical-RPB
+  version counters (``phys_versions()``), the per-depth feasible sets are
+  refreshed from allocate/revoke deltas — only RPBs whose version moved
+  are re-evaluated, and the expensive per-value rebuild is skipped
+  entirely when no feasibility bit actually flipped — instead of being
+  invalidated wholesale on every ``generation`` bump.
+* **Trace replay** (:meth:`AllocationSolver.rebind`): a linear solve can
+  record which endpoint pairs it rejected (and why) before winning; a
+  later solve of the same problem shape replays that prefix with cheap
+  rechecks and returns a result *provably identical* to a fresh solve, or
+  refuses (returns ``None``) so the caller re-solves.
 """
 
 from __future__ import annotations
 
+import bisect
 import time
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..lang.errors import AllocationError
@@ -45,6 +68,9 @@ class AllocationResult:
     capped: bool = False
     #: mid -> 1-based physical RPB hosting its buckets
     memory_placement: dict[str, int] = field(default_factory=dict)
+    #: True when produced by :meth:`AllocationSolver.rebind` (trace replay
+    #: against a cached shape) rather than a fresh enumeration
+    rebound: bool = False
 
     @property
     def max_iteration(self) -> int:
@@ -164,14 +190,33 @@ class SearchBudgetExceeded(Exception):
     """Internal: the node cap was hit."""
 
 
+class _ShapeEntry:
+    """One problem shape's cached static-feasibility state."""
+
+    __slots__ = ("feasible", "versions", "sig_ok")
+
+    def __init__(self, feasible, versions=None, sig_ok=None):
+        self.feasible = feasible
+        #: per-physical-RPB version tuple at computation time (views with
+        #: ``phys_versions()``), or None for generation-keyed entries
+        self.versions = versions
+        #: (te, sizes) signature -> per-phys feasibility booleans, kept so
+        #: a delta refresh re-evaluates only the RPBs that changed
+        self.sig_ok = sig_ok
+
+
 class _FeasibleCache:
-    """Static-feasibility sets for one resource view, by problem shape."""
+    """Static-feasibility sets for one resource view, by problem shape.
+
+    ``by_shape`` is LRU-ordered and capped at :data:`FEASIBLE_SHAPE_CAP`
+    lines so tenant churn over many distinct program shapes cannot grow a
+    long-lived service's memory unboundedly."""
 
     __slots__ = ("generation", "by_shape")
 
     def __init__(self):
         self.generation: object = None
-        self.by_shape: dict = {}
+        self.by_shape: OrderedDict = OrderedDict()
 
 
 #: Process-wide default for new solvers (per-solver ``cache_enabled``
@@ -179,12 +224,30 @@ class _FeasibleCache:
 #: through the full compile path, where each compile builds its own solver.
 CACHING_ENABLED = True
 
+#: LRU cap on cached problem shapes per view (see :class:`_FeasibleCache`).
+FEASIBLE_SHAPE_CAP = 128
+
+#: LRU caps on the process-wide pair-order and warm-start-hint caches.
+SORTED_PAIRS_CAP = 64
+LAST_SUCCESS_CAP = 256
+
 #: Shared caches, keyed by view identity.  Solvers are constructed fresh
 #: per compile, so cross-deploy reuse only works if the cache outlives the
 #: solver; the weak keying makes the cache die with its view.  Only views
 #: exposing a ``generation`` counter participate — without one there is no
 #: invalidation signal to trust across solves.
 _VIEW_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: (domain, length, objective) -> endpoint pairs in canonical best-first
+#: order.  Occupancy-independent, so shared process-wide.
+_SORTED_PAIRS: OrderedDict = OrderedDict()
+
+#: (domain, length, objective) -> last winning (x1, xl) — the warm-start
+#: seed for solves whose pair order is not cached yet.
+_LAST_SUCCESS: OrderedDict = OrderedDict()
+
+#: (spec, length, forwarding depths) -> static per-depth position bounds
+_MAX_POSITIONS: dict = {}
 
 
 def _shared_cache_for(view) -> _FeasibleCache | None:
@@ -196,6 +259,55 @@ def _shared_cache_for(view) -> _FeasibleCache | None:
         return cache
     except TypeError:  # view not hashable or not weak-referenceable
         return None
+
+
+def _shape_key(problem: AllocationProblem) -> tuple:
+    """Hashable key covering every problem field that feeds the static
+    feasibility computation (not the program name — two programs with
+    identical demand share cache lines)."""
+    return (
+        problem.num_depths,
+        tuple(sorted(problem.te_req.items())),
+        tuple(sorted(problem.forwarding_depths)),
+        tuple(sorted(problem.memory_sizes.items())),
+        tuple(sorted((m, tuple(d)) for m, d in problem.memory_depths.items())),
+    )
+
+
+def evict_problem_shape(view, problem: AllocationProblem) -> bool:
+    """Drop one problem shape's feasibility line from a view's shared
+    cache (the controller calls this when the program is revoked, so a
+    churning service only caches shapes that are actually live or hot)."""
+    try:
+        cache = _VIEW_CACHES.get(view)
+    except TypeError:
+        return False
+    if cache is None:
+        return False
+    return cache.by_shape.pop(_shape_key(problem), None) is not None
+
+
+def cache_stats() -> dict:
+    """Current sizes of every solver-side cache (the service's ``metrics``
+    RPC reports this so operators can watch cache growth vs the caps)."""
+    views = list(_VIEW_CACHES.values())
+    return {
+        "views": len(views),
+        "feasibility_shapes": sum(len(c.by_shape) for c in views),
+        "feasibility_shape_cap": FEASIBLE_SHAPE_CAP,
+        "sorted_pair_orders": len(_SORTED_PAIRS),
+        "sorted_pair_orders_cap": SORTED_PAIRS_CAP,
+        "warm_start_hints": len(_LAST_SUCCESS),
+        "warm_start_hints_cap": LAST_SUCCESS_CAP,
+    }
+
+
+def clear_global_caches() -> None:
+    """Reset every process-wide solver cache (benchmarks' cold runs)."""
+    _VIEW_CACHES.clear()
+    _SORTED_PAIRS.clear()
+    _LAST_SUCCESS.clear()
+    _MAX_POSITIONS.clear()
 
 
 class AllocationSolver:
@@ -215,19 +327,36 @@ class AllocationSolver:
         self.max_nodes = max_nodes
         self._nodes = 0
         #: cache of per-depth static feasibility sets, keyed by problem
-        #: shape and invalidated whenever the view's ``generation``
-        #: changes (views without one get a per-solve serial, so the
-        #: cache still shares work between a hierarchical solve's phases)
+        #: shape; refreshed incrementally for views with per-phys version
+        #: counters, invalidated wholesale on ``generation`` bumps for the
+        #: rest (views without either get a per-solve serial, so the cache
+        #: still shares work between a hierarchical solve's phases)
         self.cache_enabled = CACHING_ENABLED
         self.cache_hits = 0
         self.cache_misses = 0
+        #: delta refreshes: the cached line was reused after re-evaluating
+        #: only the physical RPBs whose version counters moved
+        self.cache_refreshes = 0
         self._local_cache = _FeasibleCache()
         self._solve_serial = 0
         #: endpoint-pair lists depend only on (domain, length)
         self._pair_cache: dict[tuple[int, int], list] = {}
+        # value -> physical RPB / is-ingress lookup tables (spec constants)
+        self._phys_of: list[int] | None = None
+        self._ingress: list[bool] | None = None
 
     # -- public API -----------------------------------------------------------
-    def solve(self, problem: AllocationProblem, objective: Objective) -> AllocationResult:
+    def solve(
+        self,
+        problem: AllocationProblem,
+        objective: Objective,
+        *,
+        trace: list | None = None,
+    ) -> AllocationResult:
+        """Find the optimal allocation.  When ``trace`` is a list and the
+        objective is plain linear, every endpoint pair examined is appended
+        as ``(x1, xl, reason)`` — the winner last with reason ``"win"`` —
+        forming the replayable record :meth:`rebind` consumes."""
         start = time.perf_counter()
         self._nodes = 0
         self._solve_serial += 1
@@ -249,7 +378,7 @@ class AllocationSolver:
             if isinstance(objective, Hierarchical):
                 result = self._solve_hierarchical(problem)
             elif objective.linear:
-                result = self._solve_linear(problem, objective)
+                result = self._solve_linear(problem, objective, trace)
             else:
                 result = self._solve_nonlinear(problem, objective)
         except SearchBudgetExceeded:
@@ -274,6 +403,80 @@ class AllocationSolver:
         alloc.finalize(self.spec)
         return alloc
 
+    def rebind(
+        self, problem: AllocationProblem, objective: Objective, trace
+    ) -> AllocationResult | None:
+        """Replay a recorded solve trace against the *current* view state.
+
+        Returns an :class:`AllocationResult` guaranteed identical (same x,
+        objective value, and memory placement) to what :meth:`solve` would
+        produce right now, or ``None`` when the trace cannot prove that —
+        the caller then falls back to a full solve.  The replay invariant:
+
+        * ``"chain"``/``"bounds"`` rejections are occupancy-independent,
+          so they are skipped without any recheck;
+        * a ``"window"`` rejection is re-checked cheaply; if the pair is
+          *still* window-infeasible a fresh solve would reject it at the
+          same point, and if it resurrected (resources were freed) the
+          replay conservatively bails out;
+        * ``"dfs"`` rejections and the recorded winner re-run the real
+          interior completion, so the first success during replay is the
+          first success a fresh enumeration would find.
+        """
+        if isinstance(objective, Hierarchical) or not objective.linear:
+            return None
+        if not trace or trace[-1][2] != "win":
+            return None
+        domain = self.spec.num_logic_rpbs
+        if problem.num_depths > domain:
+            return None
+        if problem.sequential_pairs and not self.spec.memory_revisit_supported:
+            return None
+        start = time.perf_counter()
+        self._nodes = 0
+        self._solve_serial += 1
+        try:
+            feasible = self._static_feasible_values(problem)
+            if any(not feasible[d] for d in range(1, problem.num_depths + 1)):
+                # A fresh solve would fail too; let it raise the real error.
+                return None
+            max_x = self._max_positions(problem)
+            solution = None
+            win_pair = None
+            for x1, xl, reason in trace:
+                if reason in ("chain", "bounds"):
+                    continue
+                if reason == "window":
+                    if self._window_feasible(problem, x1, xl, feasible):
+                        return None  # pair resurrected: full solve required
+                    continue
+                # "dfs" rejections and the winner need the real search.
+                candidate, _reason = self._try_pair(problem, x1, xl, feasible, max_x)
+                if candidate is not None:
+                    solution, win_pair = candidate, (x1, xl)
+                    break
+                if reason == "win":
+                    return None  # winner gone: pairs beyond the trace may win
+        except SearchBudgetExceeded:
+            return None
+        if solution is None:
+            return None
+        x, placement = solution
+        x1, xl = win_pair
+        self._note_success(problem, objective, x1, xl)
+        alloc = AllocationResult(
+            x=x,
+            objective_value=objective.value(x1, xl),
+            objective_name=objective.name,
+            nodes_explored=self._nodes,
+            solve_time_s=time.perf_counter() - start,
+            capped=False,
+            memory_placement=placement,
+            rebound=True,
+        )
+        alloc.finalize(self.spec)
+        return alloc
+
     # -- linear objectives: best-first endpoint enumeration ------------------
     def _endpoint_pairs(self, problem: AllocationProblem):
         domain = self.spec.num_logic_rpbs
@@ -292,16 +495,76 @@ class AllocationSolver:
         self._pair_cache[(domain, length)] = pairs
         return list(pairs)
 
-    def _solve_linear(self, problem: AllocationProblem, objective: Objective):
-        pairs = self._endpoint_pairs(problem)
-        pairs.sort(key=lambda p: (objective.value(p[0], p[1]), p[1], -p[0]))
+    @staticmethod
+    def _store_pair_order(key, pairs: tuple) -> None:
+        _SORTED_PAIRS[key] = pairs
+        while len(_SORTED_PAIRS) > SORTED_PAIRS_CAP:
+            _SORTED_PAIRS.popitem(last=False)
+
+    def _pair_iter(self, problem: AllocationProblem, objective: Objective):
+        """Endpoint pairs in canonical best-first order, cheaply.
+
+        The order — sort by ``(objective value, xl, -x1)`` — is a total
+        order independent of occupancy, so it is cached process-wide per
+        (domain, length, objective).  On a cache miss with a warm-start
+        hint, only the head (pairs at-or-below the hint's objective value)
+        is sorted eagerly; the tail is sorted lazily if ever reached, and
+        head+tail — which *is* the canonical order — is then cached."""
+        key = (self.spec.num_logic_rpbs, problem.num_depths, objective)
+        cached = _SORTED_PAIRS.get(key)
+        if cached is not None:
+            _SORTED_PAIRS.move_to_end(key)
+            return cached
+
+        def sort_key(p):
+            return (objective.value(p[0], p[1]), p[1], -p[0])
+
+        base = self._endpoint_pairs(problem)
+        hint = _LAST_SUCCESS.get(key)
+        if hint is None:
+            base.sort(key=sort_key)
+            pairs = tuple(base)
+            self._store_pair_order(key, pairs)
+            return pairs
+        return self._warm_pair_iter(key, base, sort_key, objective, hint)
+
+    def _warm_pair_iter(self, key, base, sort_key, objective, hint):
+        bound = objective.value(*hint)
+        value = objective.value
+        head = [p for p in base if value(p[0], p[1]) <= bound]
+        head.sort(key=sort_key)
+        yield from head
+        tail = [p for p in base if value(p[0], p[1]) > bound]
+        tail.sort(key=sort_key)
+        self._store_pair_order(key, tuple(head + tail))
+        yield from tail
+
+    def _note_success(self, problem, objective, x1: int, xl: int) -> None:
+        key = (self.spec.num_logic_rpbs, problem.num_depths, objective)
+        _LAST_SUCCESS[key] = (x1, xl)
+        _LAST_SUCCESS.move_to_end(key)
+        while len(_LAST_SUCCESS) > LAST_SUCCESS_CAP:
+            _LAST_SUCCESS.popitem(last=False)
+
+    def _solve_linear(
+        self,
+        problem: AllocationProblem,
+        objective: Objective,
+        trace: list | None = None,
+    ):
         feasible = self._static_feasible_values(problem)
         if any(not feasible[d] for d in range(1, problem.num_depths + 1)):
             return None  # some depth has no feasible RPB at all
-        for x1, xl in pairs:
-            solution = self._complete(problem, x1, xl, feasible)
+        max_x = self._max_positions(problem)
+        for x1, xl in self._pair_iter(problem, objective):
+            solution, reason = self._try_pair(problem, x1, xl, feasible, max_x)
             if solution is not None:
+                if trace is not None:
+                    trace.append((x1, xl, "win"))
+                self._note_success(problem, objective, x1, xl)
                 return solution[0], objective.value(x1, xl), solution[1]
+            if trace is not None:
+                trace.append((x1, xl, reason))
         return None
 
     def _solve_hierarchical(self, problem: AllocationProblem):
@@ -324,7 +587,19 @@ class AllocationSolver:
     def _max_positions(self, problem: AllocationProblem) -> list[int]:
         """Static per-depth upper bound on x, from the domain tail and the
         forwarding-on-ingress constraint, propagated backwards so that a
-        capped later depth caps every earlier one too."""
+        capped later depth caps every earlier one too.
+
+        Depends only on the (frozen, hashable) spec and the problem's
+        length/forwarding shape, so the result is cached process-wide;
+        callers treat the returned list as read-only."""
+        key = (
+            self.spec,
+            problem.num_depths,
+            tuple(sorted(problem.forwarding_depths)),
+        )
+        cached = _MAX_POSITIONS.get(key)
+        if cached is not None:
+            return cached
         domain = self.spec.num_logic_rpbs
         length = problem.num_depths
         max_x = [domain - (length - d) for d in range(1, length + 1)]
@@ -335,6 +610,9 @@ class AllocationSolver:
             max_x[d - 1] = min(max_x[d - 1], largest_ingress)
         for d in range(length - 1, 0, -1):
             max_x[d - 1] = min(max_x[d - 1], max_x[d] - 1)
+        if len(_MAX_POSITIONS) >= 256:
+            _MAX_POSITIONS.clear()
+        _MAX_POSITIONS[key] = max_x
         return max_x
 
     # -- nonlinear objectives: generic branch and bound -----------------------
@@ -343,9 +621,24 @@ class AllocationSolver:
         length = problem.num_depths
         state = _SearchState(self.spec, self.view, problem)
         max_x = self._max_positions(problem)
+        # Dominance pruning: a value whose physical RPB cannot host the
+        # depth's static demand is dominated at *every* stage position it
+        # could occupy, so the DFS never branches on it.  try_assign would
+        # reject each such value anyway (its checks subsume the static
+        # ones), so filtering keeps the search exact while skipping the
+        # symmetric re-discovery of the same per-RPB infeasibility.
+        feasible = self._static_feasible_values(problem)
+        if any(not feasible[d] for d in range(1, length + 1)):
+            return None
         best: list | None = None
         best_value = float("inf")
         x = [0] * length
+
+        def candidates_for(depth: int, lo: int, hi: int) -> list[int]:
+            values = feasible[depth]
+            i = bisect.bisect_left(values, lo)
+            j = bisect.bisect_right(values, hi)
+            return values[i:j]
 
         def dfs(depth: int) -> None:
             nonlocal best, best_value
@@ -360,7 +653,8 @@ class AllocationSolver:
             # Depth 1 iterates descending: for ratio-style objectives a
             # large x_1 gives a strong incumbent immediately, so the bound
             # prunes most of the space (the search stays exact).
-            candidates = range(hi, lo - 1, -1) if depth == 1 else range(lo, hi + 1)
+            span = candidates_for(depth, lo, hi)
+            candidates = reversed(span) if depth == 1 else span
             for value in candidates:
                 self._count_node()
                 # Bound: x_L >= value + remaining depths; x_1 is fixed once
@@ -389,76 +683,167 @@ class AllocationSolver:
         placement = self._placement_for(problem, best)
         return best, best_value, placement
 
-    # -- interior completion ---------------------------------------------------
+    # -- static feasibility ----------------------------------------------------
     def _problem_shape(self, problem: AllocationProblem) -> tuple:
-        """Hashable key covering every problem field that feeds the static
-        feasibility computation (not the program name — two programs with
-        identical demand share cache lines)."""
-        return (
-            problem.num_depths,
-            tuple(sorted(problem.te_req.items())),
-            tuple(sorted(problem.forwarding_depths)),
-            tuple(sorted(problem.memory_sizes.items())),
-            tuple(sorted((m, tuple(d)) for m, d in problem.memory_depths.items())),
-        )
+        return _shape_key(problem)
+
+    def _value_tables(self) -> tuple[list[int], list[bool]]:
+        if self._phys_of is None:
+            domain = self.spec.num_logic_rpbs
+            self._phys_of = [0] + [
+                self.spec.physical_rpb(v) for v in range(1, domain + 1)
+            ]
+            self._ingress = [False] + [
+                self.spec.is_ingress(v) for v in range(1, domain + 1)
+            ]
+        return self._phys_of, self._ingress
+
+    def _depth_signatures(self, problem: AllocationProblem) -> list:
+        """Per-depth (table-entry demand, memory sizes) signatures: the
+        only inputs to per-physical-RPB feasibility.  Distinct depths with
+        equal signatures share one per-RPB evaluation."""
+        mids_at_depth: dict[int, list[str]] = {}
+        for mid, depths in problem.memory_depths.items():
+            for d in depths:
+                mids_at_depth.setdefault(d, []).append(mid)
+        sigs: list = [None]
+        for depth in range(1, problem.num_depths + 1):
+            sizes = tuple(
+                sorted(problem.memory_sizes[mid] for mid in mids_at_depth.get(depth, ()))
+            )
+            sigs.append((problem.te_req.get(depth, 0), sizes))
+        return sigs
+
+    def _sig_phys_ok(self, sig) -> list[bool]:
+        te, sizes = sig
+        sizes_list = list(sizes)
+        ok = [False] * (self.spec.num_rpbs + 1)
+        for phys in range(1, self.spec.num_rpbs + 1):
+            if te and te > self.view.free_entries(phys):
+                continue
+            if sizes_list and not self.view.can_allocate_memory(phys, sizes_list):
+                continue
+            ok[phys] = True
+        return ok
+
+    def _feasible_from_sigs(
+        self, problem: AllocationProblem, sigs: list, sig_ok: dict
+    ) -> list[list[int]]:
+        domain = self.spec.num_logic_rpbs
+        length = problem.num_depths
+        phys_of, ingress = self._value_tables()
+        forwarding_depths = problem.forwarding_depths
+        feasible: list[list[int]] = [[] for _ in range(length + 1)]
+        for depth in range(1, length + 1):
+            ok = sig_ok[sigs[depth]]
+            forwarding = depth in forwarding_depths
+            row = feasible[depth]
+            for value in range(depth, domain - (length - depth) + 1):
+                if forwarding and not ingress[value]:
+                    continue
+                if ok[phys_of[value]]:
+                    row.append(value)
+        return feasible
 
     def _static_feasible_values(self, problem: AllocationProblem) -> list[list[int]]:
         """Per-depth sorted lists of logic RPBs passing the static
         (non-cumulative) constraints: forwarding-on-ingress, per-depth
         entry demand vs current free entries, and single-memory fit.
-        The result is cached per (problem shape, view generation): a
-        hierarchical solve's second phase — and any same-shape re-solve
-        against an unchanged view — reuses it instead of re-evaluating
-        resources for every (depth, value) combination.  Callers must not
-        mutate the returned lists."""
+        Cached per problem shape.  Views exposing ``phys_versions()`` get
+        delta refreshes — only changed physical RPBs are re-evaluated, and
+        the lists are rebuilt only when a feasibility bit flipped; other
+        generation-carrying views are invalidated wholesale on generation
+        change (views with neither get a per-solve serial, so the cache
+        still collapses a hierarchical solve's two phases).  Callers must
+        not mutate the returned lists."""
         if not self.cache_enabled:
             return self._compute_static_feasible(problem)
+        versions = None
+        versions_of = getattr(self.view, "phys_versions", None)
+        if versions_of is not None:
+            versions = versions_of()
         generation = getattr(self.view, "generation", None)
-        cache = _shared_cache_for(self.view) if generation is not None else None
+        cache = (
+            _shared_cache_for(self.view)
+            if (generation is not None or versions is not None)
+            else None
+        )
         if cache is None:
-            # No generation counter (or view not weak-referenceable): key
-            # the solver-local cache on the solve serial, so the cache
-            # still collapses the phases of one solve but is never trusted
-            # across solves.
             cache = self._local_cache
-            if generation is None:
-                generation = ("solve", self._solve_serial)
+            versions = None
+            generation = ("solve", self._solve_serial)
+        key = _shape_key(problem)
+        if versions is not None:
+            entry = cache.by_shape.get(key)
+            if entry is not None and entry.versions is not None:
+                cache.by_shape.move_to_end(key)
+                if entry.versions == versions:
+                    self.cache_hits += 1
+                    return entry.feasible
+                self.cache_refreshes += 1
+                return self._refresh_entry(problem, entry, versions)
+            self.cache_misses += 1
+            sigs = self._depth_signatures(problem)
+            sig_ok = {sig: self._sig_phys_ok(sig) for sig in set(sigs[1:])}
+            feasible = self._feasible_from_sigs(problem, sigs, sig_ok)
+            cache.by_shape[key] = _ShapeEntry(feasible, versions, sig_ok)
+            self._trim_shapes(cache)
+            return feasible
         if cache.generation != generation:
             cache.by_shape.clear()
             cache.generation = generation
-        key = self._problem_shape(problem)
-        cached = cache.by_shape.get(key)
-        if cached is not None:
+        entry = cache.by_shape.get(key)
+        if entry is not None:
             self.cache_hits += 1
-            return cached
+            cache.by_shape.move_to_end(key)
+            return entry.feasible
         self.cache_misses += 1
         feasible = self._compute_static_feasible(problem)
-        cache.by_shape[key] = feasible
+        cache.by_shape[key] = _ShapeEntry(feasible)
+        self._trim_shapes(cache)
         return feasible
 
-    def _compute_static_feasible(self, problem: AllocationProblem) -> list[list[int]]:
-        domain = self.spec.num_logic_rpbs
-        length = problem.num_depths
-        mids_at_depth: dict[int, list[str]] = {}
-        for mid, depths in problem.memory_depths.items():
-            for d in depths:
-                mids_at_depth.setdefault(d, []).append(mid)
-        feasible: list[list[int]] = [[] for _ in range(length + 1)]
-        for depth in range(1, length + 1):
-            te = problem.te_req.get(depth, 0)
-            forwarding = depth in problem.forwarding_depths
-            mids = mids_at_depth.get(depth, [])
-            sizes = [problem.memory_sizes[mid] for mid in mids]
-            for value in range(depth, domain - (length - depth) + 1):
-                if forwarding and not self.spec.is_ingress(value):
-                    continue
-                phys = self.spec.physical_rpb(value)
+    @staticmethod
+    def _trim_shapes(cache: _FeasibleCache) -> None:
+        while len(cache.by_shape) > FEASIBLE_SHAPE_CAP:
+            cache.by_shape.popitem(last=False)
+
+    def _refresh_entry(
+        self, problem: AllocationProblem, entry: _ShapeEntry, versions: tuple
+    ) -> list[list[int]]:
+        """Delta refresh: re-evaluate only physical RPBs whose version
+        moved; rebuild the per-depth lists only if a bit actually flipped
+        (the common allocate path leaves plenty of slack, so most deltas
+        change no feasibility bit and the lists are reused as-is)."""
+        old = entry.versions
+        changed = [
+            phys
+            for phys in range(1, self.spec.num_rpbs + 1)
+            if old[phys] != versions[phys]
+        ]
+        dirty = False
+        for sig, ok in entry.sig_ok.items():
+            te, sizes = sig
+            sizes_list = list(sizes)
+            for phys in changed:
+                new_ok = True
                 if te and te > self.view.free_entries(phys):
-                    continue
-                if sizes and not self.view.can_allocate_memory(phys, sizes):
-                    continue
-                feasible[depth].append(value)
-        return feasible
+                    new_ok = False
+                elif sizes_list and not self.view.can_allocate_memory(phys, sizes_list):
+                    new_ok = False
+                if ok[phys] != new_ok:
+                    ok[phys] = new_ok
+                    dirty = True
+        entry.versions = versions
+        if dirty:
+            sigs = self._depth_signatures(problem)
+            entry.feasible = self._feasible_from_sigs(problem, sigs, entry.sig_ok)
+        return entry.feasible
+
+    def _compute_static_feasible(self, problem: AllocationProblem) -> list[list[int]]:
+        sigs = self._depth_signatures(problem)
+        sig_ok = {sig: self._sig_phys_ok(sig) for sig in set(sigs[1:])}
+        return self._feasible_from_sigs(problem, sigs, sig_ok)
 
     def _window_feasible(
         self,
@@ -469,8 +854,6 @@ class AllocationSolver:
     ) -> bool:
         """Cheap per-pair precheck: every depth's value window must contain
         at least one statically feasible logic RPB."""
-        import bisect
-
         length = problem.num_depths
         if feasible is None:
             feasible = self._static_feasible_values(problem)
@@ -486,7 +869,8 @@ class AllocationSolver:
     def _pair_windows_feasible(self, problem: AllocationProblem, x1: int, xl: int) -> bool:
         """Endpoint pre-check for sequential same-memory pairs: for each
         (i, j), some ``x_i`` in depth i's window must admit an ``x_j`` at
-        ``x_i + M*k`` inside depth j's window (== ``xl`` when j is last)."""
+        ``x_i + M*k`` inside depth j's window (== ``xl`` when j is last).
+        Occupancy-independent: depends only on the problem and the spec."""
         period = self.spec.num_rpbs
         length = problem.num_depths
         max_k = self.spec.num_logic_rpbs // period
@@ -539,17 +923,37 @@ class AllocationSolver:
         feasible: list[list[int]] | None = None,
     ):
         """Search for a feasible x with fixed endpoints; returns (x, placement)."""
+        solution, _reason = self._try_pair(problem, x1, xl, feasible)
+        return solution
+
+    def _try_pair(
+        self,
+        problem: AllocationProblem,
+        x1: int,
+        xl: int,
+        feasible: list[list[int]] | None = None,
+        max_x: list[int] | None = None,
+    ):
+        """One endpoint pair's full decision: ``(solution, reason)``.
+
+        ``solution`` is ``(x, placement)`` or ``None``; the rejection
+        ``reason`` classifies what replay must re-verify: ``"window"`` and
+        ``"dfs"`` depend on occupancy, ``"chain"`` and ``"bounds"`` only on
+        the problem shape and the spec."""
+        if feasible is None:
+            feasible = self._static_feasible_values(problem)
         if not self._window_feasible(problem, x1, xl, feasible):
-            return None
+            return None, "window"
         if problem.sequential_pairs and not self._pair_windows_feasible(
             problem, x1, xl
         ):
-            return None
+            return None, "chain"
         length = problem.num_depths
-        state = _SearchState(self.spec, self.view, problem)
-        max_x = self._max_positions(problem)
+        if max_x is None:
+            max_x = self._max_positions(problem)
         if any(x1 + d - 1 > max_x[d - 1] for d in range(1, length + 1)):
-            return None
+            return None, "bounds"
+        state = _SearchState(self.spec, self.view, problem)
         x = [0] * length
         pair_budget = [self.MAX_NODES_PER_PAIR]
 
@@ -586,10 +990,10 @@ class AllocationSolver:
 
         try:
             if dfs(1):
-                return list(x), dict(state.mid_phys)
+                return (list(x), dict(state.mid_phys)), "win"
         except _PairBudgetExceeded:
-            return None
-        return None
+            return None, "dfs"
+        return None, "dfs"
 
     def _placement_for(self, problem: AllocationProblem, x: list[int]) -> dict[str, int]:
         placement: dict[str, int] = {}

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclasses_field
 
+from ..compiler.alloc_cache import DeployCache
 from ..compiler.compiler import (
     CompileOptions,
     CompiledProgram,
+    allocate_program,
     compile_program,
     parse_and_check,
 )
@@ -47,6 +49,9 @@ class DeployStats:
     #: running programs whose filters overlap this one's (first-match
     #: ownership applies; see repro.controlplane.overlap)
     overlap_warnings: list = dataclasses_field(default_factory=list)
+    #: the allocation came from the deploy cache (trace rebind) rather
+    #: than a fresh branch-and-bound solve
+    cache_hit: bool = False
 
     @property
     def total_ms(self) -> float:
@@ -60,6 +65,27 @@ class DeployedProgram:
     program_id: int
     name: str
     stats: DeployStats
+
+
+@dataclass
+class PreparedDeploy:
+    """The solve half of a deployment: compiled, admitted, not installed.
+
+    Produced by :meth:`Controller.prepare_deploy`; resources (memory
+    bases, table-entry reservations, the program id) are already reserved,
+    so another tenant's solve can proceed concurrently while this one's
+    entries stream to the data plane via :meth:`Controller.install_steps`.
+    """
+
+    compiled: CompiledProgram
+    record: "ProgramRecord"
+    overlap_warnings: list
+    #: set when install_steps completes
+    result: DeployedProgram | None = None
+
+    @property
+    def program_id(self) -> int:
+        return self.record.program_id
 
 
 class Controller:
@@ -77,6 +103,10 @@ class Controller:
         self.manager = ResourceManager(self.spec)
         self.clock = clock or SimClock()
         self.updater = UpdateEngine(binding or NullBinding(), self.clock, timing)
+        #: the deploy fast path (front-end + allocation-shape caches);
+        #: set ``deploy_cache.enabled = False`` to force reference-path
+        #: behavior (every deploy re-parses and re-solves from scratch)
+        self.deploy_cache = DeployCache()
         from .incremental import IncrementalUpdater
 
         self.incremental = IncrementalUpdater(self.manager, self.updater)
@@ -125,31 +155,86 @@ class Controller:
     def compile(
         self, source: str, *, program_name: str | None = None, options: CompileOptions | None = None
     ) -> CompiledProgram:
-        """Compile against current resource state without deploying."""
+        """Compile against current resource state without deploying.
+
+        Routes through the deploy cache: a previously seen (source,
+        options) pair skips the parser and translator, and a previously
+        solved allocation *shape* skips the branch-and-bound solve when
+        its trace replays cleanly against current occupancy (the
+        resulting allocation is identical to a fresh solve either way).
+        """
         import time
 
-        t0 = time.perf_counter()
-        unit = parse_and_check(source)
-        parse_time = time.perf_counter() - t0
-        program = self._select(unit, program_name)
-        compiled = compile_program(
-            unit, program, spec=self.spec, view=self.manager, options=options
-        )
-        compiled.parse_time_s = parse_time
-        return compiled
+        options = options or CompileOptions()
+        from ..compiler.objectives import f1
 
-    def deploy(
+        objective = options.objective or f1()
+        cache = self.deploy_cache if self.deploy_cache.enabled else None
+        front_key = (
+            source,
+            program_name,
+            options.elastic_cases,
+            options.elastic_branch,
+        )
+        t0 = time.perf_counter()
+        front = cache.lookup_frontend(front_key) if cache is not None else None
+        if front is None:
+            unit = parse_and_check(source)
+            parse_time = time.perf_counter() - t0
+            program = self._select(unit, program_name)
+            t1 = time.perf_counter()
+            from ..compiler.allocation import build_problem
+            from ..compiler.translate import translate
+
+            translation = translate(
+                program,
+                elastic_branch=options.elastic_branch,
+                elastic_cases=options.elastic_cases,
+            )
+            problem = build_problem(unit, translation)
+            translate_time = time.perf_counter() - t1
+            if cache is not None:
+                cache.store_frontend(
+                    front_key, (unit, program, translation, problem)
+                )
+        else:
+            unit, program, translation, problem = front
+            parse_time = time.perf_counter() - t0
+            translate_time = 0.0
+        t2 = time.perf_counter()
+        allocation = allocate_program(
+            problem,
+            objective,
+            spec=self.spec,
+            view=self.manager,
+            max_nodes=options.max_solver_nodes,
+            direct_memory=options.direct_memory,
+            deploy_cache=cache,
+        )
+        allocate_time = time.perf_counter() - t2
+        return CompiledProgram(
+            unit=unit,
+            program=program,
+            translation=translation,
+            problem=problem,
+            allocation=allocation,
+            parse_time_s=parse_time,
+            translate_time_s=translate_time,
+            allocate_time_s=allocate_time,
+            direct_memory=options.direct_memory,
+        )
+
+    def prepare_deploy(
         self,
         source: str | CompiledProgram,
         *,
         program_name: str | None = None,
         options: CompileOptions | None = None,
-    ) -> DeployedProgram:
-        """Compile (if needed), allocate, and consistently install a program.
-
-        Raises :class:`~repro.lang.errors.AllocationError` when the data
-        plane cannot host the program; nothing is modified in that case.
-        """
+    ) -> PreparedDeploy:
+        """The solve half of :meth:`deploy`: compile (if needed), check
+        overlaps, and admit — reserving memory and entries — without
+        touching the data plane.  Follow with :meth:`install_steps` (or
+        :meth:`deploy`, which does both)."""
         if isinstance(source, CompiledProgram):
             compiled = source
         else:
@@ -160,8 +245,29 @@ class Controller:
             self.manager.programs(), compiled.name, compiled.program.filters
         )
         record = self.manager.admit(compiled)
+        return PreparedDeploy(compiled, record, warnings)
+
+    def install_steps(self, prepared: PreparedDeploy):
+        """The install half of :meth:`deploy`, as a generator.
+
+        Yields after each grouped southbound update so an async caller
+        (the service) can overlap another tenant's solve with this
+        tenant's entry writes.  On any failure the admission is aborted —
+        the manager state is byte-identical to before
+        :meth:`prepare_deploy` — before the error propagates.  When the
+        generator is exhausted, ``prepared.result`` holds the
+        :class:`DeployedProgram` handle.
+        """
+        record, compiled = prepared.record, prepared.compiled
+        steps = self.updater.install_steps(record)
         try:
-            report = self.updater.install(record)
+            while True:
+                try:
+                    step = next(steps)
+                except StopIteration as stop:
+                    report = stop.value
+                    break
+                yield step
         except Exception:
             # The update engine already rolled back every installed entry;
             # release the admission's reservations and memory too.
@@ -176,9 +282,30 @@ class Controller:
             update_ms=report.update_delay_ms,
             entries=report.entries,
             logic_rpbs=list(compiled.allocation.x),
-            overlap_warnings=warnings,
+            overlap_warnings=prepared.overlap_warnings,
+            cache_hit=compiled.allocation.rebound,
         )
-        return DeployedProgram(record.program_id, compiled.name, stats)
+        prepared.result = DeployedProgram(record.program_id, compiled.name, stats)
+
+    def deploy(
+        self,
+        source: str | CompiledProgram,
+        *,
+        program_name: str | None = None,
+        options: CompileOptions | None = None,
+    ) -> DeployedProgram:
+        """Compile (if needed), allocate, and consistently install a program.
+
+        Raises :class:`~repro.lang.errors.AllocationError` when the data
+        plane cannot host the program; nothing is modified in that case.
+        """
+        prepared = self.prepare_deploy(
+            source, program_name=program_name, options=options
+        )
+        for _ in self.install_steps(prepared):
+            pass
+        assert prepared.result is not None
+        return prepared.result
 
     def revoke(self, handle: DeployedProgram | int) -> float:
         """Consistently remove a program; returns the update delay in ms."""
@@ -195,6 +322,12 @@ class Controller:
         self.incremental.drop_program(program_id)
         report = self.updater.remove(record)
         self.manager.finish_removal(record)
+        # Drop the revoked shape's static-feasibility line from the shared
+        # solver cache: a churning service otherwise pins one line per
+        # shape it ever hosted, and the line would be version-stale anyway.
+        from ..compiler.solver import evict_problem_shape
+
+        evict_problem_shape(self.manager, record.compiled.problem)
         return report.update_delay_ms
 
     # -- incremental updates (paper §7 future work) ---------------------------

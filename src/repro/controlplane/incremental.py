@@ -245,11 +245,13 @@ class IncrementalUpdater:
                 )
         for table, count in per_table.items():
             self.manager._entries_reserved[table] += count
+            self.manager._touch_table(table)
         handle.tables_reserved = per_table
 
     def _release(self, handle: CaseHandle) -> None:
         for table, count in handle.tables_reserved.items():
             self.manager._entries_reserved[table] -= count
+            self.manager._touch_table(table)
         handle.tables_reserved = {}
 
     def _rollback(self, handle: CaseHandle) -> None:

@@ -104,6 +104,14 @@ class ResourceManager:
         #: aborts, removals); caches derived from this view — notably the
         #: allocation solver's static-feasibility sets — key on it
         self.generation = 0
+        #: per-physical-RPB version counters (index 0 unused); bumped only
+        #: when *that* RPB's availability changes, so solver caches can
+        #: refresh incrementally instead of discarding everything on every
+        #: ``generation`` bump
+        self._phys_version: list[int] = [0] * (self.spec.num_rpbs + 1)
+        self._table_phys: dict[str, int] = {
+            dp.rpb_table(phys): phys for phys in range(1, self.spec.num_rpbs + 1)
+        }
 
     # -- ResourceView protocol -----------------------------------------------------
     def free_entries(self, phys_rpb: int) -> int:
@@ -116,6 +124,29 @@ class ResourceManager:
     def can_allocate_memory_direct(self, phys_rpb: int, sizes: list[int]) -> bool:
         """Fragmented feasibility (direct mapping, paper §7)."""
         return self._freelists[phys_rpb].can_allocate_all_fragmented(sizes)
+
+    def phys_versions(self) -> tuple[int, ...]:
+        """Per-physical-RPB availability version counters (index 0 unused).
+
+        Equality of two snapshots at one index means that RPB's free
+        entries and free memory runs are unchanged between them — the
+        contract the solver's incremental feasibility refresh relies on.
+        """
+        return tuple(self._phys_version)
+
+    def touch_phys(self, phys_rpb: int) -> None:
+        """Record that a physical RPB's availability changed.
+
+        Exposed (rather than private) because elastic in-place updates
+        (:mod:`..controlplane.incremental`) adjust entry reservations
+        directly and must invalidate the solver's per-RPB feasibility.
+        """
+        self._phys_version[phys_rpb] += 1
+
+    def _touch_table(self, table: str) -> None:
+        phys = self._table_phys.get(table)
+        if phys is not None:
+            self._phys_version[phys] += 1
 
     # -- program lifecycle -----------------------------------------------------------
     def admit(self, compiled: CompiledProgram) -> ProgramRecord:
@@ -160,6 +191,9 @@ class ResourceManager:
                 )
         for table, count in per_table.items():
             self._entries_reserved[table] += count
+            self._touch_table(table)
+        for alloc in memory.values():
+            self.touch_phys(alloc.phys_rpb)
         record = ProgramRecord(compiled.name, program_id, compiled, batch, memory)
         self._programs[program_id] = record
         self.generation += 1
@@ -176,9 +210,11 @@ class ResourceManager:
             per_table[entry.table] = per_table.get(entry.table, 0) + 1
         for table, count in per_table.items():
             self._entries_reserved[table] -= count
+            self._touch_table(table)
         for alloc in record.memory.values():
             for phys_base, _fsize in alloc.fragments:
                 self._freelists[alloc.phys_rpb].free(phys_base)
+            self.touch_phys(alloc.phys_rpb)
         record.state = ProgramState.REMOVED
         del self._programs[record.program_id]
         self.generation += 1
@@ -197,10 +233,12 @@ class ResourceManager:
     def finish_removal(self, record: ProgramRecord) -> None:
         for table, _handle in record.installed_handles:
             self._entries_reserved[table] -= 1
+            self._touch_table(table)
         record.installed_handles.clear()
         for alloc in record.memory.values():
             for phys_base, _fsize in alloc.fragments:
                 self._freelists[alloc.phys_rpb].unlock_and_free(phys_base)
+            self.touch_phys(alloc.phys_rpb)
         record.state = ProgramState.REMOVED
         del self._programs[record.program_id]
         self.generation += 1

@@ -23,18 +23,27 @@ from ..lang.ast import Filter
 from ..rmt import fields as field_registry
 
 
-def filters_overlap(first: list[Filter], second: list[Filter]) -> bool:
-    """Whether some packet can match both filter conjunctions."""
-    for a in first:
-        for b in second:
-            if field_registry.canonical_name(a.field) != field_registry.canonical_name(
-                b.field
-            ):
+def _canonical(filters: list[Filter]) -> list[tuple[str, int, int]]:
+    """Pre-resolve field aliases: (canonical name, value, mask) triples."""
+    return [
+        (field_registry.canonical_name(f.field), f.value, f.mask) for f in filters
+    ]
+
+
+def _canon_overlap(first, second) -> bool:
+    for name_a, val_a, mask_a in first:
+        for name_b, val_b, mask_b in second:
+            if name_a != name_b:
                 continue
-            common = a.mask & b.mask
-            if (a.value & common) != (b.value & common):
+            common = mask_a & mask_b
+            if (val_a & common) != (val_b & common):
                 return False  # provably disjoint on this field
     return True
+
+
+def filters_overlap(first: list[Filter], second: list[Filter]) -> bool:
+    """Whether some packet can match both filter conjunctions."""
+    return _canon_overlap(_canonical(first), _canonical(second))
 
 
 @dataclass(frozen=True)
@@ -56,10 +65,19 @@ class OverlapWarning:
 
 def detect_overlaps(records, new_name: str, new_filters: list[Filter]):
     """Warnings for every running program whose filters overlap the new
-    program's (``records`` = the resource manager's program records)."""
+    program's (``records`` = the resource manager's program records).
+
+    Each record's canonicalized filter set is memoized on the record —
+    filters are immutable after parsing, and with many resident programs
+    this check runs once per deploy against every one of them."""
+    new_canon = _canonical(new_filters)
     warnings = []
     for record in records:
-        if filters_overlap(record.compiled.program.filters, new_filters):
+        canon = getattr(record, "_canon_filters", None)
+        if canon is None:
+            canon = _canonical(record.compiled.program.filters)
+            record._canon_filters = canon
+        if _canon_overlap(canon, new_canon):
             warnings.append(
                 OverlapWarning(record.program_id, record.name, new_name)
             )

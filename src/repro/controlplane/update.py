@@ -26,7 +26,14 @@ from .timing import SimClock, UpdateTimingModel
 
 
 class DataPlaneBinding(Protocol):
-    """The southbound interface (bfrt_grpc stand-in)."""
+    """The southbound interface (bfrt_grpc stand-in).
+
+    Bindings may additionally implement ``insert_entries(entries) ->
+    list[int]`` — a *group-atomic* batched insert (all entries land or
+    none do; on failure the binding rolls back its own partial group
+    before raising).  The update engine feature-detects it and falls back
+    to per-entry ``insert_entry`` calls otherwise.
+    """
 
     def insert_entry(self, entry: EntryConfig) -> int:
         """Install one entry atomically; returns a handle."""
@@ -97,6 +104,13 @@ class NullBinding:
         self._next += 1
         return handle
 
+    def insert_entries(self, entries: list[EntryConfig]) -> list[int]:
+        # Group-atomic trivially (inserts hold no state to roll back);
+        # routed through insert_entry so the fault plan counts every
+        # entry and subclass overrides observe the same call sequence as
+        # the per-entry path.
+        return [self.insert_entry(entry) for entry in entries]
+
     def delete_entry(self, table: str, handle: int) -> None:
         self._check("delete")
 
@@ -116,6 +130,27 @@ class FaultInjectingBinding:
     def insert_entry(self, entry: EntryConfig) -> int:
         self.fault_plan.check("insert")
         return self.inner.insert_entry(entry)
+
+    def insert_entries(self, entries: list[EntryConfig]) -> list[int]:
+        """Group-atomic batched insert under the fault schedule.
+
+        Defined explicitly (not left to ``__getattr__``) so grouped
+        installs cannot silently bypass the plan via the inner binding.
+        Each entry counts as one "insert"; a fault mid-group rolls back
+        the group's partial inserts through the *inner* binding — the
+        schedule must not be able to wedge its own rollback.
+        """
+        handles: list[int] = []
+        for entry in entries:
+            try:
+                self.fault_plan.check("insert")
+                handle = self.inner.insert_entry(entry)
+            except Exception:
+                for done, h in reversed(list(zip(entries, handles))):
+                    self.inner.delete_entry(done.table, h)
+                raise
+            handles.append(handle)
+        return handles
 
     def delete_entry(self, table: str, handle: int) -> None:
         self.fault_plan.check("delete")
@@ -151,6 +186,9 @@ class UpdateEngine:
         self.clock = clock or SimClock()
         self.timing = timing or UpdateTimingModel()
 
+    #: entries per grouped southbound update (RBFRT-style batched writes)
+    GROUP_SIZE = 256
+
     def install(self, record: ProgramRecord) -> UpdateReport:
         """Install a program's batch; init entry last (Fig. 6 add order).
 
@@ -160,19 +198,76 @@ class UpdateEngine:
         entry is always last), so rollback restores the exact pre-install
         state.
         """
-        entries = record.batch.install_order()
-        for entry in entries:
+        steps = self.install_steps(record)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def install_steps(self, record: ProgramRecord):
+        """Grouped install as a generator: yields the cumulative entry
+        count after each southbound group lands, and returns the
+        :class:`UpdateReport` on completion.
+
+        Groups preserve the Fig. 6 add order — body and recirculation
+        entries stream first in :data:`GROUP_SIZE` chunks, and the init
+        entries (which activate the program) always form the *final*
+        group — so every intermediate state between yields is invisible
+        to traffic, and an async caller can interleave other control
+        work (e.g. another tenant's solve) between groups.
+        """
+        batch = record.batch
+        components = [*batch.body_entries, *batch.recirc_entries]
+        groups = [
+            components[i : i + self.GROUP_SIZE]
+            for i in range(0, len(components), self.GROUP_SIZE)
+        ]
+        if batch.init_entries:
+            groups.append(list(batch.init_entries))
+        total = 0
+        for group in groups:
+            self._insert_group(record, group)
+            total += len(group)
+            yield total
+        delay_ms = self.timing.install_delay_ms(total)
+        self.clock.advance_ms(delay_ms)
+        return UpdateReport(record.name, total, delay_ms)
+
+    def _insert_group(self, record: ProgramRecord, group: list[EntryConfig]) -> None:
+        """Install one group; on failure, roll back *everything* installed
+        for this record (earlier groups included) and re-raise."""
+        # Feature-detect on the binding's CLASS: a wrapper that overrides
+        # only insert_entry but delegates unknown attributes (__getattr__)
+        # must not have its per-entry behavior silently bypassed by the
+        # inner binding's batched implementation.
+        insert_many = None
+        if getattr(type(self.binding), "insert_entries", None) is not None:
+            insert_many = self.binding.insert_entries
+        if callable(insert_many):
+            try:
+                handles = insert_many(group)
+            except Exception:
+                # Group-atomic contract: the binding already undid this
+                # group's partial inserts; undo the earlier groups here.
+                self._rollback_installed(record)
+                raise
+            record.installed_handles.extend(
+                (entry.table, handle) for entry, handle in zip(group, handles)
+            )
+            return
+        for entry in group:
             try:
                 handle = self.binding.insert_entry(entry)
             except Exception:
-                for table, installed in reversed(record.installed_handles):
-                    self.binding.delete_entry(table, installed)
-                record.installed_handles.clear()
+                self._rollback_installed(record)
                 raise
             record.installed_handles.append((entry.table, handle))
-        delay_ms = self.timing.install_delay_ms(len(entries))
-        self.clock.advance_ms(delay_ms)
-        return UpdateReport(record.name, len(entries), delay_ms)
+
+    def _rollback_installed(self, record: ProgramRecord) -> None:
+        for table, installed in reversed(record.installed_handles):
+            self.binding.delete_entry(table, installed)
+        record.installed_handles.clear()
 
     def remove(self, record: ProgramRecord) -> UpdateReport:
         """Remove a program: init first, then components, then memory reset."""

@@ -151,6 +151,19 @@ class P4runproDataPlane:
         self._emit("insert_entry", table=entry.table, action=entry.action, handle=handle)
         return handle
 
+    def insert_entries(self, entries: list[EntryConfig]) -> list[int]:
+        """Group-atomic batched insert: all entries land or none do (a
+        failure rolls the partial prefix back before propagating)."""
+        handles: list[int] = []
+        try:
+            for entry in entries:
+                handles.append(self.insert_entry(entry))
+        except Exception:
+            for done, handle in reversed(list(zip(entries, handles))):
+                self.delete_entry(done.table, handle)
+            raise
+        return handles
+
     def delete_entry(self, table: str, handle: int) -> None:
         self._table(table).delete(handle)
         self._emit("delete_entry", table=table, handle=handle)

@@ -127,6 +127,25 @@ class FanoutBinding:
                 self.engine._note_program(program_id)
         return handle
 
+    def insert_entries(self, entries: list[EntryConfig]) -> list[int]:
+        """Group-atomic batched insert, fanned out as ONE pipelined frame.
+
+        The local replica applies the whole group first (rolling back on
+        failure, so nothing is ever broadcast for a failed group); the
+        shards then receive a single ``insert_many`` command instead of
+        one frame per entry — the RBFRT-style batching that makes grouped
+        installs cheap at fan-out degree N.
+        """
+        handles = self.local.insert_entries(list(entries))
+        self.engine._broadcast(("insert_many", tuple(zip(handles, entries))))
+        for entry, handle in zip(entries, handles):
+            if entry.table == dp.INIT_TABLE and entry.action == dp.ACTION_SET_PROGRAM:
+                program_id = entry.data().get("program_id")
+                if program_id is not None:
+                    self._init_handles[handle] = program_id
+                    self.engine._note_program(program_id)
+        return handles
+
     def delete_entry(self, table: str, handle: int) -> None:
         self.local.delete_entry(table, handle)
         self.engine._broadcast(("delete", table, handle))

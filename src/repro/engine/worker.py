@@ -42,6 +42,10 @@ def _apply_ctl(dataplane, handle_map: dict, op: tuple) -> None:
     if kind == "insert":
         _kind, coord_handle, entry = op
         handle_map[coord_handle] = dataplane.insert_entry(entry)
+    elif kind == "insert_many":
+        _kind, pairs = op
+        for coord_handle, entry in pairs:
+            handle_map[coord_handle] = dataplane.insert_entry(entry)
     elif kind == "delete":
         _kind, table, coord_handle = op
         dataplane.delete_entry(table, handle_map.pop(coord_handle))

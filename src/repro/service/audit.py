@@ -28,8 +28,12 @@ import time
 from dataclasses import dataclass, field
 
 #: Methods whose successful execution mutates switch / manager state.
+#: ``abort_deploy`` is synthetic — never a client RPC: the service appends
+#: it when a pipelined install fails after admission, so replay re-enacts
+#: the admit and the abort at their exact positions in the mutation order
+#: (skipping them would shift every later first-fit memory base).
 STATE_CHANGING_METHODS = frozenset(
-    {"deploy", "revoke", "add_case", "remove_case", "write_mem"}
+    {"deploy", "revoke", "add_case", "remove_case", "write_mem", "abort_deploy"}
 )
 
 
@@ -165,14 +169,41 @@ def replay(records, controller=None):
         controller = Controller.with_simulator()[0]
     # wire case ids -> live CaseHandle objects minted during this replay
     cases: dict[int, object] = {}
+    # admitted-but-later-aborted deploys awaiting their abort_deploy record
+    pending_aborts: dict[int, object] = {}
     for record in records:
         if isinstance(record, dict):
             record = AuditRecord.from_dict(record)
-        if not record.ok or record.method not in STATE_CHANGING_METHODS:
+        # A failed deploy whose result carries a program_id was *admitted*
+        # before its install failed (pipelined path): its resource
+        # reservations influenced every admission until the matching
+        # abort_deploy record, so replay must re-enact both.
+        admitted_failed_deploy = (
+            record.method == "deploy"
+            and not record.ok
+            and "program_id" in record.result
+        )
+        if (
+            not record.ok and not admitted_failed_deploy
+        ) or record.method not in STATE_CHANGING_METHODS:
             continue
         params = record.params
         if record.method == "deploy":
             controller.manager.seed_program_id(record.result["program_id"])
+            if admitted_failed_deploy:
+                prepared = controller.prepare_deploy(
+                    params["source"],
+                    program_name=params.get("program"),
+                    options=compile_options_from_params(params),
+                )
+                if prepared.program_id != record.result["program_id"]:
+                    raise RuntimeError(
+                        f"replay divergence at seq {record.seq}: admitted as "
+                        f"#{prepared.program_id}, log says "
+                        f"#{record.result['program_id']}"
+                    )
+                pending_aborts[prepared.program_id] = prepared
+                continue
             handle = controller.deploy(
                 params["source"],
                 program_name=params.get("program"),
@@ -183,6 +214,14 @@ def replay(records, controller=None):
                     f"replay divergence at seq {record.seq}: deployed as "
                     f"#{handle.program_id}, log says #{record.result['program_id']}"
                 )
+        elif record.method == "abort_deploy":
+            prepared = pending_aborts.pop(params["program_id"], None)
+            if prepared is None:
+                raise RuntimeError(
+                    f"replay divergence at seq {record.seq}: abort for unknown "
+                    f"admission #{params['program_id']}"
+                )
+            controller.manager.abort_admission(prepared.record)
         elif record.method == "revoke":
             controller.revoke(params["program_id"])
         elif record.method == "add_case":

@@ -104,6 +104,42 @@ class RetryingBinding:
     def insert_entry(self, entry) -> int:
         return self._call(self.inner.insert_entry, entry)
 
+    def insert_entries(self, entries) -> list[int]:
+        """Grouped insert with a per-entry retry budget.
+
+        When the inner binding offers a group-atomic ``insert_entries``
+        (the engine's pipelined fan-out frames), the whole group goes
+        through it first — one southbound call instead of N.  If that
+        single attempt fails transiently, the inner contract guarantees
+        nothing from the group is installed, so the redo degrades to the
+        per-entry path, where each entry retries independently (retrying
+        the *group* would re-count every entry against a deterministic
+        fault schedule and never converge).  A non-transient or exhausted
+        failure rolls back this group's partial inserts before
+        propagating, preserving the group-atomic contract upward.
+        """
+        # Class-level detection: never reach through an inner wrapper's
+        # __getattr__ delegation (that would bypass its per-entry hooks).
+        inner_many = None
+        if getattr(type(self.inner), "insert_entries", None) is not None:
+            inner_many = self.inner.insert_entries
+        if callable(inner_many):
+            self.stats.attempts += 1
+            try:
+                return inner_many(entries)
+            except self.policy.transient as exc:
+                self.stats.last_error = f"{type(exc).__name__}: {exc}"
+                self.stats.retries += 1
+        handles: list[int] = []
+        for entry in entries:
+            try:
+                handles.append(self._call(self.inner.insert_entry, entry))
+            except Exception:
+                for done, handle in reversed(list(zip(entries, handles))):
+                    self._call(self.inner.delete_entry, done.table, handle)
+                raise
+        return handles
+
     def delete_entry(self, table: str, handle: int) -> None:
         self._call(self.inner.delete_entry, table, handle)
 

@@ -34,7 +34,7 @@ import asyncio
 import time
 
 from ..controlplane.controller import Controller
-from ..controlplane.manager import ProgramNotFoundError
+from ..controlplane.manager import ProgramNotFoundError, ProgramState
 from ..lang.errors import AllocationError, P4runproError
 from .audit import STATE_CHANGING_METHODS, AuditLog, compile_options_from_params
 from .metrics import MetricsRegistry
@@ -57,7 +57,8 @@ from .tenants import TenantQuota, TenantRegistry
 #: counters, so it must not interleave with a deploy's entry updates —
 #: but it is deliberately *not* in STATE_CHANGING_METHODS, so audit
 #: replay skips it (replay restores control-plane state, not traffic).
-WRITE_METHODS = STATE_CHANGING_METHODS | {"set_quota", "inject"}
+#: ``abort_deploy`` is a synthetic audit-only record, never a client RPC.
+WRITE_METHODS = (STATE_CHANGING_METHODS - {"abort_deploy"}) | {"set_quota", "inject"}
 
 #: Methods served without queueing.
 READ_METHODS = frozenset(
@@ -156,6 +157,7 @@ class ControlService:
         audit: AuditLog | None = None,
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
+        pipelined_install: bool = True,
     ):
         if engine is not None:
             # Sharded mode: the engine's coordinator controller is the
@@ -185,9 +187,13 @@ class ControlService:
         self.metrics = metrics or MetricsRegistry()
         self.clock = clock
         self.draining = False
+        #: overlap tenant A's entry installation with tenant B's solve
+        #: (False restores the fully serialized reference path)
+        self.pipelined_install = pipelined_install
         import weakref
 
         self._write_locks = weakref.WeakKeyDictionary()
+        self._install_locks = weakref.WeakKeyDictionary()
         self._cases: dict[tuple[str, int], tuple[int, object]] = {}
         self._next_case_id = 1
 
@@ -201,6 +207,19 @@ class ControlService:
         if lock is None:
             lock = asyncio.Lock()
             self._write_locks[loop] = lock
+        return lock
+
+    def _install_lock(self) -> asyncio.Lock:
+        # The install half of pipelined deploys serializes on its own
+        # lock: tenant B's solve (under the admission lock) overlaps
+        # tenant A's entry writes.  asyncio.Lock wakes waiters FIFO, so
+        # install order always equals admission order — which keeps the
+        # audit journal's order equal to the southbound mutation order.
+        loop = asyncio.get_running_loop()
+        lock = self._install_locks.get(loop)
+        if lock is None:
+            lock = asyncio.Lock()
+            self._install_locks[loop] = lock
         return lock
 
     async def handle_frame(self, line: bytes) -> dict:
@@ -239,6 +258,8 @@ class ControlService:
         return ok_response(request.id, result)
 
     async def _execute_write(self, request: Request, arrival: float) -> dict:
+        if request.method == "deploy" and self.pipelined_install:
+            return await self._execute_deploy_pipelined(request, arrival)
         async with self._lock():
             admitted = self.clock()
             queue_ms = (admitted - arrival) * 1e3
@@ -322,10 +343,13 @@ class ControlService:
 
     # -- shutdown ---------------------------------------------------------------
     async def drain(self) -> None:
-        """Refuse new writes, then wait for the in-flight one to finish."""
+        """Refuse new writes, then wait for in-flight work to finish —
+        both the admitted write and any pipelined install still landing
+        entries (acquiring both locks guarantees quiescence)."""
         self.draining = True
         async with self._lock():
-            pass
+            async with self._install_lock():
+                pass
 
     # -- param plumbing ---------------------------------------------------------
     @staticmethod
@@ -341,8 +365,140 @@ class ControlService:
         self.tenants.get(tenant_name).require(program_id)
         return program_id
 
+    def _require_running(self, program_id: int) -> None:
+        # With pipelined installs a program is visible (charged, id
+        # minted) before its entries finish landing; mutating it mid-
+        # install would race the southbound stream.
+        record = self.controller.manager.get(program_id)
+        if record.state is ProgramState.INSTALLING:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"program {program_id} is still installing; retry shortly",
+            )
+
+    # -- the pipelined deploy fast path ------------------------------------------
+    async def _execute_deploy_pipelined(self, request: Request, arrival: float) -> dict:
+        """Deploy split into solve and install halves (deploy fast path).
+
+        The solve half — compile, quota checks, admission, tenant charge —
+        runs under the admission lock and appends the deploy's audit
+        record *at admission time* (outcome ``installing``), because the
+        audit order must equal the manager-mutation order for replay to
+        reproduce first-fit memory bases byte-for-byte.  The install half
+        streams grouped entry updates under a separate FIFO lock, handing
+        the event loop back between groups so another tenant's solve can
+        run concurrently.  A failed install aborts the admission and
+        appends a synthetic ``abort_deploy`` record at the abort's
+        position in the mutation order, keeping replay exact even across
+        failures.
+        """
+        async with self._lock():
+            admitted = self.clock()
+            queue_ms = (admitted - arrival) * 1e3
+            try:
+                if self.draining:
+                    raise ServiceError(
+                        ErrorCode.SHUTTING_DOWN, "service is draining; write refused"
+                    )
+                self._check_deadline(request, arrival)
+                prepared, tenant = self._deploy_prepare(request.tenant, request.params)
+            except ServiceError as exc:
+                self._audit(request, f"error:{exc.code.value}", {}, queue_ms, admitted)
+                raise
+            except Exception as exc:
+                error = self._map_error(request.method, exc)
+                self._audit(request, f"error:{error.code.value}", {}, queue_ms, admitted)
+                raise error from exc
+            record = self.audit.append(
+                request.tenant,
+                request.method,
+                request.params,
+                "installing",
+                {"program_id": prepared.program_id},
+                queue_ms=queue_ms,
+            )
+        try:
+            async with self._install_lock():
+                result = await self._install_chunks(prepared)
+        except Exception as exc:
+            # install_steps aborted the admission synchronously with the
+            # failure; release the charge and log the abort at its
+            # position in the mutation order (replay re-enacts both).
+            tenant.release(prepared.program_id)
+            self.audit.append(
+                request.tenant, "abort_deploy", {"program_id": prepared.program_id}, "ok"
+            )
+            error = self._map_error(request.method, exc)
+            record.outcome = f"error:{error.code.value}"
+            record.execute_ms = (self.clock() - admitted) * 1e3
+            if isinstance(exc, ServiceError):
+                raise
+            raise error from exc
+        record.outcome = "ok"
+        record.result = result
+        record.execute_ms = (self.clock() - admitted) * 1e3
+        self._observe(request.method, "ok", arrival)
+        return result
+
+    def _deploy_prepare(self, tenant_name: str, params: dict):
+        """Solve half of a deploy: everything that must see (and mutate) a
+        quiescent resource manager.  Caller holds the admission lock."""
+        from .tenants import TenantProgram
+
+        source = self._require(params, "source")
+        tenant = self.tenants.get(tenant_name)
+        # Program-count quota first: no compile time for a full namespace.
+        tenant.check_admission(entries=0, memory_buckets=0)
+        options = compile_options_from_params(params)
+        compiled = self.controller.compile(
+            source, program_name=params.get("program"), options=options
+        )
+        buckets = sum(size for _phys, size in compiled.memory_requests().values())
+        # Exact entry footprint without reserving anything: emission is pure,
+        # and the entry *count* does not depend on the real bases/id.
+        probe_bases = {
+            mid: (phys, [(0, 0, size)])
+            for mid, (phys, size) in compiled.memory_requests().items()
+        }
+        entries = len(compiled.emit_entries(self.controller.spec, 0, probe_bases))
+        tenant.check_admission(entries=entries, memory_buckets=buckets)
+        prepared = self.controller.prepare_deploy(compiled)
+        # Charge now, under the admission lock: a concurrently solving
+        # tenant must count this deployment against the quota even though
+        # its entries have not landed yet (released if the install fails).
+        tenant.charge(
+            TenantProgram(prepared.program_id, compiled.name, entries, buckets)
+        )
+        return prepared, tenant
+
+    async def _install_chunks(self, prepared) -> dict:
+        """Install half: drive the grouped southbound updates, yielding to
+        the event loop between groups.  Caller holds the install lock."""
+        for _installed in self.controller.install_steps(prepared):
+            await asyncio.sleep(0)
+        handle = prepared.result
+        return self._deploy_result(handle)
+
+    @staticmethod
+    def _deploy_result(handle) -> dict:
+        stats = handle.stats
+        return {
+            "program_id": handle.program_id,
+            "name": handle.name,
+            "entries": stats.entries,
+            "logic_rpbs": stats.logic_rpbs,
+            "parse_ms": stats.parse_ms,
+            "allocation_ms": stats.allocation_ms,
+            "update_ms": stats.update_ms,
+            "overlap_warnings": [str(w) for w in stats.overlap_warnings],
+            "cache_hit": stats.cache_hit,
+        }
+
     # -- state-changing RPCs ----------------------------------------------------
     def _rpc_deploy(self, tenant_name: str, params: dict) -> dict:
+        """Reference (fully serialized) deploy path, used when
+        ``pipelined_install`` is off: solve and install back-to-back under
+        the admission lock."""
         from .tenants import TenantProgram
 
         source = self._require(params, "source")
@@ -366,20 +522,11 @@ class ControlService:
         tenant.charge(
             TenantProgram(handle.program_id, handle.name, handle.stats.entries, buckets)
         )
-        stats = handle.stats
-        return {
-            "program_id": handle.program_id,
-            "name": handle.name,
-            "entries": stats.entries,
-            "logic_rpbs": stats.logic_rpbs,
-            "parse_ms": stats.parse_ms,
-            "allocation_ms": stats.allocation_ms,
-            "update_ms": stats.update_ms,
-            "overlap_warnings": [str(w) for w in stats.overlap_warnings],
-        }
+        return self._deploy_result(handle)
 
     def _rpc_revoke(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
+        self._require_running(program_id)
         delay_ms = self.controller.revoke(program_id)
         self.tenants.get(tenant_name).release(program_id)
         self._cases = {
@@ -391,6 +538,7 @@ class ControlService:
 
     def _rpc_add_case(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
+        self._require_running(program_id)
         conditions = [tuple(c) for c in self._require(params, "conditions")]
         case = self.controller.add_case(
             program_id,
@@ -406,6 +554,7 @@ class ControlService:
 
     def _rpc_remove_case(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
+        self._require_running(program_id)
         case_id = self._require(params, "case_id")
         entry = self._cases.get((tenant_name, case_id))
         if entry is None or entry[0] != program_id:
@@ -557,9 +706,15 @@ class ControlService:
         }
 
     def _rpc_metrics(self, tenant_name: str, params: dict) -> dict:
+        from ..compiler import solver
+
         snapshot = self.metrics.snapshot()
         snapshot["southbound_retries"] = self.retrying.stats.as_dict()
         snapshot["audit_records"] = len(self.audit)
+        snapshot["caches"] = {
+            "deploy_cache": self.controller.deploy_cache.stats(),
+            "solver": solver.cache_stats(),
+        }
         return snapshot
 
     def _rpc_audit(self, tenant_name: str, params: dict) -> dict:

@@ -1,0 +1,252 @@
+"""The relocatable allocation cache (deploy fast path, front half).
+
+Covers the content address (:func:`shape_digest`), the LRU discipline of
+:class:`DeployCache`, trace rebinding through :func:`allocate_program`,
+solver-cache eviction on revoke, and entry-batch relocation — each with
+the invariant that the fast path's output is identical to the reference
+path's.
+"""
+
+import pytest
+
+from repro.compiler.alloc_cache import AllocationShape, DeployCache, shape_digest
+from repro.compiler.allocation import build_problem
+from repro.compiler.compiler import (
+    CompileOptions,
+    allocate_program,
+    compile_source,
+    parse_and_check,
+)
+from repro.compiler.entries import EntryBatch, EntryGenerator, relocate_batch
+from repro.compiler.objectives import f1, f3
+from repro.compiler.solver import cache_stats, evict_problem_shape
+from repro.compiler.target import TargetSpec, UnlimitedResources
+from repro.compiler.translate import translate
+from repro.controlplane import Controller
+from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
+
+SPEC = TargetSpec()
+
+
+def build(name="cache"):
+    unit = parse_and_check(PROGRAMS[name].source)
+    translation = translate(unit.programs[0])
+    return build_problem(unit, translation)
+
+
+# -- shape digest --------------------------------------------------------------
+
+
+def test_digest_is_a_pure_function_of_the_shape():
+    # Two independently built problems for the same source share a digest,
+    # even though they are distinct objects (the memo is per-object but
+    # the digest is content-addressed).
+    a, b = build("lb"), build("lb")
+    assert a is not b
+    assert shape_digest(a, SPEC, f1()) == shape_digest(b, SPEC, f1())
+    # Repeated calls on the same object hit the memo and stay stable.
+    assert shape_digest(a, SPEC, f1()) == shape_digest(a, SPEC, f1())
+
+
+def test_digest_separates_shapes_and_modes():
+    lb, cms = build("lb"), build("cms")
+    base = shape_digest(lb, SPEC, f1())
+    assert base != shape_digest(cms, SPEC, f1())
+    assert base != shape_digest(lb, SPEC, f3())
+    assert base != shape_digest(lb, SPEC, f1(), direct_memory=True)
+    small = TargetSpec(rpb_table_size=SPEC.rpb_table_size // 2)
+    assert base != shape_digest(lb, small, f1())
+
+
+# -- DeployCache LRU discipline ------------------------------------------------
+
+
+def test_shape_cache_is_lru_bounded():
+    cache = DeployCache(shape_cap=2)
+    shape = AllocationShape(trace=((1, 2, "win"),), x=(1, 2), objective_value=0.0)
+    for digest in ("a", "b", "c"):
+        cache.store_shape(digest, shape)
+    assert cache.lookup_shape("a") is None  # evicted, oldest first
+    assert cache.lookup_shape("b") is shape
+    # "b" is now most recent; storing "d" evicts "c".
+    cache.store_shape("d", shape)
+    assert cache.lookup_shape("c") is None
+    assert cache.lookup_shape("b") is shape
+
+
+def test_frontend_cache_is_lru_bounded():
+    cache = DeployCache(frontend_cap=2)
+    for key in ("a", "b", "c"):
+        cache.store_frontend(key, key.upper())
+    assert cache.lookup_frontend("a") is None
+    assert cache.lookup_frontend("c") == "C"
+
+
+def test_disabled_cache_stores_and_returns_nothing():
+    cache = DeployCache()
+    cache.enabled = False
+    cache.store_shape("a", AllocationShape(trace=(), x=(), objective_value=0.0))
+    cache.store_frontend("k", "v")
+    assert cache.lookup_shape("a") is None
+    assert cache.lookup_frontend("k") is None
+    assert cache.stats()["shape_entries"] == 0
+    assert cache.stats()["frontend_entries"] == 0
+
+
+def test_stats_counts_hits_and_misses():
+    cache = DeployCache()
+    cache.lookup_shape("missing")
+    cache.store_shape("hit", AllocationShape(trace=(), x=(), objective_value=0.0))
+    cache.lookup_shape("hit")
+    stats = cache.stats()
+    assert stats["shape_misses"] == 1
+    assert stats["shape_hits"] == 1
+    assert set(stats) >= {
+        "enabled",
+        "frontend_entries",
+        "frontend_cap",
+        "shape_entries",
+        "shape_cap",
+        "rebinds",
+        "rebind_fallbacks",
+    }
+
+
+# -- rebinding through allocate_program ---------------------------------------
+
+
+def test_second_solve_rebinds_and_matches_reference():
+    problem = build("lb")
+    view = UnlimitedResources(SPEC)
+    cache = DeployCache()
+    first = allocate_program(problem, f1(), spec=SPEC, view=view, deploy_cache=cache)
+    assert not first.rebound and cache.rebinds == 0
+    second = allocate_program(problem, f1(), spec=SPEC, view=view, deploy_cache=cache)
+    assert second.rebound and cache.rebinds == 1
+    reference = allocate_program(problem, f1(), spec=SPEC, view=view)
+    assert second.x == first.x == reference.x
+    assert second.memory_placement == reference.memory_placement
+    assert second.objective_value == reference.objective_value
+
+
+def test_rebind_matches_fresh_solve_under_occupancy():
+    """The cached trace must re-derive the allocation from *current* free
+    lists: deploy programs to change occupancy between the priming solve
+    and the rebinding solve, then compare against a cache-less compile."""
+    warm = Controller()
+    cold = Controller()
+    cold.deploy_cache.enabled = False
+    for name in ("lb", "cms", "lb", "hh", "lb"):
+        a = warm.deploy(PROGRAMS[name].source)
+        b = cold.deploy(PROGRAMS[name].source)
+        assert a.stats.logic_rpbs == b.stats.logic_rpbs
+    assert warm.deploy_cache.rebinds > 0
+    assert warm.manager.state_fingerprint() == cold.manager.state_fingerprint()
+
+
+def test_deploy_revoke_deploy_hits_the_cache():
+    ctl = Controller()
+    first = ctl.deploy(PROGRAMS["cms"].source)
+    assert not first.stats.cache_hit
+    ctl.revoke(first)
+    second = ctl.deploy(PROGRAMS["cms"].source)
+    assert second.stats.cache_hit
+    assert second.stats.logic_rpbs == first.stats.logic_rpbs
+    assert ctl.deploy_cache.frontend_hits >= 1
+
+
+# -- solver-cache eviction on revoke ------------------------------------------
+
+
+def test_revoke_evicts_the_shape_from_the_solver_cache():
+    ctl = Controller()
+    handle = ctl.deploy(PROGRAMS["cache"].source)
+    problem = ctl.manager.get(handle.program_id).compiled.problem
+    ctl.revoke(handle)
+    # The controller already evicted on revoke; a second eviction finds
+    # nothing, proving the line is gone rather than merely stale.
+    assert evict_problem_shape(ctl.manager, problem) is False
+
+
+def test_cache_stats_reports_sizes_and_caps():
+    stats = cache_stats()
+    assert set(stats) == {
+        "views",
+        "feasibility_shapes",
+        "feasibility_shape_cap",
+        "sorted_pair_orders",
+        "sorted_pair_orders_cap",
+        "warm_start_hints",
+        "warm_start_hints_cap",
+    }
+    assert stats["feasibility_shape_cap"] > 0
+
+
+# -- entry-batch relocation ----------------------------------------------------
+
+
+def _fresh_batch(compiled, program_id, bases):
+    return EntryGenerator(SPEC).generate(
+        compiled.ir,
+        compiled.program.filters,
+        compiled.allocation,
+        program_id,
+        bases,
+        compiled.memory_decls(),
+    )
+
+
+def _canonical_bases(compiled):
+    return {
+        mid: (phys, [(0, 0, size)])
+        for mid, (phys, size) in compiled.memory_requests().items()
+    }
+
+
+@pytest.mark.parametrize("name", ALL_PROGRAM_NAMES)
+def test_relocate_batch_equals_fresh_emission(name):
+    compiled = compile_source(PROGRAMS[name].source)
+    canonical = _fresh_batch(compiled, 0, _canonical_bases(compiled))
+    # Relocate to a different id and shifted bases; compare against a
+    # from-scratch emission for that exact placement.
+    shifted = {
+        mid: (phys, [(0, 64, size)])
+        for mid, (phys, size) in compiled.memory_requests().items()
+    }
+    relocated = relocate_batch(canonical, 7, shifted)
+    assert relocated is not None
+    fresh = _fresh_batch(compiled, 7, shifted)
+    assert relocated.program_id == fresh.program_id == 7
+    assert relocated.install_order() == fresh.install_order()
+    assert relocated.delete_order() == fresh.delete_order()
+
+
+def test_relocate_refuses_fragmented_layouts():
+    compiled = compile_source(PROGRAMS["cache"].source)
+    canonical = _fresh_batch(compiled, 0, _canonical_bases(compiled))
+    requests = compiled.memory_requests()
+    assert requests  # cache has memory; the fragmented case is reachable
+    mid, (phys, size) = next(iter(requests.items()))
+    fragmented = dict(_canonical_bases(compiled))
+    half = max(size // 2, 1)
+    fragmented[mid] = (phys, [(0, 0, half), (half, 128, size - half)])
+    assert relocate_batch(canonical, 7, fragmented) is None
+
+
+def test_emit_entries_template_path_is_invisible():
+    """Through the public emit_entries API: first call generates ("seen"),
+    second builds the template, third relocates — all three must be
+    identical for fixed inputs, and a different id must only change the
+    program-id-derived data."""
+    compiled = compile_source(PROGRAMS["lb"].source)
+    bases = {
+        mid: (phys, [(0, 0, size)])
+        for mid, (phys, size) in compiled.memory_requests().items()
+    }
+    first = compiled.emit_entries(SPEC, 3, bases)
+    second = compiled.emit_entries(SPEC, 3, bases)
+    third = compiled.emit_entries(SPEC, 3, bases)
+    assert first.install_order() == second.install_order() == third.install_order()
+    other = compiled.emit_entries(SPEC, 9, bases)
+    assert isinstance(other, EntryBatch) and other.program_id == 9
+    assert other.install_order() == _fresh_batch(compiled, 9, bases).install_order()

@@ -1,0 +1,262 @@
+"""The pipelined deploy path: solve/install split at the service layer.
+
+With ``pipelined_install`` on (the default), a deploy's solve half runs
+under the admission lock and its install half under a separate FIFO
+lock, so tenant B's compile/solve overlaps tenant A's entry writes.
+These tests pin the contract:
+
+* results and final state are identical to the serialized reference path;
+* the overlap actually happens (B's solve completes inside A's install
+  window);
+* the audit journal replays byte-identically, including a deploy whose
+  install failed halfway (admission + abort are both re-enacted);
+* a program cannot be mutated while still INSTALLING;
+* ``drain`` waits for in-flight installs;
+* the ``metrics`` RPC exposes the deploy/solver cache counters.
+"""
+
+import asyncio
+
+from repro.controlplane import Controller, FaultPlan, NullBinding
+from repro.controlplane.manager import ProgramState
+from repro.programs import PROGRAMS
+from repro.service import (
+    ControlService,
+    Request,
+    TenantQuota,
+    TenantRegistry,
+    replay,
+)
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("tenants", TenantRegistry(TenantQuota.unlimited()))
+    kwargs.setdefault("retry_sleep", lambda _s: None)
+    return ControlService(Controller(NullBinding()), **kwargs)
+
+
+def rpc(rid, method, **params):
+    return Request(id=rid, method=method, params=params)
+
+
+async def must(service, request):
+    response = await service.handle_request(request)
+    assert response["ok"], response
+    return response["result"]
+
+
+class TestEquivalenceWithReferencePath:
+    def test_same_results_and_state_as_serialized_deploys(self):
+        fast = make_service()
+        slow = make_service(pipelined_install=False)
+
+        async def run(service):
+            out = []
+            for i, name in enumerate(("cache", "lb", "cms", "lb")):
+                out.append(
+                    await must(service, rpc(i, "deploy", source=PROGRAMS[name].source))
+                )
+            await must(service, rpc(90, "revoke", program_id=out[1]["program_id"]))
+            out.append(
+                await must(service, rpc(91, "deploy", source=PROGRAMS["hh"].source))
+            )
+            return out
+
+        a = asyncio.run(run(fast))
+        b = asyncio.run(run(slow))
+        timing = {"parse_ms", "allocation_ms", "update_ms"}
+        for x, y in zip(a, b):
+            assert {k: v for k, v in x.items() if k not in timing} == {
+                k: v for k, v in y.items() if k not in timing
+            }
+        assert (
+            fast.controller.manager.state_fingerprint()
+            == slow.controller.manager.state_fingerprint()
+        )
+        # Both journals replay to the same state.
+        for service in (fast, slow):
+            fresh = replay(service.audit, Controller(NullBinding()))
+            assert (
+                fresh.manager.state_fingerprint()
+                == service.controller.manager.state_fingerprint()
+            )
+
+    def test_concurrent_deploys_from_two_tenants(self):
+        service = make_service()
+
+        async def run():
+            requests = [
+                Request(
+                    id=i,
+                    method="deploy",
+                    params={"source": PROGRAMS[name].source},
+                    tenant=f"tenant{i}",
+                )
+                for i, name in enumerate(("cache", "lb", "cms", "hh"))
+            ]
+            return await asyncio.gather(
+                *(service.handle_request(r) for r in requests)
+            )
+
+        responses = asyncio.run(run())
+        assert all(r["ok"] for r in responses)
+        ids = [r["result"]["program_id"] for r in responses]
+        assert len(set(ids)) == len(ids)
+        fresh = replay(service.audit, Controller(NullBinding()))
+        assert (
+            fresh.manager.state_fingerprint()
+            == service.controller.manager.state_fingerprint()
+        )
+
+
+class TestOverlap:
+    def test_solve_of_b_runs_inside_install_window_of_a(self):
+        service = make_service()
+        events = []
+
+        inner_prepare = service.controller.prepare_deploy
+        inner_install = service.controller.install_steps
+
+        def prepare(*args, **kwargs):
+            prepared = inner_prepare(*args, **kwargs)
+            events.append(("prepared", prepared.program_id))
+            return prepared
+
+        def install(prepared):
+            events.append(("install_start", prepared.program_id))
+            yield from inner_install(prepared)
+            events.append(("install_end", prepared.program_id))
+
+        service.controller.prepare_deploy = prepare
+        service.controller.install_steps = install
+
+        async def run():
+            a = service.handle_request(rpc(1, "deploy", source=PROGRAMS["lb"].source))
+            b = service.handle_request(rpc(2, "deploy", source=PROGRAMS["cms"].source))
+            return await asyncio.gather(a, b)
+
+        responses = asyncio.run(run())
+        assert all(r["ok"] for r in responses)
+        start_a = events.index(("install_start", 1))
+        end_a = events.index(("install_end", 1))
+        prepared_b = events.index(("prepared", 2))
+        assert start_a < prepared_b < end_a, events
+        # Installs stay serialized in admission order behind the overlap.
+        assert events.index(("install_start", 2)) > end_a
+
+
+class TestFailedInstall:
+    def test_abort_is_audited_and_replayable(self):
+        service = make_service()
+        plan = FaultPlan(every_k=1, ops=frozenset({"insert"}))
+
+        async def run():
+            ok = await must(
+                service, rpc(1, "deploy", source=PROGRAMS["cache"].source)
+            )
+            before = service.controller.manager.state_fingerprint()
+            service.controller.updater.binding.inner.fault_plan = plan
+            failed = await service.handle_request(
+                rpc(2, "deploy", source=PROGRAMS["lb"].source)
+            )
+            service.controller.updater.binding.inner.fault_plan = None
+            return ok, before, failed
+
+        ok, before, failed = asyncio.run(run())
+        assert not failed["ok"]
+        assert failed["error"]["code"] == "SOUTHBOUND_FAILURE"
+        # The failed install rolled everything back.
+        assert service.controller.manager.state_fingerprint() == before
+        # Journal shape: deploy ok, deploy error (with the minted id), abort.
+        methods = [(r.method, r.ok) for r in service.audit.records()]
+        assert methods == [("deploy", True), ("deploy", False), ("abort_deploy", True)]
+        error_record = service.audit.records()[1]
+        assert error_record.result["program_id"] > ok["program_id"]
+        assert error_record.outcome.startswith("error:SOUTHBOUND_FAILURE")
+        # The tenant's charge was released with the abort.
+        usage = service.tenants.get("default").usage()
+        assert usage["programs"] == 1
+        # Replay re-enacts the admission and the abort at their recorded
+        # positions, landing on the live fingerprint.
+        fresh = replay(service.audit, Controller(NullBinding()))
+        assert (
+            fresh.manager.state_fingerprint()
+            == service.controller.manager.state_fingerprint()
+        )
+
+
+class TestInstallingGuard:
+    def test_revoke_during_install_is_refused(self):
+        service = make_service()
+
+        async def run():
+            deploy = asyncio.ensure_future(
+                service.handle_request(rpc(1, "deploy", source=PROGRAMS["lb"].source))
+            )
+            installing_id = None
+            for _ in range(10_000):
+                await asyncio.sleep(0)
+                for record in service.controller.manager.programs():
+                    if record.state is ProgramState.INSTALLING:
+                        installing_id = record.program_id
+                        break
+                if installing_id is not None:
+                    break
+            assert installing_id is not None, "never observed an INSTALLING program"
+            refused = await service.handle_request(
+                rpc(2, "revoke", program_id=installing_id)
+            )
+            deployed = await deploy
+            accepted = await service.handle_request(
+                rpc(3, "revoke", program_id=installing_id)
+            )
+            return refused, deployed, accepted
+
+        refused, deployed, accepted = asyncio.run(run())
+        assert deployed["ok"]
+        assert not refused["ok"]
+        assert "still installing" in refused["error"]["message"]
+        assert accepted["ok"]
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_install(self):
+        service = make_service()
+
+        async def run():
+            deploy = asyncio.ensure_future(
+                service.handle_request(rpc(1, "deploy", source=PROGRAMS["lb"].source))
+            )
+            await asyncio.sleep(0)  # let the deploy reach its install half
+            await service.drain()
+            states = [r.state for r in service.controller.manager.programs()]
+            refused = await service.handle_request(
+                rpc(2, "deploy", source=PROGRAMS["cms"].source)
+            )
+            return await deploy, states, refused
+
+        deployed, states, refused = asyncio.run(run())
+        assert deployed["ok"]
+        assert all(state is ProgramState.RUNNING for state in states)
+        assert not refused["ok"]
+        assert refused["error"]["code"] == "SHUTTING_DOWN"
+
+
+class TestMetricsCaches:
+    def test_metrics_exposes_cache_counters(self):
+        service = make_service()
+
+        async def run():
+            await must(service, rpc(1, "deploy", source=PROGRAMS["cms"].source))
+            return await must(service, rpc(2, "metrics"))
+
+        snapshot = asyncio.run(run())
+        caches = snapshot["caches"]
+        deploy_cache = caches["deploy_cache"]
+        assert deploy_cache["enabled"] is True
+        assert deploy_cache["frontend_entries"] == 1
+        assert deploy_cache["shape_entries"] == 1
+        solver = caches["solver"]
+        assert {"feasibility_shapes", "sorted_pair_orders", "warm_start_hints"} <= set(
+            solver
+        )
