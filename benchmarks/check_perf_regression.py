@@ -7,7 +7,11 @@ Usage::
 Fails (exit 1) if any gated number regresses by more than the allowed
 fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
 
-* the four single-process throughput scenarios (``throughput.pps``);
+* the four single-process throughput scenarios (``throughput.pps``),
+  all measured with the flow cache disabled (they gate the uncached
+  pipeline walk);
+* the flow cache's cached packet rate on the Zipf skewed-flow scenario
+  (``flow_cache.skewed.cached_pps``);
 * the sharded engine's projected aggregate capacity per worker count
   (``engine.by_workers.<N>.pps``) — the projection is CPU-time based and
   therefore stable across runners with different core counts;
@@ -106,6 +110,20 @@ def main(argv: list[str]) -> int:
                     speedup_floor,
                     tolerance,
                 )
+
+    cache_baseline = baseline.get("flow_cache", {})
+    cache_results = results.get("flow_cache", {})
+    if cache_baseline:
+        if not cache_results:
+            print(
+                "WARN: results have no flow_cache section "
+                "(flow-cache bench not run); flow-cache gates skipped"
+            )
+        else:
+            base = cache_baseline.get("skewed")
+            if base:
+                got = cache_results.get("skewed", {}).get("cached_pps")
+                failed |= check("flow_cache.skewed (cached pps)", got, base, tolerance)
 
     deploy_baseline = baseline.get("deploy", {})
     deploy_results = results.get("deploy", {})

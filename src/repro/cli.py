@@ -309,6 +309,19 @@ def serve_main(argv: list[str]) -> int:
         "--max-table-entries", type=int, default=512,
         help="per-tenant table-entry quota",
     )
+    parser.add_argument(
+        "--no-flow-cache", action="store_true",
+        help="disable the two-tier flow cache (every packet walks the "
+        "full pipeline)",
+    )
+    parser.add_argument(
+        "--emc-size", type=int, default=8192, metavar="N",
+        help="exact-match cache capacity in flows (default 8192)",
+    )
+    parser.add_argument(
+        "--megaflow-size", type=int, default=4096, metavar="N",
+        help="megaflow trace-cache capacity in entries (default 4096)",
+    )
     ns = parser.parse_args(argv)
     import asyncio
 
@@ -324,7 +337,7 @@ def serve_main(argv: list[str]) -> int:
     if ns.workers:
         from .engine import ShardedEngine
 
-        engine = ShardedEngine(ns.workers)
+        engine = ShardedEngine(ns.workers, flow_cache=not ns.no_flow_cache)
         service = ControlService(engine=engine, tenants=tenants)
         print(f"sharded engine: {ns.workers} worker processes")
     else:
@@ -333,6 +346,12 @@ def serve_main(argv: list[str]) -> int:
         else:
             controller, dataplane = Controller.with_simulator()
         service = ControlService(controller, dataplane, tenants=tenants)
+    flow_cache = getattr(service.dataplane, "flow_cache", None)
+    if flow_cache is not None:
+        flow_cache.enabled = not ns.no_flow_cache
+        flow_cache.emc_capacity = ns.emc_size
+        flow_cache.megaflow_capacity = ns.megaflow_size
+        flow_cache.flush()
     print(f"p4runpro control service listening on {ns.host}:{ns.port}")
     try:
         asyncio.run(serve(ns.host, ns.port, service))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..compiler.entries import EntryConfig
 from ..compiler.target import TargetSpec
+from ..rmt.flowcache import FlowCache
 from ..rmt.packet import Packet
 from ..rmt.parser import ParseMachine, default_parse_machine
 from ..rmt.pipeline import Switch, SwitchConfig, SwitchResult
@@ -51,6 +52,9 @@ class P4runproDataPlane:
         switch_config: SwitchConfig | None = None,
         *,
         include_recirc_block: bool = True,
+        flow_cache: bool = True,
+        flow_cache_emc_capacity: int = 8192,
+        flow_cache_megaflow_capacity: int = 4096,
     ):
         self.spec = spec or TargetSpec()
         self.include_recirc_block = include_recirc_block
@@ -71,6 +75,18 @@ class P4runproDataPlane:
         self.event_hooks: list = []
         self._build_blocks(machine)
         self.switch.provision_done()
+        #: Two-tier flow cache (EMC + megaflow trace cache) fronting
+        #: :meth:`process` / :meth:`process_many`.  Always constructed so
+        #: counters/stats stay introspectable; ``enabled`` gates use.
+        fc = FlowCache(
+            emc_capacity=flow_cache_emc_capacity,
+            megaflow_capacity=flow_cache_megaflow_capacity,
+        )
+        fc.enabled = flow_cache
+        self.flow_cache = fc
+        self.switch.flow_cache = fc
+        for table in self.tables.values():
+            table.on_mutation.append(fc.invalidate)
 
     def add_event_hook(self, hook) -> None:
         """Subscribe ``hook(event: str, detail: dict)`` to binding events."""
@@ -170,6 +186,10 @@ class P4runproDataPlane:
 
     def reset_memory(self, phys_rpb: int, base: int, size: int) -> None:
         self._array(phys_rpb).reset_range(base, size)
+        # Cached traces replay SALU ops live, but a trace recorded as
+        # *uncacheable* because of a register-dependent branch may become
+        # cacheable (or vice versa) after a bulk reset — flush to be safe.
+        self.flow_cache.invalidate()
         self._emit("reset_memory", phys_rpb=phys_rpb, base=base, size=size)
 
     # -- raw control-plane memory APIs ---------------------------------------
@@ -178,6 +198,7 @@ class P4runproDataPlane:
 
     def write_bucket(self, phys_rpb: int, addr: int, value: int) -> None:
         self._array(phys_rpb).write(addr, value)
+        self.flow_cache.invalidate()
 
     def read_entry_counter(self, table: str, handle: int) -> int:
         """Direct-counter readback for one installed entry."""
@@ -186,6 +207,8 @@ class P4runproDataPlane:
     def configure_multicast_group(self, group: int, ports: list[int]) -> None:
         """Program the traffic manager's replication table (PRE)."""
         self.switch.tm.configure_multicast_group(group, ports)
+        # Pure-trace templates bake in the replicated egress port list.
+        self.flow_cache.invalidate()
 
     # -- traffic ---------------------------------------------------------------
     def process(
@@ -203,6 +226,22 @@ class P4runproDataPlane:
         resolution across the batch via :meth:`Switch.process_batch`.
         """
         return self.switch.process_batch(packets, carried)
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Data-plane counters: switch totals, TM verdicts, flow cache."""
+        switch = self.switch
+        tm = switch.tm
+        return {
+            "packets_in": switch.packets_in,
+            "pipeline_passes": switch.pipeline_passes,
+            "forwarded": tm.forwarded,
+            "dropped": tm.dropped,
+            "reflected": tm.reflected,
+            "to_cpu": tm.to_cpu,
+            "multicast": tm.multicast,
+            "flow_cache": self.flow_cache.stats(),
+        }
 
     # -- internals ------------------------------------------------------------
     def _table(self, name: str) -> MatchActionTable:

@@ -196,6 +196,7 @@ class ShardedEngine:
         merge_every: int | None = 500_000,
         start_method: str | None = None,
         reply_timeout_s: float = 120.0,
+        flow_cache: bool = True,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -206,8 +207,13 @@ class ShardedEngine:
 
         # Provisioning is pickled before the coordinator freezes the parse
         # machine, so every replica is built from the same description.
-        setup_bytes = pickle.dumps((self.spec, parse_machine))
-        self.dataplane = P4runproDataPlane(self.spec, parse_machine)
+        # Each worker owns a private flow cache; FanoutBinding mutations
+        # reach every replica through its own southbound binding, so the
+        # per-worker generation bump needs no extra broadcast.
+        setup_bytes = pickle.dumps((self.spec, parse_machine, flow_cache))
+        self.dataplane = P4runproDataPlane(
+            self.spec, parse_machine, flow_cache=flow_cache
+        )
         self.binding = FanoutBinding(self.dataplane, self)
         self.controller = Controller(self.binding, spec=self.spec)
         self._init_table = self.dataplane.tables[dp.INIT_TABLE]
@@ -509,7 +515,22 @@ class ShardedEngine:
             self._request(worker, ("stats",)) for worker in range(self.num_workers)
         ]
         totals: dict[str, int] = {}
+        flow_cache: dict[str, int] = {}
         for shard in shards:
             for key, value in shard.items():
-                totals[key] = totals.get(key, 0) + value
+                if key == "flow_cache":
+                    # Nested per-worker cache stats: sum the counters and
+                    # the occupancy, drop per-worker bookkeeping
+                    # (enabled/generation) from the aggregate.
+                    for ckey, cvalue in value.items():
+                        if ckey == "occupancy":
+                            for okey, ovalue in cvalue.items():
+                                flow_cache[okey] = flow_cache.get(okey, 0) + ovalue
+                        elif isinstance(cvalue, int) and not isinstance(cvalue, bool):
+                            if ckey != "generation":
+                                flow_cache[ckey] = flow_cache.get(ckey, 0) + cvalue
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        if flow_cache:
+            totals["flow_cache"] = flow_cache
         return {"workers": self.num_workers, "totals": totals, "shards": shards}

@@ -33,8 +33,10 @@ import traceback
 def _build_dataplane(setup_bytes: bytes):
     from ..dataplane.runpro import P4runproDataPlane
 
-    spec, parse_machine = pickle.loads(setup_bytes)
-    return P4runproDataPlane(spec, parse_machine)
+    setup = pickle.loads(setup_bytes)
+    spec, parse_machine = setup[0], setup[1]
+    flow_cache = setup[2] if len(setup) > 2 else True
+    return P4runproDataPlane(spec, parse_machine, flow_cache=flow_cache)
 
 
 def _apply_ctl(dataplane, handle_map: dict, op: tuple) -> None:
@@ -149,6 +151,7 @@ def worker_main(conn, setup_bytes: bytes) -> None:
                                 "reflected": tm.reflected,
                                 "to_cpu": tm.to_cpu,
                                 "multicast": tm.multicast,
+                                "flow_cache": dataplane.flow_cache.stats(),
                             },
                         )
                     )

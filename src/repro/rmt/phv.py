@@ -177,6 +177,24 @@ class PHV:
         slots[cl.slot_pktlen] = packet.size
         slots[cl.slot_ts] = int(packet.ts * 1_000_000) & 0xFFFFFFFF
 
+    def reset(self, packet: Packet) -> None:
+        """Reinitialize for a new packet, reusing the slot vector.
+
+        Must leave the PHV indistinguishable from a fresh
+        ``PHV(layout, packet)`` built against the same compiled layout —
+        the contract the batch-scoped PHV pool relies on.
+        """
+        self.packet = packet
+        cl = self.cl
+        slots = self.slots
+        slots[:] = cl.template
+        self.valid_headers.clear()
+        self._extra = None
+        slots[cl.slot_ingress] = packet.ingress_port
+        slots[cl.slot_qdepth] = packet.queue_depth
+        slots[cl.slot_pktlen] = packet.size
+        slots[cl.slot_ts] = int(packet.ts * 1_000_000) & 0xFFFFFFFF
+
     # -- field access ----------------------------------------------------
     def get(self, name: str) -> int:
         index = self.cl.slot_of.get(name)

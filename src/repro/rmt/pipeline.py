@@ -182,6 +182,12 @@ class Switch:
         #: total packets injected / recirculation passes, for load accounting
         self.packets_in = 0
         self.pipeline_passes = 0
+        #: optional two-tier flow cache fronting :meth:`process_packet`
+        #: (attached by the data-plane layer; ``None`` on a raw switch)
+        self.flow_cache = None
+        #: PHV free list, active only inside :meth:`process_batch`
+        self._phv_pool: list[PHV] = []
+        self._pooling = False
         #: cached bridge-header field list (user fields minus the recirc
         #: flag), rebuilt when the layout grows
         self._bridge_fields: tuple[str, ...] = ()
@@ -213,6 +219,23 @@ class Switch:
             self._bridge_slots_cl = cl
         return self._bridge_slots
 
+    # -- PHV pooling ---------------------------------------------------------
+    def _acquire_phv(self, packet: Packet) -> PHV:
+        if self._pooling:
+            pool = self._phv_pool
+            cl = self.layout.compiled()
+            while pool:
+                phv = pool.pop()
+                if phv.cl is cl:
+                    phv.reset(packet)
+                    return phv
+                # stale layout snapshot: drop it and keep looking
+        return PHV(self.layout, packet)
+
+    def _release_phv(self, phv: PHV) -> None:
+        if self._pooling and phv._extra is None and len(self._phv_pool) < 64:
+            self._phv_pool.append(phv)
+
     # -- packet processing --------------------------------------------------
     def process_packet(
         self, packet: Packet, carried: dict[str, int] | None = None
@@ -221,14 +244,39 @@ class Switch:
 
         ``carried`` injects bridge-header state from an upstream device
         (the previous switch of a chain) before the first pass.
+
+        When a flow cache is attached (and no upstream carry makes the
+        input unkeyable), the cache front door takes over: hit -> trace
+        replay, miss -> recorded traversal through
+        :meth:`_process_packet`.
         """
+        fc = self.flow_cache
+        if (
+            fc is not None
+            and carried is None
+            and fc.enabled
+            and not flowcache._BYPASS
+        ):
+            return fc.process(self, packet)
+        return self._process_packet(packet, carried, None)
+
+    def _process_packet(
+        self,
+        packet: Packet,
+        carried: dict[str, int] | None,
+        rec,
+    ) -> SwitchResult:
+        """The uncached traversal; ``rec`` is a flow-cache recorder during
+        a recording miss pass (``None`` otherwise)."""
         self.packets_in += 1
         recirculations = 0
         current = packet
         while True:
             self.pipeline_passes += 1
-            phv = PHV(self.layout, current)
-            self.parse_machine.parse(current, phv)
+            phv = self._acquire_phv(current)
+            if rec is not None:
+                rec.begin_pass()
+            self.parse_machine.parse(current, phv, rec)
             if carried is not None:
                 # Restore the stateless carry (registers, flags, addresses)
                 # that the recirculation block attached to the packet header
@@ -249,12 +297,24 @@ class Switch:
             # the final pass (drop/reflect intents stay latched in the PHV
             # and are carried across passes).
             will_recirculate = bool(phv.get("ud.recirc_flag"))
+            if rec is not None:
+                rec.note_field_consult("ud.recirc_flag", 1)
             if not will_recirculate:
+                if rec is not None:
+                    # DROP short-circuits egress, so the drop decision is
+                    # part of the recorded op sequence.
+                    rec.note_field_consult("ud.drop_ctl", 1)
                 verdict, port = self.tm.decide(phv)
                 if verdict is Verdict.DROP:
-                    return SwitchResult(
+                    if rec is not None:
+                        rec.finish_pass(phv, None)
+                    result = SwitchResult(
                         verdict, None, phv.deparse(), recirculations, (), bridge_state()
                     )
+                    self._release_phv(phv)
+                    return result
+            if rec is not None:
+                rec.begin_egress()
             self.egress.process(phv)
             if will_recirculate:
                 recirculations += 1
@@ -269,15 +329,22 @@ class Switch:
                 # egress port) is stateless per-packet data and rides the
                 # bridge header like the registers and flags do.
                 carried["meta.egress_port"] = phv.get("meta.egress_port")
+                if rec is not None:
+                    rec.finish_pass(phv, carried)
                 current = phv.deparse()
+                self._release_phv(phv)
                 current.ingress_port = RECIRC_PORT
                 continue
             ports: tuple[int, ...] = ()
             if verdict is Verdict.MULTICAST:
                 ports = self.tm.multicast_groups[phv.get("ud.mcast_grp")]
-            return SwitchResult(
+            if rec is not None:
+                rec.finish_pass(phv, None)
+            result = SwitchResult(
                 verdict, port, phv.deparse(), recirculations, ports, bridge_state()
             )
+            self._release_phv(phv)
+            return result
 
     def process_batch(
         self, packets, carried: dict[str, int] | None = None
@@ -296,7 +363,20 @@ class Switch:
         self.egress.compiled_units()
         self._bridge_field_names()
         process = self.process_packet
-        return [process(packet, carried) for packet in packets]
+        # PHV pooling is batch-scoped: callers of process_packet may hold
+        # no reference past the return, so reuse is only safe while this
+        # frame owns the loop.  Flow-cache counter coalescing is likewise
+        # batch-scoped (nothing can observe counters mid-batch).
+        fc = self.flow_cache
+        self._pooling = True
+        if fc is not None:
+            fc.begin_batch()
+        try:
+            return [process(packet, carried) for packet in packets]
+        finally:
+            self._pooling = False
+            if fc is not None:
+                fc.end_batch()
 
     # -- throughput model (Fig. 11) -----------------------------------------
     #: wire size of the bridge header the recirculation block attaches
@@ -330,3 +410,11 @@ class Switch:
         """
         per_pass_ms = 0.08 + 0.11 * (packet_size / 1500.0)
         return recirc_iterations * per_pass_ms
+
+
+# Imported at the bottom: flowcache imports Verdict/SwitchResult/RECIRC_PORT
+# from this module inside its replay methods, so a top-of-file import here
+# would be circular.  Only module *attributes* (_BYPASS, the FlowCache
+# class) are touched at runtime, which a partially-initialized module
+# object satisfies.
+from . import flowcache  # noqa: E402

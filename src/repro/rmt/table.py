@@ -40,6 +40,7 @@ import itertools
 from bisect import insort
 from dataclasses import dataclass, field
 
+from . import flowcache
 from .phv import PHV
 
 
@@ -138,6 +139,10 @@ class MatchActionTable:
         #: number of lookups / hits, for utilization reporting
         self.lookups = 0
         self.hits = 0
+        #: zero-arg callbacks invoked after every structural update
+        #: (insert/delete/clear) — the flow cache registers its
+        #: generation bump here so direct table mutations invalidate it
+        self.on_mutation: list = []
 
     def _index_value(self, entry: TableEntry) -> int | None:
         if self._index_field is None:
@@ -170,6 +175,8 @@ class MatchActionTable:
             else:
                 insort(pool, entry, key=_entry_order)
         self.generation += 1
+        for hook in self.on_mutation:
+            hook()
         return handle
 
     def delete(self, handle: int) -> None:
@@ -180,6 +187,8 @@ class MatchActionTable:
         entry.live = False
         self._tombstones += 1
         self.generation += 1
+        for hook in self.on_mutation:
+            hook()
         if self._tombstones > max(16, len(self._entries)):
             self._sweep()
 
@@ -207,6 +216,8 @@ class MatchActionTable:
         self._unindexed.clear()
         self._tombstones = 0
         self.generation += 1
+        for hook in self.on_mutation:
+            hook()
 
     @property
     def occupancy(self) -> int:
@@ -239,6 +250,9 @@ class MatchActionTable:
     def lookup_entry(self, phv: PHV) -> TableEntry | None:
         """Fast path: return the winning live entry (or ``None``), updating
         the lookup/hit counters exactly as :meth:`lookup` does."""
+        rec = flowcache._RECORDER
+        if rec is not None:
+            return self._lookup_entry_recorded(rec, phv)
         self.lookups += 1
         cl = phv.cl
         if self._compiled_gen != self.generation or self._compiled_cl is not cl:
@@ -277,6 +291,49 @@ class MatchActionTable:
                 self.hits += 1
                 entry.hits += 1
                 return entry
+        return None
+
+    def _lookup_entry_recorded(self, rec, phv: PHV) -> TableEntry | None:
+        """Recording-pass lookup: identical semantics and counters to
+        :meth:`lookup_entry`, but every key consulted along the scan is
+        reported to the flow-cache recorder — the per-failing-entry keys
+        up to and including the first mismatch, and the winner's full key
+        set.  Entries after the winner are never consulted, so their
+        masks stay out of the megaflow key (that is what makes the cache
+        a *megaflow* cache rather than an exact-match one)."""
+        self.lookups += 1
+        cl = phv.cl
+        if self._compiled_gen != self.generation or self._compiled_cl is not cl:
+            self._recompile(cl)
+        if self._index_field is not None:
+            if phv.has(self._index_field):
+                rec.note_field_consult(self._index_field, self._index_mask)
+                key = phv.get(self._index_field) & self._index_mask
+            else:
+                rec.note_field_absent(self._index_field)
+                key = "*"
+        else:
+            key = "*"
+        pool = self._compiled_pools.get(key)
+        if pool is None:
+            pool = self._build_pool(key, cl)
+        for _triples, entry in pool:
+            matched = True
+            for fname, value, mask in entry.compiled_keys:
+                if not phv.has(fname):
+                    rec.note_field_absent(fname)
+                    matched = False
+                    break
+                rec.note_field_consult(fname, mask)
+                if (phv.get(fname) & mask) != value:
+                    matched = False
+                    break
+            if matched:
+                self.hits += 1
+                entry.hits += 1
+                rec.note_lookup(self, entry)
+                return entry
+        rec.note_lookup(self, None)
         return None
 
     def _recompile(self, cl) -> None:

@@ -678,7 +678,18 @@ class ControlService:
 
     def _rpc_stats(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
-        return self.controller.program_stats(program_id)
+        stats = self.controller.program_stats(program_id)
+        flow_cache = self._flow_cache_stats()
+        if flow_cache is not None:
+            stats["flow_cache"] = flow_cache
+        return stats
+
+    def _flow_cache_stats(self) -> dict | None:
+        """Data-plane flow-cache counters (aggregated in engine mode)."""
+        if self.engine is not None:
+            return self.engine.stats()["totals"].get("flow_cache")
+        cache = getattr(self.dataplane, "flow_cache", None)
+        return cache.stats() if cache is not None else None
 
     def _rpc_read_mem(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
@@ -715,6 +726,9 @@ class ControlService:
             "deploy_cache": self.controller.deploy_cache.stats(),
             "solver": solver.cache_stats(),
         }
+        flow_cache = self._flow_cache_stats()
+        if flow_cache is not None:
+            snapshot["caches"]["flow_cache"] = flow_cache
         return snapshot
 
     def _rpc_audit(self, tenant_name: str, params: dict) -> dict:

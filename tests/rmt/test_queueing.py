@@ -123,3 +123,129 @@ class TestECNUnderCongestion:
         marked, total = self._run(rate_mbps=200.0)
         assert marked > 0
         assert marked <= total
+
+
+class TestTrafficManager:
+    """Verdict precedence, counter accounting, and PRE replication."""
+
+    def _phv(self, **fields):
+        from repro.rmt.packet import make_l2
+        from repro.rmt.phv import PHV, PHVLayout
+
+        layout = PHVLayout()
+        for name in ("ud.drop_ctl", "ud.to_cpu", "ud.reflect", "ud.mcast_grp"):
+            layout.declare(name, 16)
+        packet = make_l2()
+        packet.ingress_port = fields.pop("ingress_port", 7)
+        phv = PHV(layout, packet)
+        for name, value in fields.items():
+            phv.set(name, value)
+        return phv
+
+    def test_default_is_forward_to_egress_port(self):
+        from repro.rmt.pipeline import TrafficManager, Verdict
+
+        tm = TrafficManager()
+        phv = self._phv()
+        phv.set("meta.egress_port", 12)
+        assert tm.decide(phv) == (Verdict.FORWARD, 12)
+        assert tm.forwarded == 1
+
+    def test_drop_beats_everything(self):
+        from repro.rmt.pipeline import TrafficManager, Verdict
+
+        tm = TrafficManager()
+        phv = self._phv(**{
+            "ud.drop_ctl": 1, "ud.to_cpu": 1, "ud.reflect": 1, "ud.mcast_grp": 1,
+        })
+        verdict, port = tm.decide(phv)
+        assert verdict is Verdict.DROP and port is None
+        assert (tm.dropped, tm.to_cpu, tm.reflected, tm.multicast) == (1, 0, 0, 0)
+
+    def test_to_cpu_beats_reflect_and_multicast(self):
+        from repro.rmt.pipeline import CPU_PORT, TrafficManager, Verdict
+
+        tm = TrafficManager()
+        phv = self._phv(**{"ud.to_cpu": 1, "ud.reflect": 1, "ud.mcast_grp": 1})
+        assert tm.decide(phv) == (Verdict.TO_CPU, CPU_PORT)
+        assert (tm.to_cpu, tm.reflected, tm.multicast) == (1, 0, 0)
+
+    def test_reflect_returns_ingress_port(self):
+        from repro.rmt.pipeline import TrafficManager, Verdict
+
+        tm = TrafficManager()
+        phv = self._phv(ingress_port=33, **{"ud.reflect": 1})
+        assert tm.decide(phv) == (Verdict.REFLECT, 33)
+        assert tm.reflected == 1
+
+    def test_multicast_requires_configured_group(self):
+        from repro.rmt.pipeline import TrafficManager, UnknownMulticastGroupError
+
+        tm = TrafficManager()
+        phv = self._phv(**{"ud.mcast_grp": 5})
+        with pytest.raises(UnknownMulticastGroupError):
+            tm.decide(phv)
+        assert tm.multicast == 0
+
+    def test_multicast_counts_once_per_packet(self):
+        from repro.rmt.pipeline import TrafficManager, Verdict
+
+        tm = TrafficManager()
+        tm.configure_multicast_group(5, [1, 2, 3])
+        phv = self._phv(**{"ud.mcast_grp": 5})
+        verdict, port = tm.decide(phv)
+        assert verdict is Verdict.MULTICAST and port is None
+        assert tm.multicast == 1  # one verdict, not one per replica
+
+    def test_group_ids_start_at_one(self):
+        from repro.rmt.pipeline import TrafficManager
+
+        tm = TrafficManager()
+        with pytest.raises(ValueError):
+            tm.configure_multicast_group(0, [1])
+
+    def test_reconfigure_overwrites_port_list(self):
+        from repro.rmt.pipeline import TrafficManager
+
+        tm = TrafficManager()
+        tm.configure_multicast_group(2, [1, 2])
+        tm.configure_multicast_group(2, [9])
+        assert tm.multicast_groups[2] == (9,)
+
+    def test_counter_accounting_over_mixed_stream(self):
+        from repro.rmt.pipeline import TrafficManager, Verdict
+
+        tm = TrafficManager()
+        tm.configure_multicast_group(1, [4, 5])
+        outcomes = []
+        for flags in (
+            {},
+            {"ud.drop_ctl": 1},
+            {"ud.to_cpu": 1},
+            {"ud.reflect": 1},
+            {"ud.mcast_grp": 1},
+            {},
+        ):
+            outcomes.append(tm.decide(self._phv(**flags))[0])
+        assert outcomes.count(Verdict.FORWARD) == tm.forwarded == 2
+        assert tm.dropped == tm.to_cpu == tm.reflected == tm.multicast == 1
+
+    def test_switch_multicast_replicates_to_all_group_ports(self):
+        """End to end: a MULTICAST verdict fans out to the PRE port list."""
+        from repro.controlplane import Controller
+        from repro.programs import PROGRAMS
+        from repro.rmt.packet import make_udp
+        from repro.rmt.pipeline import Verdict
+
+        ctl, dataplane = Controller.with_simulator()
+        source = PROGRAMS["l2fwd"].source.replace(
+            "FORWARD(1);", "MULTICAST(3);"
+        )
+        dataplane.configure_multicast_group(3, [10, 11, 12])
+        ctl.deploy(source)
+        pkt = make_udp(0x0A000001, 0x0A000002, 1111, 2222)
+        pkt.headers["eth"]["dst"] = 0x1
+        result = dataplane.process(pkt)
+        assert result.verdict is Verdict.MULTICAST
+        assert result.egress_ports == (10, 11, 12)
+        assert dataplane.switch.tm.multicast == 1
