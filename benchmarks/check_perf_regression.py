@@ -16,6 +16,9 @@ fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
   (``engine.by_workers.<N>.pps``) — the projection is CPU-time based and
   therefore stable across runners with different core counts;
 * the engine's projected speedup at the highest worker count;
+* the fabric's projected aggregate capacity per leaf count
+  (``fabric.by_leaves.<N>.pps``) and its capacity speedup at the highest
+  leaf count — both CPU-time based like the engine projection;
 * the control-plane deploy rate, cold and warm (``deploy.cold`` /
   ``deploy.warm`` in deploys/s) — warm goes through the relocatable
   allocation cache, cold through the full solve, so the pair catches a
@@ -106,6 +109,33 @@ def main(argv: list[str]) -> int:
                 got = engine_results.get("speedup", {}).get(top)
                 failed |= check(
                     f"engine speedup ({top} workers)",
+                    got,
+                    speedup_floor,
+                    tolerance,
+                )
+
+    fabric_baseline = baseline.get("fabric", {})
+    fabric_results = results.get("fabric", {})
+    if fabric_baseline:
+        if not fabric_results:
+            print(
+                "WARN: results have no fabric section "
+                "(fabric scaling bench not run); fabric gates skipped"
+            )
+        else:
+            by_leaves = fabric_results.get("by_leaves", {})
+            for leaves, base in fabric_baseline.get("pps", {}).items():
+                got = by_leaves.get(leaves, {}).get("pps")
+                failed |= check(
+                    f"fabric capacity ({leaves} leaves)", got, base, tolerance
+                )
+            speedup_floor = fabric_baseline.get("speedup_at_max_leaves")
+            if speedup_floor:
+                counts = sorted(by_leaves, key=int)
+                top = counts[-1] if counts else None
+                got = fabric_results.get("speedup", {}).get(top)
+                failed |= check(
+                    f"fabric speedup ({top} leaves)",
                     got,
                     speedup_floor,
                     tolerance,

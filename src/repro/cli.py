@@ -24,7 +24,18 @@ Two daemon-mode subcommands wrap the northbound control service
 (:mod:`repro.service`) instead of an in-process controller:
 
     p4runpro serve  [--host H] [--port P] [--chain HOPS] [--max-programs N]
+                    [--fabric SPEC [--routing auto|controlled]]
     p4runpro client <method> [key=value ...] [--tenant T] [--deadline-ms D]
+
+Fabric subcommands build and exercise multi-switch leaf-spine
+topologies (:mod:`repro.fabric`); SPEC is either ``NxM`` (N leaves, M
+spines) or a JSON topology spec file:
+
+    p4runpro fabric spec [--leaves N] [--spines M] [--out FILE]
+    p4runpro fabric show <SPEC>
+    p4runpro fabric run  <SPEC> [--packets N] [--locality F] [--deploy FILE]
+                         [--routing auto|controlled] [--link-down A:B@K]
+                         [--node-down NAME@K] [--reroute K]
 """
 
 from __future__ import annotations
@@ -276,6 +287,152 @@ class RuntimeCLI:
         return int(args[0])
 
 
+def _load_topology(spec: str, **overrides):
+    """Build a Topology from ``NxM`` shorthand or a JSON spec file path."""
+    import re
+
+    from .fabric import Topology
+
+    shorthand = re.fullmatch(r"(\d+)x(\d+)", spec)
+    if shorthand:
+        return Topology.leaf_spine(
+            int(shorthand.group(1)), int(shorthand.group(2)), **overrides
+        )
+    return Topology.from_spec(spec, **overrides)
+
+
+def fabric_main(argv: list[str]) -> int:
+    """``p4runpro fabric``: build, inspect, and exercise fabrics."""
+    parser = argparse.ArgumentParser(
+        prog="p4runpro fabric",
+        description="Multi-switch leaf-spine fabric tools",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    spec_p = sub.add_parser("spec", help="emit a JSON topology spec")
+    spec_p.add_argument("--leaves", type=int, default=2)
+    spec_p.add_argument("--spines", type=int, default=2)
+    spec_p.add_argument("--workers", type=int, default=0)
+    spec_p.add_argument("--latency-us", type=float, default=2.0)
+    spec_p.add_argument("--bandwidth-gbps", type=float, default=100.0)
+    spec_p.add_argument("--loss", type=float, default=0.0)
+    spec_p.add_argument("--out", help="write the spec to a file")
+
+    show_p = sub.add_parser("show", help="describe a topology spec")
+    show_p.add_argument("spec", help="NxM shorthand or a spec file")
+
+    run_p = sub.add_parser("run", help="drive traffic through a fabric")
+    run_p.add_argument("spec", help="NxM shorthand or a spec file")
+    run_p.add_argument("--packets", type=int, default=5000)
+    run_p.add_argument("--locality", type=float, default=0.5)
+    run_p.add_argument("--deploy", action="append", default=[],
+                       help="program source file to deploy fabric-wide "
+                       "(repeatable)")
+    run_p.add_argument("--routing", choices=("auto", "controlled"),
+                       default="auto")
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.add_argument("--link-down", action="append", default=[],
+                       metavar="A:B@K",
+                       help="take link A<->B down before packet K")
+    run_p.add_argument("--node-down", action="append", default=[],
+                       metavar="NAME@K",
+                       help="take a switch down before packet K")
+    run_p.add_argument("--reroute", type=int, action="append", default=[],
+                       metavar="K",
+                       help="controller reroute before packet K")
+    ns = parser.parse_args(argv)
+    import json
+
+    if ns.cmd == "spec":
+        spec = {
+            "kind": "leaf-spine",
+            "leaves": ns.leaves,
+            "spines": ns.spines,
+            "workers": ns.workers,
+            "host_ports": 4,
+            "link": {
+                "latency_us": ns.latency_us,
+                "bandwidth_gbps": ns.bandwidth_gbps,
+                "loss": ns.loss,
+            },
+        }
+        text = json.dumps(spec, indent=2)
+        if ns.out:
+            Path(ns.out).write_text(text + "\n")
+            print(f"wrote {ns.out}")
+        else:
+            print(text)
+        return 0
+
+    if ns.cmd == "show":
+        with _load_topology(ns.spec) as topo:
+            print(f"leaves: {', '.join(topo.leaves) or '-'}")
+            print(f"spines: {', '.join(topo.spines) or '-'}")
+            for leaf, (base, mask) in topo.leaf_subnets.items():
+                prefix = 32 - ((~mask) & 0xFFFFFFFF).bit_length()
+                print(
+                    f"  {leaf}: {base >> 24 & 255}.{base >> 16 & 255}."
+                    f"{base >> 8 & 255}.{base & 255}/{prefix}"
+                )
+            for link in topo.links:
+                print(
+                    f"link {link.name}  latency {link.latency_s * 1e6:.1f} us  "
+                    f"{link.bandwidth_gbps:.0f} Gb/s  loss {link.loss:.3%}"
+                )
+        return 0
+
+    # cmd == "run"
+    from .fabric import FabricController, Scenario
+    from .traffic import make_fabric_population
+
+    with _load_topology(ns.spec) as topo:
+        fabric_ctl = FabricController(topo, routing=ns.routing)
+        for source_file in ns.deploy:
+            program = fabric_ctl.deploy(Path(source_file).read_text())
+            print(
+                f"deployed '{program.name}' as #{program.program_id} "
+                f"on {len(program.handles)} switches"
+            )
+        traffic = make_fabric_population(
+            topo, num_flows=min(4096, max(64, ns.packets // 4)),
+            locality=ns.locality, seed=ns.seed,
+        )
+        scenario = Scenario()
+        for item in ns.link_down:
+            ends, _, at = item.partition("@")
+            a, _, b = ends.partition(":")
+            scenario.link_down(int(at or 0), a, b)
+        for item in ns.node_down:
+            name, _, at = item.partition("@")
+            scenario.node_down(int(at or 0), name)
+        for at in ns.reroute:
+            scenario.reroute(at)
+        report = fabric_ctl.fabric.run(
+            traffic.assignments(ns.packets),
+            scenario=scenario if scenario.events else None,
+        )
+        print(
+            f"injected {report.injected}  delivered {report.delivered}  "
+            f"reorders {report.reorders}  wall {report.wall_s * 1e3:.1f} ms"
+        )
+        if report.drops:
+            print("drops: " + ", ".join(
+                f"{cause}={n}" for cause, n in sorted(report.drops.items())
+            ))
+        for event in report.reroutes:
+            print(
+                f"reroute at packet {event['at_index']}: "
+                f"{event['latency_ms']:.3f} ms"
+            )
+        for name, link in sorted(report.per_link.items()):
+            print(
+                f"  {name}: carried {link['carried']}  "
+                f"drops down/loss/bw {link['dropped_down']}/"
+                f"{link['dropped_loss']}/{link['dropped_bandwidth']}"
+            )
+    return 0
+
+
 def serve_main(argv: list[str]) -> int:
     """``p4runpro serve``: run the northbound control service."""
     parser = argparse.ArgumentParser(
@@ -297,6 +454,20 @@ def serve_main(argv: list[str]) -> int:
         metavar="N",
         help="shard traffic across N switch-replica worker processes "
         "(flow-hash routed; incompatible with --chain)",
+    )
+    parser.add_argument(
+        "--fabric",
+        metavar="SPEC",
+        help="serve a multi-switch fabric instead of a single switch; "
+        "SPEC is NxM (leaves x spines) or a JSON topology spec file "
+        "(incompatible with --chain/--workers)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=("auto", "controlled"),
+        default="auto",
+        help="fabric ECMP mode: auto (data-plane failover) or controlled "
+        "(routes pinned until a controller reroute)",
     )
     parser.add_argument(
         "--max-programs", type=int, default=8, help="per-tenant program quota"
@@ -330,11 +501,25 @@ def serve_main(argv: list[str]) -> int:
     if ns.chain and ns.workers:
         parser.error("--workers shards a single switch; combining it with "
                      "--chain is not supported")
+    if ns.fabric and (ns.chain or ns.workers):
+        parser.error("--fabric serves a topology; combining it with "
+                     "--chain/--workers is not supported")
     tenants = TenantRegistry(
         TenantQuota(ns.max_programs, ns.max_memory_buckets, ns.max_table_entries)
     )
     engine = None
-    if ns.workers:
+    topology = None
+    if ns.fabric:
+        from .fabric import FabricController
+
+        topology = _load_topology(ns.fabric, flow_cache=not ns.no_flow_cache)
+        fabric = FabricController(topology, routing=ns.routing)
+        service = ControlService(fabric=fabric, tenants=tenants)
+        print(
+            f"fabric: {len(topology.leaves)} leaves x "
+            f"{len(topology.spines)} spines, routing {ns.routing}"
+        )
+    elif ns.workers:
         from .engine import ShardedEngine
 
         engine = ShardedEngine(ns.workers, flow_cache=not ns.no_flow_cache)
@@ -360,6 +545,8 @@ def serve_main(argv: list[str]) -> int:
     finally:
         if engine is not None:
             engine.close()
+        if topology is not None:
+            topology.close()
     return 0
 
 
@@ -419,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "client":
         return client_main(argv[1:])
+    if argv and argv[0] == "fabric":
+        return fabric_main(argv[1:])
     parser = argparse.ArgumentParser(description="P4runpro runtime CLI")
     parser.add_argument(
         "-c",

@@ -1,0 +1,47 @@
+"""repro.fabric — multi-switch leaf-spine fabrics (ROADMAP open item 4).
+
+Layer 5 of the stack: a :class:`Topology` of full P4runpro switch nodes
+wired by lossy/latency/bandwidth-modelled :class:`Link` objects, a
+:class:`Fabric` packet engine with RSS-style ECMP across spines and
+failure scenarios, and a :class:`FabricController` federating every
+node's control plane under one all-or-nothing northbound.
+"""
+
+from .controller import FabricController, FabricProgram
+from .fabric import (
+    DROP_CAUSES,
+    Fabric,
+    FabricReport,
+    FlowAccount,
+    PacketOutcome,
+    Scenario,
+)
+from .topology import (
+    LEAF,
+    SPINE,
+    UPLINK_PORT_BASE,
+    FabricNode,
+    Link,
+    LinkStats,
+    Topology,
+    TopologyError,
+)
+
+__all__ = [
+    "DROP_CAUSES",
+    "Fabric",
+    "FabricController",
+    "FabricNode",
+    "FabricProgram",
+    "FabricReport",
+    "FlowAccount",
+    "LEAF",
+    "Link",
+    "LinkStats",
+    "PacketOutcome",
+    "SPINE",
+    "Scenario",
+    "Topology",
+    "TopologyError",
+    "UPLINK_PORT_BASE",
+]

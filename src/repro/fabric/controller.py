@@ -1,0 +1,295 @@
+"""Federated control plane: one northbound over every switch in a fabric.
+
+:class:`FabricController` owns a per-switch P4runpro
+:class:`~repro.controlplane.controller.Controller` for every node in a
+:class:`~.topology.Topology` and exposes the single-switch northbound
+verbs fabric-wide:
+
+* **deploy** is all-or-nothing: the program is installed on every node
+  in topology order, and a failure on any node revokes the
+  already-installed copies in reverse order before the error propagates —
+  afterwards every switch's ``state_fingerprint()`` is byte-identical to
+  before the call (the rollback acceptance test).
+* **read_mem / snapshot_mem** aggregate a monitoring program's registers
+  across devices using the same :data:`repro.rmt.salu.MERGE_SEMANTICS`
+  classification the sharded engine uses across shards: MEMADD/MEMSUB
+  counters sum, MEMMAX gauges take the max, MEMOR/MEMAND bitmaps fold,
+  MEMREAD replicas must agree, and MEMWRITE (last-writer-wins) has no
+  sound cross-device aggregate, so only per-node values are returned.
+  One caveat the docstring owns: control-plane writes fan out to every
+  device, so under ``"sum"`` a written base value is counted once per
+  device; monitoring programs should write 0s (reset) or read raw
+  per-node values when seeding non-zero bases.
+* **write_mem** and incremental **add_case/remove_case** fan out to every
+  node (keeping replicas aligned, the same contract the engine's
+  control-write fan-out maintains across shards).
+
+Traffic-facing failover lives in :class:`~.fabric.Fabric`; the
+controller's :meth:`reroute` is the northbound trigger for the
+controlled-mode table flip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..lang.errors import P4runproError
+from ..rmt.salu import MERGE_SEMANTICS, merge_buckets
+from .fabric import Fabric
+from .topology import Topology
+
+#: merge-kind -> identity base for cross-device folding (width-32 mask for
+#: "and", whose fold only clears bits)
+_IDENTITY = {"sum": 0, "or": 0, "max": 0, "and": (1 << 32) - 1}
+
+
+@dataclass
+class FabricProgram:
+    """One fabric-wide deployment: the same program on every node."""
+
+    program_id: int
+    name: str
+    #: node name -> that node's DeployedProgram handle
+    handles: dict[str, object]
+    #: summed install stats (entries, update ms) for reporting
+    stats: dict = field(default_factory=dict)
+
+    def handle_on(self, node: str):
+        try:
+            return self.handles[node]
+        except KeyError:
+            raise P4runproError(
+                f"program {self.program_id} is not deployed on {node!r}"
+            ) from None
+
+
+class FabricController:
+    """Federates per-switch controllers under one northbound."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        routing: str = "auto",
+        fabric: Fabric | None = None,
+    ):
+        self.topology = topology
+        self.fabric = fabric if fabric is not None else Fabric(
+            topology, routing=routing
+        )
+        self.programs: dict[int, FabricProgram] = {}
+        self._next_id = 1
+
+    # -- helpers --------------------------------------------------------------
+    def _node_order(self) -> list[str]:
+        return list(self.topology.nodes)
+
+    def _program(self, handle) -> FabricProgram:
+        program_id = getattr(handle, "program_id", handle)
+        try:
+            return self.programs[program_id]
+        except KeyError:
+            raise P4runproError(
+                f"no fabric program {program_id}"
+            ) from None
+
+    def _controller(self, node: str):
+        return self.topology.nodes[node].controller
+
+    def _merge_kind(self, program: FabricProgram, mid: str):
+        """The MERGE_SEMANTICS kind of ``mid``, from any node's record."""
+        node = next(iter(program.handles))
+        record = self._controller(node).manager.get(
+            program.handles[node].program_id
+        )
+        semantics = record.compiled.register_semantics()
+        if mid not in semantics.memories:
+            raise P4runproError(
+                f"program {program.name!r} has no memory {mid!r}"
+            )
+        return semantics.memories[mid]
+
+    @staticmethod
+    def _aggregate(kind, per_node: dict[str, int]) -> int | None:
+        values = list(per_node.values())
+        if kind is None or not values:
+            return None
+        if kind == "read":
+            # Replicas of a read-only register diverge only if a
+            # control write skipped a node; surface the first copy.
+            return values[0]
+        return merge_buckets(kind, _IDENTITY[kind], values)
+
+    # -- lifecycle ------------------------------------------------------------
+    def deploy(self, source, *, program_name=None, options=None, nodes=None):
+        """Install a program on every node (or ``nodes``), atomically.
+
+        Returns a :class:`FabricProgram`.  On a partial failure the
+        already-installed copies are revoked in reverse install order and
+        the original error re-raised; no switch state changes survive.
+        """
+        targets = list(nodes) if nodes is not None else self._node_order()
+        installed: list[tuple[str, object]] = []
+        handles: dict[str, object] = {}
+        try:
+            for node in targets:
+                handle = self._controller(node).deploy(
+                    source, program_name=program_name, options=options
+                )
+                installed.append((node, handle))
+                handles[node] = handle
+        except Exception:
+            for node, handle in reversed(installed):
+                self._controller(node).revoke(handle)
+            raise
+        program = FabricProgram(
+            program_id=self._next_id,
+            name=next(iter(handles.values())).name,
+            handles=handles,
+            stats={
+                "entries_per_node": {
+                    node: handle.stats.entries
+                    for node, handle in handles.items()
+                },
+                "update_ms": {
+                    node: handle.stats.update_ms
+                    for node, handle in handles.items()
+                },
+            },
+        )
+        self._next_id += 1
+        self.programs[program.program_id] = program
+        return program
+
+    def revoke(self, handle) -> dict[str, float]:
+        """Remove a fabric program everywhere; per-node update delays (ms)."""
+        program = self._program(handle)
+        delays = {}
+        for node, node_handle in program.handles.items():
+            delays[node] = self._controller(node).revoke(node_handle)
+        del self.programs[program.program_id]
+        return delays
+
+    def add_case(self, handle, conditions, **kwargs) -> dict[str, object]:
+        """Fan an incremental case out to every node's copy."""
+        program = self._program(handle)
+        return {
+            node: self._controller(node).add_case(
+                program.handles[node], conditions, **kwargs
+            )
+            for node in program.handles
+        }
+
+    def list_programs(self) -> list[dict]:
+        listing = []
+        for program in self.programs.values():
+            listing.append(
+                {
+                    "program_id": program.program_id,
+                    "name": program.name,
+                    "nodes": {
+                        node: handle.program_id
+                        for node, handle in program.handles.items()
+                    },
+                    "entries_per_node": dict(
+                        program.stats.get("entries_per_node", {})
+                    ),
+                }
+            )
+        return listing
+
+    # -- memory ---------------------------------------------------------------
+    def read_memory(self, handle, mid: str, vaddr: int) -> dict:
+        """One bucket, fabric-wide: per-node values plus the merged value."""
+        program = self._program(handle)
+        kind = self._merge_kind(program, mid)
+        per_node = {
+            node: self._controller(node).read_memory(
+                program.handles[node], mid, vaddr
+            )
+            for node in program.handles
+        }
+        return {
+            "per_node": per_node,
+            "kind": kind,
+            "aggregate": self._aggregate(kind, per_node),
+        }
+
+    def write_memory(self, handle, mid: str, vaddr: int, value: int) -> None:
+        program = self._program(handle)
+        for node in program.handles:
+            self._controller(node).write_memory(
+                program.handles[node], mid, vaddr, value
+            )
+
+    def snapshot_memory(self, handle, mid: str) -> dict:
+        """A whole register block, fabric-wide, bucket-wise aggregated."""
+        program = self._program(handle)
+        kind = self._merge_kind(program, mid)
+        per_node = {
+            node: self._controller(node).snapshot_memory(
+                program.handles[node], mid
+            )
+            for node in program.handles
+        }
+        size = min(len(block) for block in per_node.values())
+        aggregate = None
+        if kind is not None:
+            aggregate = [
+                self._aggregate(
+                    kind, {node: per_node[node][off] for node in per_node}
+                )
+                for off in range(size)
+            ]
+        return {"per_node": per_node, "kind": kind, "aggregate": aggregate}
+
+    # -- monitoring -----------------------------------------------------------
+    def program_stats(self, handle) -> dict:
+        program = self._program(handle)
+        per_node = {
+            node: self._controller(node).program_stats(program.handles[node])
+            for node in program.handles
+        }
+        totals = {
+            key: sum(stats[key] for stats in per_node.values())
+            for key in ("matched_packets", "total_entry_hits", "entries")
+        }
+        return {"per_node": per_node, "totals": totals}
+
+    def state_fingerprints(self) -> dict[str, str]:
+        """Per-node resource-manager fingerprints plus a combined digest."""
+        per_node = {
+            node: self._controller(node).manager.state_fingerprint()
+            for node in self._node_order()
+        }
+        combined = hashlib.sha256(
+            "|".join(f"{n}={fp}" for n, fp in sorted(per_node.items())).encode()
+        ).hexdigest()
+        return {"combined": combined, **per_node}
+
+    def stats(self) -> dict:
+        """Per-switch and per-link fabric statistics (the ``stats`` RPC)."""
+        return {
+            "nodes": {
+                name: node.stats()
+                for name, node in self.topology.nodes.items()
+            },
+            "links": {
+                link.name: dict(link.stats.as_dict(), up=link.up)
+                for link in self.topology.links
+            },
+            "routing": self.fabric.routing,
+            "routes": {
+                f"{src}->{dst}": list(spines)
+                for (src, dst), spines in self.fabric.routes.items()
+            },
+        }
+
+    # -- failover -------------------------------------------------------------
+    def reroute(self) -> float:
+        """Controlled-mode table flip; returns the flip latency in ms."""
+        return self.fabric.reroute()
+
+    def close(self) -> None:
+        self.topology.close()

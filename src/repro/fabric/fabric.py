@@ -1,0 +1,501 @@
+"""The fabric packet engine: ECMP routing, link traversal, accounting.
+
+:class:`Fabric` drives traffic through a :class:`~.topology.Topology`.
+Each packet is injected at an ingress leaf, processed by that leaf's full
+P4runpro pipeline, and — when the pipeline forwards it and the
+destination IP belongs to another leaf — carried across a spine chosen by
+an RSS-style CRC32 flow hash over the real parsed 5-tuple (the same
+:func:`repro.engine.engine.flow_hash` the sharded engine routes with, so
+every flow sticks to one path and per-flow order is preserved).  The
+spine and the egress leaf each run the packet through their own
+pipelines, so a fabric-wide monitoring program observes every hop.
+
+Two routing modes:
+
+* ``auto`` — the data plane hashes over the spines whose full path
+  (leaf uplink, spine, spine downlink) is currently up: a failure is
+  bypassed immediately, the hardware-ECMP ideal;
+* ``controlled`` — the data plane hashes over the *installed* route
+  table and keeps using a dead path until the controller calls
+  :meth:`Fabric.reroute` (the p4containerflow choreography: failures
+  drop traffic, accounted per cause, until the controller flips the
+  table; the flip's wall latency is recorded).
+
+Every injected packet is accounted exactly once:
+``injected == delivered + sum(drops-by-cause)`` — the invariant the
+failure-scenario tests assert.  Per-flow accounting additionally tracks
+losses and reorders (a packet arriving — by latency-accumulated
+timestamp — before an earlier-injected packet of its own flow).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..engine.engine import flow_hash
+from ..rmt.pipeline import Verdict
+from .topology import Topology
+
+#: drop causes a FabricReport accounts
+DROP_CAUSES = (
+    "pipeline",
+    "link_down",
+    "link_loss",
+    "link_bandwidth",
+    "node_down",
+    "no_route",
+)
+
+DELIVERED = "delivered"
+DROPPED = "dropped"
+
+
+@dataclass
+class PacketOutcome:
+    """What happened to one injected packet."""
+
+    index: int
+    flow: tuple[int, int, int, int, int]
+    ingress: str
+    status: str
+    #: drop cause (one of DROP_CAUSES) when status == "dropped"
+    cause: str | None = None
+    #: node where the packet exited (delivery) or died (drop)
+    node: str | None = None
+    #: switch hops actually traversed
+    path: tuple[str, ...] = ()
+    #: pipeline result at the exit node (None for pre-pipeline drops)
+    result: object | None = None
+    arrive_ts: float = 0.0
+
+
+@dataclass
+class FlowAccount:
+    """Per-flow delivery accounting."""
+
+    injected: int = 0
+    delivered: int = 0
+    lost: int = 0
+    reorders: int = 0
+    _last_arrival: float = field(default=float("-inf"), repr=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "reorders": self.reorders,
+        }
+
+
+@dataclass
+class FabricReport:
+    """Aggregate outcome of one :meth:`Fabric.run`."""
+
+    injected: int
+    outcomes: list[PacketOutcome]
+    drops: dict[str, int]
+    per_flow: dict[tuple, FlowAccount]
+    per_link: dict[str, dict]
+    per_node: dict[str, dict]
+    wall_s: float
+    reroutes: list[dict] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> int:
+        return self.injected - sum(self.drops.values())
+
+    @property
+    def reorders(self) -> int:
+        return sum(acc.reorders for acc in self.per_flow.values())
+
+    def conservation_ok(self) -> bool:
+        """True when every injected packet is delivered or accounted."""
+        delivered = sum(1 for o in self.outcomes if o.status == DELIVERED)
+        dropped = sum(1 for o in self.outcomes if o.status == DROPPED)
+        return (
+            delivered + dropped == self.injected
+            and dropped == sum(self.drops.values())
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "drops": dict(self.drops),
+            "reorders": self.reorders,
+            "wall_s": round(self.wall_s, 6),
+            "per_link": self.per_link,
+            "reroutes": list(self.reroutes),
+        }
+
+
+class Scenario:
+    """A schedule of fabric mutations fired at packet-injection indices.
+
+    ::
+
+        scenario = (
+            Scenario()
+            .link_down(500, "leaf0", "spine0")
+            .reroute(800)
+            .node_down(1200, "spine1")
+        )
+        report = fabric.run(assignments, scenario=scenario)
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple[int, str, object]] = []
+
+    def at(self, index: int, action, label: str = "event") -> "Scenario":
+        """Fire ``action(fabric)`` just before packet ``index`` is injected."""
+        self.events.append((index, label, action))
+        return self
+
+    def link_down(self, index: int, a: str, b: str) -> "Scenario":
+        return self.at(
+            index, lambda f: f.set_link_state(a, b, False), f"link_down {a}<->{b}"
+        )
+
+    def link_up(self, index: int, a: str, b: str) -> "Scenario":
+        return self.at(
+            index, lambda f: f.set_link_state(a, b, True), f"link_up {a}<->{b}"
+        )
+
+    def node_down(self, index: int, name: str) -> "Scenario":
+        return self.at(
+            index, lambda f: f.set_node_state(name, False), f"node_down {name}"
+        )
+
+    def node_up(self, index: int, name: str) -> "Scenario":
+        return self.at(
+            index, lambda f: f.set_node_state(name, True), f"node_up {name}"
+        )
+
+    def reroute(self, index: int) -> "Scenario":
+        return self.at(index, lambda f: f.reroute(), "reroute")
+
+
+class Fabric:
+    """Routing and traffic execution over a topology."""
+
+    def __init__(self, topology: Topology, *, routing: str = "auto"):
+        if routing not in ("auto", "controlled"):
+            raise ValueError(f"unknown routing mode {routing!r}")
+        self.topology = topology
+        self.routing = routing
+        #: installed ECMP route table (controlled mode):
+        #: (ingress leaf, egress leaf) -> spine list
+        self.routes: dict[tuple[str, str], tuple[str, ...]] = {}
+        #: reroute events of the most recent run (latency, trigger index)
+        self.reroutes: list[dict] = []
+        self._run_index = 0
+        self.install_routes()
+
+    # -- control surface ------------------------------------------------------
+    def install_routes(self) -> None:
+        """(Re)install the full ECMP table: every up spine on every pair."""
+        spines = tuple(
+            s for s in self.topology.spines if self.topology.nodes[s].up
+        )
+        self.routes = {
+            (src, dst): spines
+            for src in self.topology.leaves
+            for dst in self.topology.leaves
+            if src != dst
+        }
+
+    def reroute(self) -> float:
+        """Controller-driven table flip: recompute every (ingress, egress)
+        pair's spine list over the links and switches currently up;
+        returns (and records) the wall latency in milliseconds — the
+        fabric analogue of p4containerflow's consistent-hash table swap."""
+        t0 = time.perf_counter()
+        topo = self.topology
+        routes: dict[tuple[str, str], tuple[str, ...]] = {}
+        for src in topo.leaves:
+            for dst in topo.leaves:
+                if src == dst:
+                    continue
+                usable = []
+                for spine in topo.spines:
+                    if not topo.nodes[spine].up:
+                        continue
+                    if not topo.link_between(src, spine).up:
+                        continue
+                    if not topo.link_between(spine, dst).up:
+                        continue
+                    usable.append(spine)
+                routes[(src, dst)] = tuple(usable)
+        self.routes = routes
+        latency_ms = (time.perf_counter() - t0) * 1e3
+        self.reroutes.append(
+            {"at_index": self._run_index, "latency_ms": round(latency_ms, 6)}
+        )
+        return latency_ms
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        self.topology.link_between(a, b).up = up
+
+    def set_node_state(self, name: str, up: bool) -> None:
+        node = self.topology.nodes.get(name)
+        if node is None:
+            raise KeyError(f"no node {name!r}")
+        node.up = up
+
+    # -- routing --------------------------------------------------------------
+    def _spine_for(
+        self, leaf: str, dst_leaf: str, flow: tuple
+    ) -> tuple[str | None, str | None]:
+        """Pick the spine for a cross-leaf packet.
+
+        Returns ``(spine, None)`` or ``(None, drop_cause)``.  In auto mode
+        the hash runs over spines whose full path is up (ECMP failover);
+        in controlled mode it runs over the installed table, so a dead
+        element on the chosen path becomes an accounted drop until the
+        controller reroutes.
+        """
+        topo = self.topology
+        if self.routing == "auto":
+            candidates = [
+                s
+                for s in topo.spines
+                if topo.nodes[s].up
+                and topo.link_between(leaf, s).up
+                and topo.link_between(s, dst_leaf).up
+            ]
+            if not candidates:
+                return None, "no_route"
+            return candidates[flow_hash(flow) % len(candidates)], None
+        installed = self.routes.get((leaf, dst_leaf), ())
+        if not installed:
+            return None, "no_route"
+        spine = installed[flow_hash(flow) % len(installed)]
+        if not topo.nodes[spine].up:
+            return None, "node_down"
+        return spine, None
+
+    # -- traffic --------------------------------------------------------------
+    def run(
+        self,
+        assignments: list[tuple[str, object]],
+        *,
+        scenario: Scenario | None = None,
+        duration_s: float | None = None,
+    ) -> FabricReport:
+        """Drive ``[(ingress_leaf, packet), ...]`` through the fabric.
+
+        Packets are processed hop by hop in contiguous chunks between
+        scenario events, batched per node (preserving injection order
+        within each node, so per-flow order through the pipelines matches
+        single-switch execution).  ``duration_s`` opens a bandwidth
+        window on every link: a link may carry at most
+        ``bandwidth * duration`` bytes during this run.
+        """
+        topo = self.topology
+        events = sorted(scenario.events, key=lambda e: e[0]) if scenario else []
+        for link in topo.links:
+            link.stats.reset()
+            link.begin_window(duration_s)
+        self.reroutes = []
+        outcomes: list[PacketOutcome | None] = [None] * len(assignments)
+        wall0 = time.perf_counter()
+        cursor = 0
+        for index, _label, action in events:
+            boundary = max(cursor, min(index, len(assignments)))
+            if boundary > cursor:
+                self._run_chunk(assignments, cursor, boundary, outcomes)
+                cursor = boundary
+            self._run_index = boundary
+            action(self)
+        if cursor < len(assignments):
+            self._run_chunk(assignments, cursor, len(assignments), outcomes)
+        wall_s = time.perf_counter() - wall0
+        return self._report(outcomes, wall_s)
+
+    def _run_chunk(
+        self,
+        assignments: list,
+        start: int,
+        stop: int,
+        outcomes: list,
+    ) -> None:
+        topo = self.topology
+        # Hop A: ingress-leaf pipelines.  Work items carry
+        # (index, flow, ingress, path, packet, latency_s).
+        ingress_work: dict[str, list] = {}
+        for index in range(start, stop):
+            leaf, packet = assignments[index]
+            node = topo.nodes.get(leaf)
+            if node is None or node.role != "leaf":
+                raise KeyError(f"{leaf!r} is not an ingress leaf")
+            flow = packet.five_tuple()
+            if not node.up:
+                outcomes[index] = PacketOutcome(
+                    index, flow, leaf, DROPPED, "node_down", leaf, (leaf,)
+                )
+                continue
+            ingress_work.setdefault(leaf, []).append(
+                (index, flow, leaf, (leaf,), packet, 0.0)
+            )
+        transit: dict[str, list] = {}  # spine -> work items (with dst leaf)
+        for leaf in topo.leaves:
+            items = ingress_work.get(leaf)
+            if not items:
+                continue
+            results = topo.nodes[leaf].process_batch(
+                [item[4] for item in items]
+            )
+            for item, result in zip(items, results):
+                index, flow, ingress, path, packet, latency = item
+                if result.verdict is Verdict.DROP:
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, "pipeline", leaf, path,
+                        result,
+                    )
+                    continue
+                dst_leaf = None
+                if result.verdict is Verdict.FORWARD:
+                    dst_leaf = topo.leaf_of_ip(flow[1])
+                if dst_leaf is None or dst_leaf == leaf:
+                    # Local/host delivery (or a non-FORWARD verdict —
+                    # reflect, to-CPU, multicast — which exits here).
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DELIVERED, None, leaf, path,
+                        result, packet.ts + latency,
+                    )
+                    continue
+                spine, cause = self._spine_for(leaf, dst_leaf, flow)
+                if spine is None:
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, cause, leaf, path,
+                        result,
+                    )
+                    continue
+                out = result.packet
+                link = topo.link_between(leaf, spine)
+                verdict = link.transmit(out.size)
+                if verdict != "ok":
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, verdict, leaf, path,
+                        result,
+                    )
+                    continue
+                out.ingress_port = link.ingress_port_at(spine)
+                transit.setdefault(spine, []).append(
+                    (
+                        index,
+                        flow,
+                        ingress,
+                        path + (spine,),
+                        out,
+                        latency + link.latency_s,
+                        dst_leaf,
+                    )
+                )
+        # Hop B: spine pipelines, then the downlink to the egress leaf.
+        egress_work: dict[str, list] = {}
+        for spine in topo.spines:
+            items = transit.get(spine)
+            if not items:
+                continue
+            results = topo.nodes[spine].process_batch(
+                [item[4] for item in items]
+            )
+            for item, result in zip(items, results):
+                index, flow, ingress, path, packet, latency, dst_leaf = item
+                if result.verdict is Verdict.DROP:
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, "pipeline", spine, path,
+                        result,
+                    )
+                    continue
+                if result.verdict is not Verdict.FORWARD:
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DELIVERED, None, spine, path,
+                        result, packet.ts + latency,
+                    )
+                    continue
+                if not topo.nodes[dst_leaf].up:
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, "node_down", spine,
+                        path, result,
+                    )
+                    continue
+                out = result.packet
+                link = topo.link_between(spine, dst_leaf)
+                verdict = link.transmit(out.size)
+                if verdict != "ok":
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, verdict, spine, path,
+                        result,
+                    )
+                    continue
+                out.ingress_port = link.ingress_port_at(dst_leaf)
+                egress_work.setdefault(dst_leaf, []).append(
+                    (
+                        index,
+                        flow,
+                        ingress,
+                        path + (dst_leaf,),
+                        out,
+                        latency + link.latency_s,
+                    )
+                )
+        # Hop C: egress-leaf pipelines; whatever survives is delivered.
+        for leaf in topo.leaves:
+            items = egress_work.get(leaf)
+            if not items:
+                continue
+            results = topo.nodes[leaf].process_batch(
+                [item[4] for item in items]
+            )
+            for item, result in zip(items, results):
+                index, flow, ingress, path, packet, latency = item
+                if result.verdict is Verdict.DROP:
+                    outcomes[index] = PacketOutcome(
+                        index, flow, ingress, DROPPED, "pipeline", leaf, path,
+                        result,
+                    )
+                    continue
+                outcomes[index] = PacketOutcome(
+                    index, flow, ingress, DELIVERED, None, leaf, path, result,
+                    packet.ts + latency,
+                )
+
+    # -- reporting ------------------------------------------------------------
+    def _report(self, outcomes: list, wall_s: float) -> FabricReport:
+        drops = {cause: 0 for cause in DROP_CAUSES}
+        per_flow: dict[tuple, FlowAccount] = {}
+        for outcome in outcomes:
+            account = per_flow.setdefault(outcome.flow, FlowAccount())
+            account.injected += 1
+            if outcome.status == DROPPED:
+                drops[outcome.cause] += 1
+                account.lost += 1
+                continue
+            account.delivered += 1
+            # A delivery arriving before an earlier-injected packet of the
+            # same flow (outcomes iterate in injection order) overtook it.
+            if outcome.arrive_ts < account._last_arrival:
+                account.reorders += 1
+            else:
+                account._last_arrival = outcome.arrive_ts
+        per_link = {
+            link.name: dict(link.stats.as_dict(), up=link.up)
+            for link in self.topology.links
+        }
+        per_node = {
+            name: node.stats() for name, node in self.topology.nodes.items()
+        }
+        return FabricReport(
+            injected=len(outcomes),
+            outcomes=outcomes,
+            drops={cause: n for cause, n in drops.items() if n},
+            per_flow=per_flow,
+            per_link=per_link,
+            per_node=per_node,
+            wall_s=wall_s,
+            reroutes=list(self.reroutes),
+        )

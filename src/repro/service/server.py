@@ -151,6 +151,7 @@ class ControlService:
         dataplane=None,
         *,
         engine=None,
+        fabric=None,
         tenants: TenantRegistry | None = None,
         retry_policy: RetryPolicy | None = None,
         retry_sleep=None,
@@ -159,7 +160,13 @@ class ControlService:
         clock=time.monotonic,
         pipelined_install: bool = True,
     ):
-        if engine is not None:
+        if fabric is not None:
+            # Fabric mode: the service fronts a FabricController federating
+            # one control plane per switch.  There is no single controller
+            # or data plane; every handler routes through the fabric.
+            if controller is not None or dataplane is not None or engine is not None:
+                raise ValueError("pass either fabric or engine/controller/dataplane")
+        elif engine is not None:
             # Sharded mode: the engine's coordinator controller is the
             # control plane (its FanoutBinding keeps every shard in sync),
             # and inject routes batches through the engine instead of the
@@ -171,16 +178,30 @@ class ControlService:
         elif controller is None:
             controller, dataplane = Controller.with_simulator()
         self.engine = engine
+        self.fabric = fabric
         self.controller = controller
         self.dataplane = dataplane
-        binding = controller.updater.binding
-        if not isinstance(binding, RetryingBinding):
-            binding = RetryingBinding(
-                binding,
-                retry_policy,
-                **({"sleep": retry_sleep} if retry_sleep is not None else {}),
-            )
-            controller.updater.binding = binding
+        retry_kwargs = {"sleep": retry_sleep} if retry_sleep is not None else {}
+        if fabric is not None:
+            # Every node's southbound gets the same retry armour; the
+            # first wrapper doubles as the policy reference for error
+            # mapping, and metrics report per-node retry stats.
+            self._node_retrying = {}
+            for name, node in fabric.topology.nodes.items():
+                node_binding = node.controller.updater.binding
+                if not isinstance(node_binding, RetryingBinding):
+                    node_binding = RetryingBinding(
+                        node_binding, retry_policy, **retry_kwargs
+                    )
+                    node.controller.updater.binding = node_binding
+                self._node_retrying[name] = node_binding
+            binding = next(iter(self._node_retrying.values()))
+        else:
+            self._node_retrying = None
+            binding = controller.updater.binding
+            if not isinstance(binding, RetryingBinding):
+                binding = RetryingBinding(binding, retry_policy, **retry_kwargs)
+                controller.updater.binding = binding
         self.retrying = binding
         self.tenants = tenants or TenantRegistry()
         self.audit = audit or AuditLog()
@@ -258,7 +279,10 @@ class ControlService:
         return ok_response(request.id, result)
 
     async def _execute_write(self, request: Request, arrival: float) -> dict:
-        if request.method == "deploy" and self.pipelined_install:
+        # Fabric deploys are not pipelined: the solve/install split assumes
+        # one resource manager, while a fabric deploy is an all-or-nothing
+        # transaction over many of them.
+        if request.method == "deploy" and self.pipelined_install and self.fabric is None:
             return await self._execute_deploy_pipelined(request, arrival)
         async with self._lock():
             admitted = self.clock()
@@ -369,6 +393,8 @@ class ControlService:
         # With pipelined installs a program is visible (charged, id
         # minted) before its entries finish landing; mutating it mid-
         # install would race the southbound stream.
+        if self.fabric is not None:
+            return  # fabric deploys are never pipelined
         record = self.controller.manager.get(program_id)
         if record.state is ProgramState.INSTALLING:
             raise ServiceError(
@@ -501,6 +527,8 @@ class ControlService:
         the admission lock."""
         from .tenants import TenantProgram
 
+        if self.fabric is not None:
+            return self._fabric_deploy(tenant_name, params)
         source = self._require(params, "source")
         tenant = self.tenants.get(tenant_name)
         # Program-count quota first: no compile time for a full namespace.
@@ -524,9 +552,55 @@ class ControlService:
         )
         return self._deploy_result(handle)
 
+    def _fabric_deploy(self, tenant_name: str, params: dict) -> dict:
+        """All-or-nothing fabric-wide deploy: one program on every switch.
+
+        Quotas charge the *fabric-wide* footprint (entries and buckets
+        summed across nodes — a fabric deploy really does consume that
+        much hardware).  A quota breach after install rolls the program
+        back off every switch before the error propagates, preserving the
+        deploy's atomicity from the tenant's point of view.
+        """
+        from .tenants import TenantProgram
+
+        source = self._require(params, "source")
+        tenant = self.tenants.get(tenant_name)
+        tenant.check_admission(entries=0, memory_buckets=0)
+        options = compile_options_from_params(params)
+        program = self.fabric.deploy(
+            source, program_name=params.get("program"), options=options
+        )
+        entries = sum(program.stats["entries_per_node"].values())
+        buckets = 0
+        for node, handle in program.handles.items():
+            record = self.fabric.topology.nodes[node].controller.manager.get(
+                handle.program_id
+            )
+            buckets += sum(alloc.size for alloc in record.memory.values())
+        try:
+            tenant.check_admission(entries=entries, memory_buckets=buckets)
+        except Exception:
+            self.fabric.revoke(program)
+            raise
+        tenant.charge(
+            TenantProgram(program.program_id, program.name, entries, buckets)
+        )
+        return {
+            "program_id": program.program_id,
+            "name": program.name,
+            "entries": entries,
+            "nodes": {n: h.program_id for n, h in program.handles.items()},
+            "entries_per_node": dict(program.stats["entries_per_node"]),
+            "update_ms": dict(program.stats["update_ms"]),
+        }
+
     def _rpc_revoke(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
         self._require_running(program_id)
+        if self.fabric is not None:
+            delays = self.fabric.revoke(program_id)
+            self.tenants.get(tenant_name).release(program_id)
+            return {"program_id": program_id, "update_ms_per_node": delays}
         delay_ms = self.controller.revoke(program_id)
         self.tenants.get(tenant_name).release(program_id)
         self._cases = {
@@ -539,6 +613,12 @@ class ControlService:
     def _rpc_add_case(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
         self._require_running(program_id)
+        if self.fabric is not None:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "incremental cases are not supported fabric-wide; "
+                "use the FabricController API directly",
+            )
         conditions = [tuple(c) for c in self._require(params, "conditions")]
         case = self.controller.add_case(
             program_id,
@@ -555,6 +635,12 @@ class ControlService:
     def _rpc_remove_case(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
         self._require_running(program_id)
+        if self.fabric is not None:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "incremental cases are not supported fabric-wide; "
+                "use the FabricController API directly",
+            )
         case_id = self._require(params, "case_id")
         entry = self._cases.get((tenant_name, case_id))
         if entry is None or entry[0] != program_id:
@@ -568,6 +654,14 @@ class ControlService:
 
     def _rpc_write_mem(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
+        if self.fabric is not None:
+            self.fabric.write_memory(
+                program_id,
+                self._require(params, "mid"),
+                self._require(params, "vaddr"),
+                self._require(params, "value"),
+            )
+            return {}
         self.controller.write_memory(
             program_id,
             self._require(params, "mid"),
@@ -587,7 +681,12 @@ class ControlService:
         kind-specific fields (see :mod:`repro.rmt.packet` constructors).
         Returns verdict counts and the measured packet rate, making the
         batch path reachable over the wire for load tests and benchmarks.
+        In fabric mode each spec may name its ingress ``leaf`` (default:
+        the first leaf) and the response accounts deliveries and drops by
+        cause instead of raw verdicts.
         """
+        if self.fabric is not None:
+            return self._fabric_inject(params)
         if self.dataplane is None:
             raise ServiceError(
                 ErrorCode.BAD_REQUEST, "service has no data-plane binding"
@@ -648,6 +747,47 @@ class ControlService:
             )
         return response
 
+    def _fabric_inject(self, params: dict) -> dict:
+        """Fabric inject: drive packet specs through the fabric engine."""
+        specs = self._require(params, "packets")
+        if not isinstance(specs, list) or not specs:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "packets must be a non-empty list"
+            )
+        leaves = self.fabric.topology.leaves
+        assignments = []
+        for spec in specs:
+            if not isinstance(spec, dict):
+                raise ServiceError(ErrorCode.BAD_REQUEST, "packet spec must be an object")
+            count = spec.get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise ServiceError(ErrorCode.BAD_REQUEST, "count must be a positive integer")
+            if len(assignments) + count > self.MAX_INJECT_PACKETS:
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"inject batch exceeds {self.MAX_INJECT_PACKETS} packets",
+                )
+            leaf = spec.get("leaf", leaves[0])
+            if leaf not in leaves:
+                raise ServiceError(
+                    ErrorCode.BAD_REQUEST, f"unknown ingress leaf {leaf!r}"
+                )
+            template = _build_packet(spec)
+            assignments.append((leaf, template))
+            for _ in range(count - 1):
+                assignments.append((leaf, template.clone()))
+        started = time.perf_counter()
+        report = self.fabric.fabric.run(assignments)
+        elapsed = time.perf_counter() - started
+        return {
+            "processed": report.injected,
+            "delivered": report.delivered,
+            "drops": dict(report.drops),
+            "reorders": report.reorders,
+            "elapsed_ms": elapsed * 1e3,
+            "pps": report.injected / elapsed if elapsed > 0 else 0.0,
+        }
+
     def _rpc_set_quota(self, tenant_name: str, params: dict) -> dict:
         target = params.get("tenant", tenant_name)
         quota = TenantQuota(
@@ -660,6 +800,19 @@ class ControlService:
 
     # -- read-only RPCs ---------------------------------------------------------
     def _rpc_ping(self, tenant_name: str, params: dict) -> dict:
+        if self.fabric is not None:
+            topo = self.fabric.topology
+            return {
+                "version": PROTOCOL_VERSION,
+                "draining": self.draining,
+                "programs": len(self.fabric.programs),
+                "workers": 0,
+                "fabric": {
+                    "leaves": len(topo.leaves),
+                    "spines": len(topo.spines),
+                    "routing": self.fabric.fabric.routing,
+                },
+            }
         return {
             "version": PROTOCOL_VERSION,
             "draining": self.draining,
@@ -668,7 +821,10 @@ class ControlService:
         }
 
     def _rpc_list(self, tenant_name: str, params: dict) -> dict:
-        listing = self.controller.list_programs()
+        if self.fabric is not None:
+            listing = self.fabric.list_programs()
+        else:
+            listing = self.controller.list_programs()
         if params.get("all"):
             for info in listing:
                 info["tenant"] = self.tenants.owner_of(info["program_id"])
@@ -677,6 +833,15 @@ class ControlService:
         return {"programs": [p for p in listing if tenant.owns(p["program_id"])]}
 
     def _rpc_stats(self, tenant_name: str, params: dict) -> dict:
+        if self.fabric is not None:
+            # Fabric-wide breakdown: per-switch pipeline counters and
+            # per-link drops by cause; with a program_id, that program's
+            # per-node and summed counters too.
+            stats = self.fabric.stats()
+            if params.get("program_id") is not None:
+                program_id = self._program_id(tenant_name, params)
+                stats["program"] = self.fabric.program_stats(program_id)
+            return stats
         program_id = self._program_id(tenant_name, params)
         stats = self.controller.program_stats(program_id)
         flow_cache = self._flow_cache_stats()
@@ -693,6 +858,19 @@ class ControlService:
 
     def _rpc_read_mem(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
+        if self.fabric is not None:
+            # Cross-device read: the merged value (per MERGE_SEMANTICS)
+            # as "value", with the per-node breakdown alongside.
+            merged = self.fabric.read_memory(
+                program_id,
+                self._require(params, "mid"),
+                self._require(params, "vaddr"),
+            )
+            return {
+                "value": merged["aggregate"],
+                "kind": merged["kind"],
+                "per_node": merged["per_node"],
+            }
         value = self.controller.read_memory(
             program_id, self._require(params, "mid"), self._require(params, "vaddr")
         )
@@ -700,10 +878,26 @@ class ControlService:
 
     def _rpc_snapshot(self, tenant_name: str, params: dict) -> dict:
         program_id = self._program_id(tenant_name, params)
+        if self.fabric is not None:
+            merged = self.fabric.snapshot_memory(
+                program_id, self._require(params, "mid")
+            )
+            return {
+                "values": merged["aggregate"],
+                "kind": merged["kind"],
+                "per_node": merged["per_node"],
+            }
         values = self.controller.snapshot_memory(program_id, self._require(params, "mid"))
         return {"values": values}
 
     def _rpc_utilization(self, tenant_name: str, params: dict) -> dict:
+        if self.fabric is not None:
+            per_node = {}
+            for name, node in self.fabric.topology.nodes.items():
+                util = node.controller.utilization()
+                util["per_rpb"] = node.controller.manager.utilization_snapshot()
+                per_node[name] = util
+            return {"per_node": per_node}
         util = self.controller.utilization()
         util["per_rpb"] = self.controller.manager.utilization_snapshot()
         return util
@@ -720,8 +914,16 @@ class ControlService:
         from ..compiler import solver
 
         snapshot = self.metrics.snapshot()
-        snapshot["southbound_retries"] = self.retrying.stats.as_dict()
         snapshot["audit_records"] = len(self.audit)
+        if self.fabric is not None:
+            snapshot["southbound_retries"] = {
+                name: wrapper.stats.as_dict()
+                for name, wrapper in self._node_retrying.items()
+            }
+            snapshot["caches"] = {"solver": solver.cache_stats()}
+            snapshot["fabric"] = self.fabric.stats()
+            return snapshot
+        snapshot["southbound_retries"] = self.retrying.stats.as_dict()
         snapshot["caches"] = {
             "deploy_cache": self.controller.deploy_cache.stats(),
             "solver": solver.cache_stats(),
@@ -737,6 +939,9 @@ class ControlService:
         return {"records": [r.as_dict() for r in records]}
 
     def _rpc_fingerprint(self, tenant_name: str, params: dict) -> dict:
+        if self.fabric is not None:
+            prints = self.fabric.state_fingerprints()
+            return {"fingerprint": prints.pop("combined"), "per_node": prints}
         return {"fingerprint": self.controller.manager.state_fingerprint()}
 
 

@@ -9,6 +9,7 @@ from .capture import (
 )
 from .flows import Flow, FlowPopulation, make_population
 from .replay import ReplayEngine, ReplayEvent, WindowStats, load_imbalance
+from .topo import FabricTraffic, make_fabric_population
 from .trace import (
     WINDOW_S,
     CacheTrace,
@@ -27,8 +28,10 @@ __all__ = [
     "save_capture",
     "CacheTraceConfig",
     "CampusTrace",
+    "FabricTraffic",
     "Flow",
     "FlowPopulation",
+    "make_fabric_population",
     "ReplayEngine",
     "ReplayEvent",
     "TraceConfig",

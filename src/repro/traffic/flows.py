@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from ..rmt.packet import PROTO_TCP, PROTO_UDP
+
+#: address assigner hook: ``(rng, flow_index) -> (src_ip, dst_ip)``
+Addresser = Callable[[random.Random, int], tuple[int, int]]
 
 
 @dataclass(frozen=True)
@@ -62,6 +66,7 @@ def make_population(
     udp_fraction: float = 0.35,
     subnet: int = 0x0A000000,  # 10.0.0.0/16: matches the workload filters
     seed: int = 7,
+    addresser: Addresser | None = None,
 ) -> FlowPopulation:
     """Build a heavy-tailed population.
 
@@ -69,6 +74,11 @@ def make_population(
     flows (uniformly among them); the rest follows a Zipf-ish tail over
     the light flows — the structure campus traffic showed in the paper's
     dataset.
+
+    ``addresser`` overrides address assignment — the topology-aware
+    sources in :mod:`repro.traffic.topo` pass one that draws src/dst from
+    per-leaf subnets, so fabric and single-switch benches share this one
+    generator (same Zipf weights, protocol mix, and seeding).
     """
     if heavy_flows > num_flows:
         raise ValueError("heavy_flows cannot exceed num_flows")
@@ -85,10 +95,15 @@ def make_population(
             zipf = 1.0 / rank**1.1
             weight = zipf  # normalized below
         proto = PROTO_UDP if rng.random() < udp_fraction else PROTO_TCP
+        if addresser is not None:
+            src_ip, dst_ip = addresser(rng, index)
+        else:
+            src_ip = subnet | rng.randrange(1, 1 << 16)
+            dst_ip = subnet | rng.randrange(1, 1 << 16)
         flows.append(
             Flow(
-                src_ip=subnet | rng.randrange(1, 1 << 16),
-                dst_ip=subnet | rng.randrange(1, 1 << 16),
+                src_ip=src_ip,
+                dst_ip=dst_ip,
                 proto=proto,
                 src_port=rng.randrange(1024, 65536),
                 dst_port=rng.choice([80, 443, 53, 123, 8080, rng.randrange(1024, 65536)]),

@@ -1,0 +1,123 @@
+"""Topology-aware traffic: flow populations pinned to fabric leaves.
+
+:func:`make_fabric_population` reuses the single-switch Zipf machinery of
+:func:`~.flows.make_population` — same heavy/light split, protocol mix,
+and seeding — but draws every flow's addresses from the fabric's per-leaf
+host subnets: the source address decides the ingress leaf, and a
+``locality`` knob controls how much traffic stays on its ingress leaf
+versus crossing the spine layer.  :class:`FabricTraffic` then turns
+sampled flows into the ``(ingress_leaf, packet)`` assignments
+:meth:`repro.fabric.Fabric.run` consumes, so fabric benches and
+single-switch benches share one generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..rmt.packet import PROTO_UDP, Packet, make_tcp, make_udp
+from .flows import Flow, FlowPopulation, make_population
+
+
+def make_fabric_population(
+    topology,
+    *,
+    num_flows: int = 4096,
+    heavy_flows: int = 100,
+    heavy_share: float = 0.6,
+    udp_fraction: float = 0.35,
+    locality: float = 0.5,
+    seed: int = 7,
+) -> "FabricTraffic":
+    """Build a leaf-aware population over ``topology``.
+
+    Flow ``i`` sources from leaf ``i % num_leaves`` (so load spreads
+    evenly); its destination stays on the same leaf with probability
+    ``locality`` and otherwise lands on a uniformly chosen other leaf.
+    """
+    leaves = topology.leaves
+    if not leaves:
+        raise ValueError("topology has no leaves")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be within [0, 1]")
+
+    def addresser(rng: random.Random, index: int) -> tuple[int, int]:
+        src_leaf = leaves[index % len(leaves)]
+        if len(leaves) == 1 or rng.random() < locality:
+            dst_leaf = src_leaf
+        else:
+            others = [leaf for leaf in leaves if leaf != src_leaf]
+            dst_leaf = others[rng.randrange(len(others))]
+        src_base, src_mask = topology.leaf_subnets[src_leaf]
+        dst_base, dst_mask = topology.leaf_subnets[dst_leaf]
+        src_span = (~src_mask) & 0xFFFFFFFF
+        dst_span = (~dst_mask) & 0xFFFFFFFF
+        return (
+            src_base | rng.randrange(1, src_span + 1),
+            dst_base | rng.randrange(1, dst_span + 1),
+        )
+
+    population = make_population(
+        num_flows=num_flows,
+        heavy_flows=heavy_flows,
+        heavy_share=heavy_share,
+        udp_fraction=udp_fraction,
+        seed=seed,
+        addresser=addresser,
+    )
+    return FabricTraffic(topology, population)
+
+
+@dataclass
+class FabricTraffic:
+    """A flow population plus its ingress-leaf map."""
+
+    topology: object
+    population: FlowPopulation
+
+    def __post_init__(self) -> None:
+        self.ingress: dict[tuple, str] = {}
+        for flow in self.population.flows:
+            leaf = self.topology.leaf_of_ip(flow.src_ip)
+            if leaf is None:
+                raise ValueError(
+                    f"flow source {flow.src_ip:#x} is outside every leaf subnet"
+                )
+            self.ingress[flow.five_tuple] = leaf
+
+    def ingress_of(self, flow: Flow) -> str:
+        return self.ingress[flow.five_tuple]
+
+    def packet_of(self, flow: Flow, *, ts: float = 0.0, size: int = 64) -> Packet:
+        maker = make_udp if flow.proto == PROTO_UDP else make_tcp
+        packet = maker(
+            flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port, size=size
+        )
+        packet.ts = ts
+        return packet
+
+    def assignments(
+        self, count: int, *, inter_arrival_s: float = 1e-6, size: int = 64
+    ) -> list[tuple[str, Packet]]:
+        """Sample ``count`` packets as ``(ingress_leaf, packet)`` pairs,
+        timestamped at a fixed inter-arrival spacing (arrival order ==
+        injection order, which the fabric's reorder accounting relies on).
+        """
+        out = []
+        for index, flow in enumerate(self.population.sample(count)):
+            packet = self.packet_of(
+                flow, ts=index * inter_arrival_s, size=size
+            )
+            out.append((self.ingress[flow.five_tuple], packet))
+        return out
+
+    def cross_leaf_share(self) -> float:
+        """Fraction of sampling weight that crosses the spine layer."""
+        total = sum(f.weight for f in self.population.flows)
+        cross = sum(
+            f.weight
+            for f in self.population.flows
+            if self.topology.leaf_of_ip(f.dst_ip) != self.ingress[f.five_tuple]
+        )
+        return cross / total if total else 0.0

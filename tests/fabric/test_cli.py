@@ -1,0 +1,53 @@
+"""``p4runpro fabric`` subcommands end to end."""
+
+import json
+
+from repro.cli import main
+from repro.programs import PROGRAMS
+
+
+def test_spec_round_trips_through_show(tmp_path, capsys):
+    out = tmp_path / "topo.json"
+    assert main(
+        [
+            "fabric", "spec", "--leaves", "3", "--spines", "2",
+            "--latency-us", "5", "--out", str(out),
+        ]
+    ) == 0
+    spec = json.loads(out.read_text())
+    assert spec["leaves"] == 3 and spec["spines"] == 2
+    assert spec["link"]["latency_us"] == 5.0
+    assert main(["fabric", "show", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "leaf0, leaf1, leaf2" in text
+    assert "spine0, spine1" in text
+    assert "10.0.1.0/24" in text
+    assert "latency 5.0 us" in text
+
+
+def test_show_accepts_shorthand(capsys):
+    assert main(["fabric", "show", "2x1"]) == 0
+    text = capsys.readouterr().out
+    assert "leaf0, leaf1" in text and "spine0" in text
+
+
+def test_run_reports_delivery_and_failover(tmp_path, capsys):
+    source = tmp_path / "cms.rp"
+    source.write_text(PROGRAMS["cms"].source)
+    assert main(
+        [
+            "fabric", "run", "2x2",
+            "--packets", "400",
+            "--locality", "0",
+            "--routing", "controlled",
+            "--deploy", str(source),
+            "--link-down", "leaf0:spine0@100",
+            "--reroute", "200",
+        ]
+    ) == 0
+    text = capsys.readouterr().out
+    assert "deployed 'cms' as #1 on 4 switches" in text
+    assert "injected 400" in text
+    assert "drops: link_down=" in text
+    assert "reroute at packet 200" in text
+    assert "leaf0:48<->spine0:0" in text

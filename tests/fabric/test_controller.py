@@ -1,0 +1,204 @@
+"""Federated control plane: atomic deploy, aggregation, monitoring."""
+
+import pytest
+
+from repro.fabric import FabricController, Topology
+from repro.lang.errors import AllocationError, P4runproError
+from repro.programs import PROGRAMS
+from repro.rmt.packet import make_udp
+
+
+def _fabric(leaves=2, spines=1):
+    topo = Topology.leaf_spine(leaves, spines)
+    return topo, FabricController(topo)
+
+
+def _cross_leaf_assignments(topo, count):
+    """Packets from leaf0 hosts to leaf1 hosts — always three hops."""
+    assignments = []
+    for i in range(count):
+        pkt = make_udp(
+            topo.host_ip("leaf0", 1 + i % 4),
+            topo.host_ip("leaf1", 1 + i % 4),
+            1000 + i % 8,
+            80,
+        )
+        pkt.ts = i * 1e-6
+        assignments.append(("leaf0", pkt))
+    return assignments
+
+
+class TestFabricDeploy:
+    def test_deploy_lands_on_every_node(self):
+        topo, ctl = _fabric(2, 2)
+        with topo:
+            program = ctl.deploy(PROGRAMS["cms"].source)
+            assert set(program.handles) == {"leaf0", "leaf1", "spine0", "spine1"}
+            assert set(program.stats["entries_per_node"]) == set(program.handles)
+            listing = ctl.list_programs()
+            assert len(listing) == 1
+            assert listing[0]["program_id"] == program.program_id
+            assert set(listing[0]["nodes"]) == set(program.handles)
+            # every per-switch controller really has the program
+            for node in topo.nodes.values():
+                assert node.controller.list_programs()
+
+    def test_deploy_subset_of_nodes(self):
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            program = ctl.deploy(
+                PROGRAMS["cms"].source, nodes=["leaf0", "leaf1"]
+            )
+            assert set(program.handles) == {"leaf0", "leaf1"}
+            assert not topo.nodes["spine0"].controller.list_programs()
+            with pytest.raises(P4runproError):
+                program.handle_on("spine0")
+
+    def test_revoke_everywhere(self):
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            program = ctl.deploy(PROGRAMS["cms"].source)
+            delays = ctl.revoke(program)
+            assert set(delays) == {"leaf0", "leaf1", "spine0"}
+            assert not ctl.list_programs()
+            for node in topo.nodes.values():
+                assert not node.controller.list_programs()
+
+    def test_unknown_program_rejected(self):
+        topo, ctl = _fabric(1, 0)
+        with topo:
+            with pytest.raises(P4runproError):
+                ctl.revoke(99)
+
+    def test_failed_deploy_rolls_back_all_switches(self):
+        """Acceptance: a partial fabric deploy leaves every switch's
+        state fingerprint byte-identical and installs nothing."""
+        from repro.programs import library
+
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            # Exhaust spine0 directly (behind the fabric controller's
+            # back) so the fabric-wide install fails mid-sequence --
+            # after the leaves, which deploy first in topology order.
+            big = library.source_with_memory("cms", 65536)
+            spine = topo.nodes["spine0"].controller
+            with pytest.raises(AllocationError):
+                for _ in range(50):
+                    spine.deploy(big)
+            before = ctl.state_fingerprints()
+            with pytest.raises(AllocationError):
+                ctl.deploy(big)
+            assert ctl.state_fingerprints() == before
+            assert not ctl.programs
+            assert not topo.nodes["leaf0"].controller.list_programs()
+            assert not topo.nodes["leaf1"].controller.list_programs()
+
+
+class TestMemoryAggregation:
+    def test_counter_sum_across_devices(self):
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            program = ctl.deploy(PROGRAMS["cms"].source)
+            report = ctl.fabric.run(_cross_leaf_assignments(topo, 60))
+            assert report.conservation_ok() and not report.drops
+            snap = ctl.snapshot_memory(program, "cms_row1")
+            assert snap["kind"] == "sum"
+            assert set(snap["per_node"]) == {"leaf0", "leaf1", "spine0"}
+            for off, merged in enumerate(snap["aggregate"]):
+                assert merged == sum(
+                    block[off] for block in snap["per_node"].values()
+                ) & 0xFFFFFFFF
+            # each of the 3 hops counted every packet once
+            assert sum(snap["aggregate"]) == 3 * sum(
+                snap["per_node"]["leaf0"]
+            )
+            hot = max(
+                range(len(snap["aggregate"])), key=snap["aggregate"].__getitem__
+            )
+            single = ctl.read_memory(program, "cms_row1", hot)
+            assert single["kind"] == "sum"
+            assert single["aggregate"] == snap["aggregate"][hot]
+
+    @pytest.mark.parametrize(
+        "name,mid,kind",
+        [
+            ("bf", "bf_row1", "or"),
+            ("sumax", "sumax_row1", "max"),
+            ("lb", "dip_pool", "read"),
+            ("hh", "mem_cms_row1", None),
+        ],
+    )
+    def test_merge_kind_per_program(self, name, mid, kind):
+        topo, ctl = _fabric(1, 0)
+        with topo:
+            program = ctl.deploy(PROGRAMS[name].source)
+            result = ctl.read_memory(program, mid, 0)
+            assert result["kind"] == kind
+            if kind is None:
+                assert result["aggregate"] is None
+
+    def test_unknown_memory_rejected(self):
+        topo, ctl = _fabric(1, 0)
+        with topo:
+            program = ctl.deploy(PROGRAMS["cms"].source)
+            with pytest.raises(P4runproError):
+                ctl.read_memory(program, "no_such_mid", 0)
+
+    def test_write_fans_out_to_every_node(self):
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            program = ctl.deploy(PROGRAMS["lb"].source)
+            ctl.write_memory(program, "dip_pool", 3, 42)
+            result = ctl.read_memory(program, "dip_pool", 3)
+            assert result["per_node"] == {
+                "leaf0": 42, "leaf1": 42, "spine0": 42
+            }
+            assert result["aggregate"] == 42  # replicas agree
+
+
+class TestMonitoring:
+    def test_program_stats_totals(self):
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            program = ctl.deploy(PROGRAMS["cms"].source)
+            report = ctl.fabric.run(_cross_leaf_assignments(topo, 50))
+            assert not report.drops
+            stats = ctl.program_stats(program)
+            assert set(stats["per_node"]) == {"leaf0", "leaf1", "spine0"}
+            # every cross-leaf packet traverses all three pipelines
+            assert stats["totals"]["matched_packets"] == 3 * 50
+            assert stats["totals"]["entries"] == sum(
+                s["entries"] for s in stats["per_node"].values()
+            )
+
+    def test_stats_shape(self):
+        topo, ctl = _fabric(2, 2)
+        with topo:
+            stats = ctl.stats()
+            assert set(stats["nodes"]) == set(topo.nodes)
+            assert len(stats["links"]) == 4
+            for row in stats["links"].values():
+                assert row["up"] is True and "carried" in row
+            assert stats["routing"] == "auto"
+            assert stats["routes"]["leaf0->leaf1"] == ["spine0", "spine1"]
+
+    def test_state_fingerprints_track_deploys(self):
+        topo, ctl = _fabric(2, 1)
+        with topo:
+            empty = ctl.state_fingerprints()
+            assert set(empty) == {"combined", "leaf0", "leaf1", "spine0"}
+            program = ctl.deploy(PROGRAMS["cms"].source)
+            loaded = ctl.state_fingerprints()
+            assert loaded["combined"] != empty["combined"]
+            ctl.revoke(program)
+            assert (
+                ctl.state_fingerprints()["combined"] == empty["combined"]
+            )
+
+    def test_reroute_delegates_to_fabric(self):
+        topo, ctl = _fabric(2, 2)
+        with topo:
+            ctl.fabric.set_link_state("leaf0", "spine0", False)
+            latency_ms = ctl.reroute()
+            assert latency_ms >= 0.0
+            assert ctl.stats()["routes"]["leaf0->leaf1"] == ["spine1"]

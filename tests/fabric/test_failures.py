@@ -1,0 +1,249 @@
+"""Failure scenarios: conservation, failover, blackout windows, reorders."""
+
+import pytest
+
+from repro.engine.engine import flow_hash
+from repro.fabric import (
+    LEAF,
+    SPINE,
+    UPLINK_PORT_BASE,
+    Fabric,
+    FabricNode,
+    Link,
+    Scenario,
+    Topology,
+)
+from repro.rmt.packet import make_udp
+
+
+def _assignments(topo, count, *, src_leaf="leaf0", dst_leaf="leaf1", flows=8):
+    out = []
+    for i in range(count):
+        pkt = make_udp(
+            topo.host_ip(src_leaf, 1 + i % 4),
+            topo.host_ip(dst_leaf, 1 + i % 4),
+            1000 + i % flows,
+            80,
+        )
+        pkt.ts = i * 1e-6
+        out.append((src_leaf, pkt))
+    return out
+
+
+def _conserved(report):
+    assert report.conservation_ok()
+    assert report.injected == report.delivered + sum(report.drops.values())
+    for account in report.per_flow.values():
+        assert account.injected == account.delivered + account.lost
+    return True
+
+
+class TestConservation:
+    def test_clean_run_delivers_everything(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(_assignments(topo, 120))
+            assert _conserved(report) and not report.drops
+            assert report.delivered == 120
+            # flows split across both spines and every hop saw traffic
+            carried = [row["carried"] for row in report.per_link.values()]
+            assert sum(carried) == 2 * 120  # uplink + downlink per packet
+            assert report.per_node["spine0"]["fabric_packets"] > 0
+            assert report.per_node["spine1"]["fabric_packets"] > 0
+
+    def test_local_traffic_never_touches_links(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(
+                _assignments(topo, 40, src_leaf="leaf0", dst_leaf="leaf0")
+            )
+            assert _conserved(report) and report.delivered == 40
+            assert all(
+                row["carried"] == 0 for row in report.per_link.values()
+            )
+
+    def test_lossy_links_account_every_packet(self):
+        with Topology.leaf_spine(2, 1, loss=0.2, seed=3) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(_assignments(topo, 300))
+            assert _conserved(report)
+            assert 0 < report.drops["link_loss"] < 300
+            lost = sum(acc.lost for acc in report.per_flow.values())
+            assert lost == report.drops["link_loss"]
+
+    def test_bandwidth_window_drops(self):
+        with Topology.leaf_spine(2, 1, bandwidth_gbps=0.001) as topo:
+            fabric = Fabric(topo)
+            # 1 Mb/s for 1 ms = 125 bytes: two 64 B packets fit per link
+            report = fabric.run(_assignments(topo, 50), duration_s=0.001)
+            assert _conserved(report)
+            assert report.drops["link_bandwidth"] == 50 - report.delivered
+            assert 0 < report.delivered < 50
+
+    def test_no_route_when_leaves_are_unconnected(self):
+        with Topology.leaf_spine(2, 0) as topo:
+            report = Fabric(topo).run(_assignments(topo, 30))
+            assert _conserved(report)
+            assert report.drops == {"no_route": 30}
+
+    def test_down_ingress_leaf_drops_pre_pipeline(self):
+        with Topology.leaf_spine(2, 1) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(
+                _assignments(topo, 20),
+                scenario=Scenario().node_down(0, "leaf0"),
+            )
+            assert _conserved(report)
+            assert report.drops == {"node_down": 20}
+            assert all(o.path == ("leaf0",) for o in report.outcomes)
+
+    def test_down_egress_leaf_drops_at_spine(self):
+        with Topology.leaf_spine(2, 1) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(
+                _assignments(topo, 20),
+                scenario=Scenario().node_down(0, "leaf1"),
+            )
+            assert _conserved(report)
+            assert report.drops == {"node_down": 20}
+            assert all(o.node == "spine0" for o in report.outcomes)
+
+
+class TestAutoFailover:
+    def test_link_down_mid_run_is_lossless(self):
+        """ECMP over live paths: a failed uplink diverts traffic with
+        zero loss and the surviving spine carries the rest."""
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(
+                _assignments(topo, 200),
+                scenario=Scenario().link_down(100, "leaf0", "spine0"),
+            )
+            assert _conserved(report) and not report.drops
+            via_spine0 = report.per_link["leaf0:48<->spine0:0"]["carried"]
+            via_spine1 = report.per_link["leaf0:49<->spine1:0"]["carried"]
+            assert via_spine0 + via_spine1 == 200
+            assert via_spine1 > 100  # picked up spine0's flows after the cut
+
+    def test_spine_down_mid_run_is_lossless(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(
+                _assignments(topo, 200),
+                scenario=Scenario().node_down(100, "spine0"),
+            )
+            assert _conserved(report) and not report.drops
+            assert report.per_node["spine0"]["fabric_packets"] < 100
+
+    def test_link_up_restores_spreading(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo)
+            scenario = (
+                Scenario()
+                .link_down(0, "leaf0", "spine0")
+                .link_up(100, "leaf0", "spine0")
+            )
+            report = fabric.run(_assignments(topo, 200), scenario=scenario)
+            assert _conserved(report) and not report.drops
+            assert report.per_link["leaf0:48<->spine0:0"]["carried"] > 0
+
+
+class TestControlledFailover:
+    def test_blackout_until_reroute(self):
+        """Controlled mode keeps the installed (dead) path until the
+        controller flips the table: drops are confined to the blackout
+        window and every one is accounted."""
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo, routing="controlled")
+            scenario = (
+                Scenario()
+                .link_down(100, "leaf0", "spine0")
+                .reroute(150)
+            )
+            report = fabric.run(_assignments(topo, 300), scenario=scenario)
+            assert _conserved(report)
+            lost = report.drops.get("link_down", 0)
+            # only spine0-hashed flows inside the 50-packet window drop
+            assert 0 < lost <= 50
+            assert len(report.reroutes) == 1
+            assert report.reroutes[0]["at_index"] == 150
+            assert report.reroutes[0]["latency_ms"] >= 0.0
+            assert fabric.routes[("leaf0", "leaf1")] == ("spine1",)
+
+    def test_dead_spine_is_node_down_until_reroute(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo, routing="controlled")
+            scenario = Scenario().node_down(0, "spine0").reroute(100)
+            report = fabric.run(_assignments(topo, 200), scenario=scenario)
+            assert _conserved(report)
+            assert 0 < report.drops["node_down"] <= 100
+            assert report.per_node["spine0"]["fabric_packets"] == 0
+
+    def test_reroute_with_no_survivors_is_no_route(self):
+        with Topology.leaf_spine(2, 1) as topo:
+            fabric = Fabric(topo, routing="controlled")
+            scenario = Scenario().link_down(0, "leaf0", "spine0").reroute(0)
+            report = fabric.run(_assignments(topo, 20), scenario=scenario)
+            assert _conserved(report)
+            assert report.drops == {"no_route": 20}
+
+
+class TestReorderAccounting:
+    @staticmethod
+    def _asymmetric_topology():
+        """leaf0/leaf1 joined by a slow spine0 (100 us links) and a fast
+        spine1 (1 us links)."""
+        topo = Topology()
+        for name, role in (
+            ("leaf0", LEAF),
+            ("leaf1", LEAF),
+            ("spine0", SPINE),
+            ("spine1", SPINE),
+        ):
+            topo.add_node(FabricNode(name, role))
+        topo.leaf_subnets["leaf0"] = (0x0A000100, 0xFFFFFF00)
+        topo.leaf_subnets["leaf1"] = (0x0A000200, 0xFFFFFF00)
+        for leaf_index, leaf in enumerate(("leaf0", "leaf1")):
+            topo.add_link(
+                Link(leaf, UPLINK_PORT_BASE, "spine0", leaf_index,
+                     latency_s=100e-6)
+            )
+            topo.add_link(
+                Link(leaf, UPLINK_PORT_BASE + 1, "spine1", leaf_index,
+                     latency_s=1e-6)
+            )
+        return topo
+
+    def test_reroute_to_faster_path_counts_overtakes(self):
+        topo = self._asymmetric_topology()
+        with topo:
+            fabric = Fabric(topo, routing="controlled")
+            # a single flow pinned (by hash) to the slow spine0
+            for port in range(1000, 1100):
+                flow_pkt = make_udp(0x0A000105, 0x0A000205, port, 80)
+                if flow_hash(flow_pkt.five_tuple()) % 2 == 0:
+                    break
+            else:
+                pytest.fail("no spine0-hashed flow found")
+            assignments = []
+            for i in range(60):
+                pkt = make_udp(0x0A000105, 0x0A000205, port, 80)
+                pkt.ts = i * 1e-6
+                assignments.append(("leaf0", pkt))
+            scenario = (
+                Scenario().link_down(20, "leaf0", "spine0").reroute(20)
+            )
+            report = fabric.run(assignments, scenario=scenario)
+            assert _conserved(report) and not report.drops
+            # packets 20+ took the 2 us path and landed before packet
+            # 19's 200 us arrival -- overtakes the per-flow account sees
+            account = report.per_flow[assignments[0][1].five_tuple()]
+            assert account.reorders > 0
+            assert report.reorders == account.reorders
+
+    def test_sticky_single_path_never_reorders(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            fabric = Fabric(topo)
+            report = fabric.run(_assignments(topo, 150))
+            assert _conserved(report)
+            assert report.reorders == 0

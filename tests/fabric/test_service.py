@@ -1,0 +1,194 @@
+"""The control service in fabric mode (``serve --fabric SPEC``)."""
+
+import asyncio
+
+import pytest
+
+from repro.fabric import FabricController, Topology
+from repro.programs import PROGRAMS
+from repro.service import ControlService, Request
+
+CMS = PROGRAMS["cms"].source
+
+
+def run(service, method, params=None, tenant="default"):
+    request = Request(id=1, method=method, params=params or {}, tenant=tenant)
+    return asyncio.run(service.handle_request(request))
+
+
+def result_of(response):
+    assert response["ok"], response
+    return response["result"]
+
+
+def error_of(response):
+    assert not response["ok"], response
+    return response["error"]
+
+
+@pytest.fixture()
+def topo():
+    with Topology.leaf_spine(2, 1) as topology:
+        yield topology
+
+
+@pytest.fixture()
+def service(topo):
+    return ControlService(fabric=FabricController(topo))
+
+
+def _cross_leaf_spec(topo, count, **extra):
+    spec = {
+        "kind": "udp",
+        "count": count,
+        "leaf": "leaf0",
+        "src_ip": topo.host_ip("leaf0", 5),
+        "dst_ip": topo.host_ip("leaf1", 5),
+    }
+    spec.update(extra)
+    return spec
+
+
+def test_fabric_excludes_other_bindings(topo):
+    from repro.controlplane import Controller
+
+    ctl, dataplane = Controller.with_simulator()
+    with pytest.raises(ValueError):
+        ControlService(ctl, dataplane, fabric=FabricController(topo))
+
+
+def test_ping_reports_fabric_shape(service):
+    info = result_of(run(service, "ping"))
+    assert info["fabric"] == {"leaves": 2, "spines": 1, "routing": "auto"}
+    assert info["programs"] == 0
+
+
+def test_deploy_list_revoke_cycle(service):
+    deployed = result_of(run(service, "deploy", {"source": CMS}))
+    assert set(deployed["nodes"]) == {"leaf0", "leaf1", "spine0"}
+    assert set(deployed["entries_per_node"]) == set(deployed["nodes"])
+    assert deployed["entries"] == sum(deployed["entries_per_node"].values())
+    listing = result_of(run(service, "list"))["programs"]
+    assert [p["program_id"] for p in listing] == [deployed["program_id"]]
+    revoked = result_of(
+        run(service, "revoke", {"program_id": deployed["program_id"]})
+    )
+    assert set(revoked["update_ms_per_node"]) == set(deployed["nodes"])
+    assert result_of(run(service, "list"))["programs"] == []
+
+
+def test_incremental_cases_rejected_fabric_wide(service):
+    deployed = result_of(run(service, "deploy", {"source": CMS}))
+    for method, params in (
+        ("add_case", {"conditions": [["f1", 1, 1]]}),
+        ("remove_case", {"case_id": 1}),
+    ):
+        params["program_id"] = deployed["program_id"]
+        error = error_of(run(service, method, params))
+        assert "fabric" in error["message"]
+
+
+def test_inject_routes_and_accounts(service, topo):
+    deployed = result_of(run(service, "deploy", {"source": CMS}))
+    result = result_of(
+        run(service, "inject", {"packets": [_cross_leaf_spec(topo, 30)]})
+    )
+    assert result["processed"] == 30
+    assert result["delivered"] == 30
+    assert result["drops"] == {} and result["reorders"] == 0
+    # every packet crossed ingress leaf, spine, egress leaf
+    stats = result_of(
+        run(service, "stats", {"program_id": deployed["program_id"]})
+    )
+    assert stats["program"]["totals"]["matched_packets"] == 3 * 30
+    assert stats["nodes"]["spine0"]["fabric_packets"] == 30
+    uplink = stats["links"]["leaf0:48<->spine0:0"]
+    assert uplink["carried"] == 30 and uplink["up"] is True
+
+
+def test_inject_rejects_unknown_leaf(service, topo):
+    error = error_of(
+        run(
+            service,
+            "inject",
+            {"packets": [_cross_leaf_spec(topo, 1, leaf="spine0")]},
+        )
+    )
+    assert "ingress leaf" in error["message"]
+
+
+def test_read_mem_and_snapshot_aggregate(service, topo):
+    deployed = result_of(run(service, "deploy", {"source": CMS}))
+    result_of(run(service, "inject", {"packets": [_cross_leaf_spec(topo, 24)]}))
+    snapshot = result_of(
+        run(
+            service,
+            "snapshot",
+            {"program_id": deployed["program_id"], "mid": "cms_row1"},
+        )
+    )
+    assert snapshot["kind"] == "sum"
+    assert sum(snapshot["values"]) == 3 * 24
+    hot = max(range(len(snapshot["values"])), key=snapshot["values"].__getitem__)
+    single = result_of(
+        run(
+            service,
+            "read_mem",
+            {"program_id": deployed["program_id"], "mid": "cms_row1", "vaddr": hot},
+        )
+    )
+    assert single["value"] == snapshot["values"][hot]
+    assert single["value"] == sum(single["per_node"].values())
+
+
+def test_write_mem_fans_out(service):
+    deployed = result_of(run(service, "deploy", {"source": PROGRAMS["lb"].source}))
+    result_of(
+        run(
+            service,
+            "write_mem",
+            {
+                "program_id": deployed["program_id"],
+                "mid": "dip_pool",
+                "vaddr": 2,
+                "value": 9,
+            },
+        )
+    )
+    value = result_of(
+        run(
+            service,
+            "read_mem",
+            {"program_id": deployed["program_id"], "mid": "dip_pool", "vaddr": 2},
+        )
+    )
+    assert value["kind"] == "read"
+    assert value["per_node"] == {"leaf0": 9, "leaf1": 9, "spine0": 9}
+
+
+def test_quota_charges_fabric_wide_footprint(service):
+    deployed = result_of(run(service, "deploy", {"source": CMS}))
+    total = deployed["entries"]
+    per_node = deployed["entries_per_node"]["leaf0"]
+    result_of(run(service, "revoke", {"program_id": deployed["program_id"]}))
+    fingerprint = result_of(run(service, "fingerprint"))
+    # room for one switch's copy but not for all three
+    result_of(run(service, "set_quota", {"max_table_entries": total - 1}))
+    error = error_of(run(service, "deploy", {"source": CMS}))
+    assert error["code"] == "QUOTA_EXCEEDED"
+    assert total - 1 >= per_node  # the single-switch copy would have fit
+    # the failed deploy rolled back: no programs, fingerprints unchanged
+    assert result_of(run(service, "list"))["programs"] == []
+    assert result_of(run(service, "fingerprint")) == fingerprint
+
+
+def test_metrics_and_fingerprint_break_down_per_node(service):
+    result_of(run(service, "deploy", {"source": CMS}))
+    metrics = result_of(run(service, "metrics"))
+    assert set(metrics["southbound_retries"]) == {"leaf0", "leaf1", "spine0"}
+    assert "nodes" in metrics["fabric"] and "links" in metrics["fabric"]
+    fingerprint = result_of(run(service, "fingerprint"))
+    assert set(fingerprint["per_node"]) == {"leaf0", "leaf1", "spine0"}
+    assert fingerprint["fingerprint"]
+    utilization = result_of(run(service, "utilization"))
+    assert set(utilization["per_node"]) == {"leaf0", "leaf1", "spine0"}

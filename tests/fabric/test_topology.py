@@ -1,0 +1,160 @@
+"""Topology layer: builder shape, links, spec round-trip, node parity."""
+
+import json
+
+import pytest
+
+from repro.fabric import (
+    LEAF,
+    SPINE,
+    UPLINK_PORT_BASE,
+    FabricNode,
+    Link,
+    Topology,
+    TopologyError,
+)
+from repro.programs import PROGRAMS
+from repro.rmt.packet import make_udp
+
+
+class TestLeafSpineBuilder:
+    def test_shape(self):
+        with Topology.leaf_spine(3, 2) as topo:
+            assert topo.leaves == ["leaf0", "leaf1", "leaf2"]
+            assert topo.spines == ["spine0", "spine1"]
+            assert len(topo.links) == 6  # full bipartite mesh
+            link = topo.link_between("leaf1", "spine0")
+            assert link.ingress_port_at("spine0") == 1
+            assert link.ingress_port_at("leaf1") == UPLINK_PORT_BASE
+
+    def test_leaf_subnets_and_host_ips(self):
+        with Topology.leaf_spine(2, 1) as topo:
+            assert topo.leaf_of_ip(topo.host_ip("leaf0", 5)) == "leaf0"
+            assert topo.leaf_of_ip(topo.host_ip("leaf1", 200)) == "leaf1"
+            assert topo.leaf_of_ip(0xC0A80001) is None  # 192.168.0.1
+            with pytest.raises(TopologyError):
+                topo.host_ip("leaf0", 0)
+            with pytest.raises(TopologyError):
+                topo.host_ip("leaf0", 256)
+
+    def test_single_switch_fabric_has_no_spines(self):
+        with Topology.leaf_spine(1, 0) as topo:
+            assert topo.leaves == ["leaf0"] and not topo.spines
+            assert not topo.links
+
+    def test_invalid_counts(self):
+        with pytest.raises(TopologyError):
+            Topology.leaf_spine(0, 2)
+        with pytest.raises(TopologyError):
+            Topology.leaf_spine(2, -1)
+
+    def test_duplicate_nodes_and_links_rejected(self):
+        topo = Topology()
+        topo.add_node(FabricNode("a", LEAF))
+        topo.add_node(FabricNode("b", SPINE))
+        with pytest.raises(TopologyError):
+            topo.add_node(FabricNode("a", LEAF))
+        topo.add_link(Link("a", 48, "b", 0))
+        with pytest.raises(TopologyError):
+            topo.add_link(Link("a", 49, "b", 1))
+        with pytest.raises(TopologyError):
+            topo.add_link(Link("a", 50, "missing", 0))
+        with pytest.raises(TopologyError):
+            topo.link_between("b", "missing")
+
+
+class TestLink:
+    def test_down_link_drops(self):
+        link = Link("a", 0, "b", 0)
+        link.up = False
+        assert link.transmit(64) == "link_down"
+        assert link.stats.dropped_down == 1
+
+    def test_lossy_link_drops_deterministically(self):
+        one = Link("a", 0, "b", 0, loss=0.3, seed=5)
+        two = Link("a", 0, "b", 0, loss=0.3, seed=5)
+        outcomes_one = [one.transmit(64) for _ in range(500)]
+        outcomes_two = [two.transmit(64) for _ in range(500)]
+        assert outcomes_one == outcomes_two  # seeded RNG
+        losses = outcomes_one.count("link_loss")
+        assert 80 < losses < 220  # ~30% of 500
+        assert one.stats.dropped_loss == losses
+
+    def test_bandwidth_window(self):
+        link = Link("a", 0, "b", 0, bandwidth_gbps=0.001)  # 1 Mb/s
+        link.begin_window(0.001)  # 125 bytes of budget
+        assert link.transmit(64) == "ok"
+        assert link.transmit(64) == "link_bandwidth"
+        link.begin_window(None)  # unbounded
+        assert all(link.transmit(1500) == "ok" for _ in range(100))
+
+
+class TestSpecRoundTrip:
+    def test_round_trip(self, tmp_path):
+        with Topology.leaf_spine(3, 2, latency_s=5e-6, loss=0.01) as topo:
+            spec = topo.to_spec()
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(spec))
+        with Topology.from_spec(path) as rebuilt:
+            assert rebuilt.leaves == ["leaf0", "leaf1", "leaf2"]
+            assert rebuilt.spines == ["spine0", "spine1"]
+            link = rebuilt.link_between("leaf0", "spine0")
+            assert link.latency_s == pytest.approx(5e-6)
+            assert link.loss == pytest.approx(0.01)
+
+    def test_bad_specs(self, tmp_path):
+        with pytest.raises(TopologyError):
+            Topology.from_spec(tmp_path / "missing.json")
+        with pytest.raises(TopologyError):
+            Topology.from_spec({"kind": "ring"})
+        with pytest.raises(TopologyError):
+            Topology.from_spec([1, 2, 3])
+
+    def test_ad_hoc_topology_has_no_spec(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.to_spec()
+
+
+class TestFabricNode:
+    def test_in_process_node_counts_work(self):
+        node = FabricNode("n", LEAF)
+        results = node.process_batch(
+            [make_udp(1, 2, 10, 80), make_udp(3, 4, 11, 81)]
+        )
+        assert len(results) == 2
+        assert node.packets == 2
+        assert node.busy_s >= 0.0
+        stats = node.stats()
+        assert stats["role"] == LEAF and stats["fabric_packets"] == 2
+
+    def test_engine_node_matches_bare_engine(self):
+        """An engine-backed fabric node is the same ShardedEngine: verdicts
+        and registers after identical traffic are bit-identical."""
+        from repro.engine import ShardedEngine
+
+        packets = [
+            make_udp(0x0A000001 + i % 7, 0x0A000002, 1000 + i % 5, 80)
+            for i in range(120)
+        ]
+        node = FabricNode("n", LEAF, workers=2)
+        try:
+            node.controller.deploy(PROGRAMS["cms"].source)
+            node_results = node.process_batch([p.clone() for p in packets])
+            node_regs = {
+                mid: node.controller.snapshot_memory(1, mid)
+                for mid in PROGRAMS["cms"].memories
+            }
+        finally:
+            node.close()
+        with ShardedEngine(2) as engine:
+            engine.controller.deploy(PROGRAMS["cms"].source)
+            bare_results = engine.inject([p.clone() for p in packets], mode="full")
+            bare_regs = {
+                mid: engine.controller.snapshot_memory(1, mid)
+                for mid in PROGRAMS["cms"].memories
+            }
+        assert [
+            (r.verdict, r.egress_port, r.recirculations) for r in node_results
+        ] == [(r.verdict, r.egress_port, r.recirculations) for r in bare_results]
+        assert node_regs == bare_regs

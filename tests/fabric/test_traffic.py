@@ -1,0 +1,75 @@
+"""Topology-aware traffic source: leaf pinning, locality, determinism."""
+
+import pytest
+
+from repro.fabric import Fabric, Topology
+from repro.rmt.packet import PROTO_TCP, PROTO_UDP
+from repro.traffic import make_fabric_population
+
+
+class TestMakeFabricPopulation:
+    def test_flows_pin_to_leaf_subnets(self):
+        with Topology.leaf_spine(4, 2) as topo:
+            traffic = make_fabric_population(topo, num_flows=256, seed=1)
+            for i, flow in enumerate(traffic.population.flows):
+                leaf = topo.leaf_of_ip(flow.src_ip)
+                assert leaf == f"leaf{i % 4}"  # round-robin spreading
+                assert traffic.ingress_of(flow) == leaf
+                assert topo.leaf_of_ip(flow.dst_ip) is not None
+
+    def test_locality_bounds(self):
+        with Topology.leaf_spine(2, 1) as topo:
+            local = make_fabric_population(topo, num_flows=200, locality=1.0)
+            assert local.cross_leaf_share() == 0.0
+            remote = make_fabric_population(topo, num_flows=200, locality=0.0)
+            assert remote.cross_leaf_share() == 1.0
+            mixed = make_fabric_population(topo, num_flows=400, locality=0.5)
+            assert 0.2 < mixed.cross_leaf_share() < 0.8
+            with pytest.raises(ValueError):
+                make_fabric_population(topo, locality=1.5)
+
+    def test_single_leaf_is_all_local(self):
+        with Topology.leaf_spine(1, 0) as topo:
+            traffic = make_fabric_population(topo, num_flows=64, heavy_flows=8)
+            assert traffic.cross_leaf_share() == 0.0
+
+    def test_same_seed_same_population(self):
+        with Topology.leaf_spine(2, 1) as topo:
+            one = make_fabric_population(topo, num_flows=128, seed=9)
+            two = make_fabric_population(topo, num_flows=128, seed=9)
+            assert [f.five_tuple for f in one.population.flows] == [
+                f.five_tuple for f in two.population.flows
+            ]
+
+    def test_zipf_machinery_is_reused(self):
+        """Heavy flows still dominate the sample — the single-switch
+        skew survives the fabric addresser."""
+        with Topology.leaf_spine(2, 1) as topo:
+            traffic = make_fabric_population(
+                topo, num_flows=512, heavy_flows=16, heavy_share=0.9, seed=3
+            )
+            heavy = {
+                f.five_tuple for f in traffic.population.flows[:16]
+            }
+            sample = traffic.population.sample(2000)
+            heavy_hits = sum(1 for f in sample if f.five_tuple in heavy)
+            assert heavy_hits > 1200  # ~90% by construction
+            protos = {f.proto for f in traffic.population.flows}
+            assert protos == {PROTO_UDP, PROTO_TCP}
+
+
+class TestAssignments:
+    def test_assignments_feed_the_fabric(self):
+        with Topology.leaf_spine(2, 2) as topo:
+            traffic = make_fabric_population(
+                topo, num_flows=64, heavy_flows=8, locality=0.5, seed=5
+            )
+            assignments = traffic.assignments(150)
+            assert len(assignments) == 150
+            ts = [pkt.ts for _leaf, pkt in assignments]
+            assert ts == sorted(ts) and ts[1] - ts[0] == pytest.approx(1e-6)
+            assert {leaf for leaf, _pkt in assignments} <= {"leaf0", "leaf1"}
+            report = Fabric(topo).run(assignments)
+            assert report.conservation_ok()
+            assert report.delivered == 150 and not report.drops
+            assert report.reorders == 0

@@ -1,0 +1,165 @@
+"""A 1-switch fabric vs a bare switch: observational equivalence under churn.
+
+The degenerate fabric — one leaf, zero spines — must be a transparent
+wrapper: the same randomized schedule of fabric-wide deploys, revokes,
+incremental ``add_case`` growth, control-plane register writes, and
+traffic bursts produces, on the fabric's single node, exactly the
+pipeline results and final switch state a bare data plane plus
+controller produce.  Every packet stays on the leaf (no spine to cross),
+so the fabric layer may add accounting but never behavior: per-packet
+verdicts, egress ports, recirculations, bridge state, register arrays,
+TM counters, and per-table lookup/hit counters must match bit for bit,
+and every burst must conserve packets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane import Controller
+from repro.fabric import FabricController, Topology
+from repro.lang.errors import P4runproError
+from repro.programs import PROGRAMS
+from repro.rmt.packet import make_cache, make_l2, make_tcp, make_udp
+
+#: deployable mix: stateless forwarding, stateful aggregation, a
+#: recirculating program, and an uncacheable register-branching one
+NAMES = ("l2fwd", "dqacc", "cache", "firewall", "hh")
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("deploy"), st.sampled_from(NAMES)),
+        st.tuples(st.just("revoke"), st.integers(0, 7)),
+        st.tuples(st.just("add_case"), st.integers(0, 0xFFFF)),
+        st.tuples(st.just("write_mem"), st.integers(0, 31)),
+        st.tuples(st.just("traffic"), st.integers(0, 2**16)),
+    ),
+    min_size=3,
+    max_size=14,
+)
+
+
+def _burst(seed: int):
+    """A deterministic skewed packet burst: few hot flows, some cold."""
+    packets = []
+    for i in range(10):
+        flow = (seed + i * i) % 5  # repeats within the burst: cache hits
+        packets.append(make_udp(0x0A000000 + flow, 2, 1000 + flow, 80))
+        packets.append(make_tcp(0x0A000000 + flow, 3, 2000 + flow, 443))
+        packets.append(make_l2(dst=flow))
+        packets.append(make_cache(1, 2, op=1 + flow % 2, key=flow % 3))
+    return packets
+
+
+def _observed(result):
+    return (
+        result.verdict,
+        result.egress_port,
+        result.recirculations,
+        result.egress_ports,
+        sorted(result.bridge.items()),
+    )
+
+
+def _fabric_outcomes(fabric_ctl, seed: int):
+    """Run a burst through the 1-leaf fabric; packets never cross links."""
+    assignments = [("leaf0", p.clone()) for p in _burst(seed)]
+    report = fabric_ctl.fabric.run(assignments)
+    assert report.conservation_ok()
+    # the only legal drop on a linkless fabric is the pipeline's own
+    assert set(report.drops) <= {"pipeline"}
+    return [_observed(o.result) for o in report.outcomes]
+
+
+def _reference_outcomes(dataplane, seed: int):
+    return [
+        _observed(r)
+        for r in dataplane.process_many([p.clone() for p in _burst(seed)])
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ops_strategy)
+def test_single_switch_fabric_is_observationally_identical(ops):
+    with Topology.leaf_spine(1, 0) as topo:
+        fabric_ctl = FabricController(topo)
+        node = topo.nodes["leaf0"].dataplane
+        reference = Controller.with_simulator()
+        ref_ctl, ref_dp = reference
+
+        live = []  # (name, fabric handle, reference handle)
+        for op, arg in ops:
+            if op == "deploy":
+                try:
+                    a = fabric_ctl.deploy(PROGRAMS[arg].source)
+                except P4runproError:
+                    try:
+                        ref_ctl.deploy(PROGRAMS[arg].source)
+                    except P4runproError:
+                        continue
+                    raise AssertionError("only the fabric side failed to deploy")
+                b = ref_ctl.deploy(PROGRAMS[arg].source)
+                live.append((arg, a, b))
+            elif op == "revoke":
+                if not live:
+                    continue
+                _name, a, b = live.pop(arg % len(live))
+                fabric_ctl.revoke(a)
+                ref_ctl.revoke(b.program_id)
+            elif op == "add_case":
+                targets = [(a, b) for name, a, b in live if name == "cache"]
+                if not targets:
+                    continue
+                a, b = targets[0]
+                conditions = lambda: [
+                    ("har", 1, 0xFF),
+                    ("sar", 0, 0xFFFFFFFF),
+                    ("mar", arg, 0xFFFFFFFF),
+                ]
+                try:
+                    fabric_ctl.add_case(
+                        a, conditions(), template_case=0,
+                        loadi_values=[arg % 256],
+                    )
+                except P4runproError:
+                    try:
+                        ref_ctl.add_case(
+                            b, conditions(), template_case=0,
+                            loadi_values=[arg % 256],
+                        )
+                    except P4runproError:
+                        continue
+                    raise AssertionError("only the fabric side failed add_case")
+                ref_ctl.add_case(
+                    b, conditions(), template_case=0, loadi_values=[arg % 256]
+                )
+            elif op == "write_mem":
+                targets = [
+                    (name, a, b)
+                    for name, a, b in live
+                    if PROGRAMS[name].memories
+                ]
+                if not targets:
+                    continue
+                name, a, b = targets[0]
+                mid = PROGRAMS[name].memories[0]
+                fabric_ctl.write_memory(a, mid, arg, 0xBEEF ^ arg)
+                ref_ctl.write_memory(b, mid, arg, 0xBEEF ^ arg)
+            else:  # traffic
+                assert _fabric_outcomes(fabric_ctl, arg) == _reference_outcomes(
+                    ref_dp, arg
+                )
+
+        # Final state: registers, TM counters, table counters bit-identical.
+        for phys in range(1, 23):
+            assert (
+                node._array(phys).snapshot() == ref_dp._array(phys).snapshot()
+            ), f"rpb{phys} register state diverged"
+        for attr in ("forwarded", "dropped", "reflected", "to_cpu", "multicast"):
+            assert getattr(node.switch.tm, attr) == getattr(
+                ref_dp.switch.tm, attr
+            ), attr
+        assert node.switch.packets_in == ref_dp.switch.packets_in
+        assert node.switch.pipeline_passes == ref_dp.switch.pipeline_passes
+        for name in node.tables:
+            ft, rt = node.tables[name], ref_dp.tables[name]
+            assert (ft.lookups, ft.hits) == (rt.lookups, rt.hits), name
