@@ -80,11 +80,14 @@ def test_packet_throughput(benchmark, engine_workers):
         cache_packets = [make_cache(1, 2, op=1, key=i) for i in range(500)]
 
         ctl, dataplane = Controller.with_simulator()
-        # These four scenarios gate the *uncached* hot path: the flow
-        # cache would make them measure mostly replay speed, hiding a
-        # regression in the pipeline walk itself.  The cached rate has
-        # its own scenario (and gate): test_flow_cache_throughput.
+        # These four scenarios gate the *interpreter* hot path: the flow
+        # cache would make them measure mostly replay speed, and the
+        # codegen tier would measure generated code, hiding a regression
+        # in the pipeline walk itself.  The cached rate has its own
+        # scenario (and gate) in test_flow_cache_throughput, and the
+        # generated-code rate in test_codegen_throughput.
         dataplane.flow_cache.enabled = False
+        dataplane.codegen.enabled = False
         results["idle (no programs)"] = pps(dataplane, packets)
 
         ctl.deploy(PROGRAMS["cache"].source)
@@ -126,6 +129,74 @@ def test_packet_throughput(benchmark, engine_workers):
     assert results["idle (no programs)"] > 2000
 
 
+def test_codegen_throughput(benchmark):
+    """Trace-to-source codegen tier on the same cache-disabled scenarios
+    as test_packet_throughput: flow cache off, codegen on, so every
+    packet after the first runs through a generated function.  The
+    speedup column compares against the interpreter rate measured in the
+    same run (codegen off, same dataplane state)."""
+
+    def run():
+        results = {}
+        packets = [make_udp(i + 1, 2, 1000 + i, 80) for i in range(500)]
+        cache_packets = [make_cache(1, 2, op=1, key=i) for i in range(500)]
+
+        ctl, dataplane = Controller.with_simulator()
+        dataplane.flow_cache.enabled = False
+
+        def measure(label, pkts):
+            dataplane.codegen.enabled = False
+            interp = pps(dataplane, pkts)
+            dataplane.codegen.enabled = True
+            # Warm pass: compile the generated functions outside the
+            # clock (deploys between scenarios invalidate them anyway).
+            dataplane.process_many([p.clone() for p in pkts])
+            results[label] = {"pps": pps(dataplane, pkts), "interp": interp}
+
+        measure("idle (no programs)", packets)
+        ctl.deploy(PROGRAMS["cache"].source)
+        measure("1 program (cache traffic)", cache_packets)
+        for name in ALL_PROGRAM_NAMES:
+            if name != "cache":
+                ctl.deploy(PROGRAMS[name].source)
+        measure("15 programs (cache traffic)", cache_packets)
+        measure("15 programs (plain UDP)", packets)
+        return results, dataplane.codegen.stats()
+
+    results, stats = once(benchmark, run)
+    banner("Codegen tier throughput (flow cache off, packets/second)")
+    for label, r in results.items():
+        print(
+            fmt_row(
+                label,
+                f"{r['pps']:,.0f} pps",
+                f"{r['pps'] / r['interp']:.1f}x vs interpreter",
+                widths=[30, 16, 24],
+            )
+        )
+    write_results(
+        "codegen",
+        {
+            "pps": {label: round(r["pps"], 1) for label, r in results.items()},
+            "interpreter_pps": {
+                label: round(r["interp"], 1) for label, r in results.items()
+            },
+            "speedup_vs_interpreter": {
+                label: round(r["pps"] / r["interp"], 2)
+                for label, r in results.items()
+            },
+            "compiled": stats["compiled"],
+            "fallbacks": stats["fallbacks"],
+        },
+    )
+    # Every scenario must beat the interpreter it replaces, and all
+    # traffic in these scenarios is codegen-servable (no fallbacks).
+    for label, r in results.items():
+        assert r["pps"] > r["interp"], label
+    assert stats["hits"] > 0
+    assert not stats["fallbacks"], stats["fallbacks"]
+
+
 def zipf_stream(num_flows=2000, num_packets=4000, s=1.2, seed=42):
     """A skewed flow mix: flow popularity follows Zipf(s) over
     ``num_flows`` distinct 5-tuples — the head flows dominate, as in
@@ -139,39 +210,66 @@ def zipf_stream(num_flows=2000, num_packets=4000, s=1.2, seed=42):
     return [flows[i].clone() for i in rng.choices(range(num_flows), weights, k=num_packets)]
 
 
+def uniform_stream(num_flows=2000, num_packets=4000, seed=43):
+    """The flow cache's worst case: ``num_flows`` distinct 5-tuples hit
+    uniformly at random — no head flows, so the EMC thrashes and the
+    cache's own bookkeeping is pure overhead on most packets."""
+    rng = random.Random(seed)
+    flows = [
+        make_udp(0x0B000000 + flow, 2, 1024 + flow % 40000, 80)
+        for flow in range(num_flows)
+    ]
+    return [flows[i].clone() for i in rng.choices(range(num_flows), k=num_packets)]
+
+
+def _cached_rate(source, packets):
+    """Cached pps + hit rate over one warmed dataplane (cache on)."""
+    ctl, cached = Controller.with_simulator()
+    ctl.deploy(source)
+    cached.process_many([p.clone() for p in packets])  # warm the cache
+    before = cached.flow_cache.stats()
+    rate_on = pps(cached, packets)
+    after = cached.flow_cache.stats()
+    hits = (
+        after["emc_hits"]
+        - before["emc_hits"]
+        + after["megaflow_hits"]
+        - before["megaflow_hits"]
+    )
+    lookups = hits + after["misses"] - before["misses"]
+    return rate_on, hits / lookups if lookups else 0.0
+
+
 def test_flow_cache_throughput(benchmark):
-    """Two-tier flow cache on Zipf-skewed traffic: cached vs uncached
-    packet rate plus the measured hit rate, with one resident forwarding
-    program so verdicts vary per flow."""
+    """Two-tier flow cache on Zipf-skewed and uniform traffic: cached vs
+    uncached packet rate plus the measured hit rate, with one resident
+    forwarding program so verdicts vary per flow.  The uniform mix is
+    the cache's worst case — the gate on it keeps cache bookkeeping from
+    regressing the miss path."""
 
     def run():
         source = PROGRAMS["l2fwd"].source
         packets = zipf_stream()
 
-        ctl, cached = Controller.with_simulator()
-        ctl.deploy(source)
-        cached.process_many([p.clone() for p in packets])  # warm the cache
-        before = cached.flow_cache.stats()
-        rate_on = pps(cached, packets)
-        after = cached.flow_cache.stats()
-        hits = (
-            after["emc_hits"]
-            - before["emc_hits"]
-            + after["megaflow_hits"]
-            - before["megaflow_hits"]
-        )
-        lookups = hits + after["misses"] - before["misses"]
-        hit_rate = hits / lookups if lookups else 0.0
+        rate_on, hit_rate = _cached_rate(source, packets)
 
         ctl_off, uncached = Controller.with_simulator()
+        # The uncached comparator is the *interpreter* (codegen off too),
+        # so "speedup" keeps meaning "cache vs full pipeline walk"; the
+        # cache-vs-codegen delta is visible in the codegen section.
         uncached.flow_cache.enabled = False
+        uncached.codegen.enabled = False
         ctl_off.deploy(source)
         rate_off = pps(uncached, packets)
+
+        uniform_on, uniform_hit_rate = _cached_rate(source, uniform_stream())
         return {
             "cached_pps": rate_on,
             "uncached_pps": rate_off,
             "hit_rate": hit_rate,
             "speedup": rate_on / rate_off if rate_off else 0.0,
+            "uniform_cached_pps": uniform_on,
+            "uniform_hit_rate": uniform_hit_rate,
         }
 
     results = once(benchmark, run)
@@ -182,6 +280,9 @@ def test_flow_cache_throughput(benchmark):
     print(fmt_row("skewed, cache off", f"{results['uncached_pps']:,.0f} pps",
                   f"{results['speedup']:.1f}x speedup from cache",
                   widths=[30, 16, 24]))
+    print(fmt_row("uniform, cache on", f"{results['uniform_cached_pps']:,.0f} pps",
+                  f"hit rate {results['uniform_hit_rate'] * 100:.1f}%",
+                  widths=[30, 16, 24]))
     write_results(
         "flow_cache",
         {
@@ -190,11 +291,16 @@ def test_flow_cache_throughput(benchmark):
                 "uncached_pps": round(results["uncached_pps"], 1),
                 "hit_rate": round(results["hit_rate"], 4),
                 "speedup": round(results["speedup"], 2),
-            }
+            },
+            "uniform": {
+                "cached_pps": round(results["uniform_cached_pps"], 1),
+                "hit_rate": round(results["uniform_hit_rate"], 4),
+            },
         },
     )
     assert results["hit_rate"] > 0.9  # Zipf head flows dominate
     assert results["cached_pps"] > results["uncached_pps"]
+    assert results["uniform_cached_pps"] > 0
 
 
 #: deploys/s measured on the pre-fast-path control plane (same 60-deploy

@@ -10,8 +10,13 @@ fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
 * the four single-process throughput scenarios (``throughput.pps``),
   all measured with the flow cache disabled (they gate the uncached
   pipeline walk);
+* the codegen tier's packet rate on the same cache-disabled scenarios
+  (``codegen.pps``) — they gate the trace-to-source generated code that
+  serves cache misses;
 * the flow cache's cached packet rate on the Zipf skewed-flow scenario
-  (``flow_cache.skewed.cached_pps``);
+  (``flow_cache.skewed.cached_pps``) and on the uniform worst-case
+  scenario (``flow_cache.uniform.cached_pps``, 2,000 flows with no
+  locality — gates the cache's bookkeeping overhead on the miss path);
 * the sharded engine's projected aggregate capacity per worker count
   (``engine.by_workers.<N>.pps``) — the projection is CPU-time based and
   therefore stable across runners with different core counts;
@@ -87,6 +92,21 @@ def main(argv: list[str]) -> int:
     for scenario, base in expected.items():
         failed |= check(scenario, measured.get(scenario), base, tolerance)
 
+    codegen_baseline = baseline.get("codegen", {})
+    codegen_results = results.get("codegen", {})
+    if codegen_baseline:
+        if not codegen_results:
+            print(
+                "WARN: results have no codegen section "
+                "(codegen bench not run); codegen gates skipped"
+            )
+        else:
+            measured = codegen_results.get("pps", {})
+            for scenario, base in codegen_baseline.get("pps", {}).items():
+                failed |= check(
+                    f"codegen: {scenario}", measured.get(scenario), base, tolerance
+                )
+
     engine_baseline = baseline.get("engine", {})
     engine_results = results.get("engine", {})
     if engine_baseline:
@@ -154,6 +174,10 @@ def main(argv: list[str]) -> int:
             if base:
                 got = cache_results.get("skewed", {}).get("cached_pps")
                 failed |= check("flow_cache.skewed (cached pps)", got, base, tolerance)
+            base = cache_baseline.get("uniform")
+            if base:
+                got = cache_results.get("uniform", {}).get("cached_pps")
+                failed |= check("flow_cache.uniform (cached pps)", got, base, tolerance)
 
     deploy_baseline = baseline.get("deploy", {})
     deploy_results = results.get("deploy", {})

@@ -486,6 +486,11 @@ def serve_main(argv: list[str]) -> int:
         "full pipeline)",
     )
     parser.add_argument(
+        "--no-codegen", action="store_true",
+        help="disable the trace-to-source codegen tier (cache misses fall "
+        "back to the interpreter); composes with --no-flow-cache",
+    )
+    parser.add_argument(
         "--emc-size", type=int, default=8192, metavar="N",
         help="exact-match cache capacity in flows (default 8192)",
     )
@@ -512,7 +517,11 @@ def serve_main(argv: list[str]) -> int:
     if ns.fabric:
         from .fabric import FabricController
 
-        topology = _load_topology(ns.fabric, flow_cache=not ns.no_flow_cache)
+        topology = _load_topology(
+            ns.fabric,
+            flow_cache=not ns.no_flow_cache,
+            codegen=not ns.no_codegen,
+        )
         fabric = FabricController(topology, routing=ns.routing)
         service = ControlService(fabric=fabric, tenants=tenants)
         print(
@@ -522,7 +531,11 @@ def serve_main(argv: list[str]) -> int:
     elif ns.workers:
         from .engine import ShardedEngine
 
-        engine = ShardedEngine(ns.workers, flow_cache=not ns.no_flow_cache)
+        engine = ShardedEngine(
+            ns.workers,
+            flow_cache=not ns.no_flow_cache,
+            codegen=not ns.no_codegen,
+        )
         service = ControlService(engine=engine, tenants=tenants)
         print(f"sharded engine: {ns.workers} worker processes")
     else:
@@ -537,6 +550,10 @@ def serve_main(argv: list[str]) -> int:
         flow_cache.emc_capacity = ns.emc_size
         flow_cache.megaflow_capacity = ns.megaflow_size
         flow_cache.flush()
+    codegen = getattr(service.dataplane, "codegen", None)
+    if codegen is not None:
+        codegen.enabled = not ns.no_codegen
+        codegen.flush()
     print(f"p4runpro control service listening on {ns.host}:{ns.port}")
     try:
         asyncio.run(serve(ns.host, ns.port, service))

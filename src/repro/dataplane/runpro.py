@@ -55,6 +55,7 @@ class P4runproDataPlane:
         flow_cache: bool = True,
         flow_cache_emc_capacity: int = 8192,
         flow_cache_megaflow_capacity: int = 4096,
+        codegen: bool = True,
     ):
         self.spec = spec or TargetSpec()
         self.include_recirc_block = include_recirc_block
@@ -64,7 +65,7 @@ class P4runproDataPlane:
             num_ingress_stages=self.spec.num_ingress_rpbs + extra_ingress_stages,
             num_egress_stages=self.spec.num_egress_rpbs,
         )
-        self.switch = Switch(machine, config)
+        self.switch = Switch(machine, config, codegen=codegen)
         for name, width in dp.P4RUNPRO_FIELDS.items():
             self.switch.layout.declare(name, width)
         self.tables: dict[str, MatchActionTable] = {}
@@ -87,6 +88,12 @@ class P4runproDataPlane:
         self.switch.flow_cache = fc
         for table in self.tables.values():
             table.on_mutation.append(fc.invalidate)
+        #: trace-to-source codegen tier (between flow cache and the
+        #: interpreter); the cache wires its own table hooks lazily as it
+        #: compiles.  write_bucket / reset_memory / multicast changes need
+        #: no codegen invalidation: generated code reads register arrays
+        #: and the TM's multicast-group dict live on every packet.
+        self.codegen = self.switch.codegen
 
     def add_event_hook(self, hook) -> None:
         """Subscribe ``hook(event: str, detail: dict)`` to binding events."""
@@ -241,6 +248,7 @@ class P4runproDataPlane:
             "to_cpu": tm.to_cpu,
             "multicast": tm.multicast,
             "flow_cache": self.flow_cache.stats(),
+            "codegen": self.codegen.stats(),
         }
 
     # -- internals ------------------------------------------------------------

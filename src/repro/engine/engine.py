@@ -197,6 +197,7 @@ class ShardedEngine:
         start_method: str | None = None,
         reply_timeout_s: float = 120.0,
         flow_cache: bool = True,
+        codegen: bool = True,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -210,9 +211,11 @@ class ShardedEngine:
         # Each worker owns a private flow cache; FanoutBinding mutations
         # reach every replica through its own southbound binding, so the
         # per-worker generation bump needs no extra broadcast.
-        setup_bytes = pickle.dumps((self.spec, parse_machine, flow_cache))
+        setup_bytes = pickle.dumps(
+            (self.spec, parse_machine, flow_cache, codegen)
+        )
         self.dataplane = P4runproDataPlane(
-            self.spec, parse_machine, flow_cache=flow_cache
+            self.spec, parse_machine, flow_cache=flow_cache, codegen=codegen
         )
         self.binding = FanoutBinding(self.dataplane, self)
         self.controller = Controller(self.binding, spec=self.spec)
@@ -516,6 +519,7 @@ class ShardedEngine:
         ]
         totals: dict[str, int] = {}
         flow_cache: dict[str, int] = {}
+        codegen: dict = {}
         for shard in shards:
             for key, value in shard.items():
                 if key == "flow_cache":
@@ -529,8 +533,22 @@ class ShardedEngine:
                         elif isinstance(cvalue, int) and not isinstance(cvalue, bool):
                             if ckey != "generation":
                                 flow_cache[ckey] = flow_cache.get(ckey, 0) + cvalue
+                elif key == "codegen":
+                    # Same shape discipline for the per-worker codegen
+                    # caches: sum counters, merge the fallback-reason map,
+                    # drop enabled/generation bookkeeping.
+                    for ckey, cvalue in value.items():
+                        if ckey == "fallbacks":
+                            merged = codegen.setdefault("fallbacks", {})
+                            for reason, count in cvalue.items():
+                                merged[reason] = merged.get(reason, 0) + count
+                        elif isinstance(cvalue, int) and not isinstance(cvalue, bool):
+                            if ckey != "generation":
+                                codegen[ckey] = codegen.get(ckey, 0) + cvalue
                 else:
                     totals[key] = totals.get(key, 0) + value
         if flow_cache:
             totals["flow_cache"] = flow_cache
+        if codegen:
+            totals["codegen"] = codegen
         return {"workers": self.num_workers, "totals": totals, "shards": shards}

@@ -36,7 +36,10 @@ def _build_dataplane(setup_bytes: bytes):
     setup = pickle.loads(setup_bytes)
     spec, parse_machine = setup[0], setup[1]
     flow_cache = setup[2] if len(setup) > 2 else True
-    return P4runproDataPlane(spec, parse_machine, flow_cache=flow_cache)
+    codegen = setup[3] if len(setup) > 3 else True
+    return P4runproDataPlane(
+        spec, parse_machine, flow_cache=flow_cache, codegen=codegen
+    )
 
 
 def _apply_ctl(dataplane, handle_map: dict, op: tuple) -> None:
@@ -152,6 +155,7 @@ def worker_main(conn, setup_bytes: bytes) -> None:
                                 "to_cpu": tm.to_cpu,
                                 "multicast": tm.multicast,
                                 "flow_cache": dataplane.flow_cache.stats(),
+                                "codegen": dataplane.codegen.stats(),
                             },
                         )
                     )

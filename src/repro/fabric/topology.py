@@ -155,6 +155,7 @@ class FabricNode:
         parse_machine=None,
         workers: int = 0,
         flow_cache: bool = True,
+        codegen: bool = True,
     ):
         self.name = name
         self.role = role
@@ -170,13 +171,14 @@ class FabricNode:
                 spec=spec,
                 parse_machine=parse_machine,
                 flow_cache=flow_cache,
+                codegen=codegen,
             )
             self.controller = self.engine.controller
             self.dataplane = self.engine.dataplane
         else:
             self.engine = None
             self.dataplane = P4runproDataPlane(
-                spec, parse_machine, flow_cache=flow_cache
+                spec, parse_machine, flow_cache=flow_cache, codegen=codegen
             )
             self.controller = Controller(self.dataplane, spec=spec)
 
@@ -307,6 +309,7 @@ class Topology:
         parse_machine=None,
         workers: int = 0,
         flow_cache: bool = True,
+        codegen: bool = True,
         host_ports: int = 4,
         latency_s: float = 2e-6,
         bandwidth_gbps: float = 100.0,
@@ -350,6 +353,7 @@ class Topology:
                     parse_machine=parse_machine,
                     workers=workers,
                     flow_cache=flow_cache,
+                    codegen=codegen,
                 )
             )
             topo.leaf_subnets[f"leaf{i}"] = (
@@ -365,6 +369,7 @@ class Topology:
                     parse_machine=parse_machine,
                     workers=workers,
                     flow_cache=flow_cache,
+                    codegen=codegen,
                 )
             )
         for i in range(num_leaves):

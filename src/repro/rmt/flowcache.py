@@ -486,8 +486,12 @@ class FlowCache:
         entry = self._megaflow_lookup(packet, generation)
         if entry is not None:
             if entry.trace is None:
+                # Negative entry: the flow's control flow is register-value
+                # steered, which the *trace* cache cannot key — but the
+                # codegen tier re-evaluates branch conditions per packet,
+                # so it serves these flows soundly (and much faster).
                 self.uncacheable += 1
-                return switch._process_packet(packet, None, None)
+                return switch._process_miss(packet)
             self.megaflow_hits += 1
             result = self._replay(switch, packet, entry.trace)
             self._install_emc(key, entry.trace, result, generation)

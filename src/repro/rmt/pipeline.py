@@ -166,6 +166,7 @@ class Switch:
         self,
         parse_machine: ParseMachine,
         config: SwitchConfig | None = None,
+        codegen: bool = True,
     ):
         self.config = config or SwitchConfig()
         self.parse_machine = parse_machine
@@ -185,6 +186,8 @@ class Switch:
         #: optional two-tier flow cache fronting :meth:`process_packet`
         #: (attached by the data-plane layer; ``None`` on a raw switch)
         self.flow_cache = None
+        #: trace-to-source codegen tier serving the cache-miss path
+        self.codegen = CodegenCache(enabled=codegen)
         #: PHV free list, active only inside :meth:`process_batch`
         self._phv_pool: list[PHV] = []
         self._pooling = False
@@ -258,7 +261,24 @@ class Switch:
             and not flowcache._BYPASS
         ):
             return fc.process(self, packet)
+        if carried is None:
+            cg = self.codegen
+            if cg.enabled:
+                result = cg.run(self, packet)
+                if result is not None:
+                    return result
         return self._process_packet(packet, carried, None)
+
+    def _process_miss(self, packet: Packet) -> SwitchResult:
+        """Flow-cache miss path for inputs the cache refuses to key
+        (negative megaflow entries): try the codegen tier, fall back to
+        the interpreter."""
+        cg = self.codegen
+        if cg.enabled:
+            result = cg.run(self, packet)
+            if result is not None:
+                return result
+        return self._process_packet(packet, None, None)
 
     def _process_packet(
         self,
@@ -377,6 +397,7 @@ class Switch:
             self._pooling = False
             if fc is not None:
                 fc.end_batch()
+            self.codegen.end_batch()
 
     # -- throughput model (Fig. 11) -----------------------------------------
     #: wire size of the bridge header the recirculation block attaches
@@ -418,3 +439,4 @@ class Switch:
 # class) are touched at runtime, which a partially-initialized module
 # object satisfies.
 from . import flowcache  # noqa: E402
+from .codegen import CodegenCache  # noqa: E402

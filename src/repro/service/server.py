@@ -847,6 +847,9 @@ class ControlService:
         flow_cache = self._flow_cache_stats()
         if flow_cache is not None:
             stats["flow_cache"] = flow_cache
+        codegen = self._codegen_stats()
+        if codegen is not None:
+            stats["codegen"] = codegen
         return stats
 
     def _flow_cache_stats(self) -> dict | None:
@@ -854,6 +857,13 @@ class ControlService:
         if self.engine is not None:
             return self.engine.stats()["totals"].get("flow_cache")
         cache = getattr(self.dataplane, "flow_cache", None)
+        return cache.stats() if cache is not None else None
+
+    def _codegen_stats(self) -> dict | None:
+        """Codegen-tier counters (aggregated in engine mode)."""
+        if self.engine is not None:
+            return self.engine.stats()["totals"].get("codegen")
+        cache = getattr(self.dataplane, "codegen", None)
         return cache.stats() if cache is not None else None
 
     def _rpc_read_mem(self, tenant_name: str, params: dict) -> dict:
@@ -931,6 +941,9 @@ class ControlService:
         flow_cache = self._flow_cache_stats()
         if flow_cache is not None:
             snapshot["caches"]["flow_cache"] = flow_cache
+        codegen = self._codegen_stats()
+        if codegen is not None:
+            snapshot["caches"]["codegen"] = codegen
         return snapshot
 
     def _rpc_audit(self, tenant_name: str, params: dict) -> dict:

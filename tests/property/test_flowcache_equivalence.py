@@ -63,7 +63,11 @@ def _outcomes(dataplane, seed: int):
 @given(ops=ops_strategy)
 def test_cached_forwarding_is_observationally_identical(ops):
     cached_ctl, cached = Controller.with_simulator()
-    reference = P4runproDataPlane(flow_cache=False)
+    # Codegen off on BOTH sides: this suite isolates cache-vs-interpreter
+    # (the codegen tier has its own churn suite in
+    # test_codegen_equivalence.py).
+    cached.codegen.enabled = False
+    reference = P4runproDataPlane(flow_cache=False, codegen=False)
     ref_ctl = Controller(reference)
     assert cached.flow_cache.enabled
     assert not reference.flow_cache.enabled

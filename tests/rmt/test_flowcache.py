@@ -256,6 +256,7 @@ class TestBatchPooling:
     def test_process_many_reuses_phvs(self):
         _, dataplane = deployed(PROGRAMS["l2fwd"].source)
         dataplane.flow_cache.enabled = False  # force full walks
+        dataplane.codegen.enabled = False  # ...through the interpreter
         packets = [make_l2(dst=0x1, src=0x100 + i) for i in range(32)]
         results = dataplane.process_many(packets)
         assert len(results) == 32
