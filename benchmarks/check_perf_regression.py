@@ -27,7 +27,13 @@ fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
 * the control-plane deploy rate, cold and warm (``deploy.cold`` /
   ``deploy.warm`` in deploys/s) — warm goes through the relocatable
   allocation cache, cold through the full solve, so the pair catches a
-  broken cache and a regressed solver independently.
+  broken cache and a regressed solver independently;
+* the deploy-storm service numbers (``deploy_storm``): the NDJSON
+  thread-storm floor (``ndjson.deploys_per_s``), the binary
+  ``deploy_many`` fast-path floor (``binary.deploys_per_s``), and an
+  inverted gate on the binary amortized per-deploy latency
+  (``binary.p50_ms`` is a *ceiling* — the gate trips when the measured
+  p50 grows above baseline by more than the tolerance).
 
 ``PERF_REGRESSION_TOLERANCE`` overrides the allowed fractional drop
 (default 0.30, i.e. fail below 70% of baseline) — CI runners are shared
@@ -62,6 +68,19 @@ def check(label: str, got: float | None, base: float, tolerance: float) -> bool:
     if failed:
         verdict = "  <-- gate FAILED"
     print(f"{label:44} {got:>12,.1f} {base:>12,.1f} {ratio:>6.2f}x{verdict}")
+    return failed
+
+
+def check_ceiling(label: str, got: float | None, base: float, tolerance: float) -> bool:
+    """Inverted gate for latency numbers: fail when ``got`` grows above
+    ``base`` by more than the tolerance (lower is better)."""
+    if got is None:
+        print(f"{label:44} {'missing':>12} {base:>12,.2f}  <-- gate FAILED")
+        return True
+    ratio = got / base if base else float("inf")
+    failed = ratio > 1.0 + tolerance
+    verdict = "  <-- gate FAILED" if failed else ""
+    print(f"{label:44} {got:>12,.3f} {base:>12,.3f} {ratio:>6.2f}x{verdict}")
     return failed
 
 
@@ -191,6 +210,32 @@ def main(argv: list[str]) -> int:
             for scenario, base in deploy_baseline.items():
                 got = deploy_results.get(scenario, {}).get("deploys_per_s")
                 failed |= check(f"deploy.{scenario} (deploys/s)", got, base, tolerance)
+
+    storm_baseline = baseline.get("deploy_storm", {})
+    storm_results = results.get("deploy_storm", {})
+    if storm_baseline:
+        if not storm_results:
+            print(
+                "WARN: results have no deploy_storm section "
+                "(deploy-storm bench not run); deploy-storm gates skipped"
+            )
+        else:
+            for codec in ("ndjson", "binary"):
+                base = storm_baseline.get(codec, {}).get("deploys_per_s")
+                if base:
+                    got = storm_results.get(codec, {}).get("deploys_per_s")
+                    failed |= check(
+                        f"deploy_storm.{codec} (deploys/s)", got, base, tolerance
+                    )
+            p50_ceiling = storm_baseline.get("binary", {}).get("p50_ms")
+            if p50_ceiling:
+                got = storm_results.get("binary", {}).get("p50_ms")
+                failed |= check_ceiling(
+                    "deploy_storm.binary (p50 ms, ceiling)",
+                    got,
+                    p50_ceiling,
+                    tolerance,
+                )
 
     if failed:
         print(

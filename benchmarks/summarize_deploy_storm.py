@@ -1,0 +1,51 @@
+"""One-line deploy-storm summary for the CI job summary.
+
+Usage::
+
+    python benchmarks/summarize_deploy_storm.py [results.json]
+
+Reads the ``deploy_storm`` section of ``BENCH_simulator.json`` and prints
+a short NDJSON-vs-binary comparison in GitHub-flavored markdown — CI
+appends it to ``$GITHUB_STEP_SUMMARY`` so the fast-path number is visible
+on the workflow page without opening the benchmark artifact.  Exits 0
+even when the section is missing (the storm bench may not have run);
+the perf gate, not this summary, is the enforcement point.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_simulator.json"
+
+
+def main(argv: list[str]) -> int:
+    results_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    try:
+        results = json.loads(results_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"deploy-storm summary: cannot read {results_path}: {exc}")
+        return 0
+    storm = results.get("deploy_storm")
+    if not storm:
+        print("deploy-storm summary: no `deploy_storm` section in results")
+        return 0
+    ndjson = storm.get("ndjson", {})
+    binary = storm.get("binary", {})
+    print(
+        "**Deploy storm** — NDJSON "
+        f"{ndjson.get('deploys_per_s', 0):,.0f} deploys/s "
+        f"(p50 {ndjson.get('p50_ms', 0):.2f} ms) vs binary `deploy_many` "
+        f"{binary.get('deploys_per_s', 0):,.0f} deploys/s "
+        f"(p50 {binary.get('p50_ms', 0):.3f} ms amortized, "
+        f"{binary.get('batch_size', 0)} deploys/frame): "
+        f"**{storm.get('speedup', 0):.1f}x**"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -585,6 +585,24 @@ def client_main(argv: list[str]) -> int:
     parser.add_argument("--port", type=int, default=9400)
     parser.add_argument("--tenant", default="default")
     parser.add_argument("--deadline-ms", type=float)
+    parser.add_argument(
+        "--codec",
+        choices=("ndjson", "binary"),
+        default="ndjson",
+        help="wire codec (binary negotiates the length-prefixed fast path)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="subscribe to the method as a push stream (stats/metrics/audit) "
+        "and print one JSON line per server push until interrupted",
+    )
+    parser.add_argument(
+        "--interval-ms",
+        type=float,
+        default=500.0,
+        help="push interval for --watch (default 500)",
+    )
     ns = parser.parse_args(argv)
     import json
 
@@ -603,9 +621,28 @@ def client_main(argv: list[str]) -> int:
             except json.JSONDecodeError:
                 pass
         params[key] = value
+    if ns.watch and ns.method not in ("stats", "metrics", "audit"):
+        parser.error("--watch supports the stats, metrics, and audit streams")
     try:
-        with ServiceClient(ns.host, ns.port, tenant=ns.tenant) as client:
+        with ServiceClient(
+            ns.host, ns.port, tenant=ns.tenant, codec=ns.codec
+        ) as client:
             try:
+                if ns.watch:
+                    sub_params = {
+                        "streams": [ns.method],
+                        "interval_ms": ns.interval_ms,
+                    }
+                    if "program_id" in params:
+                        sub_params["program_id"] = params["program_id"]
+                    ack = client.call("subscribe", sub_params)
+                    print(json.dumps(ack, sort_keys=True))
+                    try:
+                        for event in client.events():
+                            print(json.dumps(event, sort_keys=True), flush=True)
+                    except KeyboardInterrupt:
+                        return 0
+                    return 0
                 result = client.call(ns.method, params, deadline_ms=ns.deadline_ms)
             except ServiceError as exc:
                 print(f"error [{exc.code.value}]: {exc.message}", file=sys.stderr)

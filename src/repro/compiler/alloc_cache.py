@@ -112,23 +112,38 @@ def shape_digest(
 class DeployCache:
     """Per-controller deploy fast-path cache (front end + shapes)."""
 
-    def __init__(self, *, frontend_cap: int = 256, shape_cap: int = 256):
+    def __init__(
+        self, *, frontend_cap: int = 256, shape_cap: int = 256, rebind_memo_cap: int = 512
+    ):
         self.enabled = True
         self.frontend_cap = frontend_cap
         self.shape_cap = shape_cap
+        self.rebind_memo_cap = rebind_memo_cap
         #: (source, program name, options fingerprint) ->
         #: (unit, program, translation, problem)
         self._frontend: OrderedDict = OrderedDict()
         #: shape digest -> AllocationShape
         self._shapes: OrderedDict[str, AllocationShape] = OrderedDict()
+        #: (shape digest, availability digest) -> AllocationResult — the
+        #: solver's answer at exactly that availability state.  Sound
+        #: because the solve (and the rebind replay) is a pure function of
+        #: the demand shape and current availability: when churn returns
+        #: the free lists and entry reservations to a previously seen
+        #: state, the recorded result IS what a fresh solve would produce,
+        #: so even the trace replay can be skipped.  Stale states simply
+        #: never match again and age out of the LRU.
+        self._rebind_memo: OrderedDict = OrderedDict()
         self.frontend_hits = 0
         self.frontend_misses = 0
         self.shape_hits = 0
         self.shape_misses = 0
-        #: shape hits whose trace replay succeeded (solve skipped)
+        #: shape hits whose trace replay succeeded (solve skipped) —
+        #: memo hits count here too (a memoized replay is still a rebind)
         self.rebinds = 0
         #: shape hits whose replay refused (full solve ran instead)
         self.rebind_fallbacks = 0
+        #: rebinds served straight from the availability memo (no replay)
+        self.rebind_memo_hits = 0
 
     # -- front end -----------------------------------------------------------
     def lookup_frontend(self, key):
@@ -170,10 +185,35 @@ class DeployCache:
         while len(self._shapes) > self.shape_cap:
             self._shapes.popitem(last=False)
 
+    # -- rebind memo -----------------------------------------------------------
+    def lookup_rebind(self, digest: str, availability: int):
+        """A previously solved/rebound allocation for this exact
+        (shape, availability) state, or None."""
+        if not self.enabled:
+            return None
+        key = (digest, availability)
+        result = self._rebind_memo.get(key)
+        if result is None:
+            return None
+        self._rebind_memo.move_to_end(key)
+        self.rebinds += 1
+        self.rebind_memo_hits += 1
+        return result
+
+    def store_rebind(self, digest: str, availability: int, result) -> None:
+        if not self.enabled:
+            return
+        key = (digest, availability)
+        self._rebind_memo[key] = result
+        self._rebind_memo.move_to_end(key)
+        while len(self._rebind_memo) > self.rebind_memo_cap:
+            self._rebind_memo.popitem(last=False)
+
     # -- management ------------------------------------------------------------
     def clear(self) -> None:
         self._frontend.clear()
         self._shapes.clear()
+        self._rebind_memo.clear()
 
     def stats(self) -> dict:
         return {
@@ -188,4 +228,6 @@ class DeployCache:
             "shape_misses": self.shape_misses,
             "rebinds": self.rebinds,
             "rebind_fallbacks": self.rebind_fallbacks,
+            "rebind_memo_entries": len(self._rebind_memo),
+            "rebind_memo_hits": self.rebind_memo_hits,
         }

@@ -14,6 +14,7 @@ pushing entries is the control plane's job.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 
@@ -206,19 +207,32 @@ def allocate_program(
     changed in a way the trace cannot vouch for — falls back to a full
     solve, whose fresh trace then replaces the cached shape.
     """
+    avail_fn = None if direct_memory else getattr(view, "availability_digest", None)
     if direct_memory:
         view = _DirectMemoryView(view)
     solver = AllocationSolver(spec, view, max_nodes=max_nodes)
     digest = None
+    availability = None
     if deploy_cache is not None and deploy_cache.enabled:
         from .alloc_cache import shape_digest
 
         digest = shape_digest(problem, spec, objective, direct_memory)
+        if avail_fn is not None:
+            # Availability memo: churn often returns the free lists and
+            # entry reservations to a previously seen state, in which case
+            # the recorded solver answer is provably what a fresh solve
+            # would produce — skip even the trace replay.
+            availability = avail_fn()
+            memoized = deploy_cache.lookup_rebind(digest, availability)
+            if memoized is not None:
+                return memoized
         shape = deploy_cache.lookup_shape(digest)
         if shape is not None:
             rebound = solver.rebind(problem, objective, shape.trace)
             if rebound is not None:
                 deploy_cache.rebinds += 1
+                if availability is not None:
+                    deploy_cache.store_rebind(digest, availability, rebound)
                 return rebound
             deploy_cache.rebind_fallbacks += 1
     trace: list | None = [] if digest is not None else None
@@ -239,6 +253,10 @@ def allocate_program(
                 objective_value=allocation.objective_value,
             ),
         )
+        if availability is not None:
+            memo_result = dataclasses.replace(allocation, rebound=True)
+            memo_result.finalize(spec)
+            deploy_cache.store_rebind(digest, availability, memo_result)
     return allocation
 
 

@@ -36,6 +36,14 @@ class KeySpec:
     value: int
     mask: int
 
+    def matches(self, phv) -> bool:
+        """Ternary match against a PHV — the same protocol as the RMT
+        layer's ``TernaryKey``, so bindings can install ``EntryConfig``
+        keys directly without re-wrapping each one."""
+        if not phv.has(self.field):
+            return False
+        return (phv.get(self.field) & self.mask) == (self.value & self.mask)
+
 
 @dataclass(frozen=True)
 class EntryConfig:
@@ -61,9 +69,24 @@ class EntryBatch:
     recirc_entries: list[EntryConfig] = field(default_factory=list)
     init_entries: list[EntryConfig] = field(default_factory=list)
 
+    #: per-table entry counts, computed lazily (admission bookkeeping)
+    _table_counts: dict | None = field(default=None, repr=False, compare=False)
+
     def install_order(self) -> list[EntryConfig]:
         """Components first, init last (Fig. 6 add order)."""
         return [*self.body_entries, *self.recirc_entries, *self.init_entries]
+
+    def table_counts(self) -> dict[str, int]:
+        """``{table: entries}`` over the whole batch, cached per batch
+        (relocation copies it from the template — relocating never moves
+        an entry between tables)."""
+        counts = self._table_counts
+        if counts is None:
+            counts = {}
+            for entry in self.install_order():
+                counts[entry.table] = counts.get(entry.table, 0) + 1
+            self._table_counts = counts
+        return counts
 
     def delete_order(self) -> list[EntryConfig]:
         """Init first — disables the program atomically — then the rest."""
@@ -132,7 +155,9 @@ def relocate_batch(
                 entry.priority,
             )
         )
-    return EntryBatch(template.program, program_id, body, recirc, init)
+    relocated = EntryBatch(template.program, program_id, body, recirc, init)
+    relocated._table_counts = template.table_counts()
+    return relocated
 
 
 def _flag_keys(program_id: int, branch_id: int, recirc_id: int) -> list[KeySpec]:

@@ -112,6 +112,9 @@ class ResourceManager:
         self._table_phys: dict[str, int] = {
             dp.rpb_table(phys): phys for phys in range(1, self.spec.num_rpbs + 1)
         }
+        #: phys -> (version when computed, digest) — availability_digest's
+        #: incremental per-RPB cache
+        self._avail_digests: dict[int, tuple[int, int]] = {}
 
     # -- ResourceView protocol -----------------------------------------------------
     def free_entries(self, phys_rpb: int) -> int:
@@ -133,6 +136,42 @@ class ResourceManager:
         contract the solver's incremental feasibility refresh relies on.
         """
         return tuple(self._phys_version)
+
+    def availability_digest(self) -> int:
+        """Digest of current resource availability, for memoization.
+
+        Two equal digests guarantee that every RPB's free-memory runs
+        (including lock state — locked regions are absent from the runs)
+        and reserved entry counts, plus the fixed init/recirculation
+        tables' reservations, are identical.  Any pure function of
+        availability — notably the allocation solver's decision for a
+        given demand shape — must therefore return the same answer, which
+        is what lets the deploy cache replay a prior rebind result without
+        re-walking its trace.  Per-RPB digests are cached against
+        ``_phys_version``, so a deploy/revoke only re-hashes the RPBs it
+        touched.  Process-local (built on ``hash`` of int tuples); never
+        persist it.
+        """
+        parts = []
+        cache = self._avail_digests
+        versions = self._phys_version
+        for phys in range(1, self.spec.num_rpbs + 1):
+            version = versions[phys]
+            cached = cache.get(phys)
+            if cached is None or cached[0] != version:
+                table = dp.rpb_table(phys)
+                digest = hash(
+                    (
+                        tuple(self._freelists[phys].free_runs()),
+                        self._entries_reserved[table],
+                    )
+                )
+                cached = (version, digest)
+                cache[phys] = cached
+            parts.append(cached[1])
+        parts.append(self._entries_reserved[dp.INIT_TABLE])
+        parts.append(self._entries_reserved[dp.RECIRC_TABLE])
+        return hash(tuple(parts))
 
     def touch_phys(self, phys_rpb: int) -> None:
         """Record that a physical RPB's availability changed.
@@ -179,9 +218,7 @@ class ResourceManager:
         }
         batch = compiled.emit_entries(self.spec, program_id, bases)
         # Reserve entries per table; verify capacity.
-        per_table: dict[str, int] = {}
-        for entry in batch.install_order():
-            per_table[entry.table] = per_table.get(entry.table, 0) + 1
+        per_table = batch.table_counts()
         for table, count in per_table.items():
             if self._entries_reserved[table] + count > self._entry_capacity[table]:
                 for alloc in memory.values():
@@ -205,10 +242,7 @@ class ResourceManager:
     def abort_admission(self, record: ProgramRecord) -> None:
         """Undo :meth:`admit` after a failed install (no entries remain
         on the data plane): release entry reservations and memory."""
-        per_table: dict[str, int] = {}
-        for entry in record.batch.install_order():
-            per_table[entry.table] = per_table.get(entry.table, 0) + 1
-        for table, count in per_table.items():
+        for table, count in record.batch.table_counts().items():
             self._entries_reserved[table] -= count
             self._touch_table(table)
         for alloc in record.memory.values():

@@ -219,12 +219,19 @@ class UpdateEngine:
         """
         batch = record.batch
         components = [*batch.body_entries, *batch.recirc_entries]
-        groups = [
-            components[i : i + self.GROUP_SIZE]
-            for i in range(0, len(components), self.GROUP_SIZE)
-        ]
-        if batch.init_entries:
-            groups.append(list(batch.init_entries))
+        if len(components) + len(batch.init_entries) <= self.GROUP_SIZE:
+            # Small program: one grouped southbound write.  Order within
+            # the group still follows Fig. 6 (init entries last), so no
+            # intermediate state is visible to traffic.
+            combined = components + list(batch.init_entries)
+            groups = [combined] if combined else []
+        else:
+            groups = [
+                components[i : i + self.GROUP_SIZE]
+                for i in range(0, len(components), self.GROUP_SIZE)
+            ]
+            if batch.init_entries:
+                groups.append(list(batch.init_entries))
         total = 0
         for group in groups:
             self._insert_group(record, group)

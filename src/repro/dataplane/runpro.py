@@ -166,21 +166,45 @@ class P4runproDataPlane:
 
     # -- DataPlaneBinding ---------------------------------------------------------
     def insert_entry(self, entry: EntryConfig) -> int:
+        # EntryConfig keys satisfy the TernaryKey protocol (field/value/
+        # mask + matches), so they are installed as-is — no per-key rewrap.
         table = self._table(entry.table)
-        keys = tuple(TernaryKey(k.field, k.value, k.mask) for k in entry.keys)
         handle = table.insert(
-            TableEntry(keys, entry.action, entry.data(), priority=entry.priority)
+            TableEntry(entry.keys, entry.action, entry.data(), priority=entry.priority)
         )
         self._emit("insert_entry", table=entry.table, action=entry.action, handle=handle)
         return handle
 
     def insert_entries(self, entries: list[EntryConfig]) -> list[int]:
         """Group-atomic batched insert: all entries land or none do (a
-        failure rolls the partial prefix back before propagating)."""
+        failure rolls the partial prefix back before propagating).
+
+        Consecutive entries bound for the same table go through the
+        table's :meth:`~repro.rmt.table.MatchActionTable.insert_many` —
+        one structural update (one pool re-sort, one mutation-hook round)
+        per run instead of one per entry — which is where grouped
+        southbound installs get their speed.
+        """
         handles: list[int] = []
         try:
-            for entry in entries:
-                handles.append(self.insert_entry(entry))
+            i, n = 0, len(entries)
+            while i < n:
+                name = entries[i].table
+                j = i + 1
+                while j < n and entries[j].table == name:
+                    j += 1
+                table = self._table(name)
+                group = [
+                    TableEntry(e.keys, e.action, dict(e.action_data), priority=e.priority)
+                    for e in entries[i:j]
+                ]
+                run_handles = table.insert_many(group)
+                handles.extend(run_handles)
+                for e, handle in zip(entries[i:j], run_handles):
+                    self._emit(
+                        "insert_entry", table=name, action=e.action, handle=handle
+                    )
+                i = j
         except Exception:
             for done, handle in reversed(list(zip(entries, handles))):
                 self.delete_entry(done.table, handle)

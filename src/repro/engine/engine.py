@@ -53,6 +53,7 @@ from ..dataplane import constants as dp
 from ..dataplane.runpro import P4runproDataPlane
 from ..rmt.phv import PHV
 from ..rmt.salu import merge_buckets
+from .sbwire import decode_msg, encode_msg, pack_entry
 from .worker import worker_main
 
 
@@ -119,7 +120,7 @@ class FanoutBinding:
     # -- DataPlaneBinding (mutations) --------------------------------------
     def insert_entry(self, entry: EntryConfig) -> int:
         handle = self.local.insert_entry(entry)
-        self.engine._broadcast(("insert", handle, entry))
+        self.engine._broadcast(("insert", handle, pack_entry(entry)))
         if entry.table == dp.INIT_TABLE and entry.action == dp.ACTION_SET_PROGRAM:
             program_id = entry.data().get("program_id")
             if program_id is not None:
@@ -137,7 +138,9 @@ class FanoutBinding:
         installs cheap at fan-out degree N.
         """
         handles = self.local.insert_entries(list(entries))
-        self.engine._broadcast(("insert_many", tuple(zip(handles, entries))))
+        self.engine._broadcast(
+            ("insert_many", tuple((h, pack_entry(e)) for h, e in zip(handles, entries)))
+        )
         for entry, handle in zip(entries, handles):
             if entry.table == dp.INIT_TABLE and entry.action == dp.ACTION_SET_PROGRAM:
                 program_id = entry.data().get("program_id")
@@ -227,6 +230,13 @@ class ShardedEngine:
 
         self._generation = 0
         self._ctl_pending = False
+        #: coalesced pipelined commands awaiting flush (one wire frame)
+        self._pending_ops: list[tuple] = []
+        #: reusable encode buffers: broadcasts and synchronous requests
+        #: never interleave mid-encode, and ``send_bytes`` copies
+        #: synchronously, so one buffer per role suffices
+        self._sb_buf = bytearray()
+        self._req_buf = bytearray()
         self._traffic_dirty = False
         self._since_merge = 0
         self.merges = 0
@@ -258,7 +268,7 @@ class ShardedEngine:
         self._closed = True
         for conn in self._conns:
             try:
-                conn.send_bytes(pickle.dumps(("stop",)))
+                conn.send_bytes(bytes(encode_msg(("stop",))))
             except (OSError, BrokenPipeError):
                 pass
         for proc, conn in zip(self._procs, self._conns):
@@ -282,14 +292,31 @@ class ShardedEngine:
 
     # -- command channel ----------------------------------------------------
     def _broadcast(self, op: tuple) -> None:
+        """Queue one pipelined control command for every shard.
+
+        Commands coalesce: nothing hits the pipes until the next
+        synchronous exchange (barrier, request, or inject), at which point
+        every queued command ships as ONE multi-command wire frame per
+        worker — the install of an N-entry program costs a handful of
+        frames instead of N, and each frame is encoded once into a
+        reusable buffer and shared by all pipes.
+        """
         self._generation += 1
-        frame = pickle.dumps(("ctl", self._generation, op))
+        self._pending_ops.append(op)
+        self._ctl_pending = True
+
+    def _flush_ctl(self) -> None:
+        if not self._pending_ops:
+            return
+        ops, self._pending_ops = self._pending_ops, []
+        frame = encode_msg(
+            ("ctl_run", self._generation, tuple(ops)), out=self._sb_buf
+        )
         for worker, conn in enumerate(self._conns):
             try:
                 conn.send_bytes(frame)
             except (OSError, BrokenPipeError) as exc:
                 raise EngineError(f"worker {worker} is dead: {exc}") from exc
-        self._ctl_pending = True
 
     def _recv(self, worker: int):
         conn = self._conns[worker]
@@ -297,13 +324,14 @@ class ShardedEngine:
             raise EngineError(
                 f"worker {worker} did not reply within {self.reply_timeout_s}s"
             )
-        reply = pickle.loads(conn.recv_bytes())
+        reply = decode_msg(conn.recv_bytes())
         if reply[0] == "err":
             raise WorkerError(f"worker {worker}: {reply[1]}")
         return reply
 
     def _request(self, worker: int, msg: tuple):
-        self._conns[worker].send_bytes(pickle.dumps(msg))
+        self._flush_ctl()
+        self._conns[worker].send_bytes(encode_msg(msg, out=self._req_buf))
         reply = self._recv(worker)
         return reply[1]
 
@@ -312,8 +340,9 @@ class ShardedEngine:
         generation; deferred control errors surface here."""
         if not self._ctl_pending:
             return
+        self._flush_ctl()
         gen = self._generation
-        frame = pickle.dumps(("barrier", gen))
+        frame = encode_msg(("barrier", gen), out=self._req_buf)
         for conn in self._conns:
             conn.send_bytes(frame)
         errors = []
@@ -378,8 +407,20 @@ class ShardedEngine:
             shard = self.shard_of(packet)
             buckets[shard].append(packet)
             index_lists[shard].append(index)
+        # Each bucket stays ONE pickle blob riding as a bytes leaf inside
+        # the wire frame (structural encoding of packet objects would cost
+        # a Python-level walk per packet; one pickle per batch is the
+        # fast path).  Fresh buffers: plans outlive the next encode.
         frames: list[bytes | None] = [
-            pickle.dumps(("batch", mode, bucket), protocol=pickle.HIGHEST_PROTOCOL)
+            bytes(
+                encode_msg(
+                    (
+                        "batch",
+                        mode,
+                        pickle.dumps(bucket, protocol=pickle.HIGHEST_PROTOCOL),
+                    )
+                )
+            )
             if bucket
             else None
             for bucket in buckets
@@ -409,7 +450,8 @@ class ShardedEngine:
         results: list = [None] * plan.total
         worker_cpu: dict[int, float] = {}
         for worker in active:
-            payload, cpu_s = self._recv(worker)[1]
+            payload_blob, cpu_s = self._recv(worker)[1]
+            payload = pickle.loads(payload_blob)
             worker_cpu[worker] = cpu_s
             indices = plan.index_lists[worker]
             for index, result in zip(indices, payload):

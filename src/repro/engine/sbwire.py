@@ -1,0 +1,65 @@
+"""Southbound framing for the coordinator<->worker pipes.
+
+Control commands and synchronous requests travel as binary wire frames
+(:mod:`repro.service.wire`) instead of one ``pickle.dumps`` per message:
+tuple-shaped commands encode structurally (``preserve_tuples``), table
+entries are packed field-by-field (:func:`pack_entry`), and anything the
+codec does not speak natively — packet objects, process results — rides
+as a pickle-extension leaf (``allow_pickle``; both pipe ends are
+processes of one engine, the trust domain pickling already assumed).
+
+The encoder writes into a caller-owned reusable buffer, so a fan-out of
+N workers allocates nothing per command: the coordinator encodes each
+broadcast once into its preallocated bytearray and hands the same bytes
+to every pipe (``Connection.send_bytes`` copies synchronously).
+"""
+
+from __future__ import annotations
+
+from ..compiler.entries import EntryConfig, KeySpec
+from ..service.wire import FRAME_REQUEST, decode_wire_frame, encode_wire_frame
+
+#: sentinel heading a packed EntryConfig (no field name collides with it)
+_ENTRY_TAG = "\x00entry"
+
+
+def pack_entry(entry: EntryConfig) -> tuple:
+    """EntryConfig -> a wire-native tuple (no pickle round-trip)."""
+    return (
+        _ENTRY_TAG,
+        entry.table,
+        tuple((k.field, k.value, k.mask) for k in entry.keys),
+        entry.action,
+        tuple(entry.action_data),
+        entry.priority,
+    )
+
+
+def unpack_entry(packed: tuple) -> EntryConfig:
+    _tag, table, keys, action, action_data, priority = packed
+    return EntryConfig(
+        table=table,
+        keys=tuple(KeySpec(field=f, value=v, mask=m) for f, v, m in keys),
+        action=action,
+        action_data=tuple((name, value) for name, value in action_data),
+        priority=priority,
+    )
+
+
+def encode_msg(msg: tuple, out: bytearray | None = None) -> bytes | bytearray:
+    """One southbound message -> one complete wire frame."""
+    return encode_wire_frame(
+        FRAME_REQUEST, msg, preserve_tuples=True, allow_pickle=True, out=out
+    )
+
+
+#: southbound frames carry whole packet batches — far beyond the
+#: northbound's 4 MiB request guard; the pipe peers trust each other.
+MAX_SB_FRAME_BYTES = 1 << 31
+
+
+def decode_msg(data: bytes):
+    """One wire frame -> the southbound message tuple."""
+    return decode_wire_frame(
+        data, allow_pickle=True, max_frame_bytes=MAX_SB_FRAME_BYTES
+    )[1]

@@ -3,9 +3,11 @@
 Each worker owns a complete :class:`~repro.dataplane.runpro.P4runproDataPlane`
 replica and serves two kinds of messages from the coordinator:
 
-* **pipelined control commands** (``ctl``) — southbound mutations fanned
-  out by :class:`~repro.engine.engine.FanoutBinding`, applied in FIFO
-  order without replies; failures are held until the next barrier;
+* **pipelined control commands** (``ctl_run``) — southbound mutations
+  fanned out by :class:`~repro.engine.engine.FanoutBinding`, coalesced
+  into one multi-command binary frame per flush (:mod:`.sbwire`) and
+  applied in FIFO order without replies; failures are held until the
+  next barrier;
 * **synchronous requests** — ``barrier`` (ack with the applied generation
   plus any deferred control errors), ``batch`` (process packets, reply
   verdicts or full results plus the worker's CPU seconds), register
@@ -29,6 +31,8 @@ import signal
 import time
 import traceback
 
+from .sbwire import decode_msg, encode_msg, unpack_entry
+
 
 def _build_dataplane(setup_bytes: bytes):
     from ..dataplane.runpro import P4runproDataPlane
@@ -45,12 +49,12 @@ def _build_dataplane(setup_bytes: bytes):
 def _apply_ctl(dataplane, handle_map: dict, op: tuple) -> None:
     kind = op[0]
     if kind == "insert":
-        _kind, coord_handle, entry = op
-        handle_map[coord_handle] = dataplane.insert_entry(entry)
+        _kind, coord_handle, packed = op
+        handle_map[coord_handle] = dataplane.insert_entry(unpack_entry(packed))
     elif kind == "insert_many":
         _kind, pairs = op
-        for coord_handle, entry in pairs:
-            handle_map[coord_handle] = dataplane.insert_entry(entry)
+        for coord_handle, packed in pairs:
+            handle_map[coord_handle] = dataplane.insert_entry(unpack_entry(packed))
     elif kind == "delete":
         _kind, table, coord_handle = op
         dataplane.delete_entry(table, handle_map.pop(coord_handle))
@@ -95,55 +99,73 @@ def worker_main(conn, setup_bytes: bytes) -> None:
     handle_map: dict[int, int] = {}
     applied_gen = 0
     ctl_errors: list[str] = []
+    reply_buf = bytearray()
     while True:
         try:
-            msg = pickle.loads(conn.recv_bytes())
+            msg = decode_msg(conn.recv_bytes())
         except (EOFError, OSError):
             return
         kind = msg[0]
-        if kind == "ctl":
-            # Pipelined: never replies; failures surface at the next barrier.
-            _kind, gen, op = msg
-            try:
-                _apply_ctl(dataplane, handle_map, op)
-            except Exception:
-                ctl_errors.append(
-                    f"ctl gen {gen} {op[0]}: {traceback.format_exc()}"
-                )
+        if kind == "ctl_run":
+            # Pipelined, coalesced: one frame carries every command the
+            # coordinator queued since the last flush.  Never replies;
+            # failures surface at the next barrier.
+            _kind, gen, ops = msg
+            for op in ops:
+                try:
+                    _apply_ctl(dataplane, handle_map, op)
+                except Exception:
+                    ctl_errors.append(
+                        f"ctl gen {gen} {op[0]}: {traceback.format_exc()}"
+                    )
             applied_gen = gen
             continue
         try:
             if kind == "barrier":
                 errors, ctl_errors = ctl_errors, []
                 conn.send_bytes(
-                    pickle.dumps(("ack", msg[1], applied_gen, errors))
+                    encode_msg(("ack", msg[1], applied_gen, errors), out=reply_buf)
                 )
             elif kind == "batch":
-                _kind, mode, packets = msg
-                payload, cpu_s = _run_batch(dataplane, mode, packets)
+                # Packets arrive as one pickle blob (bytes leaf) and the
+                # results go back the same way — one pickle per batch is
+                # the fast path for opaque packet/result objects.
+                _kind, mode, blob = msg
+                payload, cpu_s = _run_batch(dataplane, mode, pickle.loads(blob))
                 conn.send_bytes(
-                    pickle.dumps(("ok", (payload, cpu_s)), protocol=pickle.HIGHEST_PROTOCOL)
+                    encode_msg(
+                        (
+                            "ok",
+                            (
+                                pickle.dumps(
+                                    payload, protocol=pickle.HIGHEST_PROTOCOL
+                                ),
+                                cpu_s,
+                            ),
+                        ),
+                        out=reply_buf,
+                    )
                 )
             elif kind == "read_buckets":
                 _kind, phys_rpb, addrs = msg
                 values = [dataplane.read_bucket(phys_rpb, a) for a in addrs]
-                conn.send_bytes(pickle.dumps(("ok", values)))
+                conn.send_bytes(encode_msg(("ok", values), out=reply_buf))
             elif kind == "write_buckets":
                 _kind, phys_rpb, pairs = msg
                 for addr, value in pairs:
                     dataplane.write_bucket(phys_rpb, addr, value)
-                conn.send_bytes(pickle.dumps(("ok", None)))
+                conn.send_bytes(encode_msg(("ok", None), out=reply_buf))
             elif kind == "counters":
                 _kind, refs = msg
                 hits = [
                     dataplane.read_entry_counter(table, handle_map[handle])
                     for table, handle in refs
                 ]
-                conn.send_bytes(pickle.dumps(("ok", hits)))
+                conn.send_bytes(encode_msg(("ok", hits), out=reply_buf))
             elif kind == "stats":
                 tm = dataplane.switch.tm
                 conn.send_bytes(
-                    pickle.dumps(
+                    encode_msg(
                         (
                             "ok",
                             {
@@ -157,11 +179,12 @@ def worker_main(conn, setup_bytes: bytes) -> None:
                                 "flow_cache": dataplane.flow_cache.stats(),
                                 "codegen": dataplane.codegen.stats(),
                             },
-                        )
+                        ),
+                        out=reply_buf,
                     )
                 )
             elif kind == "stop":
-                conn.send_bytes(pickle.dumps(("bye",)))
+                conn.send_bytes(encode_msg(("bye",), out=reply_buf))
                 return
             else:
                 raise ValueError(f"unknown message {kind!r}")
@@ -169,6 +192,8 @@ def worker_main(conn, setup_bytes: bytes) -> None:
             # Synchronous requests get the failure as their reply; the
             # coordinator raises it as a WorkerError.
             try:
-                conn.send_bytes(pickle.dumps(("err", traceback.format_exc())))
+                conn.send_bytes(
+                    encode_msg(("err", traceback.format_exc()), out=reply_buf)
+                )
             except (OSError, BrokenPipeError):
                 return

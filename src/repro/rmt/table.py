@@ -179,6 +179,47 @@ class MatchActionTable:
             hook()
         return handle
 
+    def insert_many(self, entries: list["TableEntry"]) -> list[int]:
+        """Install a group of entries in one structural update.
+
+        Equivalent to calling :meth:`insert` per entry (handles are
+        assigned in order and the resulting pool order is identical —
+        ``_entry_order`` is total, so one stable sort after appending
+        matches repeated ``insort``), but the sorted pools are rebuilt
+        once and the mutation hooks fire once for the whole group.  The
+        capacity check happens up front, so a full table rejects the
+        group before any entry lands.
+        """
+        if len(self._entries) + len(entries) > self.capacity:
+            raise TableFullError(f"table {self.name} full ({self.capacity} entries)")
+        handles: list[int] = []
+        touched: list[list[TableEntry]] = []
+        for entry in entries:
+            handle = next(self._handle_counter)
+            entry.handle = handle
+            entry.live = True
+            entry.compiled_keys = tuple(
+                (key.field, key.value & key.mask, key.mask) for key in entry.keys
+            )
+            entry.compiled_op = None
+            self._entries[handle] = entry
+            bucket = self._index_value(entry)
+            if bucket is None:
+                pool = self._unindexed
+            else:
+                pool = self._index.get(bucket)
+                if pool is None:
+                    pool = self._index[bucket] = []
+            pool.append(entry)
+            touched.append(pool)
+            handles.append(handle)
+        for pool in {id(p): p for p in touched}.values():
+            pool.sort(key=_entry_order)
+        self.generation += 1
+        for hook in self.on_mutation:
+            hook()
+        return handles
+
     def delete(self, handle: int) -> None:
         """Atomically remove the entry with ``handle`` (O(1) amortized)."""
         entry = self._entries.pop(handle, None)

@@ -32,8 +32,24 @@ from dataclasses import dataclass, field
 #: it when a pipelined install fails after admission, so replay re-enacts
 #: the admit and the abort at their exact positions in the mutation order
 #: (skipping them would shift every later first-fit memory base).
+#: The multi-op batch RPCs (``deploy_many``, ``add_cases``, ``write_mems``,
+#: ``batch``) audit as ONE record carrying per-op results; replay applies
+#: exactly the sub-ops that succeeded live and re-seeds any program ids a
+#: rolled-back or failed sub-deploy burned, so the id counter (and hence
+#: every later deploy's identity) lines up byte-for-byte.
 STATE_CHANGING_METHODS = frozenset(
-    {"deploy", "revoke", "add_case", "remove_case", "write_mem", "abort_deploy"}
+    {
+        "deploy",
+        "revoke",
+        "add_case",
+        "remove_case",
+        "write_mem",
+        "abort_deploy",
+        "deploy_many",
+        "add_cases",
+        "write_mems",
+        "batch",
+    }
 )
 
 
@@ -171,6 +187,31 @@ def replay(records, controller=None):
     cases: dict[int, object] = {}
     # admitted-but-later-aborted deploys awaiting their abort_deploy record
     pending_aborts: dict[int, object] = {}
+
+    def apply_deploy(params: dict, expected_id: int, seq: int):
+        controller.manager.seed_program_id(expected_id)
+        handle = controller.deploy(
+            params["source"],
+            program_name=params.get("program"),
+            options=compile_options_from_params(params),
+        )
+        if handle.program_id != expected_id:
+            raise RuntimeError(
+                f"replay divergence at seq {seq}: deployed as "
+                f"#{handle.program_id}, log says #{expected_id}"
+            )
+        return handle
+
+    def apply_add_case(program_id: int, spec: dict, sub: dict):
+        case = controller.add_case(
+            program_id,
+            [tuple(c) for c in spec["conditions"]],
+            branch_index=spec.get("branch_index", 0),
+            template_case=spec.get("template_case", 0),
+            loadi_values=spec.get("loadi_values"),
+        )
+        cases[sub["case_id"]] = case
+
     for record in records:
         if isinstance(record, dict):
             record = AuditRecord.from_dict(record)
@@ -204,16 +245,70 @@ def replay(records, controller=None):
                     )
                 pending_aborts[prepared.program_id] = prepared
                 continue
-            handle = controller.deploy(
-                params["source"],
-                program_name=params.get("program"),
-                options=compile_options_from_params(params),
-            )
-            if handle.program_id != record.result["program_id"]:
-                raise RuntimeError(
-                    f"replay divergence at seq {record.seq}: deployed as "
-                    f"#{handle.program_id}, log says #{record.result['program_id']}"
-                )
+            apply_deploy(params, record.result["program_id"], record.seq)
+        elif record.method == "deploy_many":
+            results = record.result.get("results", [])
+            if record.result.get("committed", True):
+                for op_params, sub in zip(params.get("sources", []), results):
+                    if isinstance(op_params, str):
+                        op_params = {"source": op_params}
+                    apply_deploy(op_params, sub["program_id"], record.seq)
+            else:
+                # Rolled back live: every admitted op burned an id (its
+                # install + reverse-order revoke returned the manager to
+                # the prior state), so only the id counter needs aligning.
+                burned = [
+                    sub["program_id"]
+                    for sub in results
+                    if sub.get("program_id") is not None
+                ]
+                if burned:
+                    controller.manager.seed_program_id(max(burned) + 1)
+        elif record.method == "add_cases":
+            program_id = params["program_id"]
+            for spec, sub in zip(params.get("cases", []), record.result.get("results", [])):
+                if sub.get("ok"):
+                    apply_add_case(program_id, spec, sub)
+        elif record.method == "write_mems":
+            for spec, sub in zip(params.get("writes", []), record.result.get("results", [])):
+                if sub.get("ok"):
+                    controller.write_memory(
+                        spec["program_id"], spec["mid"], spec["vaddr"], spec["value"]
+                    )
+        elif record.method == "batch":
+            for op, sub in zip(params.get("ops", []), record.result.get("results", [])):
+                op_method = op.get("method")
+                op_params = op.get("params", {})
+                if not sub.get("ok"):
+                    # A failed sub-deploy may still have been admitted
+                    # (install failure aborted it synchronously) — the
+                    # burned id must be skipped here too.
+                    if op_method == "deploy" and sub.get("program_id") is not None:
+                        controller.manager.seed_program_id(sub["program_id"] + 1)
+                    continue
+                if op_method == "deploy":
+                    apply_deploy(op_params, sub["program_id"], record.seq)
+                elif op_method == "revoke":
+                    controller.revoke(op_params["program_id"])
+                elif op_method == "add_case":
+                    apply_add_case(op_params["program_id"], op_params, sub)
+                elif op_method == "remove_case":
+                    case = cases.pop(op_params["case_id"], None)
+                    if case is None:
+                        raise RuntimeError(
+                            f"replay divergence at seq {record.seq}: unknown "
+                            f"case id {op_params['case_id']}"
+                        )
+                    controller.remove_case(op_params["program_id"], case)
+                elif op_method == "write_mem":
+                    controller.write_memory(
+                        op_params["program_id"],
+                        op_params["mid"],
+                        op_params["vaddr"],
+                        op_params["value"],
+                    )
+                # set_quota touches the tenant registry only — no manager
+                # state, nothing to re-enact.
         elif record.method == "abort_deploy":
             prepared = pending_aborts.pop(params["program_id"], None)
             if prepared is None:

@@ -9,22 +9,42 @@ call, structured errors re-raised as
 many in-flight requests on one event loop (the integration tests drive
 four tenants concurrently with it).
 
-Both speak the NDJSON protocol and expose one convenience method per
-RPC; ``call`` remains available for anything new the server grows.
+Both speak either codec — ``codec="ndjson"`` (default, the line
+protocol) or ``codec="binary"`` (the length-prefixed frames of
+:mod:`repro.service.wire`, negotiated by sending the preamble right
+after connect).  The RPC surface is identical either way; the codec only
+changes framing and value encoding.  Each client exposes one convenience
+method per RPC; ``call`` remains available for anything new the server
+grows.  After a ``subscribe`` RPC, server-initiated pushes are consumed
+with :meth:`events` — response frames and event frames may interleave on
+the wire, so each client buffers whichever kind it is not currently
+waiting for.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+from collections import deque
 
 from .protocol import (
     MAX_FRAME_BYTES,
     ErrorCode,
     ServiceError,
+    decode_binary_frame,
     decode_frame,
+    encode_binary_frame,
     encode_frame,
 )
+from .wire import FRAME_EVENT, FRAME_HEADER, FRAME_REQUEST, PREAMBLE
+
+_CODECS = ("ndjson", "binary")
+
+
+def _check_codec(codec: str) -> str:
+    if codec not in _CODECS:
+        raise ValueError(f"codec must be one of {_CODECS}, not {codec!r}")
+    return codec
 
 
 class _CallMixin:
@@ -73,11 +93,15 @@ def _sync_api(cls):
 _RPC_SIGNATURES = {
     "ping": (),
     "deploy": ("source",),
+    "deploy_many": ("sources",),
     "revoke": ("program_id",),
     "add_case": ("program_id", "conditions"),
+    "add_cases": ("program_id", "cases"),
     "remove_case": ("program_id", "case_id"),
     "read_mem": ("program_id", "mid", "vaddr"),
     "write_mem": ("program_id", "mid", "vaddr", "value"),
+    "write_mems": ("writes",),
+    "batch": ("ops",),
     "snapshot": ("program_id", "mid"),
     "stats": ("program_id",),
     "list": (),
@@ -88,12 +112,14 @@ _RPC_SIGNATURES = {
     "fingerprint": (),
     "set_quota": ("tenant",),
     "inject": ("packets",),
+    "subscribe": ("streams",),
+    "unsubscribe": (),
 }
 
 
 @_sync_api
 class ServiceClient(_CallMixin):
-    """Blocking NDJSON-RPC client over one TCP connection."""
+    """Blocking RPC client over one TCP connection (either codec)."""
 
     def __init__(
         self,
@@ -102,19 +128,73 @@ class ServiceClient(_CallMixin):
         *,
         tenant: str = "default",
         timeout: float = 30.0,
+        codec: str = "ndjson",
     ):
         self.tenant = tenant
+        self.codec = _check_codec(codec)
         self._next_id = 0
+        self._events: deque[dict] = deque()
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        # Request frames span several segments; Nagle + delayed ACK would
+        # stall the tail of each one behind the previous round trip.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._file = self._sock.makefile("rb")
+        if self.codec == "binary":
+            self._sock.sendall(PREAMBLE)
 
     def call(self, method: str, params: dict | None = None, *, deadline_ms: float | None = None):
         payload = self._request(method, params, deadline_ms)
-        self._sock.sendall(encode_frame(payload))
+        if self.codec == "binary":
+            self._sock.sendall(encode_binary_frame(FRAME_REQUEST, payload))
+        else:
+            self._sock.sendall(encode_frame(payload))
+        return self._unwrap(self._read_response())
+
+    def events(self):
+        """Yield server-initiated push messages (after ``subscribe``).
+
+        Blocks on the socket between pushes; iterate until done, then
+        ``unsubscribe`` (or just close the connection).
+        """
+        while True:
+            while self._events:
+                yield self._events.popleft()
+            kind, payload = self._read_frame()
+            if kind == FRAME_EVENT:
+                yield payload
+            else:
+                # A stray response with no waiter: protocol misuse
+                # (events() while a call is outstanding is not supported
+                # on the sync client).
+                raise ServiceError(
+                    ErrorCode.INTERNAL, "unexpected response frame on event stream"
+                )
+
+    def _read_response(self) -> dict:
+        while True:
+            kind, payload = self._read_frame()
+            if kind == FRAME_EVENT:
+                self._events.append(payload)
+                continue
+            return payload
+
+    def _read_frame(self) -> tuple[int, dict]:
+        if self.codec == "binary":
+            header = self._read_exact(FRAME_HEADER.size)
+            kind, length = FRAME_HEADER.unpack(header)
+            body = self._read_exact(length)
+            return kind, decode_binary_frame(header + body)
         line = self._file.readline(MAX_FRAME_BYTES + 2)
         if not line:
             raise ServiceError(ErrorCode.INTERNAL, "connection closed by server")
-        return self._unwrap(decode_frame(line))
+        payload = decode_frame(line)
+        return (FRAME_EVENT if "event" in payload else 0), payload
+
+    def _read_exact(self, n: int) -> bytes:
+        data = self._file.read(n)
+        if data is None or len(data) != n:
+            raise ServiceError(ErrorCode.INTERNAL, "connection closed by server")
+        return data
 
     def list_programs(self, **kwargs) -> list[dict]:
         return self.call("list", kwargs)["programs"]
@@ -133,18 +213,27 @@ class ServiceClient(_CallMixin):
 
 
 class AsyncServiceClient(_CallMixin):
-    """Asyncio NDJSON-RPC client; ``await connect()`` then ``await call()``.
+    """Asyncio RPC client; ``await connect()`` then ``await call()``.
 
     Calls on one client instance are serialized over its connection (a
-    lock pairs each request with its response line); open one client per
+    lock pairs each request with its response frame); open one client per
     tenant/coroutine for true concurrency — connections are cheap.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 9400, *, tenant: str = "default"):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9400,
+        *,
+        tenant: str = "default",
+        codec: str = "ndjson",
+    ):
         self.host = host
         self.port = port
         self.tenant = tenant
+        self.codec = _check_codec(codec)
         self._next_id = 0
+        self._events: deque[dict] = deque()
         self._reader: asyncio.StreamReader | None = None
         self._writer = None
         self._lock = asyncio.Lock()
@@ -153,6 +242,9 @@ class AsyncServiceClient(_CallMixin):
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port, limit=MAX_FRAME_BYTES
         )
+        if self.codec == "binary":
+            self._writer.write(PREAMBLE)
+            await self._writer.drain()
         return self
 
     async def call(
@@ -162,12 +254,52 @@ class AsyncServiceClient(_CallMixin):
             await self.connect()
         payload = self._request(method, params, deadline_ms)
         async with self._lock:
-            self._writer.write(encode_frame(payload))
+            if self.codec == "binary":
+                self._writer.write(encode_binary_frame(FRAME_REQUEST, payload))
+            else:
+                self._writer.write(encode_frame(payload))
             await self._writer.drain()
-            line = await self._reader.readline()
+            response = await self._read_response()
+        return self._unwrap(response)
+
+    async def events(self):
+        """Async generator of server-initiated push messages."""
+        while True:
+            while self._events:
+                yield self._events.popleft()
+            async with self._lock:
+                kind, payload = await self._read_frame()
+            if kind == FRAME_EVENT:
+                yield payload
+            else:
+                raise ServiceError(
+                    ErrorCode.INTERNAL, "unexpected response frame on event stream"
+                )
+
+    async def _read_response(self) -> dict:
+        while True:
+            kind, payload = await self._read_frame()
+            if kind == FRAME_EVENT:
+                self._events.append(payload)
+                continue
+            return payload
+
+    async def _read_frame(self) -> tuple[int, dict]:
+        if self.codec == "binary":
+            try:
+                header = await self._reader.readexactly(FRAME_HEADER.size)
+                kind, length = FRAME_HEADER.unpack(header)
+                body = await self._reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ServiceError(
+                    ErrorCode.INTERNAL, "connection closed by server"
+                ) from exc
+            return kind, decode_binary_frame(header + body)
+        line = await self._reader.readline()
         if not line:
             raise ServiceError(ErrorCode.INTERNAL, "connection closed by server")
-        return self._unwrap(decode_frame(line))
+        payload = decode_frame(line)
+        return (FRAME_EVENT if "event" in payload else 0), payload
 
     async def close(self) -> None:
         if self._writer is not None:

@@ -34,6 +34,17 @@ class Counter:
 
 
 @dataclass
+class Gauge:
+    """A point-in-time measurement (last write wins, unlike a Counter)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
 class Histogram:
     """Fixed-bucket histogram with count/sum/min/max and quantile estimates."""
 
@@ -101,6 +112,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -109,6 +121,13 @@ class MetricsRegistry:
             counter = Counter(name)
             self._counters[name] = counter
         return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        return gauge
 
     def histogram(self, name: str, bounds: tuple = DEFAULT_BOUNDS) -> Histogram:
         histogram = self._histograms.get(name)
@@ -122,6 +141,9 @@ class MetricsRegistry:
         return {
             "counters": {
                 name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
             },
             "histograms": {
                 name: self._histograms[name].as_dict()

@@ -23,6 +23,20 @@ waiting in the admission queue when it expires is rejected with
 Every error is structured: a stable machine-readable ``code`` from
 :class:`ErrorCode` plus a human message.  Clients re-raise them as
 :class:`ServiceError`.
+
+Binary framing (negotiated)
+---------------------------
+
+Alongside NDJSON the server speaks the length-prefixed binary codec of
+:mod:`repro.service.wire`.  Negotiation is first-byte sniffing: a binary
+client's first bytes are the preamble ``b"P4RB" + version`` (``0x50``,
+which no JSON request line starts with); anything else selects NDJSON.
+After the preamble, requests travel as ``FRAME_REQUEST`` frames and
+responses as ``FRAME_RESPONSE`` frames carrying the *same* envelope
+dicts as the JSON lines — the codec changes the framing and value
+encoding, never the RPC surface.  Server-initiated subscription pushes
+use ``FRAME_EVENT`` (binary) or plain NDJSON lines with an ``event``
+key (line protocol).
 """
 
 from __future__ import annotations
@@ -30,6 +44,17 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from enum import Enum
+
+from .wire import (  # noqa: F401  (re-exported: the service's framing surface)
+    FRAME_EVENT,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    PREAMBLE,
+    WIRE_VERSION,
+    WireError,
+    decode_wire_frame,
+    encode_wire_frame,
+)
 
 #: Protocol revision, reported by the ``ping`` RPC.
 PROTOCOL_VERSION = 1
@@ -126,6 +151,29 @@ def decode_frame(line: bytes) -> dict:
         raise ServiceError(ErrorCode.PARSE_ERROR, f"bad frame: {exc}") from exc
     if not isinstance(payload, dict):
         raise ServiceError(ErrorCode.PARSE_ERROR, "frame must encode a JSON object")
+    return payload
+
+
+def encode_binary_frame(kind: int, payload: dict) -> bytes:
+    """One envelope dict -> one binary wire frame (size-guarded)."""
+    frame = encode_wire_frame(kind, payload)
+    if len(frame) > MAX_FRAME_BYTES:
+        raise ServiceError(ErrorCode.BAD_REQUEST, "frame exceeds size limit")
+    return bytes(frame)
+
+
+def decode_binary_frame(data: bytes) -> dict:
+    """One binary frame -> envelope dict; PARSE_ERROR on garbage.
+
+    The northbound never enables the pickle extension: a pickle tag from
+    a client is a protocol error.
+    """
+    try:
+        _kind, payload = decode_wire_frame(data, max_frame_bytes=MAX_FRAME_BYTES)
+    except WireError as exc:
+        raise ServiceError(ErrorCode.PARSE_ERROR, f"bad frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(ErrorCode.PARSE_ERROR, "frame must encode an object")
     return payload
 
 

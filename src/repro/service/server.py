@@ -44,13 +44,16 @@ from .protocol import (
     ErrorCode,
     Request,
     ServiceError,
+    decode_binary_frame,
     decode_frame,
+    encode_binary_frame,
     encode_frame,
     error_response,
     ok_response,
 )
 from .robustness import RetryingBinding, RetryPolicy
 from .tenants import TenantQuota, TenantRegistry
+from .wire import FRAME_EVENT, FRAME_HEADER, FRAME_REQUEST, FRAME_RESPONSE, PREAMBLE
 
 #: Methods serialized through the admission queue.  ``inject`` drives
 #: traffic through the data plane: it mutates register arrays and
@@ -58,6 +61,9 @@ from .tenants import TenantQuota, TenantRegistry
 #: but it is deliberately *not* in STATE_CHANGING_METHODS, so audit
 #: replay skips it (replay restores control-plane state, not traffic).
 #: ``abort_deploy`` is a synthetic audit-only record, never a client RPC.
+#: The batch RPCs (``deploy_many``/``add_cases``/``write_mems``/``batch``)
+#: ride along from STATE_CHANGING_METHODS: N ops under ONE admission
+#: ticket, one audit record, one response frame.
 WRITE_METHODS = (STATE_CHANGING_METHODS - {"abort_deploy"}) | {"set_quota", "inject"}
 
 #: Methods served without queueing.
@@ -249,10 +255,15 @@ class ControlService:
             payload = decode_frame(line)
         except ServiceError as exc:
             return error_response(None, exc)
+        return await self.handle_payload(payload)
+
+    async def handle_payload(self, payload: dict) -> dict:
+        """One decoded request envelope in (either codec), one response
+        object out (never raises)."""
         try:
             request = Request.from_wire(payload)
         except ServiceError as exc:
-            return error_response(payload.get("id"), exc)
+            return error_response(payload.get("id") if isinstance(payload, dict) else None, exc)
         return await self.handle_request(request)
 
     async def handle_request(self, request: Request) -> dict:
@@ -523,12 +534,22 @@ class ControlService:
     # -- state-changing RPCs ----------------------------------------------------
     def _rpc_deploy(self, tenant_name: str, params: dict) -> dict:
         """Reference (fully serialized) deploy path, used when
-        ``pipelined_install`` is off: solve and install back-to-back under
-        the admission lock."""
-        from .tenants import TenantProgram
-
+        ``pipelined_install`` is off and for every batched sub-deploy:
+        solve and install back-to-back under the admission lock."""
         if self.fabric is not None:
             return self._fabric_deploy(tenant_name, params)
+        return self._deploy_sub(tenant_name, params)
+
+    def _deploy_sub(self, tenant_name: str, params: dict) -> dict:
+        """One serialized deploy (compile, quota, admit, install, charge).
+
+        On an install failure the admission is already aborted by
+        ``install_steps``; the burned program id is attached to the raised
+        exception (``exc.program_id``) so batch callers can record it —
+        audit replay must skip the same ids the live run consumed.
+        """
+        from .tenants import TenantProgram
+
         source = self._require(params, "source")
         tenant = self.tenants.get(tenant_name)
         # Program-count quota first: no compile time for a full namespace.
@@ -538,19 +559,206 @@ class ControlService:
             source, program_name=params.get("program"), options=options
         )
         buckets = sum(size for _phys, size in compiled.memory_requests().values())
-        # Exact entry footprint without reserving anything: emission is pure,
-        # and the entry *count* does not depend on the real bases/id.
-        probe_bases = {
-            mid: (phys, [(0, 0, size)])
-            for mid, (phys, size) in compiled.memory_requests().items()
-        }
-        entries = len(compiled.emit_entries(self.controller.spec, 0, probe_bases))
+        if tenant.quota.max_table_entries is not None:
+            # Exact entry footprint without reserving anything: emission is
+            # pure, and the entry *count* does not depend on the real
+            # bases/id.  Skipped for unlimited-entry tenants — the charge
+            # below uses the real post-install count either way, and the
+            # probe emission is the dominant per-deploy cost on the warm
+            # batch path.
+            probe_bases = {
+                mid: (phys, [(0, 0, size)])
+                for mid, (phys, size) in compiled.memory_requests().items()
+            }
+            entries = len(compiled.emit_entries(self.controller.spec, 0, probe_bases))
+        else:
+            entries = 0
         tenant.check_admission(entries=entries, memory_buckets=buckets)
-        handle = self.controller.deploy(compiled)
+        prepared = self.controller.prepare_deploy(compiled)
+        try:
+            for _installed in self.controller.install_steps(prepared):
+                pass
+        except Exception as exc:
+            try:
+                exc.program_id = prepared.program_id
+            except AttributeError:  # pragma: no cover - exotic exceptions
+                pass
+            raise
+        handle = prepared.result
         tenant.charge(
             TenantProgram(handle.program_id, handle.name, handle.stats.entries, buckets)
         )
         return self._deploy_result(handle)
+
+    # -- multi-op batch RPCs -----------------------------------------------------
+    #: sub-methods the generic ``batch`` envelope may carry (no nesting)
+    BATCH_METHODS = frozenset(
+        {"deploy", "revoke", "add_case", "remove_case", "write_mem", "set_quota"}
+    )
+
+    def _rpc_deploy_many(self, tenant_name: str, params: dict) -> dict:
+        """All-or-nothing multi-deploy: N sources under one admission
+        ticket, one audit record, one response frame.
+
+        Each op is a deploy-params object (or a bare source string).  Any
+        failure unwinds the installed prefix in reverse order (the
+        fabric's rollback choreography) and the response reports per-op
+        status with ``rolled_back`` markers; nothing stays deployed.  The
+        audit record keeps every burned program id so replay reproduces
+        the id counter — and hence the state fingerprint — byte-for-byte.
+        """
+        if self.fabric is not None:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "deploy_many is not supported fabric-wide; deploy one at a time",
+            )
+        sources = self._require(params, "sources")
+        if not isinstance(sources, list) or not sources:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "sources must be a non-empty list")
+        tenant = self.tenants.get(tenant_name)
+        results: list[dict] = []
+        installed: list[int] = []
+        failure: ServiceError | None = None
+        for op_params in sources:
+            if isinstance(op_params, str):
+                op_params = {"source": op_params}
+            if not isinstance(op_params, dict):
+                failure = ServiceError(
+                    ErrorCode.BAD_REQUEST, "each source must be a string or an object"
+                )
+                results.append({"ok": False, "error": failure.to_wire()})
+                break
+            try:
+                result = self._deploy_sub(tenant_name, op_params)
+            except Exception as exc:
+                failure = self._map_error("deploy", exc)
+                sub = {"ok": False, "error": failure.to_wire()}
+                burned = getattr(exc, "program_id", None)
+                if burned is not None:
+                    sub["program_id"] = burned
+                results.append(sub)
+                break
+            result["ok"] = True
+            results.append(result)
+            installed.append(result["program_id"])
+        if failure is not None:
+            # Reverse-order rollback: revoke what landed, release charges.
+            for program_id in reversed(installed):
+                self.controller.revoke(program_id)
+                tenant.release(program_id)
+            for sub in results:
+                if sub.get("ok"):
+                    sub["ok"] = False
+                    sub["rolled_back"] = True
+            return {"committed": False, "results": results, "error": failure.to_wire()}
+        return {"committed": True, "results": results}
+
+    def _rpc_add_cases(self, tenant_name: str, params: dict) -> dict:
+        """N incremental cases on one program under one admission ticket.
+
+        Per-op status, no rollback: a bad case spec fails alone while the
+        rest land (audit replay applies exactly the ok sub-ops)."""
+        program_id = self._program_id(tenant_name, params)
+        self._require_running(program_id)
+        if self.fabric is not None:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                "incremental cases are not supported fabric-wide; "
+                "use the FabricController API directly",
+            )
+        specs = self._require(params, "cases")
+        if not isinstance(specs, list) or not specs:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "cases must be a non-empty list")
+        results: list[dict] = []
+        for spec in specs:
+            try:
+                if not isinstance(spec, dict):
+                    raise ServiceError(ErrorCode.BAD_REQUEST, "case spec must be an object")
+                conditions = [tuple(c) for c in self._require(spec, "conditions")]
+                case = self.controller.add_case(
+                    program_id,
+                    conditions,
+                    branch_index=spec.get("branch_index", 0),
+                    template_case=spec.get("template_case", 0),
+                    loadi_values=spec.get("loadi_values"),
+                )
+            except Exception as exc:
+                error = self._map_error("add_case", exc)
+                results.append({"ok": False, "error": error.to_wire()})
+                continue
+            case_id = self._next_case_id
+            self._next_case_id += 1
+            self._cases[(tenant_name, case_id)] = (program_id, case)
+            results.append({"ok": True, "case_id": case_id, "branch_id": case.branch_id})
+        return {
+            "results": results,
+            "ok_count": sum(1 for r in results if r["ok"]),
+        }
+
+    def _rpc_write_mems(self, tenant_name: str, params: dict) -> dict:
+        """N memory writes (possibly across programs) under one admission
+        ticket; per-op status, no rollback."""
+        writes = self._require(params, "writes")
+        if not isinstance(writes, list) or not writes:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "writes must be a non-empty list")
+        results: list[dict] = []
+        for spec in writes:
+            try:
+                if not isinstance(spec, dict):
+                    raise ServiceError(ErrorCode.BAD_REQUEST, "write spec must be an object")
+                self._rpc_write_mem(tenant_name, spec)
+            except Exception as exc:
+                error = self._map_error("write_mem", exc)
+                results.append({"ok": False, "error": error.to_wire()})
+                continue
+            results.append({"ok": True})
+        return {
+            "results": results,
+            "ok_count": sum(1 for r in results if r["ok"]),
+        }
+
+    def _rpc_batch(self, tenant_name: str, params: dict) -> dict:
+        """Generic multi-op envelope: ``ops`` is a list of
+        ``{"method": ..., "params": {...}}`` drawn from
+        :data:`BATCH_METHODS` (no nesting).  Per-op status, no rollback;
+        audit replay re-applies exactly the ok sub-ops."""
+        ops = self._require(params, "ops")
+        if not isinstance(ops, list) or not ops:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "ops must be a non-empty list")
+        results: list[dict] = []
+        for op in ops:
+            if not isinstance(op, dict) or not isinstance(op.get("method"), str):
+                error = ServiceError(
+                    ErrorCode.BAD_REQUEST, "each op must be a {method, params} object"
+                )
+                results.append({"ok": False, "error": error.to_wire()})
+                continue
+            method = op["method"]
+            op_params = op.get("params") or {}
+            if method not in self.BATCH_METHODS:
+                error = ServiceError(
+                    ErrorCode.BAD_REQUEST,
+                    f"method {method!r} is not allowed inside a batch",
+                )
+                results.append({"ok": False, "error": error.to_wire()})
+                continue
+            try:
+                result = getattr(self, f"_rpc_{method}")(tenant_name, op_params)
+            except Exception as exc:
+                error = self._map_error(method, exc)
+                sub = {"ok": False, "error": error.to_wire()}
+                burned = getattr(exc, "program_id", None)
+                if method == "deploy" and burned is not None:
+                    sub["program_id"] = burned
+                results.append(sub)
+                continue
+            sub = dict(result)
+            sub["ok"] = True
+            results.append(sub)
+        return {
+            "results": results,
+            "ok_count": sum(1 for r in results if r["ok"]),
+        }
 
     def _fabric_deploy(self, tenant_name: str, params: dict) -> dict:
         """All-or-nothing fabric-wide deploy: one program on every switch.
@@ -742,10 +950,38 @@ class ControlService:
         }
         if self.engine is not None:
             response["workers"] = self.engine.num_workers
-            response["shard_counts"] = list(
+            shard_counts = list(
                 self.engine.last_inject_stats.get("shard_counts", [])
             )
+            response["shard_counts"] = shard_counts
+            self._note_placement_skew(shard_counts)
         return response
+
+    #: fraction of routed flows on one shard above which a pinned-owner
+    #: placement counts as pathologically skewed (the worst case: every
+    #: flow of a pinned program lands on its owner shard)
+    PLACEMENT_SKEW_WARN = 0.8
+
+    def _note_placement_skew(self, shard_counts: list) -> None:
+        """Publish placement skew from the last engine inject.
+
+        ``engine.placement_skew`` gauges the hottest shard's share of the
+        routed flows; when it crosses :data:`PLACEMENT_SKEW_WARN` *and*
+        some program is pinned to a shard (the only placement mode that
+        defeats hash spreading), a structured warning counter increments
+        so operators see it in the ``metrics`` RPC without log scraping.
+        """
+        total = sum(shard_counts)
+        if len(shard_counts) < 2 or total == 0:
+            return
+        hottest = max(range(len(shard_counts)), key=shard_counts.__getitem__)
+        skew = shard_counts[hottest] / total
+        self.metrics.gauge("engine.placement_skew").set(round(skew, 4))
+        self.metrics.gauge("engine.placement_skew_shard").set(hottest)
+        placement = getattr(self.engine, "placement", None) or {}
+        pinned = any(shard is not None for shard in placement.values())
+        if skew > self.PLACEMENT_SKEW_WARN and pinned:
+            self.metrics.counter("engine.placement_skew_warnings").inc()
 
     def _fabric_inject(self, params: dict) -> dict:
         """Fabric inject: drive packet specs through the fabric engine."""
@@ -957,9 +1193,160 @@ class ControlService:
             return {"fingerprint": prints.pop("combined"), "per_node": prints}
         return {"fingerprint": self.controller.manager.state_fingerprint()}
 
+    # -- streaming ---------------------------------------------------------------
+    def stream_stats(self, tenant_name: str, program_id: int | None = None) -> dict:
+        """One sample for the ``stats`` subscription stream (never raises)."""
+        if self.fabric is not None:
+            return self.fabric.stats()
+        sample: dict = {"programs": len(self.controller.running_programs())}
+        if self.engine is not None:
+            sample["dataplane"] = self.engine.stats()["totals"]
+        elif self.dataplane is not None:
+            sample["dataplane"] = self.dataplane.stats()
+        if program_id is not None:
+            try:
+                self.tenants.get(tenant_name).require(program_id)
+                sample["program"] = self.controller.program_stats(program_id)
+            except Exception as exc:
+                sample["program_error"] = str(exc)
+        return sample
+
+
+class _Connection:
+    """Per-connection push state: the subscription channel.
+
+    A ``subscribe`` RPC flips the connection into push mode — alongside
+    the usual request/response exchange, a background task periodically
+    writes server-initiated messages (``FRAME_EVENT`` frames on a binary
+    connection, NDJSON lines with an ``event`` key otherwise).  Streams:
+
+    * ``metrics`` — counter *deltas* since the previous push plus current
+      gauges (cheap to diff client-side, no unbounded growth);
+    * ``stats``  — control/data-plane sample from ``stream_stats``;
+    * ``audit``  — live tail: records appended since the previous push.
+    """
+
+    SUBSCRIBE_STREAMS = ("metrics", "stats", "audit")
+    MIN_INTERVAL_MS = 10.0
+
+    def __init__(self, service: ControlService, writer):
+        self.service = service
+        self.writer = writer
+        self.binary = False
+        self._task: asyncio.Task | None = None
+        self._streams: tuple[str, ...] = ()
+        self._interval_s = 0.5
+        self._seq = 0
+        self._audit_pos = 0
+        self._last_counters: dict[str, int] = {}
+        self._stats_program: int | None = None
+        self._tenant = "default"
+
+    def subscribe(self, request: Request) -> dict:
+        streams = request.params.get("streams") or ["stats"]
+        if not isinstance(streams, list) or not streams:
+            raise ServiceError(ErrorCode.BAD_REQUEST, "streams must be a non-empty list")
+        unknown = [s for s in streams if s not in self.SUBSCRIBE_STREAMS]
+        if unknown:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"unknown stream(s) {unknown!r}; expected subset of "
+                f"{list(self.SUBSCRIBE_STREAMS)}",
+            )
+        interval_ms = request.params.get("interval_ms", 500)
+        if not isinstance(interval_ms, (int, float)) or interval_ms < self.MIN_INTERVAL_MS:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"interval_ms must be a number >= {self.MIN_INTERVAL_MS}",
+            )
+        self._streams = tuple(dict.fromkeys(streams))
+        self._interval_s = interval_ms / 1e3
+        self._tenant = request.tenant
+        program_id = request.params.get("program_id")
+        self._stats_program = program_id if isinstance(program_id, int) else None
+        # Tail from "now": the subscriber sees what happens after the ack.
+        self._audit_pos = len(self.service.audit)
+        self._last_counters = dict(self.service.metrics.snapshot()["counters"])
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._push_loop())
+        return {
+            "streams": list(self._streams),
+            "interval_ms": interval_ms,
+            "push": "binary" if self.binary else "ndjson",
+        }
+
+    async def unsubscribe(self) -> dict:
+        await self._cancel()
+        return {"unsubscribed": True}
+
+    async def aclose(self) -> None:
+        await self._cancel()
+
+    async def _cancel(self) -> None:
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    async def _push_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self._interval_s)
+                for stream in self._streams:
+                    data = self._build_event(stream)
+                    if data is None:
+                        continue
+                    self._seq += 1
+                    await self._send({"event": stream, "seq": self._seq, "data": data})
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            # Peer went away (or the loop is closing): stop pushing.
+            pass
+
+    def _build_event(self, stream: str):
+        if stream == "audit":
+            records = self.service.audit.records()[self._audit_pos :]
+            self._audit_pos += len(records)
+            if not records:
+                return None
+            return {"records": [r.as_dict() for r in records]}
+        if stream == "metrics":
+            snapshot = self.service.metrics.snapshot()
+            counters = snapshot["counters"]
+            delta = {
+                name: value - self._last_counters.get(name, 0)
+                for name, value in counters.items()
+                if value != self._last_counters.get(name, 0)
+            }
+            self._last_counters = dict(counters)
+            return {
+                "counters_delta": delta,
+                "gauges": snapshot["gauges"],
+                "audit_records": len(self.service.audit),
+            }
+        return self.service.stream_stats(self._tenant, self._stats_program)
+
+    async def _send(self, obj: dict) -> None:
+        if self.binary:
+            self.writer.write(encode_binary_frame(FRAME_EVENT, obj))
+        else:
+            self.writer.write(encode_frame(obj))
+        await self.writer.drain()
+
 
 class ServiceServer:
-    """TCP front end: one asyncio stream server over a ControlService."""
+    """TCP front end: one asyncio stream server over a ControlService.
+
+    Codec negotiation is first-byte sniffing (see
+    :mod:`repro.service.wire`): a connection opening with the binary
+    preamble speaks length-prefixed frames; anything else speaks NDJSON.
+    """
 
     def __init__(self, service: ControlService | None = None, host: str = "127.0.0.1", port: int = 0):
         self.service = service or ControlService()
@@ -987,31 +1374,126 @@ class ServiceServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def _handle_payload(self, payload, conn: _Connection) -> dict:
+        """Dispatch one decoded envelope; subscription RPCs are handled at
+        the transport layer (they need the connection), everything else
+        goes to the service."""
+        method = payload.get("method") if isinstance(payload, dict) else None
+        if method in ("subscribe", "unsubscribe"):
+            try:
+                request = Request.from_wire(payload)
+                if method == "subscribe":
+                    result = conn.subscribe(request)
+                else:
+                    result = await conn.unsubscribe()
+            except ServiceError as exc:
+                return error_response(
+                    payload.get("id") if isinstance(payload, dict) else None, exc
+                )
+            return ok_response(request.id, result)
+        return await self.service.handle_payload(payload)
+
     async def _handle_connection(self, reader: asyncio.StreamReader, writer) -> None:
+        conn = _Connection(self.service, writer)
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    error = ServiceError(ErrorCode.PARSE_ERROR, "oversized frame")
-                    writer.write(encode_frame(error_response(None, error)))
-                    await writer.drain()
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                response = await self.service.handle_frame(line)
-                writer.write(encode_frame(response))
-                await writer.drain()
+            first = await reader.read(1)
+            if first:
+                if first == PREAMBLE[:1]:
+                    await self._serve_binary(reader, writer, conn, first)
+                else:
+                    await self._serve_ndjson(reader, writer, conn, first)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            await conn.aclose()
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,  # event loop tearing down mid-close
+            ):  # pragma: no cover
                 pass
+
+    async def _serve_ndjson(
+        self, reader, writer, conn: _Connection, prefix: bytes
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                error = ServiceError(ErrorCode.PARSE_ERROR, "oversized frame")
+                writer.write(encode_frame(error_response(None, error)))
+                await writer.drain()
+                break
+            if prefix:
+                line, prefix = prefix + line, b""
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                payload = decode_frame(line)
+            except ServiceError as exc:
+                response = error_response(None, exc)
+            else:
+                response = await self._handle_payload(payload, conn)
+            writer.write(encode_frame(response))
+            await writer.drain()
+
+    async def _serve_binary(
+        self, reader, writer, conn: _Connection, first: bytes
+    ) -> None:
+        try:
+            preamble = first + await reader.readexactly(len(PREAMBLE) - len(first))
+        except asyncio.IncompleteReadError:
+            return
+        if preamble != PREAMBLE:
+            error = ServiceError(
+                ErrorCode.PARSE_ERROR,
+                f"unsupported wire preamble {preamble!r}",
+            )
+            writer.write(encode_binary_frame(FRAME_RESPONSE, error_response(None, error)))
+            await writer.drain()
+            return
+        conn.binary = True
+        while True:
+            try:
+                header = await reader.readexactly(FRAME_HEADER.size)
+            except asyncio.IncompleteReadError:
+                break  # clean EOF (or truncated header): drop the connection
+            kind, length = FRAME_HEADER.unpack(header)
+            if kind != FRAME_REQUEST or length > MAX_FRAME_BYTES:
+                message = (
+                    "oversized frame"
+                    if length > MAX_FRAME_BYTES
+                    else f"unexpected frame kind {kind}"
+                )
+                error = ServiceError(ErrorCode.PARSE_ERROR, message)
+                writer.write(
+                    encode_binary_frame(FRAME_RESPONSE, error_response(None, error))
+                )
+                await writer.drain()
+                break
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                break  # truncated mid-payload: drop the connection
+            try:
+                payload = decode_binary_frame(header + body)
+            except ServiceError as exc:
+                response = error_response(None, exc)
+            else:
+                response = await self._handle_payload(payload, conn)
+            try:
+                frame = encode_binary_frame(FRAME_RESPONSE, response)
+            except ServiceError as exc:
+                frame = encode_binary_frame(
+                    FRAME_RESPONSE, error_response(response.get("id"), exc)
+                )
+            writer.write(frame)
+            await writer.drain()
 
 
 class ServerThread:

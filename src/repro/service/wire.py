@@ -1,0 +1,319 @@
+"""Binary wire codec for the control plane (RBFRT-style fast path).
+
+A length-prefixed frame format with a msgpack-style payload encoding,
+pure stdlib (``struct`` + bytes), shared by the northbound service (as
+the negotiated alternative to NDJSON framing) and the engine's
+coordinator→worker southbound pipes (replacing per-command pickling).
+
+Connection negotiation
+----------------------
+
+A binary client opens with the 5-byte preamble ``b"P4RB" + version``.
+The server sniffs the first byte of a connection: ``0x50`` (``"P"``)
+selects binary framing, anything else — NDJSON starts with ``"{"`` —
+falls back to the line protocol, so existing clients keep working
+unchanged.
+
+Frame format
+------------
+
+Every message after the preamble is one frame::
+
+    !B  kind        (FRAME_REQUEST / FRAME_RESPONSE / FRAME_EVENT)
+    !I  length      payload byte count
+    ... payload     one encoded value
+
+Payload encoding
+----------------
+
+One tag byte per value, big-endian fixed-width scalars, 4-byte lengths
+for variable-size values (a deliberate simplification of msgpack's
+variable-width headers — control-plane frames are not space-critical,
+and fixed widths keep the pure-Python encoder fast):
+
+======  ========================================================
+0xC0    None
+0xC2    False
+0xC3    True
+0xC6    bytes          (!I length + raw bytes)
+0xC7    pickle ext     (!I length + pickle blob; opt-in, see below)
+0xCB    float64        (!d)
+0xD3    int64          (!q)
+0xD9    bigint         (!I length + signed big-endian bytes)
+0xDB    str            (!I length + UTF-8)
+0xDD    list           (!I count + items)
+0xDE    tuple          (!I count + items; only with preserve_tuples)
+0xDF    dict           (!I count + alternating key/value items)
+======  ========================================================
+
+The pickle extension exists for the *southbound* pipes only, where both
+ends are processes of one engine and already exchange pickles today.  It
+is disabled by default and the northbound service never enables it on
+decode — a pickle tag from an untrusted client is a protocol error, not
+a code path.  ``preserve_tuples`` likewise serves the southbound, where
+command payloads are tuple-shaped; the northbound sticks to the JSON
+data model (tuples encode as lists) so both codecs carry identical
+requests.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+MAGIC = b"P4RB"
+WIRE_VERSION = 1
+#: the full client preamble that selects binary framing
+PREAMBLE = MAGIC + bytes([WIRE_VERSION])
+
+FRAME_REQUEST = 1
+FRAME_RESPONSE = 2
+FRAME_EVENT = 3
+_FRAME_KINDS = frozenset({FRAME_REQUEST, FRAME_RESPONSE, FRAME_EVENT})
+
+FRAME_HEADER = struct.Struct("!BI")
+
+#: refuse frames larger than this on decode (mirrors the NDJSON limit)
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """Malformed or oversized binary wire data."""
+
+
+_TAG_NONE = 0xC0
+_TAG_FALSE = 0xC2
+_TAG_TRUE = 0xC3
+_TAG_BYTES = 0xC6
+_TAG_PICKLE = 0xC7
+_TAG_FLOAT = 0xCB
+_TAG_INT64 = 0xD3
+_TAG_BIGINT = 0xD9
+_TAG_STR = 0xDB
+_TAG_LIST = 0xDD
+_TAG_TUPLE = 0xDE
+_TAG_DICT = 0xDF
+
+_I64 = struct.Struct("!Bq")
+_F64 = struct.Struct("!Bd")
+_LEN = struct.Struct("!BI")
+_U32 = struct.Struct("!I")
+_Q = struct.Struct("!q")
+_D = struct.Struct("!d")
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _encode_into(out: bytearray, obj, preserve_tuples: bool, allow_pickle: bool) -> None:
+    # Exact-type dispatch first (covers the hot paths and sidesteps the
+    # bool-is-int trap); isinstance fallbacks below catch str/int enums
+    # and other well-behaved subclasses.
+    t = type(obj)
+    if t is str:
+        data = obj.encode("utf-8")
+        out += _LEN.pack(_TAG_STR, len(data))
+        out += data
+    elif t is int:
+        if _INT64_MIN <= obj <= _INT64_MAX:
+            out += _I64.pack(_TAG_INT64, obj)
+        else:
+            data = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out += _LEN.pack(_TAG_BIGINT, len(data))
+            out += data
+    elif t is dict:
+        out += _LEN.pack(_TAG_DICT, len(obj))
+        for key, value in obj.items():
+            _encode_into(out, key, preserve_tuples, allow_pickle)
+            _encode_into(out, value, preserve_tuples, allow_pickle)
+    elif t is list:
+        out += _LEN.pack(_TAG_LIST, len(obj))
+        for item in obj:
+            _encode_into(out, item, preserve_tuples, allow_pickle)
+    elif t is tuple:
+        out += _LEN.pack(_TAG_TUPLE if preserve_tuples else _TAG_LIST, len(obj))
+        for item in obj:
+            _encode_into(out, item, preserve_tuples, allow_pickle)
+    elif obj is None:
+        out.append(_TAG_NONE)
+    elif t is bool:
+        out.append(_TAG_TRUE if obj else _TAG_FALSE)
+    elif t is float:
+        out += _F64.pack(_TAG_FLOAT, obj)
+    elif t is bytes or t is bytearray or t is memoryview:
+        out += _LEN.pack(_TAG_BYTES, len(obj))
+        out += obj
+    elif isinstance(obj, bool):
+        out.append(_TAG_TRUE if obj else _TAG_FALSE)
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        out += _LEN.pack(_TAG_STR, len(data))
+        out += data
+    elif isinstance(obj, int):
+        _encode_into(out, int(obj), preserve_tuples, allow_pickle)
+    elif isinstance(obj, float):
+        out += _F64.pack(_TAG_FLOAT, float(obj))
+    elif isinstance(obj, (list, tuple)):
+        _encode_into(
+            out,
+            list(obj) if not isinstance(obj, tuple) else tuple(obj),
+            preserve_tuples,
+            allow_pickle,
+        )
+    elif isinstance(obj, dict):
+        _encode_into(out, dict(obj), preserve_tuples, allow_pickle)
+    elif allow_pickle:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        out += _LEN.pack(_TAG_PICKLE, len(data))
+        out += data
+    else:
+        raise WireError(f"cannot encode {type(obj).__name__} without allow_pickle")
+
+
+def encode_payload(
+    obj,
+    *,
+    preserve_tuples: bool = False,
+    allow_pickle: bool = False,
+    out: bytearray | None = None,
+) -> bytes | bytearray:
+    """Encode one value; pass ``out`` to append into a reusable buffer
+    (cleared first) instead of allocating a fresh one."""
+    if out is None:
+        out = bytearray()
+    else:
+        out.clear()
+    _encode_into(out, obj, preserve_tuples, allow_pickle)
+    return out
+
+
+def _decode(buf, pos: int, end: int, allow_pickle: bool):
+    if pos >= end:
+        raise WireError("truncated payload")
+    tag = buf[pos]
+    pos += 1
+    if tag == _TAG_STR:
+        if pos + 4 > end:
+            raise WireError("truncated payload")
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        if pos + n > end:
+            raise WireError("truncated payload")
+        return str(buf[pos : pos + n], "utf-8"), pos + n
+    if tag == _TAG_INT64:
+        if pos + 8 > end:
+            raise WireError("truncated payload")
+        return _Q.unpack_from(buf, pos)[0], pos + 8
+    if tag == _TAG_DICT:
+        if pos + 4 > end:
+            raise WireError("truncated payload")
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        result = {}
+        for _ in range(n):
+            key, pos = _decode(buf, pos, end, allow_pickle)
+            value, pos = _decode(buf, pos, end, allow_pickle)
+            result[key] = value
+        return result, pos
+    if tag == _TAG_LIST or tag == _TAG_TUPLE:
+        if pos + 4 > end:
+            raise WireError("truncated payload")
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        items = []
+        for _ in range(n):
+            item, pos = _decode(buf, pos, end, allow_pickle)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), pos
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > end:
+            raise WireError("truncated payload")
+        return _D.unpack_from(buf, pos)[0], pos + 8
+    if tag == _TAG_BYTES:
+        if pos + 4 > end:
+            raise WireError("truncated payload")
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        if pos + n > end:
+            raise WireError("truncated payload")
+        return bytes(buf[pos : pos + n]), pos + n
+    if tag == _TAG_BIGINT:
+        if pos + 4 > end:
+            raise WireError("truncated payload")
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        if pos + n > end:
+            raise WireError("truncated payload")
+        return int.from_bytes(buf[pos : pos + n], "big", signed=True), pos + n
+    if tag == _TAG_PICKLE:
+        if not allow_pickle:
+            raise WireError("pickle extension not allowed on this channel")
+        if pos + 4 > end:
+            raise WireError("truncated payload")
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        if pos + n > end:
+            raise WireError("truncated payload")
+        return pickle.loads(bytes(buf[pos : pos + n])), pos + n
+    raise WireError(f"unknown wire tag 0x{tag:02X}")
+
+
+def decode_payload(data, *, allow_pickle: bool = False):
+    """Decode one encoded value; raises :class:`WireError` on malformed,
+    truncated, or trailing data."""
+    value, pos = _decode(data, 0, len(data), allow_pickle)
+    if pos != len(data):
+        raise WireError(f"trailing bytes after payload ({len(data) - pos})")
+    return value
+
+
+def encode_wire_frame(
+    kind: int,
+    obj,
+    *,
+    preserve_tuples: bool = False,
+    allow_pickle: bool = False,
+    out: bytearray | None = None,
+) -> bytes | bytearray:
+    """One complete frame (header + payload), ready to write.
+
+    With ``out``, the frame is built in the caller's reusable buffer —
+    the southbound fan-out encodes every broadcast into one preallocated
+    bytearray per worker pipe instead of allocating per command.
+    """
+    if out is None:
+        out = bytearray()
+    else:
+        out.clear()
+    out += FRAME_HEADER.pack(kind, 0)
+    _encode_into(out, obj, preserve_tuples, allow_pickle)
+    FRAME_HEADER.pack_into(out, 0, kind, len(out) - FRAME_HEADER.size)
+    return out
+
+
+def decode_wire_frame(
+    data,
+    *,
+    allow_pickle: bool = False,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+):
+    """Decode one complete frame; returns ``(kind, value)``."""
+    if len(data) < FRAME_HEADER.size:
+        raise WireError("truncated frame header")
+    kind, length = FRAME_HEADER.unpack_from(data, 0)
+    if kind not in _FRAME_KINDS:
+        raise WireError(f"unknown frame kind {kind}")
+    if length > max_frame_bytes:
+        raise WireError(f"frame of {length} bytes exceeds limit {max_frame_bytes}")
+    if len(data) != FRAME_HEADER.size + length:
+        raise WireError("frame length mismatch")
+    value, pos = _decode(data, FRAME_HEADER.size, len(data), allow_pickle)
+    if pos != len(data):
+        raise WireError(f"trailing bytes after frame payload ({len(data) - pos})")
+    return kind, value

@@ -186,7 +186,10 @@ def test_dead_worker_detected():
     try:
         engine._procs[1].terminate()
         engine._procs[1].join(timeout=5)
+        # Commands coalesce until the next flush, so the dead pipe is
+        # discovered when the deploy's barrier drains the channel.
         with pytest.raises(EngineError, match="worker 1 is dead"):
             engine.controller.deploy(PROGRAMS["cms"].source)
+            engine.barrier()
     finally:
         engine.close()

@@ -1,0 +1,159 @@
+"""Southbound binary framing: packed entries, coalesced control frames.
+
+The coordinator→worker pipes speak the same binary codec as the
+northbound fast path (tuples preserved, pickle allowed — both ends are
+one engine).  Control ops queue locally and ship as ONE multi-command
+``ctl_run`` frame per worker at the next flush point; these tests pin
+the entry packing round-trip, the codec settings, and the coalescing
+behaviour itself — plus the placement-skew warning the service derives
+from the engine's per-shard routing counts.
+"""
+
+from types import SimpleNamespace
+
+from repro.compiler.entries import EntryConfig, KeySpec
+from repro.engine import ShardedEngine
+from repro.engine.sbwire import decode_msg, encode_msg, pack_entry, unpack_entry
+from repro.programs import PROGRAMS
+from repro.rmt.packet import make_udp
+from repro.rmt.pipeline import Verdict
+from repro.service import ControlService
+
+
+def sample_entry():
+    return EntryConfig(
+        table="t_logic_3",
+        keys=(
+            KeySpec(field="hdr.meta.prog_id", value=7, mask=0xFF),
+            KeySpec(field="hdr.udp.dst_port", value=80, mask=0xFFFF),
+        ),
+        action="a_forward",
+        action_data=(("port", 3), ("weight", 2**40)),
+        priority=5,
+    )
+
+
+class TestEntryPacking:
+    def test_round_trip(self):
+        entry = sample_entry()
+        assert unpack_entry(pack_entry(entry)) == entry
+
+    def test_survives_the_wire(self):
+        entry = sample_entry()
+        decoded = decode_msg(bytes(encode_msg(("insert", 4, pack_entry(entry)))))
+        kind, handle, packed = decoded
+        assert (kind, handle) == ("insert", 4)
+        assert unpack_entry(packed) == entry
+
+    def test_packed_form_avoids_pickle(self):
+        # The packed tuple is pure wire-native types — no 0xC7 pickle
+        # extension bytes in the frame for the entry itself.
+        frame = bytes(encode_msg(("insert", 1, pack_entry(sample_entry()))))
+        assert b"\xc7" not in frame.split(b"t_logic_3")[0]
+
+
+class TestSouthboundCodec:
+    def test_tuples_preserved(self):
+        msg = ("ctl_run", 3, (("insert", 1, ("k", 2)), ("remove", 9)))
+        assert decode_msg(bytes(encode_msg(msg))) == msg
+
+    def test_pickle_allowed_for_engine_payloads(self):
+        # Packet batches cross as pickled blobs inside bytes leaves, but
+        # arbitrary objects (Verdict enums in replies, say) must also
+        # survive — the southbound channel trusts both ends.
+        msg = ("ok", (Verdict.FORWARD, {1, 2}))
+        assert decode_msg(bytes(encode_msg(msg))) == msg
+
+    def test_reusable_buffer(self):
+        buf = bytearray()
+        first = encode_msg(("barrier", 1), out=buf)
+        assert first is buf
+        encode_msg(("barrier", 2), out=buf)
+        assert decode_msg(bytes(buf)) == ("barrier", 2)
+
+
+class TestCoalescing:
+    def test_ops_queue_until_flush(self):
+        with ShardedEngine(2) as engine:
+            engine.barrier()  # drain the setup traffic
+            pending_before = len(engine._pending_ops)
+            engine.controller.deploy(PROGRAMS["cms"].source)
+            assert len(engine._pending_ops) > pending_before
+            assert engine._ctl_pending
+            engine.barrier()
+            assert engine._pending_ops == []
+
+    def test_single_frame_per_worker_at_flush(self):
+        with ShardedEngine(2) as engine:
+            engine.barrier()
+            sends = []
+            for index, conn in enumerate(engine._conns):
+                original = conn.send_bytes
+
+                def counted(data, _original=original, _index=index):
+                    sends.append(_index)
+                    return _original(data)
+
+                conn.send_bytes = counted
+            # Two deploys queue many control ops; the flush ships exactly
+            # one coalesced ctl_run frame per worker.
+            engine.controller.deploy(PROGRAMS["cms"].source)
+            engine.controller.deploy(PROGRAMS["cache"].source)
+            assert sends == []
+            engine._flush_ctl()
+            assert sorted(sends) == [0, 1]
+
+    def test_coalesced_ops_apply_in_order(self):
+        # Deploy + write_memory + revoke + redeploy, all coalesced into
+        # the same frame: the worker must apply them in queue order or
+        # the final state diverges.
+        with ShardedEngine(2) as engine:
+            handle = engine.controller.deploy(PROGRAMS["cms"].source)
+            engine.controller.revoke(handle)
+            fresh = engine.controller.deploy(PROGRAMS["cms"].source)
+            results = engine.inject(
+                [make_udp(i + 1, 2, 5000 + i, 80) for i in range(8)]
+            )
+            assert all(r.verdict is Verdict.FORWARD for r in results)
+            snapshot = engine.controller.snapshot_memory(fresh, "cms_row1")
+            assert sum(snapshot) == 8
+
+
+class TestPlacementSkew:
+    def make_service(self, placement):
+        service = ControlService()
+        service.engine = SimpleNamespace(placement=placement)
+        return service
+
+    def test_pinned_owner_worst_case_warns(self):
+        # shard_counts [2000, 0]: every routed flow landed on the pinned
+        # owner's shard — the structured warning and both gauges fire.
+        service = self.make_service(placement={1: 0})
+        service._note_placement_skew([2000, 0])
+        snapshot = service.metrics.snapshot()
+        assert snapshot["gauges"]["engine.placement_skew"] == 1.0
+        assert snapshot["gauges"]["engine.placement_skew_shard"] == 0
+        assert snapshot["counters"]["engine.placement_skew_warnings"] == 1
+
+    def test_hash_spread_does_not_warn(self):
+        service = self.make_service(placement={1: None})
+        service._note_placement_skew([1010, 990])
+        snapshot = service.metrics.snapshot()
+        assert snapshot["gauges"]["engine.placement_skew"] == 0.505
+        assert "engine.placement_skew_warnings" not in snapshot["counters"]
+
+    def test_skew_without_pinning_gauges_only(self):
+        # Skewed counts but nothing pinned (hash just clustered): the
+        # gauge reports it, the warning counter stays quiet.
+        service = self.make_service(placement={1: None, 2: None})
+        service._note_placement_skew([2000, 0])
+        snapshot = service.metrics.snapshot()
+        assert snapshot["gauges"]["engine.placement_skew"] == 1.0
+        assert "engine.placement_skew_warnings" not in snapshot["counters"]
+
+    def test_degenerate_counts_ignored(self):
+        service = self.make_service(placement={1: 0})
+        service._note_placement_skew([])
+        service._note_placement_skew([0, 0])
+        service._note_placement_skew([5])
+        assert service.metrics.snapshot()["gauges"] == {}

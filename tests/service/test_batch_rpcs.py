@@ -1,0 +1,289 @@
+"""Multi-op batch RPCs: atomicity, per-op status, and replay exactness.
+
+``deploy_many`` is all-or-nothing (one admission ticket, reverse-order
+rollback on failure); ``add_cases``/``write_mems``/``batch`` are
+best-effort with per-op status.  Every batch lands as ONE audit record,
+and replaying the journal must reproduce ``state_fingerprint()`` exactly
+— including the program ids burned by rolled-back or failed sub-deploys.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.programs import PROGRAMS
+from repro.service import (
+    ControlService,
+    Request,
+    ServerThread,
+    ServiceClient,
+    TenantQuota,
+    TenantRegistry,
+    replay,
+)
+
+CACHE = PROGRAMS["cache"].source
+LB = PROGRAMS["lb"].source
+HH = PROGRAMS["hh"].source
+
+
+def run(service, method, params=None, tenant="default"):
+    request = Request(id=1, method=method, params=params or {}, tenant=tenant)
+    return asyncio.run(service.handle_request(request))
+
+
+def result_of(response):
+    assert response["ok"], response
+    return response["result"]
+
+
+def fingerprints_match(service):
+    fresh = replay(service.audit)
+    return (
+        fresh.manager.state_fingerprint()
+        == service.controller.manager.state_fingerprint()
+    )
+
+
+def unlimited():
+    return ControlService(tenants=TenantRegistry(TenantQuota.unlimited()))
+
+
+class TestDeployMany:
+    def test_commit_assigns_sequential_ids(self):
+        service = unlimited()
+        report = result_of(
+            run(service, "deploy_many", {"sources": [CACHE, LB, HH]})
+        )
+        assert report["committed"] is True
+        assert [sub["program_id"] for sub in report["results"]] == [1, 2, 3]
+        assert all(sub["ok"] for sub in report["results"])
+        # One audit record for the whole batch.
+        (record,) = service.audit.records()
+        assert record.method == "deploy_many"
+        assert fingerprints_match(service)
+
+    def test_params_objects_and_bare_strings_mix(self):
+        service = unlimited()
+        report = result_of(
+            run(service, "deploy_many", {"sources": [CACHE, {"source": LB}]})
+        )
+        assert [sub["name"] for sub in report["results"]] == ["cache", "lb"]
+
+    def test_rollback_unwinds_everything(self):
+        # Three programs fit the entry quota; the fourth trips it and the
+        # whole batch must unwind — nothing deployed, quota unharmed.
+        service = ControlService(
+            tenants=TenantRegistry(TenantQuota(max_table_entries=60))
+        )
+        before = service.controller.manager.state_fingerprint()
+        report = result_of(
+            run(service, "deploy_many", {"sources": [CACHE, CACHE, CACHE, CACHE]})
+        )
+        assert report["committed"] is False
+        assert report["error"]["code"] == "QUOTA_EXCEEDED"
+        ok_subs = [sub for sub in report["results"] if sub.get("rolled_back")]
+        assert len(ok_subs) == 3 and all(not sub["ok"] for sub in ok_subs)
+        assert result_of(run(service, "list"))["programs"] == []
+        assert service.controller.manager.state_fingerprint() == before
+
+    def test_rollback_replay_is_exact(self):
+        """The rolled-back batch burned ids 1-3; the next live deploy gets
+        4 — replay must reproduce that (a naive replay would hand out 1)."""
+        service = ControlService(
+            tenants=TenantRegistry(TenantQuota(max_table_entries=60))
+        )
+        report = result_of(
+            run(service, "deploy_many", {"sources": [CACHE, CACHE, CACHE, CACHE]})
+        )
+        assert not report["committed"]
+        after = result_of(run(service, "deploy", {"source": LB}))
+        assert after["program_id"] == 4
+        assert fingerprints_match(service)
+
+    def test_commit_then_more_ops_replay(self):
+        service = unlimited()
+        report = result_of(run(service, "deploy_many", {"sources": [CACHE, LB]}))
+        result_of(
+            run(
+                service,
+                "write_mem",
+                {"program_id": 1, "mid": "mem1", "vaddr": 3, "value": 7},
+            )
+        )
+        result_of(run(service, "revoke", {"program_id": report["results"][1]["program_id"]}))
+        assert fingerprints_match(service)
+
+    def test_empty_and_malformed_rejected(self):
+        service = unlimited()
+        assert not run(service, "deploy_many", {"sources": []})["ok"]
+        assert not run(service, "deploy_many", {})["ok"]
+        # A non-string, non-object source is a per-op failure: the batch
+        # reports it (and rolls back) rather than failing the envelope.
+        report = result_of(run(service, "deploy_many", {"sources": [42]}))
+        assert report["committed"] is False
+        assert report["error"]["code"] == "BAD_REQUEST"
+
+
+class TestAddCases:
+    def test_per_op_status(self):
+        service = unlimited()
+        deployed = result_of(run(service, "deploy", {"source": CACHE}))
+        pid = deployed["program_id"]
+        good = {
+            "conditions": [
+                ["har", 1, 0xFF],
+                ["sar", 0, 0xFFFFFFFF],
+                ["mar", 0x77, 0xFFFFFFFF],
+            ],
+            "template_case": 0,
+            "loadi_values": [32],
+        }
+        bad = {"conditions": [["no_such_field", 1, 1]], "template_case": 0}
+        report = result_of(
+            run(service, "add_cases", {"program_id": pid, "cases": [good, bad]})
+        )
+        assert report["ok_count"] == 1
+        first, second = report["results"]
+        assert first["ok"] and "case_id" in first
+        assert not second["ok"] and "error" in second
+        # The successful case is individually removable afterwards.
+        result_of(
+            run(
+                service,
+                "remove_case",
+                {"program_id": pid, "case_id": first["case_id"]},
+            )
+        )
+        assert fingerprints_match(service)
+
+    def test_unknown_program_rejected(self):
+        service = unlimited()
+        response = run(service, "add_cases", {"program_id": 9, "cases": [{}]})
+        assert response["error"]["code"] == "NOT_FOUND"
+
+
+class TestWriteMems:
+    def test_per_op_status_and_replay(self):
+        service = unlimited()
+        deployed = result_of(run(service, "deploy", {"source": CACHE}))
+        pid = deployed["program_id"]
+        report = result_of(
+            run(
+                service,
+                "write_mems",
+                {
+                    "writes": [
+                        {"program_id": pid, "mid": "mem1", "vaddr": 1, "value": 10},
+                        {"program_id": pid, "mid": "mem1", "vaddr": 2, "value": 20},
+                        {"program_id": pid, "mid": "nope", "vaddr": 0, "value": 1},
+                    ]
+                },
+            )
+        )
+        assert report["ok_count"] == 2
+        assert [sub["ok"] for sub in report["results"]] == [True, True, False]
+        read = result_of(
+            run(service, "read_mem", {"program_id": pid, "mid": "mem1", "vaddr": 2})
+        )
+        assert read["value"] == 20
+        assert fingerprints_match(service)
+
+
+class TestBatchEnvelope:
+    def test_mixed_ops_per_op_status(self):
+        service = unlimited()
+        report = result_of(
+            run(
+                service,
+                "batch",
+                {
+                    "ops": [
+                        {"method": "deploy", "params": {"source": CACHE}},
+                        {
+                            "method": "write_mem",
+                            "params": {
+                                "program_id": 1,
+                                "mid": "mem1",
+                                "vaddr": 0,
+                                "value": 5,
+                            },
+                        },
+                        {"method": "revoke", "params": {"program_id": 1}},
+                        {"method": "revoke", "params": {"program_id": 1}},
+                    ]
+                },
+            )
+        )
+        assert report["ok_count"] == 3
+        assert [sub["ok"] for sub in report["results"]] == [True, True, True, False]
+        assert report["results"][3]["error"]["code"] == "NOT_FOUND"
+        assert fingerprints_match(service)
+
+    def test_failed_sub_deploy_burns_id_in_replay(self):
+        service = ControlService(
+            tenants=TenantRegistry(TenantQuota(max_table_entries=17))
+        )
+        report = result_of(
+            run(
+                service,
+                "batch",
+                {
+                    "ops": [
+                        {"method": "deploy", "params": {"source": CACHE}},
+                        {"method": "deploy", "params": {"source": CACHE}},  # over quota
+                    ]
+                },
+            )
+        )
+        assert report["ok_count"] == 1
+        assert not report["results"][1]["ok"]
+        follow = result_of(run(service, "deploy", {"source": LB}, tenant="other"))
+        assert fingerprints_match(service)
+        assert follow["program_id"] >= 2
+
+    def test_disallowed_method_rejected_per_op(self):
+        # No nesting (deploy_many/batch inside batch) and no non-batch
+        # methods; each lands as a per-op BAD_REQUEST, not an envelope
+        # failure — the other ops in the frame still execute.
+        service = unlimited()
+        for method in ("deploy_many", "batch", "inject", "frobnicate"):
+            report = result_of(
+                run(service, "batch", {"ops": [{"method": method, "params": {}}]})
+            )
+            assert report["ok_count"] == 0, method
+            assert report["results"][0]["error"]["code"] == "BAD_REQUEST"
+
+    def test_malformed_ops(self):
+        service = unlimited()
+        assert not run(service, "batch", {"ops": []})["ok"]
+        assert not run(service, "batch", {})["ok"]
+        # A non-object op is a per-op failure with the rest unaffected.
+        report = result_of(
+            run(service, "batch", {"ops": ["deploy", {"method": "revoke", "params": {"program_id": 1}}]})
+        )
+        assert [sub["ok"] for sub in report["results"]] == [False, False]
+        assert report["results"][0]["error"]["code"] == "BAD_REQUEST"
+
+
+class TestBatchOverTcp:
+    def test_deploy_many_over_both_codecs(self):
+        service = ControlService(
+            tenants=TenantRegistry(TenantQuota.unlimited())
+        )
+        with ServerThread(service) as server:
+            for codec in ("ndjson", "binary"):
+                with ServiceClient(port=server.port, codec=codec) as client:
+                    report = client.deploy_many([CACHE, LB])
+                    assert report["committed"], codec
+                    revoked = client.batch(
+                        [
+                            {
+                                "method": "revoke",
+                                "params": {"program_id": sub["program_id"]},
+                            }
+                            for sub in reversed(report["results"])
+                        ]
+                    )
+                    assert revoked["ok_count"] == 2
+        assert fingerprints_match(service)

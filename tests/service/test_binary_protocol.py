@@ -1,0 +1,161 @@
+"""Binary framing over TCP: negotiation, limits, and malformed frames.
+
+The server sniffs the first byte of every connection — these tests drive
+one server with both codecs at once, then poke the binary framing layer
+with a raw socket: wrong preamble version, oversized frame headers,
+frames that stop mid-payload.  The framing layer must answer protocol
+errors with a structured PARSE_ERROR response where it still can, and
+drop the connection (rather than hang or spin) where it cannot.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.programs import PROGRAMS
+from repro.service import (
+    ControlService,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    TenantQuota,
+    TenantRegistry,
+)
+from repro.service.protocol import MAX_FRAME_BYTES
+from repro.service.wire import (
+    FRAME_HEADER,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    MAGIC,
+    PREAMBLE,
+    decode_wire_frame,
+    encode_wire_frame,
+)
+
+CACHE = PROGRAMS["cache"].source
+
+
+@pytest.fixture()
+def server():
+    service = ControlService(
+        tenants=TenantRegistry(TenantQuota.unlimited())
+    )
+    with ServerThread(service) as running:
+        yield running
+
+
+def read_frame(sock):
+    """Read one binary frame off a raw socket; returns (kind, payload)."""
+    reader = sock.makefile("rb")
+    header = reader.read(FRAME_HEADER.size)
+    if len(header) < FRAME_HEADER.size:
+        return None
+    kind, length = FRAME_HEADER.unpack(header)
+    body = reader.read(length)
+    return decode_wire_frame(header + body)
+
+
+class TestNegotiation:
+    def test_binary_client_end_to_end(self, server):
+        with ServiceClient(port=server.port, codec="binary") as client:
+            assert client.ping()["version"] == 1
+            deployed = client.deploy(CACHE)
+            assert deployed["name"] == "cache"
+            programs = client.list_programs()
+            assert [p["program_id"] for p in programs] == [deployed["program_id"]]
+            client.revoke(deployed["program_id"])
+
+    def test_both_codecs_on_one_server(self, server):
+        # Negotiation is per-connection: a line-protocol client and a
+        # binary client interleave against the same service state.
+        with ServiceClient(port=server.port, codec="ndjson") as ndjson:
+            with ServiceClient(port=server.port, codec="binary") as binary:
+                deployed = binary.deploy(CACHE)
+                seen = ndjson.list_programs()
+                assert [p["program_id"] for p in seen] == [deployed["program_id"]]
+                ndjson.revoke(deployed["program_id"])
+                assert binary.list_programs() == []
+
+    def test_identical_results_across_codecs(self, server):
+        with ServiceClient(port=server.port, codec="ndjson") as ndjson:
+            with ServiceClient(port=server.port, codec="binary") as binary:
+                a = ndjson.deploy(CACHE)
+                ndjson.revoke(a["program_id"])
+                b = binary.deploy(CACHE)
+                binary.revoke(b["program_id"])
+                # Same RPC surface, same result shape; only ids differ
+                # (and timings, which are measurements not payloads).
+                volatile = {"program_id", "parse_ms", "allocation_ms", "update_ms", "cache_hit"}
+                assert {k: v for k, v in a.items() if k not in volatile} == {
+                    k: v for k, v in b.items() if k not in volatile
+                }
+
+    def test_structured_errors_cross_the_binary_codec(self, server):
+        with ServiceClient(port=server.port, codec="binary") as client:
+            with pytest.raises(ServiceError) as info:
+                client.revoke(999)
+            assert info.value.code == "NOT_FOUND"
+
+
+class TestFramingEdges:
+    def test_bad_preamble_version_rejected(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(MAGIC + bytes([99]))
+            kind, payload = read_frame(sock)
+            assert kind == FRAME_RESPONSE
+            assert payload["ok"] is False
+            assert payload["error"]["code"] == "PARSE_ERROR"
+            # The server hangs up after the rejection.
+            assert sock.makefile("rb").read(1) == b""
+
+    def test_oversized_frame_rejected_without_reading_it(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(PREAMBLE)
+            # A header claiming a payload over the limit: the server must
+            # refuse from the header alone (it never buffers the body).
+            sock.sendall(FRAME_HEADER.pack(FRAME_REQUEST, MAX_FRAME_BYTES + 1))
+            kind, payload = read_frame(sock)
+            assert kind == FRAME_RESPONSE
+            assert payload["error"]["code"] == "PARSE_ERROR"
+            assert sock.makefile("rb").read(1) == b""
+
+    def test_wrong_frame_kind_rejected(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(PREAMBLE)
+            sock.sendall(bytes(encode_wire_frame(FRAME_RESPONSE, {"id": 1})))
+            kind, payload = read_frame(sock)
+            assert kind == FRAME_RESPONSE
+            assert payload["error"]["code"] == "PARSE_ERROR"
+
+    def test_truncated_frame_drops_connection(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(PREAMBLE)
+            frame = bytes(
+                encode_wire_frame(
+                    FRAME_REQUEST,
+                    {"id": 1, "method": "ping", "params": {}, "tenant": "default"},
+                )
+            )
+            # Ship the header plus half the payload, then half-close: the
+            # server sees EOF mid-frame and must drop the connection
+            # without hanging or answering garbage.
+            sock.sendall(frame[: FRAME_HEADER.size + (len(frame) - FRAME_HEADER.size) // 2])
+            sock.shutdown(socket.SHUT_WR)
+            assert sock.makefile("rb").read(1) == b""
+
+    def test_garbage_payload_gets_parse_error(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(PREAMBLE)
+            sock.sendall(FRAME_HEADER.pack(FRAME_REQUEST, 1) + b"\xc1")
+            kind, payload = read_frame(sock)
+            assert kind == FRAME_RESPONSE
+            assert payload["error"]["code"] == "PARSE_ERROR"
+
+    def test_server_survives_a_bad_connection(self, server):
+        # A protocol error on one connection must not poison the next.
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5) as sock:
+            sock.sendall(MAGIC + bytes([99]))
+            read_frame(sock)
+        with ServiceClient(port=server.port, codec="binary") as client:
+            assert client.ping()["version"] == 1

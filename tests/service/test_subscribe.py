@@ -1,0 +1,121 @@
+"""Streaming subscriptions: push-mode stats/metrics/audit channels.
+
+``subscribe`` flips a connection into push mode — the server emits
+periodic event frames (binary FRAME_EVENT or NDJSON lines carrying an
+``event`` key) until ``unsubscribe`` or disconnect.  These tests pin the
+event envelope (stream name, monotonically increasing ``seq``), the
+audit stream's tail-only semantics (only records appended *after* the
+subscribe), and that unsubscribe actually stops the flow.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from repro.programs import PROGRAMS
+from repro.service import (
+    ControlService,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    TenantQuota,
+    TenantRegistry,
+)
+
+CACHE = PROGRAMS["cache"].source
+
+
+@pytest.fixture()
+def server():
+    service = ControlService(
+        tenants=TenantRegistry(TenantQuota.unlimited())
+    )
+    with ServerThread(service) as running:
+        yield running
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+class TestSubscribe:
+    @pytest.mark.parametrize("codec", ["ndjson", "binary"])
+    def test_stats_stream(self, server, codec):
+        with ServiceClient(port=server.port, codec=codec, timeout=10) as client:
+            ack = client.subscribe(["stats"], interval_ms=20)
+            assert ack["streams"] == ["stats"]
+            assert ack["push"] == codec
+            events = take(client.events(), 3)
+            assert [e["event"] for e in events] == ["stats", "stats", "stats"]
+            assert [e["seq"] for e in events] == sorted({e["seq"] for e in events})
+            assert all("programs" in e["data"] for e in events)
+
+    @pytest.mark.parametrize("codec", ["ndjson", "binary"])
+    def test_metrics_stream_carries_deltas(self, server, codec):
+        with ServiceClient(port=server.port, codec=codec, timeout=10) as client:
+            client.subscribe(["metrics"], interval_ms=20)
+            event = take(client.events(), 1)[0]
+            assert event["event"] == "metrics"
+            data = event["data"]
+            assert set(data) == {"counters_delta", "gauges", "audit_records"}
+
+    def test_audit_stream_tails_new_records_only(self, server):
+        # A deploy before the subscribe is history, not a push; one after
+        # it must arrive as an audit event.
+        with ServiceClient(port=server.port, tenant="ops", timeout=10) as writer:
+            before = writer.deploy(CACHE)
+            with ServiceClient(port=server.port, codec="binary", timeout=10) as watcher:
+                watcher.subscribe(["audit"], interval_ms=20)
+                after = writer.deploy(CACHE)
+                event = take(watcher.events(), 1)[0]
+                assert event["event"] == "audit"
+                methods = [r["method"] for r in event["data"]["records"]]
+                assert methods == ["deploy"]
+                ids = [r["result"]["program_id"] for r in event["data"]["records"]]
+                assert ids == [after["program_id"]]
+                assert before["program_id"] not in ids
+
+    def test_seq_increases_across_streams(self, server):
+        with ServiceClient(port=server.port, codec="binary", timeout=10) as client:
+            client.subscribe(["stats", "metrics"], interval_ms=20)
+            events = take(client.events(), 6)
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+            assert {e["event"] for e in events} == {"stats", "metrics"}
+
+    def test_unsubscribe_stops_pushes(self, server):
+        with ServiceClient(port=server.port, codec="binary", timeout=10) as client:
+            client.subscribe(["stats"], interval_ms=20)
+            take(client.events(), 2)
+            ack = client.unsubscribe()
+            assert ack["unsubscribed"] is True
+            # Any event raced in before the ack is already buffered; after
+            # a few would-be intervals no NEW pushes may show up.
+            client.ping()
+            buffered = len(client._events)
+            time.sleep(0.1)
+            client.ping()
+            assert len(client._events) == buffered
+
+    def test_interval_floor_enforced(self, server):
+        with ServiceClient(port=server.port, codec="binary", timeout=10) as client:
+            with pytest.raises(ServiceError) as info:
+                client.subscribe(["stats"], interval_ms=1)
+            assert info.value.code == "BAD_REQUEST"
+
+    def test_unknown_stream_rejected(self, server):
+        with ServiceClient(port=server.port, timeout=10) as client:
+            with pytest.raises(ServiceError) as info:
+                client.subscribe(["nonsense"])
+            assert info.value.code == "BAD_REQUEST"
+
+    def test_rpcs_still_work_while_subscribed(self, server):
+        # Push mode does not steal the connection: a request interleaved
+        # with pushes gets its response (events buffer on the client).
+        with ServiceClient(port=server.port, codec="binary", timeout=10) as client:
+            client.subscribe(["stats"], interval_ms=20)
+            time.sleep(0.06)  # let a few pushes queue up
+            deployed = client.deploy(CACHE)
+            assert deployed["name"] == "cache"
+            assert take(client.events(), 1)[0]["event"] == "stats"

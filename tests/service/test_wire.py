@@ -1,0 +1,209 @@
+"""Binary wire codec: tag round-trips, malformed-data rejection, buffers.
+
+The codec is the substrate under both the northbound binary framing and
+the southbound fan-out pipes, so these tests pin the encoding itself —
+every tag, the int64/bigint split, tuple preservation, the pickle
+extension's opt-in gate — plus the property that any JSON-model value
+survives a round trip bit-exactly.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.service.wire import (
+    FRAME_EVENT,
+    FRAME_HEADER,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    PREAMBLE,
+    WireError,
+    decode_payload,
+    decode_wire_frame,
+    encode_payload,
+    encode_wire_frame,
+)
+
+
+def round_trip(obj, **kwargs):
+    return decode_payload(bytes(encode_payload(obj, **kwargs)), **{
+        k: v for k, v in kwargs.items() if k == "allow_pickle"
+    })
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**62),
+            1.5,
+            -0.0,
+            "",
+            "héllo ☃",
+            b"",
+            b"\x00\xff" * 17,
+        ],
+    )
+    def test_round_trip(self, value):
+        assert round_trip(value) == value
+
+    def test_bigint_beyond_int64(self):
+        for value in (2**63, -(2**63) - 1, 2**200, -(2**200)):
+            decoded = round_trip(value)
+            assert decoded == value and isinstance(decoded, int)
+
+    def test_int64_boundaries_stay_fixed_width(self):
+        # Exactly-representable int64s use the 9-byte fixed encoding.
+        assert len(encode_payload(2**63 - 1)) == 9
+        assert len(encode_payload(-(2**63))) == 9
+        assert len(encode_payload(2**63)) > 9  # first bigint
+
+    def test_bool_is_not_int(self):
+        # bool subclasses int; the codec must keep identity.
+        assert round_trip(True) is True
+        assert round_trip([0, 1, True]) == [0, 1, True]
+        assert [type(v) for v in round_trip([0, True])] == [int, bool]
+
+
+class TestContainers:
+    def test_nested_structures(self):
+        obj = {
+            "a": [1, {"b": None}, "x"],
+            "n": {"deep": [[], {}, [b"raw"]]},
+            "f": 3.25,
+        }
+        assert round_trip(obj) == obj
+
+    def test_tuples_become_lists_by_default(self):
+        assert round_trip((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_preserve_tuples(self):
+        obj = ("ctl_run", 7, ((1, 2), [3, (4,)]))
+        decoded = round_trip(obj, preserve_tuples=True)
+        assert decoded == obj
+        assert isinstance(decoded, tuple) and isinstance(decoded[2][0], tuple)
+
+    def test_non_string_dict_keys(self):
+        assert round_trip({1: "one", (2, 3): "pair"}, preserve_tuples=True) == {
+            1: "one",
+            (2, 3): "pair",
+        }
+
+
+class TestMalformed:
+    def test_trailing_bytes_rejected(self):
+        data = bytes(encode_payload(42)) + b"\x00"
+        with pytest.raises(WireError, match="trailing"):
+            decode_payload(data)
+
+    @pytest.mark.parametrize("cut", [1, 4, 8])
+    def test_truncation_rejected(self, cut):
+        data = bytes(encode_payload({"key": [1, 2.5, "value"]}))
+        with pytest.raises(WireError, match="truncated"):
+            decode_payload(data[:-cut])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError, match="unknown wire tag"):
+            decode_payload(b"\xc1")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(WireError, match="truncated"):
+            decode_payload(b"")
+
+    def test_unencodable_without_pickle(self):
+        with pytest.raises(WireError, match="cannot encode"):
+            encode_payload(object())
+
+    def test_pickle_refused_on_decode_by_default(self):
+        data = bytes(encode_payload(object(), allow_pickle=True))
+        with pytest.raises(WireError, match="pickle extension not allowed"):
+            decode_payload(data)
+
+    def test_pickle_round_trip_when_enabled(self):
+        decoded = round_trip({3, 1, 4}, allow_pickle=True)
+        assert decoded == {3, 1, 4}
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        for kind in (FRAME_REQUEST, FRAME_RESPONSE, FRAME_EVENT):
+            frame = bytes(encode_wire_frame(kind, {"id": 1}))
+            assert decode_wire_frame(frame) == (kind, {"id": 1})
+
+    def test_header_length_matches_payload(self):
+        frame = bytes(encode_wire_frame(FRAME_REQUEST, [1, 2, 3]))
+        kind, length = FRAME_HEADER.unpack_from(frame, 0)
+        assert kind == FRAME_REQUEST
+        assert length == len(frame) - FRAME_HEADER.size
+
+    def test_unknown_kind_rejected(self):
+        frame = bytearray(encode_wire_frame(FRAME_REQUEST, None))
+        frame[0] = 99
+        with pytest.raises(WireError, match="unknown frame kind"):
+            decode_wire_frame(bytes(frame))
+
+    def test_oversized_frame_rejected(self):
+        frame = bytes(encode_wire_frame(FRAME_REQUEST, "x" * 100))
+        with pytest.raises(WireError, match="exceeds limit"):
+            decode_wire_frame(frame, max_frame_bytes=50)
+
+    def test_length_mismatch_rejected(self):
+        frame = bytes(encode_wire_frame(FRAME_REQUEST, "abc"))
+        with pytest.raises(WireError, match="length mismatch"):
+            decode_wire_frame(frame + b"\x00")
+
+    def test_preamble_first_byte_is_not_json(self):
+        # Negotiation invariant: the sniffed first byte must never
+        # collide with NDJSON, whose frames always start with "{".
+        assert PREAMBLE[:1] != b"{"
+        assert PREAMBLE[0] == 0x50
+
+
+class TestBufferReuse:
+    def test_out_buffer_is_cleared_and_reused(self):
+        buf = bytearray(b"stale leftovers")
+        first = encode_payload({"a": 1}, out=buf)
+        assert first is buf
+        snapshot = bytes(buf)
+        encode_payload([2, 3], out=buf)
+        assert bytes(buf) != snapshot
+        assert decode_payload(bytes(buf)) == [2, 3]
+
+    def test_frame_out_buffer(self):
+        buf = bytearray()
+        frame = encode_wire_frame(FRAME_EVENT, {"seq": 1}, out=buf)
+        assert frame is buf
+        assert decode_wire_frame(bytes(buf)) == (FRAME_EVENT, {"seq": 1})
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=25,
+)
+
+
+@given(json_values)
+def test_round_trip_property(obj):
+    """Any JSON-model value (plus bytes) survives encode/decode exactly."""
+    assert round_trip(obj) == obj
+
+
+@given(json_values)
+def test_frame_round_trip_property(obj):
+    kind, decoded = decode_wire_frame(bytes(encode_wire_frame(FRAME_RESPONSE, obj)))
+    assert kind == FRAME_RESPONSE and decoded == obj
