@@ -7,7 +7,13 @@ IPv4) first, so under first-match init semantics the traffic is owned by
 a data-parallel program and spreads across shards by flow hash.  The
 same traffic with the pinned ``cache`` program as owner stays on one
 shard by design; that datapoint is recorded separately as the placement
-map's cost.
+map's cost.  A third scenario (``pinned_owner_rebalanced``) drives a
+2-worker engine with 50/50 pinned + hash-spread traffic, runs the
+load-aware rebalancer once, and records the shard split before and
+after — the ring reweighting must bring the hottest shard to <= 70% of
+the traffic with zero packets dropped.  The consistent-hash remap cost
+of growing a 4-worker ring to 5 is measured alongside (<= 35% of flows
+may move).
 
 Two rates are recorded per worker count:
 
@@ -33,7 +39,7 @@ from _common import banner, fmt_row, once, scaled, write_results
 
 from repro.controlplane import Controller
 from repro.programs import ALL_PROGRAM_NAMES, PROGRAMS
-from repro.rmt.packet import make_cache
+from repro.rmt.packet import make_cache, make_udp
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -46,6 +52,19 @@ REQUIRED_SPEEDUP = 2.5
 def traffic(total):
     """Multi-flow cache-header traffic: 64 flows, 50 distinct keys."""
     return [make_cache(i % 64 + 1, 2, op=1, key=i % 50) for i in range(total)]
+
+
+def mixed_traffic(total):
+    """50/50 pinned (cache-header) and hash-spread (plain UDP) packets
+    over 64 flows — the rebalancer's worst case when the pinned owner
+    and a full hash share land on the same shard."""
+    packets = []
+    for i in range(total):
+        if i % 2 == 0:
+            packets.append(make_cache(i % 64 + 1, 2, op=1, key=i % 50))
+        else:
+            packets.append(make_udp(i % 64 + 1, 2, 5000 + i % 64, 80))
+    return packets
 
 
 def deploy_all(controller, first="cms"):
@@ -81,6 +100,67 @@ def measure_engine(num_workers, packets, repeats, first="cms"):
     }
 
 
+def measure_rebalanced(packets, repeats):
+    """The pinned-owner pathology, then the load-aware fix: a 2-worker
+    engine with ``cache`` (pinned) owning half the traffic and ``cms``
+    (hash-spread) the other half.  Before rebalancing, the pinned shard
+    also serves its full hash share; ``rebalance()`` reweights the ring
+    so hash flows drain to the cold shard."""
+    from repro.engine import ShardedEngine
+
+    with ShardedEngine(2) as engine:
+        # Just the two owners: cache first (pinned, owns the nc-header
+        # half by first-match), cms second (mergeable, owns the plain
+        # UDP half, spread by flow hash).  Deploying the full library
+        # would hand the UDP half to the pinned firewall instead and
+        # leave no hash traffic for the ring to steer.
+        engine.controller.deploy(PROGRAMS["cache"].source)
+        engine.controller.deploy(PROGRAMS["cms"].source)
+        engine.inject([p.clone() for p in packets], mode="verdicts")
+        before = list(engine.last_inject_stats["shard_counts"])
+        report = engine.rebalance(threshold=0.6)
+        best_projected = 0.0
+        after = before
+        delivered = 0
+        for _ in range(repeats):
+            results = engine.inject(
+                [p.clone() for p in packets], mode="verdicts"
+            )
+            stats = engine.last_inject_stats
+            after = list(stats["shard_counts"])
+            delivered = len([r for r in results if r is not None])
+            makespan = max(
+                [stats["coordinator_cpu_s"]]
+                + list(stats["worker_cpu_s"].values())
+            )
+            if makespan > 0:
+                best_projected = max(best_projected, len(packets) / makespan)
+    return {
+        "pps": round(best_projected, 1),
+        "before_shard_counts": before,
+        "after_shard_counts": after,
+        "skew_before": round(max(before) / sum(before), 4),
+        "max_share_after": round(max(after) / sum(after), 4),
+        "delivered": delivered,
+        "migrations": len(report["migrations"]),
+        "reweighted": report["reweighted"],
+    }
+
+
+def measure_ring_remap(flows=10_000):
+    """Fraction of flows remapped when a 4-worker ring grows to 5."""
+    from repro.engine import HashRing, flow_hash
+
+    ring = HashRing()
+    for w in range(4):
+        ring.add(w)
+    hashes = [flow_hash((i + 1, 2, 17, 1000 + i, 80)) for i in range(flows)]
+    before = [ring.lookup(h) for h in hashes]
+    ring.add(4)
+    moved = sum(1 for h, b in zip(hashes, before) if ring.lookup(h) != b)
+    return round(moved / flows, 4)
+
+
 def test_engine_scaling(benchmark):
     total = scaled(2_000, 20_000)
     repeats = scaled(3, 5)
@@ -99,9 +179,11 @@ def test_engine_scaling(benchmark):
             w: measure_engine(w, packets, repeats) for w in WORKER_COUNTS
         }
         pinned = measure_engine(2, packets, repeats, first="cache")
-        return single_pps, by_workers, pinned
+        rebalanced = measure_rebalanced(mixed_traffic(total), repeats)
+        return single_pps, by_workers, pinned, rebalanced
 
-    single_pps, by_workers, pinned = once(benchmark, run)
+    single_pps, by_workers, pinned, rebalanced = once(benchmark, run)
+    remap_fraction = measure_ring_remap()
 
     base = by_workers[WORKER_COUNTS[0]]
     speedup = {
@@ -134,6 +216,24 @@ def test_engine_scaling(benchmark):
             widths=[16, 30, 40],
         )
     )
+    print(
+        fmt_row(
+            "rebalanced",
+            f"{rebalanced['pps']:,.0f} pps capacity",
+            f"shards {rebalanced['before_shard_counts']} -> "
+            f"{rebalanced['after_shard_counts']} "
+            f"(skew {rebalanced['skew_before']:.2f} -> "
+            f"{rebalanced['max_share_after']:.2f})",
+            widths=[16, 30, 50],
+        )
+    )
+    print(
+        fmt_row(
+            "ring remap 4->5",
+            f"{remap_fraction:.1%} of flows moved (<= 35% required)",
+            widths=[16, 44],
+        )
+    )
 
     write_results(
         "engine",
@@ -145,6 +245,8 @@ def test_engine_scaling(benchmark):
             "speedup": {str(w): speedup[w] for w in WORKER_COUNTS},
             "wall_speedup": {str(w): wall_speedup[w] for w in WORKER_COUNTS},
             "pinned_owner": pinned,
+            "pinned_owner_rebalanced": rebalanced,
+            "ring_remap_4_to_5": remap_fraction,
             "note": (
                 "pps is projected aggregate capacity: packets / "
                 "max(coordinator CPU s, slowest worker CPU s), measured "
@@ -165,6 +267,14 @@ def test_engine_scaling(benchmark):
     assert min(pinned["shard_counts"]) == 0
     # Data-parallel traffic spreads: no empty shard at 4 workers.
     assert min(by_workers[4]["shard_counts"]) > 0
+    # The rebalancer fixes the pinned-owner skew: the pathology was real
+    # before, post-rebalance the hottest shard holds <= 70%, and not a
+    # single packet was dropped in the rebalanced run.
+    assert rebalanced["skew_before"] > 0.7
+    assert rebalanced["max_share_after"] <= 0.7, rebalanced
+    assert rebalanced["delivered"] == total
+    # Consistent hashing: growing the ring 4 -> 5 remaps <= 35% of flows.
+    assert remap_fraction <= 0.35, remap_fraction
     # The headline acceptance: >= 2.5x at 4 workers.
     achieved = wall_speedup[4] if cores >= CORES_FOR_WALL_SCALING else speedup[4]
     assert achieved >= REQUIRED_SPEEDUP, (

@@ -21,6 +21,11 @@ fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
   (``engine.by_workers.<N>.pps``) — the projection is CPU-time based and
   therefore stable across runners with different core counts;
 * the engine's projected speedup at the highest worker count;
+* the rebalanced pinned-owner scenario: a capacity floor
+  (``engine.pinned_owner_rebalanced.pps``) plus two zero-tolerance
+  ceilings — the post-rebalance hottest-shard share must stay <= the
+  baseline 0.70 and growing a 4-worker ring to 5 must remap <= 35% of
+  flows (both deterministic properties, gated exactly);
 * the fabric's projected aggregate capacity per leaf count
   (``fabric.by_leaves.<N>.pps``) and its capacity speedup at the highest
   leaf count — both CPU-time based like the engine projection;
@@ -151,6 +156,34 @@ def main(argv: list[str]) -> int:
                     got,
                     speedup_floor,
                     tolerance,
+                )
+            rebalanced = engine_results.get("pinned_owner_rebalanced", {})
+            base = engine_baseline.get("rebalanced_pps")
+            if base:
+                failed |= check(
+                    "engine rebalanced capacity",
+                    rebalanced.get("pps"),
+                    base,
+                    tolerance,
+                )
+            # Hard bounds, zero tolerance: the post-rebalance shard
+            # balance and the consistent-hash remap fraction are
+            # deterministic properties, not noisy throughput numbers.
+            share_ceiling = engine_baseline.get("rebalanced_max_share")
+            if share_ceiling:
+                failed |= check_ceiling(
+                    "engine rebalanced max share (ceiling)",
+                    rebalanced.get("max_share_after"),
+                    share_ceiling,
+                    0.0,
+                )
+            remap_ceiling = engine_baseline.get("ring_remap_4_to_5")
+            if remap_ceiling:
+                failed |= check_ceiling(
+                    "engine ring remap 4->5 (ceiling)",
+                    engine_results.get("ring_remap_4_to_5"),
+                    remap_ceiling,
+                    0.0,
                 )
 
     fabric_baseline = baseline.get("fabric", {})

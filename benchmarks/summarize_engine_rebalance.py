@@ -1,0 +1,57 @@
+"""One-line elastic-rebalance summary for the CI job summary.
+
+Usage::
+
+    python benchmarks/summarize_engine_rebalance.py [results.json]
+
+Reads the ``engine.pinned_owner_rebalanced`` section of
+``BENCH_simulator.json`` and prints the before/after shard skew of the
+load-aware rebalancer in GitHub-flavored markdown — CI appends it to
+``$GITHUB_STEP_SUMMARY`` so the rebalancing outcome is visible on the
+workflow page without opening the benchmark artifact.  Exits 0 even
+when the section is missing (the scaling bench may not have run); the
+perf gate, not this summary, is the enforcement point.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_simulator.json"
+
+
+def main(argv: list[str]) -> int:
+    results_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    try:
+        results = json.loads(results_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"engine-rebalance summary: cannot read {results_path}: {exc}")
+        return 0
+    engine = results.get("engine", {})
+    rebalanced = engine.get("pinned_owner_rebalanced")
+    if not rebalanced:
+        print(
+            "engine-rebalance summary: no `engine.pinned_owner_rebalanced` "
+            "section in results"
+        )
+        return 0
+    before = rebalanced.get("before_shard_counts", [])
+    after = rebalanced.get("after_shard_counts", [])
+    print(
+        "**Elastic rebalance** — pinned-owner skew "
+        f"{rebalanced.get('skew_before', 0):.0%} -> "
+        f"{rebalanced.get('max_share_after', 0):.0%} hottest-shard share "
+        f"(shards {before} -> {after}, "
+        f"{rebalanced.get('migrations', 0)} migration(s), "
+        f"ring reweighted: {rebalanced.get('reweighted', False)}) at "
+        f"{rebalanced.get('pps', 0):,.0f} pps capacity; ring remap 4->5 "
+        f"moved {engine.get('ring_remap_4_to_5', 0):.1%} of flows"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -453,7 +453,29 @@ def serve_main(argv: list[str]) -> int:
         type=int,
         metavar="N",
         help="shard traffic across N switch-replica worker processes "
-        "(flow-hash routed; incompatible with --chain)",
+        "(consistent-hash routed; incompatible with --chain)",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        metavar="N",
+        help="floor the `scale` RPC may shrink the worker fleet to "
+        "(requires --workers)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        metavar="N",
+        help="ceiling the `scale` RPC may grow the worker fleet to "
+        "(requires --workers)",
+    )
+    parser.add_argument(
+        "--rebalance",
+        type=float,
+        metavar="SKEW",
+        help="auto-rebalance the engine after injects once the hottest "
+        "shard's traffic share exceeds SKEW (e.g. 0.7; requires "
+        "--workers)",
     )
     parser.add_argument(
         "--fabric",
@@ -509,6 +531,19 @@ def serve_main(argv: list[str]) -> int:
     if ns.fabric and (ns.chain or ns.workers):
         parser.error("--fabric serves a topology; combining it with "
                      "--chain/--workers is not supported")
+    if not ns.workers and (
+        ns.min_workers is not None
+        or ns.max_workers is not None
+        or ns.rebalance is not None
+    ):
+        parser.error("--min-workers/--max-workers/--rebalance require "
+                     "--workers (the sharded engine)")
+    if (
+        ns.min_workers is not None
+        and ns.max_workers is not None
+        and ns.min_workers > ns.max_workers
+    ):
+        parser.error("--min-workers cannot exceed --max-workers")
     tenants = TenantRegistry(
         TenantQuota(ns.max_programs, ns.max_memory_buckets, ns.max_table_entries)
     )
@@ -536,8 +571,22 @@ def serve_main(argv: list[str]) -> int:
             flow_cache=not ns.no_flow_cache,
             codegen=not ns.no_codegen,
         )
-        service = ControlService(engine=engine, tenants=tenants)
-        print(f"sharded engine: {ns.workers} worker processes")
+        service = ControlService(
+            engine=engine,
+            tenants=tenants,
+            min_workers=ns.min_workers,
+            max_workers=ns.max_workers,
+            rebalance_threshold=ns.rebalance,
+        )
+        elastic = ""
+        if ns.min_workers is not None or ns.max_workers is not None:
+            elastic = (
+                f" (elastic {ns.min_workers or 1}.."
+                f"{ns.max_workers if ns.max_workers is not None else 'inf'})"
+            )
+        if ns.rebalance is not None:
+            elastic += f", auto-rebalance at skew {ns.rebalance}"
+        print(f"sharded engine: {ns.workers} worker processes{elastic}")
     else:
         if ns.chain:
             controller, dataplane = Controller.with_chain(ns.chain)

@@ -1,25 +1,34 @@
 """Flow-sharded multi-process packet engine.
 
-Runs N worker processes, each owning a full switch replica built from the
-same deployed program state, and routes packets to workers by a stable
-RSS-style hash of the flow key (per-flow order preserved).  Programs
-whose stateful ops are all mergeable run data-parallel with cross-shard
-merge; non-mergeable programs are pinned to one owning shard by the
-placement map.  See ``docs/ARCHITECTURE.md`` ("The sharded engine").
+Runs an elastic fleet of worker processes, each owning a full switch
+replica built from the same deployed program state, and routes packets to
+workers through a weighted consistent-hash ring over a stable RSS-style
+hash of the flow key (per-flow order preserved; rescaling remaps ~1/N of
+flows).  Programs whose stateful ops are all mergeable run data-parallel
+with cross-shard merge; non-mergeable programs are pinned to one owning
+shard by the placement map and can live-migrate between shards without
+dropping or reordering traffic.  A load-aware rebalancer combines pinned
+migrations with ring reweighting when one shard runs hot.  See
+``docs/ARCHITECTURE.md`` ("The sharded engine").
 """
 
 from .engine import (
     EngineError,
     FanoutBinding,
+    MigrationError,
     ShardedEngine,
     ShardPlan,
     WorkerError,
     flow_hash,
 )
+from .ring import DEFAULT_VNODES, HashRing
 
 __all__ = [
+    "DEFAULT_VNODES",
     "EngineError",
     "FanoutBinding",
+    "HashRing",
+    "MigrationError",
     "ShardPlan",
     "ShardedEngine",
     "WorkerError",

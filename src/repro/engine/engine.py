@@ -6,12 +6,26 @@
   processes packets.  Its resource manager is the single source of truth
   for allocation, and its register arrays hold the authoritative merged
   state (the *base* every shard was last rebased to);
-* N **worker processes** (:mod:`repro.engine.worker`), each a full switch
-  replica driven over a pipe;
+* an **elastic fleet** of worker processes (:mod:`repro.engine.worker`),
+  each a full switch replica driven over a pipe.  Workers can be added
+  and removed at runtime: a new worker bootstraps from the coordinator's
+  pickled provisioning plus a replay of every tracked table entry,
+  multicast group, and non-zero register bucket (rebased through
+  :meth:`sync` first, so the snapshot is the merged truth); a departing
+  worker first hands its pinned programs to a peer, folds its mergeable
+  deltas through :meth:`sync`, and has its entry counters and
+  traffic-manager totals harvested into coordinator-side base offsets so
+  aggregated statistics stay bit-identical;
 * the **placement map** — ``program_id -> owning shard`` for pinned
   programs, ``None`` for data-parallel ones (stateless, or every memory
   op mergeable-and-unobserved; see
   :mod:`repro.compiler.register_semantics`);
+* a **consistent-hash ring** (:class:`repro.engine.ring.HashRing`) —
+  data-parallel flows route to the owner of their hash's arc, so
+  rescaling by one worker remaps only ~1/N of the flows (the modulo
+  router this replaced remapped nearly all of them).  Per-worker ring
+  weights let the rebalancer steer hash traffic away from shards that
+  are hot with pinned-program traffic;
 * :class:`FanoutBinding` — the coordinator controller's southbound
   binding.  Every control-plane mutation (entry insert/delete, memory
   reset, bucket write, multicast config) applies locally and is broadcast
@@ -25,7 +39,23 @@ Packet routing parses each packet on the coordinator replica and runs the
 semantics, conditional parse paths) are bit-identical to what every
 worker's own init block will decide.  Packets of a pinned program go to
 its owning shard; everything else is spread by an RSS-style CRC32 of the
-5-tuple, which keeps every flow on one shard (per-flow order preserved).
+5-tuple through the ring, which keeps every flow on one shard (per-flow
+order preserved).
+
+**Live migration** moves a pinned program between shards without
+dropping or reordering a packet: :meth:`ShardedEngine.begin_migration`
+quiesces the program at the router (its packets park, in arrival order,
+in a per-program holding queue), :meth:`ShardedEngine.complete_migration`
+barrier-drains the owning shard via the ctl_run ack machinery, snapshots
+the program's SALU register regions, installs them on the target shard
+(mirroring the coordinator base), flips the placement map, and replays
+the parked packets.  Per-flow order holds because every parked flow
+belongs to the migrating program and replays in arrival order; register
+state is bit-identical because the owner was drained before the
+snapshot.  A load-aware :meth:`ShardedEngine.rebalance` watches
+per-shard routed-packet and CPU-time telemetry and combines pinned
+migrations with ring reweighting when one shard's share exceeds a skew
+threshold.
 
 Cross-shard merge (:meth:`ShardedEngine.sync`) folds each mergeable
 memory block's shard replicas into the coordinator's base value with
@@ -53,6 +83,7 @@ from ..dataplane import constants as dp
 from ..dataplane.runpro import P4runproDataPlane
 from ..rmt.phv import PHV
 from ..rmt.salu import merge_buckets
+from .ring import DEFAULT_VNODES, HashRing
 from .sbwire import decode_msg, encode_msg, pack_entry
 from .worker import worker_main
 
@@ -65,7 +96,14 @@ class WorkerError(EngineError):
     """A worker request or fanned-out control command failed."""
 
 
+class MigrationError(EngineError):
+    """A live-migration request was invalid or cannot proceed."""
+
+
 _FLOW_PACK = struct.Struct("!IIIHH")
+
+#: bounded history for migration latency summaries
+_LATENCY_KEEP = 512
 
 
 def flow_hash(five_tuple: tuple[int, int, int, int, int]) -> int:
@@ -86,19 +124,38 @@ def flow_hash(five_tuple: tuple[int, int, int, int, int]) -> int:
 class ShardPlan:
     """A routed, pre-pickled packet batch, reusable across injections.
 
-    ``frames[w]`` is the ready-to-send wire frame for worker ``w`` (None
-    when the worker received no packets); ``index_lists[w]`` maps the
-    worker's reply positions back to original batch positions.  Building
-    the plan once amortizes routing and serialization across repeated
-    :meth:`ShardedEngine.inject_plan` calls (benchmark loops).
+    ``frames[w]`` is the ready-to-send wire frame for worker ``w``
+    (workers that received no packets are absent); ``index_lists[w]``
+    maps the worker's reply positions back to original batch positions.
+    Building the plan once amortizes routing and serialization across
+    repeated :meth:`ShardedEngine.inject_plan` calls (benchmark loops).
+
+    Plans are stamped with the engine's ``routing_version``; any rescale,
+    migration, or ring reweight bumps the version and a stale plan is
+    transparently re-routed from its retained ``packets`` at the next
+    :meth:`ShardedEngine.inject_plan`.  ``parked`` lists the positions of
+    packets owned by a program that is mid-migration — those are held in
+    the program's holding queue instead of being dispatched.
     """
 
-    frames: list[bytes | None]
-    index_lists: list[list[int]]
+    frames: dict[int, bytes]
+    index_lists: dict[int, list[int]]
     total: int
     mode: str
-    #: per-shard packet counts, for balance reporting
+    routing_version: int = 0
+    #: the original batch, retained so a stale plan can be re-routed
+    packets: list = field(default_factory=list)
+    #: worker ids the plan was routed against, sorted
+    worker_ids: list[int] = field(default_factory=list)
+    #: per-shard packet counts aligned with ``worker_ids``
     shard_counts: list[int] = field(default_factory=list)
+    #: ``(index, packet, program_id)`` for packets quiesced by migration
+    parked: list = field(default_factory=list)
+    #: routing telemetry: packets pinned/hash-routed per worker, and per
+    #: pinned program — accumulated by inject_plan for the rebalancer
+    pinned_counts: dict = field(default_factory=dict)
+    hash_counts: dict = field(default_factory=dict)
+    program_counts: dict = field(default_factory=dict)
 
 
 class FanoutBinding:
@@ -108,7 +165,8 @@ class FanoutBinding:
     (keeping the coordinator replica authoritative) and are then broadcast
     as pipelined generation-stamped commands.  State *reads* trigger an
     on-demand cross-shard merge so the control plane always observes
-    merged traffic state.
+    merged traffic state.  Inserted entries and multicast groups are also
+    recorded on the engine so a worker added later can replay them.
     """
 
     def __init__(self, local: P4runproDataPlane, engine: "ShardedEngine"):
@@ -120,7 +178,9 @@ class FanoutBinding:
     # -- DataPlaneBinding (mutations) --------------------------------------
     def insert_entry(self, entry: EntryConfig) -> int:
         handle = self.local.insert_entry(entry)
-        self.engine._broadcast(("insert", handle, pack_entry(entry)))
+        packed = pack_entry(entry)
+        self.engine._broadcast(("insert", handle, packed))
+        self.engine._entries[handle] = packed
         if entry.table == dp.INIT_TABLE and entry.action == dp.ACTION_SET_PROGRAM:
             program_id = entry.data().get("program_id")
             if program_id is not None:
@@ -138,9 +198,12 @@ class FanoutBinding:
         installs cheap at fan-out degree N.
         """
         handles = self.local.insert_entries(list(entries))
-        self.engine._broadcast(
-            ("insert_many", tuple((h, pack_entry(e)) for h, e in zip(handles, entries)))
+        packed_pairs = tuple(
+            (h, pack_entry(e)) for h, e in zip(handles, entries)
         )
+        self.engine._broadcast(("insert_many", packed_pairs))
+        for handle, packed in packed_pairs:
+            self.engine._entries[handle] = packed
         for entry, handle in zip(entries, handles):
             if entry.table == dp.INIT_TABLE and entry.action == dp.ACTION_SET_PROGRAM:
                 program_id = entry.data().get("program_id")
@@ -152,6 +215,8 @@ class FanoutBinding:
     def delete_entry(self, table: str, handle: int) -> None:
         self.local.delete_entry(table, handle)
         self.engine._broadcast(("delete", table, handle))
+        self.engine._entries.pop(handle, None)
+        self.engine._counter_base.pop((table, handle), None)
         program_id = self._init_handles.pop(handle, None)
         if program_id is not None:
             self.engine._drop_program(program_id)
@@ -162,6 +227,7 @@ class FanoutBinding:
 
     def configure_multicast_group(self, group: int, ports: list[int]) -> None:
         self.local.configure_multicast_group(group, ports)
+        self.engine._mcast[group] = tuple(ports)
         self.engine._broadcast(("mcast", group, tuple(ports)))
 
     # -- control-plane state access ----------------------------------------
@@ -182,13 +248,17 @@ class FanoutBinding:
 
         The coordinator replica processes no packets (its own counters
         only reflect routing lookups), so the true count is the sum over
-        workers of their local entry's counter.
+        live workers of their local entry's counter, plus the harvested
+        base from any worker that has since been removed.
         """
         return self.engine._aggregate_counter(table, handle)
 
 
 class ShardedEngine:
-    """N-shard packet engine over one coordinator control plane."""
+    """Elastic N-shard packet engine over one coordinator control plane."""
+
+    #: telemetry packets required before maybe_rebalance will act
+    REBALANCE_MIN_PACKETS = 512
 
     def __init__(
         self,
@@ -201,20 +271,21 @@ class ShardedEngine:
         reply_timeout_s: float = 120.0,
         flow_cache: bool = True,
         codegen: bool = True,
+        vnodes: int = DEFAULT_VNODES,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
-        self.num_workers = num_workers
         self.spec = spec or TargetSpec()
         self.merge_every = merge_every
         self.reply_timeout_s = reply_timeout_s
 
         # Provisioning is pickled before the coordinator freezes the parse
-        # machine, so every replica is built from the same description.
-        # Each worker owns a private flow cache; FanoutBinding mutations
-        # reach every replica through its own southbound binding, so the
-        # per-worker generation bump needs no extra broadcast.
-        setup_bytes = pickle.dumps(
+        # machine, so every replica — including workers added long after
+        # construction — is built from the same description.  Each worker
+        # owns a private flow cache; FanoutBinding mutations reach every
+        # replica through its own southbound binding, so the per-worker
+        # generation bump needs no extra broadcast.
+        self._setup_bytes = pickle.dumps(
             (self.spec, parse_machine, flow_cache, codegen)
         )
         self.dataplane = P4runproDataPlane(
@@ -244,39 +315,88 @@ class ShardedEngine:
         #: wall seconds, per-worker CPU seconds, coordinator CPU seconds
         self.last_inject_stats: dict = {}
 
+        #: provisioning replayed into workers added at runtime
+        self._entries: dict[int, tuple] = {}
+        self._mcast: dict[int, tuple[int, ...]] = {}
+        #: counters/stats harvested from removed workers, so aggregates
+        #: stay bit-identical across downscales
+        self._counter_base: dict[tuple[str, int], int] = {}
+        self._retired_stats: list[dict] = []
+
+        #: routing epoch — bumped by rescale/migration/reweight; plans
+        #: stamped with an older epoch are transparently re-routed
+        self._routing_version = 0
+        self.ring = HashRing(vnodes)
+
+        #: in-flight migrations: program id -> holding queue + endpoints
+        self._migrations: dict[int, dict] = {}
+        self._orphans: list[tuple] = []
+        self._in_replay = False
+        self._mstats: dict = {
+            "started": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "rebalances": 0,
+            "parked_packets": 0,
+            "quiesce_ms": [],
+            "flip_ms": [],
+            "last": None,
+        }
+        self._reset_telemetry()
+
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        ctx = multiprocessing.get_context(start_method)
-        self._conns = []
-        self._procs = []
+        self._ctx = multiprocessing.get_context(start_method)
+        self._conns: dict[int, object] = {}
+        self._procs: dict[int, object] = {}
+        self._next_worker_id = 0
         for _ in range(num_workers):
-            parent, child = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=worker_main, args=(child, setup_bytes), daemon=True
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+            wid = self._spawn_worker()
+            self.ring.add(wid)
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._conns)
+
+    @property
+    def worker_ids(self) -> list[int]:
+        return sorted(self._conns)
+
+    @property
+    def routing_version(self) -> int:
+        return self._routing_version
+
+    def _spawn_worker(self) -> int:
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main, args=(child, self._setup_bytes), daemon=True
+        )
+        proc.start()
+        child.close()
+        self._conns[wid] = parent
+        self._procs[wid] = proc
+        return wid
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for conn in self._conns.values():
             try:
                 conn.send_bytes(bytes(encode_msg(("stop",))))
             except (OSError, BrokenPipeError):
                 pass
-        for proc, conn in zip(self._procs, self._conns):
+        for wid, proc in self._procs.items():
             proc.join(timeout=5)
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(timeout=5)
-            conn.close()
+            self._conns[wid].close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -312,7 +432,7 @@ class ShardedEngine:
         frame = encode_msg(
             ("ctl_run", self._generation, tuple(ops)), out=self._sb_buf
         )
-        for worker, conn in enumerate(self._conns):
+        for worker, conn in self._conns.items():
             try:
                 conn.send_bytes(frame)
             except (OSError, BrokenPipeError) as exc:
@@ -335,6 +455,19 @@ class ShardedEngine:
         reply = self._recv(worker)
         return reply[1]
 
+    def _barrier_one(self, worker: int, gen: int) -> None:
+        """Targeted barrier against a single worker (bootstrap path)."""
+        self._conns[worker].send_bytes(encode_msg(("barrier", gen), out=self._req_buf))
+        tag, ack_gen, applied_gen, worker_errors = self._recv(worker)
+        if tag != "ack" or ack_gen != gen or applied_gen < gen:
+            raise EngineError(
+                f"worker {worker} acked generation {applied_gen}, expected {gen}"
+            )
+        if worker_errors:
+            raise WorkerError(
+                "; ".join(f"worker {worker}: {e}" for e in worker_errors)
+            )
+
     def barrier(self) -> None:
         """Drain the command channel: every shard acks the current
         generation; deferred control errors surface here."""
@@ -343,10 +476,10 @@ class ShardedEngine:
         self._flush_ctl()
         gen = self._generation
         frame = encode_msg(("barrier", gen), out=self._req_buf)
-        for conn in self._conns:
+        for conn in self._conns.values():
             conn.send_bytes(frame)
         errors = []
-        for worker in range(self.num_workers):
+        for worker in self.worker_ids:
             tag, ack_gen, applied_gen, worker_errors = self._recv(worker)
             if tag != "ack" or ack_gen != gen or applied_gen < gen:
                 raise EngineError(
@@ -371,48 +504,87 @@ class ShardedEngine:
         if semantics.data_parallel:
             self.placement[program_id] = None
             return
-        loads = [0] * self.num_workers
+        loads = {w: 0 for w in self.worker_ids}
         for shard in self.placement.values():
             if shard is not None:
                 loads[shard] += 1
         self.placement[program_id] = min(
-            range(self.num_workers), key=lambda w: (loads[w], w)
+            self.worker_ids, key=lambda w: (loads[w], w)
         )
 
     def _drop_program(self, program_id: int) -> None:
         self.placement.pop(program_id, None)
         self._semantics.pop(program_id, None)
+        migration = self._migrations.pop(program_id, None)
+        if migration is not None:
+            # Revoked mid-migration: the holding queue's packets still
+            # count as traffic — they re-route (and replay) at the next
+            # inject boundary, after the revoke finishes.
+            self._orphans.extend(migration["parked"])
+            self._mstats["cancelled"] += 1
+            self._routing_version += 1
 
     # -- routing ------------------------------------------------------------
-    def shard_of(self, packet) -> int:
-        """Which shard a packet belongs to (identical to init-block
-        ownership semantics: real parse, real first-match lookup)."""
+    def _route(self, packet) -> tuple[int | None, int | None]:
+        """``(shard, program_id)`` for one packet under the current epoch.
+
+        ``program_id`` is set only for pinned-program traffic; a ``None``
+        shard means the owning program is mid-migration and the packet
+        must park in its holding queue.
+        """
         switch = self.dataplane.switch
         phv = PHV(switch.layout, packet)
         switch.parse_machine.parse(packet, phv)
         hit = self._init_table.lookup(phv)
         if hit is not None and hit[0] == dp.ACTION_SET_PROGRAM:
-            pinned = self.placement.get(hit[1].get("program_id"))
+            program_id = hit[1].get("program_id")
+            if program_id is not None and program_id in self._migrations:
+                return None, program_id
+            pinned = self.placement.get(program_id)
             if pinned is not None:
-                return pinned
-        return flow_hash(packet.five_tuple()) % self.num_workers
+                return pinned, program_id
+        return self.ring.lookup(flow_hash(packet.five_tuple())), None
+
+    def shard_of(self, packet) -> int:
+        """Which shard a packet belongs to (identical to init-block
+        ownership semantics: real parse, real first-match lookup)."""
+        shard, program_id = self._route(packet)
+        if shard is None:
+            # Mid-migration the packet would park; its current owner is
+            # still the migration source.
+            return self._migrations[program_id]["source"]
+        return shard
 
     def plan(self, packets, mode: str = "full") -> ShardPlan:
         """Route a batch and pre-pickle one wire frame per shard."""
         if mode not in ("full", "verdicts"):
             raise ValueError(f"unknown inject mode {mode!r}")
-        buckets: list[list] = [[] for _ in range(self.num_workers)]
-        index_lists: list[list[int]] = [[] for _ in range(self.num_workers)]
+        packets = list(packets)
+        worker_ids = self.worker_ids
+        buckets: dict[int, list] = {}
+        index_lists: dict[int, list[int]] = {}
+        parked: list = []
+        pinned_counts: dict[int, int] = {}
+        hash_counts: dict[int, int] = {}
+        program_counts: dict[int, int] = {}
         for index, packet in enumerate(packets):
-            shard = self.shard_of(packet)
-            buckets[shard].append(packet)
-            index_lists[shard].append(index)
+            shard, program_id = self._route(packet)
+            if shard is None:
+                parked.append((index, packet, program_id))
+                continue
+            buckets.setdefault(shard, []).append(packet)
+            index_lists.setdefault(shard, []).append(index)
+            if program_id is not None:
+                pinned_counts[shard] = pinned_counts.get(shard, 0) + 1
+                program_counts[program_id] = program_counts.get(program_id, 0) + 1
+            else:
+                hash_counts[shard] = hash_counts.get(shard, 0) + 1
         # Each bucket stays ONE pickle blob riding as a bytes leaf inside
         # the wire frame (structural encoding of packet objects would cost
         # a Python-level walk per packet; one pickle per batch is the
         # fast path).  Fresh buffers: plans outlive the next encode.
-        frames: list[bytes | None] = [
-            bytes(
+        frames = {
+            shard: bytes(
                 encode_msg(
                     (
                         "batch",
@@ -421,33 +593,49 @@ class ShardedEngine:
                     )
                 )
             )
-            if bucket
-            else None
-            for bucket in buckets
-        ]
+            for shard, bucket in buckets.items()
+        }
         return ShardPlan(
-            frames,
-            index_lists,
-            len(packets),
-            mode,
-            [len(bucket) for bucket in buckets],
+            frames=frames,
+            index_lists=index_lists,
+            total=len(packets),
+            mode=mode,
+            routing_version=self._routing_version,
+            packets=packets,
+            worker_ids=worker_ids,
+            shard_counts=[len(buckets.get(w, ())) for w in worker_ids],
+            parked=parked,
+            pinned_counts=pinned_counts,
+            hash_counts=hash_counts,
+            program_counts=program_counts,
         )
 
     # -- traffic ------------------------------------------------------------
     def inject(self, packets, mode: str = "full") -> list:
         """Route + process a batch; results come back in arrival order."""
+        self._replay_orphans()
         return self.inject_plan(self.plan(packets, mode))
 
     def inject_plan(self, plan: ShardPlan) -> list:
         """Process a pre-routed batch.  Results are ordered by original
-        batch position; per-flow order is preserved by construction."""
+        batch position; per-flow order is preserved by construction.
+        Packets of a mid-migration program are parked (their result slot
+        stays ``None``) and replayed by :meth:`complete_migration`."""
         self.barrier()
+        if plan.routing_version != self._routing_version:
+            # The fleet was rescaled, a migration started/finished, or the
+            # ring was reweighted since this plan was built: re-route it
+            # from the retained batch under the current epoch.
+            plan = self.plan(plan.packets, plan.mode)
         wall0 = time.perf_counter()
         coord_cpu0 = time.process_time()
-        active = [w for w in range(self.num_workers) if plan.frames[w] is not None]
+        active = sorted(plan.frames)
         for worker in active:
             self._conns[worker].send_bytes(plan.frames[worker])
         results: list = [None] * plan.total
+        for _index, packet, program_id in plan.parked:
+            self._migrations[program_id]["parked"].append((packet, plan.mode))
+            self._mstats["parked_packets"] += 1
         worker_cpu: dict[int, float] = {}
         for worker in active:
             payload_blob, cpu_s = self._recv(worker)[1]
@@ -462,14 +650,414 @@ class ShardedEngine:
             "wall_s": wall,
             "coordinator_cpu_s": coord_cpu,
             "worker_cpu_s": worker_cpu,
+            "worker_ids": list(plan.worker_ids),
             "shard_counts": list(plan.shard_counts),
+            "parked": len(plan.parked),
         }
+        telemetry = self._telemetry
+        for worker, count in plan.pinned_counts.items():
+            telemetry["pinned"][worker] = telemetry["pinned"].get(worker, 0) + count
+        for worker, count in plan.hash_counts.items():
+            telemetry["hash"][worker] = telemetry["hash"].get(worker, 0) + count
+        for program_id, count in plan.program_counts.items():
+            telemetry["programs"][program_id] = (
+                telemetry["programs"].get(program_id, 0) + count
+            )
+        for worker, cpu_s in worker_cpu.items():
+            telemetry["cpu"][worker] = telemetry["cpu"].get(worker, 0.0) + cpu_s
+        telemetry["total"] += plan.total - len(plan.parked)
         if plan.total:
             self._traffic_dirty = True
             self._since_merge += plan.total
             if self.merge_every and self._since_merge >= self.merge_every:
                 self.sync()
         return results
+
+    def _replay_orphans(self) -> None:
+        """Re-inject holding-queue packets whose migration was cancelled
+        (program revoked mid-migration).  They re-route under the current
+        epoch in arrival order; results are unobserved by construction
+        (the original inject already returned)."""
+        if not self._orphans or self._in_replay:
+            return
+        self._in_replay = True
+        try:
+            while self._orphans:
+                mode = self._orphans[0][1]
+                batch = []
+                while self._orphans and self._orphans[0][1] == mode:
+                    batch.append(self._orphans.pop(0)[0])
+                self.inject_plan(self.plan(batch, mode))
+        finally:
+            self._in_replay = False
+
+    # -- elastic rescale -----------------------------------------------------
+    def add_worker(self) -> int:
+        """Spawn and bootstrap one worker; returns its id.
+
+        The new replica is built from the same pickled provisioning as
+        the originals, then caught up by replaying every tracked table
+        entry and multicast group as one coalesced ctl_run frame, and
+        copying every non-zero register bucket of each live program from
+        the coordinator's merged base (:meth:`sync` runs first so the
+        base *is* the truth).  Only then does the worker join the ring —
+        consistent hashing remaps ~1/(N+1) of the hash-routed flows to
+        it, and every remapped flow moves *to* the new worker.
+        """
+        if self._closed:
+            raise EngineError("engine is closed")
+        self.barrier()
+        self.sync()
+        wid = self._spawn_worker()
+        # Replay provisioning.  The frame is stamped with the current
+        # generation even when empty so the newcomer's first global
+        # barrier ack matches its peers'.
+        ops = [
+            ("insert", handle, packed) for handle, packed in self._entries.items()
+        ]
+        ops.extend(("mcast", group, ports) for group, ports in self._mcast.items())
+        self._conns[wid].send_bytes(
+            encode_msg(("ctl_run", self._generation, tuple(ops)), out=self._sb_buf)
+        )
+        self._barrier_one(wid, self._generation)
+        # Install merged register state: one write_buckets request per
+        # memory block, non-zero buckets only (fresh replicas are zero).
+        for record in self.controller.manager.programs():
+            if record.state not in (ProgramState.RUNNING, ProgramState.INSTALLING):
+                continue
+            for alloc in record.memory.values():
+                phys = alloc.phys_rpb
+                pairs = [
+                    (addr, value)
+                    for _off, base, size in alloc.virtual_layout()
+                    for addr in range(base, base + size)
+                    if (value := self.dataplane.read_bucket(phys, addr))
+                ]
+                if pairs:
+                    self._request(wid, ("write_buckets", phys, pairs))
+        self.ring.add(wid)
+        self._routing_version += 1
+        return wid
+
+    def remove_worker(self, worker_id: int | None = None) -> int:
+        """Drain and retire one worker (default: the newest).
+
+        Pinned programs hosted there migrate to the least-loaded peer
+        first; :meth:`sync` then folds the worker's mergeable deltas into
+        the coordinator base; finally its entry hit counters and
+        traffic-manager totals are harvested into coordinator-side base
+        offsets so every aggregate (stats, program counters) remains
+        bit-identical to a fleet that never downsized.
+        """
+        if self._closed:
+            raise EngineError("engine is closed")
+        if self.num_workers <= 1:
+            raise EngineError("cannot remove the last worker")
+        wid = max(self._conns) if worker_id is None else worker_id
+        if wid not in self._conns:
+            raise EngineError(f"no such worker {wid}")
+        for program_id, migration in self._migrations.items():
+            if wid in (migration["source"], migration["target"]):
+                raise MigrationError(
+                    f"worker {wid} is mid-migration of program {program_id}; "
+                    "complete it first"
+                )
+        self.barrier()
+        for program_id in [
+            p for p, shard in self.placement.items() if shard == wid
+        ]:
+            self.migrate(program_id)
+        self.sync()
+        refs = tuple((packed[1], handle) for handle, packed in self._entries.items())
+        hits, final_stats = self._request(wid, ("harvest", refs))
+        for (table, handle), count in zip(refs, hits):
+            if count:
+                key = (table, handle)
+                self._counter_base[key] = self._counter_base.get(key, 0) + count
+        self._retired_stats.append(final_stats)
+        self.ring.remove(wid)
+        self._routing_version += 1
+        conn = self._conns.pop(wid)
+        proc = self._procs.pop(wid)
+        try:
+            conn.send_bytes(bytes(encode_msg(("stop",))))
+        except (OSError, BrokenPipeError):  # pragma: no cover - defensive
+            pass
+        proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - defensive
+            proc.terminate()
+            proc.join(timeout=5)
+        conn.close()
+        return wid
+
+    # -- live migration ------------------------------------------------------
+    def begin_migration(self, program_id: int, target: int | None = None) -> int:
+        """Quiesce a pinned program for migration; returns the target.
+
+        From this point the router parks the program's packets, in
+        arrival order, in its per-program holding queue.  No state moves
+        until :meth:`complete_migration`.
+        """
+        source = self.placement.get(program_id)
+        if source is None:
+            raise MigrationError(
+                f"program {program_id} is not pinned (nothing to migrate)"
+            )
+        if program_id in self._migrations:
+            raise MigrationError(f"program {program_id} is already migrating")
+        if target is None:
+            candidates = [w for w in self.worker_ids if w != source]
+            if not candidates:
+                raise MigrationError("no other worker to migrate to")
+            telemetry = self._telemetry
+            pinned_count = {w: 0 for w in self.worker_ids}
+            for shard in self.placement.values():
+                if shard is not None:
+                    pinned_count[shard] += 1
+            target = min(
+                candidates,
+                key=lambda w: (
+                    telemetry["pinned"].get(w, 0) + telemetry["hash"].get(w, 0),
+                    pinned_count[w],
+                    w,
+                ),
+            )
+        if target == source:
+            raise MigrationError(f"program {program_id} already lives on {target}")
+        if target not in self._conns:
+            raise MigrationError(f"no such worker {target}")
+        self._migrations[program_id] = {
+            "source": source,
+            "target": target,
+            "parked": [],
+            "t0": time.perf_counter(),
+        }
+        self._routing_version += 1
+        self._mstats["started"] += 1
+        return target
+
+    def complete_migration(self, program_id: int) -> list:
+        """Drain, snapshot, install, flip, replay.  Returns the results
+        of the replayed holding-queue packets, in arrival order."""
+        migration = self._migrations.get(program_id)
+        if migration is None:
+            raise MigrationError(f"program {program_id} is not migrating")
+        source, target = migration["source"], migration["target"]
+        # Barrier-drain: batches are synchronous, so the source shard has
+        # no traffic in flight; the barrier flushes and acks any pending
+        # control ops so the snapshot sees a settled replica.
+        self.barrier()
+        quiesce_ms = (time.perf_counter() - migration["t0"]) * 1e3
+        flip0 = time.perf_counter()
+        try:
+            record = self.controller.manager.get(program_id)
+        except ProgramNotFoundError:  # pragma: no cover - defensive
+            self._drop_program(program_id)
+            raise MigrationError(f"program {program_id} vanished mid-migration")
+        moved = 0
+        for alloc in record.memory.values():
+            phys = alloc.phys_rpb
+            addrs = [
+                addr
+                for _off, base, size in alloc.virtual_layout()
+                for addr in range(base, base + size)
+            ]
+            if not addrs:
+                continue
+            values = self._request(source, ("read_buckets", phys, addrs))
+            pairs = list(zip(addrs, values))
+            self._request(target, ("write_buckets", phys, pairs))
+            # Mirror into the coordinator base too — the same contract
+            # sync() maintains for pinned programs (owner authoritative).
+            for addr, value in pairs:
+                self.dataplane.write_bucket(phys, addr, value)
+            moved += len(pairs)
+        self.placement[program_id] = target
+        del self._migrations[program_id]
+        self._routing_version += 1
+        flip_ms = (time.perf_counter() - flip0) * 1e3
+        parked = migration["parked"]
+        stats = self._mstats
+        stats["completed"] += 1
+        stats["quiesce_ms"].append(quiesce_ms)
+        stats["flip_ms"].append(flip_ms)
+        del stats["quiesce_ms"][:-_LATENCY_KEEP]
+        del stats["flip_ms"][:-_LATENCY_KEEP]
+        stats["last"] = {
+            "program_id": program_id,
+            "source": source,
+            "target": target,
+            "moved_buckets": moved,
+            "parked": len(parked),
+            "quiesce_ms": quiesce_ms,
+            "flip_ms": flip_ms,
+        }
+        # Replay the holding queue in arrival order; packets route to the
+        # new owner now, so per-flow order and register evolution are
+        # exactly what an unmigrated switch would have produced.
+        results: list = []
+        index = 0
+        while index < len(parked):
+            mode = parked[index][1]
+            batch = []
+            while index < len(parked) and parked[index][1] == mode:
+                batch.append(parked[index][0])
+                index += 1
+            results.extend(self.inject_plan(self.plan(batch, mode)))
+        return results
+
+    def migrate(self, program_id: int, target: int | None = None) -> dict:
+        """Synchronous live migration: begin + complete in one call.
+        Returns a report with endpoints, moved buckets, and latencies."""
+        self.begin_migration(program_id, target)
+        self.complete_migration(program_id)
+        return dict(self._mstats["last"])
+
+    # -- load-aware rebalancing ----------------------------------------------
+    def _reset_telemetry(self) -> None:
+        self._telemetry = {
+            "pinned": {},
+            "hash": {},
+            "programs": {},
+            "cpu": {},
+            "total": 0,
+        }
+
+    def _skew(self) -> tuple[float, dict[int, float]]:
+        """Worst per-shard load share since the last rebalance.
+
+        Loads blend routed-packet counts with worker CPU seconds: the
+        skew is the max of the two shares, so a shard that is hot either
+        by flow count or by per-packet cost trips the threshold.
+        """
+        telemetry = self._telemetry
+        packets = {
+            w: telemetry["pinned"].get(w, 0) + telemetry["hash"].get(w, 0)
+            for w in self.worker_ids
+        }
+        skew = 0.0
+        total_packets = sum(packets.values())
+        if total_packets > 0:
+            skew = max(packets.values()) / total_packets
+        total_cpu = sum(telemetry["cpu"].get(w, 0.0) for w in self.worker_ids)
+        if total_cpu > 0:
+            skew = max(
+                skew,
+                max(telemetry["cpu"].get(w, 0.0) for w in self.worker_ids)
+                / total_cpu,
+            )
+        return skew, packets
+
+    def rebalance(self, threshold: float = 0.7) -> dict:
+        """Load-aware rebalance: pinned migrations + ring reweighting.
+
+        When the hottest shard's share of routed traffic (or CPU time)
+        exceeds ``threshold``, (1) pinned programs greedily migrate off
+        shards whose pinned load alone exceeds the fair share, and
+        (2) ring weights are set so hash-routed traffic fills the
+        *remaining* headroom of each shard — a shard saturated by a
+        pinned owner gets weight 0 and stops receiving hash flows
+        entirely.  Telemetry resets afterwards so the next window
+        measures the new routing.
+        """
+        self.barrier()
+        skew, packets = self._skew()
+        report: dict = {
+            "triggered": False,
+            "skew_before": skew,
+            "loads": dict(packets),
+            "workers": self.num_workers,
+            "migrations": [],
+            "reweighted": False,
+        }
+        total = sum(packets.values())
+        if total <= 0 or self.num_workers < 2 or skew <= threshold:
+            return report
+        report["triggered"] = True
+        fair = total / self.num_workers
+        telemetry = self._telemetry
+        program_load = {
+            program_id: telemetry["programs"].get(program_id, 0)
+            for program_id, shard in self.placement.items()
+            if shard is not None
+        }
+        pinned_load = {w: 0 for w in self.worker_ids}
+        for program_id, shard in self.placement.items():
+            if shard is not None:
+                pinned_load[shard] += program_load.get(program_id, 0)
+        hash_load = {
+            w: telemetry["hash"].get(w, 0) for w in self.worker_ids
+        }
+        # 1) Migrate pinned programs off shards whose pinned load alone
+        # exceeds the fair share (hash traffic can be steered away
+        # entirely, pinned traffic cannot).  Greedy hottest→coldest,
+        # bounded, only while each move strictly improves the max.
+        for _ in range(4 * len(self.placement) + 4):
+            hot = max(self.worker_ids, key=lambda w: pinned_load[w])
+            if pinned_load[hot] <= fair:
+                break
+            cold = min(self.worker_ids, key=lambda w: pinned_load[w])
+            movable = sorted(
+                (
+                    p
+                    for p, shard in self.placement.items()
+                    if shard == hot and program_load.get(p, 0) > 0
+                ),
+                key=lambda p: -program_load[p],
+            )
+            move = next(
+                (
+                    p
+                    for p in movable
+                    if pinned_load[cold] + program_load[p] < pinned_load[hot]
+                ),
+                None,
+            )
+            if move is None:
+                break
+            report["migrations"].append(self.migrate(move, cold))
+            pinned_load[hot] -= program_load[move]
+            pinned_load[cold] += program_load[move]
+        # 2) Reweight the ring so hash traffic fills each shard's
+        # remaining headroom below the fair share.
+        hash_total = sum(hash_load.values())
+        if hash_total > 0:
+            targets = {
+                w: max(0.0, fair - pinned_load[w]) for w in self.worker_ids
+            }
+            if sum(targets.values()) <= 0:
+                # Every shard is at/over fair from pinned load alone;
+                # spread hash traffic evenly instead of nowhere.
+                targets = {w: 1.0 for w in self.worker_ids}
+            top = max(targets.values())
+            changed = False
+            for w in self.worker_ids:
+                changed |= self.ring.set_weight(w, targets[w] / top)
+            if changed:
+                self._routing_version += 1
+                report["reweighted"] = True
+                report["weights"] = self.ring.weights()
+            target_sum = sum(targets.values())
+            projected = {
+                w: pinned_load[w] + hash_total * targets[w] / target_sum
+                for w in self.worker_ids
+            }
+            report["skew_after_projected"] = max(projected.values()) / total
+        self._mstats["rebalances"] += 1
+        self._reset_telemetry()
+        return report
+
+    def maybe_rebalance(self, threshold: float = 0.7) -> dict | None:
+        """Auto-rebalance hook: acts only with enough telemetry and a
+        skew actually above the threshold; returns the report or None."""
+        if self.num_workers < 2:
+            return None
+        if self._telemetry["total"] < self.REBALANCE_MIN_PACKETS:
+            return None
+        skew, _packets = self._skew()
+        if skew <= threshold:
+            return None
+        return self.rebalance(threshold)
 
     # -- cross-shard merge ---------------------------------------------------
     def sync(self) -> None:
@@ -485,6 +1073,7 @@ class ShardedEngine:
         if not self._traffic_dirty:
             return
         self.barrier()
+        worker_ids = self.worker_ids
         for record in self.controller.manager.programs():
             if record.state not in (ProgramState.RUNNING, ProgramState.INSTALLING):
                 continue
@@ -515,7 +1104,7 @@ class ShardedEngine:
                 base_values = [self.dataplane.read_bucket(phys, a) for a in addrs]
                 shard_values = [
                     self._request(w, ("read_buckets", phys, addrs))
-                    for w in range(self.num_workers)
+                    for w in worker_ids
                 ]
                 merged = [
                     merge_buckets(
@@ -539,7 +1128,7 @@ class ShardedEngine:
                 for addr, value in rebase:
                     self.dataplane.write_bucket(phys, addr, value)
                 if rebase:
-                    for worker in range(self.num_workers):
+                    for worker in worker_ids:
                         self._request(worker, ("write_buckets", phys, rebase))
         self._traffic_dirty = False
         self._since_merge = 0
@@ -548,21 +1137,50 @@ class ShardedEngine:
     # -- monitoring ----------------------------------------------------------
     def _aggregate_counter(self, table: str, handle: int) -> int:
         self.barrier()
-        return sum(
+        return self._counter_base.get((table, handle), 0) + sum(
             self._request(worker, ("counters", [(table, handle)]))[0]
-            for worker in range(self.num_workers)
+            for worker in self.worker_ids
         )
 
+    @staticmethod
+    def _latency_summary(values: list[float]) -> dict:
+        if not values:
+            return {"count": 0, "mean_ms": 0.0, "max_ms": 0.0, "last_ms": 0.0}
+        return {
+            "count": len(values),
+            "mean_ms": sum(values) / len(values),
+            "max_ms": max(values),
+            "last_ms": values[-1],
+        }
+
+    def migration_stats(self) -> dict:
+        """Migration/rebalance counters plus latency summaries."""
+        stats = self._mstats
+        return {
+            "started": stats["started"],
+            "completed": stats["completed"],
+            "cancelled": stats["cancelled"],
+            "rebalances": stats["rebalances"],
+            "parked_packets": stats["parked_packets"],
+            "in_flight": len(self._migrations),
+            "quiesce_ms": self._latency_summary(stats["quiesce_ms"]),
+            "flip_ms": self._latency_summary(stats["flip_ms"]),
+            "last": dict(stats["last"]) if stats["last"] else None,
+        }
+
     def stats(self) -> dict:
-        """Aggregated traffic-manager counters plus per-shard detail."""
+        """Aggregated traffic-manager counters plus per-shard detail.
+
+        Totals fold in the final stats harvested from removed workers,
+        so downscaling never loses packet accounting.
+        """
         self.barrier()
-        shards = [
-            self._request(worker, ("stats",)) for worker in range(self.num_workers)
-        ]
+        worker_ids = self.worker_ids
+        shards = [self._request(worker, ("stats",)) for worker in worker_ids]
         totals: dict[str, int] = {}
         flow_cache: dict[str, int] = {}
         codegen: dict = {}
-        for shard in shards:
+        for shard in shards + self._retired_stats:
             for key, value in shard.items():
                 if key == "flow_cache":
                     # Nested per-worker cache stats: sum the counters and
@@ -593,4 +1211,10 @@ class ShardedEngine:
             totals["flow_cache"] = flow_cache
         if codegen:
             totals["codegen"] = codegen
-        return {"workers": self.num_workers, "totals": totals, "shards": shards}
+        return {
+            "workers": self.num_workers,
+            "worker_ids": worker_ids,
+            "totals": totals,
+            "shards": shards,
+            "migration": self.migration_stats(),
+        }

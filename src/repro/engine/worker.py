@@ -11,8 +11,9 @@ replica and serves two kinds of messages from the coordinator:
 * **synchronous requests** — ``barrier`` (ack with the applied generation
   plus any deferred control errors), ``batch`` (process packets, reply
   verdicts or full results plus the worker's CPU seconds), register
-  region reads/writes for the cross-shard merge, entry-counter reads, and
-  ``stats``/``stop``.
+  region reads/writes for the cross-shard merge, entry-counter reads,
+  ``harvest`` (entry counters plus final stats in one round trip, used
+  when the coordinator retires this worker), and ``stats``/``stop``.
 
 Table-entry handles are process-local (the simulator draws them from a
 process-global counter), so the coordinator ships *its* handle with every
@@ -69,6 +70,21 @@ def _apply_ctl(dataplane, handle_map: dict, op: tuple) -> None:
         dataplane.configure_multicast_group(group, list(ports))
     else:
         raise ValueError(f"unknown control op {kind!r}")
+
+
+def _stats_payload(dataplane) -> dict:
+    tm = dataplane.switch.tm
+    return {
+        "packets_in": dataplane.switch.packets_in,
+        "pipeline_passes": dataplane.switch.pipeline_passes,
+        "forwarded": tm.forwarded,
+        "dropped": tm.dropped,
+        "reflected": tm.reflected,
+        "to_cpu": tm.to_cpu,
+        "multicast": tm.multicast,
+        "flow_cache": dataplane.flow_cache.stats(),
+        "codegen": dataplane.codegen.stats(),
+    }
 
 
 def _run_batch(dataplane, mode: str, packets) -> tuple[list, float]:
@@ -163,24 +179,21 @@ def worker_main(conn, setup_bytes: bytes) -> None:
                 ]
                 conn.send_bytes(encode_msg(("ok", hits), out=reply_buf))
             elif kind == "stats":
-                tm = dataplane.switch.tm
+                conn.send_bytes(
+                    encode_msg(("ok", _stats_payload(dataplane)), out=reply_buf)
+                )
+            elif kind == "harvest":
+                # Retirement snapshot: every entry counter plus the final
+                # stats payload in one round trip, so the coordinator can
+                # fold this replica's history into its base offsets.
+                _kind, refs = msg
+                hits = [
+                    dataplane.read_entry_counter(table, handle_map[handle])
+                    for table, handle in refs
+                ]
                 conn.send_bytes(
                     encode_msg(
-                        (
-                            "ok",
-                            {
-                                "packets_in": dataplane.switch.packets_in,
-                                "pipeline_passes": dataplane.switch.pipeline_passes,
-                                "forwarded": tm.forwarded,
-                                "dropped": tm.dropped,
-                                "reflected": tm.reflected,
-                                "to_cpu": tm.to_cpu,
-                                "multicast": tm.multicast,
-                                "flow_cache": dataplane.flow_cache.stats(),
-                                "codegen": dataplane.codegen.stats(),
-                            },
-                        ),
-                        out=reply_buf,
+                        ("ok", (hits, _stats_payload(dataplane))), out=reply_buf
                     )
                 )
             elif kind == "stop":

@@ -112,6 +112,9 @@ _RPC_SIGNATURES = {
     "fingerprint": (),
     "set_quota": ("tenant",),
     "inject": ("packets",),
+    "scale": ("workers",),
+    "migrate": ("program_id", "target"),
+    "rebalance": (),
     "subscribe": ("streams",),
     "unsubscribe": (),
 }

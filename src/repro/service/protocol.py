@@ -37,6 +37,29 @@ dicts as the JSON lines — the codec changes the framing and value
 encoding, never the RPC surface.  Server-initiated subscription pushes
 use ``FRAME_EVENT`` (binary) or plain NDJSON lines with an ``event``
 key (line protocol).
+
+Elastic-engine RPCs (engine mode only)
+--------------------------------------
+
+When the service fronts a sharded engine, three additional write
+methods manage the worker fleet; all serialize through the admission
+queue and are excluded from audit replay (they mutate engine topology,
+not control-plane state):
+
+* ``scale``     — ``{"workers": N}``: grow/shrink the fleet to N;
+  response lists added/removed worker ids.  The consistent-hash ring
+  remaps only ~1/N of hash-routed flows per step.
+* ``migrate``   — ``{"program_id": P, "target": W?}``: live-migrate a
+  pinned program (default target: least-loaded peer); response reports
+  moved buckets, parked packets, and quiesce/flip wall latencies.
+* ``rebalance`` — ``{"threshold": 0.7?}``: run the load-aware
+  rebalancer once (pinned migrations + ring reweighting) if the
+  hottest shard's traffic share exceeds the threshold.
+
+``stats`` with no ``program_id`` returns the service-wide overview —
+in engine mode the aggregated shard totals plus the ``migration``
+section (migrations started/completed, parked packets, latency
+summaries).
 """
 
 from __future__ import annotations

@@ -64,7 +64,17 @@ from .wire import FRAME_EVENT, FRAME_HEADER, FRAME_REQUEST, FRAME_RESPONSE, PREA
 #: The batch RPCs (``deploy_many``/``add_cases``/``write_mems``/``batch``)
 #: ride along from STATE_CHANGING_METHODS: N ops under ONE admission
 #: ticket, one audit record, one response frame.
-WRITE_METHODS = (STATE_CHANGING_METHODS - {"abort_deploy"}) | {"set_quota", "inject"}
+#: The elastic-engine RPCs (``scale``/``migrate``/``rebalance``) mutate
+#: fleet topology and register placement, so they serialize through the
+#: same queue but — like ``inject`` — stay out of audit replay (replay
+#: restores control-plane state, not engine topology).
+WRITE_METHODS = (STATE_CHANGING_METHODS - {"abort_deploy"}) | {
+    "set_quota",
+    "inject",
+    "scale",
+    "migrate",
+    "rebalance",
+}
 
 #: Methods served without queueing.
 READ_METHODS = frozenset(
@@ -165,6 +175,9 @@ class ControlService:
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
         pipelined_install: bool = True,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
+        rebalance_threshold: float | None = None,
     ):
         if fabric is not None:
             # Fabric mode: the service fronts a FabricController federating
@@ -217,6 +230,12 @@ class ControlService:
         #: overlap tenant A's entry installation with tenant B's solve
         #: (False restores the fully serialized reference path)
         self.pipelined_install = pipelined_install
+        #: elastic-fleet bounds enforced by the ``scale`` RPC, and the
+        #: skew threshold above which inject auto-triggers a rebalance
+        #: (None disables auto-rebalancing)
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.rebalance_threshold = rebalance_threshold
         import weakref
 
         self._write_locks = weakref.WeakKeyDictionary()
@@ -341,6 +360,13 @@ class ControlService:
             code = ErrorCode.COMPILE_ERROR if method == "deploy" else ErrorCode.BAD_REQUEST
             return ServiceError(code, str(exc))
         if isinstance(exc, (KeyError, ValueError, TypeError)):
+            return ServiceError(ErrorCode.BAD_REQUEST, str(exc))
+        from ..engine import MigrationError
+
+        if isinstance(exc, MigrationError):
+            # Invalid migration requests (unpinned program, unknown
+            # target, already migrating) are caller mistakes, not engine
+            # failures.
             return ServiceError(ErrorCode.BAD_REQUEST, str(exc))
         return ServiceError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
 
@@ -955,6 +981,17 @@ class ControlService:
             )
             response["shard_counts"] = shard_counts
             self._note_placement_skew(shard_counts)
+            if self.rebalance_threshold is not None:
+                report = self.engine.maybe_rebalance(self.rebalance_threshold)
+                if report is not None and report.get("triggered"):
+                    self.metrics.counter("engine.rebalance.auto").inc()
+                    for migration in report.get("migrations", ()):
+                        self._note_migration(migration)
+                    response["rebalanced"] = {
+                        "skew_before": report.get("skew_before"),
+                        "migrations": len(report.get("migrations", ())),
+                        "reweighted": report.get("reweighted", False),
+                    }
         return response
 
     #: fraction of routed flows on one shard above which a pinned-owner
@@ -1024,6 +1061,94 @@ class ControlService:
             "pps": report.injected / elapsed if elapsed > 0 else 0.0,
         }
 
+    # -- elastic engine RPCs ------------------------------------------------------
+    def _require_engine(self):
+        if self.engine is None:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "service has no sharded engine"
+            )
+        return self.engine
+
+    def _note_migration(self, report: dict) -> None:
+        """Feed one migration report into the wall-latency histograms."""
+        self.metrics.counter("engine.migration.completed").inc()
+        self.metrics.histogram("engine.migration.quiesce_ms").observe(
+            report.get("quiesce_ms", 0.0)
+        )
+        self.metrics.histogram("engine.migration.flip_ms").observe(
+            report.get("flip_ms", 0.0)
+        )
+
+    def _rpc_scale(self, tenant_name: str, params: dict) -> dict:
+        """Grow or shrink the engine's worker fleet to ``workers``.
+
+        New workers bootstrap from the coordinator's provisioning and
+        merged register state; departing workers migrate their pinned
+        programs away and have their counters harvested, so aggregate
+        statistics never regress.  The consistent-hash ring remaps only
+        ~1/N of hash-routed flows per step.
+        """
+        engine = self._require_engine()
+        workers = self._require(params, "workers")
+        if not isinstance(workers, int) or workers < 1:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "workers must be a positive integer"
+            )
+        if self.min_workers is not None and workers < self.min_workers:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"workers below the service floor of {self.min_workers}",
+            )
+        if self.max_workers is not None and workers > self.max_workers:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST,
+                f"workers above the service ceiling of {self.max_workers}",
+            )
+        added: list[int] = []
+        removed: list[int] = []
+        while engine.num_workers < workers:
+            added.append(engine.add_worker())
+        while engine.num_workers > workers:
+            removed.append(engine.remove_worker())
+        self.metrics.gauge("engine.workers").set(engine.num_workers)
+        return {
+            "workers": engine.num_workers,
+            "worker_ids": engine.worker_ids,
+            "added": added,
+            "removed": removed,
+        }
+
+    def _rpc_migrate(self, tenant_name: str, params: dict) -> dict:
+        """Live-migrate one pinned program to another shard (default:
+        the least-loaded peer).  Zero packets dropped or reordered: the
+        program's flows park during the quiesce and replay after the
+        placement flip."""
+        engine = self._require_engine()
+        program_id = self._program_id(tenant_name, params)
+        target = params.get("target")
+        if target is not None and not isinstance(target, int):
+            raise ServiceError(ErrorCode.BAD_REQUEST, "target must be a worker id")
+        report = engine.migrate(program_id, target)
+        self._note_migration(report)
+        return report
+
+    def _rpc_rebalance(self, tenant_name: str, params: dict) -> dict:
+        """Run the load-aware rebalancer once: migrate hot pinned
+        programs and reweight the hash ring when the skew threshold is
+        exceeded."""
+        engine = self._require_engine()
+        threshold = params.get("threshold", 0.7)
+        if not isinstance(threshold, (int, float)) or not 0.0 < threshold <= 1.0:
+            raise ServiceError(
+                ErrorCode.BAD_REQUEST, "threshold must be in (0, 1]"
+            )
+        report = engine.rebalance(float(threshold))
+        if report.get("triggered"):
+            self.metrics.counter("engine.rebalance.triggered").inc()
+            for migration in report.get("migrations", ()):
+                self._note_migration(migration)
+        return report
+
     def _rpc_set_quota(self, tenant_name: str, params: dict) -> dict:
         target = params.get("tenant", tenant_name)
         quota = TenantQuota(
@@ -1078,6 +1203,23 @@ class ControlService:
                 program_id = self._program_id(tenant_name, params)
                 stats["program"] = self.fabric.program_stats(program_id)
             return stats
+        if params.get("program_id") is None:
+            # Service-wide overview: engine mode reports the aggregated
+            # shard totals plus the migration section (so ``p4runpro
+            # client stats`` surfaces elastic-fleet health without
+            # naming a program); single-process mode reports the data
+            # plane's own counters.
+            if self.engine is not None:
+                engine_stats = self.engine.stats()
+                return {
+                    "workers": engine_stats["workers"],
+                    "worker_ids": engine_stats["worker_ids"],
+                    "totals": engine_stats["totals"],
+                    "migration": engine_stats["migration"],
+                }
+            if self.dataplane is not None:
+                return {"dataplane": self.dataplane.stats()}
+            raise ServiceError(ErrorCode.BAD_REQUEST, "missing param 'program_id'")
         program_id = self._program_id(tenant_name, params)
         stats = self.controller.program_stats(program_id)
         flow_cache = self._flow_cache_stats()
@@ -1180,6 +1322,12 @@ class ControlService:
         codegen = self._codegen_stats()
         if codegen is not None:
             snapshot["caches"]["codegen"] = codegen
+        if self.engine is not None:
+            snapshot["engine"] = {
+                "workers": self.engine.num_workers,
+                "worker_ids": self.engine.worker_ids,
+                "migration": self.engine.migration_stats(),
+            }
         return snapshot
 
     def _rpc_audit(self, tenant_name: str, params: dict) -> dict:

@@ -87,7 +87,7 @@ class TestCoalescing:
         with ShardedEngine(2) as engine:
             engine.barrier()
             sends = []
-            for index, conn in enumerate(engine._conns):
+            for index, conn in engine._conns.items():
                 original = conn.send_bytes
 
                 def counted(data, _original=original, _index=index):
