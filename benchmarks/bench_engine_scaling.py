@@ -100,6 +100,58 @@ def measure_engine(num_workers, packets, repeats, first="cms"):
     }
 
 
+def measure_transport(packets, repeats):
+    """Pipe vs shm southbound transport at 2 and 4 workers, end to end
+    through ``inject`` (routing + encode + transfer + compute + results).
+    The shm rows also record how often the engine had to fall back to the
+    pipe and how long the coordinator stalled on full rings — both should
+    be zero at default ring sizes."""
+    from repro.engine import ShardedEngine
+
+    out = {}
+    for w in (2, 4):
+        row = {}
+        for label, use_shm in (("pipe", False), ("shm", True)):
+            with ShardedEngine(w, use_shm=use_shm) as engine:
+                deploy_all(engine.controller)
+                best_wall = best_projected = 0.0
+                for _ in range(repeats):
+                    engine.inject(
+                        [p.clone() for p in packets], mode="verdicts"
+                    )
+                    stats = engine.last_inject_stats
+                    makespan = max(
+                        [stats["coordinator_cpu_s"]]
+                        + list(stats["worker_cpu_s"].values())
+                    )
+                    best_wall = max(best_wall, len(packets) / stats["wall_s"])
+                    if makespan > 0:
+                        best_projected = max(
+                            best_projected, len(packets) / makespan
+                        )
+                entry = {
+                    "wall_pps": round(best_wall, 1),
+                    "pps": round(best_projected, 1),
+                }
+                if use_shm:
+                    transport = engine.transport_stats()
+                    entry["fallbacks"] = sum(transport["fallbacks"].values())
+                    entry["stall_s"] = round(transport["stall_s"], 4)
+                    entry["ring_records"] = transport["ring_records"]
+                row[label] = entry
+        pipe, shm = row["pipe"], row["shm"]
+        row["wall_ratio"] = (
+            round(shm["wall_pps"] / pipe["wall_pps"], 2)
+            if pipe["wall_pps"]
+            else 0.0
+        )
+        row["capacity_ratio"] = (
+            round(shm["pps"] / pipe["pps"], 2) if pipe["pps"] else 0.0
+        )
+        out[str(w)] = row
+    return out
+
+
 def measure_rebalanced(packets, repeats):
     """The pinned-owner pathology, then the load-aware fix: a 2-worker
     engine with ``cache`` (pinned) owning half the traffic and ``cms``
@@ -180,9 +232,10 @@ def test_engine_scaling(benchmark):
         }
         pinned = measure_engine(2, packets, repeats, first="cache")
         rebalanced = measure_rebalanced(mixed_traffic(total), repeats)
-        return single_pps, by_workers, pinned, rebalanced
+        transport = measure_transport(packets, repeats)
+        return single_pps, by_workers, pinned, rebalanced, transport
 
-    single_pps, by_workers, pinned, rebalanced = once(benchmark, run)
+    single_pps, by_workers, pinned, rebalanced, transport = once(benchmark, run)
     remap_fraction = measure_ring_remap()
 
     base = by_workers[WORKER_COUNTS[0]]
@@ -234,6 +287,18 @@ def test_engine_scaling(benchmark):
             widths=[16, 44],
         )
     )
+    for w, row in transport.items():
+        print(
+            fmt_row(
+                f"transport {w}w",
+                f"pipe {row['pipe']['wall_pps']:,.0f} pps wall",
+                f"shm {row['shm']['wall_pps']:,.0f} pps wall "
+                f"({row['wall_ratio']:.2f}x)",
+                f"capacity {row['capacity_ratio']:.2f}x, "
+                f"{row['shm']['fallbacks']} fallbacks",
+                widths=[16, 26, 34, 30],
+            )
+        )
 
     write_results(
         "engine",
@@ -247,6 +312,10 @@ def test_engine_scaling(benchmark):
             "pinned_owner": pinned,
             "pinned_owner_rebalanced": rebalanced,
             "ring_remap_4_to_5": remap_fraction,
+            "transport": transport,
+            "shm_wall_speedup_vs_single": round(
+                transport["4"]["shm"]["wall_pps"] / single_pps, 2
+            ),
             "note": (
                 "pps is projected aggregate capacity: packets / "
                 "max(coordinator CPU s, slowest worker CPU s), measured "
@@ -282,3 +351,18 @@ def test_engine_scaling(benchmark):
         f"(cores={cores}, wall={wall_speedup[4]:.2f}x, "
         f"projected={speedup[4]:.2f}x)"
     )
+    # Default-sized rings must carry the whole batch — a fallback here
+    # means the zero-copy path silently regressed to pickle-over-pipe.
+    for w, row in transport.items():
+        assert row["shm"]["fallbacks"] == 0, (w, row["shm"])
+    # And the shm transport may not cost aggregate capacity vs pipes.
+    assert transport["4"]["capacity_ratio"] >= 0.8, transport["4"]
+    # With a core per replica, shm streaming at 4 workers must deliver
+    # >= 1.8x the single-process wall rate (the ISSUE acceptance floor).
+    if cores >= CORES_FOR_WALL_SCALING:
+        shm_wall = transport["4"]["shm"]["wall_pps"] / single_pps
+        assert shm_wall >= 1.8, (
+            f"shm 4-worker wall speedup {shm_wall:.2f}x below 1.8x "
+            f"(shm wall {transport['4']['shm']['wall_pps']:,.0f} pps, "
+            f"single {single_pps:,.0f} pps)"
+        )

@@ -26,6 +26,11 @@ fraction versus ``benchmarks/perf_baseline.json``.  Gated numbers:
   ceilings — the post-rebalance hottest-shard share must stay <= the
   baseline 0.70 and growing a 4-worker ring to 5 must remap <= 35% of
   flows (both deterministic properties, gated exactly);
+* the shared-memory southbound transport
+  (``engine.transport.<N>.shm.pps``): projected-capacity floors on any
+  host, plus — only on runners with >= 5 cores, where wall clock means
+  something — a hard 1.8x floor on the 4-worker shm wall rate versus the
+  single process (``engine.shm_wall_speedup_vs_single``);
 * the fabric's projected aggregate capacity per leaf count
   (``fabric.by_leaves.<N>.pps``) and its capacity speedup at the highest
   leaf count — both CPU-time based like the engine projection;
@@ -185,6 +190,44 @@ def main(argv: list[str]) -> int:
                     remap_ceiling,
                     0.0,
                 )
+            transport_base = engine_baseline.get("transport", {})
+            transport_results = engine_results.get("transport", {})
+            if transport_base and not transport_results:
+                print(
+                    "WARN: results have no engine.transport section "
+                    "(transport bench not run); shm transport gates skipped"
+                )
+            elif transport_base:
+                # Projected-capacity floors hold on any host (CPU-time
+                # based, like the engine.pps floors above).
+                for workers, base in transport_base.get("shm_pps", {}).items():
+                    got = transport_results.get(workers, {}).get("shm", {}).get(
+                        "pps"
+                    )
+                    failed |= check(
+                        f"engine shm capacity ({workers} workers)",
+                        got,
+                        base,
+                        tolerance,
+                    )
+                # The wall-clock speedup floor is only meaningful when the
+                # runner granted a core per replica (coordinator + 4
+                # workers); smaller hosts time-slice the processes and the
+                # wall number measures the scheduler, not the transport.
+                wall_floor = transport_base.get("shm_wall_speedup_vs_single")
+                if wall_floor and engine_results.get("cores", 0) >= 5:
+                    failed |= check(
+                        "engine shm wall speedup vs single",
+                        engine_results.get("shm_wall_speedup_vs_single"),
+                        wall_floor,
+                        0.0,
+                    )
+                elif wall_floor:
+                    print(
+                        f"WARN: host has {engine_results.get('cores')} cores "
+                        "(< 5); shm wall-speedup floor skipped, capacity "
+                        "floors gated instead"
+                    )
 
     fabric_baseline = baseline.get("fabric", {})
     fabric_results = results.get("fabric", {})

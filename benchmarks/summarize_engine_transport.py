@@ -1,0 +1,71 @@
+"""One-line southbound-transport summary for the CI job summary.
+
+Usage::
+
+    python benchmarks/summarize_engine_transport.py [results.json]
+
+Reads the ``engine.transport`` section of ``BENCH_simulator.json`` and
+prints the pipe-vs-shm comparison at 2 and 4 workers in GitHub-flavored
+markdown — CI appends it to ``$GITHUB_STEP_SUMMARY`` so the transport
+outcome (rates, fallback count, coordinator stall time) is visible on
+the workflow page without opening the benchmark artifact.  Exits 0 even
+when the section is missing (the scaling bench may not have run); the
+perf gate, not this summary, is the enforcement point.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = REPO_ROOT / "BENCH_simulator.json"
+
+
+def main(argv: list[str]) -> int:
+    results_path = Path(argv[1]) if len(argv) > 1 else DEFAULT_RESULTS
+    try:
+        results = json.loads(results_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"engine-transport summary: cannot read {results_path}: {exc}")
+        return 0
+    engine = results.get("engine", {})
+    transport = engine.get("transport")
+    if not transport:
+        print(
+            "engine-transport summary: no `engine.transport` section in "
+            "results"
+        )
+        return 0
+    parts = []
+    fallbacks = 0
+    stall_s = 0.0
+    for workers in sorted(transport, key=int):
+        row = transport[workers]
+        shm, pipe = row.get("shm", {}), row.get("pipe", {})
+        fallbacks += shm.get("fallbacks", 0)
+        stall_s += shm.get("stall_s", 0.0)
+        parts.append(
+            f"{workers}w shm {shm.get('wall_pps', 0):,.0f} pps wall / "
+            f"{shm.get('pps', 0):,.0f} capacity "
+            f"(pipe {pipe.get('wall_pps', 0):,.0f} / "
+            f"{pipe.get('pps', 0):,.0f}; "
+            f"{row.get('capacity_ratio', 0):.2f}x capacity)"
+        )
+    wall_speedup = engine.get("shm_wall_speedup_vs_single")
+    tail = (
+        f"{fallbacks} pipe fallback(s), {stall_s:.3f}s coordinator stall; "
+        f"shm 4w wall = {wall_speedup:.2f}x single process "
+        f"on a {engine.get('cores', '?')}-core host"
+        if wall_speedup is not None
+        else f"{fallbacks} pipe fallback(s), {stall_s:.3f}s coordinator stall"
+    )
+    print(
+        "**Southbound transport** — " + "; ".join(parts) + f" — {tail}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

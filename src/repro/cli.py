@@ -513,6 +513,22 @@ def serve_main(argv: list[str]) -> int:
         "back to the interpreter); composes with --no-flow-cache",
     )
     parser.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared-memory ring transport between the engine "
+        "coordinator and its workers (packet batches travel as pickled "
+        "pipe frames instead); engine mode only",
+    )
+    parser.add_argument(
+        "--shm-ring-bytes", type=int, default=None, metavar="N",
+        help="per-direction shared-memory ring capacity in bytes "
+        "(default 1 MiB); engine mode only",
+    )
+    parser.add_argument(
+        "--shm-chunk-packets", type=int, default=None, metavar="N",
+        help="packets per streamed ring chunk (default 256); engine "
+        "mode only",
+    )
+    parser.add_argument(
         "--emc-size", type=int, default=8192, metavar="N",
         help="exact-match cache capacity in flows (default 8192)",
     )
@@ -544,6 +560,12 @@ def serve_main(argv: list[str]) -> int:
         and ns.min_workers > ns.max_workers
     ):
         parser.error("--min-workers cannot exceed --max-workers")
+    if not ns.workers and (
+        ns.no_shm or ns.shm_ring_bytes is not None
+        or ns.shm_chunk_packets is not None
+    ):
+        parser.error("--no-shm/--shm-ring-bytes/--shm-chunk-packets require "
+                     "--workers (the sharded engine)")
     tenants = TenantRegistry(
         TenantQuota(ns.max_programs, ns.max_memory_buckets, ns.max_table_entries)
     )
@@ -564,12 +586,15 @@ def serve_main(argv: list[str]) -> int:
             f"{len(topology.spines)} spines, routing {ns.routing}"
         )
     elif ns.workers:
-        from .engine import ShardedEngine
+        from .engine import DEFAULT_CHUNK_PACKETS, DEFAULT_RING_BYTES, ShardedEngine
 
         engine = ShardedEngine(
             ns.workers,
             flow_cache=not ns.no_flow_cache,
             codegen=not ns.no_codegen,
+            use_shm=not ns.no_shm,
+            ring_bytes=ns.shm_ring_bytes or DEFAULT_RING_BYTES,
+            chunk_packets=ns.shm_chunk_packets or DEFAULT_CHUNK_PACKETS,
         )
         service = ControlService(
             engine=engine,
@@ -586,7 +611,17 @@ def serve_main(argv: list[str]) -> int:
             )
         if ns.rebalance is not None:
             elastic += f", auto-rebalance at skew {ns.rebalance}"
-        print(f"sharded engine: {ns.workers} worker processes{elastic}")
+        transport = engine.transport_stats()
+        wire = (
+            f"shm rings ({transport['ring_bytes']} B x "
+            f"{transport['workers_with_rings']} workers)"
+            if transport["enabled"] and transport["workers_with_rings"]
+            else "pipes"
+        )
+        print(
+            f"sharded engine: {ns.workers} worker processes{elastic}, "
+            f"southbound transport: {wire}"
+        )
     else:
         if ns.chain:
             controller, dataplane = Controller.with_chain(ns.chain)

@@ -22,15 +22,31 @@ from .engine import (
     flow_hash,
 )
 from .ring import DEFAULT_VNODES, HashRing
+from .sbwire import FrameTooLargeError, MAX_SB_FRAME_BYTES, send_frame
+from .shm import (
+    DEFAULT_CHUNK_PACKETS,
+    DEFAULT_RING_BYTES,
+    HAVE_SHM,
+    RingError,
+    ShmRing,
+)
 
 __all__ = [
+    "DEFAULT_CHUNK_PACKETS",
+    "DEFAULT_RING_BYTES",
     "DEFAULT_VNODES",
     "EngineError",
     "FanoutBinding",
+    "FrameTooLargeError",
+    "HAVE_SHM",
     "HashRing",
+    "MAX_SB_FRAME_BYTES",
     "MigrationError",
+    "RingError",
     "ShardPlan",
     "ShardedEngine",
+    "ShmRing",
     "WorkerError",
     "flow_hash",
+    "send_frame",
 ]

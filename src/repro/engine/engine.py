@@ -83,8 +83,10 @@ from ..dataplane import constants as dp
 from ..dataplane.runpro import P4runproDataPlane
 from ..rmt.phv import PHV
 from ..rmt.salu import merge_buckets
+from . import shm as shm_codec
 from .ring import DEFAULT_VNODES, HashRing
-from .sbwire import decode_msg, encode_msg, pack_entry
+from .sbwire import decode_msg, encode_msg, pack_entry, send_frame
+from .shm import DEFAULT_CHUNK_PACKETS, DEFAULT_RING_BYTES, HAVE_SHM, ShmRing
 from .worker import worker_main
 
 
@@ -142,6 +144,10 @@ class ShardPlan:
     index_lists: dict[int, list[int]]
     total: int
     mode: str
+    #: per-shard pre-encoded shm chunk payloads for workers with rings;
+    #: a shard appears in either ``chunks`` (ring transport) or
+    #: ``frames`` (pipe transport), never both
+    chunks: dict[int, list[bytes]] = field(default_factory=dict)
     routing_version: int = 0
     #: the original batch, retained so a stale plan can be re-routed
     packets: list = field(default_factory=list)
@@ -254,6 +260,192 @@ class FanoutBinding:
         return self.engine._aggregate_counter(table, handle)
 
 
+class _ShmSession:
+    """Coordinator-side state of one worker's streamed shm batch.
+
+    The producer half pushes encoded packet chunks into the worker's
+    request ring (falling back to a ``batch_rest`` pipe delivery when a
+    chunk exceeds the ring record cap or the ring stays full past the
+    stall timeout — from that point the whole tail of the stream rides
+    the pipe so chunk order is preserved); the consumer half drains
+    result chunks from the response ring as they land, and the session
+    closes on the worker's ``ok_shm`` pipe reply (result count, CPU
+    seconds, overflow chunks too large for the ring).
+    """
+
+    __slots__ = (
+        "engine", "worker", "mode", "req", "resp", "decoder", "parts",
+        "collected", "chunks_sent", "header_sent", "pipe_mode", "rest",
+        "done", "expected", "cpu_s", "overflow",
+    )
+
+    def __init__(self, engine: "ShardedEngine", worker: int, mode: str):
+        self.engine = engine
+        self.worker = worker
+        self.mode = mode
+        self.req, self.resp = engine._rings[worker]
+        self.decoder = shm_codec.PacketDecoder()
+        #: decoded result runs in stream order; an overflow chunk holds
+        #: its place as ("ovf", slot, count) until the final reply
+        self.parts: list = []
+        self.collected = 0
+        self.chunks_sent = 0
+        self.header_sent = False
+        self.pipe_mode = False
+        self.rest: list[bytes] = []
+        self.done = False
+        self.expected: int | None = None
+        self.cpu_s = 0.0
+        self.overflow: list[bytes] | None = None
+
+    def send_header(self) -> None:
+        if self.header_sent:
+            return
+        self.header_sent = True
+        self.engine._transport["ring_batches"] += 1
+        self._send_pipe(bytes(encode_msg(("batch_shm", self.mode))))
+
+    def _send_pipe(self, frame: bytes) -> None:
+        try:
+            send_frame(self.engine._conns[self.worker], frame)
+        except (OSError, EOFError) as exc:
+            raise EngineError(
+                f"worker {self.worker} is dead: {exc}"
+            ) from exc
+
+    def push_chunk(self, payload: bytes) -> None:
+        transport = self.engine._transport
+        self.chunks_sent += 1
+        if not self.pipe_mode and len(payload) > self.req.max_record:
+            # One oversized chunk flips the whole tail to the pipe:
+            # chunks must reach the worker in stream order.
+            self.pipe_mode = True
+            transport["fallbacks"]["oversize"] += 1
+        if self.pipe_mode:
+            self.rest.append(payload)
+            return
+        if self._push_with_stall(payload):
+            transport["ring_chunks"] += 1
+            transport["bytes_out"] += len(payload)
+        else:
+            self.pipe_mode = True
+            transport["fallbacks"]["ring_full"] += 1
+            self.rest.append(payload)
+
+    def _push_with_stall(self, payload: bytes) -> bool:
+        req = self.req
+        if req.try_push(payload):
+            return True
+        engine = self.engine
+        transport = engine._transport
+        timeout = engine.ring_stall_timeout_s
+        stall0 = time.perf_counter()
+        deadline = stall0 + timeout
+        ok = False
+        while timeout > 0:
+            # Draining our response ring is what unblocks a worker that
+            # is itself stalled pushing results.
+            self.drain()
+            self.poll_pipe()
+            if req.try_push(payload):
+                ok = True
+                break
+            if time.perf_counter() >= deadline:
+                break
+            engine._check_alive(self.worker)
+            time.sleep(0.0002)
+        transport["stall_s"] += time.perf_counter() - stall0
+        return ok
+
+    def finish(self) -> None:
+        """Close the request stream: END marker in-ring, or the buffered
+        tail as one ``batch_rest`` pipe frame."""
+        engine = self.engine
+        if self.pipe_mode:
+            self._send_pipe(
+                bytes(encode_msg(("batch_rest", self.rest, self.chunks_sent)))
+            )
+            return
+        end = shm_codec.encode_end(self.chunks_sent)
+        if not self._push_with_stall(end):
+            engine._transport["fallbacks"]["ring_full"] += 1
+            self._send_pipe(
+                bytes(encode_msg(("batch_rest", [], self.chunks_sent)))
+            )
+
+    def drain(self) -> int:
+        """Pop and decode every available result chunk; returns how many
+        records were collected."""
+        transport = self.engine._transport
+        decoder = self.decoder
+        mode = self.mode
+        popped = 0
+        while True:
+            payload = self.resp.try_pop()
+            if payload is None:
+                return popped
+            transport["bytes_in"] += len(payload)
+            rec = shm_codec.decode_ring_payload(payload)
+            if rec[0] == "R":
+                _tag, defs, blob, extra = rec
+                if defs:
+                    decoder.add_defs(defs)
+                out = shm_codec.decode_results(blob, extra, mode, decoder)
+                self.parts.append(out)
+                self.collected += len(out)
+                popped += len(out)
+            else:  # ("O", slot, count, defs) — result rides the final reply
+                _tag, slot, count, defs = rec
+                if defs:
+                    decoder.add_defs(defs)
+                self.parts.append(("ovf", slot, count))
+                self.collected += count
+                popped += count
+
+    def poll_pipe(self) -> None:
+        if self.done:
+            return
+        engine = self.engine
+        conn = engine._conns[self.worker]
+        try:
+            if not conn.poll(0):
+                return
+            reply = decode_msg(conn.recv_bytes())
+        except (EOFError, OSError) as exc:
+            raise EngineError(f"worker {self.worker} is dead: {exc}") from exc
+        if reply[0] == "err":
+            raise WorkerError(f"worker {self.worker}: {reply[1]}")
+        _tag, total, cpu_s, overflow = reply
+        self.done = True
+        self.expected = total
+        self.cpu_s = cpu_s
+        self.overflow = overflow
+
+    def complete(self) -> bool:
+        return self.done and self.collected >= (self.expected or 0)
+
+    def results(self) -> list:
+        """Flatten the collected runs, substituting overflow chunks."""
+        if self.collected != self.expected:
+            raise EngineError(
+                f"worker {self.worker} shm batch returned {self.collected} "
+                f"records, expected {self.expected}"
+            )
+        out: list = []
+        decoder = self.decoder
+        mode = self.mode
+        for part in self.parts:
+            if isinstance(part, list):
+                out.extend(part)
+            else:
+                _tag, slot, _count = part
+                _t, _defs, blob, extra = shm_codec.decode_ring_payload(
+                    self.overflow[slot]
+                )
+                out.extend(shm_codec.decode_results(blob, extra, mode, decoder))
+        return out
+
+
 class ShardedEngine:
     """Elastic N-shard packet engine over one coordinator control plane."""
 
@@ -272,12 +464,40 @@ class ShardedEngine:
         flow_cache: bool = True,
         codegen: bool = True,
         vnodes: int = DEFAULT_VNODES,
+        use_shm: bool = True,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+        ring_stall_timeout_s: float = 0.25,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
         self.spec = spec or TargetSpec()
         self.merge_every = merge_every
         self.reply_timeout_s = reply_timeout_s
+
+        #: shared-memory ring transport for packet batches; pipes remain
+        #: the fallback (per shard) and the control/request channel
+        self._use_shm = bool(use_shm) and HAVE_SHM
+        self._ring_bytes = ring_bytes
+        self._chunk_packets = max(1, chunk_packets)
+        self.ring_stall_timeout_s = ring_stall_timeout_s
+        self._rings: dict[int, tuple[ShmRing, ShmRing]] = {}
+        self._transport: dict = {
+            "enabled": self._use_shm,
+            "ring_batches": 0,
+            "ring_chunks": 0,
+            "ring_records": 0,
+            "bytes_out": 0,
+            "bytes_in": 0,
+            "pipe_batches": 0,
+            "stall_s": 0.0,
+            "fallbacks": {
+                "oversize": 0,
+                "ring_full": 0,
+                "no_ring": 0,
+                "disabled": 0,
+            },
+        }
 
         # Provisioning is pickled before the coordinator freezes the parse
         # machine, so every replica — including workers added long after
@@ -373,14 +593,51 @@ class ShardedEngine:
         wid = self._next_worker_id
         self._next_worker_id += 1
         parent, child = self._ctx.Pipe(duplex=True)
+        ring_names = None
+        if self._use_shm:
+            rings = self._make_rings()
+            if rings is not None:
+                self._rings[wid] = rings
+                ring_names = (rings[0].name, rings[1].name)
         proc = self._ctx.Process(
-            target=worker_main, args=(child, self._setup_bytes), daemon=True
+            target=worker_main,
+            args=(child, self._setup_bytes, ring_names),
+            daemon=True,
         )
         proc.start()
         child.close()
         self._conns[wid] = parent
         self._procs[wid] = proc
         return wid
+
+    def _make_rings(self) -> tuple[ShmRing, ShmRing] | None:
+        """One request/response ring pair, or None on a degraded host
+        (shm mount missing, fd/segment limits) — that worker just runs
+        on the pipe transport."""
+        req = resp = None
+        try:
+            req = ShmRing.create(self._ring_bytes)
+            resp = ShmRing.create(self._ring_bytes)
+            return req, resp
+        except Exception:  # pragma: no cover - degraded host
+            for ring in (req, resp):
+                if ring is not None:
+                    ring.close()
+                    ring.unlink()
+            return None
+
+    def _retire_rings(self, wid: int) -> None:
+        rings = self._rings.pop(wid, None)
+        if rings is None:
+            return
+        for ring in rings:
+            ring.close()
+            ring.unlink()
+
+    def _check_alive(self, worker: int) -> None:
+        proc = self._procs.get(worker)
+        if proc is not None and not proc.is_alive():
+            raise EngineError(f"worker {worker} is dead: exited mid-batch")
 
     def close(self) -> None:
         if self._closed:
@@ -397,6 +654,9 @@ class ShardedEngine:
                 proc.terminate()
                 proc.join(timeout=5)
             self._conns[wid].close()
+            self._retire_rings(wid)
+        for wid in list(self._rings):  # pragma: no cover - defensive
+            self._retire_rings(wid)
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -434,7 +694,7 @@ class ShardedEngine:
         )
         for worker, conn in self._conns.items():
             try:
-                conn.send_bytes(frame)
+                send_frame(conn, frame)
             except (OSError, BrokenPipeError) as exc:
                 raise EngineError(f"worker {worker} is dead: {exc}") from exc
 
@@ -451,7 +711,7 @@ class ShardedEngine:
 
     def _request(self, worker: int, msg: tuple):
         self._flush_ctl()
-        self._conns[worker].send_bytes(encode_msg(msg, out=self._req_buf))
+        send_frame(self._conns[worker], encode_msg(msg, out=self._req_buf))
         reply = self._recv(worker)
         return reply[1]
 
@@ -476,8 +736,11 @@ class ShardedEngine:
         self._flush_ctl()
         gen = self._generation
         frame = encode_msg(("barrier", gen), out=self._req_buf)
-        for conn in self._conns.values():
-            conn.send_bytes(frame)
+        for worker, conn in self._conns.items():
+            try:
+                send_frame(conn, frame)
+            except (OSError, EOFError) as exc:
+                raise EngineError(f"worker {worker} is dead: {exc}") from exc
         errors = []
         for worker in self.worker_ids:
             tag, ack_gen, applied_gen, worker_errors = self._recv(worker)
@@ -579,12 +842,21 @@ class ShardedEngine:
                 program_counts[program_id] = program_counts.get(program_id, 0) + 1
             else:
                 hash_counts[shard] = hash_counts.get(shard, 0) + 1
-        # Each bucket stays ONE pickle blob riding as a bytes leaf inside
-        # the wire frame (structural encoding of packet objects would cost
-        # a Python-level walk per packet; one pickle per batch is the
-        # fast path).  Fresh buffers: plans outlive the next encode.
-        frames = {
-            shard: bytes(
+        # A shard with a ring pair gets its bucket pre-encoded as a list
+        # of wire-native chunk payloads (self-contained: composition
+        # definitions ride in the first chunk that uses them, so a reused
+        # plan replays cleanly); a shard without rings keeps the classic
+        # ONE-pickle-blob wire frame.  Fresh buffers: plans outlive the
+        # next encode.
+        frames: dict[int, bytes] = {}
+        chunks: dict[int, list[bytes]] = {}
+        for shard, bucket in buckets.items():
+            if self._use_shm and shard in self._rings:
+                chunks[shard] = self._encode_chunks(bucket)
+                continue
+            if self._use_shm:
+                self._transport["fallbacks"]["no_ring"] += 1
+            frames[shard] = bytes(
                 encode_msg(
                     (
                         "batch",
@@ -593,10 +865,9 @@ class ShardedEngine:
                     )
                 )
             )
-            for shard, bucket in buckets.items()
-        }
         return ShardPlan(
             frames=frames,
+            chunks=chunks,
             index_lists=index_lists,
             total=len(packets),
             mode=mode,
@@ -611,10 +882,130 @@ class ShardedEngine:
         )
 
     # -- traffic ------------------------------------------------------------
+    def _encode_chunks(self, bucket: list) -> list[bytes]:
+        """One shard bucket -> wire-native chunk payloads for its ring."""
+        encoder = shm_codec.PacketEncoder()
+        step = self._chunk_packets
+        payloads = []
+        for start in range(0, len(bucket), step):
+            blob, extra = encoder.encode_packets(bucket[start:start + step])
+            payloads.append(
+                shm_codec.encode_chunk(encoder.take_defs(), blob, extra)
+            )
+        return payloads
+
     def inject(self, packets, mode: str = "full") -> list:
-        """Route + process a batch; results come back in arrival order."""
+        """Route + process a batch; results come back in arrival order.
+
+        With rings on every worker the batch is *streamed*: routed
+        sub-batches flow into the rings chunk by chunk while workers are
+        already draining them, overlapping routing with compute.  Without
+        full ring coverage (``use_shm=False``, shm unavailable, or a
+        degraded worker) the classic route-everything-then-send plan path
+        runs, which itself uses rings per shard where available.
+        """
         self._replay_orphans()
+        packets = list(packets)
+        if not packets:
+            # Empty sub-batch short-circuit: flush pending control state
+            # for identical barrier semantics, but touch no worker.
+            if mode not in ("full", "verdicts"):
+                raise ValueError(f"unknown inject mode {mode!r}")
+            self.barrier()
+            self.last_inject_stats = {
+                "wall_s": 0.0,
+                "coordinator_cpu_s": 0.0,
+                "worker_cpu_s": {},
+                "worker_ids": self.worker_ids,
+                "shard_counts": [0] * self.num_workers,
+                "parked": 0,
+            }
+            return []
+        if self._use_shm and all(w in self._rings for w in self._conns):
+            return self._inject_stream(packets, mode)
+        if self._use_shm and not self._rings:
+            self._transport["fallbacks"]["disabled"] += 1
         return self.inject_plan(self.plan(packets, mode))
+
+    def _inject_stream(self, packets: list, mode: str) -> list:
+        """Route and submit in one pass: every full chunk is pushed to
+        its shard's ring immediately, so workers process the head of the
+        batch while the coordinator is still routing the tail."""
+        if mode not in ("full", "verdicts"):
+            raise ValueError(f"unknown inject mode {mode!r}")
+        self.barrier()
+        wall0 = time.perf_counter()
+        coord_cpu0 = time.process_time()
+        transport = self._transport
+        step = self._chunk_packets
+        worker_ids = self.worker_ids
+        sessions: dict[int, _ShmSession] = {}
+        encoders: dict[int, shm_codec.PacketEncoder] = {}
+        pending: dict[int, list] = {}
+        index_lists: dict[int, list[int]] = {}
+        parked: list = []
+        pinned_counts: dict[int, int] = {}
+        hash_counts: dict[int, int] = {}
+        program_counts: dict[int, int] = {}
+
+        def flush(shard: int) -> None:
+            chunk = pending[shard]
+            if not chunk:
+                return
+            encoder = encoders[shard]
+            blob, extra = encoder.encode_packets(chunk)
+            payload = shm_codec.encode_chunk(encoder.take_defs(), blob, extra)
+            transport["ring_records"] += len(chunk)
+            del chunk[:]
+            sessions[shard].push_chunk(payload)
+
+        for index, packet in enumerate(packets):
+            shard, program_id = self._route(packet)
+            if shard is None:
+                parked.append((index, packet, program_id))
+                continue
+            session = sessions.get(shard)
+            if session is None:
+                session = sessions[shard] = _ShmSession(self, shard, mode)
+                session.send_header()
+                encoders[shard] = shm_codec.PacketEncoder()
+                pending[shard] = []
+                index_lists[shard] = []
+            index_lists[shard].append(index)
+            pending[shard].append(packet)
+            if program_id is not None:
+                pinned_counts[shard] = pinned_counts.get(shard, 0) + 1
+                program_counts[program_id] = (
+                    program_counts.get(program_id, 0) + 1
+                )
+            else:
+                hash_counts[shard] = hash_counts.get(shard, 0) + 1
+            if len(pending[shard]) >= step:
+                flush(shard)
+                session.drain()
+        for shard in sessions:
+            flush(shard)
+        for session in sessions.values():
+            session.finish()
+
+        results: list = [None] * len(packets)
+        for _index, packet, program_id in parked:
+            self._migrations[program_id]["parked"].append((packet, mode))
+            self._mstats["parked_packets"] += 1
+        worker_cpu = self._collect_sessions(sessions, index_lists, results)
+        self._finalize_inject(
+            total=len(packets),
+            parked_count=len(parked),
+            worker_cpu=worker_cpu,
+            worker_ids=worker_ids,
+            shard_counts=[len(index_lists.get(w, ())) for w in worker_ids],
+            pinned_counts=pinned_counts,
+            hash_counts=hash_counts,
+            program_counts=program_counts,
+            wall0=wall0,
+            coord_cpu0=coord_cpu0,
+        )
+        return results
 
     def inject_plan(self, plan: ShardPlan) -> list:
         """Process a pre-routed batch.  Results are ordered by original
@@ -629,49 +1020,135 @@ class ShardedEngine:
             plan = self.plan(plan.packets, plan.mode)
         wall0 = time.perf_counter()
         coord_cpu0 = time.process_time()
-        active = sorted(plan.frames)
-        for worker in active:
-            self._conns[worker].send_bytes(plan.frames[worker])
+        # Pipe-transport shards get their whole frame first — they start
+        # computing while the ring streams are fed.
+        pipe_workers = sorted(plan.frames)
+        for worker in pipe_workers:
+            send_frame(self._conns[worker], plan.frames[worker])
+            self._transport["pipe_batches"] += 1
+        sessions: dict[int, _ShmSession] = {}
+        if plan.chunks:
+            sessions = {
+                w: _ShmSession(self, w, plan.mode) for w in sorted(plan.chunks)
+            }
+            for session in sessions.values():
+                session.send_header()
+            # Breadth-first submission: one chunk per shard per round so
+            # every worker starts immediately, draining results between
+            # pushes to keep the mirror rings flowing.
+            queues = {w: list(plan.chunks[w]) for w in sessions}
+            while queues:
+                for w in list(queues):
+                    sessions[w].push_chunk(queues[w].pop(0))
+                    sessions[w].drain()
+                    if not queues[w]:
+                        del queues[w]
+            for w, session in sessions.items():
+                self._transport["ring_records"] += len(plan.index_lists[w])
+                session.finish()
         results: list = [None] * plan.total
         for _index, packet, program_id in plan.parked:
             self._migrations[program_id]["parked"].append((packet, plan.mode))
             self._mstats["parked_packets"] += 1
-        worker_cpu: dict[int, float] = {}
-        for worker in active:
+        worker_cpu = self._collect_sessions(sessions, plan.index_lists, results)
+        for worker in pipe_workers:
             payload_blob, cpu_s = self._recv(worker)[1]
             payload = pickle.loads(payload_blob)
             worker_cpu[worker] = cpu_s
             indices = plan.index_lists[worker]
             for index, result in zip(indices, payload):
                 results[index] = result
+        self._finalize_inject(
+            total=plan.total,
+            parked_count=len(plan.parked),
+            worker_cpu=worker_cpu,
+            worker_ids=list(plan.worker_ids),
+            shard_counts=list(plan.shard_counts),
+            pinned_counts=plan.pinned_counts,
+            hash_counts=plan.hash_counts,
+            program_counts=plan.program_counts,
+            wall0=wall0,
+            coord_cpu0=coord_cpu0,
+        )
+        return results
+
+    def _collect_sessions(
+        self,
+        sessions: dict[int, "_ShmSession"],
+        index_lists: dict[int, list[int]],
+        results: list,
+    ) -> dict[int, float]:
+        """Drain every open shm session to completion, mapping decoded
+        results back to their original batch positions."""
+        worker_cpu: dict[int, float] = {}
+        if not sessions:
+            return worker_cpu
+        live = dict(sessions)
+        deadline = time.perf_counter() + self.reply_timeout_s
+        while live:
+            progress = False
+            for w in list(live):
+                session = live[w]
+                progress |= session.drain() > 0
+                session.poll_pipe()
+                if session.complete():
+                    worker_cpu[w] = session.cpu_s
+                    for index, result in zip(index_lists[w], session.results()):
+                        results[index] = result
+                    del live[w]
+                    progress = True
+            if live and not progress:
+                if time.perf_counter() >= deadline:
+                    raise EngineError(
+                        f"workers {sorted(live)} did not finish their shm "
+                        f"batch within {self.reply_timeout_s}s"
+                    )
+                for w in live:
+                    self._check_alive(w)
+                time.sleep(0.0002)
+        return worker_cpu
+
+    def _finalize_inject(
+        self,
+        *,
+        total: int,
+        parked_count: int,
+        worker_cpu: dict[int, float],
+        worker_ids: list[int],
+        shard_counts: list[int],
+        pinned_counts: dict,
+        hash_counts: dict,
+        program_counts: dict,
+        wall0: float,
+        coord_cpu0: float,
+    ) -> None:
         coord_cpu = time.process_time() - coord_cpu0
         wall = time.perf_counter() - wall0
         self.last_inject_stats = {
             "wall_s": wall,
             "coordinator_cpu_s": coord_cpu,
             "worker_cpu_s": worker_cpu,
-            "worker_ids": list(plan.worker_ids),
-            "shard_counts": list(plan.shard_counts),
-            "parked": len(plan.parked),
+            "worker_ids": worker_ids,
+            "shard_counts": shard_counts,
+            "parked": parked_count,
         }
         telemetry = self._telemetry
-        for worker, count in plan.pinned_counts.items():
+        for worker, count in pinned_counts.items():
             telemetry["pinned"][worker] = telemetry["pinned"].get(worker, 0) + count
-        for worker, count in plan.hash_counts.items():
+        for worker, count in hash_counts.items():
             telemetry["hash"][worker] = telemetry["hash"].get(worker, 0) + count
-        for program_id, count in plan.program_counts.items():
+        for program_id, count in program_counts.items():
             telemetry["programs"][program_id] = (
                 telemetry["programs"].get(program_id, 0) + count
             )
         for worker, cpu_s in worker_cpu.items():
             telemetry["cpu"][worker] = telemetry["cpu"].get(worker, 0.0) + cpu_s
-        telemetry["total"] += plan.total - len(plan.parked)
-        if plan.total:
+        telemetry["total"] += total - parked_count
+        if total:
             self._traffic_dirty = True
-            self._since_merge += plan.total
+            self._since_merge += total
             if self.merge_every and self._since_merge >= self.merge_every:
                 self.sync()
-        return results
 
     def _replay_orphans(self) -> None:
         """Re-inject holding-queue packets whose migration was cancelled
@@ -716,8 +1193,9 @@ class ShardedEngine:
             ("insert", handle, packed) for handle, packed in self._entries.items()
         ]
         ops.extend(("mcast", group, ports) for group, ports in self._mcast.items())
-        self._conns[wid].send_bytes(
-            encode_msg(("ctl_run", self._generation, tuple(ops)), out=self._sb_buf)
+        send_frame(
+            self._conns[wid],
+            encode_msg(("ctl_run", self._generation, tuple(ops)), out=self._sb_buf),
         )
         self._barrier_one(wid, self._generation)
         # Install merged register state: one write_buckets request per
@@ -788,6 +1266,7 @@ class ShardedEngine:
             proc.terminate()
             proc.join(timeout=5)
         conn.close()
+        self._retire_rings(wid)
         return wid
 
     # -- live migration ------------------------------------------------------
@@ -1153,6 +1632,25 @@ class ShardedEngine:
             "last_ms": values[-1],
         }
 
+    def transport_stats(self) -> dict:
+        """Southbound transport counters: ring submits, bytes moved,
+        fallbacks taken, and coordinator stall time."""
+        transport = self._transport
+        return {
+            "enabled": transport["enabled"],
+            "ring_bytes": self._ring_bytes,
+            "chunk_packets": self._chunk_packets,
+            "workers_with_rings": len(self._rings),
+            "ring_batches": transport["ring_batches"],
+            "ring_chunks": transport["ring_chunks"],
+            "ring_records": transport["ring_records"],
+            "bytes_out": transport["bytes_out"],
+            "bytes_in": transport["bytes_in"],
+            "pipe_batches": transport["pipe_batches"],
+            "stall_s": transport["stall_s"],
+            "fallbacks": dict(transport["fallbacks"]),
+        }
+
     def migration_stats(self) -> dict:
         """Migration/rebalance counters plus latency summaries."""
         stats = self._mstats
@@ -1217,4 +1715,5 @@ class ShardedEngine:
             "totals": totals,
             "shards": shards,
             "migration": self.migration_stats(),
+            "transport": self.transport_stats(),
         }

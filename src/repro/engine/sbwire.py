@@ -55,7 +55,31 @@ def encode_msg(msg: tuple, out: bytearray | None = None) -> bytes | bytearray:
 
 #: southbound frames carry whole packet batches — far beyond the
 #: northbound's 4 MiB request guard; the pipe peers trust each other.
-MAX_SB_FRAME_BYTES = 1 << 31
+#: Capped at INT32_MAX, the hard limit ``Connection.send_bytes`` imposes
+#: on some platforms (the header is a signed 32-bit length there): a
+#: frame the codec would accept but the pipe cannot carry must be
+#: refused with a structured error, not a raw ``OSError`` mid-write.
+MAX_SB_FRAME_BYTES = (1 << 31) - 1
+
+
+class FrameTooLargeError(ValueError):
+    """A southbound frame exceeds what the pipe can transport."""
+
+
+def send_frame(conn, frame, limit: int = MAX_SB_FRAME_BYTES) -> None:
+    """Send one frame over a pipe, refusing oversized payloads cleanly.
+
+    ``multiprocessing.Connection.send_bytes`` raises a bare ``OSError``
+    (or silently corrupts the stream) past the platform's 32-bit frame
+    header; checking here turns that into a :class:`FrameTooLargeError`
+    the engine can report against the batch that caused it.
+    """
+    if len(frame) > limit:
+        raise FrameTooLargeError(
+            f"southbound frame of {len(frame)} bytes exceeds the "
+            f"{limit}-byte pipe limit; split the batch"
+        )
+    conn.send_bytes(frame)
 
 
 def decode_msg(data: bytes):

@@ -15,6 +15,17 @@ replica and serves two kinds of messages from the coordinator:
   ``harvest`` (entry counters plus final stats in one round trip, used
   when the coordinator retires this worker), and ``stats``/``stop``.
 
+Packet batches additionally travel over **shared-memory rings**
+(:mod:`.shm`) when the coordinator provisioned a ring pair for this
+worker: a ``batch_shm`` pipe message opens a streamed batch session, the
+worker drains wire-native packet chunks from its request ring while the
+coordinator is still routing, pushes result chunks into the mirror ring,
+and closes the session with an ``ok_shm`` pipe reply carrying the result
+count, CPU seconds, and any result chunks too large for the ring.  A
+``batch_rest`` message mid-session delivers the chunks the coordinator
+could not fit into a full ring; the worker finishes the ring first (the
+coordinator stops pushing before sending it), so stream order holds.
+
 Table-entry handles are process-local (the simulator draws them from a
 process-global counter), so the coordinator ships *its* handle with every
 insert and the worker keeps a ``coordinator handle -> local handle`` map;
@@ -32,7 +43,9 @@ import signal
 import time
 import traceback
 
+from . import shm as shm_codec
 from .sbwire import decode_msg, encode_msg, unpack_entry
+from .shm import ShmRing
 
 
 def _build_dataplane(setup_bytes: bytes):
@@ -106,16 +119,115 @@ def _run_batch(dataplane, mode: str, packets) -> tuple[list, float]:
     return payload, cpu_s
 
 
-def worker_main(conn, setup_bytes: bytes) -> None:
+def _serve_shm_batch(conn, dataplane, mode: str, rings, reply_buf) -> None:
+    """One streamed batch session over the shared-memory ring pair.
+
+    Drains packet chunks from the request ring (processing each as soon
+    as it lands — the coordinator is still routing later chunks), pushes
+    encoded result chunks into the response ring, and finishes with an
+    ``ok_shm`` pipe reply.  Result chunks too large for the ring are
+    replaced in-stream by an overflow reference and ride in the final
+    reply, so the coordinator reassembles everything in stream order.
+    """
+    req_ring, resp_ring = rings
+    packet_decoder = shm_codec.PacketDecoder()
+    result_encoder = shm_codec.PacketEncoder()
+    state = {"rest": None, "total": None}
+    overflow: list[bytes] = []
+    results_total = 0
+    chunks_seen = 0
+    cpu_total = 0.0
+
+    def pipe_turn(timeout: float = 0.0005) -> None:
+        # A blocked session still listens: batch_rest redirects the tail
+        # of the stream to the pipe, a closed pipe ends the worker.
+        if conn.poll(timeout):
+            msg = decode_msg(conn.recv_bytes())
+            if msg[0] != "batch_rest":
+                raise ValueError(f"unexpected {msg[0]!r} during shm batch")
+            state["rest"] = list(msg[1])
+            state["total"] = msg[2]
+
+    def process_chunk(chunk) -> None:
+        nonlocal results_total, chunks_seen, cpu_total
+        _tag, defs, blob, extra = chunk
+        chunks_seen += 1
+        if defs:
+            packet_decoder.add_defs(defs)
+        packets = packet_decoder.decode_packets(blob, extra)
+        cpu0 = time.process_time()
+        results = dataplane.process_many(packets)
+        cpu_total += time.process_time() - cpu0
+        out_blob, out_extra = shm_codec.encode_results(
+            results, mode, result_encoder
+        )
+        defs = result_encoder.take_defs()
+        payload = shm_codec.encode_chunk(defs, out_blob, out_extra)
+        if len(payload) > resp_ring.max_record:
+            overflow.append(shm_codec.encode_chunk([], out_blob, out_extra))
+            payload = shm_codec.encode_overflow_ref(
+                len(overflow) - 1, len(results), defs
+            )
+        while not resp_ring.try_push(payload):
+            pipe_turn()
+        results_total += len(results)
+
+    while True:
+        payload = req_ring.try_pop()
+        if payload is None:
+            if state["rest"] is not None:
+                break  # ring drained; the stream's tail came by pipe
+            pipe_turn()
+            continue
+        chunk = shm_codec.decode_ring_payload(payload)
+        if chunk[0] == "E":
+            state["total"] = chunk[1]
+            break
+        process_chunk(chunk)
+    if state["rest"]:
+        for payload in state["rest"]:
+            process_chunk(shm_codec.decode_ring_payload(payload))
+    if state["total"] is not None and chunks_seen != state["total"]:
+        raise RuntimeError(
+            f"shm stream lost chunks: saw {chunks_seen} of {state['total']}"
+        )
+    conn.send_bytes(
+        encode_msg(("ok_shm", results_total, cpu_total, overflow), out=reply_buf)
+    )
+
+
+def worker_main(conn, setup_bytes: bytes, ring_names=None) -> None:
     """Blocking request loop of one shard worker (runs in a child process)."""
     # The coordinator owns worker lifetime (stop message / pipe close); a
     # terminal Ctrl-C must not make every shard dump a KeyboardInterrupt.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    rings = None
+    if ring_names is not None:
+        try:
+            rings = (ShmRing.attach(ring_names[0]), ShmRing.attach(ring_names[1]))
+        except Exception:  # pragma: no cover - degraded host
+            rings = None
+    try:
+        _serve(conn, setup_bytes, rings)
+    finally:
+        if rings is not None:
+            rings[0].close()
+            rings[1].close()
+
+
+def _serve(conn, setup_bytes: bytes, rings) -> None:
     dataplane = _build_dataplane(setup_bytes)
     handle_map: dict[int, int] = {}
     applied_gen = 0
     ctl_errors: list[str] = []
     reply_buf = bytearray()
+    # Zero-packet sub-batches reply with this precomputed frame: no
+    # pickling an empty list per request on either end.
+    empty_reply = bytes(
+        encode_msg(
+            ("ok", (pickle.dumps([], protocol=pickle.HIGHEST_PROTOCOL), 0.0))
+        )
+    )
     while True:
         try:
             msg = decode_msg(conn.recv_bytes())
@@ -142,12 +254,20 @@ def worker_main(conn, setup_bytes: bytes) -> None:
                 conn.send_bytes(
                     encode_msg(("ack", msg[1], applied_gen, errors), out=reply_buf)
                 )
+            elif kind == "batch_shm":
+                if rings is None:
+                    raise RuntimeError("shm rings unavailable in this worker")
+                _serve_shm_batch(conn, dataplane, msg[1], rings, reply_buf)
             elif kind == "batch":
                 # Packets arrive as one pickle blob (bytes leaf) and the
                 # results go back the same way — one pickle per batch is
                 # the fast path for opaque packet/result objects.
                 _kind, mode, blob = msg
-                payload, cpu_s = _run_batch(dataplane, mode, pickle.loads(blob))
+                packets = pickle.loads(blob) if blob else []
+                if not packets:
+                    conn.send_bytes(empty_reply)
+                    continue
+                payload, cpu_s = _run_batch(dataplane, mode, packets)
                 conn.send_bytes(
                     encode_msg(
                         (

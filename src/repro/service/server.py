@@ -1216,6 +1216,7 @@ class ControlService:
                     "worker_ids": engine_stats["worker_ids"],
                     "totals": engine_stats["totals"],
                     "migration": engine_stats["migration"],
+                    "transport": engine_stats["transport"],
                 }
             if self.dataplane is not None:
                 return {"dataplane": self.dataplane.stats()}
@@ -1327,6 +1328,7 @@ class ControlService:
                 "workers": self.engine.num_workers,
                 "worker_ids": self.engine.worker_ids,
                 "migration": self.engine.migration_stats(),
+                "transport": self.engine.transport_stats(),
             }
         return snapshot
 
